@@ -1,0 +1,100 @@
+// Ablation: the perfect-cache assumption (Assumption 2).
+//
+// The analysis assumes the front-end always holds the c most popular keys.
+// Real caches approximate this with eviction policies. We replay identical
+// request streams through the event simulator with the perfect oracle and
+// with LRU / LFU / SLRU / W-TinyLFU, and report hit ratio and back-end
+// imbalance under Zipf and adversarial workloads.
+//
+// A subtlety worth watching in the output: under the uniform-over-(c+1)
+// adversarial pattern all queried keys are *equally* popular, so the oracle
+// pins an arbitrary c of them and the remaining key hammers one replica
+// group — while real caches keep rotating which key misses, accidentally
+// spreading the hot spot. Assumption 2 is therefore conservative: the
+// perfect cache is the *worst case* for load concentration, so a bound
+// proved under it covers the real policies.
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 200;
+  flags.items = 50000;
+  flags.rate = 50000.0;
+
+  scp::FlagSet flag_set(
+      "Ablation: perfect popularity oracle vs real eviction policies "
+      "(event-driven simulation).");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 400;
+  double duration = 2.0;
+  double capacity_factor = 2.0;
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flag_set.add_double("duration", &duration, "simulated seconds per run");
+  flag_set.add_double("capacity-factor", &capacity_factor,
+                      "per-node capacity as a multiple of R/n");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::bench::print_header("Ablation: cache policy (perfect vs real)", flags,
+                           cache);
+
+  struct Workload {
+    const char* label;
+    scp::QueryDistribution distribution;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"zipf(1.01)", scp::QueryDistribution::zipf(flags.items, 1.01)});
+  workloads.push_back(
+      {"adversarial(x=c+1)",
+       scp::QueryDistribution::uniform_over(cache + 1, flags.items)});
+
+  const double node_capacity =
+      capacity_factor * flags.rate / static_cast<double>(flags.nodes);
+
+  for (const Workload& workload : workloads) {
+    std::printf("workload: %s\n", workload.label);
+    scp::TextTable table(
+        {"policy", "hit_ratio", "drop_ratio", "max/mean", "jain", "p99_wait_us"},
+        3);
+    for (const char* policy :
+         {"perfect", "lru", "lfu", "slru", "tinylfu"}) {
+      std::unique_ptr<scp::FrontEndCache> cache_impl;
+      if (std::string(policy) == "perfect") {
+        cache_impl = std::make_unique<scp::PerfectCache>(
+            cache, workload.distribution);
+      } else {
+        cache_impl = scp::make_cache(policy, cache);
+      }
+      scp::Cluster cluster(
+          scp::make_partitioner(flags.partitioner,
+                                static_cast<std::uint32_t>(flags.nodes),
+                                static_cast<std::uint32_t>(flags.replication),
+                                flags.seed),
+          node_capacity);
+      auto selector = scp::make_selector(flags.selector);
+      scp::EventSimConfig config;
+      config.query_rate = flags.rate;
+      config.duration_s = duration;
+      config.queue_capacity = 500;
+      config.seed = flags.seed;  // identical stream across policies
+      const scp::EventSimResult result = scp::simulate_events(
+          cluster, *cache_impl, workload.distribution, *selector, config);
+      table.add_row({std::string(policy), result.cache_hit_ratio,
+                     result.drop_ratio, result.arrival_metrics.max_over_mean,
+                     result.arrival_metrics.jain_fairness,
+                     static_cast<std::int64_t>(
+                         result.wait_us.value_at_quantile(0.99))});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "expected: on zipf the real policies land within a few points of the "
+      "oracle's hit\nratio (tinylfu closest). On the adversarial pattern the "
+      "oracle shows the worst\nimbalance — Assumption 2 is the conservative "
+      "(bound-preserving) case.\n");
+  return 0;
+}

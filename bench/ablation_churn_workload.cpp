@@ -1,0 +1,88 @@
+// Ablation: hot-set churn — the hidden "instant adaptation" in Assumption 2.
+//
+// The perfect cache always holds the *current* top-c keys; real policies
+// need time to re-learn when popularity moves. This bench rotates a
+// uniform-over-x hot set through the key space at varying phase lengths and
+// measures each policy's hit ratio (and therefore the unabsorbed rate that
+// reaches the back-ends). Plain LFU degrades catastrophically — its stale
+// frequencies pin the dead hot set — while LRU adapts within one working
+// set and TinyLFU's aging recovers in about one sample period.
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.items = 50000;
+
+  scp::FlagSet flag_set(
+      "Ablation: cache-policy hit ratio under a rotating hot set.");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 256;
+  std::uint64_t hot_keys = 200;
+  std::uint64_t queries = 200000;
+  std::string phases_list = "0,100000,20000,5000";
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flag_set.add_uint64("hot-keys", &hot_keys,
+                      "size of the (uniform) hot set that rotates");
+  flag_set.add_uint64("queries", &queries, "queries replayed per cell");
+  flag_set.add_string("phases-list", &phases_list,
+                      "comma-separated phase lengths (0 = static, no churn)");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  std::vector<std::uint64_t> phase_lengths;
+  std::size_t pos = 0;
+  while (pos < phases_list.size()) {
+    const std::size_t comma = phases_list.find(',', pos);
+    phase_lengths.push_back(
+        std::stoull(phases_list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+
+  scp::bench::print_header("Ablation: hot-set churn vs cache policy", flags,
+                           cache);
+  std::printf("hot set: %llu keys uniform, stride = hot set size (disjoint "
+              "phases)\n\n",
+              static_cast<unsigned long long>(hot_keys));
+
+  const auto base =
+      scp::QueryDistribution::uniform_over(hot_keys, flags.items);
+
+  std::vector<std::string> headers = {"phase_length"};
+  const std::vector<std::string> policies = {"lru", "lfu", "slru", "tinylfu"};
+  for (const std::string& policy : policies) {
+    headers.push_back("hit_" + policy);
+  }
+  scp::TextTable table(headers, 3);
+
+  for (const std::uint64_t phase : phase_lengths) {
+    std::vector<scp::Cell> row = {static_cast<std::int64_t>(phase)};
+    for (const std::string& policy : policies) {
+      const auto cache_impl = scp::make_cache(policy, cache);
+      scp::RotatingWorkload workload(
+          base, phase == 0 ? queries + 1 : phase, hot_keys);
+      scp::Rng rng(flags.seed);
+      std::uint64_t hits = 0;
+      for (std::uint64_t q = 0; q < queries; ++q) {
+        hits += cache_impl->access(workload.next(rng)) ? 1 : 0;
+      }
+      row.push_back(static_cast<double>(hits) /
+                    static_cast<double>(queries));
+    }
+    table.add_row(std::move(row));
+  }
+  scp::bench::finish_table(table, flags);
+  std::printf(
+      "\nexpected: every policy nails the static case (hot set < cache). "
+      "Under churn,\nLRU and SLRU re-learn within ~hot-set accesses, TinyLFU "
+      "within one aging period,\nwhile plain LFU collapses — stale "
+      "frequencies pin dead keys. The paper's oracle\ncache corresponds to "
+      "hit ratios of 1.0 in every cell: Assumption 2 silently\nassumes "
+      "instant re-learning, which only decay-based policies approximate.\n");
+  return 0;
+}

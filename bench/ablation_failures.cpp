@@ -1,0 +1,93 @@
+// Ablation: node failures — does provable prevention survive churn?
+//
+// Provisions the cache for the full cluster, then fails f nodes at once
+// (consistent-hash remapping) and re-measures the adversarial gain against
+// the *surviving* cluster's even-spread baseline R/(n−f). Since the
+// threshold c*(n) grows with n, a cache sized for n still covers n−f nodes;
+// the gain should stay ≤ ~1 while disruption stays ≈ f·d/n.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 200;
+  flags.items = 20000;
+  flags.rate = 20000.0;
+  flags.runs = 10;
+
+  scp::FlagSet flag_set(
+      "Ablation: adversarial gain and key disruption vs number of failed "
+      "nodes.");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 600;  // >= c*(200, 3)
+  std::string failures_list = "0,1,2,5,10,20,50";
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c >= c*)");
+  flag_set.add_string("failures-list", &failures_list,
+                      "comma-separated failure counts to sweep");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  std::vector<std::uint64_t> failure_counts;
+  std::size_t pos = 0;
+  while (pos < failures_list.size()) {
+    const std::size_t comma = failures_list.find(',', pos);
+    failure_counts.push_back(
+        std::stoull(failures_list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+
+  scp::bench::print_header("Ablation: failure injection", flags, cache);
+
+  scp::FailureExperimentConfig config;
+  config.nodes = static_cast<std::uint32_t>(flags.nodes);
+  config.replication = static_cast<std::uint32_t>(flags.replication);
+  config.items = flags.items;
+  config.cache_size = cache;
+  config.query_rate = flags.rate;
+  config.selector = flags.selector;
+
+  // The adversary's Case-2 best response for a provisioned cache, plus the
+  // focused attack as a second row per failure count.
+  const auto spread = scp::QueryDistribution::uniform(flags.items);
+  const auto focused =
+      scp::QueryDistribution::uniform_over(cache + 1, flags.items);
+
+  scp::TextTable table({"failed_nodes", "attack", "gain_after(max)",
+                        "disruption(mean)", "alive_nodes"},
+                       4);
+  for (const std::uint64_t f : failure_counts) {
+    struct Row {
+      const char* label;
+      const scp::QueryDistribution* workload;
+    };
+    const Row rows[] = {{"x=m", &spread}, {"x=c+1", &focused}};
+    for (const Row& row : rows) {
+      double worst_gain = 0.0;
+      scp::RunningStats disruption;
+      std::uint32_t alive = 0;
+      for (std::uint64_t run = 0; run < flags.runs; ++run) {
+        const scp::FailureExperimentResult result =
+            scp::run_failure_experiment(config,
+                                        static_cast<std::uint32_t>(f),
+                                        *row.workload,
+                                        scp::derive_seed(flags.seed, run + f));
+        worst_gain = std::max(worst_gain, result.gain_after);
+        disruption.add(result.disruption_fraction);
+        alive = result.alive_nodes;
+      }
+      table.add_row({static_cast<std::int64_t>(f), std::string(row.label),
+                     worst_gain, disruption.mean(),
+                     static_cast<std::int64_t>(alive)});
+    }
+  }
+  scp::bench::finish_table(table, flags);
+  std::printf(
+      "\nexpected: gain_after stays at ~1 (x=m) and well under 1 (x=c+1) "
+      "across the\nsweep — the guarantee survives because c*(n-f) < c*(n) <= "
+      "c. Disruption grows\nlike f*d/n: bounded remapping, not a reshuffle, "
+      "exactly why consistent hashing\nis the right partitioner under churn.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: scaling the front-end horizontally.
+//
+// The paper sizes ONE front-end cache. Deployments run k of them with
+// clients spread uniformly. Because every front-end sees the same key
+// popularity, all k caches converge to the same hot head — duplication, not
+// partitioning. Consequence: a total budget of c* entries split k ways
+// protects nothing; each front-end needs the full c* (total memory k·c*).
+// This bench replays identical adversarial and Zipf streams through the
+// event simulator with (a) one cache of c entries, (b) k caches of c/k
+// (same total memory), (c) k caches of c each (k× memory), and reports hit
+// ratio and back-end imbalance.
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 100;
+  flags.items = 20000;
+  flags.rate = 20000.0;
+
+  scp::FlagSet flag_set(
+      "Ablation: one big front-end cache vs k split caches (same or scaled "
+      "total memory).");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 300;  // ≈ c*(100, 3)
+  std::uint64_t frontends = 4;
+  std::string policy = "lru";
+  double duration = 2.0;
+  flag_set.add_uint64("cache", &cache, "single-front-end cache entries (c)");
+  flag_set.add_uint64("frontends", &frontends, "number of front-ends (k)");
+  flag_set.add_string("policy", &policy, "cache policy for every front-end");
+  flag_set.add_double("duration", &duration, "simulated seconds per run");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::bench::print_header("Ablation: front-end tier scaling", flags, cache);
+  const auto k = static_cast<std::uint32_t>(frontends);
+
+  struct Workload {
+    const char* label;
+    scp::QueryDistribution distribution;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"adversarial(x=c+1)",
+       scp::QueryDistribution::uniform_over(cache + 1, flags.items)});
+  workloads.push_back(
+      {"zipf(1.01)", scp::QueryDistribution::zipf(flags.items, 1.01)});
+
+  struct TierShape {
+    std::string label;
+    std::uint32_t count;
+    std::size_t per_cache;
+  };
+  const TierShape shapes[] = {
+      {"1 x c       (paper)", 1, cache},
+      {std::to_string(k) + " x c/k     (same memory)", k, cache / k},
+      {std::to_string(k) + " x c       (k x memory)", k, cache},
+  };
+
+  for (const Workload& workload : workloads) {
+    std::printf("workload: %s\n", workload.label);
+    scp::TextTable table(
+        {"tier", "total_entries", "hit_ratio", "max/mean", "jain"}, 3);
+    for (const TierShape& shape : shapes) {
+      scp::FrontEndTier tier(shape.count, shape.per_cache, policy,
+                             flags.seed ^ shape.count);
+      scp::Cluster cluster(
+          scp::make_partitioner(flags.partitioner,
+                                static_cast<std::uint32_t>(flags.nodes),
+                                static_cast<std::uint32_t>(flags.replication),
+                                flags.seed),
+          /*node_capacity_qps=*/2.0 * flags.rate /
+              static_cast<double>(flags.nodes));
+      auto selector = scp::make_selector(flags.selector);
+      scp::EventSimConfig config;
+      config.query_rate = flags.rate;
+      config.duration_s = duration;
+      config.queue_capacity = 500;
+      config.seed = flags.seed;  // identical stream across shapes
+      const scp::EventSimResult result = scp::simulate_events(
+          cluster, tier, workload.distribution, *selector, config);
+      table.add_row({shape.label,
+                     static_cast<std::int64_t>(tier.capacity()),
+                     result.cache_hit_ratio,
+                     result.arrival_metrics.max_over_mean,
+                     result.arrival_metrics.jain_fairness});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "expected: splitting a fixed budget k ways loses hit ratio (the hot "
+      "head is\nduplicated on every front-end, shrinking distinct coverage "
+      "to ~c/k) and worsens\nimbalance; giving each front-end the full c "
+      "restores the single-cache behaviour.\nProvision per-front-end, not "
+      "per-tier.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation: heterogeneous node capacities × non-uniform query costs —
+// the two practical deviations from the paper's Assumption 4 / uniform
+// hardware picture.
+//
+// The cluster has two hardware tiers (a fraction of nodes at a slower
+// capacity) and the workload has two operation classes (a fraction of keys
+// cost more, e.g. writes). The question for an operator: does the bound's
+// safety margin survive, and what must the provisioner use? Answer: scale
+// the worst-case load bound by the max cost multiplier and compare against
+// the *minimum* capacity — the adversary's best case is an expensive key
+// landing on a slow node.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 200;
+  flags.items = 20000;
+  flags.rate = 20000.0;
+  flags.runs = 10;
+
+  scp::FlagSet flag_set(
+      "Ablation: attack outcome under two-tier node capacities and two-class "
+      "query costs.");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 500;  // above c*(200, 3)
+  double slow_factor = 0.5;
+  double slow_fraction = 0.2;
+  double expensive_cost = 4.0;
+  double expensive_fraction = 0.1;
+  double capacity_factor = 2.0;
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flag_set.add_double("slow-factor", &slow_factor,
+                      "slow tier capacity as a fraction of base");
+  flag_set.add_double("slow-fraction", &slow_fraction,
+                      "fraction of nodes in the slow tier");
+  flag_set.add_double("expensive-cost", &expensive_cost,
+                      "cost multiplier of the expensive key class");
+  flag_set.add_double("expensive-fraction", &expensive_fraction,
+                      "fraction of keys in the expensive class");
+  flag_set.add_double("capacity-factor", &capacity_factor,
+                      "base per-node capacity as a multiple of R/n");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::bench::print_header("Ablation: heterogeneity (capacity tiers x costs)",
+                           flags, cache);
+  const double base_capacity =
+      capacity_factor * flags.rate / static_cast<double>(flags.nodes);
+  std::printf(
+      "tiers: %.0f%% of nodes at %.2fx capacity (base %.1f qps); costs: "
+      "%.0f%% of keys cost %.1fx\n\n",
+      100.0 * slow_fraction, slow_factor, base_capacity,
+      100.0 * expensive_fraction, expensive_cost);
+
+  struct Case {
+    const char* label;
+    bool tiered_capacity;
+    bool weighted_cost;
+  };
+  const Case cases[] = {
+      {"uniform capacity, uniform cost (paper)", false, false},
+      {"tiered capacity, uniform cost", true, false},
+      {"uniform capacity, weighted cost", false, true},
+      {"tiered capacity, weighted cost", true, true},
+  };
+
+  const auto n = static_cast<std::uint32_t>(flags.nodes);
+  const auto d = static_cast<std::uint32_t>(flags.replication);
+  const scp::CostModel costs = scp::CostModel::two_class(
+      flags.items, 1.0, expensive_cost, expensive_fraction, flags.seed);
+
+  // Adversary: Case-2 best response (x = m) for this provisioned cache,
+  // plus the focused x = c+1 attack for contrast.
+  scp::TextTable table({"scenario", "attack", "norm_max_load",
+                        "max_utilization", "saturated_nodes"},
+                       3);
+  for (const Case& scenario : cases) {
+    for (const std::uint64_t x : {cache + 1, flags.items}) {
+      scp::RunningStats gain;
+      scp::RunningStats utilization;
+      std::uint32_t saturated = 0;
+      for (std::uint64_t run = 0; run < flags.runs; ++run) {
+        const std::uint64_t seed = scp::derive_seed(flags.seed, run * 2 + x);
+        auto partitioner = scp::make_partitioner(flags.partitioner, n, d, seed);
+        std::vector<double> capacities =
+            scenario.tiered_capacity
+                ? scp::two_tier_capacities(n, base_capacity, slow_factor,
+                                           slow_fraction, flags.seed)
+                : scp::uniform_capacities(n, base_capacity);
+        scp::Cluster cluster(std::move(partitioner),
+                             std::span<const double>(capacities));
+        const auto attack =
+            scp::QueryDistribution::uniform_over(x, flags.items);
+        const scp::PerfectCache cache_impl(cache, attack);
+        auto selector = scp::make_selector(flags.selector);
+        scp::RateSimConfig config;
+        config.query_rate = flags.rate;
+        config.seed = scp::derive_seed(seed, 1);
+        if (scenario.weighted_cost) {
+          config.cost_model = &costs;
+        }
+        const scp::RateSimResult result = scp::simulate_rates(
+            cluster, cache_impl, attack, *selector, config);
+        gain.add(result.normalized_max_load);
+        utilization.add(result.max_utilization);
+        saturated = std::max(saturated, result.saturated_nodes);
+      }
+      table.add_row({std::string(scenario.label),
+                     std::string(x == cache + 1 ? "x=c+1" : "x=m"), gain.max(),
+                     utilization.max(),
+                     static_cast<std::int64_t>(saturated)});
+    }
+  }
+  scp::bench::finish_table(table, flags);
+  std::printf(
+      "\nexpected: the load-based gain stays near its paper value in every "
+      "scenario (the\nbound is about *load*), but utilization — what actually "
+      "saturates — rises by\n1/slow_factor on the slow tier and by the cost "
+      "skew. Provision against\nmin-capacity and max-cost, not the averages.\n");
+  return 0;
+}

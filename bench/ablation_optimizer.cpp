@@ -1,0 +1,88 @@
+// Ablation: is Theorem 1's closed form actually optimal?
+//
+// Runs a free-form stochastic search over the whole distribution simplex
+// (no uniform-over-x structure assumed) and compares the best gain it finds
+// against the analytic best response, at cache sizes on both sides of the
+// threshold. Theorem 1 predicts the search can match but never beat the
+// closed form.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 100;
+  flags.items = 5000;
+  flags.rate = 10000.0;
+  flags.runs = 3;  // trials averaged inside each evaluator call
+
+  scp::FlagSet flag_set(
+      "Ablation: free-form attack search vs Theorem 1's closed form.");
+  flags.register_flags(flag_set);
+  std::string cache_list = "20,50,100,150,250,400";
+  std::uint64_t iterations = 120;
+  std::uint64_t restarts = 3;
+  flag_set.add_string("cache-list", &cache_list,
+                      "comma-separated cache sizes");
+  flag_set.add_uint64("iterations", &iterations, "search steps per restart");
+  flag_set.add_uint64("restarts", &restarts, "independent search starts");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  std::vector<std::uint64_t> cache_sizes;
+  std::size_t pos = 0;
+  while (pos < cache_list.size()) {
+    const std::size_t comma = cache_list.find(',', pos);
+    cache_sizes.push_back(std::stoull(cache_list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+
+  scp::bench::print_header("Ablation: Theorem-1 optimality check", flags,
+                           cache_sizes.front());
+
+  scp::TextTable table({"cache_size", "analytic_best_gain", "searched_gain",
+                        "search_advantage", "searched_support", "evals"},
+                       4);
+  for (const std::uint64_t c : cache_sizes) {
+    const scp::ScenarioConfig config = flags.scenario(c);
+    const auto trials = static_cast<std::uint32_t>(flags.runs);
+
+    const scp::GainEvaluator evaluate =
+        [&](const scp::QueryDistribution& dist) {
+          double total = 0.0;
+          for (std::uint32_t t = 0; t < trials; ++t) {
+            total += scp::gain_trial(config, dist, flags.seed + t);
+          }
+          return total / trials;
+        };
+
+    const auto eval_x = [&](std::uint64_t x) {
+      return evaluate(scp::QueryDistribution::uniform_over(x, flags.items));
+    };
+    const scp::BestResponse analytic =
+        scp::best_response_search(config.params, eval_x, 8);
+
+    scp::OptimizerOptions options;
+    options.iterations = static_cast<std::uint32_t>(iterations);
+    options.restarts = static_cast<std::uint32_t>(restarts);
+    options.seed = flags.seed ^ c;
+    const scp::OptimizerResult searched =
+        scp::optimize_attack(flags.items, c, evaluate, options);
+
+    table.add_row({static_cast<std::int64_t>(c), analytic.gain,
+                   searched.best_gain,
+                   searched.best_gain - analytic.gain,
+                   static_cast<std::int64_t>(searched.best.support_size()),
+                   static_cast<std::int64_t>(searched.evaluations)});
+  }
+  scp::bench::finish_table(table, flags);
+  std::printf(
+      "\nexpected: search_advantage <= 0 up to evaluation noise at every "
+      "cache size —\nthe free-form search never beats the uniform-over-x "
+      "family, empirically\nconfirming Theorem 1. The searched support also "
+      "tracks the regime: near c+1\nbelow the threshold, spreading wide above "
+      "it.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: replica-partitioner choice.
+//
+// The paper's bound only needs the partition to be (i) opaque to the
+// adversary and (ii) uniform-ish over replica groups. This ablation checks
+// that the measured gains — and hence the critical cache size — are
+// insensitive to *which* randomized partitioner realizes that: independent
+// keyed hashing, a consistent-hash ring with virtual nodes (Dynamo-style),
+// or rendezvous hashing (HRW).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 300;
+  flags.items = 20000;
+  flags.rate = 30000.0;
+  flags.runs = 10;
+
+  scp::FlagSet flag_set(
+      "Ablation: attack gain under hash / consistent-ring / rendezvous "
+      "partitioning.");
+  flags.register_flags(flag_set);
+  std::string cache_list = "100,300,500,700,900";
+  flag_set.add_string("cache-list", &cache_list,
+                      "comma-separated cache sizes to sweep");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  std::vector<std::uint64_t> cache_sizes;
+  std::size_t pos = 0;
+  while (pos < cache_list.size()) {
+    const std::size_t comma = cache_list.find(',', pos);
+    cache_sizes.push_back(std::stoull(cache_list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+
+  scp::bench::print_header("Ablation: partitioner", flags, cache_sizes.front());
+
+  scp::TextTable table({"cache_size", "hash", "ring", "rendezvous"}, 4);
+  for (const std::uint64_t c : cache_sizes) {
+    std::vector<scp::Cell> row = {static_cast<std::int64_t>(c)};
+    for (const char* partitioner : {"hash", "ring", "rendezvous"}) {
+      flags.partitioner = partitioner;
+      const scp::ScenarioConfig config = flags.scenario(c);
+      const auto evaluate = [&](std::uint64_t x) {
+        return scp::measure_adversarial_gain(
+                   config, x, static_cast<std::uint32_t>(flags.runs),
+                   flags.seed ^ (c + x))
+            .max_gain;
+      };
+      row.push_back(
+          scp::best_response_search(config.params, evaluate, 0).gain);
+    }
+    table.add_row(std::move(row));
+  }
+  scp::bench::finish_table(table, flags);
+  std::printf(
+      "\nexpected: the three columns track each other closely — the bound "
+      "depends on the\npartition being randomized and uniform, not on the "
+      "specific mechanism. (The ring\nwith finite vnodes has mildly skewed "
+      "arc ownership, so it can run slightly hotter.)\n");
+  return 0;
+}

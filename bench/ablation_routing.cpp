@@ -1,0 +1,58 @@
+// Ablation: replica-selection policy.
+//
+// The paper's analysis pins each key to the least-loaded member of its
+// replica group (balls-into-bins with d choices). Real systems may instead
+// pick a random replica per query or round-robin — which *splits* each key's
+// rate across its group. This ablation quantifies the difference under the
+// adversarial pattern: per-query splitting divides the hot uncached keys'
+// rate by d (a further n/(x·d) vs n/x gain), at the cost of serving each key
+// from d caches/nodes (worse locality, d× key-footprint per node — the
+// reason key-pinned designs exist).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.nodes = 500;
+  flags.items = 50000;
+  flags.rate = 50000.0;
+  flags.runs = 15;
+
+  scp::FlagSet flag_set(
+      "Ablation: attack gain under least-loaded vs random vs round-robin "
+      "replica selection.");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 200;
+  std::uint64_t sweep_points = 8;
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flag_set.add_uint64("sweep-points", &sweep_points, "x values to sweep");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::bench::print_header("Ablation: replica selection policy", flags, cache);
+
+  scp::TextTable table(
+      {"x_queried_keys", "least-loaded", "random", "round-robin"}, 4);
+  const auto xs = scp::bench::log_spaced(cache + 1, flags.items, sweep_points);
+  for (const std::uint64_t x : xs) {
+    std::vector<scp::Cell> row = {static_cast<std::int64_t>(x)};
+    for (const char* selector : {"least-loaded", "random", "round-robin"}) {
+      flags.selector = selector;
+      const scp::ScenarioConfig config = flags.scenario(cache);
+      row.push_back(scp::measure_adversarial_gain(
+                        config, x, static_cast<std::uint32_t>(flags.runs),
+                        flags.seed ^ x)
+                        .max_gain);
+    }
+    table.add_row(std::move(row));
+  }
+  scp::bench::finish_table(table, flags);
+  std::printf(
+      "\nexpected: two regimes. At x=c+1 per-query splitting (random/round-robin)\n"
+      "divides the one hot key by d and beats key-pinning. For larger x the ordering\n"
+      "flips: splitting forfeits the power-of-d-choices balancing (every node carries\n"
+      "d-times more key-shares placed blindly), so least-loaded pinning wins and\n"
+      "converges to gain 1 while splitting plateaus above it. The paper's\n"
+      "least-loaded-pinned model is the one under which its bound is provable.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scp::bench {
+
+std::vector<std::uint64_t> log_spaced(std::uint64_t lo, std::uint64_t hi,
+                                      std::size_t points) {
+  SCP_CHECK(lo >= 1 && lo <= hi);
+  SCP_CHECK(points >= 2);
+  std::vector<std::uint64_t> xs;
+  xs.reserve(points);
+  const double log_lo = std::log(static_cast<double>(lo));
+  const double log_hi = std::log(static_cast<double>(hi));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        points == 1 ? 0.0
+                    : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto x = static_cast<std::uint64_t>(
+        std::llround(std::exp(log_lo + t * (log_hi - log_lo))));
+    xs.push_back(std::clamp(x, lo, hi));
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace scp::bench

@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary reproduces one figure of the paper: it prints the same
+// series the figure plots (plus the relevant bound), as an aligned table and
+// optionally as CSV. Benches are deterministic given --seed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/scp.h"
+
+namespace scp::bench {
+
+/// Standard experiment knobs shared by the figure benches. Defaults are
+/// scaled for a quick single-core run; raise --runs/--items to match the
+/// paper's exact setup (200 runs, 1e6 items).
+struct CommonFlags {
+  std::uint64_t nodes = 1000;
+  std::uint64_t replication = 3;
+  std::uint64_t items = 100000;
+  double rate = 100000.0;
+  std::uint64_t runs = 30;
+  std::uint64_t seed = 20130708;  // ICDCS'13 workshop date
+  double k = 1.2;  // the paper's bound constant for n=1000, d=3
+  std::string partitioner = "hash";
+  std::string selector = "least-loaded";
+  std::string csv;  // when non-empty, mirror the table to this CSV path
+
+  void register_flags(FlagSet& flags) {
+    flags.add_uint64("nodes", &nodes, "number of back-end nodes (n)");
+    flags.add_uint64("replication", &replication, "replica-group size (d)");
+    flags.add_uint64("items", &items, "number of stored items (m)");
+    flags.add_double("rate", &rate, "aggregate query rate R (qps)");
+    flags.add_uint64("runs", &runs, "simulation runs per point (paper: 200)");
+    flags.add_uint64("seed", &seed, "base RNG seed");
+    flags.add_double("k", &k, "bound constant k = lnln(n)/ln(d) + k'");
+    flags.add_string("partitioner", &partitioner,
+                     "replica partitioner: hash|ring|rendezvous");
+    flags.add_string("selector", &selector,
+                     "replica selector: least-loaded|random|round-robin");
+    flags.add_string("csv", &csv, "also write the table to this CSV file");
+  }
+
+  ScenarioConfig scenario(std::uint64_t cache_size) const {
+    ScenarioConfig config;
+    config.params.nodes = static_cast<std::uint32_t>(nodes);
+    config.params.replication = static_cast<std::uint32_t>(replication);
+    config.params.items = items;
+    config.params.cache_size = cache_size;
+    config.params.query_rate = rate;
+    config.partitioner = partitioner;
+    config.selector = selector;
+    return config;
+  }
+};
+
+/// Prints the standard bench header: what figure, what configuration.
+inline void print_header(const std::string& title, const CommonFlags& flags,
+                         std::uint64_t cache_size) {
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "config: n=%llu d=%llu m=%llu c=%llu R=%.0f runs=%llu seed=%llu "
+      "partitioner=%s selector=%s\n\n",
+      static_cast<unsigned long long>(flags.nodes),
+      static_cast<unsigned long long>(flags.replication),
+      static_cast<unsigned long long>(flags.items),
+      static_cast<unsigned long long>(cache_size), flags.rate,
+      static_cast<unsigned long long>(flags.runs),
+      static_cast<unsigned long long>(flags.seed), flags.partitioner.c_str(),
+      flags.selector.c_str());
+}
+
+/// Emits the table to stdout and, if requested, to CSV.
+inline void finish_table(const TextTable& table, const CommonFlags& flags) {
+  std::printf("%s", table.render().c_str());
+  if (!flags.csv.empty()) {
+    if (table.write_csv(flags.csv)) {
+      std::printf("\n(csv written to %s)\n", flags.csv.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write csv to %s\n", flags.csv.c_str());
+    }
+  }
+}
+
+/// Log-spaced sweep of x (queried keys) from lo to hi inclusive, always
+/// containing both endpoints, deduplicated.
+std::vector<std::uint64_t> log_spaced(std::uint64_t lo, std::uint64_t hi,
+                                      std::size_t points);
+
+}  // namespace scp::bench

@@ -1,0 +1,76 @@
+// Fig. 2 — "The best strategy for the adversary" (illustration).
+//
+// The paper's Fig. 2 is a diagram of the optimal query distribution: all
+// queried keys at the same rate h, everything else at zero. This bench
+// *derives* that shape instead of assuming it: starting from a skewed Zipf
+// distribution, it applies Theorem 1's mass-shifting step to convergence
+// and prints the resulting histogram — cached head at h, a plateau of
+// uncached keys at h, one fractional key, zero tail — then confirms the
+// closed form and the iterated procedure agree.
+#include <cmath>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  flags.items = 1000;
+
+  scp::FlagSet flag_set(
+      "Fig. 2: derive the adversary's optimal distribution shape via "
+      "Theorem-1 mass shifting.");
+  flags.register_flags(flag_set);
+  std::uint64_t cache = 20;
+  double zipf_theta = 1.1;
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flag_set.add_double("zipf-theta", &zipf_theta,
+                      "starting distribution's Zipf exponent");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::bench::print_header("Fig. 2: optimal adversarial pattern", flags, cache);
+
+  const auto start = scp::QueryDistribution::zipf(flags.items, zipf_theta);
+
+  // Iterate the executable Theorem-1 step to a fixpoint.
+  std::vector<double> p(start.probabilities().begin(),
+                        start.probabilities().end());
+  std::size_t steps = 0;
+  while (scp::adversarial_shift_step(std::span<double>(p), cache)) {
+    ++steps;
+  }
+  const auto closed = scp::adversarial_shift_fixpoint(start, cache);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(p[i] - closed.probability(i)));
+  }
+
+  const double h = start.probability(cache - 1);
+  std::uint64_t plateau = cache;
+  while (plateau < flags.items && std::abs(p[plateau] - h) < 1e-12) {
+    ++plateau;
+  }
+  const bool has_fraction = plateau < flags.items && p[plateau] > 0.0;
+  const std::uint64_t x = plateau + (has_fraction ? 1 : 0);
+
+  scp::TextTable table({"segment", "keys", "probability_each"}, 6);
+  table.add_row({std::string("cached head (ranks 1..c)"),
+                 static_cast<std::int64_t>(cache),
+                 std::string("(zipf head, >= h)")});
+  table.add_row({std::string("uncached plateau at h"),
+                 static_cast<std::int64_t>(plateau - cache), h});
+  table.add_row({std::string("fractional key"),
+                 static_cast<std::int64_t>(has_fraction ? 1 : 0),
+                 has_fraction ? p[plateau] : 0.0});
+  table.add_row({std::string("zero tail"),
+                 static_cast<std::int64_t>(flags.items - x), 0.0});
+  scp::bench::finish_table(table, flags);
+
+  std::printf(
+      "\nTheorem-1 iteration: %zu shift steps to the fixpoint; closed form "
+      "agrees to %.2e.\nThe shape is exactly the paper's Fig. 2: the "
+      "adversary queries x=%llu keys at\n(essentially) one rate and ignores "
+      "the rest.\n",
+      steps, max_diff, static_cast<unsigned long long>(x));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared sweep for Fig. 3(a) and Fig. 3(b): normalized max workload vs the
+// number of queried keys x, against the Eq. 10 bound.
+#pragma once
+
+#include "bench_util.h"
+
+namespace scp::bench {
+
+/// Runs the Fig. 3 sweep at the given cache size and prints
+///   x | normalized max load (max over runs) | mean over runs | Eq.10 bound.
+/// Also prints the regime verdict the paper draws from the trend.
+inline int run_fig3(const std::string& title, CommonFlags& flags,
+                    std::uint64_t cache_size, int argc, char** argv) {
+  FlagSet flag_set(title);
+  flags.register_flags(flag_set);
+  std::uint64_t cache = cache_size;
+  std::uint64_t sweep_points = 14;
+  flag_set.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flag_set.add_uint64("sweep-points", &sweep_points,
+                      "number of x values to sweep");
+  if (!flag_set.parse(argc, argv)) {
+    return 1;
+  }
+
+  print_header(title, flags, cache);
+  const ScenarioConfig config = flags.scenario(cache);
+  config.params.check();
+
+  TextTable table({"x_queried_keys", "norm_max_load(max)", "norm_max_load(mean)",
+                   "bound_eq10(k)"},
+                  4);
+  const auto xs = log_spaced(cache + 1, flags.items, sweep_points);
+  for (const std::uint64_t x : xs) {
+    const GainStatistics stats = measure_adversarial_gain(
+        config, x, static_cast<std::uint32_t>(flags.runs), flags.seed ^ x);
+    const double bound =
+        x >= 2 ? attack_gain_bound(config.params, x, flags.k)
+               : static_cast<double>(flags.nodes) /
+                     static_cast<double>(flags.replication);
+    table.add_row({static_cast<std::int64_t>(x), stats.max_gain,
+                   stats.summary.mean, bound});
+  }
+  finish_table(table, flags);
+
+  const double threshold = static_cast<double>(flags.nodes) * flags.k + 1.0;
+  std::printf(
+      "\nthreshold c* = n*k + 1 = %.1f; this run's c=%llu is %s the "
+      "threshold,\nso the paper predicts the trend above is %s in x and the "
+      "attack is %s.\n",
+      threshold, static_cast<unsigned long long>(cache),
+      static_cast<double>(cache) < threshold ? "below" : "above",
+      static_cast<double>(cache) < threshold ? "decreasing" : "increasing",
+      static_cast<double>(cache) < threshold ? "effective near x=c+1 (gain>1)"
+                                             : "never effective (gain<1)");
+  return 0;
+}
+
+}  // namespace scp::bench

@@ -1,0 +1,11 @@
+// Fig. 3(a) — "Simulation of maximum workload on 1000 back-end nodes",
+// small cache (c = 200 < c*). Reproduces the decreasing normalized-max-load
+// trend and the Eq. 10 bound curve with k = 1.2.
+#include "fig3_max_load_common.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  return scp::bench::run_fig3(
+      "Fig. 3(a): normalized max workload vs x, small cache (c=200)", flags,
+      /*cache_size=*/200, argc, argv);
+}

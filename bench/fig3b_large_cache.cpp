@@ -1,0 +1,10 @@
+// Fig. 3(b) — same sweep as Fig. 3(a) but with a large cache (c = 2000 >
+// c*): the trend reverses (increasing in x) and the gain never exceeds 1.
+#include "fig3_max_load_common.h"
+
+int main(int argc, char** argv) {
+  scp::bench::CommonFlags flags;
+  return scp::bench::run_fig3(
+      "Fig. 3(b): normalized max workload vs x, large cache (c=2000)", flags,
+      /*cache_size=*/2000, argc, argv);
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulation
+// stack: hashing, sampling, partitioning, cache operations, balls-into-bins
+// throws and whole rate-simulation trials. These bound how large an
+// experiment the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/lru_cache.h"
+#include "cache/tinylfu_cache.h"
+#include "core/scp.h"
+
+namespace {
+
+using namespace scp;  // NOLINT: bench-local convenience
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 0x12345678;
+  for (auto _ : state) {
+    x = mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_SipHash24(benchmark::State& state) {
+  const SipKey key = sip_key_from_seed(1);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    v = siphash24(key, v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SipHash24);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_u64(1000));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)), 1.01);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_AliasSample(benchmark::State& state) {
+  const auto d = QueryDistribution::zipf(
+      static_cast<std::uint64_t>(state.range(0)), 1.01);
+  const AliasSampler sampler = d.make_sampler();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(1000000);
+
+void BM_PartitionerReplicaGroup(benchmark::State& state) {
+  const auto kind = static_cast<std::size_t>(state.range(0));
+  const char* kinds[] = {"hash", "ring", "rendezvous"};
+  const auto partitioner = make_partitioner(kinds[kind], 1000, 3, 7);
+  std::vector<NodeId> group(3);
+  KeyId key = 0;
+  for (auto _ : state) {
+    partitioner->replica_group(key++, std::span<NodeId>(group));
+    benchmark::DoNotOptimize(group.data());
+  }
+  state.SetLabel(kinds[kind]);
+}
+BENCHMARK(BM_PartitionerReplicaGroup)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LruAccess(benchmark::State& state) {
+  LruCache cache(1024);
+  const auto d = QueryDistribution::zipf(100000, 1.01);
+  const AliasSampler sampler = d.make_sampler();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(sampler.sample(rng)));
+  }
+}
+BENCHMARK(BM_LruAccess);
+
+void BM_TinyLfuAccess(benchmark::State& state) {
+  TinyLfuCache cache(1024);
+  const auto d = QueryDistribution::zipf(100000, 1.01);
+  const AliasSampler sampler = d.make_sampler();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(sampler.sample(rng)));
+  }
+}
+BENCHMARK(BM_TinyLfuAccess);
+
+void BM_PerfectCacheAccess(benchmark::State& state) {
+  const auto d = QueryDistribution::zipf(100000, 1.01);
+  PerfectCache cache(1024, d);
+  const AliasSampler sampler = d.make_sampler();
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(sampler.sample(rng)));
+  }
+}
+BENCHMARK(BM_PerfectCacheAccess);
+
+void BM_ThrowBalls(benchmark::State& state) {
+  Rng rng(7);
+  const auto balls = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_occupancy(balls, 1000, 3, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ThrowBalls)->Arg(10000)->Arg(100000);
+
+void BM_RateSimTrial(benchmark::State& state) {
+  const auto x = static_cast<std::uint64_t>(state.range(0));
+  ScenarioConfig config;
+  config.params.nodes = 1000;
+  config.params.replication = 3;
+  config.params.items = 100000;
+  config.params.cache_size = 200;
+  config.params.query_rate = 1e5;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adversarial_gain_trial(config, x, seed++));
+  }
+}
+BENCHMARK(BM_RateSimTrial)->Arg(201)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_EventSimSecond(benchmark::State& state) {
+  const auto d = QueryDistribution::zipf(10000, 1.01);
+  auto selector = make_selector("least-loaded");
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Cluster cluster(make_partitioner("hash", 100, 3, seed), 200.0);
+    PerfectCache cache(100, d);
+    EventSimConfig config;
+    config.query_rate = 10000.0;
+    config.duration_s = 1.0;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(
+        simulate_events(cluster, cache, d, *selector, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EventSimSecond)->Unit(benchmark::kMillisecond);
+
+void BM_AdversarialShiftFixpoint(benchmark::State& state) {
+  const auto start = QueryDistribution::zipf(
+      static_cast<std::uint64_t>(state.range(0)), 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adversarial_shift_fixpoint(start, 100));
+  }
+}
+BENCHMARK(BM_AdversarialShiftFixpoint)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,216 @@
+// scpctl — command-line front door to the library.
+//
+//   scpctl plan   --nodes=1000 --replication=3 --items=1000000 --rate=1e5
+//   scpctl assess --nodes=1000 --replication=3 --items=100000 --cache=200
+//                 --pattern=adversarial --x=201
+//   scpctl leak   --nodes=100 --items=20000 --cache=300 --phi=0.6
+//
+// Subcommands:
+//   plan    — compute + validate a provisioning plan (add --json for tooling)
+//   assess  — measure a workload's attack gain against a configured system
+//   leak    — targeted attack with a fraction of leaked key placements
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/flags.h"
+#include "core/scp.h"
+
+namespace {
+
+int run_plan(int argc, char** argv) {
+  std::uint64_t nodes = 1000;
+  std::uint64_t replication = 3;
+  std::uint64_t items = 100000;
+  double rate = 1e5;
+  double capacity = 0.0;
+  double k_prime = 0.5;
+  double safety = 1.1;
+  bool validate = true;
+  bool json = false;
+  std::uint64_t seed = 1;
+
+  scp::FlagSet flags("scpctl plan — size a front-end cache for DDoS prevention.");
+  flags.add_uint64("nodes", &nodes, "back-end nodes (n)");
+  flags.add_uint64("replication", &replication, "replica-group size (d)");
+  flags.add_uint64("items", &items, "stored items (m)");
+  flags.add_double("rate", &rate, "worst-case attack rate R (qps)");
+  flags.add_double("capacity", &capacity, "per-node capacity r_i (0=unknown)");
+  flags.add_double("k-prime", &k_prime, "Theta(1) constant in the gap term");
+  flags.add_double("safety", &safety, "safety factor on the threshold");
+  flags.add_bool("validate", &validate, "simulate the adversary's best response");
+  flags.add_bool("json", &json, "emit JSON instead of the text report");
+  flags.add_uint64("seed", &seed, "RNG seed");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::ProvisionOptions options;
+  options.k_prime = k_prime;
+  options.safety_factor = safety;
+  options.validate = validate;
+  options.seed = seed;
+  const scp::CacheProvisioner provisioner(options);
+
+  scp::ClusterSpec spec;
+  spec.nodes = static_cast<std::uint32_t>(nodes);
+  spec.replication = static_cast<std::uint32_t>(replication);
+  spec.items = items;
+  spec.attack_rate_qps = rate;
+  spec.node_capacity_qps = capacity;
+  const scp::ProvisionPlan plan = provisioner.plan(spec);
+
+  if (json) {
+    std::printf("%s\n", scp::to_json(plan).c_str());
+  } else {
+    std::printf("%s", scp::render_report(plan).c_str());
+  }
+  return plan.prevention_possible && (!plan.validated || plan.prevention_holds)
+             ? 0
+             : 2;
+}
+
+int run_assess(int argc, char** argv) {
+  std::uint64_t nodes = 1000;
+  std::uint64_t replication = 3;
+  std::uint64_t items = 100000;
+  std::uint64_t cache = 200;
+  double rate = 1e5;
+  std::string pattern = "adversarial";
+  std::uint64_t x = 0;
+  double zipf_theta = 1.01;
+  std::uint64_t trials = 20;
+  bool json = false;
+  std::uint64_t seed = 1;
+
+  scp::FlagSet flags(
+      "scpctl assess — measure a workload's attack gain by simulation.");
+  flags.add_uint64("nodes", &nodes, "back-end nodes (n)");
+  flags.add_uint64("replication", &replication, "replica-group size (d)");
+  flags.add_uint64("items", &items, "stored items (m)");
+  flags.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flags.add_double("rate", &rate, "aggregate query rate R (qps)");
+  flags.add_string("pattern", &pattern,
+                   "workload: adversarial|uniform|zipf");
+  flags.add_uint64("x", &x, "adversarial: number of queried keys (0 = c+1)");
+  flags.add_double("zipf-theta", &zipf_theta, "zipf exponent");
+  flags.add_uint64("trials", &trials, "simulation trials");
+  flags.add_bool("json", &json, "emit JSON instead of the text report");
+  flags.add_uint64("seed", &seed, "RNG seed");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::SystemParams params;
+  params.nodes = static_cast<std::uint32_t>(nodes);
+  params.replication = static_cast<std::uint32_t>(replication);
+  params.items = items;
+  params.cache_size = cache;
+  params.query_rate = rate;
+
+  scp::AnalyzerOptions options;
+  options.trials = static_cast<std::uint32_t>(trials);
+  options.seed = seed;
+  const scp::AttackAnalyzer analyzer(options);
+
+  scp::AttackAssessment assessment;
+  if (pattern == "adversarial") {
+    assessment =
+        analyzer.assess_adversarial(params, x != 0 ? x : cache + 1);
+  } else if (pattern == "uniform") {
+    assessment = analyzer.assess(params, scp::QueryDistribution::uniform(items));
+  } else if (pattern == "zipf") {
+    assessment =
+        analyzer.assess(params, scp::QueryDistribution::zipf(items, zipf_theta));
+  } else {
+    std::fprintf(stderr, "unknown --pattern: %s\n", pattern.c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::printf("%s\n", scp::to_json(assessment).c_str());
+  } else {
+    std::printf("%s", scp::render_report(assessment).c_str());
+  }
+  return assessment.effective ? 2 : 0;
+}
+
+int run_leak(int argc, char** argv) {
+  std::uint64_t nodes = 100;
+  std::uint64_t replication = 3;
+  std::uint64_t items = 20000;
+  std::uint64_t cache = 300;
+  double rate = 1e4;
+  double phi = 0.5;
+  std::uint64_t trials = 10;
+  std::uint64_t seed = 1;
+
+  scp::FlagSet flags(
+      "scpctl leak — targeted attack with partially leaked key placement.");
+  flags.add_uint64("nodes", &nodes, "back-end nodes (n)");
+  flags.add_uint64("replication", &replication, "replica-group size (d)");
+  flags.add_uint64("items", &items, "stored items (m)");
+  flags.add_uint64("cache", &cache, "front-end cache entries (c)");
+  flags.add_double("rate", &rate, "aggregate query rate R (qps)");
+  flags.add_double("phi", &phi, "fraction of key placements leaked [0,1]");
+  flags.add_uint64("trials", &trials, "simulation trials");
+  flags.add_uint64("seed", &seed, "RNG seed");
+  if (!flags.parse(argc, argv)) {
+    return 1;
+  }
+
+  scp::ScenarioConfig config;
+  config.params.nodes = static_cast<std::uint32_t>(nodes);
+  config.params.replication = static_cast<std::uint32_t>(replication);
+  config.params.items = items;
+  config.params.cache_size = cache;
+  config.params.query_rate = rate;
+  config.selector = "random";
+
+  double worst = 0.0;
+  std::uint64_t queried = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const scp::TargetedAttackResult result =
+        scp::knowledge_attack_trial(config, phi, scp::derive_seed(seed, t));
+    worst = std::max(worst, result.target_gain);
+    queried = result.queried_keys;
+  }
+  const double phi_star = scp::knowledge_threshold(
+      config.params.nodes, config.params.replication, items, cache);
+  std::printf(
+      "phi=%.3f (threshold phi*=%.3f): targeted set=%llu keys, worst target "
+      "gain=%.3f -> %s\n",
+      phi, phi_star, static_cast<unsigned long long>(queried), worst,
+      worst > 1.0 ? "EFFECTIVE (secrecy broken)" : "prevented");
+  return worst > 1.0 ? 2 : 0;
+}
+
+void usage() {
+  std::printf(
+      "scpctl — secure cache provisioning toolkit\n"
+      "usage: scpctl <plan|assess|leak> [flags]   (each subcommand has "
+      "--help)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Rebase argv so each subcommand's FlagSet sees its own flags.
+  argv[1] = argv[0];
+  if (command == "plan") {
+    return run_plan(argc - 1, argv + 1);
+  }
+  if (command == "assess") {
+    return run_assess(argc - 1, argv + 1);
+  }
+  if (command == "leak") {
+    return run_leak(argc - 1, argv + 1);
+  }
+  usage();
+  return 1;
+}

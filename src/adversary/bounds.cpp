@@ -1,0 +1,129 @@
+#include "adversary/bounds.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "ballsbins/balls_bins.h"
+#include "common/check.h"
+
+namespace scp {
+
+void SystemParams::check() const {
+  SCP_CHECK_MSG(nodes >= 1, "need at least one node");
+  SCP_CHECK_MSG(replication >= 1, "replication factor must be >= 1");
+  SCP_CHECK_MSG(replication <= nodes, "replication cannot exceed node count");
+  SCP_CHECK_MSG(items >= 1, "need at least one item");
+  SCP_CHECK_MSG(cache_size < items,
+                "cache at least one item short of the key space (c < m), "
+                "otherwise every query hits the cache");
+  SCP_CHECK_MSG(query_rate > 0.0, "query rate must be positive");
+}
+
+std::string SystemParams::to_string() const {
+  std::ostringstream os;
+  os << "n=" << nodes << " d=" << replication << " m=" << items
+     << " c=" << cache_size << " R=" << query_rate;
+  return os.str();
+}
+
+double even_load(const SystemParams& params) {
+  return params.query_rate / static_cast<double>(params.nodes);
+}
+
+double gap_k(std::uint32_t nodes, std::uint32_t replication, double k_prime) {
+  return two_choice_gap(nodes, replication) + k_prime;
+}
+
+double max_load_bound(const SystemParams& params, std::uint64_t x, double k) {
+  params.check();
+  SCP_CHECK_MSG(x > params.cache_size && x <= params.items,
+                "adversary must query c < x <= m keys");
+  SCP_CHECK_MSG(x >= 2, "Eq. 8 needs x >= 2 (per-key rate is R/(x-1))");
+  const double n = static_cast<double>(params.nodes);
+  const double keys_per_node =
+      static_cast<double>(x - params.cache_size) / n + k;
+  const double per_key_rate =
+      params.query_rate / static_cast<double>(x - 1);
+  return keys_per_node * per_key_rate;
+}
+
+double attack_gain_bound(const SystemParams& params, std::uint64_t x,
+                         double k) {
+  return max_load_bound(params, x, k) / even_load(params);
+}
+
+double attack_gain(double observed_max_load, const SystemParams& params) {
+  return observed_max_load / even_load(params);
+}
+
+bool is_effective(double gain) { return gain > 1.0; }
+
+double cache_size_threshold(std::uint32_t nodes, std::uint32_t replication,
+                            double k_prime) {
+  return static_cast<double>(nodes) * gap_k(nodes, replication, k_prime) + 1.0;
+}
+
+AttackRegime classify_regime(const SystemParams& params, double k) {
+  params.check();
+  // Case 1 iff 1 - c + n·k > 0, i.e. c < n·k + 1.
+  const double threshold = static_cast<double>(params.nodes) * k + 1.0;
+  return static_cast<double>(params.cache_size) < threshold
+             ? AttackRegime::kEffective
+             : AttackRegime::kIneffective;
+}
+
+std::string to_string(AttackRegime regime) {
+  switch (regime) {
+    case AttackRegime::kEffective:
+      return "effective (c < c*: adversary can overload)";
+    case AttackRegime::kIneffective:
+      return "ineffective (c >= c*: provable DDoS prevention)";
+  }
+  return "?";
+}
+
+std::uint64_t optimal_queried_keys(const SystemParams& params, double k) {
+  return classify_regime(params, k) == AttackRegime::kEffective
+             ? params.cache_size + 1
+             : params.items;
+}
+
+double fan_gain_bound(const SystemParams& params, std::uint64_t x) {
+  params.check();
+  SCP_CHECK_MSG(params.replication == 1,
+                "the Fan bound models the unreplicated (d = 1) system");
+  SCP_CHECK_MSG(x > params.cache_size && x <= params.items && x >= 2,
+                "need c < x <= m and x >= 2");
+  const double n = static_cast<double>(params.nodes);
+  const double balls = static_cast<double>(x - params.cache_size);
+  const double keys_per_node =
+      balls / n + std::sqrt(2.0 * balls * std::log(n) / n);
+  return keys_per_node * n / static_cast<double>(x - 1);
+}
+
+std::uint64_t fan_optimal_queried_keys(const SystemParams& params) {
+  params.check();
+  SCP_CHECK_MSG(params.replication == 1,
+                "the Fan bound models the unreplicated (d = 1) system");
+  // The bound is unimodal in x on (c, m]: integer ternary search.
+  std::uint64_t lo = std::max<std::uint64_t>(params.cache_size + 1, 2);
+  std::uint64_t hi = params.items;
+  while (hi - lo > 2) {
+    const std::uint64_t m1 = lo + (hi - lo) / 3;
+    const std::uint64_t m2 = hi - (hi - lo) / 3;
+    if (fan_gain_bound(params, m1) < fan_gain_bound(params, m2)) {
+      lo = m1 + 1;
+    } else {
+      hi = m2 - 1;
+    }
+  }
+  std::uint64_t best = lo;
+  for (std::uint64_t x = lo + 1; x <= hi; ++x) {
+    if (fan_gain_bound(params, x) > fan_gain_bound(params, best)) {
+      best = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace scp

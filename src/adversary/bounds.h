@@ -1,0 +1,85 @@
+// The paper's analytical results (Section III.B) as executable formulas.
+//
+// Notation (Table I): n back-end nodes, m stored items, c cached items,
+// d replication factor, R aggregate adversary query rate, x keys queried.
+// The gap term k = ln ln n / ln d + k′ collects the balls-into-bins constant;
+// the paper's simulations use k = 1.2 for n = 1000, d = 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scp {
+
+/// Static description of the protected system.
+struct SystemParams {
+  std::uint32_t nodes = 0;         ///< n — number of back-end nodes
+  std::uint32_t replication = 1;   ///< d — replica-group size per key
+  std::uint64_t items = 0;         ///< m — number of (key, value) items
+  std::uint64_t cache_size = 0;    ///< c — front-end cache entries
+  double query_rate = 1.0;         ///< R — aggregate query rate (qps)
+
+  /// Validates 1 <= d <= n <= …, c < m, m >= 1, R > 0; aborts on violation.
+  void check() const;
+  std::string to_string() const;
+};
+
+/// The even-spread per-node load R/n — the baseline of Definition 1.
+double even_load(const SystemParams& params);
+
+/// Gap term k(n, d, k′) = ln ln n / ln d + k′. Requires d >= 2 and n >= 3;
+/// for d = 1 no M-independent gap exists (see ballsbins), which is exactly
+/// Fan et al.'s unreplicated setting.
+double gap_k(std::uint32_t nodes, std::uint32_t replication, double k_prime);
+
+/// Eq. 8 — upper bound on E[L_max] in qps when the adversary queries x keys
+/// (x > c) uniformly: [ (x−c)/n + k ] · R/(x−1).
+double max_load_bound(const SystemParams& params, std::uint64_t x, double k);
+
+/// Eq. 10 — the same bound normalized by R/n (the attack-gain bound):
+/// 1 + (1 − c + n·k)/(x − 1).
+double attack_gain_bound(const SystemParams& params, std::uint64_t x,
+                         double k);
+
+/// Definition 1 — attack gain of an observed max load.
+double attack_gain(double observed_max_load, const SystemParams& params);
+
+/// Definition 2 — an attack is effective iff its gain exceeds 1.
+bool is_effective(double gain);
+
+/// The critical cache size c* = n·k + 1 (Case 1 / Case 2 boundary).
+/// With c >= c* the gain bound is <= 1 for every x: no effective attack.
+double cache_size_threshold(std::uint32_t nodes, std::uint32_t replication,
+                            double k_prime);
+
+/// Which regime the system is in under the bound.
+enum class AttackRegime {
+  kEffective,    ///< Case 1: c < c*; best x = c+1; adversary wins (gain > 1)
+  kIneffective,  ///< Case 2: c >= c*; best x = m; adversary cannot win
+};
+AttackRegime classify_regime(const SystemParams& params, double k);
+std::string to_string(AttackRegime regime);
+
+/// The adversary's optimal number of queried keys under the bound:
+/// c+1 in Case 1, m in Case 2 (Section III.B).
+std::uint64_t optimal_queried_keys(const SystemParams& params, double k);
+
+// --- the Fan et al. (SOCC'11) unreplicated baseline ------------------------
+//
+// With d = 1 the balls-into-bins gap is the single-choice
+// sqrt(2·M·ln n / n) (Raab & Steger), which grows with M = x − c. The gain
+// bound becomes
+//   gain(x) ≤ [ (x−c)/n + sqrt(2(x−c)·ln n / n) ] · n/(x−1),
+// which has an *interior* maximizer x* — and stays above 1 for every cache
+// size: mitigation, not prevention. These are the formulas the paper
+// contrasts against in Section III.B.
+
+/// Fan-style attack-gain bound for an unreplicated system at a given x
+/// (c < x <= m, x >= 2). Requires params.replication == 1.
+double fan_gain_bound(const SystemParams& params, std::uint64_t x);
+
+/// The x maximizing fan_gain_bound (found by exact search over a unimodal
+/// function; O(log m) ternary search on integers).
+std::uint64_t fan_optimal_queried_keys(const SystemParams& params);
+
+}  // namespace scp

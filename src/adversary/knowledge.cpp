@@ -1,0 +1,82 @@
+#include "adversary/knowledge.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scp {
+
+KnowledgePlan plan_knowledge_attack(const ReplicaPartitioner& partitioner,
+                                    std::uint64_t items,
+                                    std::uint64_t cache_size,
+                                    double known_fraction,
+                                    std::uint64_t seed) {
+  SCP_CHECK(known_fraction >= 0.0 && known_fraction <= 1.0);
+  SCP_CHECK_MSG(cache_size < items, "cache must be smaller than key space");
+
+  KnowledgePlan plan;
+  plan.known_keys = static_cast<std::uint64_t>(
+      known_fraction * static_cast<double>(items));
+
+  Rng rng(seed);
+  if (plan.known_keys == 0) {
+    // Oblivious fallback: the paper's best strategy, uniform over c+1 keys.
+    plan.queried_keys.resize(cache_size + 1);
+    for (std::uint64_t i = 0; i <= cache_size; ++i) {
+      plan.queried_keys[i] = i;
+    }
+    plan.target = 0;
+    return plan;
+  }
+
+  // The leak: learn the replica groups of `known_keys` random keys.
+  const std::vector<std::uint64_t> probed =
+      rng.sample_without_replacement(items, plan.known_keys);
+  const std::uint32_t d = partitioner.replication();
+  std::vector<NodeId> group(d);
+  std::vector<std::vector<KeyId>> keys_on_node(partitioner.node_count());
+  for (const std::uint64_t key : probed) {
+    partitioner.replica_group(key, std::span<NodeId>(group));
+    for (const NodeId node : group) {
+      keys_on_node[node].push_back(key);
+    }
+  }
+
+  // Target the best-covered node.
+  std::size_t best = 0;
+  for (std::size_t node = 1; node < keys_on_node.size(); ++node) {
+    if (keys_on_node[node].size() > keys_on_node[best].size()) {
+      best = node;
+    }
+  }
+  plan.target = static_cast<NodeId>(best);
+  plan.queried_keys = std::move(keys_on_node[best]);
+  std::sort(plan.queried_keys.begin(), plan.queried_keys.end());
+
+  // Degenerate leak (e.g. tiny φ on a big cluster): nothing usable learned;
+  // fall back to the oblivious optimum rather than querying nothing.
+  if (plan.queried_keys.empty()) {
+    plan.queried_keys.resize(cache_size + 1);
+    for (std::uint64_t i = 0; i <= cache_size; ++i) {
+      plan.queried_keys[i] = i;
+    }
+    plan.target = 0;
+  }
+  return plan;
+}
+
+double knowledge_threshold(std::uint32_t nodes, std::uint32_t replication,
+                           std::uint64_t items, std::uint64_t cache_size) {
+  SCP_CHECK(nodes >= 1 && replication >= 1 && items >= 1);
+  // Expected keys-per-node among φ·m probed keys: φ·m·d/n. Solving
+  // φ·m·d/n = c gives the fraction below which the targeted set fits in
+  // the cache entirely.
+  const double threshold = static_cast<double>(cache_size) *
+                           static_cast<double>(nodes) /
+                           (static_cast<double>(items) *
+                            static_cast<double>(replication));
+  return std::min(threshold, 1.0);
+}
+
+}  // namespace scp

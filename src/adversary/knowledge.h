@@ -1,0 +1,52 @@
+// Partial-knowledge adversary — stress-testing Assumption 1.
+//
+// The paper's guarantee rests on the key → replica-group mapping being
+// opaque (Assumption 1). Real deployments leak: timing side channels,
+// verbose errors, or insider knowledge can reveal the placement of *some*
+// keys. This module models an adversary who has learned the replica groups
+// of a fraction φ of the key space and mounts a *targeted* attack: pick the
+// node covered by the most known keys, and query exactly the known keys
+// whose groups contain it — all uniformly, to keep the cacheable head as
+// cheap as possible (the Theorem-1 logic still applies within the set).
+//
+// The headline: prevention degrades smoothly in φ, and the bound's
+// protection collapses once the adversary knows more than about
+// φ* ≈ c·n/(m·d) of the keys — at that point it can assemble more than c
+// same-node keys and the cache can no longer absorb the head.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "cluster/types.h"
+
+namespace scp {
+
+struct KnowledgePlan {
+  /// Keys the adversary queries (uniformly). All of them have `target` in
+  /// their replica group.
+  std::vector<KeyId> queried_keys;
+  /// The node the attack concentrates on.
+  NodeId target = 0;
+  /// How many keys the adversary probed (φ·m).
+  std::uint64_t known_keys = 0;
+};
+
+/// Builds a targeted plan by probing `partitioner` for the groups of
+/// ⌊known_fraction·items⌋ randomly chosen keys (the simulated leak), then
+/// focusing on the best-covered node. Requires 0 <= known_fraction <= 1.
+/// With known_fraction = 0 the plan falls back to the oblivious optimum:
+/// uniformly querying cache_size+1 (arbitrary) keys.
+KnowledgePlan plan_knowledge_attack(const ReplicaPartitioner& partitioner,
+                                    std::uint64_t items,
+                                    std::uint64_t cache_size,
+                                    double known_fraction, std::uint64_t seed);
+
+/// The analytic knowledge threshold φ* ≈ c·n/(m·d): below it the adversary
+/// cannot collect more than c keys on one node, so the cache still absorbs
+/// the whole targeted set.
+double knowledge_threshold(std::uint32_t nodes, std::uint32_t replication,
+                           std::uint64_t items, std::uint64_t cache_size);
+
+}  // namespace scp

@@ -1,0 +1,106 @@
+#include "adversary/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scp {
+namespace {
+
+// Canonicalizes a weight vector into a QueryDistribution: clamp negatives,
+// sort non-increasing, normalize. Keys are interchangeable under random
+// partitioning, so sorting loses no generality.
+QueryDistribution canonicalize(std::vector<double> weights) {
+  for (double& w : weights) {
+    if (w < 0.0) {
+      w = 0.0;
+    }
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  return QueryDistribution::from_weights(std::move(weights));
+}
+
+std::vector<double> weights_of(const QueryDistribution& d) {
+  return {d.probabilities().begin(), d.probabilities().end()};
+}
+
+// Starting shapes for the restarts: the analytic optimum's neighbourhood
+// (uniform over c+1), a skewed Zipf, and the full-spread uniform.
+QueryDistribution starting_point(std::uint32_t restart, std::uint64_t items,
+                                 std::uint64_t cache_size) {
+  switch (restart % 3) {
+    case 0:
+      return QueryDistribution::uniform_over(
+          std::min<std::uint64_t>(cache_size + 1, items), items);
+    case 1:
+      return QueryDistribution::zipf(items, 1.1);
+    default:
+      return QueryDistribution::uniform(items);
+  }
+}
+
+}  // namespace
+
+OptimizerResult optimize_attack(std::uint64_t items, std::uint64_t cache_size,
+                                const GainEvaluator& evaluate,
+                                const OptimizerOptions& options) {
+  SCP_CHECK_MSG(static_cast<bool>(evaluate), "evaluator must be callable");
+  SCP_CHECK_MSG(cache_size < items, "cache must be smaller than key space");
+  SCP_CHECK(options.iterations >= 1 && options.restarts >= 1);
+
+  Rng rng(options.seed);
+  OptimizerResult result{QueryDistribution::uniform(items), 0.0, 0, 0, {}};
+
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    QueryDistribution current = starting_point(restart, items, cache_size);
+    double current_gain = evaluate(current);
+    ++result.evaluations;
+    if (current_gain > result.best_gain) {
+      result.best_gain = current_gain;
+      result.best = current;
+      result.gain_trace.push_back(current_gain);
+    }
+
+    for (std::uint32_t iter = 0; iter < options.iterations; ++iter) {
+      std::vector<double> weights = weights_of(current);
+      const std::uint64_t support = current.support_size();
+
+      // Move set: shift a random fraction of a donor key's mass to a
+      // receiver that is either an existing key (concentrate / equalize) or
+      // the first zero key (extend the support).
+      const std::uint64_t donor = rng.uniform_u64(support);
+      std::uint64_t receiver;
+      if (support < items && rng.bernoulli(0.25)) {
+        receiver = support;  // grow the support
+      } else {
+        receiver = rng.uniform_u64(support);
+      }
+      if (receiver == donor || weights[donor] <= options.min_move_mass) {
+        continue;
+      }
+      const double delta = weights[donor] * rng.uniform_double(0.1, 1.0);
+      weights[donor] -= delta;
+      weights[receiver] += delta;
+
+      QueryDistribution candidate = canonicalize(std::move(weights));
+      const double candidate_gain = evaluate(candidate);
+      ++result.evaluations;
+      if (candidate_gain > current_gain) {
+        current = std::move(candidate);
+        current_gain = candidate_gain;
+        ++result.accepted_moves;
+        if (current_gain > result.best_gain) {
+          result.best_gain = current_gain;
+          result.best = current;
+          result.gain_trace.push_back(current_gain);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace scp

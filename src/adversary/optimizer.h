@@ -1,0 +1,50 @@
+// Stochastic local search over query distributions — an empirical check of
+// Theorem 1.
+//
+// Theorem 1 says the adversary's optimum collapses to "query x keys
+// uniformly". This optimizer does NOT assume that: it hill-climbs over the
+// full distribution simplex (with random restarts) using mass-shifting
+// moves, and measures candidates with a caller-supplied gain evaluator
+// (typically a rate-simulation average). If the theorem holds, the search
+// must never meaningfully beat the analytic best response — the
+// ablation bench and property tests assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "workload/distribution.h"
+
+namespace scp {
+
+struct OptimizerOptions {
+  std::uint32_t iterations = 200;  ///< local-search steps per restart
+  std::uint32_t restarts = 3;      ///< independent starts (different shapes)
+  std::uint64_t seed = 0x0b5e55edULL;
+  /// Smallest donor mass a move will touch (numerical hygiene).
+  double min_move_mass = 1e-12;
+};
+
+struct OptimizerResult {
+  QueryDistribution best;      ///< best distribution found
+  double best_gain = 0.0;      ///< evaluator value of `best`
+  std::uint64_t evaluations = 0;  ///< total evaluator calls
+  std::uint64_t accepted_moves = 0;
+  /// Best-so-far gain after each accepted move (for convergence plots).
+  std::vector<double> gain_trace;
+};
+
+/// Evaluates a candidate distribution's attack gain (higher = better for
+/// the adversary). Must be deterministic for reproducible searches — bind
+/// fixed trial seeds inside.
+using GainEvaluator = std::function<double(const QueryDistribution&)>;
+
+/// Searches distributions over `items` keys, against a cache of size
+/// `cache_size` (used to seed sensible starting shapes). Requires
+/// cache_size < items and a non-empty evaluator.
+OptimizerResult optimize_attack(std::uint64_t items, std::uint64_t cache_size,
+                                const GainEvaluator& evaluate,
+                                const OptimizerOptions& options);
+
+}  // namespace scp

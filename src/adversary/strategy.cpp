@@ -1,0 +1,74 @@
+#include "adversary/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scp {
+
+QueryDistribution AttackPlan::to_distribution(std::uint64_t items) const {
+  SCP_CHECK_MSG(queried_keys >= 1 && queried_keys <= items,
+                "plan queries more keys than exist");
+  return QueryDistribution::uniform_over(queried_keys, items);
+}
+
+AttackPlan plan_attack(const SystemParams& params, double k) {
+  params.check();
+  AttackPlan plan;
+  plan.regime = classify_regime(params, k);
+  plan.queried_keys = optimal_queried_keys(params, k);
+  // Eq. 10 needs x >= 2; the degenerate c = 0, x = 1 attack concentrates all
+  // load on one key and its gain bound is n/d instead.
+  if (plan.queried_keys >= 2) {
+    plan.predicted_gain_bound =
+        attack_gain_bound(params, plan.queried_keys, k);
+  } else {
+    plan.predicted_gain_bound = static_cast<double>(params.nodes) /
+                                static_cast<double>(params.replication);
+  }
+  return plan;
+}
+
+std::vector<std::uint64_t> candidate_queried_keys(const SystemParams& params,
+                                                  std::uint32_t grid_points) {
+  params.check();
+  const std::uint64_t lo = params.cache_size + 1;
+  const std::uint64_t hi = params.items;
+  std::vector<std::uint64_t> xs = {lo};
+  if (hi > lo) {
+    xs.push_back(hi);
+  }
+  if (grid_points > 0 && hi > lo + 1) {
+    const double log_lo = std::log(static_cast<double>(lo));
+    const double log_hi = std::log(static_cast<double>(hi));
+    for (std::uint32_t i = 1; i <= grid_points; ++i) {
+      const double t =
+          static_cast<double>(i) / static_cast<double>(grid_points + 1);
+      const auto x = static_cast<std::uint64_t>(
+          std::llround(std::exp(log_lo + t * (log_hi - log_lo))));
+      xs.push_back(std::clamp(x, lo, hi));
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+BestResponse best_response_search(
+    const SystemParams& params,
+    const std::function<double(std::uint64_t)>& evaluate,
+    std::uint32_t grid_points) {
+  SCP_CHECK(static_cast<bool>(evaluate));
+  BestResponse best;
+  for (const std::uint64_t x : candidate_queried_keys(params, grid_points)) {
+    const double gain = evaluate(x);
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.queried_keys = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace scp

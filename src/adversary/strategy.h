@@ -1,0 +1,53 @@
+// Adversary strategies: turning the analysis into concrete attack plans.
+//
+// The adversary knows n, d, m, c (system settings, Section III.A) but not the
+// key → node mapping. Its whole strategy space (after Theorem 1) is the
+// number of keys x it queries uniformly; this module picks x analytically
+// (AttackPlan) or empirically (best_response_search over a simulator
+// callback, which is how the paper's Fig. 5 finds the critical point).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "adversary/bounds.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+/// A concrete attack: query the first `queried_keys` keys uniformly at
+/// aggregate rate R (the paper's Fig. 2 pattern).
+struct AttackPlan {
+  std::uint64_t queried_keys = 0;   ///< x
+  AttackRegime regime = AttackRegime::kEffective;
+  double predicted_gain_bound = 0.0;  ///< Eq. 10 at this x
+
+  /// Materializes the plan as a query distribution over m keys.
+  QueryDistribution to_distribution(std::uint64_t items) const;
+};
+
+/// Analytical plan: x = c+1 in Case 1, x = m in Case 2 (Section III.B).
+AttackPlan plan_attack(const SystemParams& params, double k);
+
+/// Evaluates candidate x values with a caller-supplied oracle (typically a
+/// simulation returning the observed attack gain) and returns the best.
+struct BestResponse {
+  std::uint64_t queried_keys = 0;
+  double gain = 0.0;
+};
+
+/// `evaluate(x)` must accept any x in (c, m]. Candidates: x = c+1, x = m,
+/// plus `grid_points` log-spaced values in between when grid_points > 0.
+/// Returns the candidate with the highest evaluated gain.
+BestResponse best_response_search(
+    const SystemParams& params,
+    const std::function<double(std::uint64_t)>& evaluate,
+    std::uint32_t grid_points = 0);
+
+/// The candidate x values best_response_search would evaluate (exposed for
+/// benches that want to print the whole sweep).
+std::vector<std::uint64_t> candidate_queried_keys(const SystemParams& params,
+                                                  std::uint32_t grid_points);
+
+}  // namespace scp

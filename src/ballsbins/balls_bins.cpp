@@ -1,0 +1,59 @@
+#include "ballsbins/balls_bins.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scp {
+
+std::vector<std::uint64_t> throw_balls(std::uint64_t balls, std::uint32_t bins,
+                                       std::uint32_t choices, Rng& rng) {
+  SCP_CHECK_MSG(bins >= 1, "need at least one bin");
+  SCP_CHECK_MSG(choices >= 1 && choices <= bins,
+                "choices must be in [1, bins]");
+  std::vector<std::uint64_t> occupancy(bins, 0);
+  for (std::uint64_t ball = 0; ball < balls; ++ball) {
+    std::uint32_t best = static_cast<std::uint32_t>(rng.uniform_u64(bins));
+    for (std::uint32_t c = 1; c < choices; ++c) {
+      const auto candidate =
+          static_cast<std::uint32_t>(rng.uniform_u64(bins));
+      if (occupancy[candidate] < occupancy[best]) {
+        best = candidate;
+      }
+    }
+    ++occupancy[best];
+  }
+  return occupancy;
+}
+
+std::uint64_t max_occupancy(std::uint64_t balls, std::uint32_t bins,
+                            std::uint32_t choices, Rng& rng) {
+  const std::vector<std::uint64_t> occupancy =
+      throw_balls(balls, bins, choices, rng);
+  return *std::max_element(occupancy.begin(), occupancy.end());
+}
+
+double predicted_max_load_one_choice(std::uint64_t balls, std::uint32_t bins) {
+  SCP_CHECK(bins >= 2);
+  const double m = static_cast<double>(balls);
+  const double n = static_cast<double>(bins);
+  return m / n + std::sqrt(2.0 * (m / n) * std::log(n));
+}
+
+double predicted_max_load_d_choices(std::uint64_t balls, std::uint32_t bins,
+                                    std::uint32_t choices,
+                                    double gap_constant) {
+  const double m = static_cast<double>(balls);
+  const double n = static_cast<double>(bins);
+  return m / n + two_choice_gap(bins, choices) + gap_constant;
+}
+
+double two_choice_gap(std::uint32_t bins, std::uint32_t choices) {
+  SCP_CHECK_MSG(bins >= 3, "ln ln n needs n >= 3");
+  SCP_CHECK_MSG(choices >= 2, "the gap formula holds for d >= 2");
+  return std::log(std::log(static_cast<double>(bins))) /
+         std::log(static_cast<double>(choices));
+}
+
+}  // namespace scp

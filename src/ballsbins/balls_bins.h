@@ -1,0 +1,48 @@
+// Balls-into-bins: the probabilistic engine behind the paper's bound.
+//
+// Uncached keys land on back-end nodes exactly like balls thrown into bins:
+// with replication, each ball picks the least loaded of d random bins
+// ("power of d choices"). Berenbrink, Czumaj, Steger & Vöcking (STOC'00)
+// prove the heavily-loaded gap: with M >> N balls the max bin holds
+// M/N + ln ln N / ln d ± Θ(1) w.h.p. — crucially, the gap is *independent of
+// M*, which is why the paper's cache bound does not depend on the number of
+// stored items m. For d = 1 (no replication) the classical gap grows with M
+// as sqrt(M ln N / N), which is why Fan et al.'s unreplicated bound behaves
+// so differently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scp {
+
+/// Throws `balls` balls into `bins` bins; each ball inspects `choices`
+/// bins chosen uniformly with replacement and joins the least loaded
+/// (ties → first inspected). Returns the bin occupancy vector.
+std::vector<std::uint64_t> throw_balls(std::uint64_t balls, std::uint32_t bins,
+                                       std::uint32_t choices, Rng& rng);
+
+/// Max occupancy over a throw (convenience).
+std::uint64_t max_occupancy(std::uint64_t balls, std::uint32_t bins,
+                            std::uint32_t choices, Rng& rng);
+
+/// Theoretical max-load prediction for the single-choice case (d = 1),
+/// heavily loaded regime (M >= N ln N): M/N + sqrt(2·(M/N)·ln N)
+/// (Raab & Steger, 1998).
+double predicted_max_load_one_choice(std::uint64_t balls, std::uint32_t bins);
+
+/// Theoretical max-load prediction for d >= 2 choices, heavily loaded:
+/// M/N + ln ln N / ln d + gap_constant (Berenbrink et al., 2000). The
+/// additive Θ(1) term is exposed as `gap_constant`.
+double predicted_max_load_d_choices(std::uint64_t balls, std::uint32_t bins,
+                                    std::uint32_t choices,
+                                    double gap_constant = 1.0);
+
+/// The gap term ln ln n / ln d itself — the `k` (minus its Θ(1) constant)
+/// of the paper's Eq. 8. Requires bins >= 3 (so ln ln n is defined) and
+/// choices >= 2.
+double two_choice_gap(std::uint32_t bins, std::uint32_t choices);
+
+}  // namespace scp

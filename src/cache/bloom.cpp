@@ -1,0 +1,87 @@
+#include "cache/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace scp {
+
+BloomFilter::BloomFilter(std::size_t expected_items, double target_fpp,
+                         std::uint64_t seed)
+    : seed_(seed) {
+  SCP_CHECK_MSG(expected_items >= 1, "expected_items must be >= 1");
+  SCP_CHECK_MSG(target_fpp > 0.0 && target_fpp < 1.0,
+                "target_fpp must be in (0, 1)");
+  const double n = static_cast<double>(expected_items);
+  const double ln2 = std::numbers::ln2_v<double>;
+  bit_count_ = std::max<std::size_t>(
+      64, static_cast<std::size_t>(std::ceil(-n * std::log(target_fpp) /
+                                             (ln2 * ln2))));
+  hash_count_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(
+             static_cast<double>(bit_count_) / n * ln2)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::probe_positions(KeyId key, std::uint64_t& h1,
+                                  std::uint64_t& h2) const {
+  h1 = mix64(key ^ seed_);
+  h2 = mix64(h1 ^ 0x9e3779b97f4a7c15ULL) | 1;  // odd so probes cycle all bits
+}
+
+bool BloomFilter::test_bit(std::size_t pos) const noexcept {
+  return (bits_[pos >> 6] >> (pos & 63)) & 1;
+}
+
+void BloomFilter::set_bit(std::size_t pos) noexcept {
+  bits_[pos >> 6] |= 1ULL << (pos & 63);
+}
+
+bool BloomFilter::add(KeyId key) {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  probe_positions(key, h1, h2);
+  bool all_set = true;
+  for (std::uint32_t i = 0; i < hash_count_; ++i) {
+    const std::size_t pos = static_cast<std::size_t>((h1 + i * h2) % bit_count_);
+    if (!test_bit(pos)) {
+      all_set = false;
+      set_bit(pos);
+    }
+  }
+  ++inserted_;
+  return all_set;
+}
+
+bool BloomFilter::maybe_contains(KeyId key) const {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  probe_positions(key, h1, h2);
+  for (std::uint32_t i = 0; i < hash_count_; ++i) {
+    const std::size_t pos = static_cast<std::size_t>((h1 + i * h2) % bit_count_);
+    if (!test_bit(pos)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::estimated_fpp() const noexcept {
+  std::size_t set_bits = 0;
+  for (const std::uint64_t word : bits_) {
+    set_bits += static_cast<std::size_t>(__builtin_popcountll(word));
+  }
+  const double fill =
+      static_cast<double>(set_bits) / static_cast<double>(bit_count_);
+  return std::pow(fill, static_cast<double>(hash_count_));
+}
+
+}  // namespace scp

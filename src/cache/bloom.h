@@ -1,0 +1,47 @@
+// Bloom filter over 64-bit keys (TinyLFU's "doorkeeper").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp {
+
+class BloomFilter {
+ public:
+  /// Sized for `expected_items` at `target_fpp` false-positive probability
+  /// using the standard m = -n·ln(p)/ln(2)² and k = (m/n)·ln(2) formulas.
+  BloomFilter(std::size_t expected_items, double target_fpp,
+              std::uint64_t seed);
+
+  /// Inserts the key; returns true if it *might* have been present already
+  /// (i.e. all probed bits were already set).
+  bool add(KeyId key);
+
+  /// True if the key might be present; false means definitely absent.
+  bool maybe_contains(KeyId key) const;
+
+  void clear();
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+  std::uint32_t hash_count() const noexcept { return hash_count_; }
+  std::uint64_t inserted_count() const noexcept { return inserted_; }
+
+  /// Estimated current false-positive probability given the fill ratio.
+  double estimated_fpp() const noexcept;
+
+ private:
+  // Double hashing: probe_i = h1 + i·h2 (Kirsch–Mitzenmacher).
+  void probe_positions(KeyId key, std::uint64_t& h1, std::uint64_t& h2) const;
+  bool test_bit(std::size_t pos) const noexcept;
+  void set_bit(std::size_t pos) noexcept;
+
+  std::size_t bit_count_;
+  std::uint32_t hash_count_;
+  std::uint64_t seed_;
+  std::uint64_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace scp

@@ -1,0 +1,81 @@
+#include "cache/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace scp {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  SCP_CHECK_MSG(width >= 1 && depth >= 1, "sketch needs width, depth >= 1");
+  counters_.assign(width * depth, 0);
+}
+
+CountMinSketch CountMinSketch::for_error(double epsilon, double delta,
+                                         std::uint64_t seed) {
+  SCP_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+  SCP_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const auto width = static_cast<std::size_t>(
+      std::ceil(std::numbers::e_v<double> / epsilon));
+  const auto depth =
+      static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<std::size_t>(width, 1),
+                        std::max<std::size_t>(depth, 1), seed);
+}
+
+std::size_t CountMinSketch::index(std::size_t row, KeyId key) const noexcept {
+  const std::uint64_t h =
+      mix64(key ^ (seed_ + 0x9e3779b97f4a7c15ULL * (row + 1)));
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::add(KeyId key, std::uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  // Conservative update: new value = max(current, min-over-rows + count),
+  // applied only where it raises the counter.
+  std::uint32_t current_min = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    current_min = std::min(current_min, counters_[index(row, key)]);
+  }
+  const std::uint64_t target64 =
+      static_cast<std::uint64_t>(current_min) + count;
+  const std::uint32_t target =
+      target64 > std::numeric_limits<std::uint32_t>::max()
+          ? std::numeric_limits<std::uint32_t>::max()
+          : static_cast<std::uint32_t>(target64);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    std::uint32_t& cell = counters_[index(row, key)];
+    cell = std::max(cell, target);
+  }
+  total_added_ += count;
+}
+
+std::uint32_t CountMinSketch::estimate(KeyId key) const {
+  std::uint32_t result = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    result = std::min(result, counters_[index(row, key)]);
+  }
+  return result;
+}
+
+void CountMinSketch::halve() {
+  for (std::uint32_t& cell : counters_) {
+    cell >>= 1;
+  }
+  total_added_ >>= 1;
+}
+
+void CountMinSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_added_ = 0;
+}
+
+}  // namespace scp

@@ -1,0 +1,53 @@
+// Count-Min sketch with conservative update and periodic aging.
+//
+// Approximate frequency counting for TinyLFU admission: estimate(k) never
+// underestimates the true count (within one aging window) and overestimates
+// by at most ε·N with probability 1-δ, where ε = e/width and δ = e^-depth.
+// The `halve()` aging operation divides all counters by two so stale
+// popularity decays (TinyLFU's "reset" operation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp {
+
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` rows. Total memory = width·depth·4 B.
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  /// Sizes the sketch for the standard (ε, δ) guarantee.
+  static CountMinSketch for_error(double epsilon, double delta,
+                                  std::uint64_t seed);
+
+  /// Adds `count` to the key. Conservative update: only raises the rows that
+  /// currently hold the minimum, tightening overestimation.
+  void add(KeyId key, std::uint32_t count = 1);
+
+  /// Point estimate: min over rows. Never underestimates.
+  std::uint32_t estimate(KeyId key) const;
+
+  /// Divides all counters by two (aging). Total adds counter is also halved.
+  void halve();
+
+  void clear();
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  /// Total of all add() counts since the last clear(), halved by halve().
+  std::uint64_t total_added() const noexcept { return total_added_; }
+
+ private:
+  std::size_t index(std::size_t row, KeyId key) const noexcept;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::uint64_t total_added_ = 0;
+  std::vector<std::uint32_t> counters_;  // row-major depth × width
+};
+
+}  // namespace scp

@@ -1,0 +1,71 @@
+#include "cache/frontend_tier.h"
+
+#include "common/check.h"
+
+namespace scp {
+
+FrontEndTier::FrontEndTier(std::uint32_t frontends,
+                           std::size_t per_cache_capacity,
+                           const std::string& policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  SCP_CHECK_MSG(frontends >= 1, "need at least one front-end");
+  caches_.reserve(frontends);
+  for (std::uint32_t i = 0; i < frontends; ++i) {
+    caches_.push_back(make_cache(policy, per_cache_capacity));
+  }
+}
+
+std::size_t FrontEndTier::capacity() const noexcept {
+  return caches_.size() * caches_[0]->capacity();
+}
+
+std::size_t FrontEndTier::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& cache : caches_) {
+    total += cache->size();
+  }
+  return total;
+}
+
+std::string FrontEndTier::name() const {
+  return "tier(" + std::to_string(caches_.size()) + "x" + policy_ + ")";
+}
+
+bool FrontEndTier::access(KeyId key) {
+  const std::size_t frontend =
+      static_cast<std::size_t>(rng_.uniform_u64(caches_.size()));
+  return caches_[frontend]->access(key);
+}
+
+bool FrontEndTier::contains(KeyId key) const {
+  for (const auto& cache : caches_) {
+    if (cache->contains(key)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FrontEndTier::clear() {
+  for (const auto& cache : caches_) {
+    cache->clear();
+  }
+}
+
+bool FrontEndTier::invalidate(KeyId key) {
+  bool any = false;
+  for (const auto& cache : caches_) {
+    any = cache->invalidate(key) || any;
+  }
+  return any;
+}
+
+std::uint32_t FrontEndTier::replication_of(KeyId key) const {
+  std::uint32_t copies = 0;
+  for (const auto& cache : caches_) {
+    copies += cache->contains(key) ? 1 : 0;
+  }
+  return copies;
+}
+
+}  // namespace scp

@@ -1,0 +1,71 @@
+// A tier of independent front-end caches.
+//
+// The paper assumes a single front-end whose cache "fits in the L3 of a
+// fast CPU". Deployments that outgrow one load balancer run k front-ends,
+// clients spread uniformly across them, each with its own cache learning
+// independently. Because every front-end sees (a thinned sample of) the
+// same distribution, all k caches converge to the *same* hot head — the
+// per-front-end cache must therefore hold the full c* entries; splitting a
+// c*-sized budget k ways gives each front-end only c*/k distinct coverage
+// and re-opens the attack. The frontend-tier ablation measures exactly
+// that.
+//
+// Implements FrontEndCache so the event simulator can drive it directly:
+// each access lands on a front-end chosen uniformly (client affinity is
+// random with respect to keys).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/rng.h"
+
+namespace scp {
+
+class FrontEndTier final : public FrontEndCache {
+ public:
+  /// `frontends` independent caches of `per_cache_capacity` entries each,
+  /// all running `policy` (lru | lfu | slru | tinylfu).
+  FrontEndTier(std::uint32_t frontends, std::size_t per_cache_capacity,
+               const std::string& policy, std::uint64_t seed);
+
+  /// Total entries across the tier (k · per-cache capacity).
+  std::size_t capacity() const noexcept override;
+  /// Total entries currently cached across the tier (duplicates counted —
+  /// the same key cached on every front-end occupies k slots).
+  std::size_t size() const noexcept override;
+  std::string name() const override;
+
+  /// Routes the query to a uniformly random front-end and accesses its
+  /// cache: a hit on *that* front-end serves the query.
+  bool access(KeyId key) override;
+
+  /// True iff any front-end caches the key.
+  bool contains(KeyId key) const override;
+
+  void clear() override;
+
+  /// Coherence: a write must purge the key from *every* front-end.
+  bool invalidate(KeyId key) override;
+
+  // --- tier introspection -------------------------------------------------
+  std::uint32_t frontend_count() const noexcept {
+    return static_cast<std::uint32_t>(caches_.size());
+  }
+  const FrontEndCache& frontend(std::uint32_t index) const {
+    return *caches_[index];
+  }
+  /// How many front-ends currently cache `key` (duplication of the hot
+  /// head across the tier). FrontEndCache does not enumerate contents, so
+  /// tier-wide distinct coverage is measured by probing this over a key
+  /// range of interest.
+  std::uint32_t replication_of(KeyId key) const;
+
+ private:
+  std::vector<std::unique_ptr<FrontEndCache>> caches_;
+  std::string policy_;
+  Rng rng_;
+};
+
+}  // namespace scp

@@ -1,0 +1,50 @@
+// Least-frequently-used cache with O(1) access (frequency-bucket lists).
+//
+// Eviction removes the key with the smallest access count, breaking ties by
+// least-recent use within the bucket. Frequencies reset only on clear(); this
+// is the classic LFU whose weakness (stale heavy hitters) TinyLFU's aging
+// addresses.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace scp {
+
+class LfuCache final : public FrontEndCache {
+ public:
+  explicit LfuCache(std::size_t capacity);
+
+  std::size_t capacity() const noexcept override { return capacity_; }
+  std::size_t size() const noexcept override { return entries_.size(); }
+  std::string name() const override { return "lfu"; }
+
+  bool access(KeyId key) override;
+  bool contains(KeyId key) const override;
+  void clear() override;
+  bool invalidate(KeyId key) override;
+
+  /// Access count of a cached key; 0 if not cached. For tests.
+  std::uint64_t frequency(KeyId key) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t frequency;
+    std::list<KeyId> keys;  // front = most recently used at this frequency
+  };
+  using BucketList = std::list<Bucket>;
+  struct Entry {
+    BucketList::iterator bucket;
+    std::list<KeyId>::iterator position;
+  };
+
+  void promote(Entry& entry);
+
+  std::size_t capacity_;
+  BucketList buckets_;  // ascending frequency order
+  std::unordered_map<KeyId, Entry> entries_;
+};
+
+}  // namespace scp

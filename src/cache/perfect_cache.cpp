@@ -1,0 +1,54 @@
+#include "cache/perfect_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+PerfectCache::PerfectCache(std::size_t capacity, std::span<const KeyId> keys,
+                           std::span<const double> probabilities)
+    : capacity_(capacity) {
+  SCP_CHECK_MSG(keys.size() == probabilities.size(),
+                "keys/probabilities size mismatch");
+  build(keys, probabilities);
+}
+
+PerfectCache::PerfectCache(std::size_t capacity,
+                           const QueryDistribution& distribution)
+    : capacity_(capacity) {
+  // Keys are popularity ranks, so the top-c keys are simply 0 … c-1.
+  const std::uint64_t take =
+      std::min<std::uint64_t>(capacity, distribution.size());
+  cached_.reserve(take * 2);
+  for (KeyId key = 0; key < take; ++key) {
+    cached_.insert(key);
+  }
+}
+
+void PerfectCache::build(std::span<const KeyId> keys,
+                         std::span<const double> probabilities) {
+  const std::size_t take = std::min(capacity_, keys.size());
+  if (take == 0) {
+    return;
+  }
+  // Partial sort indices by probability (desc), breaking ties by key id so
+  // the choice is deterministic.
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(take),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (probabilities[a] != probabilities[b]) {
+                        return probabilities[a] > probabilities[b];
+                      }
+                      return keys[a] < keys[b];
+                    });
+  cached_.reserve(take * 2);
+  for (std::size_t i = 0; i < take; ++i) {
+    cached_.insert(keys[order[i]]);
+  }
+}
+
+}  // namespace scp

@@ -1,0 +1,49 @@
+// Perfect popularity cache — the paper's Assumption 2 as an oracle.
+//
+// Given the true query distribution, it permanently caches the c most
+// popular keys (ties broken by key id, matching the convention that the
+// distribution is listed in non-increasing popularity order). Accesses never
+// change its contents.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace scp {
+
+class QueryDistribution;
+
+class PerfectCache final : public FrontEndCache {
+ public:
+  /// Caches the `capacity` keys with the largest probabilities among
+  /// (`keys[i]`, `probabilities[i]`) pairs. Requires equal-length spans.
+  PerfectCache(std::size_t capacity, std::span<const KeyId> keys,
+               std::span<const double> probabilities);
+
+  /// Convenience: build from a QueryDistribution (keys implicitly 0…m-1 in
+  /// non-increasing probability order).
+  PerfectCache(std::size_t capacity, const QueryDistribution& distribution);
+
+  std::size_t capacity() const noexcept override { return capacity_; }
+  std::size_t size() const noexcept override { return cached_.size(); }
+  std::string name() const override { return "perfect"; }
+
+  bool access(KeyId key) override { return contains(key); }
+  bool contains(KeyId key) const override {
+    return cached_.find(key) != cached_.end();
+  }
+  /// No-op: the oracle's contents are its definition (the true top-c keys),
+  /// not state learned from traffic, so a fresh trial starts identical.
+  void clear() override {}
+
+ private:
+  void build(std::span<const KeyId> keys, std::span<const double> probabilities);
+
+  std::size_t capacity_;
+  std::unordered_set<KeyId> cached_;
+};
+
+}  // namespace scp

@@ -1,0 +1,57 @@
+// Segmented LRU (probation + protected) cache.
+//
+// New keys enter the probation segment; a hit in probation promotes to the
+// protected segment, whose overflow demotes back to probation's MRU end.
+// This shields proven-popular keys from scan traffic — the property
+// W-TinyLFU builds on.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace scp {
+
+class SlruCache final : public FrontEndCache {
+ public:
+  /// `protected_fraction` of the capacity is reserved for the protected
+  /// segment (default 0.8, the common SLRU split).
+  explicit SlruCache(std::size_t capacity, double protected_fraction = 0.8);
+
+  std::size_t capacity() const noexcept override { return capacity_; }
+  std::size_t size() const noexcept override { return index_.size(); }
+  std::string name() const override { return "slru"; }
+
+  bool access(KeyId key) override;
+  bool contains(KeyId key) const override;
+  void clear() override;
+  bool invalidate(KeyId key) override;
+
+  // Introspection for tests and for TinyLFU's eviction-victim query.
+  std::size_t probation_size() const noexcept { return probation_.size(); }
+  std::size_t protected_size() const noexcept { return protected_.size(); }
+  /// The key that would be evicted next (probation LRU, falling back to
+  /// protected LRU). Requires size() > 0.
+  KeyId eviction_victim() const;
+  /// Removes exactly one entry: the eviction victim. Requires size() > 0.
+  void evict_one();
+  /// Inserts `key` into probation (evicting if at capacity). Requires the
+  /// key not to be present; used by TinyLFU after an admission decision.
+  void insert_probation(KeyId key);
+
+ private:
+  enum class Segment { kProbation, kProtected };
+  struct Entry {
+    Segment segment;
+    std::list<KeyId>::iterator position;
+  };
+
+  std::size_t capacity_;
+  std::size_t protected_capacity_;
+  std::list<KeyId> probation_;  // front = MRU
+  std::list<KeyId> protected_;  // front = MRU
+  std::unordered_map<KeyId, Entry> index_;
+};
+
+}  // namespace scp

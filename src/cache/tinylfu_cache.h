@@ -1,0 +1,62 @@
+// W-TinyLFU cache (Einziger, Friedman & Manes, 2017).
+//
+// Structure: a small LRU admission window in front of a large SLRU main
+// cache, with a TinyLFU frequency filter deciding admission into main.
+// Frequency is tracked by a Count-Min sketch behind a Bloom-filter
+// doorkeeper; the sketch is halved every `sample_size` accesses so history
+// ages out. On window overflow the window victim competes against the main
+// cache's eviction victim: the higher estimated frequency wins.
+#pragma once
+
+#include <memory>
+
+#include "cache/bloom.h"
+#include "cache/cache.h"
+#include "cache/count_min.h"
+#include "cache/lru_cache.h"
+#include "cache/slru_cache.h"
+
+namespace scp {
+
+class TinyLfuCache final : public FrontEndCache {
+ public:
+  struct Options {
+    /// Fraction of capacity given to the LRU window (default 1%).
+    double window_fraction = 0.01;
+    /// Protected fraction of the SLRU main cache.
+    double protected_fraction = 0.8;
+    /// Accesses between sketch halvings; 0 → 10× capacity.
+    std::uint64_t sample_size = 0;
+    std::uint64_t seed = 0x7f4a7c159e3779b9ULL;
+  };
+
+  explicit TinyLfuCache(std::size_t capacity)
+      : TinyLfuCache(capacity, Options{}) {}
+  TinyLfuCache(std::size_t capacity, Options options);
+
+  std::size_t capacity() const noexcept override { return capacity_; }
+  std::size_t size() const noexcept override;
+  std::string name() const override { return "tinylfu"; }
+
+  bool access(KeyId key) override;
+  bool contains(KeyId key) const override;
+  void clear() override;
+  bool invalidate(KeyId key) override;
+
+  /// Estimated frequency of a key (doorkeeper + sketch). For tests.
+  std::uint32_t estimated_frequency(KeyId key) const;
+
+ private:
+  void record_access(KeyId key);
+
+  std::size_t capacity_;
+  std::size_t window_capacity_;
+  std::uint64_t sample_size_;
+  std::uint64_t accesses_since_reset_ = 0;
+  std::unique_ptr<LruCache> window_;
+  std::unique_ptr<SlruCache> main_;
+  BloomFilter doorkeeper_;
+  CountMinSketch sketch_;
+};
+
+}  // namespace scp

@@ -1,0 +1,37 @@
+#include "cluster/capacity.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace scp {
+
+std::vector<double> uniform_capacities(std::uint32_t nodes,
+                                       double capacity_qps) {
+  SCP_CHECK(nodes >= 1);
+  SCP_CHECK(capacity_qps >= 0.0);
+  return std::vector<double>(nodes, capacity_qps);
+}
+
+std::vector<double> two_tier_capacities(std::uint32_t nodes,
+                                        double base_capacity_qps,
+                                        double slow_factor,
+                                        double slow_fraction,
+                                        std::uint64_t seed) {
+  SCP_CHECK(nodes >= 1);
+  SCP_CHECK(base_capacity_qps > 0.0);
+  SCP_CHECK(slow_factor > 0.0);
+  SCP_CHECK(slow_fraction >= 0.0 && slow_fraction <= 1.0);
+  std::vector<double> capacities(nodes, base_capacity_qps);
+  // Compare the hash's top 53 bits against fraction·2^53: exact at the
+  // endpoints (0 → never, 1 → always) and free of double→u64 overflow.
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(slow_fraction * 9007199254740992.0);
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    if ((mix64(node ^ seed) >> 11) < threshold) {
+      capacities[node] = base_capacity_qps * slow_factor;
+    }
+  }
+  return capacities;
+}
+
+}  // namespace scp

@@ -1,0 +1,29 @@
+// Capacity profile generators for heterogeneous clusters.
+//
+// The paper measures load only; real clusters have per-node service
+// capacities r_i, and rarely identical ones (hardware generations, noisy
+// neighbours). These helpers build capacity vectors for the heterogeneity
+// ablation and the provisioner's capacity check, which must use the
+// *minimum* capacity — the slowest node is what the adversary saturates
+// first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scp {
+
+/// All nodes at `capacity_qps`.
+std::vector<double> uniform_capacities(std::uint32_t nodes,
+                                       double capacity_qps);
+
+/// Two hardware tiers: a `slow_fraction` of nodes (chosen deterministically
+/// from `seed`) run at `slow_factor`x the base capacity (slow_factor < 1 for
+/// older hardware). Requires 0 <= slow_fraction <= 1 and slow_factor > 0.
+std::vector<double> two_tier_capacities(std::uint32_t nodes,
+                                        double base_capacity_qps,
+                                        double slow_factor,
+                                        double slow_fraction,
+                                        std::uint64_t seed);
+
+}  // namespace scp

@@ -1,0 +1,79 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scp {
+
+Cluster::Cluster(std::unique_ptr<ReplicaPartitioner> partitioner,
+                 double node_capacity_qps)
+    : partitioner_(std::move(partitioner)) {
+  SCP_CHECK(partitioner_ != nullptr);
+  const std::uint32_t n = partitioner_->node_count();
+  nodes_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    nodes_.emplace_back(id, node_capacity_qps);
+  }
+}
+
+Cluster::Cluster(std::unique_ptr<ReplicaPartitioner> partitioner,
+                 std::span<const double> capacities)
+    : partitioner_(std::move(partitioner)) {
+  SCP_CHECK(partitioner_ != nullptr);
+  const std::uint32_t n = partitioner_->node_count();
+  SCP_CHECK_MSG(capacities.size() == n,
+                "capacity vector must have one entry per node");
+  nodes_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    nodes_.emplace_back(id, capacities[id]);
+  }
+}
+
+double Cluster::min_capacity_qps() const noexcept {
+  double min_capacity = 0.0;
+  bool any_limited = false;
+  for (const auto& node : nodes_) {
+    if (node.has_capacity_limit()) {
+      min_capacity = any_limited ? std::min(min_capacity, node.capacity_qps())
+                                 : node.capacity_qps();
+      any_limited = true;
+    }
+  }
+  return any_limited ? min_capacity : 0.0;
+}
+
+std::vector<double> Cluster::offered_rates() const {
+  std::vector<double> rates;
+  rates.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    rates.push_back(node.offered_rate());
+  }
+  return rates;
+}
+
+double Cluster::max_offered_rate() const noexcept {
+  double max_rate = 0.0;
+  for (const auto& node : nodes_) {
+    max_rate = std::max(max_rate, node.offered_rate());
+  }
+  return max_rate;
+}
+
+std::uint32_t Cluster::saturated_node_count() const noexcept {
+  std::uint32_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node.saturated()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Cluster::reset_accounting() noexcept {
+  for (auto& node : nodes_) {
+    node.reset();
+  }
+}
+
+}  // namespace scp

@@ -1,0 +1,71 @@
+// Cluster façade: n back-end nodes + a replica partitioner.
+//
+// Owns the node array and the partitioner and exposes the lookups both
+// simulators need. Load *placement* (which replica of a group serves a key)
+// is the selectors' job; the cluster only knows topology.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/partitioner.h"
+#include "cluster/types.h"
+
+namespace scp {
+
+class Cluster {
+ public:
+  /// Builds `partitioner->node_count()` nodes, each with capacity
+  /// `node_capacity_qps` (0 = unlimited, the paper's measurement setting).
+  explicit Cluster(std::unique_ptr<ReplicaPartitioner> partitioner,
+                   double node_capacity_qps = BackendNode::kUnlimitedCapacity);
+
+  /// Heterogeneous capacities: `capacities[i]` is node i's r_i (0 =
+  /// unlimited). Requires capacities.size() == partitioner->node_count().
+  Cluster(std::unique_ptr<ReplicaPartitioner> partitioner,
+          std::span<const double> capacities);
+
+  /// Smallest finite node capacity; 0 when every node is unlimited.
+  double min_capacity_qps() const noexcept;
+
+  std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  std::uint32_t replication() const noexcept {
+    return partitioner_->replication();
+  }
+  const ReplicaPartitioner& partitioner() const noexcept {
+    return *partitioner_;
+  }
+
+  BackendNode& node(NodeId id) { return nodes_[id]; }
+  const BackendNode& node(NodeId id) const { return nodes_[id]; }
+  std::span<BackendNode> nodes() noexcept { return nodes_; }
+  std::span<const BackendNode> nodes() const noexcept { return nodes_; }
+
+  /// Fills `out` with the key's replica group (see ReplicaPartitioner).
+  void replica_group(KeyId key, std::span<NodeId> out) const {
+    partitioner_->replica_group(key, out);
+  }
+
+  /// Offered-rate vector across nodes (index = NodeId).
+  std::vector<double> offered_rates() const;
+
+  /// Maximum offered rate over all nodes; 0 for an idle cluster.
+  double max_offered_rate() const noexcept;
+
+  /// Number of nodes whose offered rate exceeds capacity (0 when nodes are
+  /// uncapacitated).
+  std::uint32_t saturated_node_count() const noexcept;
+
+  /// Clears per-trial accounting on every node.
+  void reset_accounting() noexcept;
+
+ private:
+  std::unique_ptr<ReplicaPartitioner> partitioner_;
+  std::vector<BackendNode> nodes_;
+};
+
+}  // namespace scp

@@ -1,0 +1,75 @@
+// Back-end node model.
+//
+// A node is described by its query-handling capacity (r_i in the paper) and
+// carries two kinds of accounting:
+//   * rate accounting — expected offered load in queries/sec, used by the
+//     rate simulator (the paper's level of abstraction);
+//   * event accounting — arrival/served/dropped counters and queue state,
+//     used by the discrete-time event simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/types.h"
+#include "common/check.h"
+
+namespace scp {
+
+class BackendNode {
+ public:
+  /// `capacity_qps` = r_i, the maximum sustainable query rate. Use
+  /// `kUnlimitedCapacity` for the paper's pure load-measurement setting.
+  static constexpr double kUnlimitedCapacity = 0.0;
+
+  explicit BackendNode(NodeId id, double capacity_qps = kUnlimitedCapacity)
+      : id_(id), capacity_qps_(capacity_qps) {
+    SCP_CHECK(capacity_qps >= 0.0);
+  }
+
+  NodeId id() const noexcept { return id_; }
+  double capacity_qps() const noexcept { return capacity_qps_; }
+  bool has_capacity_limit() const noexcept { return capacity_qps_ > 0.0; }
+
+  // --- rate accounting -----------------------------------------------------
+  double offered_rate() const noexcept { return offered_rate_; }
+  void add_offered_rate(double qps) noexcept {
+    SCP_DCHECK(qps >= 0.0);
+    offered_rate_ += qps;
+  }
+  /// True iff the expected offered load exceeds capacity (a saturated node —
+  /// the attack succeeded against this node).
+  bool saturated() const noexcept {
+    return has_capacity_limit() && offered_rate_ > capacity_qps_;
+  }
+
+  // --- event accounting ----------------------------------------------------
+  std::uint64_t arrivals() const noexcept { return arrivals_; }
+  std::uint64_t served() const noexcept { return served_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t queue_depth() const noexcept { return queue_depth_; }
+
+  void record_arrival() noexcept { ++arrivals_; }
+  void record_served(std::uint64_t count) noexcept { served_ += count; }
+  void record_dropped(std::uint64_t count) noexcept { dropped_ += count; }
+  void set_queue_depth(std::uint64_t depth) noexcept { queue_depth_ = depth; }
+
+  /// Clears all accounting (both kinds) for a fresh trial.
+  void reset() noexcept {
+    offered_rate_ = 0.0;
+    arrivals_ = 0;
+    served_ = 0;
+    dropped_ = 0;
+    queue_depth_ = 0;
+  }
+
+ private:
+  NodeId id_;
+  double capacity_qps_;
+  double offered_rate_ = 0.0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t queue_depth_ = 0;
+};
+
+}  // namespace scp

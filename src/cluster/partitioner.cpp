@@ -1,0 +1,231 @@
+#include "cluster/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scp {
+namespace {
+
+void check_group_params(std::uint32_t node_count, std::uint32_t replication) {
+  SCP_CHECK_MSG(node_count >= 1, "cluster needs at least one node");
+  SCP_CHECK_MSG(replication >= 1, "replication factor must be >= 1");
+  SCP_CHECK_MSG(replication <= node_count,
+                "replication factor cannot exceed node count");
+}
+
+}  // namespace
+
+std::vector<NodeId> ReplicaPartitioner::replica_group(KeyId key) const {
+  std::vector<NodeId> group(replication());
+  replica_group(key, std::span<NodeId>(group));
+  return group;
+}
+
+// --- HashPartitioner ---------------------------------------------------------
+
+HashPartitioner::HashPartitioner(std::uint32_t node_count,
+                                 std::uint32_t replication, std::uint64_t seed)
+    : node_count_(node_count),
+      replication_(replication),
+      sip_key_(sip_key_from_seed(seed)) {
+  check_group_params(node_count, replication);
+}
+
+void HashPartitioner::replica_group(KeyId key, std::span<NodeId> out) const {
+  SCP_DCHECK(out.size() == replication_);
+  std::uint32_t filled = 0;
+  std::uint64_t draw = 0;
+  while (filled < replication_) {
+    const std::uint64_t h = siphash24(sip_key_, key ^ (draw * 0x9e3779b97f4a7c15ULL + draw));
+    ++draw;
+    const NodeId candidate = static_cast<NodeId>(h % node_count_);
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < filled; ++i) {
+      if (out[i] == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      out[filled++] = candidate;
+    }
+  }
+}
+
+// --- ConsistentHashRing ------------------------------------------------------
+
+ConsistentHashRing::ConsistentHashRing(std::uint32_t node_count,
+                                       std::uint32_t replication,
+                                       std::uint32_t vnodes_per_node,
+                                       std::uint64_t seed)
+    : replication_(replication),
+      vnodes_per_node_(vnodes_per_node),
+      sip_key_(sip_key_from_seed(seed)) {
+  check_group_params(node_count, replication);
+  SCP_CHECK_MSG(vnodes_per_node >= 1, "need at least one vnode per node");
+  ring_.reserve(static_cast<std::size_t>(node_count) * vnodes_per_node);
+  present_nodes_.reserve(node_count);
+  for (NodeId node = 0; node < node_count; ++node) {
+    insert_vnodes(node, vnodes_per_node_);
+    present_nodes_.push_back(node);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+ConsistentHashRing::ConsistentHashRing(std::uint32_t node_count,
+                                       std::uint32_t replication,
+                                       std::uint32_t vnodes_per_node,
+                                       std::span<const double> weights,
+                                       std::uint64_t seed)
+    : replication_(replication),
+      vnodes_per_node_(vnodes_per_node),
+      sip_key_(sip_key_from_seed(seed)) {
+  check_group_params(node_count, replication);
+  SCP_CHECK_MSG(vnodes_per_node >= 1, "need at least one vnode per node");
+  SCP_CHECK_MSG(weights.size() == node_count,
+                "need one weight per node");
+  present_nodes_.reserve(node_count);
+  for (NodeId node = 0; node < node_count; ++node) {
+    SCP_CHECK_MSG(weights[node] > 0.0, "weights must be positive");
+    const auto vnodes = static_cast<std::uint32_t>(
+        std::ceil(weights[node] * static_cast<double>(vnodes_per_node)));
+    insert_vnodes(node, std::max<std::uint32_t>(vnodes, 1));
+    present_nodes_.push_back(node);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void ConsistentHashRing::insert_vnodes(NodeId node, std::uint32_t vnodes) {
+  for (std::uint32_t v = 0; v < vnodes; ++v) {
+    const std::uint64_t token =
+        (static_cast<std::uint64_t>(node) << 32) | v;
+    ring_.push_back(Point{siphash24(sip_key_, token ^ 0xc0ffee0000000000ULL),
+                          node});
+  }
+}
+
+std::uint32_t ConsistentHashRing::node_count() const noexcept {
+  return static_cast<std::uint32_t>(present_nodes_.size());
+}
+
+void ConsistentHashRing::replica_group(KeyId key, std::span<NodeId> out) const {
+  SCP_DCHECK(out.size() == replication_);
+  SCP_DCHECK(!ring_.empty());
+  const std::uint64_t h = siphash24(sip_key_, key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t pos) { return p.position < pos; });
+  std::uint32_t filled = 0;
+  for (std::size_t step = 0; step < ring_.size() && filled < replication_;
+       ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    const NodeId candidate = it->node;
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < filled; ++i) {
+      if (out[i] == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      out[filled++] = candidate;
+    }
+    ++it;
+  }
+  SCP_CHECK_MSG(filled == replication_,
+                "ring walk could not find enough distinct nodes");
+}
+
+void ConsistentHashRing::add_node(NodeId node) {
+  SCP_CHECK_MSG(!contains_node(node), "node already present");
+  insert_vnodes(node, vnodes_per_node_);
+  std::sort(ring_.begin(), ring_.end());
+  present_nodes_.insert(
+      std::lower_bound(present_nodes_.begin(), present_nodes_.end(), node),
+      node);
+}
+
+void ConsistentHashRing::remove_node(NodeId node) {
+  SCP_CHECK_MSG(contains_node(node), "node not present");
+  SCP_CHECK_MSG(present_nodes_.size() > replication_,
+                "cannot drop below replication factor");
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [node](const Point& p) { return p.node == node; }),
+              ring_.end());
+  present_nodes_.erase(
+      std::lower_bound(present_nodes_.begin(), present_nodes_.end(), node));
+}
+
+bool ConsistentHashRing::contains_node(NodeId node) const {
+  return std::binary_search(present_nodes_.begin(), present_nodes_.end(), node);
+}
+
+// --- RendezvousPartitioner ---------------------------------------------------
+
+RendezvousPartitioner::RendezvousPartitioner(std::uint32_t node_count,
+                                             std::uint32_t replication,
+                                             std::uint64_t seed)
+    : node_count_(node_count),
+      replication_(replication),
+      sip_key_(sip_key_from_seed(seed)) {
+  check_group_params(node_count, replication);
+}
+
+void RendezvousPartitioner::replica_group(KeyId key,
+                                          std::span<NodeId> out) const {
+  SCP_DCHECK(out.size() == replication_);
+  // Maintain the top-d scores in a small insertion-sorted array; d is tiny
+  // (typically <= 5) so this beats a heap.
+  struct Scored {
+    std::uint64_t score;
+    NodeId node;
+  };
+  std::vector<Scored> best;
+  best.reserve(replication_ + 1);
+  for (NodeId node = 0; node < node_count_; ++node) {
+    const std::uint64_t score =
+        siphash24(sip_key_, key ^ (static_cast<std::uint64_t>(node) << 32 |
+                                   0x5bd1e995U));
+    if (best.size() < replication_ || score > best.back().score) {
+      auto pos = std::find_if(
+          best.begin(), best.end(),
+          [score](const Scored& s) { return score > s.score; });
+      best.insert(pos, Scored{score, node});
+      if (best.size() > replication_) {
+        best.pop_back();
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < replication_; ++i) {
+    out[i] = best[i].node;
+  }
+}
+
+// --- factory -----------------------------------------------------------------
+
+std::unique_ptr<ReplicaPartitioner> make_partitioner(const std::string& kind,
+                                                     std::uint32_t node_count,
+                                                     std::uint32_t replication,
+                                                     std::uint64_t seed) {
+  if (kind == "hash") {
+    return std::make_unique<HashPartitioner>(node_count, replication, seed);
+  }
+  if (kind == "ring") {
+    // 64 vnodes/node keeps arc ownership within a few percent of uniform
+    // without making ring construction dominate experiment setup.
+    return std::make_unique<ConsistentHashRing>(node_count, replication,
+                                                /*vnodes_per_node=*/64, seed);
+  }
+  if (kind == "rendezvous") {
+    return std::make_unique<RendezvousPartitioner>(node_count, replication,
+                                                   seed);
+  }
+  SCP_CHECK_MSG(false, "unknown partitioner kind (use hash|ring|rendezvous)");
+  return nullptr;
+}
+
+}  // namespace scp

@@ -1,0 +1,145 @@
+// Replica partitioners: the key → replica-group mapping.
+//
+// The paper's system model (Section II) requires randomized partitioning —
+// a key is hashed with a mapping opaque to clients to select the d distinct
+// back-end nodes that can serve it (its replica group), and the mapping is
+// stable on the timescale of an attack ("costly to shift results").
+//
+// Three interchangeable implementations are provided:
+//   * HashPartitioner       — keyed SipHash draws, the default and fastest;
+//   * ConsistentHashRing    — classic ring with virtual nodes, successor-d
+//                             placement (Chord/Dynamo style), supports node
+//                             join/leave with minimal disruption;
+//   * RendezvousPartitioner — highest-random-weight (HRW) top-d placement.
+// All three give each key d *distinct* nodes and spread groups uniformly,
+// which is what the balls-into-bins analysis requires; the ablation bench
+// checks the bound is insensitive to this choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/hash.h"
+
+namespace scp {
+
+class ReplicaPartitioner {
+ public:
+  virtual ~ReplicaPartitioner() = default;
+
+  /// Number of back-end nodes n.
+  virtual std::uint32_t node_count() const noexcept = 0;
+  /// Replication factor d (1 <= d <= n).
+  virtual std::uint32_t replication() const noexcept = 0;
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+
+  /// Writes the key's replica group — `replication()` distinct node ids —
+  /// into `out`. Deterministic per key. Requires out.size() == replication().
+  virtual void replica_group(KeyId key, std::span<NodeId> out) const = 0;
+
+  /// Convenience allocation-returning form.
+  std::vector<NodeId> replica_group(KeyId key) const;
+};
+
+/// Keyed-hash partitioner: node_i(key) = SipHash(secret, key ‖ i) mod n,
+/// skipping duplicates. With a secret key this realizes Assumption 1
+/// (the adversary cannot predict or bias groups).
+class HashPartitioner final : public ReplicaPartitioner {
+ public:
+  HashPartitioner(std::uint32_t node_count, std::uint32_t replication,
+                  std::uint64_t seed);
+
+  std::uint32_t node_count() const noexcept override { return node_count_; }
+  std::uint32_t replication() const noexcept override { return replication_; }
+  std::string name() const override { return "hash"; }
+  using ReplicaPartitioner::replica_group;
+  void replica_group(KeyId key, std::span<NodeId> out) const override;
+
+ private:
+  std::uint32_t node_count_;
+  std::uint32_t replication_;
+  SipKey sip_key_;
+};
+
+/// Consistent-hash ring with virtual nodes. A key's group is the first d
+/// *distinct physical* nodes encountered clockwise from hash(key).
+class ConsistentHashRing final : public ReplicaPartitioner {
+ public:
+  /// `vnodes_per_node` virtual points per physical node (>= 1); more vnodes
+  /// → more uniform arc ownership.
+  ConsistentHashRing(std::uint32_t node_count, std::uint32_t replication,
+                     std::uint32_t vnodes_per_node, std::uint64_t seed);
+
+  /// Capacity-weighted ring: node i gets ⌈weights[i] · vnodes_per_node⌉
+  /// virtual points (all weights > 0), so key ownership tracks capacity —
+  /// the standard remedy for heterogeneous hardware (slow nodes own fewer
+  /// arcs). Requires weights.size() == node_count.
+  ConsistentHashRing(std::uint32_t node_count, std::uint32_t replication,
+                     std::uint32_t vnodes_per_node,
+                     std::span<const double> weights, std::uint64_t seed);
+
+  std::uint32_t node_count() const noexcept override;
+  std::uint32_t replication() const noexcept override { return replication_; }
+  std::string name() const override { return "consistent-ring"; }
+  using ReplicaPartitioner::replica_group;
+  void replica_group(KeyId key, std::span<NodeId> out) const override;
+
+  /// Adds a new physical node with this id; its vnodes join the ring.
+  /// Requires the id not already present.
+  void add_node(NodeId node);
+  /// Removes a physical node and its vnodes. Requires >= replication()+1
+  /// nodes present.
+  void remove_node(NodeId node);
+  bool contains_node(NodeId node) const;
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    NodeId node;
+    bool operator<(const Point& other) const noexcept {
+      return position != other.position ? position < other.position
+                                        : node < other.node;
+    }
+  };
+
+  void insert_vnodes(NodeId node, std::uint32_t vnodes);
+
+  std::uint32_t replication_;
+  std::uint32_t vnodes_per_node_;
+  SipKey sip_key_;
+  std::vector<Point> ring_;           // sorted by position
+  std::vector<NodeId> present_nodes_;  // sorted physical node ids
+};
+
+/// Rendezvous (highest-random-weight) partitioner: a key's group is the d
+/// nodes with the largest SipHash(secret, key ‖ node) scores. O(n) per
+/// lookup — used for correctness comparison, not for large sweeps.
+class RendezvousPartitioner final : public ReplicaPartitioner {
+ public:
+  RendezvousPartitioner(std::uint32_t node_count, std::uint32_t replication,
+                        std::uint64_t seed);
+
+  std::uint32_t node_count() const noexcept override { return node_count_; }
+  std::uint32_t replication() const noexcept override { return replication_; }
+  std::string name() const override { return "rendezvous"; }
+  using ReplicaPartitioner::replica_group;
+  void replica_group(KeyId key, std::span<NodeId> out) const override;
+
+ private:
+  std::uint32_t node_count_;
+  std::uint32_t replication_;
+  SipKey sip_key_;
+};
+
+/// Factory helper used by benches: kind ∈ {"hash", "ring", "rendezvous"}.
+std::unique_ptr<ReplicaPartitioner> make_partitioner(const std::string& kind,
+                                                     std::uint32_t node_count,
+                                                     std::uint32_t replication,
+                                                     std::uint64_t seed);
+
+}  // namespace scp

@@ -1,0 +1,77 @@
+#include "cluster/routing.h"
+
+#include "common/check.h"
+
+namespace scp {
+
+std::size_t RandomSelector::select(KeyId /*key*/, std::span<const NodeId> group,
+                                   std::span<const double> /*node_loads*/,
+                                   Rng& rng) {
+  SCP_DCHECK(!group.empty());
+  return static_cast<std::size_t>(rng.uniform_u64(group.size()));
+}
+
+std::size_t RoundRobinSelector::select(KeyId key, std::span<const NodeId> group,
+                                       std::span<const double> /*node_loads*/,
+                                       Rng& /*rng*/) {
+  SCP_DCHECK(!group.empty());
+  const std::uint32_t turn = counters_[key]++;
+  return turn % group.size();
+}
+
+std::size_t LeastLoadedSelector::select(KeyId /*key*/,
+                                        std::span<const NodeId> group,
+                                        std::span<const double> node_loads,
+                                        Rng& rng) {
+  SCP_DCHECK(!group.empty());
+  std::size_t best = 0;
+  std::size_t tie_count = 1;
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const double load = node_loads[group[i]];
+    const double best_load = node_loads[group[best]];
+    if (load < best_load) {
+      best = i;
+      tie_count = 1;
+    } else if (load == best_load) {
+      // Reservoir-style uniform tie break without a second pass.
+      ++tie_count;
+      if (rng.uniform_u64(tie_count) == 0) {
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t PinnedLeastLoadedSelector::select(KeyId key,
+                                              std::span<const NodeId> group,
+                                              std::span<const double> node_loads,
+                                              Rng& rng) {
+  const auto it = pins_.find(key);
+  if (it != pins_.end()) {
+    return it->second;
+  }
+  const std::size_t pick = first_choice_.select(key, group, node_loads, rng);
+  pins_.emplace(key, static_cast<std::uint32_t>(pick));
+  return pick;
+}
+
+std::unique_ptr<ReplicaSelector> make_selector(const std::string& kind) {
+  if (kind == "random") {
+    return std::make_unique<RandomSelector>();
+  }
+  if (kind == "round-robin") {
+    return std::make_unique<RoundRobinSelector>();
+  }
+  if (kind == "least-loaded") {
+    return std::make_unique<LeastLoadedSelector>();
+  }
+  if (kind == "pinned") {
+    return std::make_unique<PinnedLeastLoadedSelector>();
+  }
+  SCP_CHECK_MSG(
+      false, "unknown selector kind (use random|round-robin|least-loaded|pinned)");
+  return nullptr;
+}
+
+}  // namespace scp

@@ -1,0 +1,98 @@
+// Replica selection: which node of a key's replica group serves a request.
+//
+// The paper allows "random selection or round-robin" per query, and its
+// analysis models the stable key → serving-node mapping as balls-into-bins
+// with the power of d choices (each key lands on the least-loaded of its d
+// replicas). The three selectors below realize those options; the routing
+// ablation bench compares them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/types.h"
+#include "common/rng.h"
+
+namespace scp {
+
+class ReplicaSelector {
+ public:
+  virtual ~ReplicaSelector() = default;
+
+  /// Returns the index (into `group`) of the replica that should serve this
+  /// request. `node_loads[node]` is the current load of each node (offered
+  /// rate or queue depth depending on the simulator); selectors that ignore
+  /// load may ignore it.
+  virtual std::size_t select(KeyId key, std::span<const NodeId> group,
+                             std::span<const double> node_loads, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True when the selector spreads a key's queries evenly across its group
+  /// — in expectation (random) or exactly (round-robin). The rate simulator
+  /// then assigns rate/d to every replica instead of picking one member.
+  virtual bool splits_evenly() const noexcept { return false; }
+
+  /// Clears any per-trial state (e.g. round-robin counters).
+  virtual void reset() {}
+};
+
+/// Uniform random replica per request. Splits a key's load evenly across its
+/// group in expectation.
+class RandomSelector final : public ReplicaSelector {
+ public:
+  std::size_t select(KeyId key, std::span<const NodeId> group,
+                     std::span<const double> node_loads, Rng& rng) override;
+  std::string name() const override { return "random"; }
+  bool splits_evenly() const noexcept override { return true; }
+};
+
+/// Per-key round-robin across the group. Splits a key's load exactly evenly
+/// over time.
+class RoundRobinSelector final : public ReplicaSelector {
+ public:
+  std::size_t select(KeyId key, std::span<const NodeId> group,
+                     std::span<const double> node_loads, Rng& rng) override;
+  std::string name() const override { return "round-robin"; }
+  bool splits_evenly() const noexcept override { return true; }
+  void reset() override { counters_.clear(); }
+
+ private:
+  std::unordered_map<KeyId, std::uint32_t> counters_;
+};
+
+/// Least-loaded replica (power of d choices), ties broken uniformly at
+/// random. This is the paper's analytical model: sending each key to the
+/// least-loaded member of its group.
+class LeastLoadedSelector final : public ReplicaSelector {
+ public:
+  std::size_t select(KeyId key, std::span<const NodeId> group,
+                     std::span<const double> node_loads, Rng& rng) override;
+  std::string name() const override { return "least-loaded"; }
+};
+
+/// Sticky least-loaded: the first request for a key picks the least-loaded
+/// replica, and every later request for that key goes to the same node.
+/// This realizes the paper's system-model property 4 ("costly to shift
+/// results" — the key → serving-node mapping is stable on the timescale of
+/// an attack) at the per-request level, and is the event-simulator
+/// counterpart of the rate simulator's balls-into-bins placement.
+class PinnedLeastLoadedSelector final : public ReplicaSelector {
+ public:
+  std::size_t select(KeyId key, std::span<const NodeId> group,
+                     std::span<const double> node_loads, Rng& rng) override;
+  std::string name() const override { return "pinned"; }
+  void reset() override { pins_.clear(); }
+
+ private:
+  LeastLoadedSelector first_choice_;
+  std::unordered_map<KeyId, std::uint32_t> pins_;  // key → index in group
+};
+
+/// Factory: kind ∈ {"random", "round-robin", "least-loaded", "pinned"}.
+std::unique_ptr<ReplicaSelector> make_selector(const std::string& kind);
+
+}  // namespace scp

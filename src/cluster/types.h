@@ -1,0 +1,17 @@
+// Fundamental identifier types shared by the cluster, workload and
+// simulation layers.
+#pragma once
+
+#include <cstdint>
+
+namespace scp {
+
+/// Identifier of a (key, value) item stored by the service. Keys are dense
+/// in [0, m) for simulation purposes; the partitioner hashes them with a
+/// secret key, so density leaks nothing to the adversary.
+using KeyId = std::uint64_t;
+
+/// Identifier of a back-end node, dense in [0, n).
+using NodeId = std::uint32_t;
+
+}  // namespace scp

@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking.
+//
+// SCP_CHECK fires in all build types: simulation correctness depends on these
+// contracts and the cost is negligible next to the simulation work itself.
+// SCP_DCHECK compiles out in release builds; use it on hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scp::internal {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "SCP_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace scp::internal
+
+#define SCP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::scp::internal::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                  \
+  } while (false)
+
+#define SCP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::scp::internal::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define SCP_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define SCP_DCHECK(expr) SCP_CHECK(expr)
+#endif

@@ -1,0 +1,157 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace scp {
+namespace {
+
+std::string bool_to_string(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::add_int64(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  SCP_CHECK(target != nullptr);
+  SCP_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  flags_.push_back(
+      {name, Type::kInt64, target, help, std::to_string(*target)});
+}
+
+void FlagSet::add_uint64(const std::string& name, std::uint64_t* target,
+                         const std::string& help) {
+  SCP_CHECK(target != nullptr);
+  SCP_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  flags_.push_back(
+      {name, Type::kUint64, target, help, std::to_string(*target)});
+}
+
+void FlagSet::add_double(const std::string& name, double* target,
+                         const std::string& help) {
+  SCP_CHECK(target != nullptr);
+  SCP_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  flags_.push_back(
+      {name, Type::kDouble, target, help, std::to_string(*target)});
+}
+
+void FlagSet::add_bool(const std::string& name, bool* target,
+                       const std::string& help) {
+  SCP_CHECK(target != nullptr);
+  SCP_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  flags_.push_back({name, Type::kBool, target, help, bool_to_string(*target)});
+}
+
+void FlagSet::add_string(const std::string& name, std::string* target,
+                         const std::string& help) {
+  SCP_CHECK(target != nullptr);
+  SCP_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  flags_.push_back({name, Type::kString, target, help, *target});
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+bool FlagSet::assign(const Flag& flag, const std::string& value) {
+  try {
+    switch (flag.type) {
+      case Type::kInt64:
+        *static_cast<std::int64_t*>(flag.target) = std::stoll(value);
+        return true;
+      case Type::kUint64:
+        if (!value.empty() && value[0] == '-') {
+          return false;
+        }
+        *static_cast<std::uint64_t*>(flag.target) = std::stoull(value);
+        return true;
+      case Type::kDouble:
+        *static_cast<double*>(flag.target) = std::stod(value);
+        return true;
+      case Type::kBool:
+        if (value == "true" || value == "1") {
+          *static_cast<bool*>(flag.target) = true;
+          return true;
+        }
+        if (value == "false" || value == "0") {
+          *static_cast<bool*>(flag.target) = false;
+          return true;
+        }
+        return false;
+      case Type::kString:
+        *static_cast<std::string*>(flag.target) = value;
+        return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool FlagSet::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage().c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const Flag* peek = find(name);
+      if (peek != nullptr && peek->type == Type::kBool) {
+        value = "true";  // bare --flag toggles a bool on
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
+        return false;
+      }
+    }
+    const Flag* flag = find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", name.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << "  (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace scp

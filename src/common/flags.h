@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports `--name=value` and `--name value`; `--help` lists registered
+// flags. No global state: each binary builds a FlagSet, registers typed
+// flags bound to local variables, and parses argv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scp {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description);
+
+  /// Registers a flag bound to `*target`; the current value of `*target` is
+  /// reported as the default in --help.
+  void add_int64(const std::string& name, std::int64_t* target,
+                 const std::string& help);
+  void add_uint64(const std::string& name, std::uint64_t* target,
+                  const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool* target, const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parses argv. Returns false if parsing failed or --help was requested;
+  /// in both cases a message has been written (usage to stdout for --help,
+  /// error to stderr otherwise) and the caller should exit.
+  bool parse(int argc, char** argv);
+
+  /// Usage text listing every registered flag with its default.
+  std::string usage() const;
+
+ private:
+  enum class Type { kInt64, kUint64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  const Flag* find(const std::string& name) const;
+  bool assign(const Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace scp

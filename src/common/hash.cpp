@@ -1,0 +1,118 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace scp {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+// One SipRound over the four state words.
+inline void sip_round(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                      std::uint64_t& v3) noexcept {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+inline std::uint64_t load_le64(const unsigned char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);  // little-endian hosts only (x86/ARM LE)
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  return fnv1a(s.data(), s.size());
+}
+
+std::uint64_t siphash24(SipKey key, const void* data, std::size_t len) noexcept {
+  const auto* in = static_cast<const unsigned char*>(data);
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le64(in + i * 8);
+    v3 ^= m;
+    sip_round(v0, v1, v2, v3);
+    sip_round(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(len) << 56;
+  const unsigned char* tail = in + full_blocks * 8;
+  switch (len & 7) {
+    case 7: b |= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: b |= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: b |= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: b |= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: b |= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: b |= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: b |= static_cast<std::uint64_t>(tail[0]); break;
+    case 0: break;
+  }
+  v3 ^= b;
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t siphash24(SipKey key, std::uint64_t value) noexcept {
+  return siphash24(key, &value, sizeof value);
+}
+
+SipKey sip_key_from_seed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  SipKey key;
+  key.k0 = splitmix64(s);
+  key.k1 = splitmix64(s);
+  return key;
+}
+
+}  // namespace scp

@@ -1,0 +1,41 @@
+// Hash functions used for randomized partitioning.
+//
+// The paper's security argument rests on the key → replica-group mapping
+// being opaque to the adversary (Assumption 1). We therefore provide a keyed
+// PRF-style hash (SipHash-2-4) for the partitioners, plus cheap unkeyed
+// mixers for internal data structures and sketches.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace scp {
+
+/// 64-bit finalization mix from MurmurHash3 — full avalanche on a 64-bit
+/// word. Suitable for hashing integer keys in internal tables.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// FNV-1a over a byte range. Simple, unkeyed; used for checksums and tests.
+std::uint64_t fnv1a(const void* data, std::size_t len) noexcept;
+std::uint64_t fnv1a(std::string_view s) noexcept;
+
+/// 128-bit key for SipHash.
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 over an arbitrary byte range (Aumasson & Bernstein).
+/// With a secret key this is a PRF: without the key an adversary cannot
+/// predict which replica group a key maps to.
+std::uint64_t siphash24(SipKey key, const void* data, std::size_t len) noexcept;
+
+/// Convenience: SipHash-2-4 of a single 64-bit word (e.g. a KeyId).
+std::uint64_t siphash24(SipKey key, std::uint64_t value) noexcept;
+
+/// Derives a SipKey from a 64-bit seed (for reproducible simulations).
+SipKey sip_key_from_seed(std::uint64_t seed) noexcept;
+
+}  // namespace scp

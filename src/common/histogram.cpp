@@ -1,0 +1,124 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace scp {
+
+LogHistogram::LogHistogram(unsigned precision) : precision_(precision) {
+  SCP_CHECK_MSG(precision >= 1 && precision <= 10,
+                "histogram precision must be in [1, 10]");
+  sub_bucket_count_ = 1ULL << precision_;
+  counts_.resize(sub_bucket_count_ * 2);
+}
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) const noexcept {
+  if (value < sub_bucket_count_ * 2) {
+    return static_cast<std::size_t>(value);  // linear region, exact
+  }
+  const unsigned msb = 63U - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = msb - precision_;
+  const std::uint64_t offset = (value >> shift) - sub_bucket_count_;
+  return static_cast<std::size_t>(sub_bucket_count_ +
+                                  static_cast<std::uint64_t>(shift) *
+                                      sub_bucket_count_ +
+                                  offset);
+}
+
+std::uint64_t LogHistogram::bucket_upper_bound(std::size_t index) const noexcept {
+  if (index < sub_bucket_count_ * 2) {
+    return static_cast<std::uint64_t>(index);
+  }
+  const std::uint64_t chunk = index / sub_bucket_count_ - 1;
+  const std::uint64_t offset = index % sub_bucket_count_;
+  return ((sub_bucket_count_ + offset + 1) << chunk) - 1;
+}
+
+void LogHistogram::record(std::uint64_t value) noexcept {
+  record_n(value, 1);
+}
+
+void LogHistogram::record_n(std::uint64_t value, std::uint64_t count) noexcept {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t idx = bucket_index(value);
+  if (idx >= counts_.size()) {
+    counts_.resize(idx + 1, 0);
+  }
+  counts_[idx] += count;
+  if (total_count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  SCP_CHECK_MSG(precision_ == other.precision_,
+                "cannot merge histograms with different precision");
+  if (other.total_count_ == 0) {
+    return;
+  }
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (total_count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t LogHistogram::min() const noexcept {
+  return total_count_ > 0 ? min_ : 0;
+}
+
+std::uint64_t LogHistogram::max() const noexcept {
+  return total_count_ > 0 ? max_ : 0;
+}
+
+double LogHistogram::mean() const noexcept {
+  return total_count_ > 0 ? sum_ / static_cast<double>(total_count_) : 0.0;
+}
+
+std::uint64_t LogHistogram::value_at_quantile(double q) const noexcept {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(total_count_) + 0.5);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (running >= target && counts_[i] > 0) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::summary() const {
+  std::ostringstream os;
+  os << "count=" << total_count_ << " mean=" << mean()
+     << " p50=" << value_at_quantile(0.50) << " p99=" << value_at_quantile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace scp

@@ -1,0 +1,52 @@
+// Log-bucketed histogram for latency-style metrics (HdrHistogram-like).
+//
+// Values are bucketed with bounded relative error: each power-of-two range is
+// split into 2^precision sub-buckets, so recorded quantiles are accurate to
+// within 2^-precision relative error. Used by the event-driven simulator to
+// track per-query latency without storing every sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scp {
+
+class LogHistogram {
+ public:
+  /// `precision` = sub-bucket bits per power of two (1…10). Higher precision
+  /// costs proportionally more buckets.
+  explicit LogHistogram(unsigned precision = 5);
+
+  void record(std::uint64_t value) noexcept;
+  void record_n(std::uint64_t value, std::uint64_t count) noexcept;
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const noexcept { return total_count_; }
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept;
+  double mean() const noexcept;
+
+  /// Quantile q in [0, 1]; returns an upper bound of the bucket containing
+  /// the q-th value. Returns 0 for an empty histogram.
+  std::uint64_t value_at_quantile(double q) const noexcept;
+
+  /// Human-readable one-line summary (count / mean / p50 / p99 / max).
+  std::string summary() const;
+
+  unsigned precision() const noexcept { return precision_; }
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const noexcept;
+  std::uint64_t bucket_upper_bound(std::size_t index) const noexcept;
+
+  unsigned precision_;
+  std::uint64_t sub_bucket_count_;  // 2^precision
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace scp

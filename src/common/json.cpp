@@ -1,0 +1,177 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace scp {
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::before_value() {
+  SCP_CHECK_MSG(!root_done_, "document already complete");
+  if (scopes_.empty()) {
+    return;  // root value
+  }
+  if (scopes_.back() == Scope::kObject) {
+    SCP_CHECK_MSG(expecting_value_, "object members need a key() first");
+    expecting_value_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) {
+    out_ += ',';
+  }
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end() {
+  SCP_CHECK_MSG(!scopes_.empty(), "no open scope to end");
+  SCP_CHECK_MSG(!expecting_value_, "dangling key without a value");
+  out_ += scopes_.back() == Scope::kObject ? '}' : ']';
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  SCP_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                "key() is only valid inside an object");
+  SCP_CHECK_MSG(!expecting_value_, "two keys in a row");
+  if (has_items_.back()) {
+    out_ += ',';
+  }
+  has_items_.back() = true;
+  write_escaped(name);
+  out_ += ':';
+  expecting_value_ = true;
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  out_ += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out_ += buffer;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string_view(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.12g", v);
+    out_ += buffer;
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (scopes_.empty()) {
+    root_done_ = true;
+  }
+  return *this;
+}
+
+bool JsonWriter::complete() const noexcept {
+  return root_done_ && scopes_.empty();
+}
+
+std::string JsonWriter::str() const {
+  SCP_CHECK_MSG(complete(), "document is not complete");
+  return out_;
+}
+
+}  // namespace scp

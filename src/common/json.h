@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer (no DOM, no parsing).
+//
+// Used to emit machine-readable provisioning plans and assessments so the
+// library composes with dashboards and deployment tooling. Scope-based API:
+// begin_object/begin_array push a scope, end() pops it; keys and values are
+// validated against the current scope, commas and escaping are handled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scp {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  // --- structure -------------------------------------------------------
+  /// Opens the root object/array (only valid as the first call) or a
+  /// nested one (inside an array, or after key() inside an object).
+  JsonWriter& begin_object();
+  JsonWriter& begin_array();
+  /// Closes the innermost scope.
+  JsonWriter& end();
+
+  /// Declares the next member's name. Only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  // --- values ----------------------------------------------------------
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the root scope has been closed.
+  bool complete() const noexcept;
+
+  /// The serialized document. Requires complete().
+  std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void write_escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;  // per scope: need a comma before next item
+  bool expecting_value_ = false;  // a key() was written, value must follow
+  bool root_done_ = false;
+};
+
+}  // namespace scp

@@ -1,0 +1,47 @@
+// Minimal leveled logger for the simulators and harness.
+//
+// Simulation hot paths never log; this exists for harness progress lines and
+// configuration echo, so a simple synchronized stderr writer is sufficient.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line "LEVEL message" to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scp
+
+#define SCP_LOG_DEBUG ::scp::internal::LogLine(::scp::LogLevel::kDebug)
+#define SCP_LOG_INFO ::scp::internal::LogLine(::scp::LogLevel::kInfo)
+#define SCP_LOG_WARN ::scp::internal::LogLine(::scp::LogLevel::kWarn)
+#define SCP_LOG_ERROR ::scp::internal::LogLine(::scp::LogLevel::kError)

@@ -1,0 +1,135 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace scp {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  // Mix the stream index into the parent with two SplitMix64 steps so that
+  // consecutive stream values do not yield correlated seeds.
+  std::uint64_t s = parent ^ (0x6a09e667f3bcc909ULL + stream * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  SCP_DCHECK(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  SCP_DCHECK(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform_double() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_double(double lo, double hi) noexcept {
+  SCP_DCHECK(lo < hi);
+  return lo + (hi - lo) * uniform_double();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  SCP_DCHECK(p >= 0.0 && p <= 1.0);
+  return uniform_double() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  SCP_DCHECK(rate > 0.0);
+  // 1 - U is in (0, 1], avoiding log(0).
+  return -std::log1p(-uniform_double()) / rate;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(
+    std::uint64_t population, std::size_t k) {
+  SCP_CHECK_MSG(k <= population, "sample larger than population");
+  // Robert Floyd's algorithm, then a shuffle so order carries no bias.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = population - k; j < population; ++j) {
+    const std::uint64_t t = uniform_u64(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  shuffle(std::span<std::uint64_t>(out));
+  return out;
+}
+
+void Rng::long_jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((word & (1ULL << bit)) != 0) {
+        for (std::size_t i = 0; i < 4; ++i) {
+          acc[i] ^= state_[i];
+        }
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+}
+
+}  // namespace scp

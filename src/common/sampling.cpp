@@ -1,0 +1,146 @@
+#include "common/sampling.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace scp {
+namespace {
+
+// (exp(t) - 1) / t with the removable singularity at t = 0 handled.
+double expm1_over(double t) noexcept {
+  if (std::abs(t) > 1e-8) {
+    return std::expm1(t) / t;
+  }
+  return 1.0 + t * 0.5 * (1.0 + t / 3.0);
+}
+
+// log(1 + t) / t with the removable singularity at t = 0 handled.
+double log1p_over(double t) noexcept {
+  if (std::abs(t) > 1e-8) {
+    return std::log1p(t) / t;
+  }
+  return 1.0 - t * 0.5 * (1.0 - t * (2.0 / 3.0));
+}
+
+}  // namespace
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  SCP_CHECK_MSG(!weights.empty(), "alias sampler needs at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (const double w : weights) {
+    SCP_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  SCP_CHECK_MSG(total > 0.0, "weights must have a positive sum");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: partition scaled probabilities into small/large piles
+  // and pair each small column with mass borrowed from a large one.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically 1.0.
+  for (const std::uint32_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (const std::uint32_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const noexcept {
+  const std::size_t column =
+      static_cast<std::size_t>(rng.uniform_u64(prob_.size()));
+  return rng.uniform_double() < prob_[column] ? column : alias_[column];
+}
+
+double AliasSampler::probability(std::size_t i) const noexcept {
+  SCP_DCHECK(i < normalized_.size());
+  return normalized_[i];
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  SCP_CHECK_MSG(n >= 1, "Zipf needs n >= 1");
+  SCP_CHECK_MSG(theta > 0.0, "Zipf needs theta > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  harmonic_ = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    harmonic_ += std::pow(static_cast<double>(k), -theta);
+  }
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  return std::exp(-theta_ * std::log(x));
+}
+
+double ZipfSampler::h_integral(double x) const noexcept {
+  const double log_x = std::log(x);
+  return expm1_over((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const noexcept {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) {
+    t = -1.0;  // guard against rounding below the logarithm's domain
+  }
+  return std::exp(log1p_over(t) * x);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const noexcept {
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::pmf(std::uint64_t k) const noexcept {
+  SCP_DCHECK(k >= 1 && k <= n_);
+  return std::pow(static_cast<double>(k), -theta_) / harmonic_;
+}
+
+}  // namespace scp

@@ -1,0 +1,68 @@
+// Discrete sampling utilities: Walker/Vose alias method for arbitrary
+// discrete distributions and a rejection-inversion Zipf sampler.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scp {
+
+/// Samples from a fixed discrete distribution over {0, …, n-1} in O(1) per
+/// draw after O(n) construction (Vose's alias method). Weights need not be
+/// normalized; they must be non-negative with a positive sum.
+class AliasSampler {
+ public:
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Draws one category index.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Normalized probability of category i (for inspection/testing).
+  double probability(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> prob_;        // P(pick own column) per column
+  std::vector<std::uint32_t> alias_;  // fallback category per column
+  std::vector<double> normalized_;  // normalized input weights
+};
+
+/// Zipf(θ) sampler over ranks {1, …, n}: P(k) ∝ 1 / k^θ.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger (1996),
+/// giving O(1) expected time per sample independent of n — essential for the
+/// paper's workloads where n is 1e5…1e6 keys.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and theta > 0.
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+  /// Draws a rank in [1, n].
+  std::uint64_t sample(Rng& rng) const noexcept;
+
+  /// Exact probability mass of rank k (computed from the partial harmonic
+  /// sum; O(1) after construction).
+  double pmf(std::uint64_t k) const noexcept;
+
+ private:
+  double h(double x) const noexcept;
+  double h_integral(double x) const noexcept;
+  double h_integral_inverse(double x) const noexcept;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+  double harmonic_;  // generalized harmonic number H_{n,θ} for pmf()
+};
+
+}  // namespace scp

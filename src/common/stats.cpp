@@ -1,0 +1,169 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scp {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept {
+  return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStats::max() const noexcept {
+  return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << p50 << " p90=" << p90 << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  SCP_CHECK_MSG(!sorted.empty(), "percentile of an empty sample");
+  SCP_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
+}
+
+double percentile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, q);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (const double v : sorted) {
+    rs.add(v);
+  }
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     double confidence, std::size_t resamples,
+                                     Rng& rng) {
+  SCP_CHECK_MSG(!values.empty(), "bootstrap of an empty sample");
+  SCP_CHECK(confidence > 0.0 && confidence < 1.0);
+  SCP_CHECK(resamples >= 2);
+  std::vector<double> means(resamples);
+  const std::size_t n = values.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += values[rng.uniform_u64(n)];
+    }
+    means[r] = sum / static_cast<double>(n);
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = 1.0 - confidence;
+  return ConfidenceInterval{percentile_sorted(means, alpha / 2.0),
+                            percentile_sorted(means, 1.0 - alpha / 2.0)};
+}
+
+double jain_fairness(std::span<const double> loads) {
+  SCP_CHECK_MSG(!loads.empty(), "fairness of an empty load vector");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : loads) {
+    SCP_DCHECK(x >= 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;  // all-zero load is trivially even
+  }
+  return (sum * sum) / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  RunningStats rs;
+  for (const double v : values) {
+    rs.add(v);
+  }
+  const double mean = rs.mean();
+  return mean != 0.0 ? rs.stddev() / mean : 0.0;
+}
+
+double chi_squared_statistic(std::span<const std::uint64_t> observed,
+                             std::span<const double> expected) {
+  SCP_CHECK(observed.size() == expected.size());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    SCP_CHECK_MSG(expected[i] > 0.0, "expected counts must be positive");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+}  // namespace scp

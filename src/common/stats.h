@@ -1,0 +1,82 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scp {
+
+class Rng;
+
+/// Welford's online algorithm: numerically stable streaming mean / variance /
+/// min / max in O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator). Zero when count < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: moments plus selected percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes a Summary; sorts a copy of `values` internally.
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0, 1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Percentile of an unsorted sample (sorts a copy).
+double percentile(std::span<const double> values, double q);
+
+/// Two-sided bootstrap percentile confidence interval for the mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     double confidence, std::size_t resamples,
+                                     Rng& rng);
+
+/// Jain's fairness index of a non-negative load vector:
+/// (Σx)² / (n·Σx²) ∈ (0, 1], 1 = perfectly even.
+double jain_fairness(std::span<const double> loads);
+
+/// Coefficient of variation (stddev / mean); 0 when mean == 0.
+double coefficient_of_variation(std::span<const double> values);
+
+/// Pearson chi-squared statistic of observed counts vs expected counts.
+/// Used by tests to verify samplers and partitioners are unbiased.
+double chi_squared_statistic(std::span<const std::uint64_t> observed,
+                             std::span<const double> expected);
+
+}  // namespace scp

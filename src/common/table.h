@@ -1,0 +1,49 @@
+// Aligned text tables and CSV output for the benchmark harness.
+//
+// Every figure-reproduction bench prints its series through TextTable so the
+// output reads like the paper's figure data, and can optionally mirror rows
+// to a CSV file for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scp {
+
+/// A cell is a string, an integer, or a double (formatted with fixed
+/// precision chosen per table).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class TextTable {
+ public:
+  /// `precision` — digits after the decimal point for double cells.
+  explicit TextTable(std::vector<std::string> headers, int precision = 4);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and a header underline.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  /// Writes headers + rows as RFC-4180-ish CSV (quotes cells containing
+  /// commas or quotes).
+  std::string to_csv() const;
+  /// Writes the CSV to `path`; returns false (and leaves no file guarantees)
+  /// on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace scp

@@ -1,0 +1,81 @@
+#include "core/analyzer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "sim/scenario.h"
+
+namespace scp {
+
+std::string AttackAssessment::to_string() const {
+  std::ostringstream os;
+  os << "system[" << params.to_string() << "] worst_gain=" << worst_gain
+     << " mean_gain=" << gain.mean
+     << (effective ? " EFFECTIVE (gain > 1)" : " ineffective (gain <= 1)");
+  if (gain_bound.has_value()) {
+    os << " bound=" << *gain_bound;
+  }
+  return os.str();
+}
+
+AttackAnalyzer::AttackAnalyzer(AnalyzerOptions options)
+    : options_(std::move(options)) {
+  SCP_CHECK(options_.trials >= 1);
+}
+
+namespace {
+
+/// Detects the canonical adversarial shape: uniform over the first x keys.
+/// Returns x, or nullopt for any other shape.
+std::optional<std::uint64_t> uniform_over_x(
+    const QueryDistribution& distribution) {
+  const std::uint64_t support = distribution.support_size();
+  if (support == 0) {
+    return std::nullopt;
+  }
+  const double expected = 1.0 / static_cast<double>(support);
+  for (std::uint64_t i = 0; i < support; ++i) {
+    if (std::abs(distribution.probability(i) - expected) > 1e-12) {
+      return std::nullopt;
+    }
+  }
+  return support;
+}
+
+}  // namespace
+
+AttackAssessment AttackAnalyzer::assess(
+    const SystemParams& params, const QueryDistribution& distribution) const {
+  params.check();
+  ScenarioConfig config;
+  config.params = params;
+  config.partitioner = options_.partitioner;
+  config.selector = options_.selector;
+
+  const GainStatistics stats =
+      measure_gain(config, distribution, options_.trials, options_.seed);
+
+  AttackAssessment assessment;
+  assessment.params = params;
+  assessment.gain = stats.summary;
+  assessment.worst_gain = stats.max_gain;
+  assessment.effective = is_effective(stats.max_gain);
+
+  if (params.replication >= 2 && params.nodes >= 3) {
+    const std::optional<std::uint64_t> x = uniform_over_x(distribution);
+    if (x.has_value() && *x > params.cache_size && *x >= 2) {
+      const double k =
+          gap_k(params.nodes, params.replication, options_.k_prime);
+      assessment.gain_bound = attack_gain_bound(params, *x, k);
+    }
+  }
+  return assessment;
+}
+
+AttackAssessment AttackAnalyzer::assess_adversarial(const SystemParams& params,
+                                                    std::uint64_t x) const {
+  return assess(params, QueryDistribution::uniform_over(x, params.items));
+}
+
+}  // namespace scp

@@ -1,0 +1,56 @@
+// AttackAnalyzer — evaluate a concrete workload against a configured system.
+//
+// Given the system parameters (n, d, m, c, R) and any query distribution,
+// the analyzer measures the attack gain by simulation (Definition 1),
+// classifies effectiveness (Definition 2), and compares against the Eq. 10
+// bound when the workload is the canonical adversarial pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "adversary/bounds.h"
+#include "common/stats.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+struct AnalyzerOptions {
+  std::uint32_t trials = 20;
+  std::uint64_t seed = 0xdefea7ULL;
+  std::string partitioner = "hash";
+  std::string selector = "least-loaded";
+  /// k′ used when reporting the Eq. 10 bound alongside measurements.
+  double k_prime = 0.5;
+};
+
+struct AttackAssessment {
+  SystemParams params;
+  Summary gain;              ///< per-trial normalized max load
+  double worst_gain = 0.0;   ///< max over trials
+  bool effective = false;    ///< Definition 2 on worst_gain
+  /// Eq. 10 bound when the workload is uniform-over-x (the canonical
+  /// adversarial shape) and d >= 2; absent otherwise.
+  std::optional<double> gain_bound;
+
+  std::string to_string() const;
+};
+
+class AttackAnalyzer {
+ public:
+  explicit AttackAnalyzer(AnalyzerOptions options = AnalyzerOptions{});
+
+  /// Measures the distribution's attack gain against the system.
+  AttackAssessment assess(const SystemParams& params,
+                          const QueryDistribution& distribution) const;
+
+  /// Convenience: assess the canonical adversarial pattern with x keys.
+  AttackAssessment assess_adversarial(const SystemParams& params,
+                                      std::uint64_t x) const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace scp

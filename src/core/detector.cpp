@@ -1,0 +1,59 @@
+#include "core/detector.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace scp {
+
+AttackDetector::AttackDetector(DetectorOptions options)
+    : options_(options) {
+  SCP_CHECK(options_.imbalance_threshold > 1.0);
+  SCP_CHECK(options_.baseline_factor >= 1.0);
+  SCP_CHECK(options_.windows_to_trip >= 1);
+  SCP_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0);
+}
+
+bool AttackDetector::observe(std::span<const double> node_loads) {
+  SCP_CHECK_MSG(!node_loads.empty(), "need at least one node's load");
+  ++windows_;
+
+  RunningStats stats;
+  for (const double load : node_loads) {
+    SCP_DCHECK(load >= 0.0);
+    stats.add(load);
+  }
+  last_imbalance_ =
+      stats.mean() > 0.0 ? stats.max() / stats.mean() : 1.0;
+
+  const bool suspicious =
+      last_imbalance_ > options_.imbalance_threshold &&
+      last_imbalance_ > options_.baseline_factor * baseline_;
+  if (suspicious) {
+    if (++streak_ >= options_.windows_to_trip) {
+      alarmed_ = true;
+    }
+  } else {
+    streak_ = 0;
+    // Only learn the baseline from windows we believe are benign —
+    // otherwise a slow-ramp attack teaches the detector to ignore itself.
+    baseline_ += options_.ewma_alpha * (last_imbalance_ - baseline_);
+  }
+  return alarmed_;
+}
+
+void AttackDetector::acknowledge() noexcept {
+  alarmed_ = false;
+  streak_ = 0;
+}
+
+std::string AttackDetector::status() const {
+  std::ostringstream os;
+  os << (alarmed_ ? "ALARM" : "ok") << " imbalance=" << last_imbalance_
+     << " baseline=" << baseline_ << " streak=" << streak_ << "/"
+     << options_.windows_to_trip;
+  return os.str();
+}
+
+}  // namespace scp

@@ -1,0 +1,64 @@
+// Online DDoS detection — the runtime complement to offline provisioning.
+//
+// Provisioning guarantees no node *can* be pushed past the even-spread load;
+// operators still want to know an attack is happening (to block sources,
+// audit leaks, or notice that the cache is under-provisioned after cluster
+// growth). The detector consumes periodic per-node load snapshots, tracks an
+// EWMA baseline of the imbalance ratio max/mean, and raises after the ratio
+// stays above an absolute threshold for a configurable number of
+// consecutive windows — robust to one-window blips and to slow organic
+// drift (which the EWMA absorbs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace scp {
+
+struct DetectorOptions {
+  /// Absolute alarm threshold on max/mean (the attack-gain analogue). The
+  /// paper's Definition 2 uses 1.0 against R/n; real telemetry is noisy, so
+  /// default to a margin above it.
+  double imbalance_threshold = 1.5;
+  /// Additionally require the ratio to exceed `baseline_factor` x the EWMA
+  /// baseline, so a steadily skewed-but-stable system does not page forever.
+  double baseline_factor = 1.3;
+  /// Consecutive suspicious windows before the alarm trips.
+  std::uint32_t windows_to_trip = 3;
+  /// EWMA smoothing for the baseline (0 < alpha <= 1; small = slow).
+  double ewma_alpha = 0.05;
+};
+
+class AttackDetector {
+ public:
+  explicit AttackDetector(DetectorOptions options = DetectorOptions{});
+
+  /// Feeds one monitoring window's per-node loads. Returns true iff this
+  /// observation trips (or keeps tripped) the alarm.
+  bool observe(std::span<const double> node_loads);
+
+  bool alarmed() const noexcept { return alarmed_; }
+  /// max/mean of the most recent window.
+  double last_imbalance() const noexcept { return last_imbalance_; }
+  /// Current EWMA baseline of the imbalance ratio.
+  double baseline() const noexcept { return baseline_; }
+  /// Consecutive suspicious windows so far.
+  std::uint32_t suspicious_windows() const noexcept { return streak_; }
+  std::uint64_t windows_observed() const noexcept { return windows_; }
+
+  /// Clears the alarm and the streak (baseline is kept).
+  void acknowledge() noexcept;
+
+  std::string status() const;
+
+ private:
+  DetectorOptions options_;
+  double baseline_ = 1.0;
+  double last_imbalance_ = 0.0;
+  std::uint32_t streak_ = 0;
+  std::uint64_t windows_ = 0;
+  bool alarmed_ = false;
+};
+
+}  // namespace scp

@@ -1,0 +1,97 @@
+#include "core/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adversary/strategy.h"
+#include "common/check.h"
+#include "sim/scenario.h"
+
+namespace scp {
+
+CacheProvisioner::CacheProvisioner(ProvisionOptions options)
+    : options_(std::move(options)) {
+  SCP_CHECK(options_.safety_factor >= 1.0);
+  SCP_CHECK(options_.validation_trials >= 1);
+}
+
+double CacheProvisioner::threshold(std::uint32_t nodes,
+                                   std::uint32_t replication) const {
+  return cache_size_threshold(nodes, replication, options_.k_prime);
+}
+
+ProvisionPlan CacheProvisioner::plan(const ClusterSpec& spec) const {
+  SCP_CHECK_MSG(spec.nodes >= 3, "need at least three nodes (ln ln n)");
+  SCP_CHECK_MSG(spec.replication >= 1 && spec.replication <= spec.nodes,
+                "replication must be in [1, nodes]");
+  SCP_CHECK_MSG(spec.items >= 2, "need at least two items");
+  SCP_CHECK_MSG(spec.attack_rate_qps > 0.0, "attack rate must be positive");
+
+  ProvisionPlan plan;
+  plan.spec = spec;
+  plan.even_load_qps =
+      spec.attack_rate_qps / static_cast<double>(spec.nodes);
+
+  if (spec.replication < 2) {
+    // Fan et al.'s unreplicated regime: the adversary can always pick an x
+    // with gain > 1; no cache size yields *prevention* (only mitigation).
+    plan.prevention_possible = false;
+    return plan;
+  }
+
+  plan.prevention_possible = true;
+  plan.k = gap_k(spec.nodes, spec.replication, options_.k_prime);
+  plan.threshold =
+      cache_size_threshold(spec.nodes, spec.replication, options_.k_prime);
+  plan.recommended_cache_size = static_cast<std::uint64_t>(
+      std::ceil(plan.threshold * options_.safety_factor));
+  SCP_CHECK_MSG(plan.recommended_cache_size < spec.items,
+                "key space smaller than the required cache: cache everything "
+                "instead (m <= c*)");
+
+  SystemParams params;
+  params.nodes = spec.nodes;
+  params.replication = spec.replication;
+  params.items = spec.items;
+  params.cache_size = plan.recommended_cache_size;
+  params.query_rate = spec.attack_rate_qps;
+
+  // Case 2 ⇒ the adversary's best response is x = m; Eq. 8 there is the
+  // worst-case absolute load.
+  plan.worst_case_load_bound_qps = max_load_bound(params, spec.items, plan.k);
+  if (spec.node_capacity_qps > 0.0) {
+    plan.capacity_sufficient =
+        spec.node_capacity_qps >= plan.worst_case_load_bound_qps;
+  }
+
+  if (options_.validate) {
+    validate_plan(plan);
+  }
+  return plan;
+}
+
+void CacheProvisioner::validate_plan(ProvisionPlan& plan) const {
+  ScenarioConfig config;
+  config.params.nodes = plan.spec.nodes;
+  config.params.replication = plan.spec.replication;
+  config.params.items = plan.spec.items;
+  config.params.cache_size = plan.recommended_cache_size;
+  config.params.query_rate = plan.spec.attack_rate_qps;
+  config.partitioner = options_.partitioner;
+  config.selector = options_.selector;
+
+  const auto evaluate = [&](std::uint64_t x) {
+    const GainStatistics stats = measure_adversarial_gain(
+        config, x, options_.validation_trials, options_.seed ^ x);
+    return stats.max_gain;
+  };
+  const BestResponse best = best_response_search(
+      config.params, evaluate, options_.validation_grid_points);
+
+  plan.validated = true;
+  plan.observed_worst_gain = best.gain;
+  plan.observed_worst_x = best.queried_keys;
+  plan.prevention_holds = best.gain <= 1.0;
+}
+
+}  // namespace scp

@@ -1,0 +1,91 @@
+// CacheProvisioner — the library's headline API.
+//
+// Answers the paper's driving question for an operator: *how large must the
+// front-end cache be so that no adversarial access pattern can overload any
+// back-end node?* The answer (Section III.B) is the threshold
+// c* = n·(ln ln n / ln d + k′) + 1, which is O(n) for every realistic
+// cluster. The provisioner computes it, sizes the cache with a safety
+// factor, and optionally validates by simulating the adversary's best
+// response.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/bounds.h"
+
+namespace scp {
+
+/// Operator-facing description of the cluster to protect.
+struct ClusterSpec {
+  std::uint32_t nodes = 0;          ///< n — back-end nodes
+  std::uint32_t replication = 3;    ///< d — replica-group size
+  std::uint64_t items = 0;          ///< m — stored (key, value) items
+  double attack_rate_qps = 1.0;     ///< R — worst-case aggregate query rate
+  /// Per-node capacity r_i (qps); 0 = unknown/unbounded. When known, the
+  /// plan also checks r_i against the worst-case load bound.
+  double node_capacity_qps = 0.0;
+};
+
+struct ProvisionOptions {
+  /// Θ(1) constant k′ added to ln ln n / ln d. The paper's simulations fit
+  /// k = 1.2 overall at n = 1000, d = 3; we default to a conservative
+  /// additive constant instead.
+  double k_prime = 0.5;
+  /// Multiplier on the threshold when recommending a size (headroom for the
+  /// perfect-cache assumption being approximate in practice).
+  double safety_factor = 1.1;
+  /// Validate by simulation (adversary best-response search).
+  bool validate = true;
+  std::uint32_t validation_trials = 10;
+  /// Extra log-spaced x candidates between c+1 and m during validation.
+  std::uint32_t validation_grid_points = 4;
+  std::uint64_t seed = 0x5ca1ab1eULL;
+  std::string partitioner = "hash";
+  std::string selector = "least-loaded";
+};
+
+struct ProvisionPlan {
+  ClusterSpec spec;
+  /// False when d = 1: without replication no item-count-independent cache
+  /// bound exists and an adversary can always achieve gain > 1 (Fan et al.'s
+  /// setting); the fix is replication >= 2, not a bigger cache.
+  bool prevention_possible = false;
+  double k = 0.0;               ///< gap term used: ln ln n / ln d + k′
+  double threshold = 0.0;       ///< c* = n·k + 1
+  std::uint64_t recommended_cache_size = 0;  ///< ceil(c* · safety_factor)
+  double even_load_qps = 0.0;   ///< R/n baseline
+  /// Eq. 8 worst-case E[L_max] bound at the recommended size (adversary's
+  /// best x = m in Case 2).
+  double worst_case_load_bound_qps = 0.0;
+  /// When spec.node_capacity_qps > 0: capacity covers the worst-case bound.
+  bool capacity_sufficient = true;
+
+  // --- simulation validation (when options.validate) ---
+  bool validated = false;
+  double observed_worst_gain = 0.0;  ///< max gain over best-response search
+  std::uint64_t observed_worst_x = 0;
+  bool prevention_holds = false;     ///< observed_worst_gain <= 1
+};
+
+class CacheProvisioner {
+ public:
+  explicit CacheProvisioner(ProvisionOptions options = ProvisionOptions{});
+
+  const ProvisionOptions& options() const noexcept { return options_; }
+
+  /// Computes (and optionally validates) a provisioning plan.
+  /// Requires nodes >= 3 and 1 <= replication <= nodes and items > the
+  /// recommended cache size.
+  ProvisionPlan plan(const ClusterSpec& spec) const;
+
+  /// The raw threshold c*(n, d) under these options, without safety factor.
+  double threshold(std::uint32_t nodes, std::uint32_t replication) const;
+
+ private:
+  void validate_plan(ProvisionPlan& plan) const;
+
+  ProvisionOptions options_;
+};
+
+}  // namespace scp

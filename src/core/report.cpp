@@ -1,0 +1,74 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace scp {
+namespace {
+
+void header(std::ostringstream& os, const std::string& title) {
+  os << "=== " << title << " "
+     << std::string(title.size() < 66 ? 66 - title.size() : 0, '=') << "\n";
+}
+
+}  // namespace
+
+std::string render_report(const ProvisionPlan& plan) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  header(os, "Secure Cache Provision plan");
+  os << "cluster:   n=" << plan.spec.nodes << " nodes, d=" << plan.spec.replication
+     << " replicas/key, m=" << plan.spec.items << " items\n"
+     << "attack:    R=" << plan.spec.attack_rate_qps
+     << " qps aggregate; even-spread baseline R/n=" << plan.even_load_qps
+     << " qps/node\n";
+  if (!plan.prevention_possible) {
+    os << "verdict:   PREVENTION IMPOSSIBLE at d=1 (unreplicated).\n"
+       << "           An adversary can always choose x with attack gain > 1\n"
+       << "           (Fan et al., SOCC'11). Remedy: replicate (d >= 2), then\n"
+       << "           re-plan; a cache alone only mitigates.\n";
+    return os.str();
+  }
+  os << "theory:    gap k = lnln(n)/ln(d) + k' = " << plan.k << "\n"
+     << "           threshold c* = n*k + 1 = " << plan.threshold << " entries\n"
+     << "recommend: cache " << plan.recommended_cache_size
+     << " entries (threshold x safety factor)\n"
+     << "           worst-case per-node load bound (Eq. 8, x=m): "
+     << plan.worst_case_load_bound_qps << " qps\n";
+  if (plan.spec.node_capacity_qps > 0.0) {
+    os << "capacity:  r_i=" << plan.spec.node_capacity_qps << " qps/node -> "
+       << (plan.capacity_sufficient ? "SUFFICIENT (no node can saturate)"
+                                    : "INSUFFICIENT (raise capacity or d)")
+       << "\n";
+  }
+  if (plan.validated) {
+    os << "validated: adversary best response x=" << plan.observed_worst_x
+       << ", observed worst gain=" << plan.observed_worst_gain << " -> "
+       << (plan.prevention_holds ? "PREVENTION HOLDS (gain <= 1)"
+                                 : "VIOLATION (gain > 1) - raise k' or safety")
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string render_report(const AttackAssessment& assessment) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  header(os, "Attack assessment");
+  os << "system:    " << assessment.params.to_string() << "\n"
+     << "gain:      worst=" << assessment.worst_gain
+     << " mean=" << assessment.gain.mean << " p99=" << assessment.gain.p99
+     << " over " << assessment.gain.count << " trials\n"
+     << "verdict:   "
+     << (assessment.effective
+             ? "EFFECTIVE DDoS (some node exceeds the even-spread load)"
+             : "ineffective (no node exceeds the even-spread load)")
+     << "\n";
+  if (assessment.gain_bound.has_value()) {
+    os << "bound:     Eq. 10 predicts gain <= " << *assessment.gain_bound
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scp

@@ -1,0 +1,18 @@
+// Human-readable rendering of provisioning plans and attack assessments.
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/provisioner.h"
+
+namespace scp {
+
+/// Multi-line operator report for a provisioning plan: inputs, theory
+/// (threshold, bound), recommendation, and validation verdict.
+std::string render_report(const ProvisionPlan& plan);
+
+/// Multi-line report for an attack assessment.
+std::string render_report(const AttackAssessment& assessment);
+
+}  // namespace scp

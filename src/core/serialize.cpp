@@ -1,0 +1,82 @@
+#include "core/serialize.h"
+
+#include "common/json.h"
+
+namespace scp {
+
+std::string to_json(const ProvisionPlan& plan) {
+  JsonWriter json;
+  json.begin_object();
+
+  json.key("cluster").begin_object();
+  json.field("nodes", static_cast<std::uint64_t>(plan.spec.nodes));
+  json.field("replication", static_cast<std::uint64_t>(plan.spec.replication));
+  json.field("items", plan.spec.items);
+  json.field("attack_rate_qps", plan.spec.attack_rate_qps);
+  if (plan.spec.node_capacity_qps > 0.0) {
+    json.field("node_capacity_qps", plan.spec.node_capacity_qps);
+  }
+  json.end();
+
+  json.field("prevention_possible", plan.prevention_possible);
+  json.field("even_load_qps", plan.even_load_qps);
+
+  if (plan.prevention_possible) {
+    json.key("theory").begin_object();
+    json.field("gap_k", plan.k);
+    json.field("threshold_c_star", plan.threshold);
+    json.field("worst_case_load_bound_qps", plan.worst_case_load_bound_qps);
+    json.end();
+
+    json.key("recommendation").begin_object();
+    json.field("cache_entries", plan.recommended_cache_size);
+    json.field("capacity_sufficient", plan.capacity_sufficient);
+    json.end();
+  } else {
+    json.field("remedy", "replicate (d >= 2); a cache alone only mitigates");
+  }
+
+  if (plan.validated) {
+    json.key("validation").begin_object();
+    json.field("observed_worst_gain", plan.observed_worst_gain);
+    json.field("observed_worst_x", plan.observed_worst_x);
+    json.field("prevention_holds", plan.prevention_holds);
+    json.end();
+  }
+
+  json.end();
+  return json.str();
+}
+
+std::string to_json(const AttackAssessment& assessment) {
+  JsonWriter json;
+  json.begin_object();
+
+  json.key("system").begin_object();
+  json.field("nodes", static_cast<std::uint64_t>(assessment.params.nodes));
+  json.field("replication",
+             static_cast<std::uint64_t>(assessment.params.replication));
+  json.field("items", assessment.params.items);
+  json.field("cache_size", assessment.params.cache_size);
+  json.field("query_rate_qps", assessment.params.query_rate);
+  json.end();
+
+  json.key("gain").begin_object();
+  json.field("trials", static_cast<std::uint64_t>(assessment.gain.count));
+  json.field("worst", assessment.worst_gain);
+  json.field("mean", assessment.gain.mean);
+  json.field("p99", assessment.gain.p99);
+  json.end();
+
+  json.field("effective", assessment.effective);
+  if (assessment.gain_bound.has_value()) {
+    json.field("eq10_bound", *assessment.gain_bound);
+  } else {
+    json.key("eq10_bound").null();
+  }
+
+  json.end();
+  return json.str();
+}
+
+}  // namespace scp

@@ -1,0 +1,19 @@
+// JSON serialization of the public result types, for tooling integration.
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/provisioner.h"
+
+namespace scp {
+
+/// Serializes a provisioning plan, e.g.:
+/// {"cluster":{"nodes":1000,...},"theory":{...},"recommendation":{...},
+///  "validation":{...}}
+std::string to_json(const ProvisionPlan& plan);
+
+/// Serializes an attack assessment.
+std::string to_json(const AttackAssessment& assessment);
+
+}  // namespace scp

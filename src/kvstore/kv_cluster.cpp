@@ -1,0 +1,307 @@
+#include "kvstore/kv_cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scp {
+
+KvCluster::KvCluster(KvClusterOptions options) : options_(std::move(options)) {
+  SCP_CHECK_MSG(options_.nodes >= 1, "need at least one node");
+  SCP_CHECK_MSG(
+      options_.replication >= 1 && options_.replication <= options_.nodes,
+      "replication must be in [1, nodes]");
+  SCP_CHECK_MSG(options_.write_quorum >= 1 &&
+                    options_.write_quorum <= options_.replication,
+                "write quorum must be in [1, d]");
+  SCP_CHECK_MSG(options_.read_quorum >= 1 &&
+                    options_.read_quorum <= options_.replication,
+                "read quorum must be in [1, d]");
+  partitioner_ = std::make_unique<HashPartitioner>(
+      options_.nodes, options_.replication, options_.seed);
+  storages_.resize(options_.nodes);
+  alive_.assign(options_.nodes, true);
+  hints_held_.resize(options_.nodes);
+  if (options_.cache_capacity > 0) {
+    cache_ = make_cache(options_.cache_policy, options_.cache_capacity);
+  }
+}
+
+std::uint32_t KvCluster::node_count() const noexcept {
+  return options_.nodes;
+}
+
+const StorageEngine& KvCluster::storage(NodeId node) const {
+  SCP_CHECK(node < storages_.size());
+  return storages_[node];
+}
+
+std::vector<NodeId> KvCluster::replica_group_of(KeyId key) const {
+  return partitioner_->replica_group(key);
+}
+
+void KvCluster::cache_store(KeyId key, const std::string& value) {
+  if (cache_ == nullptr) {
+    return;
+  }
+  cache_->access(key);  // admit (or refresh) per the policy's rules
+  if (cache_->contains(key)) {
+    cache_values_[key] = value;
+  }
+  // The policy evicts silently, so the value map can hold dead entries;
+  // sweep it once it drifts well past the policy's capacity.
+  if (cache_values_.size() > 2 * options_.cache_capacity + 16) {
+    for (auto it = cache_values_.begin(); it != cache_values_.end();) {
+      it = cache_->contains(it->first) ? std::next(it)
+                                       : cache_values_.erase(it);
+    }
+  }
+}
+
+std::optional<std::string> KvCluster::cache_lookup(KeyId key) {
+  if (cache_ == nullptr) {
+    return std::nullopt;
+  }
+  if (!cache_->contains(key)) {
+    return std::nullopt;
+  }
+  const auto it = cache_values_.find(key);
+  if (it == cache_values_.end()) {
+    return std::nullopt;  // admitted but value never stored (miss-path admit)
+  }
+  cache_->access(key);  // refresh recency/frequency
+  return it->second;
+}
+
+bool KvCluster::put(KeyId key, std::string value) {
+  ++stats_.puts;
+  // Coherence first: even a failed write must not leave a stale copy
+  // serving reads (the write may have landed on some replicas).
+  if (cache_ != nullptr) {
+    cache_->invalidate(key);
+    cache_values_.erase(key);
+  }
+
+  const std::vector<NodeId> group = replica_group_of(key);
+  std::uint32_t live = 0;
+  for (const NodeId node : group) {
+    live += alive_[node] ? 1 : 0;
+  }
+  if (live < options_.write_quorum) {
+    ++stats_.quorum_failures;
+    return false;
+  }
+  const std::uint64_t version = ++clock_;
+  for (const NodeId node : group) {
+    if (alive_[node]) {
+      storages_[node].apply_put(key, value, version);
+    }
+  }
+  if (options_.hinted_handoff) {
+    store_hints(key, StorageEngine::Entry{value, version, false},
+                std::span<const NodeId>(group));
+  }
+  return true;
+}
+
+void KvCluster::store_hints(KeyId key, const StorageEngine::Entry& entry,
+                            std::span<const NodeId> group) {
+  // Buffer a copy for each dead replica on the first live replica (the
+  // sloppy-quorum holder). If no replica is alive the write failed quorum
+  // already and we never get here.
+  NodeId holder = group[0];
+  for (const NodeId node : group) {
+    if (alive_[node]) {
+      holder = node;
+      break;
+    }
+  }
+  for (const NodeId node : group) {
+    if (!alive_[node]) {
+      hints_held_[holder].push_back(Hint{node, key, entry});
+      ++stats_.hints_stored;
+    }
+  }
+}
+
+std::optional<std::string> KvCluster::get(KeyId key) {
+  ++stats_.gets;
+  if (auto cached = cache_lookup(key)) {
+    ++stats_.cache_hits;
+    return cached;
+  }
+  if (cache_ != nullptr) {
+    ++stats_.cache_misses;
+    ++misses_since_sweep_;
+  }
+
+  const std::vector<NodeId> group = replica_group_of(key);
+  std::vector<NodeId> contacted;
+  contacted.reserve(options_.read_quorum);
+  for (const NodeId node : group) {
+    if (alive_[node]) {
+      contacted.push_back(node);
+      if (contacted.size() == options_.read_quorum) {
+        break;
+      }
+    }
+  }
+  if (contacted.size() < options_.read_quorum) {
+    ++stats_.quorum_failures;
+    return std::nullopt;
+  }
+
+  // Newest version among the quorum wins.
+  std::optional<StorageEngine::Entry> newest;
+  for (const NodeId node : contacted) {
+    const auto entry = storages_[node].get_entry(key);
+    if (entry.has_value() &&
+        (!newest.has_value() || entry->version > newest->version)) {
+      newest = entry;
+    }
+  }
+
+  // Read repair: push the winning entry to stale contacted replicas.
+  if (newest.has_value()) {
+    for (const NodeId node : contacted) {
+      const auto entry = storages_[node].get_entry(key);
+      if (!entry.has_value() || entry->version < newest->version) {
+        if (newest->tombstone) {
+          storages_[node].apply_erase(key, newest->version);
+        } else {
+          storages_[node].apply_put(key, newest->value, newest->version);
+        }
+        ++stats_.read_repairs;
+      }
+    }
+  }
+
+  if (!newest.has_value() || newest->tombstone) {
+    return std::nullopt;
+  }
+  cache_store(key, newest->value);
+  return newest->value;
+}
+
+bool KvCluster::erase(KeyId key) {
+  ++stats_.erases;
+  if (cache_ != nullptr) {
+    cache_->invalidate(key);
+    cache_values_.erase(key);
+  }
+  const std::vector<NodeId> group = replica_group_of(key);
+  std::uint32_t live = 0;
+  for (const NodeId node : group) {
+    live += alive_[node] ? 1 : 0;
+  }
+  if (live < options_.write_quorum) {
+    ++stats_.quorum_failures;
+    return false;
+  }
+  const std::uint64_t version = ++clock_;
+  for (const NodeId node : group) {
+    if (alive_[node]) {
+      storages_[node].apply_erase(key, version);
+    }
+  }
+  if (options_.hinted_handoff) {
+    store_hints(key, StorageEngine::Entry{std::string(), version, true},
+                std::span<const NodeId>(group));
+  }
+  return true;
+}
+
+void KvCluster::fail_node(NodeId node) {
+  SCP_CHECK(node < alive_.size());
+  alive_[node] = false;
+}
+
+void KvCluster::recover_node(NodeId node) {
+  SCP_CHECK(node < alive_.size());
+  alive_[node] = true;
+  if (!options_.hinted_handoff) {
+    return;
+  }
+  // Every live holder replays (and drops) its hints for the returning node.
+  for (NodeId holder = 0; holder < alive_.size(); ++holder) {
+    if (!alive_[holder]) {
+      continue;  // a dead holder keeps its hints until it returns itself
+    }
+    auto& hints = hints_held_[holder];
+    for (auto it = hints.begin(); it != hints.end();) {
+      if (it->target != node) {
+        ++it;
+        continue;
+      }
+      if (it->entry.tombstone) {
+        storages_[node].apply_erase(it->key, it->entry.version);
+      } else {
+        storages_[node].apply_put(it->key, it->entry.value,
+                                  it->entry.version);
+      }
+      ++stats_.hints_replayed;
+      it = hints.erase(it);
+    }
+  }
+}
+
+void KvCluster::wipe_node(NodeId node) {
+  SCP_CHECK(node < storages_.size());
+  storages_[node].clear();
+  hints_held_[node].clear();  // hints lived on the wiped disk
+}
+
+bool KvCluster::node_alive(NodeId node) const {
+  SCP_CHECK(node < alive_.size());
+  return alive_[node];
+}
+
+void KvCluster::anti_entropy() {
+  // Gather the newest entry per key across all storages, then push it to
+  // every live replica of the key. O(total entries · d).
+  std::unordered_map<KeyId, StorageEngine::Entry> newest;
+  for (const StorageEngine& storage : storages_) {
+    storage.for_each_entry(
+        [&newest](KeyId key, const StorageEngine::Entry& entry) {
+          auto [it, inserted] = newest.try_emplace(key, entry);
+          if (!inserted && entry.version > it->second.version) {
+            it->second = entry;
+          }
+        });
+  }
+  for (const auto& [key, entry] : newest) {
+    for (const NodeId node : replica_group_of(key)) {
+      if (!alive_[node]) {
+        continue;
+      }
+      if (entry.tombstone) {
+        storages_[node].apply_erase(key, entry.version);
+      } else {
+        storages_[node].apply_put(key, entry.value, entry.version);
+      }
+    }
+  }
+}
+
+std::size_t KvCluster::hints_held_by(NodeId holder) const {
+  SCP_CHECK(holder < hints_held_.size());
+  return hints_held_[holder].size();
+}
+
+bool KvCluster::replicas_converged(KeyId key) const {
+  std::optional<std::uint64_t> version;
+  for (const NodeId node : replica_group_of(key)) {
+    if (!alive_[node]) {
+      continue;
+    }
+    const auto entry = storages_[node].get_entry(key);
+    const std::uint64_t v = entry.has_value() ? entry->version : 0;
+    if (version.has_value() && *version != v) {
+      return false;
+    }
+    version = v;
+  }
+  return true;
+}
+
+}  // namespace scp

@@ -1,0 +1,133 @@
+// Replicated key-value store — the functional substrate behind the paper's
+// system model.
+//
+// Realizes the four Section-II properties end to end:
+//   1. Randomized partitioning — keys route through a keyed-hash
+//      ReplicaPartitioner, opaque to clients.
+//   2. Equal replication — every key lives on exactly d nodes; writes go to
+//      a quorum W of them, reads to R, with last-writer-wins versions and
+//      read-repair (Dynamo-style; R + W > d gives read-your-writes).
+//   3. Cheap to cache results — gets are served from the front-end cache
+//      when possible; writes invalidate the cached copy (coherence).
+//   4. Costly to shift results — placement is a pure function of the
+//      partitioner; nothing rebalances on load.
+//
+// The store is single-threaded by design: it is the functional model the
+// simulators abstract, not a network server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <span>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cluster/partitioner.h"
+#include "kvstore/storage_engine.h"
+
+namespace scp {
+
+struct KvClusterOptions {
+  std::uint32_t nodes = 8;
+  std::uint32_t replication = 3;   ///< d
+  std::uint32_t write_quorum = 2;  ///< W (1 <= W <= d)
+  std::uint32_t read_quorum = 2;   ///< R (1 <= R <= d)
+  /// Front-end cache entries; 0 disables caching.
+  std::size_t cache_capacity = 0;
+  /// Cache policy: lru | lfu | slru | tinylfu.
+  std::string cache_policy = "lru";
+  /// Hinted handoff (Dynamo §4.6): a write that misses a dead replica
+  /// leaves a hint on the first live replica; recover_node() replays the
+  /// hints so the returning node converges without a full anti-entropy
+  /// pass. Hints survive the holder's fail/recover (durable on disk) but
+  /// are lost if the holder is wiped.
+  bool hinted_handoff = false;
+  std::uint64_t seed = 1;
+};
+
+struct KvStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t quorum_failures = 0;  ///< ops rejected: too few live replicas
+  std::uint64_t read_repairs = 0;     ///< stale replicas fixed during reads
+  std::uint64_t hints_stored = 0;     ///< writes buffered for dead replicas
+  std::uint64_t hints_replayed = 0;   ///< hints delivered on recovery
+};
+
+class KvCluster {
+ public:
+  explicit KvCluster(KvClusterOptions options);
+
+  // --- client API ------------------------------------------------------
+  /// Writes value to a write quorum of the key's replicas. Returns false if
+  /// fewer than W replicas are alive. Always invalidates the cached copy.
+  bool put(KeyId key, std::string value);
+
+  /// Reads from the cache, falling back to a read quorum (newest version
+  /// wins; stale live replicas are read-repaired). nullopt = absent key or
+  /// quorum unavailable.
+  std::optional<std::string> get(KeyId key);
+
+  /// Deletes via tombstone on a write quorum. Returns false on quorum
+  /// failure.
+  bool erase(KeyId key);
+
+  // --- operations ------------------------------------------------------
+  /// Marks a node dead: it accepts no reads or writes. Requires id < nodes.
+  void fail_node(NodeId node);
+  /// Brings a node back (it may hold stale data until repaired). With
+  /// hinted handoff enabled, live nodes replay their buffered hints to it.
+  void recover_node(NodeId node);
+  /// Wipes a node's storage (disk loss) — combine with recover_node.
+  void wipe_node(NodeId node);
+  bool node_alive(NodeId node) const;
+
+  /// Full anti-entropy pass: every entry is pushed to every live member of
+  /// its replica group at its newest version. Restores replica convergence
+  /// after failures/wipes.
+  void anti_entropy();
+
+  // --- introspection ---------------------------------------------------
+  std::uint32_t node_count() const noexcept;
+  const KvStats& stats() const noexcept { return stats_; }
+  const StorageEngine& storage(NodeId node) const;
+  const ReplicaPartitioner& partitioner() const noexcept {
+    return *partitioner_;
+  }
+  /// True iff all live replicas of `key` store the same version (or none).
+  bool replicas_converged(KeyId key) const;
+  /// Hints currently buffered on `holder` for other nodes (tests/metrics).
+  std::size_t hints_held_by(NodeId holder) const;
+
+ private:
+  struct Hint {
+    NodeId target;
+    KeyId key;
+    StorageEngine::Entry entry;
+  };
+  void store_hints(KeyId key, const StorageEngine::Entry& entry,
+                   std::span<const NodeId> group);
+
+  std::vector<NodeId> replica_group_of(KeyId key) const;
+  void cache_store(KeyId key, const std::string& value);
+  std::optional<std::string> cache_lookup(KeyId key);
+
+  KvClusterOptions options_;
+  std::unique_ptr<ReplicaPartitioner> partitioner_;
+  std::vector<StorageEngine> storages_;
+  std::vector<bool> alive_;
+  std::unique_ptr<FrontEndCache> cache_;  // null when cache_capacity == 0
+  std::unordered_map<KeyId, std::string> cache_values_;
+  std::vector<std::vector<Hint>> hints_held_;  // per holder node
+  std::uint64_t clock_ = 0;  // logical version clock
+  std::uint64_t misses_since_sweep_ = 0;
+  KvStats stats_;
+};
+
+}  // namespace scp

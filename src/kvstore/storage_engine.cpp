@@ -1,0 +1,69 @@
+#include "kvstore/storage_engine.h"
+
+namespace scp {
+
+bool StorageEngine::apply_put(KeyId key, std::string value,
+                              std::uint64_t version) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& entry = it->second;
+  if (!inserted && version <= entry.version) {
+    return false;  // stale or duplicate replay
+  }
+  if (inserted || entry.tombstone) {
+    ++live_count_;
+  } else {
+    bytes_used_ -= entry.value.size();
+  }
+  bytes_used_ += value.size();
+  entry.value = std::move(value);
+  entry.version = version;
+  entry.tombstone = false;
+  return true;
+}
+
+bool StorageEngine::apply_erase(KeyId key, std::uint64_t version) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& entry = it->second;
+  if (!inserted && version <= entry.version) {
+    return false;
+  }
+  if (!inserted && !entry.tombstone) {
+    --live_count_;
+    bytes_used_ -= entry.value.size();
+  }
+  entry.value.clear();
+  entry.version = version;
+  entry.tombstone = true;
+  return true;
+}
+
+std::optional<std::string> StorageEngine::get(KeyId key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.tombstone) {
+    return std::nullopt;
+  }
+  return it->second.value;
+}
+
+std::optional<StorageEngine::Entry> StorageEngine::get_entry(KeyId key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void StorageEngine::for_each_entry(
+    const std::function<void(KeyId, const Entry&)>& visit) const {
+  for (const auto& [key, entry] : entries_) {
+    visit(key, entry);
+  }
+}
+
+void StorageEngine::clear() {
+  entries_.clear();
+  live_count_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace scp

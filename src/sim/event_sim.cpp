@@ -1,0 +1,125 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "workload/stream.h"
+
+namespace scp {
+
+EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
+                               const QueryDistribution& distribution,
+                               ReplicaSelector& selector,
+                               const EventSimConfig& config) {
+  SCP_CHECK(config.query_rate > 0.0);
+  SCP_CHECK(config.duration_s > 0.0);
+  SCP_CHECK_MSG(config.queue_capacity >= 1, "need at least one queue slot");
+  cluster.reset_accounting();
+  selector.reset();
+  cache.clear();
+
+  const std::uint32_t n = cluster.node_count();
+  const std::uint32_t d = cluster.replication();
+  std::vector<NodeId> group(d);
+
+  // Per-node fluid queue state, advanced lazily to each arrival time.
+  std::vector<double> backlog(n, 0.0);       // queries waiting/being served
+  std::vector<double> last_update(n, 0.0);   // sim time of last drain
+  std::vector<double> backlog_as_load(n, 0.0);  // selector's view
+  std::vector<double> served_total(n, 0.0);
+
+  auto drain = [&](NodeId node, double now) {
+    const BackendNode& state = cluster.node(node);
+    if (state.has_capacity_limit()) {
+      const double served_capacity =
+          (now - last_update[node]) * state.capacity_qps();
+      const double served = std::min(backlog[node], served_capacity);
+      backlog[node] -= served;
+      served_total[node] += served;
+    } else {
+      served_total[node] += backlog[node];
+      backlog[node] = 0.0;  // infinite capacity: instant service
+    }
+    last_update[node] = now;
+    backlog_as_load[node] = backlog[node];
+  };
+
+  EventSimResult result;
+  result.node_arrivals.assign(n, 0);
+
+  QueryStream stream(distribution, config.query_rate, config.seed);
+  Rng route_rng(derive_seed(config.seed, 0x5e1ec7ULL));
+
+  while (true) {
+    const Query q = stream.next();
+    if (q.time >= config.duration_s) {
+      break;
+    }
+    ++result.total_queries;
+    if (cache.access(q.key)) {
+      ++result.cache_hits;
+      result.wait_us.record(0);
+      continue;
+    }
+    cluster.replica_group(q.key, std::span<NodeId>(group));
+    for (const NodeId node : group) {
+      drain(node, q.time);
+    }
+    const std::size_t pick = selector.select(
+        q.key, std::span<const NodeId>(group), backlog_as_load, route_rng);
+    const NodeId target = group[pick];
+    ++result.backend_arrivals;
+    ++result.node_arrivals[target];
+    cluster.node(target).record_arrival();
+
+    if (backlog[target] + 1.0 > static_cast<double>(config.queue_capacity)) {
+      ++result.dropped;
+      cluster.node(target).record_dropped(1);
+      continue;
+    }
+    // Waiting time = backlog ahead of us divided by the service rate.
+    const BackendNode& state = cluster.node(target);
+    if (state.has_capacity_limit()) {
+      const double wait_s = backlog[target] / state.capacity_qps();
+      result.wait_us.record(
+          static_cast<std::uint64_t>(std::llround(wait_s * 1e6)));
+    } else {
+      result.wait_us.record(0);
+    }
+    backlog[target] += 1.0;
+    backlog_as_load[target] = backlog[target];
+    cluster.node(target).set_queue_depth(
+        static_cast<std::uint64_t>(backlog[target]));
+  }
+
+  result.cache_hit_ratio =
+      result.total_queries > 0
+          ? static_cast<double>(result.cache_hits) /
+                static_cast<double>(result.total_queries)
+          : 0.0;
+  result.drop_ratio =
+      result.total_queries > 0
+          ? static_cast<double>(result.dropped) /
+                static_cast<double>(result.total_queries)
+          : 0.0;
+
+  for (NodeId id = 0; id < n; ++id) {
+    cluster.node(id).record_served(
+        static_cast<std::uint64_t>(std::llround(served_total[id])));
+  }
+
+  std::vector<double> arrivals_d(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    arrivals_d[i] = static_cast<double>(result.node_arrivals[i]);
+  }
+  result.arrival_metrics = compute_load_metrics(arrivals_d);
+  if (result.total_queries > 0) {
+    result.normalized_max_arrivals = normalized_against(
+        result.arrival_metrics.max, static_cast<double>(result.total_queries),
+        n);
+  }
+  return result;
+}
+
+}  // namespace scp

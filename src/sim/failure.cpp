@@ -1,0 +1,117 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cache/perfect_cache.h"
+#include "cluster/partitioner.h"
+#include "cluster/routing.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scp {
+namespace {
+
+// Places the workload's uncached mass on the ring's current membership and
+// returns the per-node loads (indexed by original NodeId; dead nodes 0).
+std::vector<double> place_load(const ConsistentHashRing& ring,
+                               std::uint32_t original_nodes,
+                               const QueryDistribution& workload,
+                               const PerfectCache& cache,
+                               ReplicaSelector& selector, double query_rate,
+                               Rng& rng) {
+  const std::uint32_t d = ring.replication();
+  std::vector<NodeId> group(d);
+  std::vector<double> loads(original_nodes, 0.0);
+  std::vector<std::uint64_t> order(workload.support_size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::uint64_t>(order));
+  for (const std::uint64_t key : order) {
+    const double rate = workload.probability(key) * query_rate;
+    if (rate <= 0.0 || cache.contains(key)) {
+      continue;
+    }
+    ring.replica_group(key, std::span<NodeId>(group));
+    if (selector.splits_evenly()) {
+      const double share = rate / static_cast<double>(d);
+      for (const NodeId node : group) {
+        loads[node] += share;
+      }
+    } else {
+      const std::size_t pick =
+          selector.select(key, std::span<const NodeId>(group), loads, rng);
+      loads[group[pick]] += rate;
+    }
+  }
+  return loads;
+}
+
+double normalized_max(const std::vector<double>& loads, double query_rate,
+                      std::uint32_t alive_nodes) {
+  const double max_load = *std::max_element(loads.begin(), loads.end());
+  return max_load / (query_rate / static_cast<double>(alive_nodes));
+}
+
+}  // namespace
+
+FailureExperimentResult run_failure_experiment(
+    const FailureExperimentConfig& config, std::uint32_t failures,
+    const QueryDistribution& workload, std::uint64_t seed) {
+  SCP_CHECK(config.nodes >= 1 && config.replication >= 1);
+  SCP_CHECK_MSG(failures + config.replication <= config.nodes,
+                "cannot fail below the replication factor");
+  SCP_CHECK_MSG(workload.size() == config.items,
+                "workload key space must match config.items");
+  SCP_CHECK(config.query_rate > 0.0);
+
+  ConsistentHashRing ring(config.nodes, config.replication,
+                          config.vnodes_per_node, derive_seed(seed, 1));
+  const PerfectCache cache(config.cache_size, workload);
+  auto selector = make_selector(config.selector);
+
+  FailureExperimentResult result;
+  result.failed_nodes = failures;
+  result.alive_nodes = config.nodes - failures;
+
+  // Snapshot replica groups of the support for disruption accounting.
+  const std::uint64_t support = workload.support_size();
+  std::vector<std::vector<NodeId>> groups_before(support);
+  for (std::uint64_t key = 0; key < support; ++key) {
+    groups_before[key] = ring.replica_group(key);
+  }
+
+  Rng rng(derive_seed(seed, 2));
+  result.gain_before = normalized_max(
+      place_load(ring, config.nodes, workload, cache, *selector,
+                 config.query_rate, rng),
+      config.query_rate, config.nodes);
+
+  // Fail `failures` distinct random nodes.
+  Rng failure_rng(derive_seed(seed, 3));
+  const std::vector<std::uint64_t> victims =
+      failure_rng.sample_without_replacement(config.nodes, failures);
+  for (const std::uint64_t victim : victims) {
+    ring.remove_node(static_cast<NodeId>(victim));
+  }
+
+  std::uint64_t disrupted = 0;
+  for (std::uint64_t key = 0; key < support; ++key) {
+    if (ring.replica_group(key) != groups_before[key]) {
+      ++disrupted;
+    }
+  }
+  result.disruption_fraction =
+      support > 0 ? static_cast<double>(disrupted) /
+                        static_cast<double>(support)
+                  : 0.0;
+
+  selector->reset();
+  result.gain_after = normalized_max(
+      place_load(ring, config.nodes, workload, cache, *selector,
+                 config.query_rate, rng),
+      config.query_rate, result.alive_nodes);
+  return result;
+}
+
+}  // namespace scp

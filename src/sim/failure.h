@@ -1,0 +1,52 @@
+// Failure injection: does provable prevention survive node failures?
+//
+// The paper provisions for a fixed n. Real clusters lose nodes. Two things
+// happen on failure with consistent-hash placement: (i) the failed nodes'
+// keys remap to ring successors (bounded disruption — "costly to shift
+// results" is why we must re-measure, not re-derive), and (ii) the effective
+// cluster is smaller, so both the even-spread baseline R/(n−f) and the
+// threshold c*(n−f) move. Since c* grows with n, a cache provisioned for n
+// still satisfies c ≥ c*(n−f): the guarantee should *survive* failures, with
+// the load everywhere rising by n/(n−f). This module measures exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/distribution.h"
+
+namespace scp {
+
+struct FailureExperimentConfig {
+  std::uint32_t nodes = 100;        ///< n before failures
+  std::uint32_t replication = 3;    ///< d
+  std::uint64_t items = 10000;      ///< m
+  std::uint64_t cache_size = 0;     ///< c
+  double query_rate = 1.0;          ///< R
+  std::uint32_t vnodes_per_node = 64;
+  std::string selector = "least-loaded";
+};
+
+struct FailureExperimentResult {
+  /// Normalized max load before any failure (baseline, vs R/n).
+  double gain_before = 0.0;
+  /// Normalized max load over surviving nodes after the failures,
+  /// normalized against the post-failure even spread R/(n−f).
+  double gain_after = 0.0;
+  /// Fraction of (supported) keys whose replica group changed.
+  double disruption_fraction = 0.0;
+  std::uint32_t failed_nodes = 0;
+  std::uint32_t alive_nodes = 0;
+};
+
+/// Runs the before/after measurement: builds a consistent-hash ring cluster,
+/// measures the workload's gain, fails `failures` random nodes (removing
+/// them from the ring, which remaps their arcs to successors), and measures
+/// again with the *same* workload and cache contents (the adversary and the
+/// front-end don't react instantly). Requires failures + replication <=
+/// nodes.
+FailureExperimentResult run_failure_experiment(
+    const FailureExperimentConfig& config, std::uint32_t failures,
+    const QueryDistribution& workload, std::uint64_t seed);
+
+}  // namespace scp

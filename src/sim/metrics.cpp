@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace scp {
+
+std::string LoadMetrics::to_string() const {
+  std::ostringstream os;
+  os << "max=" << max << " mean=" << mean << " max/mean=" << max_over_mean
+     << " cov=" << coefficient_of_variation << " jain=" << jain_fairness;
+  return os.str();
+}
+
+LoadMetrics compute_load_metrics(std::span<const double> loads) {
+  SCP_CHECK_MSG(!loads.empty(), "load vector is empty");
+  LoadMetrics metrics;
+  RunningStats rs;
+  for (const double load : loads) {
+    rs.add(load);
+  }
+  metrics.max = rs.max();
+  metrics.mean = rs.mean();
+  metrics.min = rs.min();
+  metrics.max_over_mean = rs.mean() > 0.0 ? rs.max() / rs.mean() : 0.0;
+  metrics.coefficient_of_variation = coefficient_of_variation(loads);
+  metrics.jain_fairness = jain_fairness(loads);
+  return metrics;
+}
+
+double normalized_against(double max_load, double total_rate,
+                          std::uint32_t nodes) {
+  SCP_CHECK(nodes >= 1);
+  SCP_CHECK(total_rate > 0.0);
+  return max_load / (total_rate / static_cast<double>(nodes));
+}
+
+}  // namespace scp

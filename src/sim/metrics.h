@@ -1,0 +1,33 @@
+// Load-imbalance metrics computed from per-node load vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace scp {
+
+/// Summary of a per-node load vector (offered rates or request counts).
+struct LoadMetrics {
+  double max = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  /// max / mean — 1.0 is perfect balance. This is the paper's
+  /// "normalized max load" when the loads are offered rates (mean = R'/n
+  /// with R' the back-end-bound rate; see normalized_against below for the
+  /// R/n-normalized variant of Definition 1).
+  double max_over_mean = 0.0;
+  double coefficient_of_variation = 0.0;
+  double jain_fairness = 0.0;
+
+  std::string to_string() const;
+};
+
+LoadMetrics compute_load_metrics(std::span<const double> loads);
+
+/// Definition 1's normalization: observed max load over the even-spread
+/// baseline R/n, where R is the *total* (pre-cache) query rate.
+double normalized_against(double max_load, double total_rate,
+                          std::uint32_t nodes);
+
+}  // namespace scp

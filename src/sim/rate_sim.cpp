@@ -1,0 +1,90 @@
+#include "sim/rate_sim.h"
+
+#include <algorithm>
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scp {
+
+RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
+                             const QueryDistribution& distribution,
+                             ReplicaSelector& selector,
+                             const RateSimConfig& config) {
+  SCP_CHECK(config.query_rate > 0.0);
+  if (config.cost_model != nullptr) {
+    SCP_CHECK_MSG(config.cost_model->size() == distribution.size(),
+                  "cost model key space must match the distribution");
+  }
+  cluster.reset_accounting();
+  selector.reset();
+  Rng rng(config.seed);
+
+  const std::uint32_t d = cluster.replication();
+  std::vector<NodeId> group(d);
+  std::vector<double> loads(cluster.node_count(), 0.0);
+
+  RateSimResult result;
+
+  // Place keys in random order: the greedy least-loaded assignment is then
+  // unbiased with respect to key rank (matters for skewed distributions).
+  const std::uint64_t support = distribution.support_size();
+  std::vector<std::uint64_t> order(support);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::uint64_t>(order));
+
+  double effective_total = 0.0;
+  for (const std::uint64_t key : order) {
+    const double cost =
+        config.cost_model != nullptr ? config.cost_model->cost(key) : 1.0;
+    const double rate = distribution.probability(key) * config.query_rate * cost;
+    if (rate <= 0.0) {
+      continue;
+    }
+    effective_total += rate;
+    if (cache.contains(key)) {
+      result.cache_rate += rate;
+      continue;
+    }
+    cluster.replica_group(key, std::span<NodeId>(group));
+    if (selector.splits_evenly()) {
+      const double share = rate / static_cast<double>(d);
+      for (const NodeId node : group) {
+        loads[node] += share;
+      }
+    } else {
+      const std::size_t pick = selector.select(
+          key, std::span<const NodeId>(group), loads, rng);
+      loads[group[pick]] += rate;
+    }
+  }
+
+  for (NodeId id = 0; id < cluster.node_count(); ++id) {
+    cluster.node(id).add_offered_rate(loads[id]);
+  }
+
+  result.node_loads = std::move(loads);
+  result.metrics = compute_load_metrics(result.node_loads);
+  // With a cost model, normalize against the effective (cost-weighted)
+  // total demand; under uniform cost this is exactly R.
+  const double demand =
+      config.cost_model != nullptr ? effective_total : config.query_rate;
+  result.backend_rate = demand - result.cache_rate;
+  result.cache_hit_ratio = demand > 0.0 ? result.cache_rate / demand : 0.0;
+  result.normalized_max_load =
+      demand > 0.0
+          ? normalized_against(result.metrics.max, demand, cluster.node_count())
+          : 0.0;
+  result.saturated_nodes = cluster.saturated_node_count();
+  for (const BackendNode& node : cluster.nodes()) {
+    if (node.has_capacity_limit()) {
+      result.max_utilization = std::max(
+          result.max_utilization, node.offered_rate() / node.capacity_qps());
+    }
+  }
+  return result;
+}
+
+}  // namespace scp

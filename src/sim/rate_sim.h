@@ -1,0 +1,58 @@
+// Rate simulator — the paper's level of abstraction.
+//
+// Works with expected per-key query rates instead of individual requests:
+// cached keys' mass is absorbed by the front-end; each uncached key's rate
+// p_i·R is placed on its replica group by the selector (whole rate to the
+// least-loaded member — the balls-into-bins model — or split evenly for
+// random / round-robin selection). One run = one random partition of keys to
+// nodes; repeated runs with fresh seeds give the max-load distribution the
+// paper plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cluster/cluster.h"
+#include "cluster/routing.h"
+#include "sim/metrics.h"
+#include "workload/cost_model.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+struct RateSimConfig {
+  double query_rate = 1.0;  ///< R — aggregate client rate (qps)
+  /// Seed for the selector's tie-breaks and the key-placement order.
+  std::uint64_t seed = 1;
+  /// Optional per-key cost multipliers (Assumption 4 relaxation). When set,
+  /// every rate in the result is *effective* (cost-weighted) and must match
+  /// the distribution's key space. Null = uniform cost 1.
+  const CostModel* cost_model = nullptr;
+};
+
+struct RateSimResult {
+  std::vector<double> node_loads;  ///< offered rate per node (qps)
+  LoadMetrics metrics;             ///< imbalance metrics of node_loads
+  double cache_rate = 0.0;         ///< rate absorbed by the front-end cache
+  double backend_rate = 0.0;       ///< rate reaching the back-ends
+  double cache_hit_ratio = 0.0;    ///< cache_rate / R
+  /// Observed max load normalized by the even-spread baseline R_eff/n
+  /// (Definition 1's attack gain; R_eff = cost-weighted total demand, = R
+  /// under uniform cost).
+  double normalized_max_load = 0.0;
+  std::uint32_t saturated_nodes = 0;  ///< nodes with offered > capacity
+  /// Max over capacity-limited nodes of offered/capacity; 0 when every node
+  /// is unlimited. The metric that matters under heterogeneous capacities:
+  /// the cluster melts down where *utilization*, not raw load, peaks.
+  double max_utilization = 0.0;
+};
+
+/// Runs one rate simulation. Resets the cluster's accounting first and
+/// leaves the offered rates of this run on the cluster's nodes.
+RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
+                             const QueryDistribution& distribution,
+                             ReplicaSelector& selector,
+                             const RateSimConfig& config);
+
+}  // namespace scp

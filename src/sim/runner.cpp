@@ -1,0 +1,82 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace scp {
+
+ExperimentRunner::ExperimentRunner(std::uint64_t base_seed,
+                                   std::uint32_t trials,
+                                   std::string progress_label,
+                                   std::uint32_t threads)
+    : base_seed_(base_seed),
+      trials_(trials),
+      progress_label_(std::move(progress_label)),
+      threads_(threads) {
+  SCP_CHECK_MSG(trials >= 1, "need at least one trial");
+  SCP_CHECK_MSG(threads >= 1, "need at least one thread");
+}
+
+std::uint64_t ExperimentRunner::trial_seed(std::uint32_t index) const {
+  SCP_CHECK(index < trials_);
+  return derive_seed(base_seed_, 0xa11ce000ULL + index);
+}
+
+std::vector<double> ExperimentRunner::run_parallel(
+    const std::function<double(std::uint64_t)>& trial) const {
+  // Work stealing by atomic index: each worker claims the next trial and
+  // writes to its own slot, so ordering (and therefore aggregation) is
+  // independent of scheduling.
+  std::vector<double> values(trials_);
+  std::atomic<std::uint32_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::uint32_t index = next.fetch_add(1);
+      if (index >= trials_) {
+        return;
+      }
+      values[index] = trial(trial_seed(index));
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::uint32_t workers = std::min(threads_, trials_);
+  pool.reserve(workers);
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return values;
+}
+
+std::vector<double> ExperimentRunner::run(
+    const std::function<double(std::uint64_t)>& trial) const {
+  SCP_CHECK(static_cast<bool>(trial));
+  if (threads_ > 1) {
+    return run_parallel(trial);
+  }
+  std::vector<double> values;
+  values.reserve(trials_);
+  const std::uint32_t report_every = std::max(1U, trials_ / 4);
+  for (std::uint32_t t = 0; t < trials_; ++t) {
+    values.push_back(trial(trial_seed(t)));
+    if (!progress_label_.empty() && (t + 1) % report_every == 0) {
+      SCP_LOG_INFO << progress_label_ << ": " << (t + 1) << "/" << trials_
+                   << " trials";
+    }
+  }
+  return values;
+}
+
+Summary ExperimentRunner::run_summary(
+    const std::function<double(std::uint64_t)>& trial) const {
+  const std::vector<double> values = run(trial);
+  return summarize(values);
+}
+
+}  // namespace scp

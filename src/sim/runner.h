@@ -1,0 +1,54 @@
+// Experiment runner: repeated seeded trials with aggregation.
+//
+// Centralizes the trial-seed derivation convention so every experiment is
+// reproducible from one base seed, and optionally reports progress for
+// long sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace scp {
+
+class ExperimentRunner {
+ public:
+  /// `trials` independent repetitions per measurement, seeded from
+  /// `base_seed`. `progress_label`, when non-empty, logs one line per 25%.
+  /// `threads` > 1 runs trials concurrently on a small thread pool; results
+  /// are written by trial index, so the output is bit-identical regardless
+  /// of thread count (the trial callback must be thread-safe — the scenario
+  /// helpers are, since each trial builds its own cluster).
+  ExperimentRunner(std::uint64_t base_seed, std::uint32_t trials,
+                   std::string progress_label = {}, std::uint32_t threads = 1);
+
+  std::uint32_t trials() const noexcept { return trials_; }
+  std::uint64_t base_seed() const noexcept { return base_seed_; }
+
+  /// Runs `trial(seed)` for each derived trial seed and returns the raw
+  /// per-trial values.
+  std::vector<double> run(
+      const std::function<double(std::uint64_t)>& trial) const;
+
+  /// run() + summarize().
+  Summary run_summary(const std::function<double(std::uint64_t)>& trial) const;
+
+  /// The i-th trial's seed (for re-running a single trial in isolation).
+  std::uint64_t trial_seed(std::uint32_t index) const;
+
+  std::uint32_t threads() const noexcept { return threads_; }
+
+ private:
+  std::vector<double> run_parallel(
+      const std::function<double(std::uint64_t)>& trial) const;
+
+  std::uint64_t base_seed_;
+  std::uint32_t trials_;
+  std::string progress_label_;
+  std::uint32_t threads_;
+};
+
+}  // namespace scp

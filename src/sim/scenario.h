@@ -1,0 +1,66 @@
+// Scenario helpers: one-call construction of "cluster + perfect cache +
+// distribution → attack gain" trials, the unit every figure bench and the
+// provisioner repeat thousands of times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/bounds.h"
+#include "common/stats.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+/// How a scenario realizes the system model.
+struct ScenarioConfig {
+  SystemParams params;                     ///< n, d, m, c, R
+  std::string partitioner = "hash";        ///< hash | ring | rendezvous
+  std::string selector = "least-loaded";   ///< least-loaded | random | round-robin
+};
+
+/// One rate-simulation trial against an arbitrary workload distribution:
+/// builds a fresh cluster (partition seeded from `seed`), a perfect cache of
+/// the c most popular keys of `distribution`, runs the rate simulator and
+/// returns the normalized max load (Definition 1's attack gain).
+double gain_trial(const ScenarioConfig& config,
+                  const QueryDistribution& distribution, std::uint64_t seed);
+
+/// Trial against the paper's adversarial pattern with x queried keys.
+double adversarial_gain_trial(const ScenarioConfig& config, std::uint64_t x,
+                              std::uint64_t seed);
+
+/// Aggregate of repeated trials.
+struct GainStatistics {
+  Summary summary;      ///< over per-trial normalized max loads
+  double max_gain = 0;  ///< max over trials — what the paper's Fig. 3 plots
+};
+
+/// Runs `trials` independent gain trials (seeds derived from `base_seed`).
+GainStatistics measure_gain(const ScenarioConfig& config,
+                            const QueryDistribution& distribution,
+                            std::uint32_t trials, std::uint64_t base_seed);
+
+/// measure_gain against the adversarial pattern with x keys.
+GainStatistics measure_adversarial_gain(const ScenarioConfig& config,
+                                        std::uint64_t x, std::uint32_t trials,
+                                        std::uint64_t base_seed);
+
+/// Outcome of one partial-knowledge (targeted) attack trial.
+struct TargetedAttackResult {
+  double max_gain = 0.0;     ///< normalized load of the most loaded node
+  double target_gain = 0.0;  ///< normalized load of the attacked node
+  std::uint64_t queried_keys = 0;  ///< size of the targeted key set
+  std::uint64_t known_keys = 0;    ///< keys whose placement leaked (φ·m)
+};
+
+/// One trial of the Assumption-1 stress test: the adversary probes the
+/// trial's own partitioner for a `known_fraction` of keys (the simulated
+/// leak), mounts the targeted plan from adversary/knowledge.h, and the
+/// rate simulation measures the damage. Uses the scenario's selector;
+/// key→node placement stickiness follows the selector as usual.
+TargetedAttackResult knowledge_attack_trial(const ScenarioConfig& config,
+                                            double known_fraction,
+                                            std::uint64_t seed);
+
+}  // namespace scp

@@ -1,0 +1,50 @@
+#include "workload/cost_model.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace scp {
+
+CostModel::CostModel(std::vector<double> costs) : costs_(std::move(costs)) {
+  SCP_CHECK_MSG(!costs_.empty(), "cost model needs at least one key");
+  min_cost_ = costs_[0];
+  max_cost_ = costs_[0];
+  double total = 0.0;
+  for (const double c : costs_) {
+    SCP_CHECK_MSG(c > 0.0, "query costs must be positive");
+    min_cost_ = std::min(min_cost_, c);
+    max_cost_ = std::max(max_cost_, c);
+    total += c;
+  }
+  mean_cost_ = total / static_cast<double>(costs_.size());
+}
+
+CostModel CostModel::uniform(std::uint64_t m) {
+  return CostModel(std::vector<double>(m, 1.0));
+}
+
+CostModel CostModel::two_class(std::uint64_t m, double cheap_cost,
+                               double expensive_cost,
+                               double expensive_fraction, std::uint64_t seed) {
+  SCP_CHECK(cheap_cost > 0.0 && expensive_cost > 0.0);
+  SCP_CHECK(expensive_fraction >= 0.0 && expensive_fraction <= 1.0);
+  std::vector<double> costs(m, cheap_cost);
+  // Deterministic membership by keyed hash so the expensive set is stable
+  // across runs and independent of key popularity rank.
+  // Compare the hash's top 53 bits against fraction·2^53: exact at the
+  // endpoints (0 → never, 1 → always) and free of double→u64 overflow.
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(expensive_fraction * 9007199254740992.0);
+  for (std::uint64_t key = 0; key < m; ++key) {
+    if ((mix64(key ^ seed) >> 11) < threshold) {
+      costs[key] = expensive_cost;
+    }
+  }
+  return CostModel(std::move(costs));
+}
+
+CostModel CostModel::from_costs(std::vector<double> costs) {
+  return CostModel(std::move(costs));
+}
+
+}  // namespace scp

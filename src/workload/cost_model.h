@@ -1,0 +1,53 @@
+// Per-query cost models — relaxing the paper's Assumption 4.
+//
+// The paper assumes every query costs the same at a back-end node, and
+// points at Fan et al. (SOCC'11 §5) for handling mixed operation types:
+// treat a query of relative cost w as w unit queries. A CostModel assigns
+// each key a positive cost multiplier; the weighted rate simulator then
+// measures cost-weighted load, and the provisioner scales its worst-case
+// bound by the maximum multiplier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp {
+
+class CostModel {
+ public:
+  /// Uniform cost 1.0 for all m keys — the paper's Assumption 4.
+  static CostModel uniform(std::uint64_t m);
+
+  /// Two operation classes: a `expensive_fraction` of keys (chosen
+  /// deterministically from `seed`) cost `expensive_cost`, the rest cost
+  /// `cheap_cost`. Models e.g. a read/write mix where writes fan out to all
+  /// replicas or hit disk.
+  static CostModel two_class(std::uint64_t m, double cheap_cost,
+                             double expensive_cost, double expensive_fraction,
+                             std::uint64_t seed);
+
+  /// Explicit per-key costs (all > 0).
+  static CostModel from_costs(std::vector<double> costs);
+
+  std::uint64_t size() const noexcept { return costs_.size(); }
+  double cost(KeyId key) const noexcept { return costs_[key]; }
+  std::span<const double> costs() const noexcept { return costs_; }
+
+  double min_cost() const noexcept { return min_cost_; }
+  double max_cost() const noexcept { return max_cost_; }
+  double mean_cost() const noexcept { return mean_cost_; }
+  bool is_uniform() const noexcept { return min_cost_ == max_cost_; }
+
+ private:
+  explicit CostModel(std::vector<double> costs);
+
+  std::vector<double> costs_;
+  double min_cost_ = 1.0;
+  double max_cost_ = 1.0;
+  double mean_cost_ = 1.0;
+};
+
+}  // namespace scp

@@ -1,0 +1,201 @@
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+
+namespace scp {
+
+QueryDistribution::QueryDistribution(std::vector<double> p) : p_(std::move(p)) {
+  SCP_CHECK_MSG(!p_.empty(), "distribution needs at least one key");
+  prefix_.resize(p_.size());
+  double run = 0.0;
+  support_ = 0;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    run += p_[i];
+    prefix_[i] = run;
+    if (p_[i] > 0.0) {
+      support_ = i + 1;  // probabilities are non-increasing: support is a prefix
+    }
+  }
+}
+
+QueryDistribution QueryDistribution::from_weights(std::vector<double> weights) {
+  SCP_CHECK_MSG(!weights.empty(), "distribution needs at least one key");
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    SCP_CHECK_MSG(weights[i] >= 0.0, "weights must be non-negative");
+    if (i > 0) {
+      SCP_CHECK_MSG(weights[i] <= weights[i - 1],
+                    "weights must be non-increasing (popularity order)");
+    }
+    total += weights[i];
+  }
+  SCP_CHECK_MSG(total > 0.0, "weights must have positive sum");
+  for (double& w : weights) {
+    w /= total;
+  }
+  return QueryDistribution(std::move(weights));
+}
+
+QueryDistribution QueryDistribution::uniform(std::uint64_t m) {
+  return uniform_over(m, m);
+}
+
+QueryDistribution QueryDistribution::uniform_over(std::uint64_t x,
+                                                  std::uint64_t m) {
+  SCP_CHECK_MSG(m >= 1, "key space must be non-empty");
+  SCP_CHECK_MSG(x >= 1 && x <= m, "need 1 <= x <= m");
+  std::vector<double> p(m, 0.0);
+  const double h = 1.0 / static_cast<double>(x);
+  std::fill(p.begin(), p.begin() + static_cast<std::ptrdiff_t>(x), h);
+  return QueryDistribution(std::move(p));
+}
+
+QueryDistribution QueryDistribution::zipf(std::uint64_t m, double theta) {
+  SCP_CHECK_MSG(m >= 1, "key space must be non-empty");
+  SCP_CHECK_MSG(theta > 0.0, "Zipf exponent must be positive");
+  std::vector<double> p(m);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    p[i] = std::pow(static_cast<double>(i + 1), -theta);
+    total += p[i];
+  }
+  for (double& v : p) {
+    v /= total;
+  }
+  return QueryDistribution(std::move(p));
+}
+
+QueryDistribution QueryDistribution::mixture(double w,
+                                             const QueryDistribution& a,
+                                             const QueryDistribution& b) {
+  SCP_CHECK(w >= 0.0 && w <= 1.0);
+  SCP_CHECK_MSG(a.size() == b.size(), "mixture requires equal key spaces");
+  std::vector<double> p(a.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = w * a.p_[i] + (1.0 - w) * b.p_[i];
+  }
+  std::sort(p.begin(), p.end(), std::greater<double>());
+  return QueryDistribution(std::move(p));
+}
+
+double QueryDistribution::head_mass(std::uint64_t c) const noexcept {
+  if (c == 0) {
+    return 0.0;
+  }
+  const std::uint64_t idx = std::min<std::uint64_t>(c, p_.size()) - 1;
+  return prefix_[idx];
+}
+
+double QueryDistribution::entropy() const noexcept {
+  double h = 0.0;
+  for (std::uint64_t i = 0; i < support_; ++i) {
+    h -= p_[i] * std::log2(p_[i]);
+  }
+  return h;
+}
+
+AliasSampler QueryDistribution::make_sampler() const {
+  // The support is a prefix, so sampler category i is exactly key i.
+  return AliasSampler(std::span<const double>(p_.data(), support_));
+}
+
+bool QueryDistribution::is_valid(double tolerance) const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    if (p_[i] < 0.0) {
+      return false;
+    }
+    if (i > 0 && p_[i] > p_[i - 1] + tolerance) {
+      return false;
+    }
+    total += p_[i];
+  }
+  return std::abs(total - 1.0) <= tolerance;
+}
+
+QueryDistribution estimate_distribution(std::span<const std::uint64_t> counts,
+                                        double smoothing) {
+  SCP_CHECK_MSG(!counts.empty(), "need at least one key");
+  SCP_CHECK_MSG(smoothing >= 0.0, "smoothing must be non-negative");
+  std::vector<double> weights(counts.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    weights[i] = static_cast<double>(counts[i]) + smoothing;
+    total += weights[i];
+  }
+  SCP_CHECK_MSG(total > 0.0,
+                "all counts zero and no smoothing: empty distribution");
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  return QueryDistribution::from_weights(std::move(weights));
+}
+
+bool adversarial_shift_step(std::span<double> p, std::uint64_t c) {
+  SCP_CHECK(!p.empty());
+  SCP_CHECK(c < p.size());
+  // h: the cached keys' probability ceiling. With no cache the adversary may
+  // concentrate arbitrarily, which the ceiling h = 1 expresses.
+  const double h = c == 0 ? 1.0 : p[c - 1];
+  if (h <= 0.0) {
+    return false;  // no uncached mass can exist either
+  }
+  // Receiver: first uncached key with room below h.
+  std::size_t receiver = c;
+  while (receiver < p.size() && p[receiver] >= h) {
+    ++receiver;
+  }
+  if (receiver >= p.size()) {
+    return false;
+  }
+  // Donor: last key with positive probability.
+  std::size_t donor = p.size();
+  while (donor > receiver + 1 && p[donor - 1] <= 0.0) {
+    --donor;
+  }
+  --donor;
+  if (donor <= receiver || p[donor] <= 0.0) {
+    return false;  // only the fractional key remains — fixpoint
+  }
+  const double delta = std::min(h - p[receiver], p[donor]);
+  p[receiver] += delta;
+  p[donor] -= delta;
+  return true;
+}
+
+QueryDistribution adversarial_shift_fixpoint(const QueryDistribution& start,
+                                             std::uint64_t c) {
+  const std::uint64_t m = start.size();
+  SCP_CHECK(c < m);
+  const double h = c == 0 ? 1.0 : start.probability(c - 1);
+  const double uncached_mass = 1.0 - start.head_mass(c);
+  std::vector<double> p(start.probabilities().begin(),
+                        start.probabilities().end());
+  if (h <= 0.0 || uncached_mass <= 0.0) {
+    return QueryDistribution::from_weights(std::move(p));
+  }
+  // Pack the uncached mass into ⌊mass/h⌋ keys at h plus one fractional key,
+  // exactly what iterated Theorem-1 steps converge to.
+  auto full = static_cast<std::uint64_t>(uncached_mass / h);
+  double remainder = uncached_mass - static_cast<double>(full) * h;
+  if (remainder < 1e-15 * static_cast<double>(m)) {
+    remainder = 0.0;  // absorb rounding dust so the tail is exactly zero
+  }
+  full = std::min<std::uint64_t>(full, m - c);
+  std::uint64_t i = c;
+  for (std::uint64_t filled = 0; filled < full; ++filled, ++i) {
+    p[i] = h;
+  }
+  if (i < m) {
+    p[i] = remainder;
+    ++i;
+  }
+  for (; i < m; ++i) {
+    p[i] = 0.0;
+  }
+  return QueryDistribution::from_weights(std::move(p));
+}
+
+}  // namespace scp

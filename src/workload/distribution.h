@@ -1,0 +1,101 @@
+// Query distributions S = (p_1, …, p_m) over the key space.
+//
+// Keys are identified by popularity rank: key id i has the (i+1)-th largest
+// probability, matching the paper's convention of listing keys in
+// monotonically non-increasing popularity order. The randomized partitioner
+// hashes key ids with a secret key, so this canonical ordering leaks nothing
+// about placement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/sampling.h"
+
+namespace scp {
+
+class QueryDistribution {
+ public:
+  /// Builds from explicit non-negative weights (normalized internally).
+  /// The weights must already be in non-increasing order.
+  static QueryDistribution from_weights(std::vector<double> weights);
+
+  /// Uniform over all m keys.
+  static QueryDistribution uniform(std::uint64_t m);
+
+  /// Uniform over the first `x` keys of an m-key space; zero elsewhere.
+  /// This is the paper's optimal adversarial pattern (Fig. 2): query x keys,
+  /// all at the same rate. Requires 1 <= x <= m.
+  static QueryDistribution uniform_over(std::uint64_t x, std::uint64_t m);
+
+  /// Zipf with exponent theta over m keys: p_i ∝ 1/(i+1)^theta.
+  static QueryDistribution zipf(std::uint64_t m, double theta);
+
+  /// Convex mixture w·a + (1-w)·b of two distributions over the same key
+  /// space. The result is re-sorted to non-increasing order.
+  static QueryDistribution mixture(double w, const QueryDistribution& a,
+                                   const QueryDistribution& b);
+
+  /// Number of keys m (including zero-probability keys).
+  std::uint64_t size() const noexcept { return p_.size(); }
+
+  /// Probability of key i. Requires i < size().
+  double probability(KeyId i) const noexcept { return p_[i]; }
+
+  std::span<const double> probabilities() const noexcept { return p_; }
+
+  /// Number of keys with positive probability. Probabilities are
+  /// non-increasing, so the support is exactly the first support_size() keys.
+  std::uint64_t support_size() const noexcept { return support_; }
+
+  /// Total probability mass of the `c` most popular keys — the hit ratio a
+  /// perfect cache of size c achieves against this distribution.
+  double head_mass(std::uint64_t c) const noexcept;
+
+  /// Shannon entropy in bits.
+  double entropy() const noexcept;
+
+  /// Builds an O(1)-per-draw sampler over the support.
+  AliasSampler make_sampler() const;
+
+  /// Validates the class invariants: probabilities non-negative,
+  /// non-increasing, summing to 1 within tolerance. Tests call this; the
+  /// named constructors guarantee it.
+  bool is_valid(double tolerance = 1e-9) const noexcept;
+
+ private:
+  explicit QueryDistribution(std::vector<double> p);
+
+  std::vector<double> p_;        // non-increasing, sums to 1
+  std::vector<double> prefix_;   // prefix sums for O(1) head_mass
+  std::uint64_t support_ = 0;
+};
+
+/// One Theorem-1 improvement step: given a distribution whose cached head is
+/// the first `c` keys at probability h = p[c-1] (or the max uncached
+/// probability when c = 0), finds two uncached keys i < j with
+/// h - p_i >= p_j > 0 and shifts δ = min(h - p_i, p_j) from j to i. Returns
+/// false when no such pair exists (the distribution is a fixpoint).
+/// Operates in place on a plain probability vector in non-increasing order
+/// (the result may need re-sorting only in the zero tail; order of equal
+/// entries is preserved).
+bool adversarial_shift_step(std::span<double> p, std::uint64_t c);
+
+/// Builds a popularity distribution from observed per-key counts (e.g. the
+/// replay of a production trace): counts are sorted non-increasing and
+/// normalized into the library's rank-canonical form. `smoothing` > 0 adds
+/// Laplace mass to every key, giving unseen keys a non-zero floor (the
+/// provisioner's "measure, then plan" entry point).
+QueryDistribution estimate_distribution(std::span<const std::uint64_t> counts,
+                                        double smoothing = 0.0);
+
+/// Applies Theorem-1 steps to convergence and returns the fixpoint
+/// distribution: first keys at h, one fractional key, zero tail — computed
+/// in closed form (O(m)), matching what iterated shift steps converge to.
+QueryDistribution adversarial_shift_fixpoint(const QueryDistribution& start,
+                                             std::uint64_t c);
+
+}  // namespace scp

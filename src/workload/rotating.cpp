@@ -1,0 +1,40 @@
+#include "workload/rotating.h"
+
+#include "common/check.h"
+
+namespace scp {
+
+RotatingWorkload::RotatingWorkload(QueryDistribution base,
+                                   std::uint64_t phase_length,
+                                   std::uint64_t stride)
+    : base_(std::move(base)),
+      sampler_(base_.make_sampler()),
+      phase_length_(phase_length),
+      stride_(stride) {
+  SCP_CHECK_MSG(phase_length >= 1, "phase length must be >= 1 query");
+  SCP_CHECK_MSG(stride >= 1, "stride must be >= 1 key");
+}
+
+KeyId RotatingWorkload::key_for_rank(std::uint64_t rank,
+                                     std::uint64_t phase) const {
+  SCP_DCHECK(rank < base_.size());
+  return static_cast<KeyId>((rank + phase * stride_) % base_.size());
+}
+
+KeyId RotatingWorkload::next(Rng& rng) {
+  const std::uint64_t phase = current_phase();
+  ++queries_issued_;
+  const std::uint64_t rank = sampler_.sample(rng);
+  return key_for_rank(rank, phase);
+}
+
+std::vector<double> RotatingWorkload::phase_probabilities(
+    std::uint64_t phase) const {
+  std::vector<double> p(base_.size(), 0.0);
+  for (std::uint64_t rank = 0; rank < base_.support_size(); ++rank) {
+    p[key_for_rank(rank, phase)] = base_.probability(rank);
+  }
+  return p;
+}
+
+}  // namespace scp

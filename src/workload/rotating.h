@@ -1,0 +1,59 @@
+// Time-varying workload: the hot set rotates.
+//
+// The perfect-cache assumption quietly includes *instant adaptation*: when
+// popularity shifts, the oracle cache immediately holds the new top-c.
+// Real policies take time (LRU) or can get stuck on stale history (plain
+// LFU). RotatingWorkload keeps the popularity *shape* fixed (any base
+// distribution) but remaps ranks to different keys every `phase_length`
+// queries, so the hot head physically moves through the key space — the
+// churn ablation measures how each policy tracks it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/sampling.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+class RotatingWorkload {
+ public:
+  /// `base` gives the popularity shape (rank r has probability base.p[r]).
+  /// Each phase lasts `phase_length` queries; on a phase change the rank→key
+  /// mapping shifts by `stride` (mod the key-space size), so with
+  /// stride >= support the consecutive hot sets are disjoint.
+  RotatingWorkload(QueryDistribution base, std::uint64_t phase_length,
+                   std::uint64_t stride);
+
+  std::uint64_t items() const noexcept { return base_.size(); }
+  std::uint64_t phase_length() const noexcept { return phase_length_; }
+  std::uint64_t stride() const noexcept { return stride_; }
+  /// Phase index of the next query.
+  std::uint64_t current_phase() const noexcept {
+    return queries_issued_ / phase_length_;
+  }
+
+  /// Draws the next query's key and advances the phase clock.
+  KeyId next(Rng& rng);
+
+  /// The key that rank `rank` maps to in phase `phase` (for tests and for
+  /// building the matching oracle).
+  KeyId key_for_rank(std::uint64_t rank, std::uint64_t phase) const;
+
+  /// The exact distribution in effect during `phase`, as key probabilities
+  /// (unsorted key space — suitable for PerfectCache's key/prob ctor).
+  std::vector<double> phase_probabilities(std::uint64_t phase) const;
+
+  /// Restarts the phase clock.
+  void reset() noexcept { queries_issued_ = 0; }
+
+ private:
+  QueryDistribution base_;
+  AliasSampler sampler_;
+  std::uint64_t phase_length_;
+  std::uint64_t stride_;
+  std::uint64_t queries_issued_ = 0;
+};
+
+}  // namespace scp

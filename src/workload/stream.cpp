@@ -1,0 +1,44 @@
+#include "workload/stream.h"
+
+#include "common/check.h"
+
+namespace scp {
+
+QueryStream::QueryStream(const QueryDistribution& distribution,
+                         double rate_qps, std::uint64_t seed)
+    : sampler_(distribution.make_sampler()), rate_qps_(rate_qps), rng_(seed) {
+  SCP_CHECK_MSG(rate_qps > 0.0, "query rate must be positive");
+}
+
+Query QueryStream::next() {
+  clock_s_ += rng_.exponential(rate_qps_);
+  return Query{clock_s_, static_cast<KeyId>(sampler_.sample(rng_))};
+}
+
+std::vector<Query> QueryStream::generate(double duration_s) {
+  SCP_CHECK(duration_s > 0.0);
+  std::vector<Query> out;
+  out.reserve(static_cast<std::size_t>(duration_s * rate_qps_ * 1.1) + 16);
+  while (true) {
+    Query q = next();
+    if (q.time >= duration_s) {
+      break;
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> sample_key_counts(
+    const QueryDistribution& distribution, std::uint64_t count,
+    std::uint64_t seed) {
+  std::vector<std::uint64_t> counts(distribution.size(), 0);
+  AliasSampler sampler = distribution.make_sampler();
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  return counts;
+}
+
+}  // namespace scp

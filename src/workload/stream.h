@@ -1,0 +1,50 @@
+// Sampled query streams: turn a QueryDistribution into a concrete sequence
+// of keyed requests at a target aggregate rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/sampling.h"
+#include "workload/distribution.h"
+
+namespace scp {
+
+/// A timestamped query. Times are in seconds from stream start.
+struct Query {
+  double time = 0.0;
+  KeyId key = 0;
+};
+
+/// Generates queries one at a time: Poisson arrivals at `rate_qps`, keys
+/// drawn i.i.d. from the distribution. Deterministic given the seed.
+class QueryStream {
+ public:
+  QueryStream(const QueryDistribution& distribution, double rate_qps,
+              std::uint64_t seed);
+
+  double rate_qps() const noexcept { return rate_qps_; }
+
+  /// Next query; times are strictly increasing.
+  Query next();
+
+  /// Convenience: materializes all queries with time < `duration_s`.
+  std::vector<Query> generate(double duration_s);
+
+ private:
+  AliasSampler sampler_;
+  double rate_qps_;
+  double clock_s_ = 0.0;
+  Rng rng_;
+};
+
+/// Draws `count` keys i.i.d. from the distribution and returns per-key
+/// counts (index = key id). Cheaper than a full stream when arrival times
+/// are irrelevant.
+std::vector<std::uint64_t> sample_key_counts(
+    const QueryDistribution& distribution, std::uint64_t count,
+    std::uint64_t seed);
+
+}  // namespace scp

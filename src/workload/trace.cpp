@@ -1,0 +1,59 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace scp {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5343505f54524331ULL;  // "SCP_TRC1"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+bool write_trace(const std::string& path, const std::vector<Query>& queries) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  const auto count = static_cast<std::uint64_t>(queries.size());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Query& q : queries) {
+    out.write(reinterpret_cast<const char*>(&q.time), sizeof q.time);
+    out.write(reinterpret_cast<const char*>(&q.key), sizeof q.key);
+  }
+  return static_cast<bool>(out);
+}
+
+bool read_trace(const std::string& path, std::vector<Query>& out) {
+  out.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kMagic || version != kVersion) {
+    return false;
+  }
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Query q;
+    in.read(reinterpret_cast<char*>(&q.time), sizeof q.time);
+    in.read(reinterpret_cast<char*>(&q.key), sizeof q.key);
+    if (!in) {
+      out.clear();
+      return false;
+    }
+    out.push_back(q);
+  }
+  return true;
+}
+
+}  // namespace scp

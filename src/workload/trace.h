@@ -1,0 +1,24 @@
+// Binary query-trace persistence.
+//
+// Lets experiments record a generated stream once and replay it across
+// configurations (e.g. comparing cache policies on identical request
+// sequences). Format: magic, version, count, then (f64 time, u64 key)
+// records, little-endian.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/stream.h"
+
+namespace scp {
+
+/// Writes `queries` to `path`. Returns false on I/O error.
+bool write_trace(const std::string& path, const std::vector<Query>& queries);
+
+/// Reads a trace written by write_trace. Returns false on I/O error or
+/// malformed file; `out` is cleared first and left empty on failure.
+bool read_trace(const std::string& path, std::vector<Query>& out);
+
+}  // namespace scp

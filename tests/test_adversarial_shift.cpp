@@ -1,0 +1,158 @@
+// Property tests for Theorem 1's mass-shifting procedure: iterated shift
+// steps from arbitrary starting distributions must converge to the closed
+// form (head at h, one fractional key, zero tail), and the closed form must
+// be a fixpoint.
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/distribution.h"
+
+namespace scp {
+namespace {
+
+std::vector<double> probabilities_of(const QueryDistribution& d) {
+  return {d.probabilities().begin(), d.probabilities().end()};
+}
+
+// Applies shift steps until fixpoint; returns the number of steps taken.
+std::size_t iterate_to_fixpoint(std::vector<double>& p, std::uint64_t c,
+                                std::size_t max_steps = 1000000) {
+  std::size_t steps = 0;
+  while (steps < max_steps && adversarial_shift_step(std::span<double>(p), c)) {
+    ++steps;
+  }
+  return steps;
+}
+
+TEST(AdversarialShift, StepPreservesTotalMass) {
+  auto p = probabilities_of(QueryDistribution::zipf(50, 1.1));
+  const double before = std::accumulate(p.begin(), p.end(), 0.0);
+  ASSERT_TRUE(adversarial_shift_step(std::span<double>(p), 5));
+  const double after = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(AdversarialShift, StepRaisesReceiverTowardH) {
+  auto p = probabilities_of(QueryDistribution::zipf(50, 1.1));
+  const double h = p[4];  // c = 5 → ceiling is p[c-1]
+  ASSERT_TRUE(adversarial_shift_step(std::span<double>(p), 5));
+  EXPECT_LE(p[5], h + 1e-12);
+  EXPECT_GT(p[5], QueryDistribution::zipf(50, 1.1).probability(5));
+}
+
+TEST(AdversarialShift, ClosedFormIsAFixpoint) {
+  const auto fix =
+      adversarial_shift_fixpoint(QueryDistribution::zipf(100, 1.05), 10);
+  auto p = probabilities_of(fix);
+  EXPECT_FALSE(adversarial_shift_step(std::span<double>(p), 10));
+}
+
+TEST(AdversarialShift, UniformOverXIsAFixpointOfItself) {
+  // The canonical attack pattern: all queried keys at the same rate. With
+  // h = p[c-1] every uncached supported key is already at h.
+  auto p = probabilities_of(QueryDistribution::uniform_over(20, 50));
+  EXPECT_FALSE(adversarial_shift_step(std::span<double>(p), 10));
+}
+
+TEST(AdversarialShift, IterationConvergesToClosedForm) {
+  const auto start = QueryDistribution::zipf(60, 1.2);
+  const std::uint64_t c = 8;
+  auto p = probabilities_of(start);
+  iterate_to_fixpoint(p, c);
+  const auto closed = adversarial_shift_fixpoint(start, c);
+  // Compare un-normalized iterate against the (re-normalized) closed form;
+  // iteration preserves mass exactly so both sum to 1.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], closed.probability(i), 1e-9) << "index " << i;
+  }
+}
+
+TEST(AdversarialShift, FixpointKeepsCachedHeadUntouched) {
+  const auto start = QueryDistribution::zipf(40, 1.3);
+  const auto fix = adversarial_shift_fixpoint(start, 6);
+  for (KeyId i = 0; i < 6; ++i) {
+    EXPECT_NEAR(fix.probability(i), start.probability(i), 1e-12);
+  }
+}
+
+TEST(AdversarialShift, FixpointHasPaperShape) {
+  // p_c … p_{x-2} = h, p_{x-1} in (0, h], zero tail (Eq. 4 of the paper).
+  const auto start = QueryDistribution::zipf(100, 1.1);
+  const std::uint64_t c = 10;
+  const auto fix = adversarial_shift_fixpoint(start, c);
+  const double h = start.probability(c - 1);
+  std::uint64_t i = c;
+  while (i < fix.size() && std::abs(fix.probability(i) - h) < 1e-12) {
+    ++i;
+  }
+  if (i < fix.size() && fix.probability(i) > 0.0) {
+    EXPECT_LT(fix.probability(i), h + 1e-12);
+    ++i;
+  }
+  for (; i < fix.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fix.probability(i), 0.0) << "index " << i;
+  }
+}
+
+TEST(AdversarialShift, NoCacheConcentratesEverything) {
+  // c = 0: ceiling h = 1, so the fixpoint is a point mass.
+  const auto fix =
+      adversarial_shift_fixpoint(QueryDistribution::uniform(20), 0);
+  EXPECT_NEAR(fix.probability(0), 1.0, 1e-9);
+  EXPECT_EQ(fix.support_size(), 1u);
+}
+
+TEST(AdversarialShift, AllMassCachedIsAlreadyFixed) {
+  // Support smaller than the cache: nothing uncached to shift.
+  const auto start = QueryDistribution::uniform_over(5, 20);
+  auto p = probabilities_of(start);
+  EXPECT_FALSE(adversarial_shift_step(std::span<double>(p), 10));
+  const auto fix = adversarial_shift_fixpoint(start, 10);
+  for (KeyId i = 0; i < 20; ++i) {
+    EXPECT_NEAR(fix.probability(i), start.probability(i), 1e-12);
+  }
+}
+
+// Property sweep: random starting distributions over several (m, c) shapes
+// all converge to the closed form.
+class ShiftConvergence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(ShiftConvergence, IteratedStepsMatchClosedForm) {
+  const auto [m, c, seed] = GetParam();
+  // Random non-increasing distribution: sort uniform weights descending.
+  Rng rng(seed);
+  std::vector<double> weights(m);
+  for (double& w : weights) {
+    w = rng.uniform_double() + 1e-6;
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  const auto start = QueryDistribution::from_weights(std::move(weights));
+
+  auto p = probabilities_of(start);
+  iterate_to_fixpoint(p, c);
+  const auto closed = adversarial_shift_fixpoint(start, c);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_NEAR(p[i], closed.probability(i), 1e-9)
+        << "m=" << m << " c=" << c << " index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStarts, ShiftConvergence,
+    ::testing::Values(std::make_tuple(20ULL, 3ULL, 1ULL),
+                      std::make_tuple(50ULL, 10ULL, 2ULL),
+                      std::make_tuple(100ULL, 1ULL, 3ULL),
+                      std::make_tuple(100ULL, 50ULL, 4ULL),
+                      std::make_tuple(200ULL, 0ULL, 5ULL),
+                      std::make_tuple(64ULL, 63ULL, 6ULL)));
+
+}  // namespace
+}  // namespace scp

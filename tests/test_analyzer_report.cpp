@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/provisioner.h"
+#include "core/report.h"
+
+namespace scp {
+namespace {
+
+SystemParams small_system(std::uint64_t cache_size) {
+  SystemParams p;
+  p.nodes = 100;
+  p.replication = 3;
+  p.items = 10000;
+  p.cache_size = cache_size;
+  p.query_rate = 10000.0;
+  return p;
+}
+
+AnalyzerOptions fast_options() {
+  AnalyzerOptions options;
+  options.trials = 4;
+  return options;
+}
+
+TEST(AttackAnalyzer, FlagsEffectiveAttackOnSmallCache) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess_adversarial(small_system(50), 51);
+  EXPECT_TRUE(a.effective);
+  EXPECT_GT(a.worst_gain, 1.0);
+  ASSERT_TRUE(a.gain_bound.has_value());
+  EXPECT_GT(*a.gain_bound, 1.0);
+  // The bound must actually bound the measurement.
+  EXPECT_LE(a.worst_gain, *a.gain_bound * 1.05);
+}
+
+TEST(AttackAnalyzer, ClearsProvisionedSystem) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a =
+      analyzer.assess_adversarial(small_system(400), 10000);
+  EXPECT_FALSE(a.effective);
+  EXPECT_LT(a.worst_gain, 1.0);
+}
+
+TEST(AttackAnalyzer, UniformWorkloadIsBenign) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess(
+      small_system(400), QueryDistribution::uniform(10000));
+  EXPECT_LT(a.worst_gain, 1.1);
+}
+
+TEST(AttackAnalyzer, ZipfWorkloadHasNoEq10Bound) {
+  // The Eq. 10 bound applies to the canonical uniform-over-x shape only.
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a =
+      analyzer.assess(small_system(100), QueryDistribution::zipf(10000, 1.01));
+  EXPECT_FALSE(a.gain_bound.has_value());
+}
+
+TEST(AttackAnalyzer, GainSummaryIsConsistent) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess_adversarial(small_system(50), 51);
+  EXPECT_EQ(a.gain.count, 4u);
+  EXPECT_DOUBLE_EQ(a.worst_gain, a.gain.max);
+}
+
+TEST(AttackAnalyzer, ToStringMentionsVerdict) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess_adversarial(small_system(50), 51);
+  EXPECT_NE(a.to_string().find("EFFECTIVE"), std::string::npos);
+}
+
+TEST(RenderReport, ProvisionPlanMentionsKeyNumbers) {
+  ProvisionOptions options;
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 10000;
+  spec.attack_rate_qps = 10000.0;
+  const std::string report = render_report(provisioner.plan(spec));
+  EXPECT_NE(report.find("n=100"), std::string::npos);
+  EXPECT_NE(report.find("threshold"), std::string::npos);
+  EXPECT_NE(report.find("recommend"), std::string::npos);
+}
+
+TEST(RenderReport, ValidatedPlanShowsVerdict) {
+  ProvisionOptions options;
+  options.validation_trials = 2;
+  options.validation_grid_points = 0;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 10000;
+  spec.attack_rate_qps = 10000.0;
+  const std::string report = render_report(provisioner.plan(spec));
+  EXPECT_NE(report.find("PREVENTION HOLDS"), std::string::npos);
+}
+
+TEST(RenderReport, UnreplicatedPlanExplainsImpossibility) {
+  ProvisionOptions options;
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 1;
+  spec.items = 10000;
+  spec.attack_rate_qps = 10000.0;
+  const std::string report = render_report(provisioner.plan(spec));
+  EXPECT_NE(report.find("PREVENTION IMPOSSIBLE"), std::string::npos);
+  EXPECT_NE(report.find("d >= 2"), std::string::npos);
+}
+
+TEST(RenderReport, CapacityVerdictAppearsWhenKnown) {
+  ProvisionOptions options;
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 10000;
+  spec.attack_rate_qps = 10000.0;
+  spec.node_capacity_qps = 1000.0;
+  const std::string report = render_report(provisioner.plan(spec));
+  EXPECT_NE(report.find("SUFFICIENT"), std::string::npos);
+}
+
+TEST(RenderReport, AssessmentShowsBoundWhenPresent) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess_adversarial(small_system(50), 51);
+  const std::string report = render_report(a);
+  EXPECT_NE(report.find("Eq. 10"), std::string::npos);
+  EXPECT_NE(report.find("EFFECTIVE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scp

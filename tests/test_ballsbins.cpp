@@ -1,0 +1,159 @@
+// Balls-into-bins: empirical behaviour must match the theory the paper's
+// bound is built on.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ballsbins/balls_bins.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace scp {
+namespace {
+
+TEST(ThrowBalls, OccupancySumsToBallCount) {
+  Rng rng(1);
+  const auto occupancy = throw_balls(10000, 64, 2, rng);
+  ASSERT_EQ(occupancy.size(), 64u);
+  const std::uint64_t total =
+      std::accumulate(occupancy.begin(), occupancy.end(), 0ULL);
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(ThrowBalls, ZeroBalls) {
+  Rng rng(2);
+  const auto occupancy = throw_balls(0, 8, 2, rng);
+  for (const auto count : occupancy) {
+    EXPECT_EQ(count, 0u);
+  }
+}
+
+TEST(ThrowBalls, SingleBin) {
+  Rng rng(3);
+  EXPECT_EQ(max_occupancy(100, 1, 1, rng), 100u);
+}
+
+TEST(ThrowBalls, DChoicesBeatsSingleChoice) {
+  // The heart of the power of two choices: at M = N the max load drops from
+  // Θ(ln n / lnln n) to lnln n. Compare medians over repeated throws.
+  constexpr std::uint32_t kBins = 1000;
+  constexpr std::uint64_t kBalls = 1000;
+  Rng rng(4);
+  RunningStats one_choice;
+  RunningStats two_choice;
+  for (int t = 0; t < 30; ++t) {
+    one_choice.add(static_cast<double>(max_occupancy(kBalls, kBins, 1, rng)));
+    two_choice.add(static_cast<double>(max_occupancy(kBalls, kBins, 2, rng)));
+  }
+  EXPECT_GT(one_choice.mean(), two_choice.mean() + 1.0);
+}
+
+TEST(ThrowBalls, HeavilyLoadedGapIsSmallForTwoChoices) {
+  // Berenbrink et al.: with M >> N, max - M/N stays O(lnln N), independent
+  // of M. At M = 100N the average is 100; the gap should be a handful.
+  constexpr std::uint32_t kBins = 500;
+  constexpr std::uint64_t kBalls = 50000;
+  Rng rng(5);
+  for (int t = 0; t < 5; ++t) {
+    const std::uint64_t max = max_occupancy(kBalls, kBins, 2, rng);
+    const double gap = static_cast<double>(max) - 100.0;
+    EXPECT_GE(gap, 0.0);
+    EXPECT_LE(gap, 10.0) << "two-choice gap blew up";
+  }
+}
+
+TEST(ThrowBalls, OneChoiceGapGrowsWithM) {
+  // Contrast (Fan et al.'s d=1 world): the single-choice gap scales with
+  // sqrt(M), so quadrupling M roughly doubles it.
+  constexpr std::uint32_t kBins = 500;
+  Rng rng(6);
+  RunningStats small_gap;
+  RunningStats large_gap;
+  for (int t = 0; t < 20; ++t) {
+    small_gap.add(
+        static_cast<double>(max_occupancy(10000, kBins, 1, rng)) - 20.0);
+    large_gap.add(
+        static_cast<double>(max_occupancy(40000, kBins, 1, rng)) - 80.0);
+  }
+  EXPECT_GT(large_gap.mean(), small_gap.mean() * 1.4);
+}
+
+TEST(ThrowBalls, TwoChoiceGapInsensitiveToM) {
+  constexpr std::uint32_t kBins = 500;
+  Rng rng(7);
+  RunningStats small_gap;
+  RunningStats large_gap;
+  for (int t = 0; t < 20; ++t) {
+    small_gap.add(
+        static_cast<double>(max_occupancy(10000, kBins, 2, rng)) - 20.0);
+    large_gap.add(
+        static_cast<double>(max_occupancy(80000, kBins, 2, rng)) - 160.0);
+  }
+  // Gap may wiggle but must not scale like sqrt(M) (which would triple it).
+  EXPECT_LT(large_gap.mean(), small_gap.mean() + 2.0);
+}
+
+TEST(ThrowBalls, EmpiricalMaxWithinTheoreticalPrediction) {
+  constexpr std::uint32_t kBins = 1000;
+  constexpr std::uint64_t kBalls = 100000;
+  Rng rng(8);
+  for (std::uint32_t d : {2u, 3u, 4u}) {
+    const double predicted =
+        predicted_max_load_d_choices(kBalls, kBins, d, /*gap_constant=*/2.0);
+    for (int t = 0; t < 3; ++t) {
+      const std::uint64_t observed = max_occupancy(kBalls, kBins, d, rng);
+      EXPECT_LE(static_cast<double>(observed), predicted)
+          << "d=" << d << " trial " << t;
+    }
+  }
+}
+
+TEST(ThrowBalls, OneChoicePredictionHolds) {
+  constexpr std::uint32_t kBins = 200;
+  constexpr std::uint64_t kBalls = 20000;
+  Rng rng(9);
+  const double predicted = predicted_max_load_one_choice(kBalls, kBins);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_LE(static_cast<double>(max_occupancy(kBalls, kBins, 1, rng)),
+              predicted * 1.1);
+  }
+}
+
+TEST(TwoChoiceGap, FormulaValues) {
+  // lnln(1000)/ln(3) ≈ 1.7588 — the k (sans constant) of the paper's Eq. 8
+  // at its simulated n = 1000, d = 3.
+  EXPECT_NEAR(two_choice_gap(1000, 3), 1.7588, 1e-3);
+  EXPECT_NEAR(two_choice_gap(1000, 2), std::log(std::log(1000.0)) /
+                                           std::log(2.0), 1e-12);
+}
+
+TEST(TwoChoiceGap, DecreasesWithMoreChoices) {
+  EXPECT_GT(two_choice_gap(10000, 2), two_choice_gap(10000, 3));
+  EXPECT_GT(two_choice_gap(10000, 3), two_choice_gap(10000, 5));
+}
+
+TEST(TwoChoiceGap, PaperClaimGapUnderTwoForRealClusters) {
+  // "lnln n / ln d < 2 holds for almost all current clusters (n < 1e5,
+  //  d >= 3)" — the paper's O(n) headline. Taken literally with natural
+  // logs the claim only holds up to n ≈ 8100 (at n = 1e5 the gap is 2.22);
+  // we assert the strict form where it is true and the mild overshoot at
+  // the paper's stated boundary.
+  for (std::uint32_t n : {100u, 1000u, 8000u}) {
+    EXPECT_LT(two_choice_gap(n, 3), 2.0) << "n=" << n;
+  }
+  EXPECT_LT(two_choice_gap(99999, 3), 2.25);
+}
+
+TEST(TwoChoiceGap, RejectsDegenerateInputs) {
+  EXPECT_DEATH(two_choice_gap(2, 2), "n >= 3");
+  EXPECT_DEATH(two_choice_gap(1000, 1), "d >= 2");
+}
+
+TEST(ThrowBalls, RejectsMoreChoicesThanBins) {
+  Rng rng(10);
+  EXPECT_DEATH(throw_balls(10, 4, 5, rng), "choices");
+}
+
+}  // namespace
+}  // namespace scp

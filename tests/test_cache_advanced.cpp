@@ -1,0 +1,228 @@
+// SLRU, W-TinyLFU, and the perfect popularity oracle.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/perfect_cache.h"
+#include "cache/slru_cache.h"
+#include "cache/tinylfu_cache.h"
+#include "workload/distribution.h"
+#include "workload/stream.h"
+
+namespace scp {
+namespace {
+
+// --- SLRU --------------------------------------------------------------------
+
+TEST(SlruCache, NewKeysEnterProbation) {
+  SlruCache cache(10, 0.8);
+  cache.access(1);
+  EXPECT_EQ(cache.probation_size(), 1u);
+  EXPECT_EQ(cache.protected_size(), 0u);
+}
+
+TEST(SlruCache, HitPromotesToProtected) {
+  SlruCache cache(10, 0.8);
+  cache.access(1);
+  cache.access(1);
+  EXPECT_EQ(cache.probation_size(), 0u);
+  EXPECT_EQ(cache.protected_size(), 1u);
+}
+
+TEST(SlruCache, ProtectedOverflowDemotesToProbation) {
+  SlruCache cache(5, 0.4);  // protected capacity = 2
+  // Promote keys 1, 2, 3 in order; protected holds 2, overflow demotes.
+  for (KeyId k = 1; k <= 3; ++k) {
+    cache.access(k);
+    cache.access(k);
+  }
+  EXPECT_EQ(cache.protected_size(), 2u);
+  EXPECT_EQ(cache.probation_size(), 1u);
+  EXPECT_TRUE(cache.contains(1));  // demoted but still cached
+}
+
+TEST(SlruCache, EvictionPrefersProbation) {
+  SlruCache cache(3, 0.67);  // protected = 2, probation = 1
+  cache.access(1);
+  cache.access(1);  // 1 → protected
+  cache.access(2);
+  cache.access(2);  // 2 → protected
+  cache.access(3);  // probation: 3
+  cache.access(4);  // evicts 3 (probation LRU), protecteds survive
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(SlruCache, ScanDoesNotFlushProtected) {
+  SlruCache cache(8, 0.75);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (KeyId k = 1; k <= 4; ++k) {
+      cache.access(k);
+    }
+  }
+  for (KeyId scan = 100; scan < 200; ++scan) {
+    cache.access(scan);
+  }
+  for (KeyId k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(cache.contains(k)) << "protected key " << k << " flushed";
+  }
+}
+
+TEST(SlruCache, VictimQueryMatchesEviction) {
+  SlruCache cache(3, 0.5);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  const KeyId victim = cache.eviction_victim();
+  cache.evict_one();
+  EXPECT_FALSE(cache.contains(victim));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SlruCache, InsertProbationRespectsContract) {
+  SlruCache cache(2, 0.5);
+  cache.insert_probation(9);
+  EXPECT_TRUE(cache.contains(9));
+  EXPECT_EQ(cache.probation_size(), 1u);
+}
+
+TEST(SlruCache, DegenerateZeroProtectedFraction) {
+  SlruCache cache(3, 0.0);
+  cache.access(1);
+  EXPECT_TRUE(cache.access(1));  // hit stays in probation
+  EXPECT_EQ(cache.protected_size(), 0u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+// --- TinyLFU -----------------------------------------------------------------
+
+TEST(TinyLfuCache, SizeSplitsWindowAndMain) {
+  TinyLfuCache cache(100);
+  EXPECT_EQ(cache.capacity(), 100u);
+  for (KeyId k = 0; k < 500; ++k) {
+    cache.access(k);
+    ASSERT_LE(cache.size(), 100u);
+  }
+}
+
+TEST(TinyLfuCache, FrequentKeyIsAdmittedOverCold) {
+  TinyLfuCache::Options options;
+  options.window_fraction = 0.1;
+  TinyLfuCache cache(20, options);
+  // Make key 7 hot so the sketch knows it.
+  for (int i = 0; i < 50; ++i) {
+    cache.access(7);
+  }
+  // Flood with cold keys; 7 must survive in main.
+  for (KeyId k = 1000; k < 2000; ++k) {
+    cache.access(k);
+  }
+  EXPECT_TRUE(cache.contains(7));
+}
+
+TEST(TinyLfuCache, EstimatedFrequencyGrowsWithAccesses) {
+  TinyLfuCache cache(50);
+  const std::uint32_t before = cache.estimated_frequency(3);
+  for (int i = 0; i < 20; ++i) {
+    cache.access(3);
+  }
+  EXPECT_GT(cache.estimated_frequency(3), before);
+}
+
+TEST(TinyLfuCache, ClearResetsEverything) {
+  TinyLfuCache cache(50);
+  for (int i = 0; i < 30; ++i) {
+    cache.access(1);
+  }
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_LE(cache.estimated_frequency(1), 1u);
+}
+
+TEST(TinyLfuCache, BeatsLruHitRatioOnZipf) {
+  // The reason W-TinyLFU exists: frequency-informed admission outperforms
+  // pure recency on skewed workloads.
+  const auto d = QueryDistribution::zipf(10000, 1.01);
+  QueryStream stream(d, 1000.0, 33);
+  TinyLfuCache tinylfu(100);
+  LruCache lru(100);
+  std::uint64_t tinylfu_hits = 0;
+  std::uint64_t lru_hits = 0;
+  constexpr int kQueries = 60000;
+  for (int i = 0; i < kQueries; ++i) {
+    const Query q = stream.next();
+    tinylfu_hits += tinylfu.access(q.key) ? 1 : 0;
+    lru_hits += lru.access(q.key) ? 1 : 0;
+  }
+  EXPECT_GT(tinylfu_hits, lru_hits);
+}
+
+// --- PerfectCache ------------------------------------------------------------
+
+TEST(PerfectCache, CachesTopCOfDistribution) {
+  const auto d = QueryDistribution::zipf(100, 1.1);
+  PerfectCache cache(10, d);
+  EXPECT_EQ(cache.size(), 10u);
+  for (KeyId k = 0; k < 10; ++k) {
+    EXPECT_TRUE(cache.contains(k));
+  }
+  EXPECT_FALSE(cache.contains(10));
+}
+
+TEST(PerfectCache, AccessNeverMutates) {
+  const auto d = QueryDistribution::uniform_over(5, 50);
+  PerfectCache cache(3, d);
+  EXPECT_FALSE(cache.access(40));  // miss does not admit
+  EXPECT_FALSE(cache.contains(40));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PerfectCache, ClearIsANoOp) {
+  // The oracle's contents are its definition; simulators may call clear()
+  // between trials and must not lose the top-c set.
+  const auto d = QueryDistribution::uniform_over(5, 50);
+  PerfectCache cache(3, d);
+  cache.clear();
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PerfectCache, ExplicitKeyProbabilityPairs) {
+  const std::vector<KeyId> keys = {10, 20, 30, 40};
+  const std::vector<double> probs = {0.1, 0.4, 0.3, 0.2};
+  PerfectCache cache(2, keys, probs);
+  EXPECT_TRUE(cache.contains(20));
+  EXPECT_TRUE(cache.contains(30));
+  EXPECT_FALSE(cache.contains(10));
+  EXPECT_FALSE(cache.contains(40));
+}
+
+TEST(PerfectCache, TiesBrokenByKeyId) {
+  const std::vector<KeyId> keys = {5, 3, 9};
+  const std::vector<double> probs = {0.25, 0.25, 0.5};
+  PerfectCache cache(2, keys, probs);
+  EXPECT_TRUE(cache.contains(9));
+  EXPECT_TRUE(cache.contains(3));  // lower key id wins the tie against 5
+  EXPECT_FALSE(cache.contains(5));
+}
+
+TEST(PerfectCache, CapacityLargerThanKeySpace) {
+  const auto d = QueryDistribution::uniform(5);
+  PerfectCache cache(100, d);
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.capacity(), 100u);
+}
+
+TEST(PerfectCache, ZeroCapacity) {
+  const auto d = QueryDistribution::uniform(5);
+  PerfectCache cache(0, d);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.access(0));
+}
+
+}  // namespace
+}  // namespace scp

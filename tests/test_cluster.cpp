@@ -1,0 +1,107 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/node.h"
+
+namespace scp {
+namespace {
+
+TEST(BackendNode, StartsIdle) {
+  BackendNode node(3, 100.0);
+  EXPECT_EQ(node.id(), 3u);
+  EXPECT_DOUBLE_EQ(node.capacity_qps(), 100.0);
+  EXPECT_TRUE(node.has_capacity_limit());
+  EXPECT_DOUBLE_EQ(node.offered_rate(), 0.0);
+  EXPECT_FALSE(node.saturated());
+}
+
+TEST(BackendNode, UnlimitedCapacityNeverSaturates) {
+  BackendNode node(0);
+  EXPECT_FALSE(node.has_capacity_limit());
+  node.add_offered_rate(1e9);
+  EXPECT_FALSE(node.saturated());
+}
+
+TEST(BackendNode, SaturatesAboveCapacity) {
+  BackendNode node(0, 10.0);
+  node.add_offered_rate(9.0);
+  EXPECT_FALSE(node.saturated());
+  node.add_offered_rate(2.0);
+  EXPECT_TRUE(node.saturated());
+}
+
+TEST(BackendNode, EventCountersAccumulate) {
+  BackendNode node(0, 10.0);
+  node.record_arrival();
+  node.record_arrival();
+  node.record_served(1);
+  node.record_dropped(1);
+  node.set_queue_depth(5);
+  EXPECT_EQ(node.arrivals(), 2u);
+  EXPECT_EQ(node.served(), 1u);
+  EXPECT_EQ(node.dropped(), 1u);
+  EXPECT_EQ(node.queue_depth(), 5u);
+}
+
+TEST(BackendNode, ResetClearsAllAccounting) {
+  BackendNode node(0, 10.0);
+  node.add_offered_rate(99.0);
+  node.record_arrival();
+  node.record_dropped(3);
+  node.reset();
+  EXPECT_DOUBLE_EQ(node.offered_rate(), 0.0);
+  EXPECT_EQ(node.arrivals(), 0u);
+  EXPECT_EQ(node.dropped(), 0u);
+  EXPECT_FALSE(node.saturated());
+}
+
+TEST(Cluster, BuildsNodesFromPartitioner) {
+  Cluster cluster(make_partitioner("hash", 16, 2, 1), 50.0);
+  EXPECT_EQ(cluster.node_count(), 16u);
+  EXPECT_EQ(cluster.replication(), 2u);
+  EXPECT_EQ(cluster.nodes().size(), 16u);
+  for (NodeId id = 0; id < 16; ++id) {
+    EXPECT_EQ(cluster.node(id).id(), id);
+    EXPECT_DOUBLE_EQ(cluster.node(id).capacity_qps(), 50.0);
+  }
+}
+
+TEST(Cluster, ReplicaGroupDelegatesToPartitioner) {
+  Cluster cluster(make_partitioner("hash", 16, 3, 7));
+  std::vector<NodeId> via_cluster(3);
+  cluster.replica_group(42, std::span<NodeId>(via_cluster));
+  EXPECT_EQ(via_cluster, cluster.partitioner().replica_group(42));
+}
+
+TEST(Cluster, OfferedRatesAndMax) {
+  Cluster cluster(make_partitioner("hash", 4, 1, 1));
+  cluster.node(0).add_offered_rate(5.0);
+  cluster.node(2).add_offered_rate(9.0);
+  const std::vector<double> rates = cluster.offered_rates();
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 9.0);
+  EXPECT_DOUBLE_EQ(cluster.max_offered_rate(), 9.0);
+}
+
+TEST(Cluster, SaturatedNodeCount) {
+  Cluster cluster(make_partitioner("hash", 4, 1, 1), 10.0);
+  EXPECT_EQ(cluster.saturated_node_count(), 0u);
+  cluster.node(1).add_offered_rate(11.0);
+  cluster.node(3).add_offered_rate(25.0);
+  EXPECT_EQ(cluster.saturated_node_count(), 2u);
+}
+
+TEST(Cluster, ResetAccountingClearsEveryNode) {
+  Cluster cluster(make_partitioner("hash", 4, 1, 1), 10.0);
+  cluster.node(0).add_offered_rate(99.0);
+  cluster.node(1).record_arrival();
+  cluster.reset_accounting();
+  EXPECT_DOUBLE_EQ(cluster.max_offered_rate(), 0.0);
+  EXPECT_EQ(cluster.node(1).arrivals(), 0u);
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,208 @@
+// Cost models (Assumption 4 relaxation) and heterogeneous capacities.
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cache/perfect_cache.h"
+#include "cluster/capacity.h"
+#include "cluster/cluster.h"
+#include "sim/rate_sim.h"
+#include "workload/cost_model.h"
+
+namespace scp {
+namespace {
+
+// --- CostModel ---------------------------------------------------------
+
+TEST(CostModel, UniformIsAllOnes) {
+  const CostModel model = CostModel::uniform(100);
+  EXPECT_EQ(model.size(), 100u);
+  EXPECT_TRUE(model.is_uniform());
+  EXPECT_DOUBLE_EQ(model.cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.mean_cost(), 1.0);
+}
+
+TEST(CostModel, TwoClassFractionRoughlyRespected) {
+  const CostModel model = CostModel::two_class(10000, 1.0, 5.0, 0.2, 7);
+  std::uint64_t expensive = 0;
+  for (KeyId key = 0; key < model.size(); ++key) {
+    if (model.cost(key) == 5.0) {
+      ++expensive;
+    } else {
+      EXPECT_DOUBLE_EQ(model.cost(key), 1.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(expensive) / 10000.0, 0.2, 0.02);
+  EXPECT_DOUBLE_EQ(model.min_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(model.max_cost(), 5.0);
+  EXPECT_FALSE(model.is_uniform());
+}
+
+TEST(CostModel, TwoClassIsDeterministicPerSeed) {
+  const CostModel a = CostModel::two_class(1000, 1.0, 3.0, 0.5, 1);
+  const CostModel b = CostModel::two_class(1000, 1.0, 3.0, 0.5, 1);
+  const CostModel c = CostModel::two_class(1000, 1.0, 3.0, 0.5, 2);
+  std::uint64_t same_ab = 0;
+  std::uint64_t same_ac = 0;
+  for (KeyId key = 0; key < 1000; ++key) {
+    same_ab += a.cost(key) == b.cost(key) ? 1 : 0;
+    same_ac += a.cost(key) == c.cost(key) ? 1 : 0;
+  }
+  EXPECT_EQ(same_ab, 1000u);
+  EXPECT_LT(same_ac, 1000u);
+}
+
+TEST(CostModel, ExtremeFractions) {
+  const CostModel none = CostModel::two_class(100, 1.0, 9.0, 0.0, 3);
+  EXPECT_DOUBLE_EQ(none.max_cost(), 1.0);
+  const CostModel all = CostModel::two_class(100, 1.0, 9.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(all.min_cost(), 9.0);
+}
+
+TEST(CostModel, FromCostsValidates) {
+  const CostModel model = CostModel::from_costs({2.0, 1.0, 4.0});
+  EXPECT_DOUBLE_EQ(model.cost(2), 4.0);
+  EXPECT_DOUBLE_EQ(model.mean_cost(), 7.0 / 3.0);
+  EXPECT_DEATH(CostModel::from_costs({1.0, 0.0}), "positive");
+  EXPECT_DEATH(CostModel::from_costs({}), "at least one");
+}
+
+// --- weighted rate simulation -------------------------------------------
+
+TEST(WeightedRateSim, UniformCostMatchesUnweighted) {
+  const auto d = QueryDistribution::zipf(500, 1.1);
+  const CostModel costs = CostModel::uniform(500);
+  Cluster a(make_partitioner("hash", 20, 3, 5));
+  Cluster b(make_partitioner("hash", 20, 3, 5));
+  const PerfectCache cache(50, d);
+  auto sel_a = make_selector("least-loaded");
+  auto sel_b = make_selector("least-loaded");
+  RateSimConfig plain;
+  plain.query_rate = 1000.0;
+  plain.seed = 9;
+  RateSimConfig weighted = plain;
+  weighted.cost_model = &costs;
+  const RateSimResult ra = simulate_rates(a, cache, d, *sel_a, plain);
+  const RateSimResult rb = simulate_rates(b, cache, d, *sel_b, weighted);
+  EXPECT_EQ(ra.node_loads, rb.node_loads);
+  EXPECT_DOUBLE_EQ(ra.normalized_max_load, rb.normalized_max_load);
+}
+
+TEST(WeightedRateSim, ConservesEffectiveDemand) {
+  const auto d = QueryDistribution::uniform(1000);
+  const CostModel costs = CostModel::two_class(1000, 1.0, 4.0, 0.3, 11);
+  Cluster cluster(make_partitioner("hash", 20, 3, 5));
+  const PerfectCache cache(100, d);
+  auto selector = make_selector("least-loaded");
+  RateSimConfig config;
+  config.query_rate = 1000.0;
+  config.seed = 2;
+  config.cost_model = &costs;
+  const RateSimResult r = simulate_rates(cluster, cache, d, *selector, config);
+  // Effective demand = R·E[cost]; cache + backends must account for all.
+  double expected_demand = 0.0;
+  for (KeyId key = 0; key < 1000; ++key) {
+    expected_demand += d.probability(key) * 1000.0 * costs.cost(key);
+  }
+  const double node_total =
+      std::accumulate(r.node_loads.begin(), r.node_loads.end(), 0.0);
+  EXPECT_NEAR(r.cache_rate + node_total, expected_demand, 1e-6);
+}
+
+TEST(WeightedRateSim, ExpensiveKeysDominateLoad) {
+  // Two keys, equal popularity, one 10x as costly, no cache: the nodes
+  // serving the costly key carry 10x the load.
+  const auto d = QueryDistribution::uniform_over(2, 10);
+  const CostModel costs = CostModel::from_costs(
+      {10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  Cluster cluster(make_partitioner("hash", 10, 1, 5));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  RateSimConfig config;
+  config.query_rate = 100.0;
+  config.seed = 3;
+  config.cost_model = &costs;
+  const RateSimResult r = simulate_rates(cluster, cache, d, *selector, config);
+  // Effective: key0 = 50*10 = 500, key1 = 50.
+  EXPECT_DOUBLE_EQ(r.metrics.max, 500.0);
+}
+
+TEST(WeightedRateSim, MismatchedCostModelDies) {
+  const auto d = QueryDistribution::uniform(100);
+  const CostModel costs = CostModel::uniform(99);
+  Cluster cluster(make_partitioner("hash", 5, 1, 1));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  RateSimConfig config;
+  config.cost_model = &costs;
+  EXPECT_DEATH(simulate_rates(cluster, cache, d, *selector, config), "match");
+}
+
+// --- heterogeneous capacities -------------------------------------------
+
+TEST(Capacities, UniformHelper) {
+  const auto caps = uniform_capacities(5, 100.0);
+  ASSERT_EQ(caps.size(), 5u);
+  for (const double c : caps) {
+    EXPECT_DOUBLE_EQ(c, 100.0);
+  }
+}
+
+TEST(Capacities, TwoTierFractionAndValues) {
+  const auto caps = two_tier_capacities(10000, 100.0, 0.5, 0.25, 13);
+  std::uint64_t slow = 0;
+  for (const double c : caps) {
+    if (c == 50.0) {
+      ++slow;
+    } else {
+      EXPECT_DOUBLE_EQ(c, 100.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(slow) / 10000.0, 0.25, 0.02);
+}
+
+TEST(Capacities, ClusterAcceptsHeterogeneousVector) {
+  const std::vector<double> caps = {100.0, 50.0, 0.0, 200.0};
+  Cluster cluster(make_partitioner("hash", 4, 2, 1),
+                  std::span<const double>(caps));
+  EXPECT_DOUBLE_EQ(cluster.node(0).capacity_qps(), 100.0);
+  EXPECT_DOUBLE_EQ(cluster.node(1).capacity_qps(), 50.0);
+  EXPECT_FALSE(cluster.node(2).has_capacity_limit());
+  EXPECT_DOUBLE_EQ(cluster.min_capacity_qps(), 50.0);
+}
+
+TEST(Capacities, MinCapacityZeroWhenAllUnlimited) {
+  Cluster cluster(make_partitioner("hash", 3, 1, 1));
+  EXPECT_DOUBLE_EQ(cluster.min_capacity_qps(), 0.0);
+}
+
+TEST(Capacities, ClusterRejectsWrongVectorSize) {
+  const std::vector<double> caps = {1.0, 2.0};
+  EXPECT_DEATH(Cluster(make_partitioner("hash", 3, 1, 1),
+                       std::span<const double>(caps)),
+               "one entry per node");
+}
+
+TEST(Capacities, MaxUtilizationTracksSlowestNode) {
+  // Same offered load everywhere, but node 1 has half the capacity: the
+  // utilization peak must be on node 1 even if it is not the load peak.
+  const auto d = QueryDistribution::uniform(10000);
+  std::vector<double> caps(20, 200.0);
+  caps[1] = 50.0;
+  Cluster cluster(make_partitioner("hash", 20, 3, 5),
+                  std::span<const double>(caps));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  RateSimConfig config;
+  config.query_rate = 2000.0;  // ~100 qps per node
+  config.seed = 4;
+  const RateSimResult r = simulate_rates(cluster, cache, d, *selector, config);
+  EXPECT_GT(r.max_utilization,
+            cluster.node(1).offered_rate() / 50.0 - 1e-9);
+  EXPECT_GT(r.max_utilization, 1.5);  // ~100/50
+  EXPECT_EQ(r.saturated_nodes, 1u);   // only the slow node is over capacity
+}
+
+}  // namespace
+}  // namespace scp

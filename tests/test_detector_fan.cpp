@@ -1,0 +1,185 @@
+// AttackDetector (online detection) and the Fan et al. d=1 baseline bound.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/bounds.h"
+#include "core/detector.h"
+
+namespace scp {
+namespace {
+
+// --- AttackDetector ---------------------------------------------------------
+
+std::vector<double> even_loads(std::size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+std::vector<double> hotspot_loads(std::size_t n, double value, double hot) {
+  std::vector<double> loads(n, value);
+  loads[0] = hot;
+  return loads;
+}
+
+TEST(AttackDetector, StaysQuietOnBalancedLoad) {
+  AttackDetector detector;
+  for (int w = 0; w < 50; ++w) {
+    EXPECT_FALSE(detector.observe(even_loads(20, 100.0)));
+  }
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_NEAR(detector.baseline(), 1.0, 1e-9);
+}
+
+TEST(AttackDetector, TripsAfterConsecutiveSuspiciousWindows) {
+  DetectorOptions options;
+  options.windows_to_trip = 3;
+  AttackDetector detector(options);
+  detector.observe(even_loads(20, 100.0));
+  // A 10x hotspot: imbalance = 10 / (1 + 9/20) ≈ 6.9.
+  EXPECT_FALSE(detector.observe(hotspot_loads(20, 100.0, 1000.0)));
+  EXPECT_FALSE(detector.observe(hotspot_loads(20, 100.0, 1000.0)));
+  EXPECT_TRUE(detector.observe(hotspot_loads(20, 100.0, 1000.0)));
+  EXPECT_TRUE(detector.alarmed());
+  EXPECT_GE(detector.suspicious_windows(), 3u);
+}
+
+TEST(AttackDetector, SingleBlipDoesNotTrip) {
+  AttackDetector detector;
+  detector.observe(even_loads(20, 100.0));
+  detector.observe(hotspot_loads(20, 100.0, 1000.0));  // one bad window
+  for (int w = 0; w < 10; ++w) {
+    EXPECT_FALSE(detector.observe(even_loads(20, 100.0)));
+  }
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(AttackDetector, AcknowledgeClearsAlarm) {
+  DetectorOptions options;
+  options.windows_to_trip = 1;
+  AttackDetector detector(options);
+  EXPECT_TRUE(detector.observe(hotspot_loads(20, 100.0, 1000.0)));
+  detector.acknowledge();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_FALSE(detector.observe(even_loads(20, 100.0)));
+}
+
+TEST(AttackDetector, BaselineDoesNotLearnFromAttacks) {
+  DetectorOptions options;
+  options.windows_to_trip = 100000;  // never trip; watch the baseline
+  AttackDetector detector(options);
+  detector.observe(even_loads(10, 50.0));
+  const double baseline_before = detector.baseline();
+  for (int w = 0; w < 50; ++w) {
+    detector.observe(hotspot_loads(10, 50.0, 5000.0));
+  }
+  EXPECT_NEAR(detector.baseline(), baseline_before, 1e-9)
+      << "slow-ramp attack poisoned the baseline";
+}
+
+TEST(AttackDetector, ToleratesOrganicSkewBelowThreshold) {
+  // A persistently skewed but stable system below the absolute threshold
+  // (ratio ~1.42 < 1.5): the EWMA baseline absorbs it and the alarm stays
+  // quiet. (Persistent skew *above* the threshold is indistinguishable from
+  // an attack and must alarm — the detector deliberately never learns a
+  // suspicious baseline, or a slow-ramp attack would teach it silence.)
+  DetectorOptions options;
+  options.ewma_alpha = 0.5;  // learn fast for the test
+  AttackDetector detector(options);
+  const auto skewed = hotspot_loads(20, 100.0, 145.0);  // ratio ≈ 1.42
+  for (int w = 0; w < 30; ++w) {
+    EXPECT_FALSE(detector.observe(skewed));
+  }
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_GT(detector.baseline(), 1.3);  // and the baseline absorbed it
+}
+
+TEST(AttackDetector, ZeroLoadWindowIsBenign) {
+  AttackDetector detector;
+  EXPECT_FALSE(detector.observe(even_loads(5, 0.0)));
+  EXPECT_DOUBLE_EQ(detector.last_imbalance(), 1.0);
+}
+
+TEST(AttackDetector, StatusMentionsState) {
+  AttackDetector detector;
+  detector.observe(even_loads(5, 1.0));
+  EXPECT_NE(detector.status().find("ok"), std::string::npos);
+}
+
+TEST(AttackDetector, RejectsBadOptions) {
+  DetectorOptions options;
+  options.imbalance_threshold = 1.0;
+  EXPECT_DEATH(AttackDetector{options}, "imbalance_threshold");
+  options = DetectorOptions{};
+  options.ewma_alpha = 0.0;
+  EXPECT_DEATH(AttackDetector{options}, "ewma_alpha");
+}
+
+// --- Fan et al. d=1 bound -----------------------------------------------------
+
+SystemParams fan_params(std::uint64_t cache_size) {
+  SystemParams p;
+  p.nodes = 1000;
+  p.replication = 1;
+  p.items = 1000000;
+  p.cache_size = cache_size;
+  p.query_rate = 1.0;
+  return p;
+}
+
+TEST(FanBound, MatchesHandComputation) {
+  // x - c = 1000 balls into 1000 bins: 1 + sqrt(2 ln 1000) ≈ 4.717 keys per
+  // node, times n/(x-1).
+  const SystemParams p = fan_params(1000);
+  const std::uint64_t x = 2000;
+  const double expected =
+      (1.0 + std::sqrt(2.0 * std::log(1000.0))) * 1000.0 / 1999.0;
+  EXPECT_NEAR(fan_gain_bound(p, x), expected, 1e-9);
+}
+
+TEST(FanBound, HasInteriorMaximizer) {
+  const SystemParams p = fan_params(1000);
+  const std::uint64_t best = fan_optimal_queried_keys(p);
+  EXPECT_GT(best, p.cache_size + 1);
+  EXPECT_LT(best, p.items);
+  // Neighbours are no better (local max) and the endpoints are worse.
+  const double peak = fan_gain_bound(p, best);
+  EXPECT_GE(peak, fan_gain_bound(p, best - 1) - 1e-12);
+  EXPECT_GE(peak, fan_gain_bound(p, best + 1) - 1e-12);
+  EXPECT_GT(peak, fan_gain_bound(p, p.cache_size + 1));
+  EXPECT_GT(peak, fan_gain_bound(p, p.items));
+}
+
+TEST(FanBound, EffectiveForAnyCacheSmallRelativeToKeySpace) {
+  // The paper's contrast: for d = 1 the optimal attack stays above gain 1
+  // for every cache that is small relative to the key space. (The precise
+  // finite-m condition: the adversary needs x − c ≳ c²/(2n·ln n) keys to
+  // outgrow the cache's head start, so "always attackable" holds whenever
+  // m − c exceeds that — true for every realistic c = O(n·polylog).)
+  for (const std::uint64_t c : {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+    const SystemParams p = fan_params(c);
+    const std::uint64_t best = fan_optimal_queried_keys(p);
+    EXPECT_GT(fan_gain_bound(p, best), 1.0) << "c=" << c;
+  }
+  // And the converse sanity check: caching half of the entire key space
+  // (c = O(m), absurd in practice) finally closes even the d = 1 attack.
+  const SystemParams huge = fan_params(500000);
+  EXPECT_LT(fan_gain_bound(huge, fan_optimal_queried_keys(huge)), 1.0);
+}
+
+TEST(FanBound, OptimalXGrowsWithCache) {
+  // Fan et al.: x* is a continuous function of c (and n) — bigger caches
+  // push the adversary to spread further.
+  EXPECT_LT(fan_optimal_queried_keys(fan_params(100)),
+            fan_optimal_queried_keys(fan_params(10000)));
+}
+
+TEST(FanBound, RejectsReplicatedSystems) {
+  SystemParams p = fan_params(100);
+  p.replication = 3;
+  EXPECT_DEATH(fan_gain_bound(p, 200), "unreplicated");
+  EXPECT_DEATH(fan_optimal_queried_keys(p), "unreplicated");
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,144 @@
+#include "workload/distribution.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scp {
+namespace {
+
+TEST(QueryDistribution, UniformHasEqualProbabilities) {
+  const auto d = QueryDistribution::uniform(100);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.support_size(), 100u);
+  for (KeyId i = 0; i < 100; ++i) {
+    EXPECT_NEAR(d.probability(i), 0.01, 1e-12);
+  }
+  EXPECT_TRUE(d.is_valid());
+}
+
+TEST(QueryDistribution, UniformOverPrefix) {
+  const auto d = QueryDistribution::uniform_over(10, 100);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.support_size(), 10u);
+  EXPECT_NEAR(d.probability(9), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(d.probability(10), 0.0);
+  EXPECT_TRUE(d.is_valid());
+}
+
+TEST(QueryDistribution, UniformOverSingleKey) {
+  const auto d = QueryDistribution::uniform_over(1, 5);
+  EXPECT_DOUBLE_EQ(d.probability(0), 1.0);
+  EXPECT_EQ(d.support_size(), 1u);
+}
+
+TEST(QueryDistribution, ZipfIsSortedAndValid) {
+  const auto d = QueryDistribution::zipf(1000, 1.01);
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_EQ(d.support_size(), 1000u);
+  for (KeyId i = 1; i < 1000; ++i) {
+    EXPECT_LE(d.probability(i), d.probability(i - 1));
+  }
+}
+
+TEST(QueryDistribution, ZipfHeadIsHeavy) {
+  // Zipf(1.01): the top 20% of 1000 keys should carry well over half the
+  // mass (the "80/20" skew the paper cites).
+  const auto d = QueryDistribution::zipf(1000, 1.01);
+  EXPECT_GT(d.head_mass(200), 0.6);
+}
+
+TEST(QueryDistribution, HeadMassMatchesPrefixSums) {
+  const auto d = QueryDistribution::uniform_over(4, 10);
+  EXPECT_DOUBLE_EQ(d.head_mass(0), 0.0);
+  EXPECT_NEAR(d.head_mass(2), 0.5, 1e-12);
+  EXPECT_NEAR(d.head_mass(4), 1.0, 1e-12);
+  EXPECT_NEAR(d.head_mass(10), 1.0, 1e-12);
+  EXPECT_NEAR(d.head_mass(999), 1.0, 1e-12);  // clamped past the end
+}
+
+TEST(QueryDistribution, FromWeightsNormalizes) {
+  const auto d = QueryDistribution::from_weights({4.0, 2.0, 2.0});
+  EXPECT_NEAR(d.probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(d.probability(1), 0.25, 1e-12);
+  EXPECT_TRUE(d.is_valid());
+}
+
+TEST(QueryDistribution, FromWeightsRejectsIncreasing) {
+  EXPECT_DEATH(QueryDistribution::from_weights({1.0, 2.0}), "non-increasing");
+}
+
+TEST(QueryDistribution, FromWeightsRejectsNegative) {
+  EXPECT_DEATH(QueryDistribution::from_weights({1.0, -0.5}), "non-negative");
+}
+
+TEST(QueryDistribution, MixtureIsValidAndSorted) {
+  const auto a = QueryDistribution::uniform_over(5, 20);
+  const auto b = QueryDistribution::zipf(20, 1.2);
+  const auto mix = QueryDistribution::mixture(0.3, a, b);
+  EXPECT_TRUE(mix.is_valid());
+  EXPECT_EQ(mix.size(), 20u);
+}
+
+TEST(QueryDistribution, MixtureEndpointsReproduceInputs) {
+  const auto a = QueryDistribution::uniform_over(5, 20);
+  const auto b = QueryDistribution::zipf(20, 1.2);
+  const auto all_a = QueryDistribution::mixture(1.0, a, b);
+  for (KeyId i = 0; i < 20; ++i) {
+    EXPECT_NEAR(all_a.probability(i), a.probability(i), 1e-12);
+  }
+}
+
+TEST(QueryDistribution, EntropyOfUniformIsLogM) {
+  const auto d = QueryDistribution::uniform(1024);
+  EXPECT_NEAR(d.entropy(), 10.0, 1e-9);
+}
+
+TEST(QueryDistribution, EntropyOfPointMassIsZero) {
+  const auto d = QueryDistribution::uniform_over(1, 10);
+  EXPECT_NEAR(d.entropy(), 0.0, 1e-12);
+}
+
+TEST(QueryDistribution, ZipfEntropyBelowUniform) {
+  const auto zipf = QueryDistribution::zipf(1024, 1.01);
+  const auto uniform = QueryDistribution::uniform(1024);
+  EXPECT_LT(zipf.entropy(), uniform.entropy());
+}
+
+TEST(QueryDistribution, SamplerMatchesProbabilities) {
+  const auto d = QueryDistribution::uniform_over(3, 10);
+  const AliasSampler sampler = d.make_sampler();
+  EXPECT_EQ(sampler.size(), 3u);  // only the support
+  Rng rng(1);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 30000.0, 1.0 / 3.0, 0.02);
+  }
+}
+
+// Parameterized sweep: uniform_over(x, m) is valid for every x.
+class UniformOverSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(UniformOverSweep, ValidAndMassOne) {
+  const auto [x, m] = GetParam();
+  const auto d = QueryDistribution::uniform_over(x, m);
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_EQ(d.support_size(), x);
+  EXPECT_NEAR(d.head_mass(m), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UniformOverSweep,
+    ::testing::Values(std::make_tuple(1ULL, 1ULL), std::make_tuple(1ULL, 100ULL),
+                      std::make_tuple(50ULL, 100ULL),
+                      std::make_tuple(100ULL, 100ULL),
+                      std::make_tuple(999ULL, 10000ULL)));
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,99 @@
+// Failure injection: bounded disruption and survival of the guarantee.
+#include <gtest/gtest.h>
+
+#include "sim/failure.h"
+
+namespace scp {
+namespace {
+
+FailureExperimentConfig base_config() {
+  FailureExperimentConfig config;
+  config.nodes = 100;
+  config.replication = 3;
+  config.items = 10000;
+  config.cache_size = 300;  // above c*(100, 3) with margin
+  config.query_rate = 10000.0;
+  return config;
+}
+
+TEST(FailureExperiment, ZeroFailuresIsAIdentity) {
+  const auto workload = QueryDistribution::uniform(10000);
+  const FailureExperimentResult r =
+      run_failure_experiment(base_config(), 0, workload, 1);
+  EXPECT_EQ(r.failed_nodes, 0u);
+  EXPECT_EQ(r.alive_nodes, 100u);
+  EXPECT_DOUBLE_EQ(r.disruption_fraction, 0.0);
+  EXPECT_GT(r.gain_before, 0.9);
+  EXPECT_LT(r.gain_before, 1.3);
+}
+
+TEST(FailureExperiment, DisruptionScalesWithFailures) {
+  const auto workload = QueryDistribution::uniform(10000);
+  const FailureExperimentResult one =
+      run_failure_experiment(base_config(), 1, workload, 2);
+  const FailureExperimentResult ten =
+      run_failure_experiment(base_config(), 10, workload, 2);
+  EXPECT_GT(one.disruption_fraction, 0.0);
+  // Expected disruption for f failures ≈ f·d/n; one failure ≈ 3%, and never
+  // a full reshuffle.
+  EXPECT_LT(one.disruption_fraction, 0.15);
+  EXPECT_GT(ten.disruption_fraction, one.disruption_fraction);
+  EXPECT_LT(ten.disruption_fraction, 0.6);
+}
+
+TEST(FailureExperiment, GuaranteeSurvivesModerateFailures) {
+  // c was provisioned for n = 100; with f = 10 failures the effective
+  // threshold c*(90) is *smaller*, so the adversarial best response should
+  // still be ineffective relative to the post-failure baseline R/(n−f).
+  const auto attack = QueryDistribution::uniform(10000);  // Case-2 best (x=m)
+  const FailureExperimentResult r =
+      run_failure_experiment(base_config(), 10, attack, 3);
+  EXPECT_LT(r.gain_after, 1.15);
+}
+
+TEST(FailureExperiment, FocusedAttackStillBlockedAfterFailures) {
+  FailureExperimentConfig config = base_config();
+  const auto attack =
+      QueryDistribution::uniform_over(config.cache_size + 1, config.items);
+  const FailureExperimentResult r =
+      run_failure_experiment(config, 10, attack, 4);
+  // One uncached key, least-loaded within its (surviving) group:
+  // gain ≈ (n−f)/(c+1) < 1 for c = 300.
+  EXPECT_LT(r.gain_after, 1.0);
+}
+
+TEST(FailureExperiment, UnderprovisionedStaysBroken) {
+  FailureExperimentConfig config = base_config();
+  config.cache_size = 20;
+  const auto attack = QueryDistribution::uniform_over(21, config.items);
+  const FailureExperimentResult r =
+      run_failure_experiment(config, 5, attack, 5);
+  EXPECT_GT(r.gain_before, 1.0);
+  EXPECT_GT(r.gain_after, 1.0);
+}
+
+TEST(FailureExperiment, DeterministicGivenSeed) {
+  const auto workload = QueryDistribution::zipf(10000, 1.01);
+  const FailureExperimentResult a =
+      run_failure_experiment(base_config(), 7, workload, 9);
+  const FailureExperimentResult b =
+      run_failure_experiment(base_config(), 7, workload, 9);
+  EXPECT_DOUBLE_EQ(a.gain_before, b.gain_before);
+  EXPECT_DOUBLE_EQ(a.gain_after, b.gain_after);
+  EXPECT_DOUBLE_EQ(a.disruption_fraction, b.disruption_fraction);
+}
+
+TEST(FailureExperiment, RejectsFailingBelowReplication) {
+  const auto workload = QueryDistribution::uniform(10000);
+  EXPECT_DEATH(run_failure_experiment(base_config(), 98, workload, 1),
+               "replication");
+}
+
+TEST(FailureExperiment, RejectsMismatchedWorkload) {
+  const auto workload = QueryDistribution::uniform(123);
+  EXPECT_DEATH(run_failure_experiment(base_config(), 1, workload, 1),
+               "match");
+}
+
+}  // namespace
+}  // namespace scp

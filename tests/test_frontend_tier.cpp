@@ -1,0 +1,113 @@
+// Multi-front-end cache tier: routing, coherence, and the head-duplication
+// effect that dictates per-front-end provisioning.
+#include <gtest/gtest.h>
+
+#include "cache/frontend_tier.h"
+#include "workload/distribution.h"
+#include "workload/stream.h"
+
+namespace scp {
+namespace {
+
+TEST(FrontEndTier, CapacityAndNameReflectShape) {
+  FrontEndTier tier(4, 100, "lru", 1);
+  EXPECT_EQ(tier.frontend_count(), 4u);
+  EXPECT_EQ(tier.capacity(), 400u);
+  EXPECT_EQ(tier.name(), "tier(4xlru)");
+  EXPECT_EQ(tier.size(), 0u);
+}
+
+TEST(FrontEndTier, SingleFrontEndBehavesLikeOneCache) {
+  FrontEndTier tier(1, 4, "lru", 2);
+  EXPECT_FALSE(tier.access(1));
+  EXPECT_TRUE(tier.access(1));
+  EXPECT_TRUE(tier.contains(1));
+}
+
+TEST(FrontEndTier, AccessesSpreadAcrossFrontEnds) {
+  // After many accesses to one key, every front-end should have seen it.
+  FrontEndTier tier(4, 8, "lru", 3);
+  for (int i = 0; i < 200; ++i) {
+    tier.access(42);
+  }
+  EXPECT_EQ(tier.replication_of(42), 4u)
+      << "hot key should be duplicated on every front-end";
+}
+
+TEST(FrontEndTier, HotHeadDuplicatesEverywhere) {
+  // The provisioning-relevant effect: all front-ends independently converge
+  // to the same hot head, so tier capacity k·c covers only ~c distinct keys.
+  const auto d = QueryDistribution::zipf(1000, 1.2);
+  QueryStream stream(d, 1000.0, 4);
+  FrontEndTier tier(4, 32, "lru", 5);
+  for (int i = 0; i < 40000; ++i) {
+    tier.access(stream.next().key);
+  }
+  // The very head (top ~8 ranks) should sit on every front-end.
+  std::uint32_t fully_replicated = 0;
+  for (KeyId key = 0; key < 8; ++key) {
+    fully_replicated += tier.replication_of(key) == 4 ? 1 : 0;
+  }
+  EXPECT_GE(fully_replicated, 4u);  // LRU churn can momentarily evict a couple
+}
+
+TEST(FrontEndTier, HitRatioBelowSingleCacheOfSameTotalCapacity) {
+  // Fixed total memory, split k ways: the duplicated head wastes slots, so
+  // the tier hits less often than one big cache.
+  const auto d = QueryDistribution::zipf(5000, 1.01);
+  const std::uint64_t total_capacity = 256;
+
+  auto run = [&](FrontEndCache& cache) {
+    QueryStream stream(d, 1000.0, 6);
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 60000; ++i) {
+      hits += cache.access(stream.next().key) ? 1 : 0;
+    }
+    return hits;
+  };
+
+  FrontEndTier split(8, total_capacity / 8, "lru", 7);
+  const auto single = make_cache("lru", total_capacity);
+  const std::uint64_t split_hits = run(split);
+  const std::uint64_t single_hits = run(*single);
+  EXPECT_LT(split_hits, single_hits);
+}
+
+TEST(FrontEndTier, InvalidatePurgesEveryFrontEnd) {
+  FrontEndTier tier(4, 8, "lru", 8);
+  for (int i = 0; i < 100; ++i) {
+    tier.access(7);
+  }
+  ASSERT_EQ(tier.replication_of(7), 4u);
+  EXPECT_TRUE(tier.invalidate(7));
+  EXPECT_EQ(tier.replication_of(7), 0u);
+  EXPECT_FALSE(tier.contains(7));
+  EXPECT_FALSE(tier.invalidate(7));  // already gone
+}
+
+TEST(FrontEndTier, ClearEmptiesEverything) {
+  FrontEndTier tier(3, 8, "lfu", 9);
+  for (KeyId key = 0; key < 20; ++key) {
+    tier.access(key);
+  }
+  tier.clear();
+  EXPECT_EQ(tier.size(), 0u);
+}
+
+TEST(FrontEndTier, WorksWithEveryPolicy) {
+  for (const char* policy : {"lru", "lfu", "slru", "tinylfu"}) {
+    FrontEndTier tier(2, 16, policy, 10);
+    for (int round = 0; round < 50; ++round) {
+      tier.access(round % 8);
+    }
+    EXPECT_GT(tier.size(), 0u) << policy;
+    EXPECT_TRUE(tier.contains(0) || tier.contains(1)) << policy;
+  }
+}
+
+TEST(FrontEndTier, RejectsZeroFrontEnds) {
+  EXPECT_DEATH(FrontEndTier(0, 8, "lru", 1), "at least one");
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,111 @@
+#include "common/hash.h"
+
+#include <bit>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scp {
+namespace {
+
+TEST(Mix64, IsDeterministicAndBijectiveSpotCheck) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);  // a bijection never collides
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip ~32 of 64 output bits.
+  const std::uint64_t base = 0x0123456789abcdefULL;
+  const std::uint64_t h0 = mix64(base);
+  double total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t h1 = mix64(base ^ (1ULL << bit));
+    total_flips += std::popcount(h0 ^ h1);
+  }
+  const double mean_flips = total_flips / 64.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Standard 64-bit FNV-1a test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, ByteAndStringOverloadsAgree) {
+  const std::string s = "hello world";
+  EXPECT_EQ(fnv1a(s), fnv1a(s.data(), s.size()));
+}
+
+TEST(SipHash, MatchesReferenceVectors) {
+  // Official SipHash-2-4 test vectors (Aumasson & Bernstein reference
+  // implementation): key = 00 01 02 … 0f, input = 00 01 02 … (len-1).
+  SipKey key;
+  key.k0 = 0x0706050403020100ULL;
+  key.k1 = 0x0f0e0d0c0b0a0908ULL;
+  const std::uint64_t expected[] = {
+      0x726fdb47dd0e0e31ULL,  // len 0
+      0x74f839c593dc67fdULL,  // len 1
+      0x0d6c8009d9a94f5aULL,  // len 2
+      0x85676696d7fb7e2dULL,  // len 3
+      0xcf2794e0277187b7ULL,  // len 4
+      0x18765564cd99a68dULL,  // len 5
+      0xcbc9466e58fee3ceULL,  // len 6
+      0xab0200f58b01d137ULL,  // len 7
+      0x93f5f5799a932462ULL,  // len 8
+      0x9e0082df0ba9e4b0ULL,  // len 9
+  };
+  unsigned char input[16];
+  for (int i = 0; i < 16; ++i) {
+    input[i] = static_cast<unsigned char>(i);
+  }
+  for (std::size_t len = 0; len < std::size(expected); ++len) {
+    EXPECT_EQ(siphash24(key, input, len), expected[len]) << "len=" << len;
+  }
+}
+
+TEST(SipHash, KeyedHashDependsOnKey) {
+  const SipKey a = sip_key_from_seed(1);
+  const SipKey b = sip_key_from_seed(2);
+  int collisions = 0;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    collisions += (siphash24(a, v) == siphash24(b, v)) ? 1 : 0;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(SipHash, SeedDerivationIsDeterministic) {
+  const SipKey a = sip_key_from_seed(77);
+  const SipKey b = sip_key_from_seed(77);
+  EXPECT_EQ(a.k0, b.k0);
+  EXPECT_EQ(a.k1, b.k1);
+}
+
+TEST(SipHash, Uint64OverloadMatchesByteForm) {
+  const SipKey key = sip_key_from_seed(5);
+  const std::uint64_t value = 0xdeadbeefcafef00dULL;
+  unsigned char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  EXPECT_EQ(siphash24(key, value), siphash24(key, bytes, 8));
+}
+
+TEST(SipHash, NoObviousCollisionsOnSequentialKeys) {
+  const SipKey key = sip_key_from_seed(9);
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    outputs.insert(siphash24(key, v));
+  }
+  EXPECT_EQ(outputs.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace scp

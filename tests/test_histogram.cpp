@@ -1,0 +1,133 @@
+#include "common/histogram.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scp {
+namespace {
+
+TEST(LogHistogram, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.value_at_quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h(5);  // linear region covers [0, 64)
+  for (std::uint64_t v = 0; v < 60; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 60u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 59u);
+  EXPECT_EQ(h.value_at_quantile(0.0), 0u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 59u);
+}
+
+TEST(LogHistogram, MeanIsExact) {
+  LogHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, RecordNWeightsCorrectly) {
+  LogHistogram h;
+  h.record_n(5, 100);
+  h.record_n(10, 0);  // no-op
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(LogHistogram, QuantileWithinRelativeError) {
+  LogHistogram h(7);  // 2^-7 < 1% relative error
+  Rng rng(1);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = 1 + rng.uniform_u64(1000000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const std::uint64_t approx = h.value_at_quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.03 * static_cast<double>(exact))
+        << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, QuantileNeverExceedsMax) {
+  LogHistogram h(3);
+  h.record(1000000);
+  h.record(3);
+  EXPECT_LE(h.value_at_quantile(1.0), 1000000u);
+  EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(LogHistogram, MergeCombinesCounts) {
+  LogHistogram a(5);
+  LogHistogram b(5);
+  a.record(10);
+  a.record(100);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(LogHistogram, MergeIntoEmpty) {
+  LogHistogram a(5);
+  LogHistogram b(5);
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7u);
+}
+
+TEST(LogHistogram, LargeValuesDoNotCrash) {
+  LogHistogram h(5);
+  h.record(~0ULL);
+  h.record(1ULL << 63);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+}
+
+TEST(LogHistogram, SummaryMentionsCount) {
+  LogHistogram h;
+  h.record(42);
+  EXPECT_NE(h.summary().find("count=1"), std::string::npos);
+}
+
+class HistogramPrecisionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistogramPrecisionTest, RelativeErrorBoundHolds) {
+  const unsigned precision = GetParam();
+  LogHistogram h(precision);
+  // Record one value and read back the p100 quantile; the bucket's upper
+  // bound must be within 2^-precision relative error.
+  const std::uint64_t value = 123456789;
+  h.record(value);
+  const std::uint64_t readback = h.value_at_quantile(1.0);
+  const double rel_err =
+      std::abs(static_cast<double>(readback) - static_cast<double>(value)) /
+      static_cast<double>(value);
+  EXPECT_LE(rel_err, 1.0 / static_cast<double>(1u << precision));
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HistogramPrecisionTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,183 @@
+// End-to-end shape tests: scaled-down versions of the paper's figures must
+// show the same qualitative structure (the trends, crossovers and winner
+// orderings the evaluation section reports).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategy.h"
+#include "core/scp.h"
+
+namespace scp {
+namespace {
+
+ScenarioConfig scenario(std::uint32_t n, std::uint64_t c, std::uint64_t m,
+                        double rate = 1e4) {
+  ScenarioConfig config;
+  config.params.nodes = n;
+  config.params.replication = 3;
+  config.params.items = m;
+  config.params.cache_size = c;
+  config.params.query_rate = rate;
+  return config;
+}
+
+double max_gain(const ScenarioConfig& config, std::uint64_t x,
+                std::uint32_t trials = 5) {
+  return measure_adversarial_gain(config, x, trials, /*base_seed=*/99).max_gain;
+}
+
+TEST(Fig3Shape, SmallCacheGainDecreasesInXAndExceedsOne) {
+  // Fig. 3(a): c below the threshold; normalized max load is a decreasing
+  // function of x, and the adversary wins near x = c+1.
+  const ScenarioConfig config = scenario(100, 20, 5000);
+  const double g_small = max_gain(config, 21);
+  const double g_mid = max_gain(config, 200);
+  const double g_large = max_gain(config, 5000);
+  EXPECT_GT(g_small, g_mid);
+  EXPECT_GT(g_mid, g_large);
+  EXPECT_GT(g_small, 1.0);
+}
+
+TEST(Fig3Shape, LargeCacheGainStaysBelowOne) {
+  // Fig. 3(b): c above the threshold; no x gives an effective attack.
+  const ScenarioConfig config = scenario(100, 400, 5000);
+  for (const std::uint64_t x : {401ULL, 1000ULL, 2500ULL, 5000ULL}) {
+    EXPECT_LT(max_gain(config, x), 1.0) << "x=" << x;
+  }
+}
+
+TEST(Fig3Shape, BoundDominatesSimulation) {
+  // Eq. 10 must upper-bound the simulated gain wherever it applies (x > c,
+  // d >= 2). The Θ(1) constant k′ in k = lnln n / ln d + k′ is what the
+  // paper tunes empirically (it uses k = 1.2 at n = 1000); at this test's
+  // small n = 100 a conservative k′ = 2 safely covers the balls-into-bins
+  // constant.
+  const ScenarioConfig config = scenario(100, 20, 5000);
+  const double k = gap_k(100, 3, /*k_prime=*/2.0);
+  for (const std::uint64_t x : {21ULL, 100ULL, 1000ULL, 5000ULL}) {
+    const double simulated = max_gain(config, x);
+    const double bound = attack_gain_bound(config.params, x, k);
+    EXPECT_LE(simulated, bound * 1.05) << "x=" << x;
+  }
+}
+
+TEST(Fig4Shape, AccessPatternOrdering) {
+  // Fig. 4: with a fixed small cache, Zipf(1.01) ends up easiest on the
+  // back-ends (its head is cached), uniform is benign, and the adversarial
+  // pattern loads the system hardest as n grows.
+  const std::uint64_t m = 5000;
+  const std::uint64_t c = 100;  // the paper's Fig. 4 cache size
+  const ScenarioConfig config = scenario(300, c, m);
+
+  const double adversarial = max_gain(config, c + 1);
+  const double uniform =
+      measure_gain(config, QueryDistribution::uniform(m), 5, 99).max_gain;
+  const double zipf =
+      measure_gain(config, QueryDistribution::zipf(m, 1.01), 5, 99).max_gain;
+
+  EXPECT_GT(adversarial, uniform * 2)
+      << "adversarial pattern should dominate uniform";
+  // Zipf normalized against the full rate R: the cached head removes most
+  // mass, so its back-end max load normalized by R/n is far below 1.
+  EXPECT_LT(zipf, 1.0);
+}
+
+TEST(Fig5Shape, CriticalCacheSizeNearTheoreticalThreshold) {
+  // Fig. 5(a): sweeping c, the best achievable gain crosses 1.0 near
+  // c* = n·k + 1. For n = 100, d = 3: raw lnln/ln gap ≈ 1.4 → c* ≈ 150±.
+  const std::uint32_t n = 100;
+  const std::uint64_t m = 20000;
+
+  auto best_gain = [&](std::uint64_t c) {
+    const ScenarioConfig config = scenario(n, c, m);
+    const auto evaluate = [&](std::uint64_t x) {
+      return measure_adversarial_gain(config, x, 5, 7).max_gain;
+    };
+    return best_response_search(config.params, evaluate, 0).gain;
+  };
+
+  EXPECT_GT(best_gain(40), 1.0);   // far below any plausible threshold
+  EXPECT_LT(best_gain(500), 1.0);  // far above it
+}
+
+TEST(Fig5Shape, BestResponseXFollowsRegime) {
+  // Fig. 5(b): below the critical point the adversary queries c+1 keys;
+  // above it, the whole key space.
+  const std::uint32_t n = 100;
+  const std::uint64_t m = 20000;
+  {
+    const ScenarioConfig config = scenario(n, 40, m);
+    const auto evaluate = [&](std::uint64_t x) {
+      return measure_adversarial_gain(config, x, 5, 7).max_gain;
+    };
+    EXPECT_EQ(best_response_search(config.params, evaluate, 0).queried_keys,
+              41u);
+  }
+  {
+    const ScenarioConfig config = scenario(n, 500, m);
+    const auto evaluate = [&](std::uint64_t x) {
+      return measure_adversarial_gain(config, x, 5, 7).max_gain;
+    };
+    EXPECT_EQ(best_response_search(config.params, evaluate, 0).queried_keys,
+              m);
+  }
+}
+
+TEST(FanBaseline, UnreplicatedClusterRemainsAttackableWithLargeCache) {
+  // The d = 1 contrast (Fan et al.): even a cache that protects the d = 3
+  // system leaves the unreplicated system attackable, because the
+  // single-choice gap grows with the number of balls.
+  const std::uint64_t m = 20000;
+  const std::uint64_t c = 500;  // protects d=3 per Fig5Shape above
+
+  ScenarioConfig replicated = scenario(100, c, m);
+  ScenarioConfig unreplicated = scenario(100, c, m);
+  unreplicated.params.replication = 1;
+
+  const auto evaluate_d1 = [&](std::uint64_t x) {
+    return measure_adversarial_gain(unreplicated, x, 5, 13).max_gain;
+  };
+  const BestResponse d1_best =
+      best_response_search(unreplicated.params, evaluate_d1, 8);
+  EXPECT_GT(d1_best.gain, 1.0) << "d=1 should remain attackable";
+
+  const auto evaluate_d3 = [&](std::uint64_t x) {
+    return measure_adversarial_gain(replicated, x, 5, 13).max_gain;
+  };
+  const BestResponse d3_best =
+      best_response_search(replicated.params, evaluate_d3, 8);
+  EXPECT_LT(d3_best.gain, 1.0) << "d=3 should be protected";
+}
+
+TEST(EndToEnd, ProvisionerPlanSurvivesIndependentAnalyzer) {
+  // Provision with one module, attack with another: the plan must hold.
+  ProvisionOptions options;
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 20000;
+  spec.attack_rate_qps = 1e4;
+  const ProvisionPlan plan = provisioner.plan(spec);
+
+  SystemParams params;
+  params.nodes = spec.nodes;
+  params.replication = spec.replication;
+  params.items = spec.items;
+  params.cache_size = plan.recommended_cache_size;
+  params.query_rate = spec.attack_rate_qps;
+
+  AnalyzerOptions analyzer_options;
+  analyzer_options.trials = 5;
+  const AttackAnalyzer analyzer(analyzer_options);
+  for (const std::uint64_t x :
+       {plan.recommended_cache_size + 1, spec.items / 2, spec.items}) {
+    const AttackAssessment a = analyzer.assess_adversarial(params, x);
+    EXPECT_FALSE(a.effective) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,164 @@
+// JSON writer and result serialization.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "core/serialize.h"
+
+namespace scp {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter json;
+  json.begin_object().end();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray) {
+  JsonWriter json;
+  json.begin_array().end();
+  EXPECT_EQ(json.str(), "[]");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object()
+      .field("name", "scp")
+      .field("nodes", std::uint64_t{1000})
+      .field("rate", 1.5)
+      .field("ok", true)
+      .end();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"scp\",\"nodes\":1000,\"rate\":1.5,\"ok\":true}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("list").begin_array();
+  json.value(std::int64_t{1});
+  json.value(std::int64_t{2});
+  json.begin_object().field("x", false).end();
+  json.end();
+  json.key("none").null();
+  json.end();
+  EXPECT_EQ(json.str(), "{\"list\":[1,2,{\"x\":false}],\"none\":null}");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.begin_object().field("s", "a\"b\\c\nd\te").end();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  JsonWriter json;
+  std::string s = "x";
+  s += '\x01';
+  json.begin_object().field("s", s).end();
+  EXPECT_EQ(json.str(), "{\"s\":\"x\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_object()
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("nan", std::numeric_limits<double>::quiet_NaN())
+      .end();
+  EXPECT_EQ(json.str(), "{\"inf\":null,\"nan\":null}");
+}
+
+TEST(JsonWriter, RootScalar) {
+  JsonWriter json;
+  json.value(42.0);
+  EXPECT_EQ(json.str(), "42");
+}
+
+TEST(JsonWriter, MisuseDies) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_DEATH(json.value(1.0), "key");
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("a");
+    EXPECT_DEATH(json.key("b"), "two keys");
+  }
+  {
+    JsonWriter json;
+    EXPECT_DEATH(json.end(), "no open scope");
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_DEATH(json.str(), "complete");
+  }
+}
+
+TEST(SerializePlan, ContainsTheoryAndValidation) {
+  ProvisionOptions options;
+  options.validation_trials = 2;
+  options.validation_grid_points = 0;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 10000;
+  spec.attack_rate_qps = 1e4;
+  const std::string json = to_json(provisioner.plan(spec));
+  EXPECT_NE(json.find("\"nodes\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"threshold_c_star\":"), std::string::npos);
+  EXPECT_NE(json.find("\"prevention_holds\":true"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(SerializePlan, UnreplicatedPlanSerializesRemedy) {
+  ProvisionOptions options;
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 1;
+  spec.items = 10000;
+  spec.attack_rate_qps = 1e4;
+  const std::string json = to_json(provisioner.plan(spec));
+  EXPECT_NE(json.find("\"prevention_possible\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"remedy\""), std::string::npos);
+  EXPECT_EQ(json.find("\"theory\""), std::string::npos);
+}
+
+TEST(SerializeAssessment, RoundTripFields) {
+  AnalyzerOptions options;
+  options.trials = 3;
+  const AttackAnalyzer analyzer(options);
+  SystemParams params;
+  params.nodes = 100;
+  params.replication = 3;
+  params.items = 10000;
+  params.cache_size = 50;
+  params.query_rate = 1e4;
+  const std::string json = to_json(analyzer.assess_adversarial(params, 51));
+  EXPECT_NE(json.find("\"effective\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"eq10_bound\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trials\":3"), std::string::npos);
+}
+
+TEST(SerializeAssessment, MissingBoundSerializesNull) {
+  AnalyzerOptions options;
+  options.trials = 2;
+  const AttackAnalyzer analyzer(options);
+  SystemParams params;
+  params.nodes = 100;
+  params.replication = 3;
+  params.items = 10000;
+  params.cache_size = 50;
+  params.query_rate = 1e4;
+  const std::string json =
+      to_json(analyzer.assess(params, QueryDistribution::zipf(10000, 1.01)));
+  EXPECT_NE(json.find("\"eq10_bound\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,111 @@
+// Partial-knowledge adversary: Assumption 1 stress tests.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "adversary/knowledge.h"
+#include "sim/scenario.h"
+
+namespace scp {
+namespace {
+
+ScenarioConfig scenario(std::uint64_t cache_size) {
+  ScenarioConfig config;
+  config.params.nodes = 100;
+  config.params.replication = 3;
+  config.params.items = 20000;
+  config.params.cache_size = cache_size;
+  config.params.query_rate = 10000.0;
+  // Per-query random replica selection: the defender's strongest routing
+  // against a targeted attack (splits each key's load d ways).
+  config.selector = "random";
+  return config;
+}
+
+TEST(KnowledgePlan, ZeroKnowledgeFallsBackToOblivious) {
+  const auto partitioner = make_partitioner("hash", 100, 3, 1);
+  const KnowledgePlan plan =
+      plan_knowledge_attack(*partitioner, 20000, 50, 0.0, 2);
+  EXPECT_EQ(plan.known_keys, 0u);
+  EXPECT_EQ(plan.queried_keys.size(), 51u);
+}
+
+TEST(KnowledgePlan, AllQueriedKeysContainTarget) {
+  const auto partitioner = make_partitioner("hash", 100, 3, 1);
+  const KnowledgePlan plan =
+      plan_knowledge_attack(*partitioner, 20000, 50, 0.5, 2);
+  EXPECT_GT(plan.queried_keys.size(), 0u);
+  for (const KeyId key : plan.queried_keys) {
+    const auto group = partitioner->replica_group(key);
+    EXPECT_NE(std::find(group.begin(), group.end(), plan.target), group.end())
+        << "key " << key << " does not map to the target node";
+  }
+}
+
+TEST(KnowledgePlan, TargetedSetSizeMatchesExpectation) {
+  // E[|S_t|] ≈ φ·m·d/n; the argmax node is above average but same order.
+  const auto partitioner = make_partitioner("hash", 100, 3, 1);
+  const KnowledgePlan plan =
+      plan_knowledge_attack(*partitioner, 20000, 50, 0.5, 3);
+  const double expected = 0.5 * 20000 * 3 / 100;  // 300
+  EXPECT_GT(plan.queried_keys.size(), expected * 0.8);
+  EXPECT_LT(plan.queried_keys.size(), expected * 1.5);
+}
+
+TEST(KnowledgePlan, DeterministicGivenSeed) {
+  const auto partitioner = make_partitioner("hash", 100, 3, 1);
+  const KnowledgePlan a =
+      plan_knowledge_attack(*partitioner, 20000, 50, 0.3, 7);
+  const KnowledgePlan b =
+      plan_knowledge_attack(*partitioner, 20000, 50, 0.3, 7);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.queried_keys, b.queried_keys);
+}
+
+TEST(KnowledgeThreshold, MatchesClosedForm) {
+  // φ* = c·n/(m·d), clamped to 1.
+  EXPECT_NEAR(knowledge_threshold(100, 3, 20000, 300),
+              300.0 * 100.0 / (20000.0 * 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(knowledge_threshold(1000, 2, 100, 1000), 1.0);
+}
+
+TEST(KnowledgeTrial, ZeroKnowledgeMatchesObliviousGainScale) {
+  const ScenarioConfig config = scenario(300);  // provisioned above c*
+  const TargetedAttackResult result = knowledge_attack_trial(config, 0.0, 5);
+  // Oblivious x = c+1 against a provisioned cache with random routing:
+  // one uncached key split over d nodes → gain ≈ n/((c+1)·d) < 1.
+  EXPECT_LT(result.max_gain, 1.0);
+  EXPECT_EQ(result.queried_keys, 301u);
+}
+
+TEST(KnowledgeTrial, FullKnowledgeBreaksProvisionedCache) {
+  // With the full mapping leaked, the targeted set (~ m·d/n keys on one
+  // node) dwarfs the cache and the attack succeeds despite c >= c*.
+  const ScenarioConfig config = scenario(300);
+  const TargetedAttackResult result = knowledge_attack_trial(config, 1.0, 5);
+  EXPECT_GT(result.target_gain, 1.0)
+      << "Assumption 1 violated should break prevention";
+  EXPECT_GE(result.max_gain, result.target_gain - 1e-9);
+}
+
+TEST(KnowledgeTrial, GainGrowsWithKnowledge) {
+  const ScenarioConfig config = scenario(300);
+  const double g_small = knowledge_attack_trial(config, 0.2, 5).target_gain;
+  const double g_large = knowledge_attack_trial(config, 0.9, 5).target_gain;
+  EXPECT_GT(g_large, g_small);
+}
+
+TEST(KnowledgeTrial, BelowThresholdCacheStillAbsorbs) {
+  // φ well below φ* = c·n/(m·d): the targeted set fits into the cache, so
+  // the cache eats it entirely and the adversary gets nothing.
+  const ScenarioConfig config = scenario(600);
+  const double phi_star =
+      knowledge_threshold(100, 3, 20000, 600);  // = 1.0 → pick c bigger...
+  const double phi = phi_star * 0.4;
+  const TargetedAttackResult result =
+      knowledge_attack_trial(config, phi, 11);
+  EXPECT_LT(result.target_gain, 1.0);
+}
+
+}  // namespace
+}  // namespace scp

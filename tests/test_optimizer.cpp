@@ -1,0 +1,122 @@
+// Attack optimizer: an unconstrained search over distributions must not
+// beat Theorem 1's closed-form optimum (and must find its neighbourhood).
+#include <gtest/gtest.h>
+
+#include "adversary/optimizer.h"
+#include "adversary/strategy.h"
+#include "sim/scenario.h"
+
+namespace scp {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t cache_size) {
+  ScenarioConfig config;
+  config.params.nodes = 50;
+  config.params.replication = 3;
+  config.params.items = 2000;
+  config.params.cache_size = cache_size;
+  config.params.query_rate = 5000.0;
+  return config;
+}
+
+// Deterministic evaluator: mean gain over fixed trial seeds.
+GainEvaluator make_evaluator(const ScenarioConfig& config,
+                             std::uint32_t trials = 3) {
+  return [config, trials](const QueryDistribution& d) {
+    double total = 0.0;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      total += gain_trial(config, d, 1000 + t);
+    }
+    return total / trials;
+  };
+}
+
+OptimizerOptions fast_options() {
+  OptimizerOptions options;
+  options.iterations = 60;
+  options.restarts = 3;
+  options.seed = 99;
+  return options;
+}
+
+TEST(Optimizer, RunsAndReportsBookkeeping) {
+  const ScenarioConfig config = small_scenario(20);
+  const OptimizerResult result = optimize_attack(
+      config.params.items, config.params.cache_size, make_evaluator(config),
+      fast_options());
+  EXPECT_GT(result.best_gain, 0.0);
+  EXPECT_GE(result.evaluations, 3u);  // at least the starting points
+  EXPECT_TRUE(result.best.is_valid());
+  EXPECT_FALSE(result.gain_trace.empty());
+  // Trace is the best-so-far sequence: non-decreasing.
+  for (std::size_t i = 1; i < result.gain_trace.size(); ++i) {
+    EXPECT_GE(result.gain_trace[i], result.gain_trace[i - 1]);
+  }
+}
+
+TEST(Optimizer, DeterministicGivenSeed) {
+  const ScenarioConfig config = small_scenario(20);
+  const OptimizerResult a = optimize_attack(
+      config.params.items, config.params.cache_size, make_evaluator(config),
+      fast_options());
+  const OptimizerResult b = optimize_attack(
+      config.params.items, config.params.cache_size, make_evaluator(config),
+      fast_options());
+  EXPECT_DOUBLE_EQ(a.best_gain, b.best_gain);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Optimizer, DoesNotBeatTheoremOneOptimum) {
+  // The core validation: free-form search over the simplex must not exceed
+  // the best uniform-over-x strategy by more than evaluation noise.
+  const ScenarioConfig config = small_scenario(20);
+  const GainEvaluator evaluate = make_evaluator(config);
+
+  const auto eval_x = [&](std::uint64_t x) {
+    return evaluate(QueryDistribution::uniform_over(x, config.params.items));
+  };
+  const BestResponse analytic =
+      best_response_search(config.params, eval_x, /*grid_points=*/8);
+
+  OptimizerOptions options = fast_options();
+  options.iterations = 120;
+  const OptimizerResult searched = optimize_attack(
+      config.params.items, config.params.cache_size, evaluate, options);
+
+  EXPECT_LE(searched.best_gain, analytic.gain * 1.05)
+      << "free-form search beat Theorem 1's optimum — theorem violated?";
+}
+
+TEST(Optimizer, ReachesAtLeastTheFocusedAttack) {
+  // It starts from uniform-over-(c+1), so it can never end below that.
+  const ScenarioConfig config = small_scenario(20);
+  const GainEvaluator evaluate = make_evaluator(config);
+  const double focused =
+      evaluate(QueryDistribution::uniform_over(21, config.params.items));
+  const OptimizerResult result = optimize_attack(
+      config.params.items, config.params.cache_size, evaluate, fast_options());
+  EXPECT_GE(result.best_gain, focused - 1e-9);
+}
+
+TEST(Optimizer, LargeCacheSearchStaysBelowOne) {
+  // Above the threshold no distribution should be found effective.
+  const ScenarioConfig config = small_scenario(200);  // > c*(50, 3)
+  OptimizerOptions options = fast_options();
+  options.iterations = 80;
+  const OptimizerResult result = optimize_attack(
+      config.params.items, config.params.cache_size, make_evaluator(config),
+      options);
+  EXPECT_LE(result.best_gain, 1.0 + 0.05);
+}
+
+TEST(Optimizer, RejectsBadArguments) {
+  const ScenarioConfig config = small_scenario(20);
+  EXPECT_DEATH(
+      optimize_attack(100, 100, make_evaluator(config), fast_options()),
+      "smaller");
+  EXPECT_DEATH(optimize_attack(100, 10, GainEvaluator{}, fast_options()),
+               "callable");
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,240 @@
+#include "cluster/partitioner.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace scp {
+namespace {
+
+// Parameterized over the three partitioner kinds: they must all satisfy the
+// system-model contract (d distinct nodes, deterministic, uniform spread).
+class PartitionerContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<ReplicaPartitioner> make(std::uint32_t n, std::uint32_t d,
+                                           std::uint64_t seed = 42) {
+    return make_partitioner(GetParam(), n, d, seed);
+  }
+};
+
+TEST_P(PartitionerContractTest, ReportsParameters) {
+  const auto p = make(50, 3);
+  EXPECT_EQ(p->node_count(), 50u);
+  EXPECT_EQ(p->replication(), 3u);
+  EXPECT_FALSE(p->name().empty());
+}
+
+TEST_P(PartitionerContractTest, GroupsHaveDistinctNodes) {
+  const auto p = make(20, 5);
+  for (KeyId key = 0; key < 500; ++key) {
+    const std::vector<NodeId> group = p->replica_group(key);
+    ASSERT_EQ(group.size(), 5u);
+    const std::set<NodeId> unique(group.begin(), group.end());
+    EXPECT_EQ(unique.size(), 5u) << "key " << key;
+    for (const NodeId node : group) {
+      EXPECT_LT(node, 20u);
+    }
+  }
+}
+
+TEST_P(PartitionerContractTest, GroupsAreDeterministicPerKey) {
+  const auto p = make(100, 3);
+  for (KeyId key = 0; key < 100; ++key) {
+    EXPECT_EQ(p->replica_group(key), p->replica_group(key));
+  }
+}
+
+TEST_P(PartitionerContractTest, DifferentSeedsGiveDifferentMappings) {
+  const auto a = make(100, 3, 1);
+  const auto b = make(100, 3, 2);
+  int identical = 0;
+  for (KeyId key = 0; key < 200; ++key) {
+    identical += (a->replica_group(key) == b->replica_group(key)) ? 1 : 0;
+  }
+  // A few chance collisions are possible; identical mappings are not.
+  EXPECT_LT(identical, 20);
+}
+
+TEST_P(PartitionerContractTest, PrimaryReplicaSpreadIsRoughlyUniform) {
+  constexpr std::uint32_t kNodes = 20;
+  constexpr KeyId kKeys = 40000;
+  const auto p = make(kNodes, 3);
+  std::vector<std::uint64_t> counts(kNodes, 0);
+  std::vector<NodeId> group(3);
+  for (KeyId key = 0; key < kKeys; ++key) {
+    p->replica_group(key, std::span<NodeId>(group));
+    ++counts[group[0]];
+  }
+  // The ring with finite vnodes has structural skew (arc-size variance ~
+  // 1/sqrt(vnodes)), so assert a generous per-node band rather than a tight
+  // chi-squared: every node owns between a third and three times its share.
+  const double expected_share = static_cast<double>(kKeys) / kNodes;
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    EXPECT_GT(static_cast<double>(counts[node]), expected_share / 3.0)
+        << "node " << node << " starved";
+    EXPECT_LT(static_cast<double>(counts[node]), expected_share * 3.0)
+        << "node " << node << " overloaded";
+  }
+}
+
+TEST_P(PartitionerContractTest, AllNodesAppearInSomeGroup) {
+  constexpr std::uint32_t kNodes = 30;
+  const auto p = make(kNodes, 2);
+  std::set<NodeId> seen;
+  std::vector<NodeId> group(2);
+  for (KeyId key = 0; key < 5000 && seen.size() < kNodes; ++key) {
+    p->replica_group(key, std::span<NodeId>(group));
+    seen.insert(group.begin(), group.end());
+  }
+  EXPECT_EQ(seen.size(), kNodes);
+}
+
+TEST_P(PartitionerContractTest, ReplicationOneWorks) {
+  const auto p = make(10, 1);
+  for (KeyId key = 0; key < 100; ++key) {
+    EXPECT_EQ(p->replica_group(key).size(), 1u);
+  }
+}
+
+TEST_P(PartitionerContractTest, FullReplicationCoversAllNodes) {
+  const auto p = make(4, 4);
+  const std::vector<NodeId> group = p->replica_group(7);
+  const std::set<NodeId> unique(group.begin(), group.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PartitionerContractTest,
+                         ::testing::Values("hash", "ring", "rendezvous"));
+
+// --- kind-specific behaviour -------------------------------------------------
+
+TEST(ConsistentHashRing, AddNodeDisruptsFewKeys) {
+  ConsistentHashRing ring(50, 3, 64, 7);
+  constexpr KeyId kKeys = 5000;
+  std::vector<std::vector<NodeId>> before(kKeys);
+  for (KeyId key = 0; key < kKeys; ++key) {
+    before[key] = ring.replica_group(key);
+  }
+  ring.add_node(50);
+  std::size_t moved = 0;
+  for (KeyId key = 0; key < kKeys; ++key) {
+    if (ring.replica_group(key) != before[key]) {
+      ++moved;
+    }
+  }
+  // Expected disruption ≈ d/n ≈ 6%; assert well under a full reshuffle.
+  EXPECT_LT(moved, kKeys / 4);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(ConsistentHashRing, RemoveNodeOnlyRemapsItsKeys) {
+  ConsistentHashRing ring(50, 2, 64, 8);
+  constexpr KeyId kKeys = 5000;
+  std::vector<std::vector<NodeId>> before(kKeys);
+  for (KeyId key = 0; key < kKeys; ++key) {
+    before[key] = ring.replica_group(key);
+  }
+  const NodeId victim = 13;
+  ring.remove_node(victim);
+  EXPECT_FALSE(ring.contains_node(victim));
+  EXPECT_EQ(ring.node_count(), 49u);
+  for (KeyId key = 0; key < kKeys; ++key) {
+    const std::vector<NodeId> after = ring.replica_group(key);
+    EXPECT_EQ(std::count(after.begin(), after.end(), victim), 0)
+        << "key " << key;
+    const bool had_victim = std::count(before[key].begin(), before[key].end(),
+                                       victim) > 0;
+    if (!had_victim) {
+      EXPECT_EQ(after, before[key]) << "unaffected key moved: " << key;
+    }
+  }
+}
+
+TEST(ConsistentHashRing, WeightedRingShiftsOwnershipTowardHeavyNodes) {
+  // Capacity-aware vnodes: a node with weight 2 should own roughly twice
+  // the keys of a weight-1 node.
+  constexpr std::uint32_t kNodes = 10;
+  std::vector<double> weights(kNodes, 1.0);
+  weights[0] = 2.0;
+  ConsistentHashRing ring(kNodes, 1, 128, std::span<const double>(weights), 5);
+  std::vector<std::uint64_t> owned(kNodes, 0);
+  std::vector<NodeId> group(1);
+  constexpr KeyId kKeys = 30000;
+  for (KeyId key = 0; key < kKeys; ++key) {
+    ring.replica_group(key, std::span<NodeId>(group));
+    ++owned[group[0]];
+  }
+  const double expected_heavy = kKeys * 2.0 / 11.0;
+  EXPECT_NEAR(static_cast<double>(owned[0]), expected_heavy,
+              expected_heavy * 0.25);
+}
+
+TEST(ConsistentHashRing, WeightedRingStillGivesDistinctGroups) {
+  std::vector<double> weights = {0.5, 1.0, 2.0, 1.5, 1.0};
+  ConsistentHashRing ring(5, 3, 32, std::span<const double>(weights), 6);
+  for (KeyId key = 0; key < 500; ++key) {
+    const auto group = ring.replica_group(key);
+    const std::set<NodeId> unique(group.begin(), group.end());
+    EXPECT_EQ(unique.size(), 3u) << "key " << key;
+  }
+}
+
+TEST(ConsistentHashRing, WeightedRingRejectsBadWeights) {
+  const std::vector<double> short_weights = {1.0, 1.0};
+  EXPECT_DEATH(ConsistentHashRing(3, 1, 8,
+                                  std::span<const double>(short_weights), 1),
+               "one weight per node");
+  const std::vector<double> bad = {1.0, 0.0, 1.0};
+  EXPECT_DEATH(ConsistentHashRing(3, 1, 8, std::span<const double>(bad), 1),
+               "positive");
+}
+
+TEST(ConsistentHashRing, RejectsRemovingBelowReplication) {
+  ConsistentHashRing ring(3, 2, 8, 9);
+  ring.remove_node(0);  // 2 nodes left == replication, next remove must die
+  EXPECT_DEATH(ring.remove_node(1), "replication");
+}
+
+TEST(ConsistentHashRing, RejectsDuplicateAdd) {
+  ConsistentHashRing ring(5, 2, 8, 10);
+  EXPECT_DEATH(ring.add_node(3), "already present");
+}
+
+TEST(RendezvousPartitioner, StableUnderNodeSetExtension) {
+  // HRW property: growing n from 10 to 11 only moves keys whose new node
+  // wins; all other groups stay identical.
+  RendezvousPartitioner small(10, 3, 11);
+  RendezvousPartitioner large(11, 3, 11);
+  std::size_t moved = 0;
+  constexpr KeyId kKeys = 2000;
+  for (KeyId key = 0; key < kKeys; ++key) {
+    auto a = small.replica_group(key);
+    auto b = large.replica_group(key);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) {
+      ++moved;
+      // Any difference must involve the new node 10.
+      EXPECT_TRUE(std::count(b.begin(), b.end(), 10u) > 0) << "key " << key;
+    }
+  }
+  EXPECT_LT(moved, kKeys);  // and most keys should not move
+}
+
+TEST(MakePartitioner, RejectsUnknownKind) {
+  EXPECT_DEATH(make_partitioner("nope", 10, 2, 1), "unknown partitioner");
+}
+
+TEST(HashPartitioner, RejectsBadParameters) {
+  EXPECT_DEATH(HashPartitioner(10, 11, 1), "replication");
+  EXPECT_DEATH(HashPartitioner(10, 0, 1), "replication");
+  EXPECT_DEATH(HashPartitioner(0, 0, 1), "node");
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,191 @@
+// Cross-module property sweeps: invariants that must hold over wide
+// parameter ranges, run as parameterized suites.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "adversary/bounds.h"
+#include "adversary/strategy.h"
+#include "sim/scenario.h"
+#include "workload/distribution.h"
+#include "workload/stream.h"
+
+namespace scp {
+namespace {
+
+// --- bound algebra over (n, d) -------------------------------------------
+
+class BoundSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(BoundSweep, Eq10IsEq8Normalized) {
+  const auto [n, d] = GetParam();
+  SystemParams params;
+  params.nodes = n;
+  params.replication = d;
+  params.items = 100000;
+  params.cache_size = n / 2;
+  params.query_rate = 12345.0;
+  const double k = gap_k(n, d, 0.7);
+  for (const std::uint64_t x :
+       {params.cache_size + 1, params.items / 7, params.items}) {
+    ASSERT_NEAR(attack_gain_bound(params, x, k),
+                max_load_bound(params, x, k) / even_load(params), 1e-9)
+        << "n=" << n << " d=" << d << " x=" << x;
+  }
+}
+
+TEST_P(BoundSweep, ThresholdSeparatesTheCases) {
+  // For any (n, d): the bound at the optimal x exceeds 1 exactly below the
+  // threshold.
+  const auto [n, d] = GetParam();
+  const double k = gap_k(n, d, 0.7);
+  const double threshold = static_cast<double>(n) * k + 1.0;
+  SystemParams params;
+  params.nodes = n;
+  params.replication = d;
+  params.items = 1000000;
+  params.query_rate = 1.0;
+
+  params.cache_size = static_cast<std::uint64_t>(threshold) - 1;
+  ASSERT_EQ(classify_regime(params, k), AttackRegime::kEffective);
+  ASSERT_GT(attack_gain_bound(params, params.cache_size + 1, k), 1.0);
+
+  params.cache_size = static_cast<std::uint64_t>(threshold) + 1;
+  ASSERT_EQ(classify_regime(params, k), AttackRegime::kIneffective);
+  for (const std::uint64_t x :
+       {params.cache_size + 1, params.items / 3, params.items}) {
+    ASSERT_LE(attack_gain_bound(params, x, k), 1.0)
+        << "n=" << n << " d=" << d << " x=" << x;
+  }
+}
+
+TEST_P(BoundSweep, BoundIsMonotoneTowardOne) {
+  // In both regimes the bound approaches 1 monotonically as x grows.
+  const auto [n, d] = GetParam();
+  const double k = gap_k(n, d, 0.7);
+  SystemParams params;
+  params.nodes = n;
+  params.replication = d;
+  params.items = 1000000;
+  params.query_rate = 1.0;
+  for (const std::uint64_t c : {std::uint64_t{10}, std::uint64_t{5 * n}}) {
+    params.cache_size = c;
+    double last_distance =
+        std::abs(attack_gain_bound(params, c + 1, k) - 1.0);
+    for (std::uint64_t x = c + 1000; x <= params.items; x *= 4) {
+      const double distance = std::abs(attack_gain_bound(params, x, k) - 1.0);
+      ASSERT_LE(distance, last_distance + 1e-12)
+          << "n=" << n << " d=" << d << " c=" << c << " x=" << x;
+      last_distance = distance;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clusters, BoundSweep,
+    ::testing::Combine(::testing::Values(16u, 100u, 1000u, 20000u),
+                       ::testing::Values(2u, 3u, 5u)));
+
+// --- simulation invariants over cache size --------------------------------
+
+class GainMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GainMonotonicity, MoreCacheNeverHelpsTheAdversary) {
+  // For the adversary's best response, a strictly larger cache never yields
+  // a strictly larger best gain (weak monotonicity, averaged over trials).
+  const std::uint64_t c = GetParam();
+  ScenarioConfig config;
+  config.params.nodes = 100;
+  config.params.replication = 3;
+  config.params.items = 10000;
+  config.params.query_rate = 1e4;
+
+  auto best_gain = [&](std::uint64_t cache) {
+    config.params.cache_size = cache;
+    const auto evaluate = [&](std::uint64_t x) {
+      return measure_adversarial_gain(config, x, 5, 77).summary.mean;
+    };
+    return best_response_search(config.params, evaluate, 0).gain;
+  };
+  EXPECT_GE(best_gain(c) + 0.05, best_gain(2 * c))
+      << "doubling the cache increased the adversary's best gain";
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSizes, GainMonotonicity,
+                         ::testing::Values(25ULL, 50ULL, 100ULL, 200ULL,
+                                           400ULL));
+
+// --- rate-sim linearity -----------------------------------------------------
+
+TEST(RateSimProperties, LoadsScaleLinearlyInR) {
+  ScenarioConfig config;
+  config.params.nodes = 50;
+  config.params.replication = 3;
+  config.params.items = 5000;
+  config.params.cache_size = 100;
+
+  config.params.query_rate = 1000.0;
+  const double gain_1k = adversarial_gain_trial(config, 101, 5);
+  config.params.query_rate = 123456.0;
+  const double gain_big = adversarial_gain_trial(config, 101, 5);
+  // Normalized gain is R-invariant (loads and baseline both scale).
+  EXPECT_NEAR(gain_1k, gain_big, 1e-9);
+}
+
+// --- estimate_distribution ---------------------------------------------------
+
+TEST(EstimateDistribution, RecoversSampledShape) {
+  const auto truth = QueryDistribution::zipf(1000, 1.2);
+  const auto counts = sample_key_counts(truth, 200000, 3);
+  const auto estimated =
+      estimate_distribution(std::span<const std::uint64_t>(counts));
+  EXPECT_TRUE(estimated.is_valid());
+  // Head mass of the estimate matches the truth within sampling noise.
+  EXPECT_NEAR(estimated.head_mass(10), truth.head_mass(10), 0.02);
+  EXPECT_NEAR(estimated.head_mass(100), truth.head_mass(100), 0.02);
+}
+
+TEST(EstimateDistribution, SmoothingCoversUnseenKeys) {
+  const std::vector<std::uint64_t> counts = {100, 0, 0, 0};
+  const auto raw =
+      estimate_distribution(std::span<const std::uint64_t>(counts));
+  EXPECT_EQ(raw.support_size(), 1u);
+  const auto smoothed =
+      estimate_distribution(std::span<const std::uint64_t>(counts), 1.0);
+  EXPECT_EQ(smoothed.support_size(), 4u);
+  EXPECT_NEAR(smoothed.probability(3), 1.0 / 104.0, 1e-12);
+}
+
+TEST(EstimateDistribution, SortsUnorderedCounts) {
+  const std::vector<std::uint64_t> counts = {5, 50, 1, 20};
+  const auto d = estimate_distribution(std::span<const std::uint64_t>(counts));
+  EXPECT_NEAR(d.probability(0), 50.0 / 76.0, 1e-12);
+  EXPECT_NEAR(d.probability(3), 1.0 / 76.0, 1e-12);
+  EXPECT_TRUE(d.is_valid());
+}
+
+TEST(EstimateDistribution, RejectsDegenerateInput) {
+  EXPECT_DEATH(
+      estimate_distribution(std::span<const std::uint64_t>()), "at least one");
+  const std::vector<std::uint64_t> zeros = {0, 0};
+  EXPECT_DEATH(estimate_distribution(std::span<const std::uint64_t>(zeros)),
+               "smoothing");
+}
+
+TEST(EstimateDistribution, MeasureThenPlanPipeline) {
+  // End-to-end: sample a workload, estimate it, and check the estimated
+  // distribution's cache hit ratio predicts the true one.
+  const auto truth = QueryDistribution::zipf(5000, 1.01);
+  const auto counts = sample_key_counts(truth, 100000, 9);
+  const auto estimated =
+      estimate_distribution(std::span<const std::uint64_t>(counts), 0.1);
+  for (const std::uint64_t c : {50ULL, 200ULL, 1000ULL}) {
+    EXPECT_NEAR(estimated.head_mass(c), truth.head_mass(c), 0.03)
+        << "cache size " << c;
+  }
+}
+
+}  // namespace
+}  // namespace scp

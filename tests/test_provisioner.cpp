@@ -1,0 +1,142 @@
+#include "core/provisioner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "adversary/bounds.h"
+
+namespace scp {
+namespace {
+
+ClusterSpec small_spec() {
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 10000;
+  spec.attack_rate_qps = 10000.0;
+  return spec;
+}
+
+ProvisionOptions fast_options() {
+  ProvisionOptions options;
+  options.validation_trials = 3;
+  options.validation_grid_points = 2;
+  return options;
+}
+
+TEST(CacheProvisioner, ThresholdMatchesBoundsModule) {
+  const CacheProvisioner provisioner(fast_options());
+  EXPECT_DOUBLE_EQ(
+      provisioner.threshold(1000, 3),
+      cache_size_threshold(1000, 3, provisioner.options().k_prime));
+}
+
+TEST(CacheProvisioner, PlanComputesTheoryFields) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  const ProvisionPlan plan = provisioner.plan(small_spec());
+  EXPECT_TRUE(plan.prevention_possible);
+  EXPECT_NEAR(plan.k, gap_k(100, 3, options.k_prime), 1e-12);
+  EXPECT_NEAR(plan.threshold, 100.0 * plan.k + 1.0, 1e-9);
+  EXPECT_EQ(plan.recommended_cache_size,
+            static_cast<std::uint64_t>(
+                std::ceil(plan.threshold * options.safety_factor)));
+  EXPECT_DOUBLE_EQ(plan.even_load_qps, 100.0);
+  EXPECT_FALSE(plan.validated);
+}
+
+TEST(CacheProvisioner, RecommendationIsOrderN) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec = small_spec();
+  spec.nodes = 1000;
+  spec.items = 1000000;
+  const ProvisionPlan plan = provisioner.plan(spec);
+  // < n · (2 + k') · safety for d = 3, per the paper's headline.
+  EXPECT_LT(static_cast<double>(plan.recommended_cache_size),
+            1000.0 * (2.0 + options.k_prime) * options.safety_factor + 2.0);
+}
+
+TEST(CacheProvisioner, ValidationConfirmsPrevention) {
+  const CacheProvisioner provisioner(fast_options());
+  const ProvisionPlan plan = provisioner.plan(small_spec());
+  ASSERT_TRUE(plan.validated);
+  EXPECT_TRUE(plan.prevention_holds);
+  EXPECT_LE(plan.observed_worst_gain, 1.0);
+  EXPECT_GT(plan.observed_worst_x, plan.recommended_cache_size);
+}
+
+TEST(CacheProvisioner, WorstCaseBoundNearEvenLoad) {
+  // In Case 2 the Eq. 8 bound at x = m approaches R/n from below as m grows.
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  const ProvisionPlan plan = provisioner.plan(small_spec());
+  EXPECT_LT(plan.worst_case_load_bound_qps, plan.even_load_qps);
+  EXPECT_GT(plan.worst_case_load_bound_qps, plan.even_load_qps * 0.8);
+}
+
+TEST(CacheProvisioner, CapacityCheckBothWays) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec = small_spec();
+  spec.node_capacity_qps = 1000.0;  // 10× the even load
+  EXPECT_TRUE(provisioner.plan(spec).capacity_sufficient);
+  spec.node_capacity_qps = 50.0;  // below the even load
+  EXPECT_FALSE(provisioner.plan(spec).capacity_sufficient);
+}
+
+TEST(CacheProvisioner, UnreplicatedClusterHasNoPreventionPlan) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec = small_spec();
+  spec.replication = 1;
+  const ProvisionPlan plan = provisioner.plan(spec);
+  EXPECT_FALSE(plan.prevention_possible);
+  EXPECT_EQ(plan.recommended_cache_size, 0u);
+}
+
+TEST(CacheProvisioner, HigherReplicationNeedsSmallerCache) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec = small_spec();
+  spec.replication = 2;
+  const auto plan_d2 = provisioner.plan(spec);
+  spec.replication = 5;
+  const auto plan_d5 = provisioner.plan(spec);
+  EXPECT_GT(plan_d2.recommended_cache_size, plan_d5.recommended_cache_size);
+}
+
+TEST(CacheProvisioner, RejectsKeySpaceSmallerThanThreshold) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec = small_spec();
+  spec.items = 10;  // far below c*
+  EXPECT_DEATH(provisioner.plan(spec), "cache everything");
+}
+
+TEST(CacheProvisioner, RejectsDegenerateSpecs) {
+  const CacheProvisioner provisioner(fast_options());
+  ClusterSpec spec = small_spec();
+  spec.nodes = 2;
+  EXPECT_DEATH(provisioner.plan(spec), "three nodes");
+  spec = small_spec();
+  spec.attack_rate_qps = 0.0;
+  EXPECT_DEATH(provisioner.plan(spec), "rate");
+}
+
+TEST(CacheProvisioner, RejectsBadOptions) {
+  ProvisionOptions options;
+  options.safety_factor = 0.5;
+  EXPECT_DEATH(CacheProvisioner{options}, "safety");
+}
+
+}  // namespace
+}  // namespace scp

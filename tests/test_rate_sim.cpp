@@ -1,0 +1,176 @@
+#include "sim/rate_sim.h"
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cache/perfect_cache.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+
+namespace scp {
+namespace {
+
+RateSimConfig config_with(double rate, std::uint64_t seed = 1) {
+  RateSimConfig c;
+  c.query_rate = rate;
+  c.seed = seed;
+  return c;
+}
+
+TEST(RateSim, ConservesRate) {
+  // cache_rate + sum(node loads) == R, for any cache size and selector.
+  const auto d = QueryDistribution::zipf(1000, 1.01);
+  for (const char* selector_kind : {"least-loaded", "random", "round-robin"}) {
+    Cluster cluster(make_partitioner("hash", 50, 3, 7));
+    const PerfectCache cache(20, d);
+    auto selector = make_selector(selector_kind);
+    const RateSimResult r =
+        simulate_rates(cluster, cache, d, *selector, config_with(1000.0));
+    const double node_total =
+        std::accumulate(r.node_loads.begin(), r.node_loads.end(), 0.0);
+    EXPECT_NEAR(r.cache_rate + node_total, 1000.0, 1e-6) << selector_kind;
+    EXPECT_NEAR(r.backend_rate, node_total, 1e-6);
+  }
+}
+
+TEST(RateSim, CacheAbsorbsHeadMass) {
+  const auto d = QueryDistribution::zipf(1000, 1.01);
+  Cluster cluster(make_partitioner("hash", 50, 3, 7));
+  const PerfectCache cache(100, d);
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(1000.0));
+  EXPECT_NEAR(r.cache_hit_ratio, d.head_mass(100), 1e-9);
+}
+
+TEST(RateSim, NoCacheSendsEverythingToBackends) {
+  const auto d = QueryDistribution::uniform(500);
+  Cluster cluster(make_partitioner("hash", 20, 2, 3));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(100.0));
+  EXPECT_DOUBLE_EQ(r.cache_rate, 0.0);
+  EXPECT_NEAR(r.backend_rate, 100.0, 1e-9);
+}
+
+TEST(RateSim, FullyCachedWorkloadIdlesBackends) {
+  const auto d = QueryDistribution::uniform_over(10, 100);
+  Cluster cluster(make_partitioner("hash", 20, 2, 3));
+  const PerfectCache cache(10, d);  // covers the whole support
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(100.0));
+  EXPECT_NEAR(r.cache_hit_ratio, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.metrics.max, 0.0);
+  EXPECT_DOUBLE_EQ(r.normalized_max_load, 0.0);
+}
+
+TEST(RateSim, SplitSelectorsDivideKeyRateAcrossReplicas) {
+  // One uncached key, random selector → each replica gets rate/d exactly.
+  const auto d = QueryDistribution::uniform_over(1, 10);
+  Cluster cluster(make_partitioner("hash", 10, 2, 5));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("random");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(100.0));
+  int loaded_nodes = 0;
+  for (const double load : r.node_loads) {
+    if (load > 0.0) {
+      EXPECT_NEAR(load, 50.0, 1e-9);
+      ++loaded_nodes;
+    }
+  }
+  EXPECT_EQ(loaded_nodes, 2);
+}
+
+TEST(RateSim, LeastLoadedConcentratesKeyOnOneReplica) {
+  const auto d = QueryDistribution::uniform_over(1, 10);
+  Cluster cluster(make_partitioner("hash", 10, 2, 5));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(100.0));
+  int loaded_nodes = 0;
+  for (const double load : r.node_loads) {
+    if (load > 0.0) {
+      EXPECT_NEAR(load, 100.0, 1e-9);
+      ++loaded_nodes;
+    }
+  }
+  EXPECT_EQ(loaded_nodes, 1);
+}
+
+TEST(RateSim, UniformAllKeysGivesNearEvenLoad) {
+  // Querying the whole key space uniformly with least-loaded placement is
+  // the best case: normalized max load barely above 1.
+  const auto d = QueryDistribution::uniform(100000);
+  Cluster cluster(make_partitioner("hash", 100, 3, 11));
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(10000.0));
+  EXPECT_GT(r.normalized_max_load, 0.99);
+  EXPECT_LT(r.normalized_max_load, 1.05);
+  EXPECT_GT(r.metrics.jain_fairness, 0.99);
+}
+
+TEST(RateSim, LeastLoadedBeatsRandomOnMaxLoad) {
+  const auto d = QueryDistribution::uniform(2000);
+  double random_max = 0.0;
+  double ll_max = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Cluster cluster(make_partitioner("hash", 100, 3, seed));
+    const PerfectCache cache(0, d);
+    auto random_sel = make_selector("random");
+    auto ll_sel = make_selector("least-loaded");
+    random_max += simulate_rates(cluster, cache, d, *random_sel,
+                                 config_with(10000.0, seed))
+                      .metrics.max;
+    ll_max += simulate_rates(cluster, cache, d, *ll_sel,
+                             config_with(10000.0, seed))
+                  .metrics.max;
+  }
+  EXPECT_LT(ll_max, random_max);
+}
+
+TEST(RateSim, DeterministicGivenSeed) {
+  const auto d = QueryDistribution::zipf(500, 1.1);
+  Cluster a(make_partitioner("hash", 30, 3, 9));
+  Cluster b(make_partitioner("hash", 30, 3, 9));
+  const PerfectCache cache(10, d);
+  auto sa = make_selector("least-loaded");
+  auto sb = make_selector("least-loaded");
+  const RateSimResult ra =
+      simulate_rates(a, cache, d, *sa, config_with(1000.0, 123));
+  const RateSimResult rb =
+      simulate_rates(b, cache, d, *sb, config_with(1000.0, 123));
+  EXPECT_EQ(ra.node_loads, rb.node_loads);
+}
+
+TEST(RateSim, WritesOfferedRatesToCluster) {
+  const auto d = QueryDistribution::uniform(100);
+  Cluster cluster(make_partitioner("hash", 10, 2, 5), /*capacity=*/5.0);
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(1000.0));
+  EXPECT_DOUBLE_EQ(cluster.max_offered_rate(), r.metrics.max);
+  // 1000 qps over 10 nodes with 5 qps capacity: everything saturates.
+  EXPECT_EQ(r.saturated_nodes, 10u);
+}
+
+TEST(RateSim, SaturationCountRespectsCapacity) {
+  const auto d = QueryDistribution::uniform(100);
+  Cluster cluster(make_partitioner("hash", 10, 2, 5), /*capacity=*/1e9);
+  const PerfectCache cache(0, d);
+  auto selector = make_selector("least-loaded");
+  const RateSimResult r =
+      simulate_rates(cluster, cache, d, *selector, config_with(1000.0));
+  EXPECT_EQ(r.saturated_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,189 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace scp {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference outputs for state 0 from the public-domain SplitMix64
+  // (Vigna's test vectors).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(DeriveSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+  EXPECT_NE(derive_seed(7, 3), derive_seed(8, 3));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_u64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformU64IsUnbiasedChiSquared) {
+  Rng rng(2024);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr std::uint64_t kDraws = 100000;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_u64(kBuckets)];
+  }
+  const std::vector<double> expected(kBuckets,
+                                     static_cast<double>(kDraws) / kBuckets);
+  // 9 d.o.f.: chi2 < 27.9 at p = 0.001.
+  EXPECT_LT(chi_squared_statistic(counts, expected), 27.9);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.uniform_double());
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(10);
+  RunningStats stats;
+  const double rate = 4.0;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.exponential(rate));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleUniformFirstPosition) {
+  // Each of 5 values should land in position 0 about 1/5 of the time.
+  Rng rng(12);
+  std::array<int, 5> counts{};
+  constexpr int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::array<int, 5> v = {0, 1, 2, 3, 4};
+    rng.shuffle(std::span<int>(v));
+    ++counts[static_cast<std::size_t>(v[0])];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const std::uint64_t v : sample) {
+    EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(14);
+  const auto sample = rng.sample_without_replacement(50, 50);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementEmpty) {
+  Rng rng(15);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(Rng, LongJumpChangesState) {
+  Rng a(16);
+  Rng b(16);
+  b.long_jump();
+  EXPECT_NE(a(), b());
+}
+
+}  // namespace
+}  // namespace scp

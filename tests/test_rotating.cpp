@@ -1,0 +1,126 @@
+// Rotating hot-set workload: shape preservation within a phase, hot-set
+// movement across phases, interaction with real cache policies.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "workload/rotating.h"
+
+namespace scp {
+namespace {
+
+TEST(RotatingWorkload, KeysStayInRange) {
+  RotatingWorkload workload(QueryDistribution::zipf(100, 1.1), 50, 25);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(workload.next(rng), 100u);
+  }
+}
+
+TEST(RotatingWorkload, PhaseAdvancesWithQueries) {
+  RotatingWorkload workload(QueryDistribution::uniform(10), 5, 1);
+  Rng rng(2);
+  EXPECT_EQ(workload.current_phase(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    workload.next(rng);
+  }
+  EXPECT_EQ(workload.current_phase(), 1u);
+  workload.reset();
+  EXPECT_EQ(workload.current_phase(), 0u);
+}
+
+TEST(RotatingWorkload, RankMappingShiftsByStride) {
+  RotatingWorkload workload(QueryDistribution::uniform_over(4, 100), 10, 7);
+  EXPECT_EQ(workload.key_for_rank(0, 0), 0u);
+  EXPECT_EQ(workload.key_for_rank(3, 0), 3u);
+  EXPECT_EQ(workload.key_for_rank(0, 1), 7u);
+  EXPECT_EQ(workload.key_for_rank(0, 2), 14u);
+  EXPECT_EQ(workload.key_for_rank(2, 14), (2 + 14 * 7) % 100);
+}
+
+TEST(RotatingWorkload, WithinPhaseDistributionMatchesBase) {
+  const auto base = QueryDistribution::uniform_over(5, 1000);
+  RotatingWorkload workload(base, 1000000, 500);  // single long phase
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const KeyId key = workload.next(rng);
+    ASSERT_LT(key, 5u);
+    ++counts[key];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / 50000.0, 0.2, 0.02);
+  }
+}
+
+TEST(RotatingWorkload, DisjointHotSetsWithLargeStride) {
+  const auto base = QueryDistribution::uniform_over(10, 1000);
+  RotatingWorkload workload(base, 100, 10);  // stride == support
+  for (std::uint64_t rank = 0; rank < 10; ++rank) {
+    EXPECT_NE(workload.key_for_rank(rank, 0), workload.key_for_rank(rank, 1));
+    // Phase 0 keys are 0..9, phase 1 keys are 10..19 — fully disjoint.
+    EXPECT_LT(workload.key_for_rank(rank, 0), 10u);
+    EXPECT_GE(workload.key_for_rank(rank, 1), 10u);
+  }
+}
+
+TEST(RotatingWorkload, PhaseProbabilitiesSumToOne) {
+  const auto base = QueryDistribution::zipf(100, 1.2);
+  RotatingWorkload workload(base, 10, 37);
+  for (std::uint64_t phase : {0ULL, 1ULL, 5ULL, 123ULL}) {
+    const std::vector<double> p = workload.phase_probabilities(phase);
+    double total = 0.0;
+    for (const double v : p) {
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "phase " << phase;
+  }
+}
+
+TEST(RotatingWorkload, WrapsAroundKeySpace) {
+  RotatingWorkload workload(QueryDistribution::uniform_over(3, 10), 5, 4);
+  // Phase 3: offset 12 mod 10 = 2.
+  EXPECT_EQ(workload.key_for_rank(0, 3), 2u);
+  EXPECT_EQ(workload.key_for_rank(2, 3), 4u);
+}
+
+TEST(RotatingWorkload, LruTracksRotationLfuGetsStuck) {
+  // The classic churn result, reproduced end to end: after the hot set
+  // moves, LRU recovers its hit ratio within one working set, while plain
+  // LFU keeps the stale phase-0 head pinned (its frequencies never decay)
+  // and misses the new head.
+  const std::uint64_t support = 32;
+  const auto base = QueryDistribution::uniform_over(support, 10000);
+  const std::uint64_t phase_length = 20000;
+
+  auto measure_second_phase_hits = [&](FrontEndCache& cache) {
+    RotatingWorkload workload(base, phase_length, support);
+    Rng rng(11);
+    std::uint64_t second_phase_hits = 0;
+    for (std::uint64_t q = 0; q < 2 * phase_length; ++q) {
+      const bool hit = cache.access(workload.next(rng));
+      if (q >= phase_length + phase_length / 2) {
+        second_phase_hits += hit ? 1 : 0;  // after warmup in phase 1
+      }
+    }
+    return second_phase_hits;
+  };
+
+  LruCache lru(support);
+  LfuCache lfu(support);
+  const std::uint64_t lru_hits = measure_second_phase_hits(lru);
+  const std::uint64_t lfu_hits = measure_second_phase_hits(lfu);
+  EXPECT_GT(lru_hits, lfu_hits * 2)
+      << "LFU should be stuck on the stale phase-0 head";
+}
+
+TEST(RotatingWorkload, RejectsDegenerateParameters) {
+  const auto base = QueryDistribution::uniform(10);
+  EXPECT_DEATH(RotatingWorkload(base, 0, 1), "phase length");
+  EXPECT_DEATH(RotatingWorkload(base, 1, 0), "stride");
+}
+
+}  // namespace
+}  // namespace scp

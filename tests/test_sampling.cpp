@@ -1,0 +1,149 @@
+#include "common/sampling.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace scp {
+namespace {
+
+TEST(AliasSampler, NormalizesWeights) {
+  const std::vector<double> weights = {2.0, 1.0, 1.0};
+  const AliasSampler sampler{std::span<const double>(weights)};
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_NEAR(sampler.probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.25, 1e-12);
+  EXPECT_NEAR(sampler.probability(2), 0.25, 1e-12);
+}
+
+TEST(AliasSampler, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights = {5.0, 3.0, 1.0, 1.0};
+  const AliasSampler sampler{std::span<const double>(weights)};
+  Rng rng(1);
+  constexpr int kDraws = 200000;
+  std::vector<std::uint64_t> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws,
+                sampler.probability(i), 0.01)
+        << "category " << i;
+  }
+}
+
+TEST(AliasSampler, HandlesZeroWeightCategories) {
+  const std::vector<double> weights = {1.0, 0.0, 1.0, 0.0};
+  const AliasSampler sampler{std::span<const double>(weights)};
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = sampler.sample(rng);
+    EXPECT_TRUE(s == 0 || s == 2) << s;
+  }
+}
+
+TEST(AliasSampler, SingleCategory) {
+  const std::vector<double> weights = {3.0};
+  const AliasSampler sampler{std::span<const double>(weights)};
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 0u);
+  }
+}
+
+TEST(AliasSampler, UniformWeightsAreUniform) {
+  const std::vector<double> weights(16, 1.0);
+  const AliasSampler sampler{std::span<const double>(weights)};
+  Rng rng(4);
+  constexpr int kDraws = 160000;
+  std::vector<std::uint64_t> counts(16, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  const std::vector<double> expected(16, kDraws / 16.0);
+  EXPECT_LT(chi_squared_statistic(counts, expected), 37.7);  // p=0.001, 15 dof
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  const ZipfSampler zipf(1000, 1.01);
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    total += zipf.pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneDecreasing) {
+  const ZipfSampler zipf(100, 0.8);
+  for (std::uint64_t k = 2; k <= 100; ++k) {
+    EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+  }
+}
+
+TEST(ZipfSampler, SamplesStayInRange) {
+  const ZipfSampler zipf(50, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 50u);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmfHead) {
+  const ZipfSampler zipf(10000, 1.01);
+  Rng rng(6);
+  constexpr int kDraws = 300000;
+  std::vector<std::uint64_t> counts(11, 0);  // track ranks 1..10
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    if (k <= 10) {
+      ++counts[k];
+    }
+  }
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    const double expected = zipf.pmf(k);
+    const double observed = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.15 * expected + 0.001) << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, ThetaNearOneIsHandled) {
+  // θ = 1 exactly is a removable singularity in the inversion formulas.
+  const ZipfSampler zipf(1000, 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfSampler, HigherThetaConcentratesOnHead) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  const ZipfSampler mild(1000, 0.6);
+  const ZipfSampler steep(1000, 1.4);
+  int mild_head = 0;
+  int steep_head = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    mild_head += (mild.sample(rng_a) <= 10) ? 1 : 0;
+    steep_head += (steep.sample(rng_b) <= 10) ? 1 : 0;
+  }
+  EXPECT_GT(steep_head, mild_head * 2);
+}
+
+TEST(ZipfSampler, SingleElementDomain) {
+  const ZipfSampler zipf(1, 1.01);
+  Rng rng(9);
+  EXPECT_EQ(zipf.sample(rng), 1u);
+  EXPECT_NEAR(zipf.pmf(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scp

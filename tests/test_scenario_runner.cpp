@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace scp {
+namespace {
+
+ScenarioConfig small_scenario(std::uint64_t cache_size) {
+  ScenarioConfig config;
+  config.params.nodes = 100;
+  config.params.replication = 3;
+  config.params.items = 10000;
+  config.params.cache_size = cache_size;
+  config.params.query_rate = 10000.0;
+  return config;
+}
+
+TEST(Scenario, GainTrialIsDeterministic) {
+  const ScenarioConfig config = small_scenario(50);
+  const auto d = QueryDistribution::uniform_over(51, 10000);
+  EXPECT_DOUBLE_EQ(gain_trial(config, d, 42), gain_trial(config, d, 42));
+  // Cross-seed difference: use a continuous-valued workload (Zipf). The
+  // x = c+1 attack gain is quantized to multiples of n/x, so distinct seeds
+  // can collide on it legitimately.
+  const auto zipf = QueryDistribution::zipf(10000, 1.01);
+  EXPECT_NE(gain_trial(config, zipf, 42), gain_trial(config, zipf, 43));
+}
+
+TEST(Scenario, AdversarialTrialMatchesExplicitDistribution) {
+  const ScenarioConfig config = small_scenario(50);
+  const auto d = QueryDistribution::uniform_over(51, 10000);
+  EXPECT_DOUBLE_EQ(adversarial_gain_trial(config, 51, 9),
+                   gain_trial(config, d, 9));
+}
+
+TEST(Scenario, SmallCacheAttackIsEffective) {
+  // x = c+1 against c far below c*: one uncached key carries R/(c+1), far
+  // above the even-spread load.
+  const ScenarioConfig config = small_scenario(50);
+  const double gain = adversarial_gain_trial(config, 51, 1);
+  EXPECT_GT(gain, 1.5);
+}
+
+TEST(Scenario, LargeCacheFullSweepIsIneffective) {
+  // c above c* ≈ n·(lnln n/ln d + k')+1 ≈ 230 for n=100, d=3: querying the
+  // whole key space cannot push any node above the even-spread load.
+  const ScenarioConfig config = small_scenario(400);
+  const double gain = adversarial_gain_trial(config, 10000, 1);
+  EXPECT_LT(gain, 1.0);
+}
+
+TEST(Scenario, MeasureGainAggregatesTrials) {
+  const ScenarioConfig config = small_scenario(50);
+  const GainStatistics stats = measure_adversarial_gain(config, 51, 8, 4);
+  EXPECT_EQ(stats.summary.count, 8u);
+  EXPECT_DOUBLE_EQ(stats.max_gain, stats.summary.max);
+  EXPECT_GE(stats.summary.max, stats.summary.mean);
+  EXPECT_GE(stats.summary.mean, stats.summary.min);
+}
+
+TEST(Scenario, MismatchedDistributionSizeDies) {
+  const ScenarioConfig config = small_scenario(50);
+  const auto wrong = QueryDistribution::uniform(999);
+  EXPECT_DEATH(gain_trial(config, wrong, 1), "match");
+}
+
+TEST(Scenario, WorksWithEveryPartitioner) {
+  for (const char* kind : {"hash", "ring", "rendezvous"}) {
+    ScenarioConfig config = small_scenario(50);
+    config.partitioner = kind;
+    const double gain = adversarial_gain_trial(config, 51, 2);
+    EXPECT_GT(gain, 1.0) << kind;
+  }
+}
+
+TEST(ExperimentRunner, RunsRequestedTrials) {
+  const ExperimentRunner runner(7, 5);
+  int calls = 0;
+  const auto values = runner.run([&](std::uint64_t) {
+    ++calls;
+    return 1.0;
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(values.size(), 5u);
+}
+
+TEST(ExperimentRunner, TrialSeedsAreDistinctAndStable) {
+  const ExperimentRunner runner(7, 10);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(runner.trial_seed(i), ExperimentRunner(7, 10).trial_seed(i));
+    for (std::uint32_t j = i + 1; j < 10; ++j) {
+      EXPECT_NE(runner.trial_seed(i), runner.trial_seed(j));
+    }
+  }
+}
+
+TEST(ExperimentRunner, SummaryMatchesRawValues) {
+  const ExperimentRunner runner(3, 4);
+  const Summary s = runner.run_summary(
+      [](std::uint64_t seed) { return static_cast<double>(seed % 7); });
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_GE(s.max, s.mean);
+}
+
+TEST(ExperimentRunner, SeedsDifferAcrossBaseSeeds) {
+  EXPECT_NE(ExperimentRunner(1, 2).trial_seed(0),
+            ExperimentRunner(2, 2).trial_seed(0));
+}
+
+TEST(ExperimentRunner, ParallelMatchesSerialBitForBit) {
+  const ScenarioConfig config = small_scenario(50);
+  const auto zipf = QueryDistribution::zipf(10000, 1.01);
+  const auto trial = [&](std::uint64_t seed) {
+    return gain_trial(config, zipf, seed);
+  };
+  const auto serial = ExperimentRunner(5, 12, {}, 1).run(trial);
+  const auto parallel = ExperimentRunner(5, 12, {}, 4).run(trial);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ExperimentRunner, MoreThreadsThanTrialsIsFine) {
+  const ExperimentRunner runner(3, 2, {}, 16);
+  const auto values =
+      runner.run([](std::uint64_t seed) { return static_cast<double>(seed); });
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], static_cast<double>(runner.trial_seed(0)));
+  EXPECT_DOUBLE_EQ(values[1], static_cast<double>(runner.trial_seed(1)));
+}
+
+TEST(ExperimentRunner, RejectsZeroThreads) {
+  EXPECT_DEATH(ExperimentRunner(1, 1, {}, 0), "thread");
+}
+
+}  // namespace
+}  // namespace scp

@@ -1,0 +1,160 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scp {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroCount) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double v : values) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double(-5, 5);
+    all.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.125), 1.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+}
+
+TEST(Percentile, SingleValue) {
+  const std::vector<double> values = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.99), 7.0);
+}
+
+TEST(Summarize, ProducesConsistentFields) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(BootstrapCi, CoversTrueMeanOfUniformSample) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.uniform_double());
+  }
+  Rng boot_rng(3);
+  const ConfidenceInterval ci =
+      bootstrap_mean_ci(values, 0.95, 2000, boot_rng);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(JainFairness, PerfectlyEvenIsOne) {
+  const std::vector<double> loads(10, 3.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(loads), 1.0);
+}
+
+TEST(JainFairness, SingleHotspotIsOneOverN) {
+  std::vector<double> loads(10, 0.0);
+  loads[3] = 7.0;
+  EXPECT_NEAR(jain_fairness(loads), 0.1, 1e-12);
+}
+
+TEST(JainFairness, AllZeroIsTriviallyFair) {
+  const std::vector<double> loads(5, 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(loads), 1.0);
+}
+
+TEST(CoefficientOfVariation, ZeroForConstant) {
+  const std::vector<double> values(8, 4.2);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(values), 0.0);
+}
+
+TEST(CoefficientOfVariation, MatchesClosedForm) {
+  const std::vector<double> values = {1.0, 3.0};
+  // mean 2, sample sd sqrt(2) → cov = sqrt(2)/2.
+  EXPECT_NEAR(coefficient_of_variation(values), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(ChiSquared, ZeroWhenObservedMatchesExpected) {
+  const std::vector<std::uint64_t> observed = {10, 20, 30};
+  const std::vector<double> expected = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_squared_statistic(observed, expected), 0.0);
+}
+
+TEST(ChiSquared, SimpleHandComputation) {
+  const std::vector<std::uint64_t> observed = {12, 8};
+  const std::vector<double> expected = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(chi_squared_statistic(observed, expected), 0.8);
+}
+
+}  // namespace
+}  // namespace scp

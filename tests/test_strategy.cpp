@@ -1,0 +1,111 @@
+#include "adversary/strategy.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace scp {
+namespace {
+
+SystemParams make_params(std::uint64_t cache_size) {
+  SystemParams p;
+  p.nodes = 1000;
+  p.replication = 3;
+  p.items = 100000;
+  p.cache_size = cache_size;
+  p.query_rate = 1e5;
+  return p;
+}
+
+TEST(PlanAttack, SmallCachePlansXEqualsCPlusOne) {
+  const AttackPlan plan = plan_attack(make_params(200), 1.2);
+  EXPECT_EQ(plan.regime, AttackRegime::kEffective);
+  EXPECT_EQ(plan.queried_keys, 201u);
+  EXPECT_GT(plan.predicted_gain_bound, 1.0);
+}
+
+TEST(PlanAttack, LargeCachePlansFullKeySpace) {
+  const AttackPlan plan = plan_attack(make_params(2000), 1.2);
+  EXPECT_EQ(plan.regime, AttackRegime::kIneffective);
+  EXPECT_EQ(plan.queried_keys, 100000u);
+  EXPECT_LT(plan.predicted_gain_bound, 1.0);
+}
+
+TEST(PlanAttack, NoCacheDegenerateSingleKey) {
+  const AttackPlan plan = plan_attack(make_params(0), 1.2);
+  EXPECT_EQ(plan.queried_keys, 1u);
+  // Gain bound for a point-mass attack: n/d.
+  EXPECT_NEAR(plan.predicted_gain_bound, 1000.0 / 3.0, 1e-9);
+}
+
+TEST(AttackPlanToDistribution, UniformOverQueriedKeys) {
+  const AttackPlan plan = plan_attack(make_params(200), 1.2);
+  const QueryDistribution d = plan.to_distribution(100000);
+  EXPECT_EQ(d.support_size(), 201u);
+  EXPECT_NEAR(d.probability(0), 1.0 / 201.0, 1e-12);
+  EXPECT_NEAR(d.probability(200), 1.0 / 201.0, 1e-12);
+  EXPECT_TRUE(d.is_valid());
+}
+
+TEST(CandidateQueriedKeys, AlwaysIncludesEndpoints) {
+  const SystemParams p = make_params(500);
+  const auto xs = candidate_queried_keys(p, 0);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs.front(), 501u);
+  EXPECT_EQ(xs.back(), p.items);
+}
+
+TEST(CandidateQueriedKeys, GridPointsAreSortedUniqueInRange) {
+  const SystemParams p = make_params(500);
+  const auto xs = candidate_queried_keys(p, 8);
+  EXPECT_GE(xs.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  EXPECT_EQ(std::adjacent_find(xs.begin(), xs.end()), xs.end());
+  for (const std::uint64_t x : xs) {
+    EXPECT_GT(x, p.cache_size);
+    EXPECT_LE(x, p.items);
+  }
+}
+
+TEST(CandidateQueriedKeys, DegenerateWhenCachePlusOneIsM) {
+  SystemParams p = make_params(99999);
+  const auto xs = candidate_queried_keys(p, 5);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0], 100000u);
+}
+
+TEST(BestResponseSearch, FindsTheEvaluatorsArgmax) {
+  const SystemParams p = make_params(100);
+  // Synthetic evaluator peaking at x = c+1 (Case 1 behaviour).
+  const auto evaluate = [&](std::uint64_t x) {
+    return 1000.0 / static_cast<double>(x);
+  };
+  const BestResponse best = best_response_search(p, evaluate, 6);
+  EXPECT_EQ(best.queried_keys, 101u);
+  EXPECT_NEAR(best.gain, 1000.0 / 101.0, 1e-12);
+}
+
+TEST(BestResponseSearch, FindsFullSweepArgmaxWhenIncreasing) {
+  const SystemParams p = make_params(100);
+  // Case 2 behaviour: increasing in x.
+  const auto evaluate = [&](std::uint64_t x) {
+    return static_cast<double>(x) / 1e6;
+  };
+  const BestResponse best = best_response_search(p, evaluate, 6);
+  EXPECT_EQ(best.queried_keys, p.items);
+}
+
+TEST(BestResponseSearch, EvaluatesEveryCandidateExactlyOnce) {
+  const SystemParams p = make_params(100);
+  std::vector<std::uint64_t> seen;
+  const auto evaluate = [&](std::uint64_t x) {
+    seen.push_back(x);
+    return 0.5;
+  };
+  best_response_search(p, evaluate, 4);
+  const auto expected = candidate_queried_keys(p, 4);
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace scp

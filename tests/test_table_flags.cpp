@@ -1,0 +1,185 @@
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/table.h"
+
+namespace scp {
+namespace {
+
+// --- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable table({"x", "gain"}, 2);
+  table.add_row({std::int64_t{101}, 9.90});
+  table.add_row({std::int64_t{1000}, 0.95});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("gain"), std::string::npos);
+  EXPECT_NE(out.find("101"), std::string::npos);
+  EXPECT_NE(out.find("9.90"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+}
+
+TEST(TextTable, RespectsPrecision) {
+  TextTable table({"v"}, 1);
+  table.add_row({3.14159});
+  EXPECT_NE(table.render().find("3.1"), std::string::npos);
+  EXPECT_EQ(table.render().find("3.14"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable table({"name", "note"});
+  table.add_row({std::string("a,b"), std::string("say \"hi\"")});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, CsvHasHeaderAndRows) {
+  TextTable table({"a", "b"});
+  table.add_row({std::int64_t{1}, std::int64_t{2}});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({std::int64_t{1}});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, WriteCsvRoundTrips) {
+  TextTable table({"k", "v"});
+  table.add_row({std::string("key"), 1.5});
+  const std::string path = ::testing::TempDir() + "/scp_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[256] = {};
+  const std::size_t read = std::fread(buffer, 1, sizeof buffer - 1, f);
+  std::fclose(f);
+  EXPECT_GT(read, 0u);
+  EXPECT_NE(std::string(buffer).find("key"), std::string::npos);
+}
+
+// --- FlagSet -----------------------------------------------------------------
+
+std::vector<char*> make_argv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return argv;
+}
+
+TEST(FlagSet, ParsesEqualsSyntax) {
+  std::uint64_t nodes = 10;
+  double rate = 1.0;
+  FlagSet flags("test");
+  flags.add_uint64("nodes", &nodes, "n");
+  flags.add_double("rate", &rate, "r");
+  std::vector<std::string> args = {"prog", "--nodes=500", "--rate=2.5"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(nodes, 500u);
+  EXPECT_DOUBLE_EQ(rate, 2.5);
+}
+
+TEST(FlagSet, ParsesSpaceSyntax) {
+  std::int64_t v = 0;
+  FlagSet flags("test");
+  flags.add_int64("value", &v, "v");
+  std::vector<std::string> args = {"prog", "--value", "-42"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(v, -42);
+}
+
+TEST(FlagSet, BareBooltogglesOn) {
+  bool verbose = false;
+  FlagSet flags("test");
+  flags.add_bool("verbose", &verbose, "v");
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagSet, BoolAcceptsExplicitValues) {
+  bool flag = true;
+  FlagSet flags("test");
+  flags.add_bool("flag", &flag, "f");
+  std::vector<std::string> args = {"prog", "--flag=false"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(flag);
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  FlagSet flags("test");
+  std::vector<std::string> args = {"prog", "--nope=1"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSet, RejectsBadValue) {
+  std::uint64_t v = 0;
+  FlagSet flags("test");
+  flags.add_uint64("v", &v, "v");
+  std::vector<std::string> args = {"prog", "--v=abc"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSet, RejectsNegativeForUnsigned) {
+  std::uint64_t v = 0;
+  FlagSet flags("test");
+  flags.add_uint64("v", &v, "v");
+  std::vector<std::string> args = {"prog", "--v=-5"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSet, HelpReturnsFalse) {
+  FlagSet flags("test");
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSet, StringFlag) {
+  std::string s = "default";
+  FlagSet flags("test");
+  flags.add_string("name", &s, "n");
+  std::vector<std::string> args = {"prog", "--name=hash"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(s, "hash");
+}
+
+TEST(FlagSet, UsageListsFlagsWithDefaults) {
+  std::uint64_t nodes = 1000;
+  FlagSet flags("my description");
+  flags.add_uint64("nodes", &nodes, "number of nodes");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("my description"), std::string::npos);
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("1000"), std::string::npos);
+  EXPECT_NE(usage.find("number of nodes"), std::string::npos);
+}
+
+TEST(FlagSet, EmptyArgvSucceeds) {
+  FlagSet flags("test");
+  std::vector<std::string> args = {"prog"};
+  auto argv = make_argv(args);
+  EXPECT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+}  // namespace
+}  // namespace scp
