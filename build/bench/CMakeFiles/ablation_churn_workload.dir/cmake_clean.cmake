@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_churn_workload.dir/ablation_churn_workload.cpp.o"
+  "CMakeFiles/ablation_churn_workload.dir/ablation_churn_workload.cpp.o.d"
+  "ablation_churn_workload"
+  "ablation_churn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_churn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_event_vs_rate.dir/ablation_event_vs_rate.cpp.o"
+  "CMakeFiles/ablation_event_vs_rate.dir/ablation_event_vs_rate.cpp.o.d"
+  "ablation_event_vs_rate"
+  "ablation_event_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_event_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frontend_tier.dir/ablation_frontend_tier.cpp.o"
+  "CMakeFiles/ablation_frontend_tier.dir/ablation_frontend_tier.cpp.o.d"
+  "ablation_frontend_tier"
+  "ablation_frontend_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frontend_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

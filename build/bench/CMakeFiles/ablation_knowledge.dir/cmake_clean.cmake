@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knowledge.dir/ablation_knowledge.cpp.o"
+  "CMakeFiles/ablation_knowledge.dir/ablation_knowledge.cpp.o.d"
+  "ablation_knowledge"
+  "ablation_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_strategy_shape.dir/fig2_strategy_shape.cpp.o"
+  "CMakeFiles/fig2_strategy_shape.dir/fig2_strategy_shape.cpp.o.d"
+  "fig2_strategy_shape"
+  "fig2_strategy_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_strategy_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

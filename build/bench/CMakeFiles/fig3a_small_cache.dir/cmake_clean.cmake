@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_small_cache.dir/fig3a_small_cache.cpp.o"
+  "CMakeFiles/fig3a_small_cache.dir/fig3a_small_cache.cpp.o.d"
+  "fig3a_small_cache"
+  "fig3a_small_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_small_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_large_cache.dir/fig3b_large_cache.cpp.o"
+  "CMakeFiles/fig3b_large_cache.dir/fig3b_large_cache.cpp.o.d"
+  "fig3b_large_cache"
+  "fig3b_large_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_large_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

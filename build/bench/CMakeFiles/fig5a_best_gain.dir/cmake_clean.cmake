@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_best_gain.dir/fig5a_best_gain.cpp.o"
+  "CMakeFiles/fig5a_best_gain.dir/fig5a_best_gain.cpp.o.d"
+  "fig5a_best_gain"
+  "fig5a_best_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_best_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

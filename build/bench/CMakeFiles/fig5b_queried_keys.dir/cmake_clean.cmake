@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_queried_keys.dir/fig5b_queried_keys.cpp.o"
+  "CMakeFiles/fig5b_queried_keys.dir/fig5b_queried_keys.cpp.o.d"
+  "fig5b_queried_keys"
+  "fig5b_queried_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_queried_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

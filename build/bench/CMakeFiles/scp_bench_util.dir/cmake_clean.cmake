@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libscp_bench_util.a"
+  "../lib/libscp_bench_util.pdb"
+  "CMakeFiles/scp_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/scp_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libscp_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_attack.dir/kv_store_attack.cpp.o"
+  "CMakeFiles/kv_store_attack.dir/kv_store_attack.cpp.o.d"
+  "kv_store_attack"
+  "kv_store_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

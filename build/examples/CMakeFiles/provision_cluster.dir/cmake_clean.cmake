@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provision_cluster.dir/provision_cluster.cpp.o"
+  "CMakeFiles/provision_cluster.dir/provision_cluster.cpp.o.d"
+  "provision_cluster"
+  "provision_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provision_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

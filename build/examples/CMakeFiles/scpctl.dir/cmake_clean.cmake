@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpctl.dir/scpctl.cpp.o"
+  "CMakeFiles/scpctl.dir/scpctl.cpp.o.d"
+  "scpctl"
+  "scpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

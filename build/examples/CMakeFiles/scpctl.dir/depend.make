@@ -1,0 +1,2 @@
+# Empty dependencies file for scpctl.
+# This may be replaced when dependencies are built.

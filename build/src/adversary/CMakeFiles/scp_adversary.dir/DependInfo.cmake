@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/bounds.cpp" "src/adversary/CMakeFiles/scp_adversary.dir/bounds.cpp.o" "gcc" "src/adversary/CMakeFiles/scp_adversary.dir/bounds.cpp.o.d"
+  "/root/repo/src/adversary/knowledge.cpp" "src/adversary/CMakeFiles/scp_adversary.dir/knowledge.cpp.o" "gcc" "src/adversary/CMakeFiles/scp_adversary.dir/knowledge.cpp.o.d"
+  "/root/repo/src/adversary/optimizer.cpp" "src/adversary/CMakeFiles/scp_adversary.dir/optimizer.cpp.o" "gcc" "src/adversary/CMakeFiles/scp_adversary.dir/optimizer.cpp.o.d"
+  "/root/repo/src/adversary/strategy.cpp" "src/adversary/CMakeFiles/scp_adversary.dir/strategy.cpp.o" "gcc" "src/adversary/CMakeFiles/scp_adversary.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ballsbins/CMakeFiles/scp_ballsbins.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scp_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_adversary.dir/bounds.cpp.o"
+  "CMakeFiles/scp_adversary.dir/bounds.cpp.o.d"
+  "CMakeFiles/scp_adversary.dir/knowledge.cpp.o"
+  "CMakeFiles/scp_adversary.dir/knowledge.cpp.o.d"
+  "CMakeFiles/scp_adversary.dir/optimizer.cpp.o"
+  "CMakeFiles/scp_adversary.dir/optimizer.cpp.o.d"
+  "CMakeFiles/scp_adversary.dir/strategy.cpp.o"
+  "CMakeFiles/scp_adversary.dir/strategy.cpp.o.d"
+  "libscp_adversary.a"
+  "libscp_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_ballsbins.dir/balls_bins.cpp.o"
+  "CMakeFiles/scp_ballsbins.dir/balls_bins.cpp.o.d"
+  "libscp_ballsbins.a"
+  "libscp_ballsbins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_ballsbins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/bloom.cpp" "src/cache/CMakeFiles/scp_cache.dir/bloom.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/bloom.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/cache/CMakeFiles/scp_cache.dir/cache.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/cache/count_min.cpp" "src/cache/CMakeFiles/scp_cache.dir/count_min.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/count_min.cpp.o.d"
+  "/root/repo/src/cache/frontend_tier.cpp" "src/cache/CMakeFiles/scp_cache.dir/frontend_tier.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/frontend_tier.cpp.o.d"
+  "/root/repo/src/cache/lfu_cache.cpp" "src/cache/CMakeFiles/scp_cache.dir/lfu_cache.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/lfu_cache.cpp.o.d"
+  "/root/repo/src/cache/lru_cache.cpp" "src/cache/CMakeFiles/scp_cache.dir/lru_cache.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/perfect_cache.cpp" "src/cache/CMakeFiles/scp_cache.dir/perfect_cache.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/perfect_cache.cpp.o.d"
+  "/root/repo/src/cache/slru_cache.cpp" "src/cache/CMakeFiles/scp_cache.dir/slru_cache.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/slru_cache.cpp.o.d"
+  "/root/repo/src/cache/tinylfu_cache.cpp" "src/cache/CMakeFiles/scp_cache.dir/tinylfu_cache.cpp.o" "gcc" "src/cache/CMakeFiles/scp_cache.dir/tinylfu_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

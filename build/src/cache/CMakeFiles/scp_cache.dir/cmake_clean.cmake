@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_cache.dir/bloom.cpp.o"
+  "CMakeFiles/scp_cache.dir/bloom.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/cache.cpp.o"
+  "CMakeFiles/scp_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/count_min.cpp.o"
+  "CMakeFiles/scp_cache.dir/count_min.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/frontend_tier.cpp.o"
+  "CMakeFiles/scp_cache.dir/frontend_tier.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/lfu_cache.cpp.o"
+  "CMakeFiles/scp_cache.dir/lfu_cache.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/scp_cache.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/perfect_cache.cpp.o"
+  "CMakeFiles/scp_cache.dir/perfect_cache.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/slru_cache.cpp.o"
+  "CMakeFiles/scp_cache.dir/slru_cache.cpp.o.d"
+  "CMakeFiles/scp_cache.dir/tinylfu_cache.cpp.o"
+  "CMakeFiles/scp_cache.dir/tinylfu_cache.cpp.o.d"
+  "libscp_cache.a"
+  "libscp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

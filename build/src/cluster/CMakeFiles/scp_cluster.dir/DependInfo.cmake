@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/capacity.cpp" "src/cluster/CMakeFiles/scp_cluster.dir/capacity.cpp.o" "gcc" "src/cluster/CMakeFiles/scp_cluster.dir/capacity.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/scp_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/scp_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/partitioner.cpp" "src/cluster/CMakeFiles/scp_cluster.dir/partitioner.cpp.o" "gcc" "src/cluster/CMakeFiles/scp_cluster.dir/partitioner.cpp.o.d"
+  "/root/repo/src/cluster/routing.cpp" "src/cluster/CMakeFiles/scp_cluster.dir/routing.cpp.o" "gcc" "src/cluster/CMakeFiles/scp_cluster.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

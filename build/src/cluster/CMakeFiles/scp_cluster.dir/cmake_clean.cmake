@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_cluster.dir/capacity.cpp.o"
+  "CMakeFiles/scp_cluster.dir/capacity.cpp.o.d"
+  "CMakeFiles/scp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/scp_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/scp_cluster.dir/partitioner.cpp.o"
+  "CMakeFiles/scp_cluster.dir/partitioner.cpp.o.d"
+  "CMakeFiles/scp_cluster.dir/routing.cpp.o"
+  "CMakeFiles/scp_cluster.dir/routing.cpp.o.d"
+  "libscp_cluster.a"
+  "libscp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

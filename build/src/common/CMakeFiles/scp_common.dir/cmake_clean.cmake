@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_common.dir/flags.cpp.o"
+  "CMakeFiles/scp_common.dir/flags.cpp.o.d"
+  "CMakeFiles/scp_common.dir/hash.cpp.o"
+  "CMakeFiles/scp_common.dir/hash.cpp.o.d"
+  "CMakeFiles/scp_common.dir/histogram.cpp.o"
+  "CMakeFiles/scp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/scp_common.dir/json.cpp.o"
+  "CMakeFiles/scp_common.dir/json.cpp.o.d"
+  "CMakeFiles/scp_common.dir/log.cpp.o"
+  "CMakeFiles/scp_common.dir/log.cpp.o.d"
+  "CMakeFiles/scp_common.dir/rng.cpp.o"
+  "CMakeFiles/scp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/scp_common.dir/sampling.cpp.o"
+  "CMakeFiles/scp_common.dir/sampling.cpp.o.d"
+  "CMakeFiles/scp_common.dir/stats.cpp.o"
+  "CMakeFiles/scp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/scp_common.dir/table.cpp.o"
+  "CMakeFiles/scp_common.dir/table.cpp.o.d"
+  "libscp_common.a"
+  "libscp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscp_common.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_core.dir/analyzer.cpp.o"
+  "CMakeFiles/scp_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/scp_core.dir/detector.cpp.o"
+  "CMakeFiles/scp_core.dir/detector.cpp.o.d"
+  "CMakeFiles/scp_core.dir/provisioner.cpp.o"
+  "CMakeFiles/scp_core.dir/provisioner.cpp.o.d"
+  "CMakeFiles/scp_core.dir/report.cpp.o"
+  "CMakeFiles/scp_core.dir/report.cpp.o.d"
+  "CMakeFiles/scp_core.dir/serialize.cpp.o"
+  "CMakeFiles/scp_core.dir/serialize.cpp.o.d"
+  "libscp_core.a"
+  "libscp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/kv_cluster.cpp" "src/kvstore/CMakeFiles/scp_kvstore.dir/kv_cluster.cpp.o" "gcc" "src/kvstore/CMakeFiles/scp_kvstore.dir/kv_cluster.cpp.o.d"
+  "/root/repo/src/kvstore/storage_engine.cpp" "src/kvstore/CMakeFiles/scp_kvstore.dir/storage_engine.cpp.o" "gcc" "src/kvstore/CMakeFiles/scp_kvstore.dir/storage_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/scp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_kvstore.dir/kv_cluster.cpp.o"
+  "CMakeFiles/scp_kvstore.dir/kv_cluster.cpp.o.d"
+  "CMakeFiles/scp_kvstore.dir/storage_engine.cpp.o"
+  "CMakeFiles/scp_kvstore.dir/storage_engine.cpp.o.d"
+  "libscp_kvstore.a"
+  "libscp_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/scp_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/scp_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "src/sim/CMakeFiles/scp_sim.dir/failure.cpp.o" "gcc" "src/sim/CMakeFiles/scp_sim.dir/failure.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/scp_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/scp_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/rate_sim.cpp" "src/sim/CMakeFiles/scp_sim.dir/rate_sim.cpp.o" "gcc" "src/sim/CMakeFiles/scp_sim.dir/rate_sim.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/scp_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/scp_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/scp_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/scp_sim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/scp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/scp_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/ballsbins/CMakeFiles/scp_ballsbins.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

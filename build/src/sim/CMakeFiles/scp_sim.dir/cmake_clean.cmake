@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/scp_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/scp_sim.dir/failure.cpp.o"
+  "CMakeFiles/scp_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/scp_sim.dir/metrics.cpp.o"
+  "CMakeFiles/scp_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/scp_sim.dir/rate_sim.cpp.o"
+  "CMakeFiles/scp_sim.dir/rate_sim.cpp.o.d"
+  "CMakeFiles/scp_sim.dir/runner.cpp.o"
+  "CMakeFiles/scp_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/scp_sim.dir/scenario.cpp.o"
+  "CMakeFiles/scp_sim.dir/scenario.cpp.o.d"
+  "libscp_sim.a"
+  "libscp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cost_model.cpp" "src/workload/CMakeFiles/scp_workload.dir/cost_model.cpp.o" "gcc" "src/workload/CMakeFiles/scp_workload.dir/cost_model.cpp.o.d"
+  "/root/repo/src/workload/distribution.cpp" "src/workload/CMakeFiles/scp_workload.dir/distribution.cpp.o" "gcc" "src/workload/CMakeFiles/scp_workload.dir/distribution.cpp.o.d"
+  "/root/repo/src/workload/rotating.cpp" "src/workload/CMakeFiles/scp_workload.dir/rotating.cpp.o" "gcc" "src/workload/CMakeFiles/scp_workload.dir/rotating.cpp.o.d"
+  "/root/repo/src/workload/stream.cpp" "src/workload/CMakeFiles/scp_workload.dir/stream.cpp.o" "gcc" "src/workload/CMakeFiles/scp_workload.dir/stream.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/scp_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/scp_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scp_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_workload.dir/cost_model.cpp.o"
+  "CMakeFiles/scp_workload.dir/cost_model.cpp.o.d"
+  "CMakeFiles/scp_workload.dir/distribution.cpp.o"
+  "CMakeFiles/scp_workload.dir/distribution.cpp.o.d"
+  "CMakeFiles/scp_workload.dir/rotating.cpp.o"
+  "CMakeFiles/scp_workload.dir/rotating.cpp.o.d"
+  "CMakeFiles/scp_workload.dir/stream.cpp.o"
+  "CMakeFiles/scp_workload.dir/stream.cpp.o.d"
+  "CMakeFiles/scp_workload.dir/trace.cpp.o"
+  "CMakeFiles/scp_workload.dir/trace.cpp.o.d"
+  "libscp_workload.a"
+  "libscp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversarial_shift.dir/test_adversarial_shift.cpp.o"
+  "CMakeFiles/test_adversarial_shift.dir/test_adversarial_shift.cpp.o.d"
+  "test_adversarial_shift"
+  "test_adversarial_shift.pdb"
+  "test_adversarial_shift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversarial_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

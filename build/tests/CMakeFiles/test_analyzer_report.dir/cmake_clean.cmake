@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyzer_report.dir/test_analyzer_report.cpp.o"
+  "CMakeFiles/test_analyzer_report.dir/test_analyzer_report.cpp.o.d"
+  "test_analyzer_report"
+  "test_analyzer_report.pdb"
+  "test_analyzer_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyzer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

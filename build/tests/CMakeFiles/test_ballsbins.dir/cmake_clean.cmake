@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ballsbins.dir/test_ballsbins.cpp.o"
+  "CMakeFiles/test_ballsbins.dir/test_ballsbins.cpp.o.d"
+  "test_ballsbins"
+  "test_ballsbins.pdb"
+  "test_ballsbins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ballsbins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

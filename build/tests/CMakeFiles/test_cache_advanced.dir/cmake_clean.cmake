@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_advanced.dir/test_cache_advanced.cpp.o"
+  "CMakeFiles/test_cache_advanced.dir/test_cache_advanced.cpp.o.d"
+  "test_cache_advanced"
+  "test_cache_advanced.pdb"
+  "test_cache_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_basic.dir/test_cache_basic.cpp.o"
+  "CMakeFiles/test_cache_basic.dir/test_cache_basic.cpp.o.d"
+  "test_cache_basic"
+  "test_cache_basic.pdb"
+  "test_cache_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

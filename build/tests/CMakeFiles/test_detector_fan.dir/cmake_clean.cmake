@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_fan.dir/test_detector_fan.cpp.o"
+  "CMakeFiles/test_detector_fan.dir/test_detector_fan.cpp.o.d"
+  "test_detector_fan"
+  "test_detector_fan.pdb"
+  "test_detector_fan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_fan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

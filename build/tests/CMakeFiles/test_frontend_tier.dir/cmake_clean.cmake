@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_tier.dir/test_frontend_tier.cpp.o"
+  "CMakeFiles/test_frontend_tier.dir/test_frontend_tier.cpp.o.d"
+  "test_frontend_tier"
+  "test_frontend_tier.pdb"
+  "test_frontend_tier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

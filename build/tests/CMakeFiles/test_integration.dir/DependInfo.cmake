@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/scp_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/scp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/scp_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ballsbins/CMakeFiles/scp_ballsbins.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_sim.dir/test_rate_sim.cpp.o"
+  "CMakeFiles/test_rate_sim.dir/test_rate_sim.cpp.o.d"
+  "test_rate_sim"
+  "test_rate_sim.pdb"
+  "test_rate_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotating.dir/test_rotating.cpp.o"
+  "CMakeFiles/test_rotating.dir/test_rotating.cpp.o.d"
+  "test_rotating"
+  "test_rotating.pdb"
+  "test_rotating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

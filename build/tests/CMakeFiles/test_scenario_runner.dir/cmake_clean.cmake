@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_runner.dir/test_scenario_runner.cpp.o"
+  "CMakeFiles/test_scenario_runner.dir/test_scenario_runner.cpp.o.d"
+  "test_scenario_runner"
+  "test_scenario_runner.pdb"
+  "test_scenario_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

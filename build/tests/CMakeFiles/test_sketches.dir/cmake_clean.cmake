@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketches.dir/test_sketches.cpp.o"
+  "CMakeFiles/test_sketches.dir/test_sketches.cpp.o.d"
+  "test_sketches"
+  "test_sketches.pdb"
+  "test_sketches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

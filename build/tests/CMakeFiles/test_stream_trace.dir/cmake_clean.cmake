@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_trace.dir/test_stream_trace.cpp.o"
+  "CMakeFiles/test_stream_trace.dir/test_stream_trace.cpp.o.d"
+  "test_stream_trace"
+  "test_stream_trace.pdb"
+  "test_stream_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
