@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_cache_policy";
   flags.nodes = 200;
   flags.items = 50000;
   flags.rate = 50000.0;
@@ -55,11 +56,10 @@ int main(int argc, char** argv) {
   const double node_capacity =
       capacity_factor * flags.rate / static_cast<double>(flags.nodes);
 
+  scp::TextTable table({"workload", "policy", "hit_ratio", "drop_ratio",
+                        "max/mean", "jain", "p99_wait_us"},
+                       3);
   for (const Workload& workload : workloads) {
-    std::printf("workload: %s\n", workload.label);
-    scp::TextTable table(
-        {"policy", "hit_ratio", "drop_ratio", "max/mean", "jain", "p99_wait_us"},
-        3);
     for (const char* policy :
          {"perfect", "lru", "lfu", "slru", "tinylfu"}) {
       std::unique_ptr<scp::FrontEndCache> cache_impl;
@@ -83,14 +83,16 @@ int main(int argc, char** argv) {
       config.seed = flags.seed;  // identical stream across policies
       const scp::EventSimResult result = scp::simulate_events(
           cluster, *cache_impl, workload.distribution, *selector, config);
-      table.add_row({std::string(policy), result.cache_hit_ratio,
-                     result.drop_ratio, result.arrival_metrics.max_over_mean,
+      table.add_row({std::string(workload.label), std::string(policy),
+                     result.cache_hit_ratio, result.drop_ratio,
+                     result.arrival_metrics.max_over_mean,
                      result.arrival_metrics.jain_fairness,
                      static_cast<std::int64_t>(
                          result.wait_us.value_at_quantile(0.99))});
     }
-    std::printf("%s\n", table.render().c_str());
   }
+  scp::bench::finish_table(table, flags);
+  std::printf("\n");
   std::printf(
       "expected: on zipf the real policies land within a few points of the "
       "oracle's hit\nratio (tinylfu closest). On the adversarial pattern the "

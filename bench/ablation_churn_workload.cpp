@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_churn_workload";
   flags.items = 50000;
 
   scp::FlagSet flag_set(

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_frontend_tier";
   flags.nodes = 100;
   flags.items = 20000;
   flags.rate = 20000.0;
@@ -60,10 +61,10 @@ int main(int argc, char** argv) {
       {std::to_string(k) + " x c       (k x memory)", k, cache},
   };
 
+  scp::TextTable table(
+      {"workload", "tier", "total_entries", "hit_ratio", "max/mean", "jain"},
+      3);
   for (const Workload& workload : workloads) {
-    std::printf("workload: %s\n", workload.label);
-    scp::TextTable table(
-        {"tier", "total_entries", "hit_ratio", "max/mean", "jain"}, 3);
     for (const TierShape& shape : shapes) {
       scp::FrontEndTier tier(shape.count, shape.per_cache, policy,
                              flags.seed ^ shape.count);
@@ -82,14 +83,15 @@ int main(int argc, char** argv) {
       config.seed = flags.seed;  // identical stream across shapes
       const scp::EventSimResult result = scp::simulate_events(
           cluster, tier, workload.distribution, *selector, config);
-      table.add_row({shape.label,
+      table.add_row({std::string(workload.label), shape.label,
                      static_cast<std::int64_t>(tier.capacity()),
                      result.cache_hit_ratio,
                      result.arrival_metrics.max_over_mean,
                      result.arrival_metrics.jain_fairness});
     }
-    std::printf("%s\n", table.render().c_str());
   }
+  scp::bench::finish_table(table, flags);
+  std::printf("\n");
   std::printf(
       "expected: splitting a fixed budget k ways loses hit ratio (the hot "
       "head is\nduplicated on every front-end, shrinking distinct coverage "

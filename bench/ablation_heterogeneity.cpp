@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_heterogeneity";
   flags.nodes = 200;
   flags.items = 20000;
   flags.rate = 20000.0;

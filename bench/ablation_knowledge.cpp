@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_knowledge";
   flags.nodes = 100;
   flags.items = 20000;
   flags.rate = 10000.0;

@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_optimizer";
   flags.nodes = 100;
   flags.items = 5000;
   flags.rate = 10000.0;

@@ -6,10 +6,18 @@
 // insensitive to *which* randomized partitioner realizes that: independent
 // keyed hashing, a consistent-hash ring with virtual nodes (Dynamo-style),
 // or rendezvous hashing (HRW).
+// Hot path: per partitioner, one GainSweep shares each trial's partition +
+// PlacementIndex across every (cache size, x candidate) pair — the ring's
+// and HRW's far costlier lookups are paid once per trial, not per sweep
+// point.
+#include <map>
+#include <utility>
+
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_partitioner";
   flags.nodes = 300;
   flags.items = 20000;
   flags.rate = 30000.0;
@@ -26,35 +34,49 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::uint64_t> cache_sizes;
-  std::size_t pos = 0;
-  while (pos < cache_list.size()) {
-    const std::size_t comma = cache_list.find(',', pos);
-    cache_sizes.push_back(std::stoull(cache_list.substr(pos, comma - pos)));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
+  const std::vector<std::uint64_t> cache_sizes =
+      scp::bench::parse_u64_list(cache_list);
 
   scp::bench::print_header("Ablation: partitioner", flags, cache_sizes.front());
 
-  scp::TextTable table({"cache_size", "hash", "ring", "rendezvous"}, 4);
-  for (const std::uint64_t c : cache_sizes) {
-    std::vector<scp::Cell> row = {static_cast<std::int64_t>(c)};
-    for (const char* partitioner : {"hash", "ring", "rendezvous"}) {
-      flags.partitioner = partitioner;
-      const scp::ScenarioConfig config = flags.scenario(c);
-      const auto evaluate = [&](std::uint64_t x) {
-        return scp::measure_adversarial_gain(
-                   config, x, static_cast<std::uint32_t>(flags.runs),
-                   flags.seed ^ (c + x))
-            .max_gain;
-      };
-      row.push_back(
-          scp::best_response_search(config.params, evaluate, 0).gain);
+  // best gain per (partitioner column, cache size)
+  std::vector<std::vector<double>> best_gain(
+      3, std::vector<double>(cache_sizes.size(), 0.0));
+  const char* partitioners[] = {"hash", "ring", "rendezvous"};
+  for (std::size_t kind = 0; kind < 3; ++kind) {
+    flags.partitioner = partitioners[kind];
+    std::map<std::uint64_t, scp::QueryDistribution> patterns;
+    std::vector<scp::GainSweep::Point> points;
+    std::vector<std::size_t> point_cache_idx;
+    for (std::size_t ci = 0; ci < cache_sizes.size(); ++ci) {
+      const scp::ScenarioConfig config = flags.scenario(cache_sizes[ci]);
+      for (const std::uint64_t x :
+           scp::candidate_queried_keys(config.params, 0)) {
+        auto it = patterns.find(x);
+        if (it == patterns.end()) {
+          it = patterns
+                   .emplace(x,
+                            scp::QueryDistribution::uniform_over(x, flags.items))
+                   .first;
+        }
+        points.push_back({&it->second, cache_sizes[ci]});
+        point_cache_idx.push_back(ci);
+      }
     }
-    table.add_row(std::move(row));
+    const scp::GainSweep sweep(flags.scenario(cache_sizes.front()),
+                               static_cast<std::uint32_t>(flags.runs),
+                               flags.seed, flags.sweep_options());
+    const std::vector<scp::GainStatistics> stats = sweep.run(points);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      double& best = best_gain[kind][point_cache_idx[p]];
+      best = std::max(best, stats[p].max_gain);
+    }
+  }
+
+  scp::TextTable table({"cache_size", "hash", "ring", "rendezvous"}, 4);
+  for (std::size_t ci = 0; ci < cache_sizes.size(); ++ci) {
+    table.add_row({static_cast<std::int64_t>(cache_sizes[ci]),
+                   best_gain[0][ci], best_gain[1][ci], best_gain[2][ci]});
   }
   scp::bench::finish_table(table, flags);
   std::printf(

@@ -7,10 +7,17 @@
 // finite cache pushes the best gain below 1 (provable prevention); for
 // d = 1 the gain stays above 1 at every cache size — replication, not cache
 // alone, is what makes prevention possible.
+// Hot path: per replication factor d, one GainSweep shares each trial's
+// partition + PlacementIndex across every (cache size, x candidate) pair.
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_replication";
   flags.nodes = 500;
   flags.items = 50000;
   flags.rate = 50000.0;
@@ -30,16 +37,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::uint64_t> cache_sizes;
-  std::size_t pos = 0;
-  while (pos < cache_list.size()) {
-    const std::size_t comma = cache_list.find(',', pos);
-    cache_sizes.push_back(std::stoull(cache_list.substr(pos, comma - pos)));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
+  const std::vector<std::uint64_t> cache_sizes =
+      scp::bench::parse_u64_list(cache_list);
 
   scp::bench::print_header(
       "Ablation: replication factor (d=1 is the Fan et al. baseline)", flags,
@@ -51,20 +50,47 @@ int main(int argc, char** argv) {
   }
   scp::TextTable table(headers, 3);
 
+  // best_gain[c] per d, filled one replication factor at a time: the
+  // replica-group size changes the placement table, so each d runs its own
+  // sweep over every (cache size, x candidate) pair.
+  std::map<std::uint64_t, std::vector<double>> best_gain;  // c -> per-d gains
+  for (std::uint64_t d = 1; d <= 5; ++d) {
+    flags.replication = d;
+    std::map<std::uint64_t, scp::QueryDistribution> patterns;
+    std::vector<scp::GainSweep::Point> points;
+    std::vector<std::uint64_t> point_cache;  // sweep point -> cache size
+    for (const std::uint64_t c : cache_sizes) {
+      const scp::ScenarioConfig config = flags.scenario(c);
+      for (const std::uint64_t x : scp::candidate_queried_keys(
+               config.params, static_cast<std::uint32_t>(grid_points))) {
+        auto it = patterns.find(x);
+        if (it == patterns.end()) {
+          it = patterns
+                   .emplace(x,
+                            scp::QueryDistribution::uniform_over(x, flags.items))
+                   .first;
+        }
+        points.push_back({&it->second, c});
+        point_cache.push_back(c);
+      }
+    }
+    const scp::GainSweep sweep(flags.scenario(cache_sizes.front()),
+                               static_cast<std::uint32_t>(flags.runs),
+                               flags.seed ^ d, flags.sweep_options());
+    const std::vector<scp::GainStatistics> stats = sweep.run(points);
+    for (const std::uint64_t c : cache_sizes) {
+      best_gain[c].push_back(0.0);
+    }
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      double& best = best_gain[point_cache[p]].back();
+      best = std::max(best, stats[p].max_gain);
+    }
+  }
+
   for (const std::uint64_t c : cache_sizes) {
     std::vector<scp::Cell> row = {static_cast<std::int64_t>(c)};
-    for (std::uint64_t d = 1; d <= 5; ++d) {
-      flags.replication = d;
-      const scp::ScenarioConfig config = flags.scenario(c);
-      const auto evaluate = [&](std::uint64_t x) {
-        return scp::measure_adversarial_gain(
-                   config, x, static_cast<std::uint32_t>(flags.runs),
-                   flags.seed ^ (c * 31 + d * 7 + x))
-            .max_gain;
-      };
-      const scp::BestResponse best = scp::best_response_search(
-          config.params, evaluate, static_cast<std::uint32_t>(grid_points));
-      row.push_back(best.gain);
+    for (const double gain : best_gain[c]) {
+      row.push_back(gain);
     }
     table.add_row(std::move(row));
   }

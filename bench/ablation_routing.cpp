@@ -8,10 +8,15 @@
 // rate by d (a further n/(x·d) vs n/x gain), at the cost of serving each key
 // from d caches/nodes (worse locality, d× key-footprint per node — the
 // reason key-pinned designs exist).
+// Hot path: per selector, one GainSweep shares each trial's partition +
+// PlacementIndex across every x in the sweep.
+#include <vector>
+
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "ablation_routing";
   flags.nodes = 500;
   flags.items = 50000;
   flags.rate = 50000.0;
@@ -31,20 +36,35 @@ int main(int argc, char** argv) {
 
   scp::bench::print_header("Ablation: replica selection policy", flags, cache);
 
+  const auto xs = scp::bench::log_spaced(cache + 1, flags.items, sweep_points);
+  std::vector<scp::QueryDistribution> patterns;
+  patterns.reserve(xs.size());
+  for (const std::uint64_t x : xs) {
+    patterns.push_back(scp::QueryDistribution::uniform_over(x, flags.items));
+  }
+  std::vector<scp::GainSweep::Point> points;
+  for (const auto& pattern : patterns) {
+    points.push_back({&pattern, cache});
+  }
+
+  std::vector<std::vector<double>> gains;  // per selector, per x
+  for (const char* selector : {"least-loaded", "random", "round-robin"}) {
+    flags.selector = selector;
+    const scp::GainSweep sweep(flags.scenario(cache),
+                               static_cast<std::uint32_t>(flags.runs),
+                               flags.seed, flags.sweep_options());
+    const std::vector<scp::GainStatistics> stats = sweep.run(points);
+    gains.emplace_back();
+    for (const auto& s : stats) {
+      gains.back().push_back(s.max_gain);
+    }
+  }
+
   scp::TextTable table(
       {"x_queried_keys", "least-loaded", "random", "round-robin"}, 4);
-  const auto xs = scp::bench::log_spaced(cache + 1, flags.items, sweep_points);
-  for (const std::uint64_t x : xs) {
-    std::vector<scp::Cell> row = {static_cast<std::int64_t>(x)};
-    for (const char* selector : {"least-loaded", "random", "round-robin"}) {
-      flags.selector = selector;
-      const scp::ScenarioConfig config = flags.scenario(cache);
-      row.push_back(scp::measure_adversarial_gain(
-                        config, x, static_cast<std::uint32_t>(flags.runs),
-                        flags.seed ^ x)
-                        .max_gain);
-    }
-    table.add_row(std::move(row));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    table.add_row({static_cast<std::int64_t>(xs[i]), gains[0][i], gains[1][i],
+                   gains[2][i]});
   }
   scp::bench::finish_table(table, flags);
   std::printf(

@@ -2,8 +2,67 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <variant>
+
+#include "common/json.h"
 
 namespace scp::bench {
+
+std::vector<std::uint64_t> parse_u64_list(const std::string& list) {
+  std::vector<std::uint64_t> values;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    values.push_back(std::stoull(list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return values;
+}
+
+bool write_bench_json(const std::string& path, const CommonFlags& flags,
+                      const TextTable& table, double wall_ms) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", flags.bench);
+  json.key("params");
+  json.begin_object()
+      .field("nodes", flags.nodes)
+      .field("replication", flags.replication)
+      .field("items", flags.items)
+      .field("rate", flags.rate)
+      .field("runs", flags.runs)
+      .field("seed", flags.seed)
+      .field("k", flags.k)
+      .field("threads", flags.threads)
+      .field("partitioner", flags.partitioner)
+      .field("selector", flags.selector)
+      .end();
+  json.field("wall_ms", wall_ms);
+  json.key("series");
+  json.begin_array();
+  const std::vector<std::string>& headers = table.headers();
+  for (const std::vector<Cell>& row : table.rows()) {
+    json.begin_object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      json.key(headers[i]);
+      std::visit([&json](const auto& v) { json.value(v); }, row[i]);
+    }
+    json.end();
+  }
+  json.end();
+  json.end();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << json.str() << '\n';
+  return static_cast<bool>(out.flush());
+}
 
 std::vector<std::uint64_t> log_spaced(std::uint64_t lo, std::uint64_t hi,
                                       std::size_t points) {

@@ -2,9 +2,12 @@
 //
 // Each bench binary reproduces one figure of the paper: it prints the same
 // series the figure plots (plus the relevant bound), as an aligned table and
-// optionally as CSV. Benches are deterministic given --seed.
+// optionally as CSV and/or a machine-readable JSON record (`--json <path>`),
+// so per-PR perf trajectories can be tracked from `BENCH_*.json` files.
+// Benches are deterministic given --seed.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +17,21 @@
 #include "core/scp.h"
 
 namespace scp::bench {
+
+/// Wall-clock stopwatch for the bench JSON records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Standard experiment knobs shared by the figure benches. Defaults are
 /// scaled for a quick single-core run; raise --runs/--items to match the
@@ -26,9 +44,18 @@ struct CommonFlags {
   std::uint64_t runs = 30;
   std::uint64_t seed = 20130708;  // ICDCS'13 workshop date
   double k = 1.2;  // the paper's bound constant for n=1000, d=3
+  std::uint64_t threads = 1;
   std::string partitioner = "hash";
   std::string selector = "least-loaded";
-  std::string csv;  // when non-empty, mirror the table to this CSV path
+  std::string csv;   // when non-empty, mirror the table to this CSV path
+  std::string json;  // when non-empty, write a {bench,params,wall_ms,series}
+                     // record to this path
+
+  /// Short machine name of the bench ("fig5a_best_gain", …); each main sets
+  /// it once so finish_table() can stamp the JSON record.
+  std::string bench = "bench";
+  /// Started at construction: the JSON wall_ms covers the whole bench run.
+  WallTimer timer;
 
   void register_flags(FlagSet& flags) {
     flags.add_uint64("nodes", &nodes, "number of back-end nodes (n)");
@@ -38,11 +65,16 @@ struct CommonFlags {
     flags.add_uint64("runs", &runs, "simulation runs per point (paper: 200)");
     flags.add_uint64("seed", &seed, "base RNG seed");
     flags.add_double("k", &k, "bound constant k = lnln(n)/ln(d) + k'");
+    flags.add_uint64("threads", &threads,
+                     "worker threads for Monte-Carlo trials");
     flags.add_string("partitioner", &partitioner,
                      "replica partitioner: hash|ring|rendezvous");
     flags.add_string("selector", &selector,
                      "replica selector: least-loaded|random|round-robin");
     flags.add_string("csv", &csv, "also write the table to this CSV file");
+    flags.add_string("json", &json,
+                     "also write a machine-readable bench record (bench, "
+                     "params, wall_ms, series) to this JSON file");
   }
 
   ScenarioConfig scenario(std::uint64_t cache_size) const {
@@ -56,7 +88,22 @@ struct CommonFlags {
     config.selector = selector;
     return config;
   }
+
+  GainSweep::Options sweep_options() const {
+    GainSweep::Options options;
+    options.threads = static_cast<std::uint32_t>(threads);
+    return options;
+  }
 };
+
+/// Parses a comma-separated list of unsigned integers ("100,200,400").
+std::vector<std::uint64_t> parse_u64_list(const std::string& list);
+
+/// Writes the `{bench, params, wall_ms, series}` record the --json flag
+/// promises. Series rows mirror the printed table (one object per row,
+/// keyed by column header). Returns false on I/O failure.
+bool write_bench_json(const std::string& path, const CommonFlags& flags,
+                      const TextTable& table, double wall_ms);
 
 /// Prints the standard bench header: what figure, what configuration.
 inline void print_header(const std::string& title, const CommonFlags& flags,
@@ -74,7 +121,7 @@ inline void print_header(const std::string& title, const CommonFlags& flags,
       flags.selector.c_str());
 }
 
-/// Emits the table to stdout and, if requested, to CSV.
+/// Emits the table to stdout and, if requested, to CSV and JSON.
 inline void finish_table(const TextTable& table, const CommonFlags& flags) {
   std::printf("%s", table.render().c_str());
   if (!flags.csv.empty()) {
@@ -82,6 +129,15 @@ inline void finish_table(const TextTable& table, const CommonFlags& flags) {
       std::printf("\n(csv written to %s)\n", flags.csv.c_str());
     } else {
       std::fprintf(stderr, "failed to write csv to %s\n", flags.csv.c_str());
+    }
+  }
+  if (!flags.json.empty()) {
+    const double wall_ms = flags.timer.elapsed_ms();
+    if (write_bench_json(flags.json, flags, table, wall_ms)) {
+      std::printf("\n(json written to %s, wall_ms=%.1f)\n", flags.json.c_str(),
+                  wall_ms);
+    } else {
+      std::fprintf(stderr, "failed to write json to %s\n", flags.json.c_str());
     }
   }
 }

@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "fig2_strategy_shape";
   flags.items = 1000;
 
   scp::FlagSet flag_set(

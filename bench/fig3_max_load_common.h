@@ -26,19 +26,35 @@ inline int run_fig3(const std::string& title, CommonFlags& flags,
   const ScenarioConfig config = flags.scenario(cache);
   config.params.check();
 
+  // One GainSweep: each trial's partition + PlacementIndex is built once
+  // and shared by every x along the sweep (paired common-random-number
+  // comparisons across x, and one placement build per trial).
+  const auto xs = log_spaced(cache + 1, flags.items, sweep_points);
+  std::vector<QueryDistribution> patterns;
+  patterns.reserve(xs.size());
+  for (const std::uint64_t x : xs) {
+    patterns.push_back(QueryDistribution::uniform_over(x, flags.items));
+  }
+  std::vector<GainSweep::Point> points;
+  points.reserve(xs.size());
+  for (const QueryDistribution& pattern : patterns) {
+    points.push_back({&pattern, cache});
+  }
+  const GainSweep sweep(config, static_cast<std::uint32_t>(flags.runs),
+                        flags.seed, flags.sweep_options());
+  const std::vector<GainStatistics> stats = sweep.run(points);
+
   TextTable table({"x_queried_keys", "norm_max_load(max)", "norm_max_load(mean)",
                    "bound_eq10(k)"},
                   4);
-  const auto xs = log_spaced(cache + 1, flags.items, sweep_points);
-  for (const std::uint64_t x : xs) {
-    const GainStatistics stats = measure_adversarial_gain(
-        config, x, static_cast<std::uint32_t>(flags.runs), flags.seed ^ x);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::uint64_t x = xs[i];
     const double bound =
         x >= 2 ? attack_gain_bound(config.params, x, flags.k)
                : static_cast<double>(flags.nodes) /
                      static_cast<double>(flags.replication);
-    table.add_row({static_cast<std::int64_t>(x), stats.max_gain,
-                   stats.summary.mean, bound});
+    table.add_row({static_cast<std::int64_t>(x), stats[i].max_gain,
+                   stats[i].summary.mean, bound});
   }
   finish_table(table, flags);
 

@@ -5,6 +5,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "fig3a_small_cache";
   return scp::bench::run_fig3(
       "Fig. 3(a): normalized max workload vs x, small cache (c=200)", flags,
       /*cache_size=*/200, argc, argv);

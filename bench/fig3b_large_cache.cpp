@@ -4,6 +4,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "fig3b_large_cache";
   return scp::bench::run_fig3(
       "Fig. 3(b): normalized max workload vs x, large cache (c=2000)", flags,
       /*cache_size=*/2000, argc, argv);

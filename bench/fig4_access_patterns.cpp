@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "fig4_access_patterns";
   flags.items = 50000;
   flags.rate = 50000.0;
   flags.runs = 20;
@@ -31,17 +32,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::uint64_t> node_counts;
-  std::size_t pos = 0;
-  while (pos < nodes_list.size()) {
-    const std::size_t comma = nodes_list.find(',', pos);
-    node_counts.push_back(
-        std::stoull(nodes_list.substr(pos, comma - pos)));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
+  const std::vector<std::uint64_t> node_counts =
+      scp::bench::parse_u64_list(nodes_list);
 
   scp::bench::print_header("Fig. 4: access-pattern comparison", flags, cache);
 
@@ -49,22 +41,22 @@ int main(int argc, char** argv) {
   const auto zipf = scp::QueryDistribution::zipf(flags.items, zipf_theta);
   const auto adversarial =
       scp::QueryDistribution::uniform_over(cache + 1, flags.items);
+  const std::vector<scp::GainSweep::Point> points = {
+      {&uniform, cache}, {&zipf, cache}, {&adversarial, cache}};
 
   scp::TextTable table(
       {"nodes", "uniform", "zipf(theta)", "adversarial(x=c+1)"}, 4);
   for (const std::uint64_t n : node_counts) {
     flags.nodes = n;
-    const scp::ScenarioConfig config = flags.scenario(cache);
-    const auto trials = static_cast<std::uint32_t>(flags.runs);
-    const double g_uniform =
-        scp::measure_gain(config, uniform, trials, flags.seed ^ n).max_gain;
-    const double g_zipf =
-        scp::measure_gain(config, zipf, trials, flags.seed ^ (n + 1)).max_gain;
-    const double g_adv =
-        scp::measure_gain(config, adversarial, trials, flags.seed ^ (n + 2))
-            .max_gain;
-    table.add_row(
-        {static_cast<std::int64_t>(n), g_uniform, g_zipf, g_adv});
+    // The cluster topology changes with n, so each n gets its own sweep;
+    // within it all three access patterns share the per-trial partitions
+    // and placement index (paired comparison across patterns).
+    const scp::GainSweep sweep(flags.scenario(cache),
+                               static_cast<std::uint32_t>(flags.runs),
+                               flags.seed ^ n, flags.sweep_options());
+    const std::vector<scp::GainStatistics> stats = sweep.run(points);
+    table.add_row({static_cast<std::int64_t>(n), stats[0].max_gain,
+                   stats[1].max_gain, stats[2].max_gain});
   }
   scp::bench::finish_table(table, flags);
   std::printf(

@@ -6,12 +6,21 @@
 // empirical critical point (first c with gain <= 1), and compares it against
 // the theoretical threshold c* = n·k + 1 — the paper's headline claim is
 // that the two nearly coincide.
+//
+// Hot path: every (cache size, x candidate) pair is evaluated through one
+// GainSweep, so each trial's random partition — and its PlacementIndex —
+// is built once and shared across the whole sweep instead of once per pair.
+// Sharing the Monte-Carlo partitions across sweep points also pairs the
+// comparisons (common random numbers), tightening the critical-point read.
+#include <map>
 #include <optional>
+#include <utility>
 
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "fig5a_best_gain";
   flags.items = 100000;
   flags.runs = 20;
 
@@ -29,32 +38,48 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::uint64_t> cache_sizes;
-  std::size_t pos = 0;
-  while (pos < cache_list.size()) {
-    const std::size_t comma = cache_list.find(',', pos);
-    cache_sizes.push_back(std::stoull(cache_list.substr(pos, comma - pos)));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
+  const std::vector<std::uint64_t> cache_sizes =
+      scp::bench::parse_u64_list(cache_list);
 
   scp::bench::print_header("Fig. 5(a): best achievable gain vs cache size",
                            flags, cache_sizes.front());
 
-  scp::TextTable table({"cache_size", "best_gain", "best_x", "regime"}, 4);
-  std::optional<std::uint64_t> critical_point;
+  // One distribution per distinct x (the x = m endpoint repeats at every
+  // cache size), one sweep point per (cache size, x candidate).
+  std::map<std::uint64_t, scp::QueryDistribution> patterns;
+  std::vector<scp::GainSweep::Point> points;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> point_keys;  // (c, x)
   for (const std::uint64_t c : cache_sizes) {
     const scp::ScenarioConfig config = flags.scenario(c);
-    const auto evaluate = [&](std::uint64_t x) {
-      return scp::measure_adversarial_gain(
-                 config, x, static_cast<std::uint32_t>(flags.runs),
-                 flags.seed ^ (c * 1315423911ULL + x))
-          .max_gain;
-    };
-    const scp::BestResponse best = scp::best_response_search(
-        config.params, evaluate, static_cast<std::uint32_t>(grid_points));
+    for (const std::uint64_t x : scp::candidate_queried_keys(
+             config.params, static_cast<std::uint32_t>(grid_points))) {
+      auto it = patterns.find(x);
+      if (it == patterns.end()) {
+        it = patterns
+                 .emplace(x, scp::QueryDistribution::uniform_over(x, flags.items))
+                 .first;
+      }
+      points.push_back({&it->second, c});
+      point_keys.emplace_back(c, x);
+    }
+  }
+
+  const scp::GainSweep sweep(flags.scenario(cache_sizes.front()),
+                             static_cast<std::uint32_t>(flags.runs),
+                             flags.seed, flags.sweep_options());
+  const std::vector<scp::GainStatistics> stats = sweep.run(points);
+
+  scp::TextTable table({"cache_size", "best_gain", "best_x", "regime"}, 4);
+  std::optional<std::uint64_t> critical_point;
+  std::size_t p = 0;
+  for (const std::uint64_t c : cache_sizes) {
+    scp::BestResponse best;
+    for (; p < point_keys.size() && point_keys[p].first == c; ++p) {
+      if (stats[p].max_gain > best.gain || best.queried_keys == 0) {
+        best.gain = stats[p].max_gain;
+        best.queried_keys = point_keys[p].second;
+      }
+    }
     if (!critical_point.has_value() && best.gain <= 1.0) {
       critical_point = c;
     }

@@ -6,10 +6,16 @@
 // space (x = m). This bench plays the empirical best response at each cache
 // size and prints the chosen x, which should flip from c+1 to m at the
 // critical point found in Fig. 5(a).
+// Hot path: one GainSweep shares each trial's partition + PlacementIndex
+// across every (cache size, x candidate) pair of the sweep.
+#include <map>
+#include <utility>
+
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   scp::bench::CommonFlags flags;
+  flags.bench = "fig5b_queried_keys";
   flags.items = 100000;
   flags.runs = 20;
 
@@ -25,34 +31,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::uint64_t> cache_sizes;
-  std::size_t pos = 0;
-  while (pos < cache_list.size()) {
-    const std::size_t comma = cache_list.find(',', pos);
-    cache_sizes.push_back(std::stoull(cache_list.substr(pos, comma - pos)));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
+  const std::vector<std::uint64_t> cache_sizes =
+      scp::bench::parse_u64_list(cache_list);
 
   scp::bench::print_header("Fig. 5(b): adversary's queried-key count vs cache",
                            flags, cache_sizes.front());
 
-  scp::TextTable table(
-      {"cache_size", "best_x", "strategy", "theory_predicts"}, 2);
+  std::map<std::uint64_t, scp::QueryDistribution> patterns;
+  std::vector<scp::GainSweep::Point> points;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> point_keys;  // (c, x)
   for (const std::uint64_t c : cache_sizes) {
     const scp::ScenarioConfig config = flags.scenario(c);
-    const auto evaluate = [&](std::uint64_t x) {
-      return scp::measure_adversarial_gain(
-                 config, x, static_cast<std::uint32_t>(flags.runs),
-                 flags.seed ^ (c * 2654435761ULL + x))
-          .max_gain;
-    };
-    const scp::BestResponse best =
-        scp::best_response_search(config.params, evaluate, 0);
+    for (const std::uint64_t x : scp::candidate_queried_keys(config.params, 0)) {
+      auto it = patterns.find(x);
+      if (it == patterns.end()) {
+        it = patterns
+                 .emplace(x, scp::QueryDistribution::uniform_over(x, flags.items))
+                 .first;
+      }
+      points.push_back({&it->second, c});
+      point_keys.emplace_back(c, x);
+    }
+  }
+
+  const scp::GainSweep sweep(flags.scenario(cache_sizes.front()),
+                             static_cast<std::uint32_t>(flags.runs),
+                             flags.seed, flags.sweep_options());
+  const std::vector<scp::GainStatistics> stats = sweep.run(points);
+
+  scp::TextTable table(
+      {"cache_size", "best_x", "strategy", "theory_predicts"}, 2);
+  std::size_t p = 0;
+  for (const std::uint64_t c : cache_sizes) {
+    scp::BestResponse best;
+    for (; p < point_keys.size() && point_keys[p].first == c; ++p) {
+      if (stats[p].max_gain > best.gain || best.queried_keys == 0) {
+        best.gain = stats[p].max_gain;
+        best.queried_keys = point_keys[p].second;
+      }
+    }
     const std::uint64_t predicted =
-        scp::optimal_queried_keys(config.params, flags.k);
+        scp::optimal_queried_keys(flags.scenario(c).params, flags.k);
     table.add_row(
         {static_cast<std::int64_t>(c), static_cast<std::int64_t>(best.queried_keys),
          std::string(best.queried_keys == c + 1 ? "x = c+1 (focus fire)"

@@ -8,6 +8,7 @@
 
 #include "cache/lru_cache.h"
 #include "cache/tinylfu_cache.h"
+#include "cluster/placement_index.h"
 #include "core/scp.h"
 
 namespace {
@@ -75,6 +76,25 @@ void BM_PartitionerReplicaGroup(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionerReplicaGroup)->Arg(0)->Arg(1)->Arg(2);
 
+void BM_PlacementIndexBuild(benchmark::State& state) {
+  const auto kind = static_cast<std::size_t>(state.range(0));
+  const char* kinds[] = {"hash", "ring", "rendezvous"};
+  const std::uint64_t keys = 100000;
+  const auto partitioner = make_partitioner(kinds[kind], 1000, 3, 7);
+  for (auto _ : state) {
+    const PlacementIndex index(*partitioner, keys);
+    benchmark::DoNotOptimize(index.group(0));
+  }
+  state.SetLabel(kinds[kind]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys));
+}
+BENCHMARK(BM_PlacementIndexBuild)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LruAccess(benchmark::State& state) {
   LruCache cache(1024);
   const auto d = QueryDistribution::zipf(100000, 1.01);
@@ -133,6 +153,34 @@ void BM_RateSimTrial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RateSimTrial)->Arg(201)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+// The indexed fast path under the sweep pattern: partition + placement table
+// built once, many simulations against it with reusable scratch. Contrast
+// with BM_RateSimTrial, which pays partition construction + virtual hashing
+// per trial.
+void BM_RateSimTrialIndexed(benchmark::State& state) {
+  const auto x = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t items = 100000;
+  const auto distribution = QueryDistribution::uniform_over(x, items);
+  Cluster cluster(make_partitioner("hash", 1000, 3, 7));
+  const PlacementIndex index(cluster.partitioner(), items);
+  const PerfectCache cache(200, distribution);
+  auto selector = make_selector("least-loaded");
+  RateSimScratch scratch;
+  RateSimConfig config;
+  config.query_rate = 1e5;
+  config.seed = 1;
+  for (auto _ : state) {
+    ++config.seed;
+    benchmark::DoNotOptimize(simulate_rates(cluster, cache, distribution,
+                                            *selector, config, &index,
+                                            &scratch));
+  }
+}
+BENCHMARK(BM_RateSimTrialIndexed)
+    ->Arg(201)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EventSimSecond(benchmark::State& state) {
   const auto d = QueryDistribution::zipf(10000, 1.01);

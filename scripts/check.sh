@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a bench smoke test.
+#
+# 1. Configure + build everything.
+# 2. Run the full ctest suite (the PR gate: must stay green).
+# 3. Smoke-run one figure bench with --json and validate the record, so a
+#    bench/JSON regression cannot slip past a green unit-test run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+smoke_json="$BUILD_DIR/smoke_fig5a.json"
+rm -f "$smoke_json"
+"$BUILD_DIR/bench/fig5a_best_gain" \
+  --nodes 100 --items 5000 --rate 10000 --runs 2 --grid-points 2 \
+  --cache-list 50,100 --json "$smoke_json" >/dev/null
+
+for field in '"bench":"fig5a_best_gain"' '"params"' '"wall_ms"' '"series"'; do
+  if ! grep -q -- "$field" "$smoke_json"; then
+    echo "check.sh: smoke JSON missing $field ($smoke_json)" >&2
+    exit 1
+  fi
+done
+
+echo "check.sh: OK (tests green, smoke bench JSON validated)"

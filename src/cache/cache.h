@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cluster/types.h"
@@ -38,6 +39,16 @@ class FrontEndCache {
 
   /// Drops all cached items and any learned state.
   virtual void clear() = 0;
+
+  /// When the cached set is exactly the key prefix [0, P) — true for the
+  /// perfect oracle over a rank-canonical distribution — returns P, with the
+  /// contract that contains(k) == (k < P) for every key. Simulator fast
+  /// paths then replace the per-key virtual set lookup with one compare.
+  /// Default: unknown (nullopt); policies with learned state must not claim
+  /// a prefix.
+  virtual std::optional<std::uint64_t> cached_prefix() const {
+    return std::nullopt;
+  }
 
   /// Removes one key if present (cache-coherence hook: a write to the
   /// backing store must not leave a stale cached copy). Returns true if the

@@ -14,6 +14,7 @@ PerfectCache::PerfectCache(std::size_t capacity, std::span<const KeyId> keys,
   SCP_CHECK_MSG(keys.size() == probabilities.size(),
                 "keys/probabilities size mismatch");
   build(keys, probabilities);
+  detect_prefix();
 }
 
 PerfectCache::PerfectCache(std::size_t capacity,
@@ -26,6 +27,7 @@ PerfectCache::PerfectCache(std::size_t capacity,
   for (KeyId key = 0; key < take; ++key) {
     cached_.insert(key);
   }
+  prefix_ = take;
 }
 
 void PerfectCache::build(std::span<const KeyId> keys,
@@ -48,6 +50,20 @@ void PerfectCache::build(std::span<const KeyId> keys,
   cached_.reserve(take * 2);
   for (std::size_t i = 0; i < take; ++i) {
     cached_.insert(keys[order[i]]);
+  }
+}
+
+void PerfectCache::detect_prefix() {
+  // The cached set is a prefix iff its keys are exactly {0 … size-1}; since
+  // members are distinct, max == size-1 is sufficient.
+  KeyId max_key = 0;
+  for (const KeyId key : cached_) {
+    max_key = std::max(max_key, key);
+  }
+  if (cached_.empty()) {
+    prefix_ = 0;
+  } else if (max_key == cached_.size() - 1) {
+    prefix_ = cached_.size();
   }
 }
 

@@ -6,6 +6,7 @@
 // change its contents.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -35,15 +36,23 @@ class PerfectCache final : public FrontEndCache {
   bool contains(KeyId key) const override {
     return cached_.find(key) != cached_.end();
   }
+  /// The oracle's cached set is a key prefix whenever the inputs are
+  /// rank-canonical (always for the distribution constructor), letting the
+  /// rate simulator's fast path skip the per-key set lookup.
+  std::optional<std::uint64_t> cached_prefix() const override {
+    return prefix_;
+  }
   /// No-op: the oracle's contents are its definition (the true top-c keys),
   /// not state learned from traffic, so a fresh trial starts identical.
   void clear() override {}
 
  private:
   void build(std::span<const KeyId> keys, std::span<const double> probabilities);
+  void detect_prefix();
 
   std::size_t capacity_;
   std::unordered_set<KeyId> cached_;
+  std::optional<std::uint64_t> prefix_;
 };
 
 }  // namespace scp

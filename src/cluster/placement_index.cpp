@@ -1,0 +1,51 @@
+#include "cluster/placement_index.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace scp {
+
+namespace {
+
+std::uint64_t next_index_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+PlacementIndex::PlacementIndex(const ReplicaPartitioner& partitioner,
+                               std::uint64_t keys,
+                               std::uint64_t memory_budget_bytes)
+    : partitioner_(&partitioner),
+      keys_(keys),
+      replication_(partitioner.replication()),
+      node_count_(partitioner.node_count()),
+      id_(next_index_id()) {
+  SCP_CHECK_MSG(replication_ >= 1, "partitioner must have replication >= 1");
+  if (table_bytes(keys_, replication_) > memory_budget_bytes) {
+    return;  // over budget: stay unmaterialized, hash on the fly
+  }
+  table_.resize(keys_ * replication_);
+  for (KeyId key = 0; key < keys_; ++key) {
+    partitioner_->replica_group(
+        key, std::span<NodeId>(table_.data() + key * replication_,
+                               replication_));
+  }
+  materialized_ = true;
+}
+
+void PlacementIndex::fill_group(KeyId key, std::span<NodeId> out) const {
+  SCP_DCHECK(out.size() == replication_);
+  if (materialized_) {
+    SCP_DCHECK(key < keys_);
+    const NodeId* row = group(key);
+    std::copy(row, row + replication_, out.begin());
+    return;
+  }
+  partitioner_->replica_group(key, out);
+}
+
+}  // namespace scp

@@ -1,0 +1,90 @@
+// Precomputed key → replica-group placement table.
+//
+// Replica placement depends only on (partition seed, key, n, d), yet the
+// Monte-Carlo sweeps recompute it millions of times: every figure bench walks
+// the key space once per (sweep point, trial), paying a virtual
+// ReplicaPartitioner::replica_group() — SipHash draws, a ring binary search,
+// or an O(n) HRW scan — per key. A PlacementIndex front-loads that work into
+// one flat, cache-friendly m × d table of NodeId built in a single pass over
+// the key space, then serves any number of simulations with a contiguous
+// row read. The table is immutable after construction, so one index can be
+// shared read-only across trials, sweep points and threads.
+//
+// Memory is bounded explicitly: when m × d × sizeof(NodeId) exceeds the
+// budget the index stays unmaterialized and fill_group() falls back to
+// hashing on the fly through the partitioner, so callers can use the same
+// code path at any scale and only pay memory where it buys speed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "cluster/types.h"
+
+namespace scp {
+
+class PlacementIndex {
+ public:
+  /// Default materialization budget. 256 MiB covers m = 2e7 keys at d = 3 —
+  /// an order of magnitude beyond the paper's largest key space.
+  static constexpr std::uint64_t kDefaultMemoryBudget = 256ull << 20;
+
+  /// Builds the placement table for keys [0, keys) from `partitioner`, which
+  /// must outlive the index (it is also the fallback when the table does not
+  /// fit the budget). Placement is read straight from the partitioner, so the
+  /// index is bit-identical to calling replica_group() per key.
+  PlacementIndex(const ReplicaPartitioner& partitioner, std::uint64_t keys,
+                 std::uint64_t memory_budget_bytes = kDefaultMemoryBudget);
+
+  /// True when the flat table was built (m × d × sizeof(NodeId) fit the
+  /// budget); false means fill_group() hashes on the fly.
+  bool materialized() const noexcept { return materialized_; }
+
+  std::uint64_t keys() const noexcept { return keys_; }
+  std::uint32_t replication() const noexcept { return replication_; }
+  std::uint32_t node_count() const noexcept { return node_count_; }
+
+  /// Bytes held by the materialized table (0 when unmaterialized).
+  std::uint64_t memory_bytes() const noexcept {
+    return table_.size() * sizeof(NodeId);
+  }
+
+  /// Bytes a table for (keys, replication) would need — what the budget is
+  /// compared against.
+  static std::uint64_t table_bytes(std::uint64_t keys,
+                                   std::uint32_t replication) noexcept {
+    return keys * replication * sizeof(NodeId);
+  }
+
+  /// Pointer to the key's d-entry replica group row. Requires materialized()
+  /// and key < keys().
+  const NodeId* group(KeyId key) const noexcept {
+    return table_.data() + key * replication_;
+  }
+
+  /// Copies the key's replica group into `out` (size replication()), from
+  /// the table when materialized, else via the partitioner.
+  void fill_group(KeyId key, std::span<NodeId> out) const;
+
+  const ReplicaPartitioner& partitioner() const noexcept {
+    return *partitioner_;
+  }
+
+  /// Process-unique instance id (never 0). Lets caches keyed on an index —
+  /// e.g. RateSimScratch's order-major row memo — distinguish a fresh index
+  /// that happens to reuse a previous one's address.
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  const ReplicaPartitioner* partitioner_;  // non-owning
+  std::uint64_t keys_;
+  std::uint32_t replication_;
+  std::uint32_t node_count_;
+  std::uint64_t id_;
+  bool materialized_ = false;
+  std::vector<NodeId> table_;  // row-major, keys_ rows of replication_ ids
+};
+
+}  // namespace scp

@@ -24,23 +24,7 @@ std::size_t LeastLoadedSelector::select(KeyId /*key*/,
                                         std::span<const double> node_loads,
                                         Rng& rng) {
   SCP_DCHECK(!group.empty());
-  std::size_t best = 0;
-  std::size_t tie_count = 1;
-  for (std::size_t i = 1; i < group.size(); ++i) {
-    const double load = node_loads[group[i]];
-    const double best_load = node_loads[group[best]];
-    if (load < best_load) {
-      best = i;
-      tie_count = 1;
-    } else if (load == best_load) {
-      // Reservoir-style uniform tie break without a second pass.
-      ++tie_count;
-      if (rng.uniform_u64(tie_count) == 0) {
-        best = i;
-      }
-    }
-  }
-  return best;
+  return least_loaded_pick(group, node_loads, rng);
 }
 
 std::size_t PinnedLeastLoadedSelector::select(KeyId key,

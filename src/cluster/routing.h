@@ -64,6 +64,32 @@ class RoundRobinSelector final : public ReplicaSelector {
   std::unordered_map<KeyId, std::uint32_t> counters_;
 };
 
+/// The least-loaded pick shared by LeastLoadedSelector and the rate
+/// simulator's indexed fast path. Both must consume the RNG identically —
+/// tie-breaks draw from `rng` — so the fast path stays bit-identical to the
+/// virtual-dispatch path. Returns the index into `group` of the least-loaded
+/// member, ties broken uniformly at random (reservoir-style, one pass).
+inline std::size_t least_loaded_pick(std::span<const NodeId> group,
+                                     std::span<const double> node_loads,
+                                     Rng& rng) noexcept {
+  std::size_t best = 0;
+  std::size_t tie_count = 1;
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const double load = node_loads[group[i]];
+    const double best_load = node_loads[group[best]];
+    if (load < best_load) {
+      best = i;
+      tie_count = 1;
+    } else if (load == best_load) {
+      ++tie_count;
+      if (rng.uniform_u64(tie_count) == 0) {
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
 /// Least-loaded replica (power of d choices), ties broken uniformly at
 /// random. This is the paper's analytical model: sending each key to the
 /// least-loaded member of its group.

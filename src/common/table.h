@@ -27,6 +27,11 @@ class TextTable {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Structured access for machine-readable mirrors (CSV is built in; the
+  /// bench harness renders JSON series from these).
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<Cell>>& rows() const noexcept { return rows_; }
+
   /// Renders with column alignment and a header underline.
   std::string render() const;
   void print(std::ostream& os) const;

@@ -12,22 +12,51 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
                                const QueryDistribution& distribution,
                                ReplicaSelector& selector,
                                const EventSimConfig& config) {
+  return simulate_events(cluster, cache, distribution, selector, config,
+                         nullptr, nullptr);
+}
+
+EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
+                               const QueryDistribution& distribution,
+                               ReplicaSelector& selector,
+                               const EventSimConfig& config,
+                               const PlacementIndex* index,
+                               EventSimScratch* scratch) {
   SCP_CHECK(config.query_rate > 0.0);
   SCP_CHECK(config.duration_s > 0.0);
   SCP_CHECK_MSG(config.queue_capacity >= 1, "need at least one queue slot");
+  const std::uint32_t n = cluster.node_count();
+  const std::uint32_t d = cluster.replication();
+  const bool table_backed = index != nullptr && index->materialized();
+  if (index != nullptr) {
+    SCP_CHECK_MSG(
+        index->replication() == d && index->node_count() == n,
+        "placement index topology must match the cluster");
+    SCP_CHECK_MSG(!index->materialized() ||
+                      index->keys() >= distribution.support_size(),
+                  "placement index must cover the distribution's support");
+  }
   cluster.reset_accounting();
   selector.reset();
   cache.clear();
 
-  const std::uint32_t n = cluster.node_count();
-  const std::uint32_t d = cluster.replication();
-  std::vector<NodeId> group(d);
+  EventSimScratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
+  }
+  scratch->group.resize(d);
+  std::span<NodeId> group(scratch->group);
 
   // Per-node fluid queue state, advanced lazily to each arrival time.
-  std::vector<double> backlog(n, 0.0);       // queries waiting/being served
-  std::vector<double> last_update(n, 0.0);   // sim time of last drain
-  std::vector<double> backlog_as_load(n, 0.0);  // selector's view
-  std::vector<double> served_total(n, 0.0);
+  scratch->backlog.assign(n, 0.0);       // queries waiting/being served
+  scratch->last_update.assign(n, 0.0);   // sim time of last drain
+  scratch->backlog_as_load.assign(n, 0.0);  // selector's view
+  scratch->served_total.assign(n, 0.0);
+  std::vector<double>& backlog = scratch->backlog;
+  std::vector<double>& last_update = scratch->last_update;
+  std::vector<double>& backlog_as_load = scratch->backlog_as_load;
+  std::vector<double>& served_total = scratch->served_total;
+  const NodeId* table = table_backed ? index->group(0) : nullptr;
 
   auto drain = [&](NodeId node, double now) {
     const BackendNode& state = cluster.node(node);
@@ -62,13 +91,19 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
       result.wait_us.record(0);
       continue;
     }
-    cluster.replica_group(q.key, std::span<NodeId>(group));
-    for (const NodeId node : group) {
-      drain(node, q.time);
+    const NodeId* row;
+    if (table != nullptr) {
+      row = table + q.key * d;
+    } else {
+      cluster.replica_group(q.key, group);
+      row = group.data();
+    }
+    for (std::uint32_t j = 0; j < d; ++j) {
+      drain(row[j], q.time);
     }
     const std::size_t pick = selector.select(
-        q.key, std::span<const NodeId>(group), backlog_as_load, route_rng);
-    const NodeId target = group[pick];
+        q.key, std::span<const NodeId>(row, d), backlog_as_load, route_rng);
+    const NodeId target = row[pick];
     ++result.backend_arrivals;
     ++result.node_arrivals[target];
     cluster.node(target).record_arrival();
@@ -109,11 +144,11 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
         static_cast<std::uint64_t>(std::llround(served_total[id])));
   }
 
-  std::vector<double> arrivals_d(n);
+  scratch->arrivals_d.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    arrivals_d[i] = static_cast<double>(result.node_arrivals[i]);
+    scratch->arrivals_d[i] = static_cast<double>(result.node_arrivals[i]);
   }
-  result.arrival_metrics = compute_load_metrics(arrivals_d);
+  result.arrival_metrics = compute_load_metrics(scratch->arrivals_d);
   if (result.total_queries > 0) {
     result.normalized_max_arrivals = normalized_against(
         result.arrival_metrics.max, static_cast<double>(result.total_queries),

@@ -15,6 +15,7 @@
 
 #include "cache/cache.h"
 #include "cluster/cluster.h"
+#include "cluster/placement_index.h"
 #include "cluster/routing.h"
 #include "common/histogram.h"
 #include "sim/metrics.h"
@@ -48,11 +49,35 @@ struct EventSimResult {
   EventSimResult() : wait_us(5) {}
 };
 
+/// Reusable per-worker buffers for repeated simulate_events calls — the
+/// per-node queue state and the replica-group buffer, so Monte-Carlo loops
+/// over event trials allocate nothing per trial.
+struct EventSimScratch {
+  std::vector<NodeId> group;
+  std::vector<double> backlog;
+  std::vector<double> last_update;
+  std::vector<double> backlog_as_load;
+  std::vector<double> served_total;
+  std::vector<double> arrivals_d;
+};
+
 /// Runs one event simulation. Nodes must have a capacity limit
 /// (BackendNode::has_capacity_limit()) for queueing to be meaningful.
 EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
                                const QueryDistribution& distribution,
                                ReplicaSelector& selector,
                                const EventSimConfig& config);
+
+/// Fast-path overload, mirroring the rate simulator's: identical results,
+/// but replica groups are read from `index` (when non-null and
+/// materialized) instead of per-query virtual hashing, and all per-node
+/// state lives in `scratch` (when non-null). Pass nullptr for either to
+/// fall back gracefully.
+EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
+                               const QueryDistribution& distribution,
+                               ReplicaSelector& selector,
+                               const EventSimConfig& config,
+                               const PlacementIndex* index,
+                               EventSimScratch* scratch);
 
 }  // namespace scp

@@ -1,7 +1,6 @@
 #include "sim/rate_sim.h"
 
 #include <algorithm>
-
 #include <numeric>
 
 #include "common/check.h"
@@ -9,15 +8,52 @@
 
 namespace scp {
 
-RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
-                             const QueryDistribution& distribution,
-                             ReplicaSelector& selector,
-                             const RateSimConfig& config) {
+namespace {
+
+void check_config(const RateSimConfig& config,
+                  const QueryDistribution& distribution) {
   SCP_CHECK(config.query_rate > 0.0);
   if (config.cost_model != nullptr) {
     SCP_CHECK_MSG(config.cost_model->size() == distribution.size(),
                   "cost model key space must match the distribution");
   }
+}
+
+/// Shared result assembly: metrics, normalization and cluster accounting
+/// from the finished per-node load vector.
+void finalize_result(RateSimResult& result, Cluster& cluster,
+                     const RateSimConfig& config, double effective_total,
+                     std::span<const double> loads) {
+  for (NodeId id = 0; id < cluster.node_count(); ++id) {
+    cluster.node(id).add_offered_rate(loads[id]);
+  }
+  result.metrics = compute_load_metrics(result.node_loads);
+  // With a cost model, normalize against the effective (cost-weighted)
+  // total demand; under uniform cost this is exactly R.
+  const double demand =
+      config.cost_model != nullptr ? effective_total : config.query_rate;
+  result.backend_rate = demand - result.cache_rate;
+  result.cache_hit_ratio = demand > 0.0 ? result.cache_rate / demand : 0.0;
+  result.normalized_max_load =
+      demand > 0.0
+          ? normalized_against(result.metrics.max, demand, cluster.node_count())
+          : 0.0;
+  result.saturated_nodes = cluster.saturated_node_count();
+  for (const BackendNode& node : cluster.nodes()) {
+    if (node.has_capacity_limit()) {
+      result.max_utilization = std::max(
+          result.max_utilization, node.offered_rate() / node.capacity_qps());
+    }
+  }
+}
+
+}  // namespace
+
+RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
+                             const QueryDistribution& distribution,
+                             ReplicaSelector& selector,
+                             const RateSimConfig& config) {
+  check_config(config, distribution);
   cluster.reset_accounting();
   selector.reset();
   Rng rng(config.seed);
@@ -61,29 +97,159 @@ RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
     }
   }
 
-  for (NodeId id = 0; id < cluster.node_count(); ++id) {
-    cluster.node(id).add_offered_rate(loads[id]);
+  result.node_loads = std::move(loads);
+  finalize_result(result, cluster, config, effective_total,
+                  result.node_loads);
+  return result;
+}
+
+RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
+                             const QueryDistribution& distribution,
+                             ReplicaSelector& selector,
+                             const RateSimConfig& config,
+                             const PlacementIndex* index,
+                             RateSimScratch* scratch) {
+  check_config(config, distribution);
+  const std::uint32_t d = cluster.replication();
+  const std::uint64_t support = distribution.support_size();
+  const bool table_backed =
+      index != nullptr && index->materialized() && support > 0;
+  if (index != nullptr) {
+    SCP_CHECK_MSG(index->replication() == d &&
+                      index->node_count() == cluster.node_count(),
+                  "placement index topology must match the cluster");
+    SCP_CHECK_MSG(!index->materialized() || index->keys() >= support,
+                  "placement index must cover the distribution's support");
+  }
+  cluster.reset_accounting();
+  selector.reset();
+
+  RateSimScratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
   }
 
-  result.node_loads = std::move(loads);
-  result.metrics = compute_load_metrics(result.node_loads);
-  // With a cost model, normalize against the effective (cost-weighted)
-  // total demand; under uniform cost this is exactly R.
-  const double demand =
-      config.cost_model != nullptr ? effective_total : config.query_rate;
-  result.backend_rate = demand - result.cache_rate;
-  result.cache_hit_ratio = demand > 0.0 ? result.cache_rate / demand : 0.0;
-  result.normalized_max_load =
-      demand > 0.0
-          ? normalized_against(result.metrics.max, demand, cluster.node_count())
-          : 0.0;
-  result.saturated_nodes = cluster.saturated_node_count();
-  for (const BackendNode& node : cluster.nodes()) {
-    if (node.has_capacity_limit()) {
-      result.max_utilization = std::max(
-          result.max_utilization, node.offered_rate() / node.capacity_qps());
+  // Shuffled placement order, memoized by (seed, support): restoring the
+  // post-shuffle RNG state makes the reuse invisible to the selector's
+  // tie-breaks, so results stay bit-identical to a fresh shuffle.
+  Rng rng(config.seed);
+  if (scratch->has_order && scratch->order_seed == config.seed &&
+      scratch->order_support == support) {
+    rng = scratch->post_shuffle_rng;
+  } else {
+    scratch->order.resize(support);
+    std::iota(scratch->order.begin(), scratch->order.end(), 0);
+    rng.shuffle(std::span<std::uint64_t>(scratch->order));
+    scratch->has_order = true;
+    scratch->order_seed = config.seed;
+    scratch->order_support = support;
+    scratch->post_shuffle_rng = rng;
+    // The order-major memos below were gathered under the old order.
+    scratch->rows_index_id = 0;
+    scratch->rates_distribution = nullptr;
+  }
+
+  // Gather the placement-table rows into order-major layout once per
+  // (order, index); every simulation over this support then streams rows
+  // sequentially instead of hopping through the table in shuffle order.
+  const NodeId* rows = nullptr;
+  if (table_backed) {
+    if (scratch->rows_index_id != index->id()) {
+      const NodeId* table = index->group(0);
+      scratch->ordered_rows.resize(support * d);
+      NodeId* out = scratch->ordered_rows.data();
+      for (const std::uint64_t key : scratch->order) {
+        const NodeId* row = table + key * d;
+        for (std::uint32_t j = 0; j < d; ++j) {
+          out[j] = row[j];
+        }
+        out += d;
+      }
+      scratch->rows_index_id = index->id();
+    }
+    rows = scratch->ordered_rows.data();
+  }
+
+  // Effective per-key rates in the same order-major layout, folding in the
+  // cost model; the product order matches the legacy path exactly
+  // ((p · R) · cost). Memoized per (distribution, R, cost model): sweep
+  // points that revisit the same workload — e.g. x = m at every cache size —
+  // skip the gather.
+  if (scratch->rates_distribution != &distribution ||
+      scratch->rates_query_rate != config.query_rate ||
+      scratch->rates_cost_model != config.cost_model) {
+    scratch->ordered_rates.resize(support);
+    const std::span<const double> p = distribution.probabilities();
+    double* out = scratch->ordered_rates.data();
+    if (config.cost_model != nullptr) {
+      for (const std::uint64_t key : scratch->order) {
+        *out++ = p[key] * config.query_rate * config.cost_model->cost(key);
+      }
+    } else {
+      for (const std::uint64_t key : scratch->order) {
+        *out++ = p[key] * config.query_rate;
+      }
+    }
+    scratch->rates_distribution = &distribution;
+    scratch->rates_query_rate = config.query_rate;
+    scratch->rates_cost_model = config.cost_model;
+  }
+
+  scratch->loads.assign(cluster.node_count(), 0.0);
+  scratch->group.resize(d);
+  std::vector<double>& loads = scratch->loads;
+  const double* rates = scratch->ordered_rates.data();
+  const std::uint64_t* order = scratch->order.data();
+
+  const std::optional<std::uint64_t> prefix = cache.cached_prefix();
+  const bool has_prefix = prefix.has_value();
+  const std::uint64_t prefix_end = prefix.value_or(0);
+
+  const bool split = selector.splits_evenly();
+  // Devirtualize the paper's balls-into-bins selector: least_loaded_pick is
+  // the same inline routine LeastLoadedSelector::select runs.
+  const bool least_loaded =
+      !split && dynamic_cast<LeastLoadedSelector*>(&selector) != nullptr;
+
+  RateSimResult result;
+  double effective_total = 0.0;
+  for (std::uint64_t i = 0; i < support; ++i) {
+    const double rate = rates[i];
+    if (rate <= 0.0) {
+      continue;
+    }
+    effective_total += rate;
+    const std::uint64_t key = order[i];
+    if (has_prefix ? key < prefix_end : cache.contains(key)) {
+      result.cache_rate += rate;
+      continue;
+    }
+    const NodeId* row;
+    if (rows != nullptr) {
+      row = rows + i * d;
+    } else {
+      cluster.replica_group(key, std::span<NodeId>(scratch->group));
+      row = scratch->group.data();
+    }
+    if (split) {
+      const double share = rate / static_cast<double>(d);
+      for (std::uint32_t j = 0; j < d; ++j) {
+        loads[row[j]] += share;
+      }
+    } else if (least_loaded) {
+      const std::size_t pick =
+          least_loaded_pick(std::span<const NodeId>(row, d), loads, rng);
+      loads[row[pick]] += rate;
+    } else {
+      const std::size_t pick =
+          selector.select(key, std::span<const NodeId>(row, d), loads, rng);
+      loads[row[pick]] += rate;
     }
   }
+
+  result.node_loads = loads;  // copy: scratch keeps its buffer for reuse
+  finalize_result(result, cluster, config, effective_total,
+                  result.node_loads);
   return result;
 }
 

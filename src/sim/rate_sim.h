@@ -14,7 +14,9 @@
 
 #include "cache/cache.h"
 #include "cluster/cluster.h"
+#include "cluster/placement_index.h"
 #include "cluster/routing.h"
+#include "common/rng.h"
 #include "sim/metrics.h"
 #include "workload/cost_model.h"
 #include "workload/distribution.h"
@@ -48,11 +50,62 @@ struct RateSimResult {
   double max_utilization = 0.0;
 };
 
+/// Reusable buffers for repeated simulate_rates calls. One scratch per
+/// worker thread removes every per-trial allocation from the hot loop, and
+/// three memos turn the placement loop into purely sequential reads:
+///
+///  - `order`, the shuffled key order, memoized by (seed, support size);
+///    restoring `post_shuffle_rng` keeps reuse bit-identical to reshuffling.
+///  - `ordered_rows`, the placement-table rows laid out in `order`-major
+///    sequence, memoized per placement index — gathered once per (trial,
+///    support), then every sweep point streams them contiguously.
+///  - `ordered_rates`, the effective per-key rates in the same layout,
+///    memoized per (distribution, query rate, cost model) — the x = m point
+///    repeated at every cache size pays the gather once.
+///
+/// The memo keys identify the distribution and cost model by address; the
+/// caller must keep those objects alive and unchanged while reusing a
+/// scratch (the benches' pattern maps and GainSweep do).
+struct RateSimScratch {
+  std::vector<std::uint64_t> order;   ///< shuffled placement order
+  std::vector<double> loads;          ///< per-node offered rates
+  std::vector<NodeId> ordered_rows;   ///< replica groups, order-major
+  std::vector<double> ordered_rates;  ///< effective rates, order-major
+  std::vector<NodeId> group;          ///< fallback replica-group buffer
+
+  // Memoized shuffle: `order` holds the permutation for
+  // (order_seed, order_support) and `post_shuffle_rng` the generator state
+  // right after producing it. The dependent memos below are only valid
+  // while the order they were gathered under is.
+  bool has_order = false;
+  std::uint64_t order_seed = 0;
+  std::uint64_t order_support = 0;
+  Rng post_shuffle_rng{0};
+
+  std::uint64_t rows_index_id = 0;  ///< PlacementIndex::id(), 0 = invalid
+  const void* rates_distribution = nullptr;
+  const void* rates_cost_model = nullptr;
+  double rates_query_rate = 0.0;
+};
+
 /// Runs one rate simulation. Resets the cluster's accounting first and
 /// leaves the offered rates of this run on the cluster's nodes.
 RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
                              const QueryDistribution& distribution,
                              ReplicaSelector& selector,
                              const RateSimConfig& config);
+
+/// Fast-path overload: same semantics and bit-identical results, but
+/// placement comes from `index` (when non-null and materialized) instead of
+/// per-key virtual hashing, and all working memory lives in `scratch` (when
+/// non-null) so repeated trials allocate nothing. `index` must be built from
+/// the cluster's own partitioner and cover at least the distribution's
+/// support; pass nullptr for either argument to fall back gracefully.
+RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
+                             const QueryDistribution& distribution,
+                             ReplicaSelector& selector,
+                             const RateSimConfig& config,
+                             const PlacementIndex* index,
+                             RateSimScratch* scratch);
 
 }  // namespace scp

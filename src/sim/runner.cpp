@@ -27,7 +27,7 @@ std::uint64_t ExperimentRunner::trial_seed(std::uint32_t index) const {
 }
 
 std::vector<double> ExperimentRunner::run_parallel(
-    const std::function<double(std::uint64_t)>& trial) const {
+    const std::function<double(std::uint32_t, std::uint64_t)>& trial) const {
   // Work stealing by atomic index: each worker claims the next trial and
   // writes to its own slot, so ordering (and therefore aggregation) is
   // independent of scheduling.
@@ -39,7 +39,7 @@ std::vector<double> ExperimentRunner::run_parallel(
       if (index >= trials_) {
         return;
       }
-      values[index] = trial(trial_seed(index));
+      values[index] = trial(index, trial_seed(index));
     }
   };
   std::vector<std::thread> pool;
@@ -51,11 +51,17 @@ std::vector<double> ExperimentRunner::run_parallel(
   for (std::thread& t : pool) {
     t.join();
   }
+  // Per-trial progress from inside the workers would interleave; emit one
+  // final summary line instead so parallel sweeps are not silent.
+  if (!progress_label_.empty()) {
+    SCP_LOG_INFO << progress_label_ << ": " << trials_ << "/" << trials_
+                 << " trials (parallel, " << workers << " threads)";
+  }
   return values;
 }
 
-std::vector<double> ExperimentRunner::run(
-    const std::function<double(std::uint64_t)>& trial) const {
+std::vector<double> ExperimentRunner::run_indexed(
+    const std::function<double(std::uint32_t, std::uint64_t)>& trial) const {
   SCP_CHECK(static_cast<bool>(trial));
   if (threads_ > 1) {
     return run_parallel(trial);
@@ -64,13 +70,21 @@ std::vector<double> ExperimentRunner::run(
   values.reserve(trials_);
   const std::uint32_t report_every = std::max(1U, trials_ / 4);
   for (std::uint32_t t = 0; t < trials_; ++t) {
-    values.push_back(trial(trial_seed(t)));
-    if (!progress_label_.empty() && (t + 1) % report_every == 0) {
+    values.push_back(trial(t, trial_seed(t)));
+    if (!progress_label_.empty() &&
+        ((t + 1) % report_every == 0 || t + 1 == trials_)) {
       SCP_LOG_INFO << progress_label_ << ": " << (t + 1) << "/" << trials_
                    << " trials";
     }
   }
   return values;
+}
+
+std::vector<double> ExperimentRunner::run(
+    const std::function<double(std::uint64_t)>& trial) const {
+  SCP_CHECK(static_cast<bool>(trial));
+  return run_indexed(
+      [&trial](std::uint32_t, std::uint64_t seed) { return trial(seed); });
 }
 
 Summary ExperimentRunner::run_summary(

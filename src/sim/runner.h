@@ -33,6 +33,12 @@ class ExperimentRunner {
   std::vector<double> run(
       const std::function<double(std::uint64_t)>& trial) const;
 
+  /// Like run(), but the callback also receives the trial index — for
+  /// workers that look up per-trial shared state (e.g. a prebuilt placement
+  /// index) instead of re-deriving it from the seed.
+  std::vector<double> run_indexed(
+      const std::function<double(std::uint32_t, std::uint64_t)>& trial) const;
+
   /// run() + summarize().
   Summary run_summary(const std::function<double(std::uint64_t)>& trial) const;
 
@@ -43,7 +49,7 @@ class ExperimentRunner {
 
  private:
   std::vector<double> run_parallel(
-      const std::function<double(std::uint64_t)>& trial) const;
+      const std::function<double(std::uint32_t, std::uint64_t)>& trial) const;
 
   std::uint64_t base_seed_;
   std::uint32_t trials_;

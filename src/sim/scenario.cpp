@@ -1,7 +1,10 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "adversary/knowledge.h"
@@ -59,6 +62,108 @@ GainStatistics measure_adversarial_gain(const ScenarioConfig& config,
   const QueryDistribution distribution =
       QueryDistribution::uniform_over(x, config.params.items);
   return measure_gain(config, distribution, trials, base_seed);
+}
+
+GainSweep::GainSweep(ScenarioConfig config, std::uint32_t trials,
+                     std::uint64_t base_seed, Options options)
+    : config_(std::move(config)),
+      trials_(trials),
+      base_seed_(base_seed),
+      options_(options) {
+  SCP_CHECK_MSG(trials_ >= 1, "need at least one trial");
+  SCP_CHECK_MSG(options_.threads >= 1, "need at least one thread");
+  config_.params.check();
+}
+
+std::vector<GainStatistics> GainSweep::run(
+    std::span<const Point> points) const {
+  for (const Point& point : points) {
+    SCP_CHECK_MSG(point.distribution != nullptr, "point needs a distribution");
+    SCP_CHECK_MSG(point.distribution->size() == config_.params.items,
+                  "distribution key space must match params.items");
+  }
+
+  // Per-point caches are immutable (the perfect oracle's contents are its
+  // definition), so one instance is shared read-only by every trial.
+  std::vector<PerfectCache> caches;
+  caches.reserve(points.size());
+  for (const Point& point : points) {
+    caches.emplace_back(point.cache_size, *point.distribution);
+  }
+
+  // Evaluate points grouped by distribution (stably, so same-workload
+  // points stay in input order). Each point's simulation is independent —
+  // per-sim selector reset, seed fixed per trial — so evaluation order
+  // cannot change results, but grouping maximizes the scratch memo hits:
+  // the shuffled order, order-major placement rows and order-major rates
+  // are all reused across every point that shares a workload (e.g. the
+  // x = m pattern at each cache size) instead of being rebuilt when
+  // supports alternate.
+  std::vector<std::size_t> eval_order(points.size());
+  std::iota(eval_order.begin(), eval_order.end(), 0);
+  std::stable_sort(eval_order.begin(), eval_order.end(),
+                   [&points](std::size_t a, std::size_t b) {
+                     return std::less<const QueryDistribution*>{}(
+                         points[a].distribution, points[b].distribution);
+                   });
+
+  // values[point][trial], written by trial index so aggregation (and hence
+  // the result) is independent of thread scheduling.
+  std::vector<std::vector<double>> values(
+      points.size(), std::vector<double>(trials_, 0.0));
+  std::atomic<std::uint32_t> next{0};
+  const auto worker = [&] {
+    auto selector = make_selector(config_.selector);
+    RateSimScratch scratch;
+    while (true) {
+      const std::uint32_t t = next.fetch_add(1);
+      if (t >= trials_) {
+        return;
+      }
+      const std::uint64_t trial_seed = derive_seed(base_seed_, 1000 + t);
+      Cluster cluster(make_partitioner(
+          config_.partitioner, config_.params.nodes,
+          config_.params.replication, derive_seed(trial_seed, 1)));
+      const PlacementIndex index(cluster.partitioner(), config_.params.items,
+                                 options_.index_memory_budget);
+      RateSimConfig sim_config;
+      sim_config.query_rate = config_.params.query_rate;
+      sim_config.seed = derive_seed(trial_seed, 2);
+      for (const std::size_t p : eval_order) {
+        values[p][t] =
+            simulate_rates(cluster, caches[p], *points[p].distribution,
+                           *selector, sim_config, &index, &scratch)
+                .normalized_max_load;
+      }
+    }
+  };
+
+  const std::uint32_t workers = std::min(options_.threads, trials_);
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t t = 0; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  std::vector<GainStatistics> stats(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    stats[p].summary = summarize(values[p]);
+    stats[p].max_gain = stats[p].summary.max;
+  }
+  return stats;
+}
+
+GainStatistics GainSweep::run_one(const QueryDistribution& distribution,
+                                  std::uint64_t cache_size) const {
+  const Point point{&distribution, cache_size};
+  return run(std::span<const Point>(&point, 1)).front();
 }
 
 TargetedAttackResult knowledge_attack_trial(const ScenarioConfig& config,

@@ -4,9 +4,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "adversary/bounds.h"
+#include "cluster/placement_index.h"
 #include "common/stats.h"
 #include "workload/distribution.h"
 
@@ -45,6 +48,64 @@ GainStatistics measure_gain(const ScenarioConfig& config,
 GainStatistics measure_adversarial_gain(const ScenarioConfig& config,
                                         std::uint64_t x, std::uint32_t trials,
                                         std::uint64_t base_seed);
+
+/// Shared-placement gain sweeps — the figure benches' hot path.
+///
+/// measure_gain() rebuilds the random partition for every (sweep point,
+/// trial) pair, recomputing key placement millions of times. A GainSweep
+/// instead builds each trial's partition once — a fresh cluster plus a
+/// PlacementIndex over the whole key space — and evaluates *every* sweep
+/// point against it, so a whole figure costs one placement build per trial.
+/// Reusing the same Monte-Carlo partitions across sweep points additionally
+/// pairs the points (common random numbers), which lowers the variance of
+/// point-to-point comparisons.
+///
+/// Seed convention: trial t uses trial_seed = derive_seed(base_seed,
+/// 1000 + t), partition seed derive_seed(trial_seed, 1) and simulation seed
+/// derive_seed(trial_seed, 2) — exactly gain_trial's derivation, so a
+/// one-point sweep reproduces measure_gain bit-for-bit.
+struct GainSweepOptions {
+  /// Worker threads; trials are distributed work-stealing style and
+  /// results are written by trial index, so output is thread-count
+  /// independent (bit-identical).
+  std::uint32_t threads = 1;
+  /// Placement-table budget per in-flight trial; over budget the sweep
+  /// transparently falls back to on-the-fly hashing.
+  std::uint64_t index_memory_budget = PlacementIndex::kDefaultMemoryBudget;
+};
+
+class GainSweep {
+ public:
+  /// One sweep point: a workload (non-owning; must outlive run()) evaluated
+  /// at a cache size. The distribution's key space must equal params.items.
+  struct Point {
+    const QueryDistribution* distribution = nullptr;
+    std::uint64_t cache_size = 0;
+  };
+
+  using Options = GainSweepOptions;
+
+  GainSweep(ScenarioConfig config, std::uint32_t trials,
+            std::uint64_t base_seed, Options options = {});
+
+  /// Evaluates every point against every trial partition; returns one
+  /// GainStatistics per point, in input order.
+  std::vector<GainStatistics> run(std::span<const Point> points) const;
+
+  /// Single-point convenience (equivalent to measure_gain).
+  GainStatistics run_one(const QueryDistribution& distribution,
+                         std::uint64_t cache_size) const;
+
+  std::uint32_t trials() const noexcept { return trials_; }
+  std::uint64_t base_seed() const noexcept { return base_seed_; }
+  const ScenarioConfig& config() const noexcept { return config_; }
+
+ private:
+  ScenarioConfig config_;
+  std::uint32_t trials_;
+  std::uint64_t base_seed_;
+  Options options_;
+};
 
 /// Outcome of one partial-knowledge (targeted) attack trial.
 struct TargetedAttackResult {

@@ -151,6 +151,31 @@ TEST(EventSim, UnlimitedCapacityNodesNeverQueue) {
   EXPECT_EQ(r.wait_us.max(), 0u);
 }
 
+TEST(EventSim, IndexedFastPathBitIdenticalToLegacy) {
+  const auto d = QueryDistribution::zipf(2000, 1.05);
+  const auto partitioner = make_partitioner("ring", 20, 3, 6);
+  const PlacementIndex index(*partitioner, 2000);
+  EventSimScratch scratch;
+  for (const char* selector_kind : {"least-loaded", "random", "pinned"}) {
+    Cluster legacy_cluster(make_partitioner("ring", 20, 3, 6), 500.0);
+    Cluster fast_cluster(make_partitioner("ring", 20, 3, 6), 500.0);
+    PerfectCache cache(100, d);
+    auto legacy_selector = make_selector(selector_kind);
+    auto fast_selector = make_selector(selector_kind);
+    const EventSimConfig config = config_with(5000.0, 1.0, 50, 9);
+    const EventSimResult legacy = simulate_events(
+        legacy_cluster, cache, d, *legacy_selector, config);
+    const EventSimResult fast = simulate_events(
+        fast_cluster, cache, d, *fast_selector, config, &index, &scratch);
+    EXPECT_EQ(fast.node_arrivals, legacy.node_arrivals) << selector_kind;
+    EXPECT_EQ(fast.total_queries, legacy.total_queries) << selector_kind;
+    EXPECT_EQ(fast.cache_hits, legacy.cache_hits) << selector_kind;
+    EXPECT_EQ(fast.dropped, legacy.dropped) << selector_kind;
+    EXPECT_EQ(fast.normalized_max_arrivals, legacy.normalized_max_arrivals)
+        << selector_kind;
+  }
+}
+
 TEST(EventSim, ArrivalImbalanceReflectsAttack) {
   // Single uncached hot key → only its replica group (3 of 20 nodes) gets
   // traffic. With idle queues, least-loaded tie-breaks spread it evenly over

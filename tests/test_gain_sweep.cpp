@@ -1,0 +1,110 @@
+#include "sim/scenario.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/distribution.h"
+
+namespace scp {
+namespace {
+
+ScenarioConfig small_config(std::uint64_t cache_size,
+                            const char* partitioner = "hash",
+                            const char* selector = "least-loaded") {
+  ScenarioConfig config;
+  config.params.nodes = 40;
+  config.params.replication = 3;
+  config.params.items = 2000;
+  config.params.cache_size = cache_size;
+  config.params.query_rate = 5000.0;
+  config.partitioner = partitioner;
+  config.selector = selector;
+  return config;
+}
+
+TEST(GainSweep, RunOneReproducesMeasureGainBitForBit) {
+  const auto d = QueryDistribution::uniform_over(300, 2000);
+  for (const char* partitioner : {"hash", "ring", "rendezvous"}) {
+    for (const char* selector : {"least-loaded", "random", "round-robin"}) {
+      const ScenarioConfig config = small_config(100, partitioner, selector);
+      const GainStatistics reference = measure_gain(config, d, 8, 12345);
+      const GainSweep sweep(config, 8, 12345);
+      const GainStatistics got = sweep.run_one(d, 100);
+      ASSERT_EQ(got.max_gain, reference.max_gain)
+          << partitioner << "/" << selector;
+      ASSERT_EQ(got.summary.mean, reference.summary.mean)
+          << partitioner << "/" << selector;
+      ASSERT_EQ(got.summary.stddev, reference.summary.stddev);
+      ASSERT_EQ(got.summary.min, reference.summary.min);
+      ASSERT_EQ(got.summary.max, reference.summary.max);
+    }
+  }
+}
+
+TEST(GainSweep, PointResultsIndependentOfBatching) {
+  // Evaluating a point alongside others must give the same statistics as
+  // evaluating it alone — sweep points share partitions but not state.
+  const auto a = QueryDistribution::uniform_over(101, 2000);
+  const auto b = QueryDistribution::uniform_over(500, 2000);
+  const auto c = QueryDistribution::zipf(2000, 1.05);
+  const GainSweep sweep(small_config(100), 6, 777);
+  const std::vector<GainSweep::Point> batch = {
+      {&a, 100}, {&b, 100}, {&c, 100}, {&b, 50}};
+  const std::vector<GainStatistics> batched = sweep.run(batch);
+  ASSERT_EQ(batched.size(), 4u);
+  const GainStatistics alone_b = sweep.run_one(b, 100);
+  EXPECT_EQ(batched[1].max_gain, alone_b.max_gain);
+  EXPECT_EQ(batched[1].summary.mean, alone_b.summary.mean);
+  const GainStatistics alone_b50 = sweep.run_one(b, 50);
+  EXPECT_EQ(batched[3].max_gain, alone_b50.max_gain);
+}
+
+TEST(GainSweep, UnmaterializedBudgetBitIdentical) {
+  const auto d = QueryDistribution::uniform_over(300, 2000);
+  const ScenarioConfig config = small_config(100, "ring");
+  const GainSweep fast(config, 6, 99);
+  GainSweep::Options no_table;
+  no_table.index_memory_budget = 0;  // force the on-the-fly fallback
+  const GainSweep fallback(config, 6, 99, no_table);
+  const GainStatistics x = fast.run_one(d, 100);
+  const GainStatistics y = fallback.run_one(d, 100);
+  EXPECT_EQ(x.max_gain, y.max_gain);
+  EXPECT_EQ(x.summary.mean, y.summary.mean);
+}
+
+TEST(GainSweep, ParallelBitIdenticalToSerial) {
+  const auto a = QueryDistribution::uniform_over(101, 2000);
+  const auto b = QueryDistribution::zipf(2000, 1.05);
+  const std::vector<GainSweep::Point> points = {{&a, 100}, {&b, 100}};
+  const ScenarioConfig config = small_config(100);
+  GainSweep::Options serial;
+  serial.threads = 1;
+  GainSweep::Options parallel;
+  parallel.threads = 8;
+  const std::vector<GainStatistics> s =
+      GainSweep(config, 16, 2024, serial).run(points);
+  const std::vector<GainStatistics> p =
+      GainSweep(config, 16, 2024, parallel).run(points);
+  ASSERT_EQ(s.size(), p.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].max_gain, p[i].max_gain) << i;
+    EXPECT_EQ(s[i].summary.mean, p[i].summary.mean) << i;
+    EXPECT_EQ(s[i].summary.stddev, p[i].summary.stddev) << i;
+  }
+}
+
+TEST(GainSweep, AdversarialSweepMatchesMeasureAdversarialGain) {
+  const ScenarioConfig config = small_config(100);
+  const std::uint64_t x = 101;
+  const GainStatistics reference =
+      measure_adversarial_gain(config, x, 8, 31337);
+  const auto d = QueryDistribution::uniform_over(x, config.params.items);
+  const GainSweep sweep(config, 8, 31337);
+  const GainStatistics got = sweep.run_one(d, 100);
+  EXPECT_EQ(got.max_gain, reference.max_gain);
+  EXPECT_EQ(got.summary.mean, reference.summary.mean);
+}
+
+}  // namespace
+}  // namespace scp

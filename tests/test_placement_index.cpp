@@ -1,0 +1,230 @@
+#include "cluster/placement_index.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/perfect_cache.h"
+#include "cluster/cluster.h"
+#include "sim/rate_sim.h"
+#include "workload/distribution.h"
+
+namespace scp {
+namespace {
+
+TEST(PlacementIndex, MatchesPartitionerForEveryKind) {
+  for (const char* kind : {"hash", "ring", "rendezvous"}) {
+    const auto partitioner = make_partitioner(kind, 50, 3, 42);
+    const PlacementIndex index(*partitioner, 2000);
+    ASSERT_TRUE(index.materialized()) << kind;
+    EXPECT_EQ(index.keys(), 2000u);
+    EXPECT_EQ(index.replication(), 3u);
+    EXPECT_EQ(index.node_count(), 50u);
+    std::vector<NodeId> expected(3);
+    std::vector<NodeId> got(3);
+    for (KeyId key = 0; key < 2000; ++key) {
+      partitioner->replica_group(key, std::span<NodeId>(expected));
+      index.fill_group(key, std::span<NodeId>(got));
+      ASSERT_EQ(got, expected) << kind << " key " << key;
+      const NodeId* row = index.group(key);
+      for (std::size_t r = 0; r < 3; ++r) {
+        ASSERT_EQ(row[r], expected[r]) << kind << " key " << key;
+      }
+    }
+  }
+}
+
+TEST(PlacementIndex, OverBudgetFallsBackToPartitioner) {
+  const auto partitioner = make_partitioner("hash", 50, 3, 42);
+  const std::uint64_t keys = 2000;
+  // One byte short of the table: must stay unmaterialized but still answer.
+  const PlacementIndex index(*partitioner, keys,
+                             PlacementIndex::table_bytes(keys, 3) - 1);
+  EXPECT_FALSE(index.materialized());
+  EXPECT_EQ(index.memory_bytes(), 0u);
+  std::vector<NodeId> expected(3);
+  std::vector<NodeId> got(3);
+  for (KeyId key = 0; key < keys; key += 97) {
+    partitioner->replica_group(key, std::span<NodeId>(expected));
+    index.fill_group(key, std::span<NodeId>(got));
+    ASSERT_EQ(got, expected) << key;
+  }
+}
+
+TEST(PlacementIndex, TableBytesIsExact) {
+  EXPECT_EQ(PlacementIndex::table_bytes(1000, 3), 1000u * 3 * sizeof(NodeId));
+  const auto partitioner = make_partitioner("hash", 10, 2, 1);
+  const PlacementIndex index(*partitioner, 100);
+  EXPECT_EQ(index.memory_bytes(), PlacementIndex::table_bytes(100, 2));
+}
+
+// --- fast path ≡ legacy path ---------------------------------------------
+
+struct FastPathCase {
+  const char* partitioner;
+  const char* selector;
+};
+
+RateSimResult legacy_run(const char* partitioner_kind,
+                         const char* selector_kind,
+                         const QueryDistribution& d, std::uint64_t cache_size,
+                         std::uint64_t seed) {
+  Cluster cluster(make_partitioner(partitioner_kind, 40, 3, 7));
+  const PerfectCache cache(cache_size, d);
+  auto selector = make_selector(selector_kind);
+  RateSimConfig config;
+  config.query_rate = 5000.0;
+  config.seed = seed;
+  return simulate_rates(cluster, cache, d, *selector, config);
+}
+
+RateSimResult fast_run(const char* partitioner_kind, const char* selector_kind,
+                       const QueryDistribution& d, std::uint64_t cache_size,
+                       std::uint64_t seed, const PlacementIndex* index,
+                       RateSimScratch* scratch) {
+  Cluster cluster(make_partitioner(partitioner_kind, 40, 3, 7));
+  const PerfectCache cache(cache_size, d);
+  auto selector = make_selector(selector_kind);
+  RateSimConfig config;
+  config.query_rate = 5000.0;
+  config.seed = seed;
+  return simulate_rates(cluster, cache, d, *selector, config, index, scratch);
+}
+
+TEST(RateSimFastPath, BitIdenticalToLegacyAcrossPartitionersAndSelectors) {
+  const auto d = QueryDistribution::zipf(3000, 1.05);
+  for (const char* partitioner_kind : {"hash", "ring", "rendezvous"}) {
+    const auto partitioner = make_partitioner(partitioner_kind, 40, 3, 7);
+    const PlacementIndex index(*partitioner, 3000);
+    RateSimScratch scratch;
+    for (const char* selector_kind :
+         {"least-loaded", "random", "round-robin", "pinned"}) {
+      for (std::uint64_t seed : {1ull, 99ull, 424242ull}) {
+        const RateSimResult legacy =
+            legacy_run(partitioner_kind, selector_kind, d, 100, seed);
+        const RateSimResult fast = fast_run(partitioner_kind, selector_kind, d,
+                                            100, seed, &index, &scratch);
+        ASSERT_EQ(fast.node_loads, legacy.node_loads)
+            << partitioner_kind << "/" << selector_kind << " seed " << seed;
+        ASSERT_EQ(fast.normalized_max_load, legacy.normalized_max_load)
+            << partitioner_kind << "/" << selector_kind << " seed " << seed;
+        ASSERT_EQ(fast.cache_rate, legacy.cache_rate);
+        ASSERT_EQ(fast.backend_rate, legacy.backend_rate);
+        ASSERT_EQ(fast.metrics.max, legacy.metrics.max);
+      }
+    }
+  }
+}
+
+TEST(RateSimFastPath, UnmaterializedIndexStillBitIdentical) {
+  const auto d = QueryDistribution::uniform_over(500, 3000);
+  const auto partitioner = make_partitioner("ring", 40, 3, 7);
+  const PlacementIndex index(*partitioner, 3000, /*memory_budget_bytes=*/0);
+  ASSERT_FALSE(index.materialized());
+  RateSimScratch scratch;
+  const RateSimResult legacy = legacy_run("ring", "least-loaded", d, 100, 5);
+  const RateSimResult fast =
+      fast_run("ring", "least-loaded", d, 100, 5, &index, &scratch);
+  EXPECT_EQ(fast.node_loads, legacy.node_loads);
+  EXPECT_EQ(fast.normalized_max_load, legacy.normalized_max_load);
+}
+
+TEST(RateSimFastPath, NullIndexAndScratchMatchLegacy) {
+  const auto d = QueryDistribution::zipf(1000, 1.1);
+  const RateSimResult legacy = legacy_run("hash", "least-loaded", d, 50, 3);
+  const RateSimResult fast =
+      fast_run("hash", "least-loaded", d, 50, 3, nullptr, nullptr);
+  EXPECT_EQ(fast.node_loads, legacy.node_loads);
+}
+
+TEST(RateSimFastPath, ScratchReuseAcrossConfigsStaysCorrect) {
+  // Same scratch across different supports, seeds and cache sizes — the
+  // memoized shuffle must never leak one run's order into another.
+  RateSimScratch scratch;
+  const auto partitioner = make_partitioner("hash", 40, 3, 7);
+  const PlacementIndex index(*partitioner, 3000);
+  const auto a = QueryDistribution::uniform_over(101, 3000);
+  const auto b = QueryDistribution::uniform_over(2500, 3000);
+  const std::uint64_t seeds[] = {1, 2, 1, 3, 1};
+  for (const std::uint64_t seed : seeds) {
+    for (const auto* d : {&a, &b}) {
+      for (const std::uint64_t c : {0ull, 100ull}) {
+        const RateSimResult legacy =
+            legacy_run("hash", "least-loaded", *d, c, seed);
+        const RateSimResult fast = fast_run("hash", "least-loaded", *d, c,
+                                            seed, &index, &scratch);
+        ASSERT_EQ(fast.node_loads, legacy.node_loads)
+            << "support " << d->size() << " seed " << seed << " c " << c;
+      }
+    }
+  }
+}
+
+TEST(RateSimFastPath, MemoizedShuffleHitIsBitIdentical) {
+  // Second call with the same (seed, support) takes the memoized-order path;
+  // it must reproduce the fresh-shuffle run exactly (RNG state restored).
+  RateSimScratch scratch;
+  const auto partitioner = make_partitioner("hash", 40, 3, 7);
+  const PlacementIndex index(*partitioner, 3000);
+  const auto d = QueryDistribution::uniform_over(700, 3000);
+  const RateSimResult first =
+      fast_run("hash", "least-loaded", d, 100, 11, &index, &scratch);
+  ASSERT_TRUE(scratch.has_order);
+  const RateSimResult second =
+      fast_run("hash", "least-loaded", d, 100, 11, &index, &scratch);
+  EXPECT_EQ(first.node_loads, second.node_loads);
+  // And both match a scratch-free legacy run.
+  const RateSimResult legacy = legacy_run("hash", "least-loaded", d, 100, 11);
+  EXPECT_EQ(second.node_loads, legacy.node_loads);
+}
+
+// --- PerfectCache prefix contract ----------------------------------------
+
+TEST(PerfectCachePrefix, PrefixMatchesContains) {
+  const auto d = QueryDistribution::zipf(500, 1.01);
+  const PerfectCache cache(60, d);
+  const auto prefix = cache.cached_prefix();
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(*prefix, 60u);
+  for (KeyId key = 0; key < 500; ++key) {
+    EXPECT_EQ(cache.contains(key), key < *prefix) << key;
+  }
+}
+
+TEST(PerfectCachePrefix, EmptyCacheHasZeroPrefix) {
+  const auto d = QueryDistribution::uniform(100);
+  const PerfectCache cache(0, d);
+  const auto prefix = cache.cached_prefix();
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(*prefix, 0u);
+}
+
+TEST(PerfectCachePrefix, SpanConstructorDetectsRankCanonicalPrefix) {
+  const std::vector<KeyId> keys = {0, 1, 2, 3};
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  const PerfectCache cache(2, std::span<const KeyId>(keys),
+                           std::span<const double>(probs));
+  const auto prefix = cache.cached_prefix();
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(*prefix, 2u);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(PerfectCachePrefix, NonPrefixCachedSetReportsNoPrefix) {
+  // Keys listed in rank order but with ids out of 0…c-1: the cached set is
+  // {5, 9}, not a prefix, so the fast path must not use the compare.
+  const std::vector<KeyId> keys = {5, 9, 0, 1};
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  const PerfectCache cache(2, std::span<const KeyId>(keys),
+                           std::span<const double>(probs));
+  EXPECT_FALSE(cache.cached_prefix().has_value());
+  EXPECT_TRUE(cache.contains(5));
+  EXPECT_TRUE(cache.contains(9));
+  EXPECT_FALSE(cache.contains(0));
+}
+
+}  // namespace
+}  // namespace scp

@@ -119,6 +119,63 @@ TEST(ExperimentRunner, ParallelMatchesSerialBitForBit) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(ExperimentRunner, ParallelEightThreadsMatchesSerialBitForBit) {
+  const ScenarioConfig config = small_scenario(50);
+  const auto zipf = QueryDistribution::zipf(10000, 1.01);
+  const auto trial = [&](std::uint64_t seed) {
+    return gain_trial(config, zipf, seed);
+  };
+  const auto serial = ExperimentRunner(5, 16, {}, 1).run(trial);
+  const auto parallel = ExperimentRunner(5, 16, {}, 8).run(trial);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ExperimentRunner, RunIndexedPassesIndexAndSeed) {
+  const ExperimentRunner runner(9, 6);
+  std::vector<std::uint32_t> indices;
+  const auto values =
+      runner.run_indexed([&](std::uint32_t index, std::uint64_t seed) {
+        indices.push_back(index);
+        EXPECT_EQ(seed, runner.trial_seed(index));
+        return static_cast<double>(index);
+      });
+  EXPECT_EQ(indices, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], static_cast<double>(i));
+  }
+}
+
+TEST(ExperimentRunner, RunIndexedParallelWritesByTrialIndex) {
+  const ExperimentRunner runner(9, 32, {}, 8);
+  const auto values = runner.run_indexed(
+      [](std::uint32_t index, std::uint64_t) {
+        return static_cast<double>(index) * 2.0;
+      });
+  ASSERT_EQ(values.size(), 32u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], static_cast<double>(i) * 2.0) << i;
+  }
+}
+
+TEST(ExperimentRunner, ParallelRunEmitsFinalSummaryLine) {
+  const ExperimentRunner runner(9, 8, "sweep", 4);
+  testing::internal::CaptureStderr();
+  runner.run([](std::uint64_t) { return 0.0; });
+  const std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("sweep: 8/8 trials (parallel, 4 threads)"),
+            std::string::npos)
+      << log;
+}
+
+TEST(ExperimentRunner, SerialRunReportsFinalTrial) {
+  // trials not divisible by the 25% cadence still log the last trial.
+  const ExperimentRunner runner(9, 7, "sweep");
+  testing::internal::CaptureStderr();
+  runner.run([](std::uint64_t) { return 0.0; });
+  const std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("sweep: 7/7 trials"), std::string::npos) << log;
+}
+
 TEST(ExperimentRunner, MoreThreadsThanTrialsIsFine) {
   const ExperimentRunner runner(3, 2, {}, 16);
   const auto values =
