@@ -23,6 +23,20 @@ std::vector<std::uint64_t> parse_u64_list(const std::string& list) {
   return values;
 }
 
+std::vector<double> parse_double_list(const std::string& list) {
+  std::vector<double> values;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    values.push_back(std::stod(list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return values;
+}
+
 bool write_bench_json(const std::string& path, const CommonFlags& flags,
                       const TextTable& table, double wall_ms) {
   JsonWriter json;

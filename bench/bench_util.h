@@ -99,6 +99,9 @@ struct CommonFlags {
 /// Parses a comma-separated list of unsigned integers ("100,200,400").
 std::vector<std::uint64_t> parse_u64_list(const std::string& list);
 
+/// Parses a comma-separated list of doubles ("0,0.05,0.2").
+std::vector<double> parse_double_list(const std::string& list);
+
 /// Writes the `{bench, params, wall_ms, series}` record the --json flag
 /// promises. Series rows mirror the printed table (one object per row,
 /// keyed by column header). Returns false on I/O failure.

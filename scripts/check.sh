@@ -1,19 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a bench smoke test.
 #
-# 1. Configure + build everything.
-# 2. Run the full ctest suite (the PR gate: must stay green).
+# 1. Configure + build everything (honoring CMAKE_BUILD_TYPE / SCP_SANITIZE,
+#    reconfiguring if the cached values differ).
+# 2. Run the ctest suite (the PR gate: must stay green). QUICK=1 skips the
+#    suites labeled "slow" (ctest -LE slow) for a fast inner loop; the
+#    default runs everything.
 # 3. Smoke-run one figure bench with --json and validate the record, so a
 #    bench/JSON regression cannot slip past a green unit-test run.
+#
+# Env knobs: BUILD_DIR, JOBS, QUICK=1, CMAKE_BUILD_TYPE, SCP_SANITIZE.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
+QUICK="${QUICK:-0}"
 
-cmake -B "$BUILD_DIR" -S . >/dev/null
+configure_args=()
+if [[ -n "${CMAKE_BUILD_TYPE:-}" ]]; then
+  configure_args+=("-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}")
+fi
+if [[ -n "${SCP_SANITIZE:-}" ]]; then
+  configure_args+=("-DSCP_SANITIZE=${SCP_SANITIZE}")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${configure_args[@]}" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+ctest_args=(--test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS")
+if [[ "$QUICK" == "1" ]]; then
+  ctest_args+=(-LE slow)
+fi
+ctest "${ctest_args[@]}"
 
 smoke_json="$BUILD_DIR/smoke_fig5a.json"
 rm -f "$smoke_json"

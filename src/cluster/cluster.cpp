@@ -70,6 +70,28 @@ std::uint32_t Cluster::saturated_node_count() const noexcept {
   return count;
 }
 
+void Cluster::apply_health(std::span<const std::uint8_t> alive) noexcept {
+  SCP_CHECK_MSG(alive.size() == nodes_.size(),
+                "health vector must have one entry per node");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].set_alive(alive[i] != 0);
+  }
+}
+
+void Cluster::restore_all_alive() noexcept {
+  for (auto& node : nodes_) {
+    node.set_alive(true);
+  }
+}
+
+std::uint32_t Cluster::alive_node_count() const noexcept {
+  std::uint32_t count = 0;
+  for (const auto& node : nodes_) {
+    count += node.alive() ? 1 : 0;
+  }
+  return count;
+}
+
 void Cluster::reset_accounting() noexcept {
   for (auto& node : nodes_) {
     node.reset();

@@ -60,6 +60,17 @@ class Cluster {
   /// uncapacitated).
   std::uint32_t saturated_node_count() const noexcept;
 
+  /// Syncs node liveness from a fault view's alive flags (indexed by NodeId,
+  /// 1 = up). Requires one entry per node. Topology is untouched — dead
+  /// nodes keep their ids; the routing layer skips them.
+  void apply_health(std::span<const std::uint8_t> alive) noexcept;
+
+  /// Marks every node alive again (end of a faulted run).
+  void restore_all_alive() noexcept;
+
+  /// Nodes currently marked alive.
+  std::uint32_t alive_node_count() const noexcept;
+
   /// Clears per-trial accounting on every node.
   void reset_accounting() noexcept;
 

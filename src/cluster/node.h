@@ -30,6 +30,13 @@ class BackendNode {
   double capacity_qps() const noexcept { return capacity_qps_; }
   bool has_capacity_limit() const noexcept { return capacity_qps_ > 0.0; }
 
+  // --- health --------------------------------------------------------------
+  /// Fault-injection state (sim/fault.h): a dead node serves nothing and the
+  /// routing layer skips it. Health is orthogonal to accounting — reset()
+  /// does not revive a node; the simulators sync it from the fault view.
+  bool alive() const noexcept { return alive_; }
+  void set_alive(bool alive) noexcept { alive_ = alive; }
+
   // --- rate accounting -----------------------------------------------------
   double offered_rate() const noexcept { return offered_rate_; }
   void add_offered_rate(double qps) noexcept {
@@ -65,6 +72,7 @@ class BackendNode {
  private:
   NodeId id_;
   double capacity_qps_;
+  bool alive_ = true;
   double offered_rate_ = 0.0;
   std::uint64_t arrivals_ = 0;
   std::uint64_t served_ = 0;

@@ -1,5 +1,7 @@
 #include "cluster/routing.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace scp {
@@ -56,6 +58,39 @@ std::unique_ptr<ReplicaSelector> make_selector(const std::string& kind) {
   SCP_CHECK_MSG(
       false, "unknown selector kind (use random|round-robin|least-loaded|pinned)");
   return nullptr;
+}
+
+double RetryPolicy::backoff_s(std::uint32_t retry) const noexcept {
+  double backoff = backoff_base_s;
+  for (std::uint32_t i = 0; i < retry && backoff < backoff_cap_s; ++i) {
+    backoff *= 2.0;
+  }
+  return std::min(backoff, backoff_cap_s);
+}
+
+std::uint32_t RetryPolicy::max_attempts() const noexcept {
+  std::uint32_t attempts = 1;
+  double waited = 0.0;
+  for (std::uint32_t retry = 0; retry < max_retries; ++retry) {
+    waited += backoff_s(retry);
+    if (waited > timeout_s) {
+      break;
+    }
+    ++attempts;
+  }
+  return attempts;
+}
+
+std::uint32_t alive_members(std::span<const NodeId> group,
+                            std::span<const std::uint8_t> alive,
+                            std::span<NodeId> out) noexcept {
+  std::uint32_t count = 0;
+  for (const NodeId node : group) {
+    if (alive[node]) {
+      out[count++] = node;
+    }
+  }
+  return count;
 }
 
 }  // namespace scp

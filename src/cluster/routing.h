@@ -121,4 +121,31 @@ class PinnedLeastLoadedSelector final : public ReplicaSelector {
 /// Factory: kind ∈ {"random", "round-robin", "least-loaded", "pinned"}.
 std::unique_ptr<ReplicaSelector> make_selector(const std::string& kind);
 
+/// Front-end retry behavior when a replica is unreachable (dead node or a
+/// network-dropped request): capped exponential backoff between attempts and
+/// a total per-request timeout. The defaults retry twice with 1 ms → 2 ms
+/// backoff and give up after 500 ms of accumulated waiting.
+struct RetryPolicy {
+  std::uint32_t max_retries = 2;   ///< retries after the first attempt
+  double backoff_base_s = 0.001;   ///< backoff before the first retry
+  double backoff_cap_s = 0.100;    ///< exponential growth is capped here
+  double timeout_s = 0.500;        ///< total backoff budget per request
+
+  /// Backoff before the (retry+1)-th attempt: min(base·2^retry, cap).
+  double backoff_s(std::uint32_t retry) const noexcept;
+
+  /// Total attempts a request may make: 1 + every retry whose cumulative
+  /// backoff still fits in timeout_s (never more than 1 + max_retries).
+  /// Deterministic — both simulators precompute it once per run.
+  std::uint32_t max_attempts() const noexcept;
+};
+
+/// Degraded-mode filter: writes the members of `group` whose `alive` flag is
+/// set into `out` (order preserved — the surviving d' < d choices the
+/// selector then picks among) and returns their count. `alive` is indexed by
+/// NodeId (a FaultView's alive vector); `out` must hold group.size() slots.
+std::uint32_t alive_members(std::span<const NodeId> group,
+                            std::span<const std::uint8_t> alive,
+                            std::span<NodeId> out) noexcept;
+
 }  // namespace scp

@@ -3,15 +3,23 @@
 #include <cmath>
 #include <sstream>
 
+#include "cache/perfect_cache.h"
+#include "cluster/cluster.h"
 #include "common/check.h"
+#include "common/rng.h"
+#include "sim/rate_sim.h"
 #include "sim/scenario.h"
 
 namespace scp {
 
 std::string AttackAssessment::to_string() const {
   std::ostringstream os;
-  os << "system[" << params.to_string() << "] worst_gain=" << worst_gain
-     << " mean_gain=" << gain.mean
+  os << "system[" << params.to_string() << "]";
+  if (failed_nodes > 0) {
+    os << " degraded[f=" << failed_nodes << " alive=" << surviving_nodes
+       << "]";
+  }
+  os << " worst_gain=" << worst_gain << " mean_gain=" << gain.mean
      << (effective ? " EFFECTIVE (gain > 1)" : " ineffective (gain <= 1)");
   if (gain_bound.has_value()) {
     os << " bound=" << *gain_bound;
@@ -58,6 +66,7 @@ AttackAssessment AttackAnalyzer::assess(
 
   AttackAssessment assessment;
   assessment.params = params;
+  assessment.surviving_nodes = params.nodes;
   assessment.gain = stats.summary;
   assessment.worst_gain = stats.max_gain;
   assessment.effective = is_effective(stats.max_gain);
@@ -76,6 +85,67 @@ AttackAssessment AttackAnalyzer::assess(
 AttackAssessment AttackAnalyzer::assess_adversarial(const SystemParams& params,
                                                     std::uint64_t x) const {
   return assess(params, QueryDistribution::uniform_over(x, params.items));
+}
+
+AttackAssessment AttackAnalyzer::assess_degraded(
+    const SystemParams& params, const QueryDistribution& distribution,
+    std::uint32_t failures) const {
+  params.check();
+  SCP_CHECK_MSG(distribution.size() == params.items,
+                "distribution key space must match params.items");
+  SCP_CHECK_MSG(failures < params.nodes, "cannot fail every node");
+  const std::uint32_t survivors = params.nodes - failures;
+  SCP_CHECK_MSG(survivors >= 3 && survivors >= params.replication,
+                "need at least max(3, d) surviving nodes");
+
+  auto selector = make_selector(options_.selector);
+  std::vector<double> gains;
+  gains.reserve(options_.trials);
+  for (std::uint32_t t = 0; t < options_.trials; ++t) {
+    // measure_gain's per-trial seed derivation, plus stream 4 for the
+    // trial's crash victims — same seed, same victims, same result.
+    const std::uint64_t seed = derive_seed(options_.seed, 1000 + t);
+    Cluster cluster(make_partitioner(options_.partitioner, params.nodes,
+                                     params.replication,
+                                     derive_seed(seed, 1)));
+    const PerfectCache cache(params.cache_size, distribution);
+
+    FaultView faults(params.nodes);
+    Rng crash_rng(derive_seed(seed, 4));
+    for (const std::uint64_t victim :
+         crash_rng.sample_without_replacement(params.nodes, failures)) {
+      faults.alive[victim] = 0;
+    }
+    faults.alive_count = survivors;
+
+    RateSimConfig sim_config;
+    sim_config.query_rate = params.query_rate;
+    sim_config.seed = derive_seed(seed, 2);
+    sim_config.faults = &faults;
+    const RateSimResult result =
+        simulate_rates(cluster, cache, distribution, *selector, sim_config);
+    gains.push_back(result.degraded_normalized_max_load);
+  }
+
+  AttackAssessment assessment;
+  assessment.params = params;
+  assessment.failed_nodes = failures;
+  assessment.surviving_nodes = survivors;
+  assessment.gain = summarize(gains);
+  assessment.worst_gain = assessment.gain.max;
+  assessment.effective = is_effective(assessment.worst_gain);
+
+  if (params.replication >= 2) {
+    const std::optional<std::uint64_t> x = uniform_over_x(distribution);
+    if (x.has_value() && *x > params.cache_size && *x >= 2) {
+      SystemParams degraded_params = params;
+      degraded_params.nodes = survivors;
+      const double k =
+          gap_k(survivors, params.replication, options_.k_prime);
+      assessment.gain_bound = attack_gain_bound(degraded_params, *x, k);
+    }
+  }
+  return assessment;
 }
 
 }  // namespace scp

@@ -34,6 +34,12 @@ struct AttackAssessment {
   /// adversarial shape) and d >= 2; absent otherwise.
   std::optional<double> gain_bound;
 
+  /// Degraded-mode assessments (assess_degraded) record how many nodes were
+  /// crashed per trial; gains are then normalized by the surviving even
+  /// spread R/(n−f) and gain_bound is recomputed over the survivors.
+  std::uint32_t failed_nodes = 0;
+  std::uint32_t surviving_nodes = 0;  ///< n − failed_nodes (= n when healthy)
+
   std::string to_string() const;
 };
 
@@ -48,6 +54,17 @@ class AttackAnalyzer {
   /// Convenience: assess the canonical adversarial pattern with x keys.
   AttackAssessment assess_adversarial(const SystemParams& params,
                                       std::uint64_t x) const;
+
+  /// Degraded-mode assessment: each trial crashes `failures` random nodes
+  /// (fresh victims per trial, seeded deterministically) and measures the
+  /// attack gain against the *surviving* even-spread baseline R/(n−f),
+  /// with routing skipping the dead replicas. The Eq. 10 bound, when the
+  /// workload is canonical, is recomputed with n−f — the degraded guarantee
+  /// the provisioner's DegradedGuarantee predicts. Requires
+  /// failures <= n − max(3, d).
+  AttackAssessment assess_degraded(const SystemParams& params,
+                                   const QueryDistribution& distribution,
+                                   std::uint32_t failures) const;
 
  private:
   AnalyzerOptions options_;

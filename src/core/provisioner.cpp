@@ -64,10 +64,51 @@ ProvisionPlan CacheProvisioner::plan(const ClusterSpec& spec) const {
         spec.node_capacity_qps >= plan.worst_case_load_bound_qps;
   }
 
+  if (options_.degraded_failures > 0) {
+    plan.degraded = degraded_guarantee(spec, plan.recommended_cache_size,
+                                       options_.degraded_failures);
+  }
+
   if (options_.validate) {
     validate_plan(plan);
   }
   return plan;
+}
+
+DegradedGuarantee CacheProvisioner::degraded_guarantee(
+    const ClusterSpec& spec, std::uint64_t cache_size,
+    std::uint32_t failures) const {
+  SCP_CHECK_MSG(spec.replication >= 2,
+                "degraded guarantees need replication (d >= 2)");
+  SCP_CHECK_MSG(failures < spec.nodes, "cannot fail every node");
+  const std::uint32_t survivors = spec.nodes - failures;
+  SCP_CHECK_MSG(survivors >= 3 && survivors >= spec.replication,
+                "need at least max(3, d) surviving nodes (ln ln n)");
+
+  DegradedGuarantee degraded;
+  degraded.failures = failures;
+  degraded.surviving_nodes = survivors;
+  degraded.k = gap_k(survivors, spec.replication, options_.k_prime);
+  degraded.threshold =
+      cache_size_threshold(survivors, spec.replication, options_.k_prime);
+  degraded.cache_covers_threshold =
+      static_cast<double>(cache_size) >= degraded.threshold;
+  degraded.even_load_qps =
+      spec.attack_rate_qps / static_cast<double>(survivors);
+
+  SystemParams params;
+  params.nodes = survivors;
+  params.replication = spec.replication;
+  params.items = spec.items;
+  params.cache_size = cache_size;
+  params.query_rate = spec.attack_rate_qps;
+  degraded.worst_case_load_bound_qps =
+      max_load_bound(params, spec.items, degraded.k);
+  if (spec.node_capacity_qps > 0.0) {
+    degraded.capacity_sufficient =
+        spec.node_capacity_qps >= degraded.worst_case_load_bound_qps;
+  }
+  return degraded;
 }
 
 void CacheProvisioner::validate_plan(ProvisionPlan& plan) const {

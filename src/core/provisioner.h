@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "adversary/bounds.h"
@@ -43,6 +44,31 @@ struct ProvisionOptions {
   std::uint64_t seed = 0x5ca1ab1eULL;
   std::string partitioner = "hash";
   std::string selector = "least-loaded";
+  /// When > 0, the plan also reports the degraded-mode guarantee with this
+  /// many crashed nodes (ProvisionPlan::degraded): the Berenbrink-style
+  /// ln ln N gap recomputed over the N = n−f survivors. Requires
+  /// n − degraded_failures >= max(3, d).
+  std::uint32_t degraded_failures = 0;
+};
+
+/// The paper's guarantee re-derived for a cluster that lost `failures`
+/// nodes: every bound is recomputed with the surviving-node count
+/// n′ = n − f. Because c*(n) grows with n, a cache provisioned for the full
+/// cluster keeps covering the degraded threshold (cache_covers_threshold);
+/// the per-node worst case rises by ≈ n/n′ and may outgrow fixed hardware
+/// (capacity_sufficient).
+struct DegradedGuarantee {
+  std::uint32_t failures = 0;
+  std::uint32_t surviving_nodes = 0;        ///< n′ = n − f
+  double k = 0.0;                           ///< ln ln n′ / ln d + k′
+  double threshold = 0.0;                   ///< c*(n′, d) = n′·k + 1
+  bool cache_covers_threshold = false;      ///< c >= c*(n′, d)
+  double even_load_qps = 0.0;               ///< R/n′ — degraded baseline
+  /// Eq. 8 worst case (adversary's x = m) against the survivors.
+  double worst_case_load_bound_qps = 0.0;
+  /// When the spec declares node capacity: r_i still covers the degraded
+  /// worst case.
+  bool capacity_sufficient = true;
 };
 
 struct ProvisionPlan {
@@ -66,6 +92,9 @@ struct ProvisionPlan {
   double observed_worst_gain = 0.0;  ///< max gain over best-response search
   std::uint64_t observed_worst_x = 0;
   bool prevention_holds = false;     ///< observed_worst_gain <= 1
+
+  /// Degraded-mode guarantee (when options.degraded_failures > 0).
+  std::optional<DegradedGuarantee> degraded;
 };
 
 class CacheProvisioner {
@@ -81,6 +110,14 @@ class CacheProvisioner {
 
   /// The raw threshold c*(n, d) under these options, without safety factor.
   double threshold(std::uint32_t nodes, std::uint32_t replication) const;
+
+  /// Re-derives the guarantee for `spec` with `cache_size` entries after
+  /// `failures` crashed nodes. Requires spec.nodes − failures >=
+  /// max(3, spec.replication) — below that the ln ln n′ gap (and with
+  /// n′ < d, the replica groups themselves) no longer exist.
+  DegradedGuarantee degraded_guarantee(const ClusterSpec& spec,
+                                       std::uint64_t cache_size,
+                                       std::uint32_t failures) const;
 
  private:
   void validate_plan(ProvisionPlan& plan) const;

@@ -41,6 +41,23 @@ std::string render_report(const ProvisionPlan& plan) {
                                     : "INSUFFICIENT (raise capacity or d)")
        << "\n";
   }
+  if (plan.degraded.has_value()) {
+    const DegradedGuarantee& dg = *plan.degraded;
+    os << "degraded:  after f=" << dg.failures << " crashes ("
+       << dg.surviving_nodes << " survivors): threshold c*(n-f) = "
+       << dg.threshold << " -> "
+       << (dg.cache_covers_threshold ? "cache still covers it"
+                                     : "CACHE TOO SMALL for survivors")
+       << "\n"
+       << "           degraded baseline R/(n-f)=" << dg.even_load_qps
+       << " qps/node, worst-case bound " << dg.worst_case_load_bound_qps
+       << " qps";
+    if (plan.spec.node_capacity_qps > 0.0) {
+      os << " -> capacity "
+         << (dg.capacity_sufficient ? "SUFFICIENT" : "INSUFFICIENT");
+    }
+    os << "\n";
+  }
   if (plan.validated) {
     os << "validated: adversary best response x=" << plan.observed_worst_x
        << ", observed worst gain=" << plan.observed_worst_gain << " -> "
@@ -55,8 +72,13 @@ std::string render_report(const AttackAssessment& assessment) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(3);
   header(os, "Attack assessment");
-  os << "system:    " << assessment.params.to_string() << "\n"
-     << "gain:      worst=" << assessment.worst_gain
+  os << "system:    " << assessment.params.to_string() << "\n";
+  if (assessment.failed_nodes > 0) {
+    os << "degraded:  " << assessment.failed_nodes << " nodes crashed, "
+       << assessment.surviving_nodes
+       << " survivors; gain vs the surviving even spread R/(n-f)\n";
+  }
+  os << "gain:      worst=" << assessment.worst_gain
      << " mean=" << assessment.gain.mean << " p99=" << assessment.gain.p99
      << " over " << assessment.gain.count << " trials\n"
      << "verdict:   "

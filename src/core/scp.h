@@ -27,6 +27,7 @@
 #include "kvstore/kv_cluster.h"    // functional replicated KV substrate
 #include "sim/event_sim.h"         // discrete-event simulator
 #include "sim/failure.h"           // node-failure injection
+#include "sim/fault.h"             // deterministic fault schedules
 #include "sim/rate_sim.h"          // rate simulator
 #include "sim/runner.h"
 #include "sim/scenario.h"

@@ -58,11 +58,37 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
   std::vector<double>& served_total = scratch->served_total;
   const NodeId* table = table_backed ? index->group(0) : nullptr;
 
+  // Fault timeline: current per-node health plus the sorted times at which
+  // it changes. An absent or empty schedule leaves `faulted` false and the
+  // loop below byte-identical to the fault-unaware simulator.
+  const FaultSchedule* schedule = config.faults;
+  if (schedule != nullptr) {
+    SCP_CHECK_MSG(schedule->nodes() == n,
+                  "fault schedule must match the cluster's node count");
+    if (schedule->empty()) {
+      schedule = nullptr;
+    }
+  }
+  const bool faulted = schedule != nullptr;
+  FaultView fault_view;
+  std::vector<double> transitions;
+  std::size_t transition_cursor = 0;
+
+  EventSimResult result;
+  result.node_arrivals.assign(n, 0);
+  result.min_alive_nodes = n;
+
+  // A slow node drains its backlog at capacity/multiplier.
+  const auto service_rate = [&](const BackendNode& state, NodeId node) {
+    return faulted ? state.capacity_qps() / fault_view.slow[node]
+                   : state.capacity_qps();
+  };
+
   auto drain = [&](NodeId node, double now) {
     const BackendNode& state = cluster.node(node);
     if (state.has_capacity_limit()) {
       const double served_capacity =
-          (now - last_update[node]) * state.capacity_qps();
+          (now - last_update[node]) * service_rate(state, node);
       const double served = std::min(backlog[node], served_capacity);
       backlog[node] -= served;
       served_total[node] += served;
@@ -74,11 +100,55 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
     backlog_as_load[node] = backlog[node];
   };
 
-  EventSimResult result;
-  result.node_arrivals.assign(n, 0);
+  if (faulted) {
+    fault_view = schedule->view_at(0.0);
+    transitions = schedule->transition_times();
+    while (transition_cursor < transitions.size() &&
+           transitions[transition_cursor] <= 0.0) {
+      ++transition_cursor;  // already folded into the initial view
+    }
+    cluster.apply_health(std::span<const std::uint8_t>(fault_view.alive));
+    result.min_alive_nodes = fault_view.alive_count;
+  } else {
+    cluster.restore_all_alive();
+  }
+
+  // Replays every health change in (then, now]: drains each node piecewise
+  // under the old multipliers, then applies the new view — crashed nodes
+  // lose their backlog, recovered nodes rejoin empty.
+  const auto advance_faults = [&](double now) {
+    while (transition_cursor < transitions.size() &&
+           transitions[transition_cursor] <= now) {
+      const double when = transitions[transition_cursor++];
+      for (NodeId node = 0; node < n; ++node) {
+        drain(node, when);
+      }
+      const FaultView next = schedule->view_at(when);
+      for (NodeId node = 0; node < n; ++node) {
+        if (fault_view.alive[node] && !next.alive[node]) {
+          const auto lost =
+              static_cast<std::uint64_t>(std::llround(backlog[node]));
+          result.crash_lost += lost;
+          cluster.node(node).record_dropped(lost);
+          backlog[node] = 0.0;
+          backlog_as_load[node] = 0.0;
+          cluster.node(node).set_queue_depth(0);
+        } else if (!fault_view.alive[node] && next.alive[node]) {
+          backlog[node] = 0.0;
+          backlog_as_load[node] = 0.0;
+          last_update[node] = when;
+        }
+      }
+      fault_view = next;
+      result.min_alive_nodes =
+          std::min(result.min_alive_nodes, fault_view.alive_count);
+    }
+  };
 
   QueryStream stream(distribution, config.query_rate, config.seed);
   Rng route_rng(derive_seed(config.seed, 0x5e1ec7ULL));
+  Rng fault_rng(derive_seed(config.seed, 0xfa117ULL));
+  const std::uint32_t max_attempts = config.retry.max_attempts();
 
   while (true) {
     const Query q = stream.next();
@@ -86,6 +156,9 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
       break;
     }
     ++result.total_queries;
+    if (faulted) {
+      advance_faults(q.time);
+    }
     if (cache.access(q.key)) {
       ++result.cache_hits;
       result.wait_us.record(0);
@@ -98,12 +171,55 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
       cluster.replica_group(q.key, group);
       row = group.data();
     }
-    for (std::uint32_t j = 0; j < d; ++j) {
-      drain(row[j], q.time);
+
+    NodeId target = 0;
+    double backoff_s = 0.0;
+    if (faulted) {
+      // Degraded routing: skip dead replicas, power-of-d' choices over the
+      // survivors, retry network-dropped sends with capped backoff.
+      scratch->survivors.resize(d);
+      const std::uint32_t d_alive = alive_members(
+          std::span<const NodeId>(row, d),
+          std::span<const std::uint8_t>(fault_view.alive),
+          std::span<NodeId>(scratch->survivors));
+      if (d_alive == 0) {
+        ++result.unserved;
+        continue;
+      }
+      const std::span<const NodeId> candidates(scratch->survivors.data(),
+                                               d_alive);
+      for (const NodeId node : candidates) {
+        drain(node, q.time);
+      }
+      bool reached = false;
+      for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        const std::size_t pick =
+            selector.select(q.key, candidates, backlog_as_load, route_rng);
+        const NodeId candidate = candidates[pick];
+        if (fault_view.drop[candidate] > 0.0 &&
+            fault_rng.bernoulli(fault_view.drop[candidate])) {
+          if (attempt + 1 < max_attempts) {
+            backoff_s += config.retry.backoff_s(attempt);
+            ++result.retries;
+          }
+          continue;
+        }
+        target = candidate;
+        reached = true;
+        break;
+      }
+      if (!reached) {
+        ++result.unserved;
+        continue;
+      }
+    } else {
+      for (std::uint32_t j = 0; j < d; ++j) {
+        drain(row[j], q.time);
+      }
+      const std::size_t pick = selector.select(
+          q.key, std::span<const NodeId>(row, d), backlog_as_load, route_rng);
+      target = row[pick];
     }
-    const std::size_t pick = selector.select(
-        q.key, std::span<const NodeId>(row, d), backlog_as_load, route_rng);
-    const NodeId target = row[pick];
     ++result.backend_arrivals;
     ++result.node_arrivals[target];
     cluster.node(target).record_arrival();
@@ -113,14 +229,17 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
       cluster.node(target).record_dropped(1);
       continue;
     }
-    // Waiting time = backlog ahead of us divided by the service rate.
+    // Waiting time = backlog ahead of us divided by the (possibly degraded)
+    // service rate, plus any retry backoff the front-end burned.
     const BackendNode& state = cluster.node(target);
     if (state.has_capacity_limit()) {
-      const double wait_s = backlog[target] / state.capacity_qps();
+      const double wait_s =
+          backlog[target] / service_rate(state, target) + backoff_s;
       result.wait_us.record(
           static_cast<std::uint64_t>(std::llround(wait_s * 1e6)));
     } else {
-      result.wait_us.record(0);
+      result.wait_us.record(
+          static_cast<std::uint64_t>(std::llround(backoff_s * 1e6)));
     }
     backlog[target] += 1.0;
     backlog_as_load[target] = backlog[target];
@@ -136,6 +255,11 @@ EventSimResult simulate_events(Cluster& cluster, FrontEndCache& cache,
   result.drop_ratio =
       result.total_queries > 0
           ? static_cast<double>(result.dropped) /
+                static_cast<double>(result.total_queries)
+          : 0.0;
+  result.unserved_ratio =
+      result.total_queries > 0
+          ? static_cast<double>(result.unserved) /
                 static_cast<double>(result.total_queries)
           : 0.0;
 

@@ -18,6 +18,7 @@
 #include "cluster/placement_index.h"
 #include "cluster/routing.h"
 #include "common/histogram.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "workload/distribution.h"
 
@@ -28,6 +29,17 @@ struct EventSimConfig {
   double duration_s = 1.0;      ///< simulated horizon
   std::uint64_t queue_capacity = 1000;  ///< per-node backlog limit
   std::uint64_t seed = 1;
+  /// Opt-in fault injection: timed crash / crash-recover, slow-node and
+  /// network-drop events replayed against the simulated clock. Crashed nodes
+  /// lose their backlog and are skipped by routing until recovery; slow
+  /// nodes drain at capacity/multiplier; lossy nodes drop arrivals with the
+  /// configured probability, which the front-end retries under `retry`
+  /// (capped exponential backoff counted into the query's waiting time).
+  /// Null — or an empty schedule — reproduces the fault-unaware simulation
+  /// bit-for-bit. Must outlive the call and match the cluster's node count.
+  const FaultSchedule* faults = nullptr;
+  /// Retry behavior for unreachable replicas (only consulted with faults).
+  RetryPolicy retry;
 };
 
 struct EventSimResult {
@@ -46,6 +58,19 @@ struct EventSimResult {
   /// the attack gain.
   double normalized_max_arrivals = 0.0;
 
+  // --- degraded-mode accounting (fault injection; see EventSimConfig) -----
+  /// Queries that reached no node: whole replica group dead, or network-
+  /// dropped on every allowed retry attempt. 0 without faults.
+  std::uint64_t unserved = 0;
+  double unserved_ratio = 0.0;      ///< unserved / total_queries
+  std::uint64_t retries = 0;        ///< retry attempts performed
+  /// Backlogged queries lost when their node crashed (server-side loss,
+  /// recorded as dropped on the node).
+  std::uint64_t crash_lost = 0;
+  /// Smallest number of alive nodes observed over the horizon (= n without
+  /// faults).
+  std::uint32_t min_alive_nodes = 0;
+
   EventSimResult() : wait_us(5) {}
 };
 
@@ -54,6 +79,7 @@ struct EventSimResult {
 /// over event trials allocate nothing per trial.
 struct EventSimScratch {
   std::vector<NodeId> group;
+  std::vector<NodeId> survivors;
   std::vector<double> backlog;
   std::vector<double> last_update;
   std::vector<double> backlog_as_load;

@@ -1,0 +1,150 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scp {
+
+void FaultView::reset(std::uint32_t node_count) {
+  alive.assign(node_count, 1);
+  slow.assign(node_count, 1.0);
+  drop.assign(node_count, 0.0);
+  alive_count = node_count;
+}
+
+bool FaultView::any_faults() const noexcept {
+  if (alive_count != nodes()) {
+    return true;
+  }
+  for (const double s : slow) {
+    if (s != 1.0) {
+      return true;
+    }
+  }
+  for (const double p : drop) {
+    if (p != 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultSchedule::add_crash(NodeId node, double start_s, double recover_s) {
+  SCP_CHECK_MSG(node < nodes_, "fault on a node outside the cluster");
+  SCP_CHECK(start_s >= 0.0 && recover_s > start_s);
+  events_.push_back({FaultKind::kCrash, node, start_s, recover_s, 0.0});
+}
+
+void FaultSchedule::add_slow(NodeId node, double start_s, double end_s,
+                             double multiplier) {
+  SCP_CHECK_MSG(node < nodes_, "fault on a node outside the cluster");
+  SCP_CHECK(start_s >= 0.0 && end_s > start_s);
+  SCP_CHECK_MSG(multiplier >= 1.0, "slow multiplier must be >= 1");
+  events_.push_back({FaultKind::kSlow, node, start_s, end_s, multiplier});
+}
+
+void FaultSchedule::add_network_drop(NodeId node, double start_s, double end_s,
+                                     double probability) {
+  SCP_CHECK_MSG(node < nodes_, "fault on a node outside the cluster");
+  SCP_CHECK(start_s >= 0.0 && end_s > start_s);
+  SCP_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
+                "drop probability must be in [0, 1]");
+  events_.push_back(
+      {FaultKind::kNetworkDrop, node, start_s, end_s, probability});
+}
+
+FaultView FaultSchedule::view_at(double time_s) const {
+  FaultView view(nodes_);
+  for (const FaultEvent& event : events_) {
+    if (time_s < event.start_s || time_s >= event.end_s) {
+      continue;
+    }
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        if (view.alive[event.node]) {
+          view.alive[event.node] = 0;
+          --view.alive_count;
+        }
+        break;
+      case FaultKind::kSlow:
+        view.slow[event.node] = std::max(view.slow[event.node],
+                                         event.severity);
+        break;
+      case FaultKind::kNetworkDrop:
+        view.drop[event.node] = std::max(view.drop[event.node],
+                                         event.severity);
+        break;
+    }
+  }
+  return view;
+}
+
+std::vector<double> FaultSchedule::transition_times() const {
+  std::vector<double> times;
+  times.reserve(events_.size() * 2);
+  for (const FaultEvent& event : events_) {
+    times.push_back(event.start_s);
+    if (event.end_s != kNeverRecovers) {
+      times.push_back(event.end_s);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+FaultView FaultSchedule::worst_view() const {
+  FaultView worst = view_at(0.0);
+  for (const double time : transition_times()) {
+    FaultView candidate = view_at(time);
+    if (candidate.alive_count < worst.alive_count) {
+      worst = std::move(candidate);
+    }
+  }
+  return worst;
+}
+
+FaultSchedule FaultSchedule::random(const RandomFaultConfig& config,
+                                    std::uint64_t seed) {
+  SCP_CHECK(config.nodes >= 1);
+  SCP_CHECK(config.horizon_s > 0.0);
+  SCP_CHECK(config.onset_window_s >= 0.0);
+  SCP_CHECK(config.crash_fraction >= 0.0 && config.crash_fraction <= 1.0);
+  SCP_CHECK(config.slow_fraction >= 0.0 && config.slow_fraction <= 1.0);
+  SCP_CHECK(config.drop_fraction >= 0.0 && config.drop_fraction <= 1.0);
+
+  FaultSchedule schedule(config.nodes);
+  Rng rng(seed);
+  const auto victim_count = [&](double fraction) {
+    return static_cast<std::size_t>(fraction *
+                                    static_cast<double>(config.nodes));
+  };
+  const auto onset = [&]() {
+    return config.onset_window_s > 0.0
+               ? rng.uniform_double(0.0, config.onset_window_s)
+               : 0.0;
+  };
+
+  for (const std::uint64_t victim : rng.sample_without_replacement(
+           config.nodes, victim_count(config.crash_fraction))) {
+    const double start = onset();
+    const double recover = config.recovery_s > 0.0 ? start + config.recovery_s
+                                                   : kNeverRecovers;
+    schedule.add_crash(static_cast<NodeId>(victim), start, recover);
+  }
+  for (const std::uint64_t victim : rng.sample_without_replacement(
+           config.nodes, victim_count(config.slow_fraction))) {
+    schedule.add_slow(static_cast<NodeId>(victim), onset(), config.horizon_s,
+                      config.slow_multiplier);
+  }
+  for (const std::uint64_t victim : rng.sample_without_replacement(
+           config.nodes, victim_count(config.drop_fraction))) {
+    schedule.add_network_drop(static_cast<NodeId>(victim), onset(),
+                              config.horizon_s, config.drop_probability);
+  }
+  return schedule;
+}
+
+}  // namespace scp

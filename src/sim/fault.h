@@ -1,0 +1,135 @@
+// Deterministic fault injection: crashes, slowdowns and lossy links.
+//
+// The paper's guarantee is stated for n healthy nodes. Real clusters lose
+// replicas mid-attack, serve from degraded hardware, and drop packets — the
+// scenario DistCache (Liu et al., NSDI'19) motivates for multi-layer load
+// balancing. This module describes such degradation as data: a FaultSchedule
+// is a set of timed events (crash / crash-recover, slow-node with a latency
+// multiplier, network-drop with a probability), and a FaultView is the
+// per-node snapshot of that schedule at one instant. Both simulators accept
+// them as opt-in inputs; with no faults configured their output is
+// bit-identical to the fault-unaware code (enforced by equivalence tests),
+// and every faulted run is reproducible from its seed alone, independent of
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,        ///< node is down: no requests served, backlog lost
+  kSlow,         ///< node serves, but each query costs `severity`x the work
+  kNetworkDrop,  ///< requests to the node are lost with probability `severity`
+};
+
+/// One timed fault: active on [start_s, end_s). end_s = kNeverRecovers keeps
+/// the fault active for the rest of the run (a crash without recovery).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  NodeId node = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// kSlow: latency multiplier (>= 1). kNetworkDrop: drop probability in
+  /// [0, 1]. Ignored for kCrash.
+  double severity = 0.0;
+};
+
+/// Per-node health snapshot at one instant — what the routing layer consults.
+/// Overlapping faults of the same kind on a node combine pessimistically
+/// (max severity); a crashed node is dead regardless of other faults.
+struct FaultView {
+  std::vector<std::uint8_t> alive;  ///< 1 = up; indexed by NodeId
+  std::vector<double> slow;         ///< latency multiplier, 1.0 = healthy
+  std::vector<double> drop;         ///< network-drop probability, 0.0 = none
+  std::uint32_t alive_count = 0;
+
+  FaultView() = default;
+  explicit FaultView(std::uint32_t nodes) { reset(nodes); }
+
+  void reset(std::uint32_t nodes);
+  std::uint32_t nodes() const noexcept {
+    return static_cast<std::uint32_t>(alive.size());
+  }
+  /// False when every node is up, full-speed and lossless — the simulators
+  /// then take the fault-unaware fast path unchanged.
+  bool any_faults() const noexcept;
+};
+
+/// Knobs for FaultSchedule::random — the deterministic scenario generator
+/// the failure ablation sweeps. Fractions select distinct victim nodes per
+/// fault kind (a node can appear in several kinds).
+struct RandomFaultConfig {
+  std::uint32_t nodes = 0;
+  double horizon_s = 1.0;  ///< end of the simulated window
+  /// Fault onsets are uniform in [0, onset_window_s]; 0 = everything fails
+  /// at t = 0 (the rate simulator's steady-state setting).
+  double onset_window_s = 0.0;
+
+  double crash_fraction = 0.0;
+  /// Time from crash to recovery; <= 0 means crashed nodes never come back.
+  double recovery_s = 0.0;
+
+  double slow_fraction = 0.0;
+  double slow_multiplier = 4.0;  ///< latency multiplier for slow nodes
+
+  double drop_fraction = 0.0;
+  double drop_probability = 0.2;  ///< per-request loss on lossy links
+};
+
+/// An immutable-after-construction set of timed fault events over a cluster
+/// of `nodes` nodes, queried either as a snapshot (view_at) by the rate
+/// simulator or as a timeline (transition_times + view_at per transition) by
+/// the event simulator.
+class FaultSchedule {
+ public:
+  static constexpr double kNeverRecovers =
+      std::numeric_limits<double>::infinity();
+
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::uint32_t nodes) : nodes_(nodes) {}
+
+  std::uint32_t nodes() const noexcept { return nodes_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::span<const FaultEvent> events() const noexcept { return events_; }
+
+  /// Node crashes at start_s and (optionally) rejoins empty at recover_s.
+  void add_crash(NodeId node, double start_s,
+                 double recover_s = kNeverRecovers);
+  /// Node serves at 1/multiplier speed on [start_s, end_s). multiplier >= 1.
+  void add_slow(NodeId node, double start_s, double end_s, double multiplier);
+  /// Requests to the node are lost with `probability` on [start_s, end_s).
+  void add_network_drop(NodeId node, double start_s, double end_s,
+                        double probability);
+
+  /// Snapshot of every node's health at time_s (events active on
+  /// [start_s, end_s)).
+  FaultView view_at(double time_s) const;
+
+  /// Sorted, deduplicated times at which some node's health changes
+  /// (event starts and finite ends). The event simulator replays these.
+  std::vector<double> transition_times() const;
+
+  /// The snapshot with the fewest alive nodes over the whole schedule
+  /// (earliest such instant on ties; the healthy view for an empty
+  /// schedule). The steady-state input for degraded rate simulations:
+  /// "how bad does it get at the worst moment of the outage".
+  FaultView worst_view() const;
+
+  /// Deterministic random scenario: victims and onsets are drawn from an Rng
+  /// seeded with `seed`, so the same (config, seed) pair always builds the
+  /// same schedule.
+  static FaultSchedule random(const RandomFaultConfig& config,
+                              std::uint64_t seed);
+
+ private:
+  std::uint32_t nodes_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace scp

@@ -19,6 +19,67 @@ void check_config(const RateSimConfig& config,
   }
 }
 
+/// Resolves the run's fault view: validates it against the cluster, syncs
+/// node liveness, and returns nullptr when there is nothing to inject so
+/// the caller takes the fault-unaware path unchanged.
+const FaultView* resolve_faults(const RateSimConfig& config,
+                                Cluster& cluster) {
+  const FaultView* faults = config.faults;
+  if (faults == nullptr) {
+    cluster.restore_all_alive();
+    return nullptr;
+  }
+  SCP_CHECK_MSG(faults->nodes() == cluster.node_count(),
+                "fault view must have one entry per cluster node");
+  cluster.apply_health(std::span<const std::uint8_t>(faults->alive));
+  return faults->any_faults() ? faults : nullptr;
+}
+
+/// Degraded placement of one key's rate: skip dead replicas, run the
+/// selector over the surviving d' < d choices, lose `drop` of each
+/// attempt's mass on lossy links and retry it (capped by the retry
+/// policy), and weight delivered work by the slow multiplier. Returns the
+/// mass that never reached a node. Shared verbatim by the legacy and the
+/// indexed fast path so both stay bit-identical under faults.
+double place_key_faulted(const FaultView& faults, std::uint32_t max_attempts,
+                         KeyId key, double rate, const NodeId* row,
+                         std::uint32_t d, bool split, bool least_loaded,
+                         ReplicaSelector& selector, std::vector<double>& loads,
+                         std::vector<NodeId>& survivors, Rng& rng) {
+  survivors.resize(d);
+  const std::uint32_t d_alive =
+      alive_members(std::span<const NodeId>(row, d),
+                    std::span<const std::uint8_t>(faults.alive),
+                    std::span<NodeId>(survivors));
+  if (d_alive == 0) {
+    return rate;
+  }
+  const std::span<const NodeId> group(survivors.data(), d_alive);
+  double mass = rate;
+  for (std::uint32_t attempt = 0; attempt < max_attempts && mass > 0.0;
+       ++attempt) {
+    if (split) {
+      const double share = mass / static_cast<double>(d_alive);
+      double undelivered = 0.0;
+      for (const NodeId node : group) {
+        const double delivered = share * (1.0 - faults.drop[node]);
+        loads[node] += delivered * faults.slow[node];
+        undelivered += share - delivered;
+      }
+      mass = undelivered;
+    } else {
+      const std::size_t pick = least_loaded
+                                   ? least_loaded_pick(group, loads, rng)
+                                   : selector.select(key, group, loads, rng);
+      const NodeId node = group[pick];
+      const double delivered = mass * (1.0 - faults.drop[node]);
+      loads[node] += delivered * faults.slow[node];
+      mass -= delivered;
+    }
+  }
+  return mass;
+}
+
 /// Shared result assembly: metrics, normalization and cluster accounting
 /// from the finished per-node load vector.
 void finalize_result(RateSimResult& result, Cluster& cluster,
@@ -37,6 +98,12 @@ void finalize_result(RateSimResult& result, Cluster& cluster,
   result.normalized_max_load =
       demand > 0.0
           ? normalized_against(result.metrics.max, demand, cluster.node_count())
+          : 0.0;
+  result.alive_nodes = config.faults != nullptr ? config.faults->alive_count
+                                                : cluster.node_count();
+  result.degraded_normalized_max_load =
+      demand > 0.0 && result.alive_nodes > 0
+          ? normalized_against(result.metrics.max, demand, result.alive_nodes)
           : 0.0;
   result.saturated_nodes = cluster.saturated_node_count();
   for (const BackendNode& node : cluster.nodes()) {
@@ -57,6 +124,10 @@ RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
   cluster.reset_accounting();
   selector.reset();
   Rng rng(config.seed);
+
+  const FaultView* faults = resolve_faults(config, cluster);
+  const std::uint32_t max_attempts = config.retry.max_attempts();
+  std::vector<NodeId> survivors;
 
   const std::uint32_t d = cluster.replication();
   std::vector<NodeId> group(d);
@@ -85,7 +156,12 @@ RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
       continue;
     }
     cluster.replica_group(key, std::span<NodeId>(group));
-    if (selector.splits_evenly()) {
+    if (faults != nullptr) {
+      result.unserved_rate += place_key_faulted(
+          *faults, max_attempts, key, rate, group.data(), d,
+          selector.splits_evenly(), /*least_loaded=*/false, selector, loads,
+          survivors, rng);
+    } else if (selector.splits_evenly()) {
       const double share = rate / static_cast<double>(d);
       for (const NodeId node : group) {
         loads[node] += share;
@@ -123,6 +199,8 @@ RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
   }
   cluster.reset_accounting();
   selector.reset();
+  const FaultView* faults = resolve_faults(config, cluster);
+  const std::uint32_t max_attempts = config.retry.max_attempts();
 
   RateSimScratch local;
   if (scratch == nullptr) {
@@ -231,7 +309,11 @@ RateSimResult simulate_rates(Cluster& cluster, const FrontEndCache& cache,
       cluster.replica_group(key, std::span<NodeId>(scratch->group));
       row = scratch->group.data();
     }
-    if (split) {
+    if (faults != nullptr) {
+      result.unserved_rate += place_key_faulted(
+          *faults, max_attempts, key, rate, row, d, split, least_loaded,
+          selector, loads, scratch->survivors, rng);
+    } else if (split) {
       const double share = rate / static_cast<double>(d);
       for (std::uint32_t j = 0; j < d; ++j) {
         loads[row[j]] += share;

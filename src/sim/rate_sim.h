@@ -17,6 +17,7 @@
 #include "cluster/placement_index.h"
 #include "cluster/routing.h"
 #include "common/rng.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "workload/cost_model.h"
 #include "workload/distribution.h"
@@ -31,6 +32,16 @@ struct RateSimConfig {
   /// every rate in the result is *effective* (cost-weighted) and must match
   /// the distribution's key space. Null = uniform cost 1.
   const CostModel* cost_model = nullptr;
+  /// Opt-in degraded mode: a health snapshot (sim/fault.h) the placement
+  /// consults per key. Dead replicas are skipped (the selector runs a
+  /// degraded d' < d power-of-choices over the survivors), slow nodes cost
+  /// `slow[node]`x the work per delivered query, and lossy nodes lose
+  /// `drop[node]` of each attempt's mass, which is retried under `retry`.
+  /// Null — or a view with no faults — reproduces the healthy simulation
+  /// bit-for-bit. Must outlive the call and match the cluster's node count.
+  const FaultView* faults = nullptr;
+  /// Retry behavior for network-dropped mass (only consulted with faults).
+  RetryPolicy retry;
 };
 
 struct RateSimResult {
@@ -48,6 +59,16 @@ struct RateSimResult {
   /// is unlimited. The metric that matters under heterogeneous capacities:
   /// the cluster melts down where *utilization*, not raw load, peaks.
   double max_utilization = 0.0;
+
+  // --- degraded-mode accounting (fault injection; see RateSimConfig) ------
+  std::uint32_t alive_nodes = 0;  ///< surviving nodes (= n without faults)
+  /// Demand that reached no node: every replica dead, or network-dropped on
+  /// all allowed retry attempts. 0 without faults.
+  double unserved_rate = 0.0;
+  /// Observed max load normalized by the *surviving* even spread
+  /// R_eff/(n−f) — the degraded analogue of normalized_max_load (identical
+  /// to it without faults).
+  double degraded_normalized_max_load = 0.0;
 };
 
 /// Reusable buffers for repeated simulate_rates calls. One scratch per
@@ -72,6 +93,7 @@ struct RateSimScratch {
   std::vector<NodeId> ordered_rows;   ///< replica groups, order-major
   std::vector<double> ordered_rates;  ///< effective rates, order-major
   std::vector<NodeId> group;          ///< fallback replica-group buffer
+  std::vector<NodeId> survivors;      ///< alive replica-group members
 
   // Memoized shuffle: `order` holds the permutation for
   // (order_seed, order_support) and `post_shuffle_rng` the generator state

@@ -29,6 +29,8 @@ double gain_trial(const ScenarioConfig& config,
   RateSimConfig sim_config;
   sim_config.query_rate = config.params.query_rate;
   sim_config.seed = derive_seed(seed, 2);
+  sim_config.faults = config.faults;
+  sim_config.retry = config.retry;
   const RateSimResult result =
       simulate_rates(cluster, cache, distribution, *selector, sim_config);
   return result.normalized_max_load;
@@ -129,6 +131,8 @@ std::vector<GainStatistics> GainSweep::run(
       RateSimConfig sim_config;
       sim_config.query_rate = config_.params.query_rate;
       sim_config.seed = derive_seed(trial_seed, 2);
+      sim_config.faults = config_.faults;
+      sim_config.retry = config_.retry;
       for (const std::size_t p : eval_order) {
         values[p][t] =
             simulate_rates(cluster, caches[p], *points[p].distribution,

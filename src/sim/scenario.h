@@ -10,7 +10,9 @@
 
 #include "adversary/bounds.h"
 #include "cluster/placement_index.h"
+#include "cluster/routing.h"
 #include "common/stats.h"
+#include "sim/fault.h"
 #include "workload/distribution.h"
 
 namespace scp {
@@ -20,6 +22,10 @@ struct ScenarioConfig {
   SystemParams params;                     ///< n, d, m, c, R
   std::string partitioner = "hash";        ///< hash | ring | rendezvous
   std::string selector = "least-loaded";   ///< least-loaded | random | round-robin
+  /// Opt-in degraded mode, forwarded to every rate simulation this scenario
+  /// runs (see RateSimConfig::faults). Non-owning; null = healthy cluster.
+  const FaultView* faults = nullptr;
+  RetryPolicy retry;                       ///< consulted only with faults
 };
 
 /// One rate-simulation trial against an arbitrary workload distribution:

@@ -70,6 +70,62 @@ TEST(AttackAnalyzer, ToStringMentionsVerdict) {
   EXPECT_NE(a.to_string().find("EFFECTIVE"), std::string::npos);
 }
 
+TEST(AttackAnalyzer, DegradedAssessmentWithZeroFailuresMatchesHealthy) {
+  const AttackAnalyzer analyzer(fast_options());
+  const SystemParams params = small_system(400);
+  const auto attack = QueryDistribution::uniform_over(401, 10000);
+  const AttackAssessment healthy = analyzer.assess(params, attack);
+  const AttackAssessment degraded = analyzer.assess_degraded(params, attack, 0);
+  // f = 0 is the same Monte Carlo (same seeds, trivial fault view):
+  // identical gains, identical bound.
+  EXPECT_EQ(degraded.worst_gain, healthy.worst_gain);
+  EXPECT_EQ(degraded.gain.mean, healthy.gain.mean);
+  EXPECT_EQ(degraded.failed_nodes, 0u);
+  EXPECT_EQ(degraded.surviving_nodes, 100u);
+  ASSERT_TRUE(degraded.gain_bound.has_value());
+  EXPECT_DOUBLE_EQ(*degraded.gain_bound, *healthy.gain_bound);
+}
+
+TEST(AttackAnalyzer, DegradedAssessmentSurvivesProvisionedCache) {
+  // The degraded guarantee in action: with c >= c*(n-f), the attack stays
+  // ineffective against the surviving even spread R/(n-f).
+  const AttackAnalyzer analyzer(fast_options());
+  const SystemParams params = small_system(400);
+  const AttackAssessment a = analyzer.assess_degraded(
+      params, QueryDistribution::uniform_over(401, 10000), 10);
+  EXPECT_EQ(a.failed_nodes, 10u);
+  EXPECT_EQ(a.surviving_nodes, 90u);
+  EXPECT_FALSE(a.effective);
+  ASSERT_TRUE(a.gain_bound.has_value());
+  // The bound is recomputed over the survivors and still bounds the gain.
+  EXPECT_LE(a.worst_gain, *a.gain_bound * 1.05);
+}
+
+TEST(AttackAnalyzer, DegradedAssessmentIsDeterministic) {
+  const AttackAnalyzer analyzer(fast_options());
+  const SystemParams params = small_system(50);
+  const auto attack = QueryDistribution::uniform_over(51, 10000);
+  const AttackAssessment a = analyzer.assess_degraded(params, attack, 20);
+  const AttackAssessment b = analyzer.assess_degraded(params, attack, 20);
+  EXPECT_EQ(a.worst_gain, b.worst_gain);
+  EXPECT_EQ(a.gain.mean, b.gain.mean);
+}
+
+TEST(AttackAnalyzer, DegradedToStringMentionsSurvivors) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess_degraded(
+      small_system(50), QueryDistribution::uniform_over(51, 10000), 5);
+  EXPECT_NE(a.to_string().find("degraded[f=5 alive=95]"), std::string::npos);
+}
+
+TEST(AttackAnalyzer, DegradedAssessmentRejectsTooManyFailures) {
+  const AttackAnalyzer analyzer(fast_options());
+  EXPECT_DEATH(
+      analyzer.assess_degraded(small_system(50),
+                               QueryDistribution::uniform_over(51, 10000), 98),
+      "surviv");
+}
+
 TEST(RenderReport, ProvisionPlanMentionsKeyNumbers) {
   ProvisionOptions options;
   options.validate = false;
@@ -125,6 +181,33 @@ TEST(RenderReport, CapacityVerdictAppearsWhenKnown) {
   spec.node_capacity_qps = 1000.0;
   const std::string report = render_report(provisioner.plan(spec));
   EXPECT_NE(report.find("SUFFICIENT"), std::string::npos);
+}
+
+TEST(RenderReport, PlanShowsDegradedSectionWhenRequested) {
+  ProvisionOptions options;
+  options.validate = false;
+  options.degraded_failures = 10;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec;
+  spec.nodes = 100;
+  spec.replication = 3;
+  spec.items = 10000;
+  spec.attack_rate_qps = 10000.0;
+  spec.node_capacity_qps = 1000.0;
+  const std::string report = render_report(provisioner.plan(spec));
+  EXPECT_NE(report.find("degraded:"), std::string::npos);
+  EXPECT_NE(report.find("f=10"), std::string::npos);
+  EXPECT_NE(report.find("90 survivors"), std::string::npos);
+  EXPECT_NE(report.find("cache still covers"), std::string::npos);
+}
+
+TEST(RenderReport, DegradedAssessmentShowsCrashLine) {
+  const AttackAnalyzer analyzer(fast_options());
+  const AttackAssessment a = analyzer.assess_degraded(
+      small_system(400), QueryDistribution::uniform_over(401, 10000), 10);
+  const std::string report = render_report(a);
+  EXPECT_NE(report.find("10 nodes crashed"), std::string::npos);
+  EXPECT_NE(report.find("90 survivors"), std::string::npos);
 }
 
 TEST(RenderReport, AssessmentShowsBoundWhenPresent) {

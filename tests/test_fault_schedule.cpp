@@ -1,0 +1,187 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/routing.h"
+
+namespace scp {
+namespace {
+
+TEST(FaultView, HealthyByConstruction) {
+  const FaultView view(8);
+  EXPECT_EQ(view.nodes(), 8u);
+  EXPECT_EQ(view.alive_count, 8u);
+  EXPECT_FALSE(view.any_faults());
+  for (std::uint32_t n = 0; n < 8; ++n) {
+    EXPECT_EQ(view.alive[n], 1);
+    EXPECT_DOUBLE_EQ(view.slow[n], 1.0);
+    EXPECT_DOUBLE_EQ(view.drop[n], 0.0);
+  }
+}
+
+TEST(FaultView, AnyFaultsDetectsEachKind) {
+  FaultView crashed(4);
+  crashed.alive[2] = 0;
+  --crashed.alive_count;
+  EXPECT_TRUE(crashed.any_faults());
+
+  FaultView slowed(4);
+  slowed.slow[0] = 2.0;
+  EXPECT_TRUE(slowed.any_faults());
+
+  FaultView lossy(4);
+  lossy.drop[3] = 0.1;
+  EXPECT_TRUE(lossy.any_faults());
+}
+
+TEST(FaultSchedule, ViewAtReflectsActiveWindows) {
+  FaultSchedule schedule(4);
+  schedule.add_crash(0, 1.0, 2.0);
+  schedule.add_slow(1, 0.0, 3.0, 4.0);
+  schedule.add_network_drop(2, 0.5, 1.5, 0.3);
+
+  const FaultView before = schedule.view_at(0.0);
+  EXPECT_EQ(before.alive_count, 4u);
+  EXPECT_DOUBLE_EQ(before.slow[1], 4.0);
+  EXPECT_DOUBLE_EQ(before.drop[2], 0.0);
+
+  const FaultView during = schedule.view_at(1.0);
+  EXPECT_EQ(during.alive[0], 0);
+  EXPECT_EQ(during.alive_count, 3u);
+  EXPECT_DOUBLE_EQ(during.slow[1], 4.0);
+  EXPECT_DOUBLE_EQ(during.drop[2], 0.3);
+
+  // Events are active on [start, end): at end the fault is over.
+  const FaultView recovered = schedule.view_at(2.0);
+  EXPECT_EQ(recovered.alive[0], 1);
+  EXPECT_EQ(recovered.alive_count, 4u);
+
+  const FaultView after = schedule.view_at(3.0);
+  EXPECT_FALSE(after.any_faults());
+}
+
+TEST(FaultSchedule, CrashWithoutRecoveryLastsForever) {
+  FaultSchedule schedule(2);
+  schedule.add_crash(1, 0.5);
+  EXPECT_EQ(schedule.view_at(1e12).alive[1], 0);
+}
+
+TEST(FaultSchedule, OverlappingFaultsCombinePessimistically) {
+  FaultSchedule schedule(2);
+  schedule.add_slow(0, 0.0, 2.0, 2.0);
+  schedule.add_slow(0, 1.0, 3.0, 8.0);
+  schedule.add_network_drop(0, 0.0, 2.0, 0.1);
+  schedule.add_network_drop(0, 0.0, 2.0, 0.4);
+  const FaultView view = schedule.view_at(1.5);
+  EXPECT_DOUBLE_EQ(view.slow[0], 8.0);
+  EXPECT_DOUBLE_EQ(view.drop[0], 0.4);
+}
+
+TEST(FaultSchedule, TransitionTimesSortedUniqueFiniteOnly) {
+  FaultSchedule schedule(4);
+  schedule.add_crash(0, 2.0);  // never recovers: no end transition
+  schedule.add_slow(1, 0.5, 2.0, 3.0);
+  schedule.add_network_drop(2, 0.5, 1.0, 0.2);
+  const std::vector<double> times = schedule.transition_times();
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.0, 2.0}));
+}
+
+TEST(FaultSchedule, WorstViewPicksMinimumAliveSnapshot) {
+  FaultSchedule schedule(6);
+  schedule.add_crash(0, 0.0, 1.0);
+  schedule.add_crash(1, 0.5, 2.0);
+  schedule.add_crash(2, 0.5, 2.0);
+  const FaultView worst = schedule.worst_view();
+  EXPECT_EQ(worst.alive_count, 3u);  // t in [0.5, 1): nodes 0, 1, 2 all down
+  EXPECT_EQ(worst.alive[0], 0);
+  EXPECT_EQ(worst.alive[1], 0);
+  EXPECT_EQ(worst.alive[2], 0);
+
+  const FaultSchedule healthy(6);
+  EXPECT_FALSE(healthy.worst_view().any_faults());
+}
+
+TEST(FaultSchedule, RandomIsDeterministicGivenSeed) {
+  RandomFaultConfig config;
+  config.nodes = 50;
+  config.horizon_s = 2.0;
+  config.onset_window_s = 1.0;
+  config.crash_fraction = 0.2;
+  config.recovery_s = 0.5;
+  config.slow_fraction = 0.1;
+  config.drop_fraction = 0.1;
+  const FaultSchedule a = FaultSchedule::random(config, 42);
+  const FaultSchedule b = FaultSchedule::random(config, 42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_DOUBLE_EQ(a.events()[i].start_s, b.events()[i].start_s);
+    EXPECT_DOUBLE_EQ(a.events()[i].end_s, b.events()[i].end_s);
+    EXPECT_DOUBLE_EQ(a.events()[i].severity, b.events()[i].severity);
+  }
+}
+
+TEST(FaultSchedule, RandomRespectsFractionsAndRecovery) {
+  RandomFaultConfig config;
+  config.nodes = 100;
+  config.horizon_s = 1.0;
+  config.crash_fraction = 0.2;
+  config.recovery_s = 0.0;  // crashed nodes never come back
+  const FaultSchedule schedule = FaultSchedule::random(config, 7);
+  ASSERT_EQ(schedule.events().size(), 20u);
+  for (const FaultEvent& event : schedule.events()) {
+    EXPECT_EQ(event.kind, FaultKind::kCrash);
+    EXPECT_LT(event.node, 100u);
+    EXPECT_DOUBLE_EQ(event.start_s, 0.0);  // onset window 0: all at t = 0
+    EXPECT_EQ(event.end_s, FaultSchedule::kNeverRecovers);
+  }
+  EXPECT_EQ(schedule.worst_view().alive_count, 80u);
+}
+
+TEST(RetryPolicy, BackoffIsCappedExponential) {
+  RetryPolicy policy;
+  policy.backoff_base_s = 0.001;
+  policy.backoff_cap_s = 0.003;
+  EXPECT_DOUBLE_EQ(policy.backoff_s(0), 0.001);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(1), 0.002);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(2), 0.003);  // capped, not 0.004
+  EXPECT_DOUBLE_EQ(policy.backoff_s(10), 0.003);
+}
+
+TEST(RetryPolicy, MaxAttemptsBoundedByRetriesAndTimeout) {
+  RetryPolicy generous;
+  generous.max_retries = 3;
+  EXPECT_EQ(generous.max_attempts(), 4u);  // default timeout is ample
+
+  RetryPolicy tight;
+  tight.max_retries = 10;
+  tight.backoff_base_s = 0.1;
+  tight.backoff_cap_s = 1.0;
+  tight.timeout_s = 0.35;  // 0.1 + 0.2 fits, + 0.4 does not
+  EXPECT_EQ(tight.max_attempts(), 3u);
+
+  RetryPolicy none;
+  none.max_retries = 0;
+  EXPECT_EQ(none.max_attempts(), 1u);
+}
+
+TEST(Routing, AliveMembersFiltersDeadReplicas) {
+  const std::vector<NodeId> group = {3, 7, 1};
+  std::vector<std::uint8_t> alive(10, 1);
+  std::vector<NodeId> out(group.size());
+
+  EXPECT_EQ(alive_members(group, alive, out), 3u);
+  EXPECT_EQ(out, (std::vector<NodeId>{3, 7, 1}));  // order preserved
+
+  alive[7] = 0;
+  EXPECT_EQ(alive_members(group, alive, out), 2u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 1u);
+
+  alive[3] = alive[1] = 0;
+  EXPECT_EQ(alive_members(group, alive, out), 0u);
+}
+
+}  // namespace
+}  // namespace scp

@@ -132,6 +132,74 @@ TEST(CacheProvisioner, RejectsDegenerateSpecs) {
   EXPECT_DEATH(provisioner.plan(spec), "rate");
 }
 
+TEST(CacheProvisioner, DegradedGuaranteeRecomputesBoundsForSurvivors) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  const ClusterSpec spec = small_spec();
+  const DegradedGuarantee dg = provisioner.degraded_guarantee(spec, 400, 10);
+  EXPECT_EQ(dg.failures, 10u);
+  EXPECT_EQ(dg.surviving_nodes, 90u);
+  EXPECT_NEAR(dg.k, gap_k(90, 3, options.k_prime), 1e-12);
+  EXPECT_NEAR(dg.threshold, cache_size_threshold(90, 3, options.k_prime),
+              1e-9);
+  // c*(n) grows with n: a cache covering c*(100) still covers c*(90).
+  EXPECT_LT(dg.threshold, provisioner.threshold(100, 3));
+  EXPECT_TRUE(dg.cache_covers_threshold);
+  EXPECT_DOUBLE_EQ(dg.even_load_qps, 10000.0 / 90.0);
+  // The survivors' even spread (and worst case) exceed the healthy ones.
+  const ProvisionPlan plan = provisioner.plan(spec);
+  EXPECT_GT(dg.even_load_qps, plan.even_load_qps);
+  EXPECT_GT(dg.worst_case_load_bound_qps, 0.0);
+}
+
+TEST(CacheProvisioner, DegradedGuaranteeFlagsTooSmallCache) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  const DegradedGuarantee dg =
+      provisioner.degraded_guarantee(small_spec(), 50, 10);
+  EXPECT_FALSE(dg.cache_covers_threshold);
+}
+
+TEST(CacheProvisioner, DegradedCapacityCheckUsesSurvivingBaseline) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  ClusterSpec spec = small_spec();
+  // Healthy worst case is just under R/n = 100; half the cluster gone
+  // roughly doubles it. Pick a capacity between the two regimes.
+  spec.node_capacity_qps = 120.0;
+  EXPECT_TRUE(provisioner.plan(spec).capacity_sufficient);
+  const DegradedGuarantee dg =
+      provisioner.degraded_guarantee(spec, 400, 50);
+  EXPECT_FALSE(dg.capacity_sufficient);
+}
+
+TEST(CacheProvisioner, PlanEmbedsDegradedGuaranteeWhenRequested) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const ProvisionPlan healthy = CacheProvisioner(options).plan(small_spec());
+  EXPECT_FALSE(healthy.degraded.has_value());
+
+  options.degraded_failures = 10;
+  const CacheProvisioner provisioner(options);
+  const ProvisionPlan plan = provisioner.plan(small_spec());
+  ASSERT_TRUE(plan.degraded.has_value());
+  EXPECT_EQ(plan.degraded->failures, 10u);
+  // The embedded guarantee is evaluated at the recommended size, which
+  // covers the (smaller) degraded threshold by construction.
+  EXPECT_TRUE(plan.degraded->cache_covers_threshold);
+}
+
+TEST(CacheProvisioner, DegradedGuaranteeRejectsTooManyFailures) {
+  ProvisionOptions options = fast_options();
+  options.validate = false;
+  const CacheProvisioner provisioner(options);
+  EXPECT_DEATH(provisioner.degraded_guarantee(small_spec(), 400, 98),
+               "surviv");
+}
+
 TEST(CacheProvisioner, RejectsBadOptions) {
   ProvisionOptions options;
   options.safety_factor = 0.5;
