@@ -1,0 +1,420 @@
+// Live serving tier under open-loop load — the paper's rate-simulator
+// claims measured on a real TCP request path.
+//
+// Spawns a full loopback cluster in-process (n scp_backend instances plus
+// one scp_frontend, each on its own reactor thread), then replays a query
+// distribution against it from open-loop client threads: arrivals are
+// scheduled by a Poisson process at the configured aggregate rate and
+// latency is measured from the *scheduled* send time, so a slow server
+// cannot hide queueing delay by slowing the clients down (no coordinated
+// omission).
+//
+// The headline check: the live normalized max load — max over backends of
+// GETs served, divided by the even split completed/n — is compared against
+// the rate simulator's prediction for the *same* partition seed, cache size
+// and distribution. For --preset adversarial with --x 0 the bench first
+// lets the adversary pick their best x by sweeping predicted gain, exactly
+// how the paper's attacker would plan against a known c.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/perfect_cache.h"
+#include "cluster/cluster.h"
+#include "cluster/partitioner.h"
+#include "cluster/routing.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/sampling.h"
+#include "common/table.h"
+#include "net/backend_server.h"
+#include "net/frontend_server.h"
+#include "net/sync_client.h"
+#include "sim/rate_sim.h"
+#include "workload/distribution.h"
+
+namespace {
+
+using namespace scp;
+using namespace scp::bench;
+using Clock = std::chrono::steady_clock;
+
+struct LiveFlags {
+  std::uint64_t n = 8;           // backends
+  std::uint64_t d = 2;           // replication
+  std::uint64_t m = 4096;        // key space
+  std::uint64_t c = 4;           // front-end cache entries
+  std::uint64_t x = 0;           // adversarial: queried keys (0 = best x)
+  double theta = 0.9;            // zipf exponent
+  std::string preset = "adversarial";  // adversarial | zipf | flat
+  double rate = 3000.0;          // aggregate open-loop qps
+  double duration = 3.0;         // measured seconds
+  double warmup = 0.5;           // unrecorded seconds before measuring
+  std::uint64_t threads = 4;     // load generator threads
+  std::string cache = "perfect";
+  std::string router = "pinned";
+  std::string partitioner = "hash";
+  std::uint64_t value_bytes = 64;
+  std::uint64_t seed = 20130708;
+  std::string csv;
+  std::string json;
+};
+
+/// The rate simulator's counterpart of the live router: "pinned" realizes
+/// the same balls-into-bins placement the simulator models as least-loaded.
+std::string sim_selector(const std::string& router) {
+  return router == "pinned" ? "least-loaded" : router;
+}
+
+/// Predicted attack gain (Definition 1) for this distribution against the
+/// exact partition the live cluster runs: same partitioner kind and seed.
+double predict_gain(const LiveFlags& flags, const QueryDistribution& dist,
+                    std::uint64_t partition_seed, std::uint64_t sim_seed) {
+  Cluster cluster(make_partitioner(
+      flags.partitioner, static_cast<std::uint32_t>(flags.n),
+      static_cast<std::uint32_t>(flags.d), partition_seed));
+  PerfectCache cache(flags.c, dist);
+  auto selector = make_selector(sim_selector(flags.router));
+  RateSimConfig config;
+  config.query_rate = flags.rate;
+  config.seed = sim_seed;
+  return simulate_rates(cluster, cache, dist, *selector, config)
+      .normalized_max_load;
+}
+
+/// The adversary's planning step: sweep x over [c+1, m] and keep the x with
+/// the highest predicted gain against the live partition.
+std::uint64_t best_adversarial_x(const LiveFlags& flags,
+                                 std::uint64_t partition_seed,
+                                 std::uint64_t sim_seed) {
+  const std::uint64_t lo = std::min(flags.c + 1, flags.m);
+  std::vector<std::uint64_t> candidates = log_spaced(lo, flags.m, 17);
+  // The optimum often sits right above c; make sure the sweep has the first
+  // few x values exactly.
+  for (std::uint64_t x = lo; x < std::min(lo + 8, flags.m + 1); ++x) {
+    candidates.push_back(x);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::uint64_t best_x = lo;
+  double best_gain = -1.0;
+  for (std::uint64_t x : candidates) {
+    const QueryDistribution dist = QueryDistribution::uniform_over(x, flags.m);
+    const double gain = predict_gain(flags, dist, partition_seed, sim_seed);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+struct WorkerResult {
+  std::uint64_t completed = 0;  // VALUE or MISS replies inside the window
+  std::uint64_t failures = 0;   // kError replies, timeouts, dead connection
+  LogHistogram latency_us{5};
+};
+
+/// One open-loop client: Poisson arrivals at `rate` qps, latency measured
+/// from the scheduled arrival. Samples scheduled before `measure_from` are
+/// sent (they warm caches and pins) but not recorded.
+void run_worker(const std::string& address, std::uint16_t port,
+                const AliasSampler& sampler, double rate, Clock::time_point start,
+                Clock::time_point measure_from, Clock::time_point end,
+                std::uint64_t seed, WorkerResult& result) {
+  net::SyncClient client;
+  if (!client.connect(address, port, 2.0)) {
+    result.failures += 1;
+    return;
+  }
+  Rng rng(seed);
+  double offset_s = 0.0;  // scheduled arrival, relative to start
+  while (true) {
+    offset_s += rng.exponential(rate);
+    const auto scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(offset_s));
+    if (scheduled >= end) break;
+    std::this_thread::sleep_until(scheduled);
+
+    const std::uint64_t key = sampler.sample(rng);
+    const auto reply = client.get(key, 1.0);
+    const auto done = Clock::now();
+    const bool record = scheduled >= measure_from;
+
+    if (!reply.has_value()) {
+      if (record) result.failures += 1;
+      if (!client.connected() && !client.connect(address, port, 1.0)) {
+        return;  // front end is gone; give up
+      }
+      continue;
+    }
+    if (reply->type == net::MsgType::kError) {
+      if (record) result.failures += 1;
+      continue;
+    }
+    if (record) {
+      result.completed += 1;
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          done - scheduled)
+                          .count();
+      result.latency_us.record(static_cast<std::uint64_t>(std::max<long long>(
+          us, 1)));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The acceptance-command form `--json` (bare, no path) means "write the
+  // default file"; FlagSet wants a value, so synthesize one.
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> rewritten;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    const bool bare =
+        (i + 1 == args.size()) ||
+        (std::string(args[i + 1]).rfind("--", 0) == 0);
+    if (arg == "--json" && bare) {
+      rewritten.push_back("--json=live_serving.json");
+    } else if (arg == "--csv" && bare) {
+      rewritten.push_back("--csv=live_serving.csv");
+    } else {
+      rewritten.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  for (std::string& arg : rewritten) argv2.push_back(arg.data());
+
+  LiveFlags flags;
+  FlagSet flag_set(
+      "live_serving: open-loop load against a loopback scp cluster");
+  flag_set.add_uint64("n", &flags.n, "number of backend servers");
+  flag_set.add_uint64("d", &flags.d, "replica-group size");
+  flag_set.add_uint64("m", &flags.m, "key space size");
+  flag_set.add_uint64("c", &flags.c, "front-end cache entries");
+  flag_set.add_uint64("x", &flags.x,
+                      "adversarial queried keys (0 = adversary's best x)");
+  flag_set.add_double("theta", &flags.theta, "zipf exponent (--preset zipf)");
+  flag_set.add_string("preset", &flags.preset,
+                      "workload: adversarial|zipf|flat");
+  flag_set.add_double("rate", &flags.rate, "aggregate open-loop rate (qps)");
+  flag_set.add_double("duration", &flags.duration, "measured seconds");
+  flag_set.add_double("warmup", &flags.warmup,
+                      "unrecorded warmup seconds before measuring");
+  flag_set.add_uint64("threads", &flags.threads, "load generator threads");
+  flag_set.add_string("cache", &flags.cache,
+                      "front-end cache: perfect|none|lru|lfu|slru|tinylfu");
+  flag_set.add_string("router", &flags.router,
+                      "miss routing: pinned|least-loaded|random|round-robin");
+  flag_set.add_string("partitioner", &flags.partitioner,
+                      "replica partitioner: hash|ring|rendezvous");
+  flag_set.add_uint64("value-bytes", &flags.value_bytes, "stored value size");
+  flag_set.add_uint64("seed", &flags.seed, "base seed");
+  flag_set.add_string("csv", &flags.csv, "also write the table to this CSV");
+  flag_set.add_string("json", &flags.json,
+                      "also write the standard bench record to this JSON");
+  if (!flag_set.parse(static_cast<int>(argv2.size()), argv2.data())) return 2;
+
+  if (flags.n == 0 || flags.d == 0 || flags.d > flags.n || flags.m == 0 ||
+      flags.threads == 0) {
+    std::fprintf(stderr, "live_serving: need n > 0, 0 < d <= n, m > 0\n");
+    return 2;
+  }
+
+  CommonFlags common;
+  common.bench = "live_serving";
+  common.nodes = flags.n;
+  common.replication = flags.d;
+  common.items = flags.m;
+  common.rate = flags.rate;
+  common.runs = 1;
+  common.seed = flags.seed;
+  common.threads = flags.threads;
+  common.partitioner = flags.partitioner;
+  common.selector = flags.router;
+  common.csv = flags.csv;
+  common.json = flags.json;
+
+  const std::uint64_t partition_seed = derive_seed(flags.seed, 1);
+  const std::uint64_t sim_seed = derive_seed(flags.seed, 2);
+
+  // --- workload -----------------------------------------------------------
+  std::uint64_t x = flags.x;
+  if (flags.preset == "adversarial" && x == 0) {
+    x = best_adversarial_x(flags, partition_seed, sim_seed);
+  }
+  QueryDistribution dist = QueryDistribution::uniform(flags.m);
+  if (flags.preset == "adversarial") {
+    dist = QueryDistribution::uniform_over(x, flags.m);
+  } else if (flags.preset == "zipf") {
+    dist = QueryDistribution::zipf(flags.m, flags.theta);
+  } else if (flags.preset != "flat") {
+    std::fprintf(stderr, "live_serving: unknown preset '%s'\n",
+                 flags.preset.c_str());
+    return 2;
+  }
+  const double predicted =
+      predict_gain(flags, dist, partition_seed, sim_seed);
+
+  std::printf("live_serving: n=%llu d=%llu m=%llu c=%llu preset=%s%s "
+              "rate=%.0f duration=%.1fs threads=%llu cache=%s router=%s\n",
+              static_cast<unsigned long long>(flags.n),
+              static_cast<unsigned long long>(flags.d),
+              static_cast<unsigned long long>(flags.m),
+              static_cast<unsigned long long>(flags.c), flags.preset.c_str(),
+              flags.preset == "adversarial"
+                  ? (" x=" + std::to_string(x)).c_str()
+                  : "",
+              flags.rate, flags.duration,
+              static_cast<unsigned long long>(flags.threads),
+              flags.cache.c_str(), flags.router.c_str());
+  std::printf("rate-sim prediction (same partition seed): gain=%.4f\n\n",
+              predicted);
+
+  // --- loopback cluster ---------------------------------------------------
+  std::vector<std::unique_ptr<net::BackendServer>> backends;
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  for (std::uint32_t node = 0; node < flags.n; ++node) {
+    net::BackendConfig config;
+    config.node_id = node;
+    config.nodes = static_cast<std::uint32_t>(flags.n);
+    config.replication = static_cast<std::uint32_t>(flags.d);
+    config.partitioner = flags.partitioner;
+    config.partition_seed = partition_seed;
+    config.items = flags.m;
+    config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
+    auto backend = std::make_unique<net::BackendServer>(config);
+    if (!backend->start()) {
+      std::fprintf(stderr, "live_serving: backend %u failed to start\n", node);
+      return 1;
+    }
+    endpoints.emplace_back("127.0.0.1", backend->port());
+    backends.push_back(std::move(backend));
+  }
+
+  net::FrontendConfig fe_config;
+  fe_config.nodes = static_cast<std::uint32_t>(flags.n);
+  fe_config.replication = static_cast<std::uint32_t>(flags.d);
+  fe_config.partitioner = flags.partitioner;
+  fe_config.partition_seed = partition_seed;
+  fe_config.backends = endpoints;
+  fe_config.cache_policy = flags.cache;
+  fe_config.cache_capacity = flags.c;
+  fe_config.items = flags.m;
+  fe_config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
+  fe_config.router = flags.router;
+  fe_config.seed = derive_seed(flags.seed, 3);
+  net::FrontendServer frontend(fe_config);
+  if (!frontend.start()) {
+    std::fprintf(stderr, "live_serving: frontend failed to start\n");
+    return 1;
+  }
+  if (!frontend.wait_backends_up(5.0)) {
+    std::fprintf(stderr, "live_serving: backends never came up\n");
+    return 1;
+  }
+
+  // --- open-loop load -----------------------------------------------------
+  const AliasSampler sampler = dist.make_sampler();
+  const double per_thread_rate = flags.rate / static_cast<double>(flags.threads);
+  const auto start = Clock::now();
+  const auto measure_from =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(flags.warmup));
+  const auto end =
+      measure_from + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(flags.duration));
+
+  // Backend GETs served during warmup are excluded from the gain the same
+  // way warmup samples are excluded from latency: snapshot and subtract.
+  std::vector<WorkerResult> results(flags.threads);
+  std::vector<std::thread> workers;
+  std::vector<std::uint64_t> warmup_requests(flags.n, 0);
+  std::thread snapshotter([&] {
+    std::this_thread::sleep_until(measure_from);
+    for (std::uint32_t node = 0; node < flags.n; ++node) {
+      warmup_requests[node] = backends[node]->stats().requests;
+    }
+  });
+  for (std::uint64_t t = 0; t < flags.threads; ++t) {
+    workers.emplace_back(run_worker, "127.0.0.1", frontend.port(),
+                         std::cref(sampler), per_thread_rate, start,
+                         measure_from, end,
+                         derive_seed(flags.seed, 100 + t),
+                         std::ref(results[t]));
+  }
+  for (std::thread& worker : workers) worker.join();
+  snapshotter.join();
+
+  // --- collect ------------------------------------------------------------
+  std::uint64_t completed = 0;
+  std::uint64_t failures = 0;
+  LogHistogram latency_us(5);
+  for (const WorkerResult& result : results) {
+    completed += result.completed;
+    failures += result.failures;
+    latency_us.merge(result.latency_us);
+  }
+
+  TextTable backend_table({"node", "requests", "hits", "redirects", "share"});
+  std::uint64_t max_backend = 0;
+  for (std::uint32_t node = 0; node < flags.n; ++node) {
+    const net::ServerStats stats = backends[node]->stats();
+    const std::uint64_t measured = stats.requests - warmup_requests[node];
+    max_backend = std::max(max_backend, measured);
+    backend_table.add_row({static_cast<std::int64_t>(node),
+                           static_cast<std::int64_t>(measured),
+                           static_cast<std::int64_t>(stats.hits),
+                           static_cast<std::int64_t>(stats.redirects),
+                           completed > 0 ? static_cast<double>(measured) /
+                                               static_cast<double>(completed)
+                                         : 0.0});
+  }
+
+  const net::ServerStats fe_stats = frontend.stats();
+  frontend.stop(1.0);
+  for (auto& backend : backends) backend->stop(1.0);
+
+  const double ideal =
+      static_cast<double>(completed) / static_cast<double>(flags.n);
+  const double live_gain =
+      ideal > 0.0 ? static_cast<double>(max_backend) / ideal : 0.0;
+  const double throughput =
+      static_cast<double>(completed) / flags.duration;
+  const double hit_ratio =
+      fe_stats.requests > 0
+          ? static_cast<double>(fe_stats.hits) /
+                static_cast<double>(fe_stats.requests)
+          : 0.0;
+
+  std::printf("per-backend load (measured window):\n%s\n",
+              backend_table.render().c_str());
+
+  TextTable table({"preset", "x", "completed", "throughput_qps", "hit_ratio",
+                   "failures", "max_backend", "ideal", "live_gain",
+                   "predicted_gain", "gain_ratio", "p50_us", "p99_us",
+                   "p999_us"});
+  table.add_row({flags.preset,
+                 static_cast<std::int64_t>(flags.preset == "adversarial" ? x
+                                                                         : 0),
+                 static_cast<std::int64_t>(completed), throughput, hit_ratio,
+                 static_cast<std::int64_t>(failures),
+                 static_cast<std::int64_t>(max_backend), ideal, live_gain,
+                 predicted,
+                 predicted > 0.0 ? live_gain / predicted : 0.0,
+                 static_cast<std::int64_t>(latency_us.value_at_quantile(0.50)),
+                 static_cast<std::int64_t>(latency_us.value_at_quantile(0.99)),
+                 static_cast<std::int64_t>(
+                     latency_us.value_at_quantile(0.999))});
+  finish_table(table, common);
+  return 0;
+}

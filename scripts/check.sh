@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a bench smoke test.
+# Tier-1 verification plus bench and live-serving smoke tests.
 #
 # 1. Configure + build everything (honoring CMAKE_BUILD_TYPE / SCP_SANITIZE,
 #    reconfiguring if the cached values differ).
@@ -8,6 +8,13 @@
 #    default runs everything.
 # 3. Smoke-run one figure bench with --json and validate the record, so a
 #    bench/JSON regression cannot slip past a green unit-test run.
+# 4. Full mode only: smoke the live serving tier — scp_backend answers a
+#    kernel-assigned --port 0 and drains cleanly on SIGTERM, and
+#    bench/live_serving drives a real loopback cluster and emits valid JSON.
+#
+# All failure paths (including an interrupted ctest) propagate a nonzero
+# exit: the EXIT trap re-raises the first failing status after killing any
+# server processes this script spawned.
 #
 # Env knobs: BUILD_DIR, JOBS, QUICK=1, CMAKE_BUILD_TYPE, SCP_SANITIZE.
 set -euo pipefail
@@ -16,6 +23,24 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 QUICK="${QUICK:-0}"
+
+# PIDs of live servers spawned below; the trap reaps them on any exit so an
+# interrupted run never leaks listeners, and the original exit status (130 on
+# SIGINT, ctest's code on test failure) is what the caller sees.
+spawned_pids=()
+cleanup() {
+  local status=$?
+  for pid in "${spawned_pids[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  exit "$status"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 configure_args=()
 if [[ -n "${CMAKE_BUILD_TYPE:-}" ]]; then
@@ -34,17 +59,56 @@ if [[ "$QUICK" == "1" ]]; then
 fi
 ctest "${ctest_args[@]}"
 
+validate_json() {
+  local path="$1" bench="$2"
+  for field in "\"bench\":\"$bench\"" '"params"' '"wall_ms"' '"series"'; do
+    if ! grep -q -- "$field" "$path"; then
+      echo "check.sh: smoke JSON missing $field ($path)" >&2
+      return 1
+    fi
+  done
+}
+
 smoke_json="$BUILD_DIR/smoke_fig5a.json"
 rm -f "$smoke_json"
 "$BUILD_DIR/bench/fig5a_best_gain" \
   --nodes 100 --items 5000 --rate 10000 --runs 2 --grid-points 2 \
   --cache-list 50,100 --json "$smoke_json" >/dev/null
+validate_json "$smoke_json" fig5a_best_gain
 
-for field in '"bench":"fig5a_best_gain"' '"params"' '"wall_ms"' '"series"'; do
-  if ! grep -q -- "$field" "$smoke_json"; then
-    echo "check.sh: smoke JSON missing $field ($smoke_json)" >&2
+if [[ "$QUICK" != "1" ]]; then
+  # Live serving smoke 1: scp_backend binds a kernel-assigned port, prints
+  # it on stdout, and exits 0 after a SIGTERM drain.
+  backend_out="$BUILD_DIR/smoke_backend.out"
+  "$BUILD_DIR/src/net/scp_backend" --port 0 --node 0 --nodes 3 \
+    --items 64 >"$backend_out" &
+  backend_pid=$!
+  spawned_pids+=("$backend_pid")
+  port=""
+  for _ in $(seq 50); do
+    port="$(sed -n 's/^PORT \([0-9][0-9]*\)$/\1/p' "$backend_out")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" || "$port" == "0" ]]; then
+    echo "check.sh: scp_backend did not print a kernel-assigned port" >&2
     exit 1
   fi
-done
+  kill -TERM "$backend_pid"
+  if ! wait "$backend_pid"; then
+    echo "check.sh: scp_backend did not exit cleanly on SIGTERM" >&2
+    exit 1
+  fi
+
+  # Live serving smoke 2: the open-loop load generator against a real
+  # loopback cluster (1 frontend + n backends), emitting the standard JSON.
+  live_json="$BUILD_DIR/smoke_live_serving.json"
+  rm -f "$live_json"
+  "$BUILD_DIR/bench/live_serving" \
+    --n 3 --d 2 --m 1024 --c 4 --rate 1000 --duration 1 --warmup 0.2 \
+    --threads 2 --json "$live_json" >/dev/null
+  validate_json "$live_json" live_serving
+  echo "check.sh: live serving smoke OK"
+fi
 
 echo "check.sh: OK (tests green, smoke bench JSON validated)"

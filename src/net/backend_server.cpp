@@ -1,0 +1,108 @@
+#include "net/backend_server.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+
+namespace scp::net {
+
+BackendServer::BackendServer(BackendConfig config)
+    : config_(std::move(config)),
+      partitioner_(make_partitioner(config_.partitioner, config_.nodes,
+                                    config_.replication,
+                                    config_.partition_seed)) {}
+
+BackendServer::~BackendServer() { stop(0.0); }
+
+void BackendServer::preload() {
+  std::vector<NodeId> group(config_.replication);
+  for (std::uint64_t key = 0; key < config_.items; ++key) {
+    partitioner_->replica_group(key, group);
+    if (std::find(group.begin(), group.end(), config_.node_id) != group.end()) {
+      storage_.apply_put(key, make_value(key, config_.value_bytes),
+                         /*version=*/1);
+    }
+  }
+}
+
+bool BackendServer::start() {
+  preload();
+  FrameLoop::Callbacks callbacks;
+  callbacks.on_message = [this](ConnId conn, Message&& message) {
+    handle(conn, std::move(message));
+  };
+  loop_.set_callbacks(std::move(callbacks));
+  if (!loop_.listen(config_.address, config_.port)) return false;
+  if (!loop_.start()) return false;
+  SCP_LOG_INFO << "scp_backend node " << config_.node_id << " serving "
+               << storage_.live_count() << " keys on " << config_.address
+               << ":" << loop_.port();
+  return true;
+}
+
+void BackendServer::stop(double drain_s) { loop_.stop(drain_s); }
+
+ServerStats BackendServer::stats() const {
+  ServerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.redirects = redirects_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void BackendServer::handle(ConnId conn, Message&& message) {
+  switch (message.type) {
+    case MsgType::kGet: {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<NodeId> group(config_.replication);
+      partitioner_->replica_group(message.key, group);
+      if (std::find(group.begin(), group.end(), config_.node_id) ==
+          group.end()) {
+        redirects_.fetch_add(1, std::memory_order_relaxed);
+        Message reply;
+        reply.type = MsgType::kRedirect;
+        reply.key = message.key;
+        reply.node = group[0];
+        loop_.send(conn, reply);
+        return;
+      }
+      Message reply;
+      reply.key = message.key;
+      if (auto value = storage_.get(message.key); value.has_value()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kValue;
+        reply.payload = std::move(*value);
+      } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kMiss;
+      }
+      loop_.send(conn, reply);
+      return;
+    }
+    case MsgType::kStats: {
+      Message reply;
+      reply.type = MsgType::kStatsReply;
+      reply.stats = stats();
+      loop_.send(conn, reply);
+      return;
+    }
+    case MsgType::kPing: {
+      Message reply;
+      reply.type = MsgType::kPong;
+      loop_.send(conn, reply);
+      return;
+    }
+    default: {
+      Message reply;
+      reply.type = MsgType::kError;
+      reply.key = message.key;
+      reply.payload = "unexpected message type";
+      loop_.send(conn, reply);
+      return;
+    }
+  }
+}
+
+}  // namespace scp::net

@@ -1,0 +1,72 @@
+// scp_backend: one replica-group member serving GETs over TCP.
+//
+// Wraps a kvstore::StorageEngine preloaded with every key whose replica
+// group (under the cluster-wide partitioner seed) contains this node. A GET
+// for a key this node does not own is answered with REDIRECT to the key's
+// first replica — with matching partitioner seeds across the tier that
+// never happens, so a REDIRECT in the counters flags a misconfigured
+// cluster. Per-node request counters are the measurement the live serving
+// bench exists for: the max over backends of GETs served, normalized by the
+// even split, is the live analogue of the paper's normalized max load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/partitioner.h"
+#include "kvstore/storage_engine.h"
+#include "net/frame_loop.h"
+
+namespace scp::net {
+
+struct BackendConfig {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned (see BackendServer::port)
+  std::uint32_t node_id = 0;
+  std::uint32_t nodes = 8;        ///< n
+  std::uint32_t replication = 2;  ///< d
+  std::string partitioner = "hash";
+  std::uint64_t partition_seed = 1;
+  /// Keys 0…items-1 are preloaded where owned; 0 = empty store.
+  std::uint64_t items = 0;
+  std::uint32_t value_bytes = 64;
+};
+
+class BackendServer {
+ public:
+  explicit BackendServer(BackendConfig config);
+  ~BackendServer();
+
+  /// Binds, preloads the storage engine and starts serving. False on bind
+  /// failure.
+  bool start();
+  /// Graceful stop: drains queued replies for up to `drain_s`.
+  void stop(double drain_s = 1.0);
+
+  std::uint16_t port() const noexcept { return loop_.port(); }
+  bool running() const noexcept { return loop_.running(); }
+
+  /// Counter snapshot (thread-safe).
+  ServerStats stats() const;
+
+  const StorageEngine& storage() const noexcept { return storage_; }
+  const BackendConfig& config() const noexcept { return config_; }
+
+ private:
+  void preload();
+  void handle(ConnId conn, Message&& message);
+
+  BackendConfig config_;
+  std::unique_ptr<ReplicaPartitioner> partitioner_;
+  StorageEngine storage_;
+  FrameLoop loop_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+};
+
+}  // namespace scp::net

@@ -1,0 +1,156 @@
+#include "net/event_loop.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#if SCP_NET_USE_EPOLL
+#include <sys/epoll.h>
+#endif
+
+#include "common/log.h"
+
+namespace scp::net {
+namespace {
+
+bool make_wake_pipe(Socket& read_end, Socket& write_end) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    SCP_LOG_ERROR << "net: pipe() failed: " << std::strerror(errno);
+    return false;
+  }
+  read_end.reset(fds[0]);
+  write_end.reset(fds[1]);
+  return set_nonblocking(fds[0]) && set_nonblocking(fds[1]);
+}
+
+}  // namespace
+
+#if SCP_NET_USE_EPOLL
+
+EventLoop::EventLoop() {
+  if (!make_wake_pipe(wake_read_, wake_write_)) return;
+  epoll_.reset(::epoll_create1(0));
+  if (!epoll_.valid()) {
+    SCP_LOG_ERROR << "net: epoll_create1 failed: " << std::strerror(errno);
+    return;
+  }
+  add(wake_read_.fd(), /*want_read=*/true, /*want_write=*/false);
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::valid() const noexcept {
+  return epoll_.valid() && wake_read_.valid();
+}
+
+bool EventLoop::add(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool EventLoop::modify(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
+  out.clear();
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_.fd(), events, 64, timeout_ms);
+  if (n < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_read_.fd()) {
+      char buf[64];
+      while (::read(fd, buf, sizeof(buf)) > 0) {
+      }
+      continue;
+    }
+    IoEvent event;
+    event.fd = fd;
+    event.readable = (events[i].events & EPOLLIN) != 0;
+    event.writable = (events[i].events & EPOLLOUT) != 0;
+    event.broken = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    out.push_back(event);
+  }
+  return static_cast<int>(out.size());
+}
+
+#else  // poll(2) fallback
+
+EventLoop::EventLoop() {
+  if (!make_wake_pipe(wake_read_, wake_write_)) return;
+  interest_[wake_read_.fd()] = POLLIN;
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::valid() const noexcept { return wake_read_.valid(); }
+
+bool EventLoop::add(int fd, bool want_read, bool want_write) {
+  if (interest_.count(fd) != 0) return false;
+  interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                     (want_write ? POLLOUT : 0));
+  return true;
+}
+
+bool EventLoop::modify(int fd, bool want_read, bool want_write) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) return false;
+  it->second = static_cast<short>((want_read ? POLLIN : 0) |
+                                  (want_write ? POLLOUT : 0));
+  return true;
+}
+
+void EventLoop::remove(int fd) { interest_.erase(fd); }
+
+int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
+  out.clear();
+  pollfds_.clear();
+  for (const auto& [fd, events] : interest_) {
+    pollfds_.push_back(pollfd{fd, events, 0});
+  }
+  const int n = ::poll(pollfds_.data(),
+                       static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+  if (n < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  for (const pollfd& pfd : pollfds_) {
+    if (pfd.revents == 0) continue;
+    if (pfd.fd == wake_read_.fd()) {
+      char buf[64];
+      while (::read(pfd.fd, buf, sizeof(buf)) > 0) {
+      }
+      continue;
+    }
+    IoEvent event;
+    event.fd = pfd.fd;
+    event.readable = (pfd.revents & POLLIN) != 0;
+    event.writable = (pfd.revents & POLLOUT) != 0;
+    event.broken = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(event);
+  }
+  return static_cast<int>(out.size());
+}
+
+#endif  // SCP_NET_USE_EPOLL
+
+void EventLoop::wakeup() noexcept {
+  const char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_.fd(), &byte, 1);
+}
+
+}  // namespace scp::net

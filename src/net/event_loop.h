@@ -1,0 +1,70 @@
+// Readiness notification for the serving tier: epoll on Linux, poll(2)
+// everywhere else (or when SCP_NET_FORCE_POLL is defined — the CI matrix
+// builds the fallback on Linux too so it cannot rot).
+//
+// Level-triggered semantics on both backends: a registered fd is reported
+// readable/writable on every wait() while the condition holds. A self-pipe
+// is built in so another thread can interrupt a blocking wait (wakeup()).
+#pragma once
+
+#include <poll.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+
+#if defined(__linux__) && !defined(SCP_NET_FORCE_POLL)
+#define SCP_NET_USE_EPOLL 1
+#else
+#define SCP_NET_USE_EPOLL 0
+#endif
+
+namespace scp::net {
+
+struct IoEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error or hangup: the owner should tear the connection down after
+  /// draining whatever read() still returns.
+  bool broken = false;
+};
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when construction acquired every resource (epoll fd / wake pipe).
+  bool valid() const noexcept;
+
+  bool add(int fd, bool want_read, bool want_write);
+  bool modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) and appends ready events to
+  /// `out` (cleared first). Returns the number of events, 0 on timeout, -1
+  /// on error. Wakeups drain the pipe and count as a return with 0 events.
+  int wait(std::vector<IoEvent>& out, int timeout_ms);
+
+  /// Interrupts a concurrent wait(). Safe from any thread and from signal
+  /// handlers (write(2) only).
+  void wakeup() noexcept;
+
+ private:
+  Socket wake_read_;
+  Socket wake_write_;
+#if SCP_NET_USE_EPOLL
+  Socket epoll_;
+#else
+  // fd → interest; the pollfd array is rebuilt on demand.
+  std::unordered_map<int, short> interest_;
+  std::vector<pollfd> pollfds_;
+#endif
+};
+
+}  // namespace scp::net

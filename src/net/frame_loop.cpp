@@ -1,0 +1,393 @@
+#include "net/frame_loop.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace scp::net {
+
+FrameLoop::FrameLoop() = default;
+
+FrameLoop::~FrameLoop() { stop(0.0); }
+
+bool FrameLoop::listen(const std::string& address, std::uint16_t port,
+                       int backlog) {
+  listener_ = listen_tcp(address, port, backlog, &port_);
+  if (!listener_.valid()) return false;
+  events_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+  return true;
+}
+
+bool FrameLoop::start() {
+  if (started_ || !events_.valid()) return false;
+  started_ = true;
+  // Visible before the thread spawns so running() is true the moment start()
+  // returns; callers poll it as the serve-loop condition.
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void FrameLoop::stop(double drain_s) {
+  if (!started_) {
+    listener_.reset();
+    return;
+  }
+  drain_s_.store(drain_s);
+  stop_requested_.store(true);
+  events_.wakeup();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+ConnId FrameLoop::connect(const std::string& address, std::uint16_t port) {
+  const ConnId id = next_conn_id_.fetch_add(1);
+  if (!running_.load()) {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    pending_connects_.push_back({id, {address, port}});
+    return id;
+  }
+  if (on_loop_thread()) {
+    do_connect(id, address, port);
+  } else {
+    post([this, id, address, port] { do_connect(id, address, port); });
+  }
+  return id;
+}
+
+bool FrameLoop::send(ConnId conn_id, const Message& message) {
+  Connection* conn = find(conn_id);
+  if (conn == nullptr) return false;
+  const std::vector<std::uint8_t> frame = encode(message);
+  conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  if (!conn->connecting) {
+    flush_writes(*conn);
+    // flush_writes may have destroyed the connection on a write error.
+    conn = find(conn_id);
+    if (conn == nullptr) return false;
+  }
+  update_interest(*conn);
+  return true;
+}
+
+void FrameLoop::close_connection(ConnId conn_id) { destroy(conn_id, true); }
+
+void FrameLoop::run_after(double delay_s, std::function<void()> fn) {
+  if (running_.load() && !on_loop_thread()) {
+    post([this, delay_s, fn = std::move(fn)]() mutable {
+      run_after(delay_s, std::move(fn));
+    });
+    return;
+  }
+  Timer timer;
+  timer.deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(delay_s));
+  timer.seq = timer_seq_++;
+  timer.fn = std::move(fn);
+  timers_.push(std::move(timer));
+}
+
+void FrameLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  events_.wakeup();
+}
+
+FrameLoop::Connection* FrameLoop::find(ConnId id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void FrameLoop::loop() {
+  loop_thread_id_ = std::this_thread::get_id();
+
+  std::vector<IoEvent> ready;
+  Clock::time_point drain_deadline{};
+
+  while (true) {
+    // Posted functions and queued pre-start connects.
+    std::vector<std::function<void()>> posted;
+    std::vector<std::pair<ConnId, std::pair<std::string, std::uint16_t>>>
+        connects;
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      posted.swap(posted_);
+      connects.swap(pending_connects_);
+    }
+    for (auto& [id, target] : connects) {
+      do_connect(id, target.first, target.second);
+    }
+    for (auto& fn : posted) {
+      fn();
+    }
+
+    if (!draining_) {
+      run_due_timers();
+    }
+
+    if (stop_requested_.load() && !draining_) {
+      draining_ = true;
+      drain_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(drain_s_.load()));
+      if (listener_.valid()) {
+        events_.remove(listener_.fd());
+        listener_.reset();
+      }
+      // Abort half-open connects; keep established connections write-only
+      // so queued replies still go out.
+      std::vector<ConnId> connecting;
+      for (auto& [id, conn] : conns_) {
+        if (conn.connecting) connecting.push_back(id);
+      }
+      for (ConnId id : connecting) {
+        destroy(id, false);
+      }
+      for (auto& [id, conn] : conns_) {
+        update_interest(conn);
+      }
+    }
+
+    if (draining_) {
+      bool writes_pending = false;
+      for (const auto& [id, conn] : conns_) {
+        if (conn.out_off < conn.out.size()) {
+          writes_pending = true;
+          break;
+        }
+      }
+      if (!writes_pending || Clock::now() >= drain_deadline) break;
+    }
+
+    const int timeout_ms = draining_ ? 10 : next_timeout_ms();
+    const int n = events_.wait(ready, timeout_ms);
+    if (n < 0) {
+      SCP_LOG_ERROR << "net: event loop wait failed: " << std::strerror(errno)
+                    << "; shutting down";
+      break;
+    }
+    for (const IoEvent& event : ready) {
+      handle_event(event);
+    }
+  }
+
+  // Final teardown: no callbacks.
+  for (auto& [id, conn] : conns_) {
+    events_.remove(conn.sock.fd());
+  }
+  conns_.clear();
+  by_fd_.clear();
+  running_.store(false);
+}
+
+void FrameLoop::do_connect(ConnId id, const std::string& address,
+                           std::uint16_t port) {
+  if (draining_) {
+    if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+    return;
+  }
+  bool in_progress = false;
+  Socket sock = connect_tcp_nonblocking(address, port, &in_progress);
+  if (!sock.valid()) {
+    if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+    return;
+  }
+  const int fd = sock.fd();
+  Connection conn;
+  conn.id = id;
+  conn.sock = std::move(sock);
+  conn.outbound = true;
+  conn.connecting = in_progress;
+  conn.want_write = in_progress;
+  events_.add(fd, /*want_read=*/!in_progress, /*want_write=*/in_progress);
+  by_fd_[fd] = id;
+  conns_.emplace(id, std::move(conn));
+  if (!in_progress && callbacks_.on_connect) {
+    callbacks_.on_connect(id, true);
+  }
+}
+
+void FrameLoop::accept_ready() {
+  while (listener_.valid()) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        SCP_LOG_WARN << "net: accept failed: " << std::strerror(errno);
+      }
+      return;
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    const ConnId id = next_conn_id_.fetch_add(1);
+    Connection conn;
+    conn.id = id;
+    conn.sock.reset(fd);
+    events_.add(fd, /*want_read=*/true, /*want_write=*/false);
+    by_fd_[fd] = id;
+    conns_.emplace(id, std::move(conn));
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FrameLoop::handle_event(const IoEvent& event) {
+  if (listener_.valid() && event.fd == listener_.fd()) {
+    accept_ready();
+    return;
+  }
+  auto fd_it = by_fd_.find(event.fd);
+  if (fd_it == by_fd_.end()) return;  // destroyed earlier this batch
+  const ConnId id = fd_it->second;
+
+  Connection* conn = find(id);
+  if (conn == nullptr) return;
+
+  if (conn->connecting) {
+    if (event.writable || event.broken) {
+      int error = 0;
+      socklen_t len = sizeof(error);
+      if (::getsockopt(conn->sock.fd(), SOL_SOCKET, SO_ERROR, &error, &len) !=
+              0 ||
+          error != 0 || event.broken) {
+        if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+        destroy(id, false);
+        return;
+      }
+      conn->connecting = false;
+      update_interest(*conn);
+      if (callbacks_.on_connect) callbacks_.on_connect(id, true);
+    }
+    return;
+  }
+
+  if (event.readable) {
+    handle_readable(id);
+    conn = find(id);
+    if (conn == nullptr) return;
+  }
+  if (event.writable) {
+    flush_writes(*conn);
+    conn = find(id);
+    if (conn == nullptr) return;
+    update_interest(*conn);
+  }
+  if (event.broken) {
+    destroy(id, true);
+  }
+}
+
+void FrameLoop::handle_readable(ConnId id) {
+  Connection* conn = find(id);
+  if (conn == nullptr) return;
+
+  std::uint8_t buffer[16384];
+  while (true) {
+    const ssize_t n = ::recv(conn->sock.fd(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->reader.append({buffer, static_cast<std::size_t>(n)});
+      if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    destroy(id, true);  // EOF or hard error
+    return;
+  }
+
+  while (true) {
+    conn = find(id);
+    if (conn == nullptr) return;
+    auto payload = conn->reader.next_payload();
+    if (!payload.has_value()) {
+      if (conn->reader.corrupted()) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        destroy(id, true);
+      }
+      return;
+    }
+    auto message = decode_payload(*payload);
+    if (!message.has_value()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      destroy(id, true);
+      return;
+    }
+    counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    if (!draining_ && callbacks_.on_message) {
+      callbacks_.on_message(id, std::move(*message));
+    }
+  }
+}
+
+void FrameLoop::flush_writes(Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.sock.fd(), conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    destroy(conn.id, true);
+    return;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+}
+
+void FrameLoop::update_interest(Connection& conn) {
+  const bool want_read = !draining_ && !conn.connecting;
+  const bool want_write =
+      conn.connecting || conn.out_off < conn.out.size();
+  events_.modify(conn.sock.fd(), want_read, want_write);
+  conn.want_write = want_write;
+}
+
+void FrameLoop::destroy(ConnId id, bool notify) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  // Move the connection out before the callback so on_close can freely call
+  // back into the loop (send to other conns, reconnect, ...).
+  Connection conn = std::move(it->second);
+  conns_.erase(it);
+  by_fd_.erase(conn.sock.fd());
+  events_.remove(conn.sock.fd());
+  conn.sock.reset();
+  if (notify && callbacks_.on_close) {
+    callbacks_.on_close(id);
+  }
+}
+
+void FrameLoop::run_due_timers() {
+  const Clock::time_point now = Clock::now();
+  while (!timers_.empty() && timers_.top().deadline <= now) {
+    // priority_queue::top() is const; the handle is moved out via a cast —
+    // safe because pop() immediately removes the slot.
+    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
+    fn();
+  }
+}
+
+int FrameLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 100;
+  const auto now = Clock::now();
+  const auto deadline = timers_.top().deadline;
+  if (deadline <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count();
+  return static_cast<int>(std::min<long long>(ms + 1, 100));
+}
+
+}  // namespace scp::net

@@ -1,0 +1,170 @@
+// Single-threaded framed-TCP reactor: one event loop (epoll or poll) on its
+// own thread, owning a set of connections that speak the length-prefixed
+// wire protocol. Both server roles and the front-end's backend pool are
+// built on this one class — a FrameLoop can simultaneously accept inbound
+// connections (listen) and maintain outbound ones (connect), which is
+// exactly what scp_frontend needs to forward misses while serving clients.
+//
+// Threading contract: callbacks, send(), close_connection() and run_after()
+// execute on the loop thread (callbacks are invoked there; calling these
+// from inside a callback is the normal pattern). listen()/connect()/
+// run_after() may also be called before start(). post() and stop() are safe
+// from any thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace scp::net {
+
+using ConnId = std::uint64_t;
+inline constexpr ConnId kInvalidConn = 0;
+
+/// Loop-wide counters, readable from any thread.
+struct FrameLoopCounters {
+  std::atomic<std::uint64_t> accepted{0};         ///< inbound connections
+  std::atomic<std::uint64_t> frames_in{0};        ///< decoded messages
+  std::atomic<std::uint64_t> frames_out{0};       ///< messages queued out
+  std::atomic<std::uint64_t> protocol_errors{0};  ///< bad frames/streams
+};
+
+class FrameLoop {
+ public:
+  struct Callbacks {
+    /// A complete, decoded message arrived on `conn`.
+    std::function<void(ConnId, Message&&)> on_message;
+    /// `conn` went away (peer close, error, protocol violation, or a local
+    /// close_connection()). Not fired for never-established outbound
+    /// connects or during final teardown.
+    std::function<void(ConnId)> on_close;
+    /// Outcome of a connect(): established (true) or failed (false; the
+    /// conn id is dead afterwards).
+    std::function<void(ConnId, bool)> on_connect;
+  };
+
+  FrameLoop();
+  ~FrameLoop();
+  FrameLoop(const FrameLoop&) = delete;
+  FrameLoop& operator=(const FrameLoop&) = delete;
+
+  /// Must be set before start().
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Binds and listens (port 0 = kernel-assigned; see port()). Call before
+  /// start(). Returns false on bind/listen failure.
+  bool listen(const std::string& address, std::uint16_t port,
+              int backlog = 128);
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Spawns the loop thread. Returns false if the event loop could not be
+  /// created or the loop is already running.
+  bool start();
+
+  /// Graceful stop from any thread: stops accepting and dispatching, keeps
+  /// flushing queued writes for up to `drain_s`, then closes everything and
+  /// joins. Idempotent.
+  void stop(double drain_s = 1.0);
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// Starts an outbound connection; result arrives via on_connect. Usable
+  /// before start() (queued) or on the loop thread; other threads are
+  /// transparently rerouted through post().
+  ConnId connect(const std::string& address, std::uint16_t port);
+
+  /// Queues a message on `conn` (loop thread). False if the conn is gone.
+  bool send(ConnId conn, const Message& message);
+
+  /// Closes `conn` and fires on_close (loop thread).
+  void close_connection(ConnId conn);
+
+  /// Runs `fn` on the loop thread after `delay_s` seconds. Timers die with
+  /// the loop (not fired on stop).
+  void run_after(double delay_s, std::function<void()> fn);
+
+  /// Enqueues `fn` for execution on the loop thread. Thread-safe.
+  void post(std::function<void()> fn);
+
+  const FrameLoopCounters& counters() const noexcept { return counters_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection {
+    ConnId id = kInvalidConn;
+    Socket sock;
+    FrameReader reader;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    bool outbound = false;
+    bool connecting = false;
+    bool want_write = false;
+  };
+
+  struct Timer {
+    Clock::time_point deadline;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const noexcept {
+      return deadline != other.deadline ? deadline > other.deadline
+                                        : seq > other.seq;
+    }
+  };
+
+  bool on_loop_thread() const noexcept {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+
+  void loop();
+  void do_connect(ConnId id, const std::string& address, std::uint16_t port);
+  void accept_ready();
+  Connection* find(ConnId id);
+  void handle_event(const IoEvent& event);
+  void handle_readable(ConnId id);
+  void flush_writes(Connection& conn);
+  void update_interest(Connection& conn);
+  void destroy(ConnId id, bool notify);
+  void run_due_timers();
+  int next_timeout_ms() const;
+
+  Callbacks callbacks_;
+  EventLoop events_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+
+  std::unordered_map<ConnId, Connection> conns_;
+  std::unordered_map<int, ConnId> by_fd_;
+  std::atomic<ConnId> next_conn_id_{1};
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::vector<std::pair<ConnId, std::pair<std::string, std::uint16_t>>>
+      pending_connects_;  // queued before start()
+
+  std::thread thread_;
+  std::thread::id loop_thread_id_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<double> drain_s_{1.0};
+  bool draining_ = false;  // loop thread only
+  bool started_ = false;
+
+  FrameLoopCounters counters_;
+};
+
+}  // namespace scp::net

@@ -1,0 +1,426 @@
+#include "net/frontend_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+
+namespace scp::net {
+namespace {
+
+/// Timeout sweep cadence. Coarse on purpose: a request deadline is enforced
+/// within one sweep period, which is plenty for RetryPolicy's default 500 ms
+/// budget.
+constexpr double kSweepIntervalS = 0.020;
+constexpr double kReconnectBaseS = 0.050;
+constexpr double kReconnectCapS = 1.0;
+
+}  // namespace
+
+FrontendServer::FrontendServer(FrontendConfig config)
+    : config_(std::move(config)),
+      partitioner_(make_partitioner(config_.partitioner, config_.nodes,
+                                    config_.replication,
+                                    config_.partition_seed)),
+      rng_(config_.seed),
+      group_(config_.replication),
+      candidates_(config_.replication) {
+  if (config_.cache_policy != "perfect" && config_.cache_policy != "none" &&
+      config_.cache_capacity > 0) {
+    tier_ = std::make_unique<FrontEndTier>(
+        std::max<std::uint32_t>(config_.frontends, 1), config_.cache_capacity,
+        config_.cache_policy, derive_seed(config_.seed, 7));
+  }
+}
+
+FrontendServer::~FrontendServer() { stop(0.0); }
+
+bool FrontendServer::start() {
+  if (config_.backends.size() != config_.nodes) {
+    SCP_LOG_ERROR << "scp_frontend: " << config_.backends.size()
+                  << " backend endpoints for " << config_.nodes << " nodes";
+    return false;
+  }
+  backends_.resize(config_.nodes);
+  loads_.assign(config_.nodes, 0.0);
+  for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+    backends_[node].address = config_.backends[node].first;
+    backends_[node].port = config_.backends[node].second;
+  }
+
+  FrameLoop::Callbacks callbacks;
+  callbacks.on_message = [this](ConnId conn, Message&& message) {
+    handle(conn, std::move(message));
+  };
+  callbacks.on_close = [this](ConnId conn) { on_conn_close(conn); };
+  callbacks.on_connect = [this](ConnId conn, bool ok) {
+    on_conn_connect(conn, ok);
+  };
+  loop_.set_callbacks(std::move(callbacks));
+
+  if (!loop_.listen(config_.address, config_.port)) return false;
+
+  for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+    BackendState& backend = backends_[node];
+    backend.conn = loop_.connect(backend.address, backend.port);
+    backend_by_conn_[backend.conn] = node;
+  }
+  loop_.run_after(kSweepIntervalS, [this] { sweep_timeouts(); });
+
+  if (!loop_.start()) return false;
+  SCP_LOG_INFO << "scp_frontend serving on " << config_.address << ":"
+               << loop_.port() << " (n=" << config_.nodes
+               << " d=" << config_.replication << " cache="
+               << config_.cache_policy << "/" << config_.cache_capacity
+               << " router=" << config_.router << ")";
+  return true;
+}
+
+void FrontendServer::stop(double drain_s) {
+  stopping_.store(true);
+  // Let in-flight forwards complete before tearing the loop down.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(drain_s));
+  while (pending_total_.load() > 0 &&
+         std::chrono::steady_clock::now() < deadline && loop_.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  loop_.stop(drain_s);
+}
+
+bool FrontendServer::wait_backends_up(double timeout_s) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+  while (backends_up_.load() < config_.nodes) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+ServerStats FrontendServer::stats() const {
+  ServerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.redirects = redirects_.load(std::memory_order_relaxed);
+  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void FrontendServer::handle(ConnId conn, Message&& message) {
+  auto it = backend_by_conn_.find(conn);
+  if (it != backend_by_conn_.end()) {
+    handle_backend(it->second, std::move(message));
+  } else {
+    handle_client(conn, std::move(message));
+  }
+}
+
+void FrontendServer::handle_client(ConnId conn, Message&& message) {
+  switch (message.type) {
+    case MsgType::kGet: {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::string value;
+      if (cache_lookup(message.key, value)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        Message reply;
+        reply.type = MsgType::kValue;
+        reply.key = message.key;
+        reply.payload = std::move(value);
+        loop_.send(conn, reply);
+        return;
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      forward(conn, message.key, /*attempts=*/0);
+      return;
+    }
+    case MsgType::kStats: {
+      Message reply;
+      reply.type = MsgType::kStatsReply;
+      reply.stats = stats();
+      loop_.send(conn, reply);
+      return;
+    }
+    case MsgType::kPing: {
+      Message reply;
+      reply.type = MsgType::kPong;
+      loop_.send(conn, reply);
+      return;
+    }
+    default: {
+      Message reply;
+      reply.type = MsgType::kError;
+      reply.key = message.key;
+      reply.payload = "unexpected message type";
+      loop_.send(conn, reply);
+      return;
+    }
+  }
+}
+
+void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
+  BackendState& backend = backends_[node];
+  if (message.type == MsgType::kPong ||
+      message.type == MsgType::kStatsReply) {
+    return;  // health probes; nothing pending
+  }
+  if (backend.pending.empty() || backend.pending.front().key != message.key) {
+    // FIFO contract broken — drop the connection; on_conn_close requeues.
+    SCP_LOG_WARN << "scp_frontend: reply mismatch from backend " << node
+                 << "; resetting connection";
+    loop_.close_connection(backend.conn);
+    return;
+  }
+  PendingRequest request = backend.pending.front();
+  backend.pending.pop_front();
+  pending_total_.fetch_sub(1, std::memory_order_relaxed);
+
+  switch (message.type) {
+    case MsgType::kValue: {
+      admit(message.key, message.payload);
+      Message reply;
+      reply.type = MsgType::kValue;
+      reply.key = message.key;
+      reply.payload = std::move(message.payload);
+      loop_.send(request.client, reply);
+      return;
+    }
+    case MsgType::kMiss: {
+      Message reply;
+      reply.type = MsgType::kMiss;
+      reply.key = message.key;
+      loop_.send(request.client, reply);
+      return;
+    }
+    case MsgType::kRedirect: {
+      // Seeds agree across the tier, so this indicates misconfiguration;
+      // follow the hint once per attempt budget anyway.
+      redirects_.fetch_add(1, std::memory_order_relaxed);
+      if (message.node < config_.nodes &&
+          request.attempts + 1 < config_.retry.max_attempts()) {
+        forward_to(message.node, request.client, request.key,
+                   request.attempts + 1);
+      } else {
+        fail_request(request.client, request.key);
+      }
+      return;
+    }
+    default:
+      fail_request(request.client, request.key);
+      return;
+  }
+}
+
+void FrontendServer::on_conn_close(ConnId conn) {
+  auto it = backend_by_conn_.find(conn);
+  if (it == backend_by_conn_.end()) {
+    return;  // client hung up; their pending replies fail at send()
+  }
+  const std::uint32_t node = it->second;
+  backend_by_conn_.erase(it);
+  BackendState& backend = backends_[node];
+  if (backend.up) {
+    backend.up = false;
+    backends_up_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  backend.conn = kInvalidConn;
+
+  std::deque<PendingRequest> orphaned;
+  orphaned.swap(backend.pending);
+  for (const PendingRequest& request : orphaned) {
+    pending_total_.fetch_sub(1, std::memory_order_relaxed);
+    retry_or_fail(request);
+  }
+  schedule_reconnect(node);
+}
+
+void FrontendServer::on_conn_connect(ConnId conn, bool ok) {
+  auto it = backend_by_conn_.find(conn);
+  if (it == backend_by_conn_.end()) return;
+  const std::uint32_t node = it->second;
+  BackendState& backend = backends_[node];
+  if (ok) {
+    backend.up = true;
+    backend.connect_attempts = 0;
+    backends_up_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  backend_by_conn_.erase(it);
+  backend.conn = kInvalidConn;
+  schedule_reconnect(node);
+}
+
+void FrontendServer::schedule_reconnect(std::uint32_t node) {
+  if (stopping_.load()) return;
+  BackendState& backend = backends_[node];
+  const double delay =
+      std::min(kReconnectBaseS * static_cast<double>(1u << std::min(
+                                     backend.connect_attempts, 10u)),
+               kReconnectCapS);
+  backend.connect_attempts++;
+  loop_.run_after(delay, [this, node] {
+    if (stopping_.load()) return;
+    BackendState& target = backends_[node];
+    if (target.conn != kInvalidConn) return;  // already reconnecting
+    target.conn = loop_.connect(target.address, target.port);
+    backend_by_conn_[target.conn] = node;
+  });
+}
+
+bool FrontendServer::cache_lookup(std::uint64_t key, std::string& value) {
+  if (config_.cache_policy == "perfect") {
+    if (key < config_.cache_capacity && key < config_.items) {
+      value = make_value(key, config_.value_bytes);
+      return true;
+    }
+    return false;
+  }
+  if (tier_ == nullptr) return false;
+  if (!tier_->access(key)) return false;
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;  // admitted but not yet fetched
+  value = it->second;
+  return true;
+}
+
+void FrontendServer::admit(std::uint64_t key, const std::string& value) {
+  if (tier_ == nullptr) return;
+  if (!tier_->contains(key)) return;  // the policy declined admission
+  values_[key] = value;
+  const std::size_t bound = 4 * tier_->capacity() + 64;
+  if (values_.size() > bound) {
+    for (auto it = values_.begin(); it != values_.end();) {
+      it = tier_->contains(it->first) ? std::next(it) : values_.erase(it);
+    }
+  }
+}
+
+std::uint32_t FrontendServer::route(std::uint64_t key) {
+  partitioner_->replica_group(key, group_);
+  candidates_.clear();
+  for (NodeId node : group_) {
+    if (backends_[node].up) candidates_.push_back(node);
+  }
+  if (candidates_.empty()) return kNoBackend;
+
+  const std::string& kind = config_.router;
+  if (kind == "pinned") {
+    auto it = pins_.find(key);
+    if (it != pins_.end() && backends_[it->second].up) {
+      return it->second;
+    }
+    const std::size_t pick =
+        least_loaded_pick(candidates_, loads_, rng_);
+    pins_[key] = candidates_[pick];
+    return candidates_[pick];
+  }
+  if (kind == "least-loaded") {
+    return candidates_[least_loaded_pick(candidates_, loads_, rng_)];
+  }
+  if (kind == "random") {
+    return candidates_[rng_.uniform_u64(candidates_.size())];
+  }
+  // round-robin over the live members
+  const std::uint32_t turn = rr_[key]++;
+  return candidates_[turn % candidates_.size()];
+}
+
+void FrontendServer::forward(ConnId client, std::uint64_t key,
+                             std::uint32_t attempts) {
+  const std::uint32_t node = route(key);
+  if (node == kNoBackend) {
+    // No live replica right now; treat like a failed attempt and back off.
+    if (attempts + 1 < config_.retry.max_attempts()) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      pending_total_.fetch_add(1, std::memory_order_relaxed);
+      loop_.run_after(config_.retry.backoff_s(attempts),
+                      [this, client, key, attempts] {
+                        pending_total_.fetch_sub(1, std::memory_order_relaxed);
+                        forward(client, key, attempts + 1);
+                      });
+    } else {
+      fail_request(client, key);
+    }
+    return;
+  }
+  forward_to(node, client, key, attempts);
+}
+
+void FrontendServer::forward_to(std::uint32_t node, ConnId client,
+                                std::uint64_t key, std::uint32_t attempts) {
+  BackendState& backend = backends_[node];
+  if (!backend.up) {
+    forward(client, key, attempts);  // re-route through the live members
+    return;
+  }
+  Message request;
+  request.type = MsgType::kGet;
+  request.key = key;
+  if (!loop_.send(backend.conn, request)) {
+    forward(client, key, attempts);
+    return;
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  if (attempts > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+  loads_[node] += 1.0;
+
+  PendingRequest pending;
+  pending.client = client;
+  pending.key = key;
+  pending.attempts = attempts;
+  pending.deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.retry.timeout_s));
+  backend.pending.push_back(pending);
+  pending_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FrontendServer::retry_or_fail(const PendingRequest& request) {
+  if (request.attempts + 1 < config_.retry.max_attempts()) {
+    const double backoff = config_.retry.backoff_s(request.attempts);
+    const ConnId client = request.client;
+    const std::uint64_t key = request.key;
+    const std::uint32_t next_attempt = request.attempts + 1;
+    pending_total_.fetch_add(1, std::memory_order_relaxed);
+    loop_.run_after(backoff, [this, client, key, next_attempt] {
+      pending_total_.fetch_sub(1, std::memory_order_relaxed);
+      forward(client, key, next_attempt);
+    });
+  } else {
+    fail_request(request.client, request.key);
+  }
+}
+
+void FrontendServer::fail_request(ConnId client, std::uint64_t key) {
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MsgType::kError;
+  reply.key = key;
+  reply.payload = "no live replica";
+  loop_.send(client, reply);
+}
+
+void FrontendServer::sweep_timeouts() {
+  if (stopping_.load()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (BackendState& backend : backends_) {
+    if (backend.conn != kInvalidConn && !backend.pending.empty() &&
+        backend.pending.front().deadline <= now) {
+      // Head-of-line timeout: everything behind it is late too. Reset the
+      // connection; on_conn_close retries the whole queue elsewhere.
+      loop_.close_connection(backend.conn);
+    }
+  }
+  loop_.run_after(kSweepIntervalS, [this] { sweep_timeouts(); });
+}
+
+}  // namespace scp::net

@@ -1,0 +1,147 @@
+// scp_frontend: the paper's front end as a real TCP server.
+//
+// Serves client GETs from a front-end cache (perfect-prefix oracle or a
+// cache::FrontEndTier of k real policy caches); misses are forwarded to a
+// backend chosen by the existing replica-selection machinery over the key's
+// replica group (power-of-d routing; "pinned" reproduces the paper's stable
+// key → serving-node balls-into-bins placement, with the cumulative
+// forwarded count per backend as the load signal). Dead backends are
+// handled with cluster::RetryPolicy: capped exponential backoff between
+// re-forwards, a per-request deadline enforced by a sweep timer, and
+// automatic reconnection.
+//
+// Request/reply matching is FIFO per backend connection: the backend
+// answers GETs in order, so the head of that connection's pending queue is
+// always the reply's owner (the key is cross-checked; a mismatch is a
+// protocol error and drops the connection).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/frontend_tier.h"
+#include "cluster/partitioner.h"
+#include "cluster/routing.h"
+#include "common/rng.h"
+#include "net/frame_loop.h"
+
+namespace scp::net {
+
+struct FrontendConfig {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned
+  std::uint32_t nodes = 8;        ///< n (must equal backends.size())
+  std::uint32_t replication = 2;  ///< d
+  std::string partitioner = "hash";
+  /// Must match every backend's partition_seed or GETs bounce as REDIRECTs.
+  std::uint64_t partition_seed = 1;
+  /// Backend address/port per NodeId (index = node).
+  std::vector<std::pair<std::string, std::uint16_t>> backends;
+
+  /// "perfect" (Assumption-2 oracle over the rank-canonical key space),
+  /// "none", or a FrontEndTier policy: lru | lfu | slru | tinylfu.
+  std::string cache_policy = "perfect";
+  std::size_t cache_capacity = 0;  ///< entries per front-end cache (c)
+  std::uint32_t frontends = 1;     ///< tier width k (policy caches only)
+  std::uint64_t items = 0;         ///< key space size m (perfect cache bound)
+  std::uint32_t value_bytes = 64;  ///< perfect-cache value synthesis
+
+  /// Miss routing: pinned (paper model) | least-loaded | random |
+  /// round-robin.
+  std::string router = "pinned";
+  RetryPolicy retry;
+  std::uint64_t seed = 1;  ///< tie-breaks, random routing, tier affinity
+};
+
+class FrontendServer {
+ public:
+  explicit FrontendServer(FrontendConfig config);
+  ~FrontendServer();
+
+  /// Binds, queues backend connections and starts the loop. False on a bind
+  /// failure or a config.backends/nodes mismatch.
+  bool start();
+  /// Graceful stop: waits for in-flight forwards (up to drain_s), then
+  /// drains queued replies.
+  void stop(double drain_s = 1.0);
+
+  std::uint16_t port() const noexcept { return loop_.port(); }
+  bool running() const noexcept { return loop_.running(); }
+
+  /// Blocks until every backend connection is established (true) or the
+  /// timeout expires (false). Call after start().
+  bool wait_backends_up(double timeout_s) const;
+
+  /// Counter snapshot (thread-safe).
+  ServerStats stats() const;
+
+ private:
+  static constexpr std::uint32_t kNoBackend = UINT32_MAX;
+
+  struct PendingRequest {
+    ConnId client = kInvalidConn;
+    std::uint64_t key = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::uint32_t attempts = 0;  ///< 0-based index of this attempt
+  };
+
+  struct BackendState {
+    std::string address;
+    std::uint16_t port = 0;
+    ConnId conn = kInvalidConn;
+    bool up = false;
+    std::uint32_t connect_attempts = 0;
+    std::deque<PendingRequest> pending;  ///< FIFO on this connection
+  };
+
+  void handle(ConnId conn, Message&& message);
+  void handle_client(ConnId conn, Message&& message);
+  void handle_backend(std::uint32_t node, Message&& message);
+  void on_conn_close(ConnId conn);
+  void on_conn_connect(ConnId conn, bool ok);
+
+  bool cache_lookup(std::uint64_t key, std::string& value);
+  void admit(std::uint64_t key, const std::string& value);
+
+  void forward(ConnId client, std::uint64_t key, std::uint32_t attempts);
+  void forward_to(std::uint32_t node, ConnId client, std::uint64_t key,
+                  std::uint32_t attempts);
+  std::uint32_t route(std::uint64_t key);
+  void retry_or_fail(const PendingRequest& request);
+  void fail_request(ConnId client, std::uint64_t key);
+  void schedule_reconnect(std::uint32_t node);
+  void sweep_timeouts();
+
+  FrontendConfig config_;
+  std::unique_ptr<ReplicaPartitioner> partitioner_;
+  std::unique_ptr<FrontEndTier> tier_;  // null for perfect/none
+  std::unordered_map<std::uint64_t, std::string> values_;  // tier contents
+  FrameLoop loop_;
+  Rng rng_;
+
+  std::vector<BackendState> backends_;
+  std::unordered_map<ConnId, std::uint32_t> backend_by_conn_;
+  std::vector<double> loads_;  ///< forwarded count per backend (routing)
+  std::unordered_map<std::uint64_t, std::uint32_t> pins_;  // pinned router
+  std::unordered_map<std::uint64_t, std::uint32_t> rr_;    // round-robin
+  std::vector<NodeId> group_;       // replica-group scratch
+  std::vector<NodeId> candidates_;  // live-members scratch
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> pending_total_{0};
+  std::atomic<std::uint32_t> backends_up_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace scp::net

@@ -1,0 +1,144 @@
+// scp_frontend — the live serving tier's front end.
+//
+// Binds (kernel-assigned port with --port 0), prints `PORT <port>` on
+// stdout, connects to every backend named by --backends, and serves client
+// GETs (cache hits locally, misses forwarded with power-of-d routing and
+// RetryPolicy failover) until SIGINT or SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/flags.h"
+#include "net/frontend_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Parses "host:port,host:port,…" (or bare "port" entries, defaulting the
+/// host to 127.0.0.1). Returns false on a malformed entry.
+bool parse_backends(
+    const std::string& list,
+    std::vector<std::pair<std::string, std::uint16_t>>& backends) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    std::string host = "127.0.0.1";
+    std::string port_text = entry;
+    const std::size_t colon = entry.rfind(':');
+    if (colon != std::string::npos) {
+      host = entry.substr(0, colon);
+      port_text = entry.substr(colon + 1);
+    }
+    try {
+      const unsigned long port = std::stoul(port_text);
+      if (port == 0 || port > 65535) return false;
+      backends.emplace_back(host, static_cast<std::uint16_t>(port));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scp;
+  using namespace scp::net;
+
+  FrontendConfig config;
+  std::uint64_t port = 0;
+  std::uint64_t nodes = config.nodes;
+  std::uint64_t replication = config.replication;
+  std::uint64_t cache_capacity = 0;
+  std::uint64_t frontends = config.frontends;
+  std::uint64_t items = config.items;
+  std::uint64_t value_bytes = config.value_bytes;
+  std::uint64_t max_retries = config.retry.max_retries;
+  std::string backends_list;
+  double drain_s = 1.0;
+
+  FlagSet flags("scp_frontend: cache + power-of-d routing front end");
+  flags.add_string("address", &config.address, "bind address");
+  flags.add_uint64("port", &port, "bind port (0 = kernel-assigned)");
+  flags.add_uint64("nodes", &nodes, "cluster size n");
+  flags.add_uint64("replication", &replication, "replica-group size d");
+  flags.add_string("partitioner", &config.partitioner,
+                   "replica partitioner: hash|ring|rendezvous");
+  flags.add_uint64("partition-seed", &config.partition_seed,
+                   "partitioner seed (must match the whole tier)");
+  flags.add_string("backends", &backends_list,
+                   "comma-separated host:port per node id (n entries)");
+  flags.add_string("cache", &config.cache_policy,
+                   "front-end cache: perfect|none|lru|lfu|slru|tinylfu");
+  flags.add_uint64("cache-capacity", &cache_capacity,
+                   "entries per front-end cache (c)");
+  flags.add_uint64("frontends", &frontends,
+                   "tier width k (policy caches only)");
+  flags.add_uint64("items", &items, "key space size m (perfect cache bound)");
+  flags.add_uint64("value-bytes", &value_bytes,
+                   "value size for perfect-cache synthesis");
+  flags.add_string("router", &config.router,
+                   "miss routing: pinned|least-loaded|random|round-robin");
+  flags.add_uint64("max-retries", &max_retries,
+                   "retries after the first attempt");
+  flags.add_double("retry-backoff", &config.retry.backoff_base_s,
+                   "backoff before the first retry (seconds)");
+  flags.add_double("retry-timeout", &config.retry.timeout_s,
+                   "per-request timeout (seconds)");
+  flags.add_uint64("seed", &config.seed, "routing tie-break seed");
+  flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
+  if (!flags.parse(argc, argv)) return 2;
+
+  config.port = static_cast<std::uint16_t>(port);
+  config.nodes = static_cast<std::uint32_t>(nodes);
+  config.replication = static_cast<std::uint32_t>(replication);
+  config.cache_capacity = cache_capacity;
+  config.frontends = static_cast<std::uint32_t>(frontends);
+  config.items = items;
+  config.value_bytes = static_cast<std::uint32_t>(value_bytes);
+  config.retry.max_retries = static_cast<std::uint32_t>(max_retries);
+  if (!parse_backends(backends_list, config.backends)) {
+    std::fprintf(stderr, "scp_frontend: bad --backends entry\n");
+    return 2;
+  }
+  if (config.backends.size() != config.nodes) {
+    std::fprintf(stderr,
+                 "scp_frontend: --backends names %zu endpoints but --nodes=%u\n",
+                 config.backends.size(), static_cast<unsigned>(config.nodes));
+    return 2;
+  }
+
+  FrontendServer server(std::move(config));
+  if (!server.start()) {
+    std::fprintf(stderr, "scp_frontend: failed to start\n");
+    return 1;
+  }
+  std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  server.stop(drain_s);
+  const ServerStats stats = server.stats();
+  std::printf("scp_frontend: requests=%llu hits=%llu misses=%llu "
+              "forwarded=%llu retries=%llu failures=%llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.forwarded),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.failures));
+  return 0;
+}

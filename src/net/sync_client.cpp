@@ -1,0 +1,107 @@
+#include "net/sync_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace scp::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left <= 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+bool SyncClient::connect(const std::string& address, std::uint16_t port,
+                         double timeout_s) {
+  sock_ = connect_tcp(address, port, timeout_s);
+  reader_ = FrameReader();
+  return sock_.valid();
+}
+
+bool SyncClient::send_all(const std::uint8_t* data, std::size_t size,
+                          double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(sock_.fd(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{sock_.fd(), POLLOUT, 0};
+      const int timeout = remaining_ms(deadline);
+      if (timeout == 0 || ::poll(&pfd, 1, timeout) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<Message> SyncClient::call(const Message& request,
+                                        double timeout_s) {
+  if (!sock_.valid()) return std::nullopt;
+  const std::vector<std::uint8_t> frame = encode(request);
+  if (!send_all(frame.data(), frame.size(), timeout_s)) {
+    disconnect();
+    return std::nullopt;
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  std::uint8_t buffer[16384];
+  while (true) {
+    if (auto payload = reader_.next_payload(); payload.has_value()) {
+      auto message = decode_payload(*payload);
+      if (!message.has_value()) {
+        disconnect();
+        return std::nullopt;
+      }
+      return message;
+    }
+    if (reader_.corrupted()) {
+      disconnect();
+      return std::nullopt;
+    }
+    pollfd pfd{sock_.fd(), POLLIN, 0};
+    const int timeout = remaining_ms(deadline);
+    if (timeout == 0 || ::poll(&pfd, 1, timeout) <= 0) {
+      disconnect();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(sock_.fd(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      reader_.append({buffer, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    disconnect();  // EOF or hard error
+    return std::nullopt;
+  }
+}
+
+std::optional<Message> SyncClient::get(std::uint64_t key, double timeout_s) {
+  Message request;
+  request.type = MsgType::kGet;
+  request.key = key;
+  return call(request, timeout_s);
+}
+
+}  // namespace scp::net

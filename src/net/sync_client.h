@@ -1,0 +1,42 @@
+// Blocking request/reply client for the SCP wire protocol.
+//
+// One TCP connection, strictly synchronous call() — exactly what a load
+// generator thread or a test needs. Not thread-safe; give each thread its
+// own client.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace scp::net {
+
+class SyncClient {
+ public:
+  SyncClient() = default;
+
+  /// Connects (blocking, with timeout). False on refusal or timeout.
+  bool connect(const std::string& address, std::uint16_t port,
+               double timeout_s = 1.0);
+  void disconnect() { sock_.reset(); }
+  bool connected() const noexcept { return sock_.valid(); }
+
+  /// Sends `request` and blocks for the reply. nullopt on timeout, a peer
+  /// close, or a protocol error — the connection is dropped in every
+  /// failure case, so the caller can simply reconnect.
+  std::optional<Message> call(const Message& request, double timeout_s = 1.0);
+
+  /// GET convenience wrapper.
+  std::optional<Message> get(std::uint64_t key, double timeout_s = 1.0);
+
+ private:
+  bool send_all(const std::uint8_t* data, std::size_t size, double timeout_s);
+
+  Socket sock_;
+  FrameReader reader_;
+};
+
+}  // namespace scp::net

@@ -1,0 +1,212 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace scp::net {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked big-endian cursor over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool read_u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool read_u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+        (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+        (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+        static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return true;
+  }
+  bool read_u64(std::uint64_t& v) {
+    std::uint32_t hi = 0;
+    std::uint32_t lo = 0;
+    if (!read_u32(hi) || !read_u32(lo)) return false;
+    v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+  bool read_bytes(std::string& out) {
+    std::uint32_t len = 0;
+    if (!read_u32(len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, static_cast<std::uint8_t>(message.type));
+  switch (message.type) {
+    case MsgType::kGet:
+    case MsgType::kMiss:
+      put_u64(payload, message.key);
+      break;
+    case MsgType::kValue:
+      put_u64(payload, message.key);
+      put_bytes(payload, message.payload);
+      break;
+    case MsgType::kRedirect:
+      put_u64(payload, message.key);
+      put_u32(payload, message.node);
+      break;
+    case MsgType::kStats:
+    case MsgType::kPing:
+    case MsgType::kPong:
+      break;
+    case MsgType::kStatsReply:
+      put_u64(payload, message.stats.requests);
+      put_u64(payload, message.stats.hits);
+      put_u64(payload, message.stats.misses);
+      put_u64(payload, message.stats.redirects);
+      put_u64(payload, message.stats.forwarded);
+      put_u64(payload, message.stats.retries);
+      put_u64(payload, message.stats.failures);
+      break;
+    case MsgType::kError:
+      put_u64(payload, message.key);
+      put_bytes(payload, message.payload);
+      break;
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
+  Cursor cursor(payload);
+  std::uint8_t raw_type = 0;
+  if (!cursor.read_u8(raw_type)) return std::nullopt;
+
+  Message message;
+  switch (static_cast<MsgType>(raw_type)) {
+    case MsgType::kGet:
+    case MsgType::kMiss:
+      message.type = static_cast<MsgType>(raw_type);
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      break;
+    case MsgType::kValue:
+      message.type = MsgType::kValue;
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_bytes(message.payload)) return std::nullopt;
+      break;
+    case MsgType::kRedirect:
+      message.type = MsgType::kRedirect;
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_u32(message.node)) return std::nullopt;
+      break;
+    case MsgType::kStats:
+    case MsgType::kPing:
+    case MsgType::kPong:
+      message.type = static_cast<MsgType>(raw_type);
+      break;
+    case MsgType::kStatsReply:
+      message.type = MsgType::kStatsReply;
+      if (!cursor.read_u64(message.stats.requests) ||
+          !cursor.read_u64(message.stats.hits) ||
+          !cursor.read_u64(message.stats.misses) ||
+          !cursor.read_u64(message.stats.redirects) ||
+          !cursor.read_u64(message.stats.forwarded) ||
+          !cursor.read_u64(message.stats.retries) ||
+          !cursor.read_u64(message.stats.failures)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kError:
+      message.type = MsgType::kError;
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_bytes(message.payload)) return std::nullopt;
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!cursor.exhausted()) return std::nullopt;  // trailing garbage
+  return message;
+}
+
+void FrameReader::append(std::span<const std::uint8_t> data) {
+  if (corrupted_) return;
+  // Compact once the consumed prefix dominates, keeping the buffer bounded
+  // by a few in-flight frames.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next_payload() {
+  if (corrupted_) return std::nullopt;
+  if (buffer_.size() - offset_ < kLengthPrefixBytes) return std::nullopt;
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(buffer_[offset_]) << 24) |
+      (static_cast<std::uint32_t>(buffer_[offset_ + 1]) << 16) |
+      (static_cast<std::uint32_t>(buffer_[offset_ + 2]) << 8) |
+      static_cast<std::uint32_t>(buffer_[offset_ + 3]);
+  if (length > max_payload_) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() - offset_ < kLengthPrefixBytes + length) {
+    return std::nullopt;
+  }
+  const auto begin =
+      buffer_.begin() + static_cast<std::ptrdiff_t>(offset_ +
+                                                    kLengthPrefixBytes);
+  std::vector<std::uint8_t> payload(begin,
+                                    begin + static_cast<std::ptrdiff_t>(length));
+  offset_ += kLengthPrefixBytes + length;
+  return payload;
+}
+
+std::string make_value(std::uint64_t key, std::uint32_t value_bytes) {
+  std::string value;
+  value.reserve(value_bytes);
+  value.push_back('v');
+  value += std::to_string(key);
+  value.push_back(':');
+  if (value.size() < value_bytes) {
+    value.append(value_bytes - value.size(), 'x');
+  }
+  return value;
+}
+
+}  // namespace scp::net

@@ -1,0 +1,109 @@
+// Wire protocol for the live serving tier.
+//
+// Length-prefixed binary frames over TCP:
+//
+//   [u32 payload_length, big endian] [payload_length bytes]
+//
+// The payload starts with a one-byte message type followed by type-specific
+// big-endian fields. The protocol is deliberately tiny — GET by key id with
+// VALUE / MISS / REDIRECT replies plus a STATS introspection pair — because
+// the serving tier exists to measure the paper's load-balancing claims on a
+// real request path, not to be a general RPC system. Decoding is strict:
+// unknown types, truncated fields and trailing bytes are all rejected, and
+// FrameReader refuses frames whose declared length exceeds the cap (a
+// garbage or hostile peer cannot make a server buffer unbounded data).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scp::net {
+
+/// Hard cap on a frame's payload size; a declared length above this marks
+/// the stream corrupted and the connection is dropped.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+
+enum class MsgType : std::uint8_t {
+  kGet = 1,        ///< request: fetch `key`
+  kValue = 2,      ///< reply: `key` found, value attached
+  kMiss = 3,       ///< reply: `key` absent on the serving node
+  kRedirect = 4,   ///< reply: `key` not owned here; try node `node`
+  kStats = 5,      ///< request: server counters
+  kStatsReply = 6, ///< reply: ServerStats snapshot
+  kPing = 7,       ///< request: liveness probe
+  kPong = 8,       ///< reply to kPing
+  kError = 9,      ///< reply: request failed, human-readable reason attached
+};
+
+/// Counter snapshot carried by kStatsReply. Both server roles fill the
+/// fields that apply to them and leave the rest zero.
+struct ServerStats {
+  std::uint64_t requests = 0;   ///< GETs received
+  std::uint64_t hits = 0;       ///< served locally (storage / cache)
+  std::uint64_t misses = 0;     ///< absent key (backend) or cache miss (FE)
+  std::uint64_t redirects = 0;  ///< REDIRECTs sent (BE) or received (FE)
+  std::uint64_t forwarded = 0;  ///< FE only: GETs forwarded to a backend
+  std::uint64_t retries = 0;    ///< FE only: re-forwards after failure
+  std::uint64_t failures = 0;   ///< FE only: requests answered with kError
+
+  bool operator==(const ServerStats&) const = default;
+};
+
+/// Decoded protocol message. Which fields are meaningful depends on `type`;
+/// encode() ignores the rest and decode_payload() zero-fills them.
+struct Message {
+  MsgType type = MsgType::kPing;
+  std::uint64_t key = 0;    ///< kGet, kValue, kMiss, kRedirect, kError
+  std::uint32_t node = 0;   ///< kRedirect: suggested NodeId
+  std::string payload;      ///< kValue: value bytes; kError: reason
+  ServerStats stats;        ///< kStatsReply
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Serializes a message as one complete frame (length prefix included).
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Parses one frame payload (the bytes after the length prefix). Strict:
+/// returns nullopt on an unknown type, a truncated field, an embedded length
+/// that overruns the payload, or trailing bytes.
+std::optional<Message> decode_payload(std::span<const std::uint8_t> payload);
+
+/// Incremental frame extraction from a TCP byte stream. Feed arbitrary
+/// chunks with append(); next_payload() yields complete payloads in order.
+/// A declared payload length above the cap poisons the reader (corrupted())
+/// — the owner should drop the connection.
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_payload = kMaxFrameBytes)
+      : max_payload_(max_payload) {}
+
+  void append(std::span<const std::uint8_t> data);
+
+  /// Next complete frame payload, or nullopt when none is buffered (or the
+  /// stream is corrupted).
+  std::optional<std::vector<std::uint8_t>> next_payload();
+
+  bool corrupted() const noexcept { return corrupted_; }
+  std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - offset_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;
+  std::uint32_t max_payload_;
+  bool corrupted_ = false;
+};
+
+/// Deterministic value for a key: the decimal key id padded with filler to
+/// `value_bytes`. Backends preload it and the perfect front-end cache
+/// synthesizes it, so every tier agrees on a key's bytes without any shared
+/// state.
+std::string make_value(std::uint64_t key, std::uint32_t value_bytes);
+
+}  // namespace scp::net

@@ -1,0 +1,270 @@
+// Loopback integration tests for the live serving tier: real TCP servers on
+// kernel-assigned ports, driven by the blocking SyncClient. Labeled slow —
+// each case spins up servers and sleeps on real sockets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "net/backend_server.h"
+#include "net/frontend_server.h"
+#include "net/sync_client.h"
+
+namespace scp::net {
+namespace {
+
+constexpr std::uint64_t kPartitionSeed = 77;
+
+BackendConfig backend_config(std::uint32_t node_id, std::uint32_t nodes,
+                             std::uint32_t replication, std::uint64_t items) {
+  BackendConfig config;
+  config.node_id = node_id;
+  config.nodes = nodes;
+  config.replication = replication;
+  config.partition_seed = kPartitionSeed;
+  config.items = items;
+  return config;
+}
+
+/// A running backend fleet + the endpoint list a frontend needs.
+struct Fleet {
+  std::vector<std::unique_ptr<BackendServer>> backends;
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+};
+
+Fleet start_fleet(std::uint32_t nodes, std::uint32_t replication,
+                  std::uint64_t items) {
+  Fleet fleet;
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    auto backend = std::make_unique<BackendServer>(
+        backend_config(node, nodes, replication, items));
+    EXPECT_TRUE(backend->start());
+    EXPECT_NE(backend->port(), 0) << "port 0 must become kernel-assigned";
+    fleet.endpoints.emplace_back("127.0.0.1", backend->port());
+    fleet.backends.push_back(std::move(backend));
+  }
+  return fleet;
+}
+
+FrontendConfig frontend_config(const Fleet& fleet, std::uint32_t nodes,
+                               std::uint32_t replication, std::uint64_t items,
+                               std::size_t cache_capacity) {
+  FrontendConfig config;
+  config.nodes = nodes;
+  config.replication = replication;
+  config.partition_seed = kPartitionSeed;
+  config.backends = fleet.endpoints;
+  config.cache_policy = "perfect";
+  config.cache_capacity = cache_capacity;
+  config.items = items;
+  return config;
+}
+
+TEST(BackendLoopback, ServesOwnedKeysAndRedirectsOthers) {
+  constexpr std::uint32_t kNodes = 4;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 64;
+  BackendServer server(backend_config(0, kNodes, kReplication, kItems));
+  ASSERT_TRUE(server.start());
+
+  auto partitioner =
+      make_partitioner("hash", kNodes, kReplication, kPartitionSeed);
+  std::vector<NodeId> group(kReplication);
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  std::uint64_t owned = 0;
+  std::uint64_t redirected = 0;
+  for (std::uint64_t key = 0; key < kItems; ++key) {
+    partitioner->replica_group(key, group);
+    const bool owner = std::find(group.begin(), group.end(), NodeId{0}) !=
+                       group.end();
+    const auto reply = client.get(key);
+    ASSERT_TRUE(reply.has_value()) << "key " << key;
+    if (owner) {
+      EXPECT_EQ(reply->type, MsgType::kValue);
+      EXPECT_EQ(reply->payload, make_value(key, 64));
+      ++owned;
+    } else {
+      ASSERT_EQ(reply->type, MsgType::kRedirect);
+      EXPECT_EQ(reply->node, group[0]);
+      ++redirected;
+    }
+  }
+  EXPECT_GT(owned, 0u);
+  EXPECT_GT(redirected, 0u);
+
+  // Absent key on an owning node: MISS, not redirect. Find one we own.
+  for (std::uint64_t key = kItems; key < kItems + 64; ++key) {
+    partitioner->replica_group(key, group);
+    if (std::find(group.begin(), group.end(), NodeId{0}) != group.end()) {
+      const auto reply = client.get(key);
+      ASSERT_TRUE(reply.has_value());
+      EXPECT_EQ(reply->type, MsgType::kMiss);
+      break;
+    }
+  }
+
+  Message stats_request;
+  stats_request.type = MsgType::kStats;
+  const auto stats = client.call(stats_request);
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(stats->type, MsgType::kStatsReply);
+  EXPECT_EQ(stats->stats.requests, owned + redirected + 1);
+  EXPECT_EQ(stats->stats.hits, owned);
+  EXPECT_EQ(stats->stats.redirects, redirected);
+
+  Message ping;
+  ping.type = MsgType::kPing;
+  const auto pong = client.call(ping);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, MsgType::kPong);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(FrontendLoopback, ServesHitsLocallyAndForwardsMisses) {
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 128;
+  constexpr std::size_t kCache = 16;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendServer frontend(
+      frontend_config(fleet, kNodes, kReplication, kItems, kCache));
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+
+  // Every stored key resolves to its canonical value, cached or not.
+  for (std::uint64_t key = 0; key < kItems; ++key) {
+    const auto reply = client.get(key, 2.0);
+    ASSERT_TRUE(reply.has_value()) << "key " << key;
+    ASSERT_EQ(reply->type, MsgType::kValue) << "key " << key;
+    EXPECT_EQ(reply->payload, make_value(key, 64));
+  }
+  // A key beyond the store is a clean MISS end to end.
+  const auto miss = client.get(kItems + 5, 2.0);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->type, MsgType::kMiss);
+
+  const ServerStats stats = frontend.stats();
+  EXPECT_EQ(stats.requests, kItems + 1);
+  EXPECT_EQ(stats.hits, kCache);  // the perfect cache serves exactly its head
+  EXPECT_EQ(stats.misses, kItems + 1 - kCache);
+  EXPECT_EQ(stats.forwarded, stats.misses);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.redirects, 0u);  // matching seeds: no bouncing
+
+  // Backend request counters account for every forwarded GET.
+  std::uint64_t backend_requests = 0;
+  for (const auto& backend : fleet.backends) {
+    backend_requests += backend->stats().requests;
+  }
+  EXPECT_EQ(backend_requests, stats.forwarded);
+
+  frontend.stop();
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+TEST(FrontendLoopback, FailsOverWhenAReplicaDies) {
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 64;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendConfig config =
+      frontend_config(fleet, kNodes, kReplication, kItems, /*cache=*/0);
+  config.retry.timeout_s = 0.2;  // keep the dead-replica detour quick
+  FrontendServer frontend(config);
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  // Kill node 0; every key still resolves through the surviving replica.
+  fleet.backends[0]->stop(0.0);
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+  auto partitioner =
+      make_partitioner("hash", kNodes, kReplication, kPartitionSeed);
+  std::vector<NodeId> group(kReplication);
+  std::uint64_t through_survivor = 0;
+  for (std::uint64_t key = 0; key < kItems; ++key) {
+    partitioner->replica_group(key, group);
+    const auto reply = client.get(key, 3.0);
+    ASSERT_TRUE(reply.has_value()) << "key " << key;
+    ASSERT_EQ(reply->type, MsgType::kValue) << "key " << key;
+    EXPECT_EQ(reply->payload, make_value(key, 64));
+    if (std::find(group.begin(), group.end(), NodeId{0}) != group.end()) {
+      ++through_survivor;
+    }
+  }
+  EXPECT_GT(through_survivor, 0u)
+      << "partition should give node 0 some keys for the test to mean much";
+  EXPECT_EQ(frontend.stats().failures, 0u);
+
+  frontend.stop();
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+TEST(FrontendLoopback, ReportsErrorWhenEveryReplicaIsDead) {
+  constexpr std::uint32_t kNodes = 2;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 16;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendConfig config =
+      frontend_config(fleet, kNodes, kReplication, kItems, /*cache=*/4);
+  config.retry.max_retries = 1;
+  config.retry.timeout_s = 0.2;
+  FrontendServer frontend(config);
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  for (auto& backend : fleet.backends) backend->stop(0.0);
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+  // Cached keys still serve from the front end with the whole fleet down.
+  const auto cached = client.get(0, 2.0);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->type, MsgType::kValue);
+  // Uncached keys exhaust the retry budget and fail loudly, not silently.
+  const auto reply = client.get(10, 5.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kError);
+  EXPECT_GE(frontend.stats().failures, 1u);
+
+  frontend.stop();
+}
+
+TEST(FrontendLoopback, GracefulStopAnswersInFlightRequests) {
+  constexpr std::uint32_t kNodes = 2;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 256;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendServer frontend(
+      frontend_config(fleet, kNodes, kReplication, kItems, /*cache=*/0));
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const auto reply = client.get(key, 2.0);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MsgType::kValue);
+  }
+  frontend.stop(2.0);
+  EXPECT_FALSE(frontend.running());
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+}  // namespace
+}  // namespace scp::net

@@ -1,0 +1,223 @@
+// Wire-protocol unit tests: encode/decode round trips for every message
+// type, strict rejection of malformed frames, and incremental FrameReader
+// extraction from fragmented streams.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scp::net {
+namespace {
+
+using namespace std::string_literals;
+
+std::vector<Message> every_message_type() {
+  std::vector<Message> messages;
+
+  Message get;
+  get.type = MsgType::kGet;
+  get.key = 0xdeadbeefcafe1234ULL;
+  messages.push_back(get);
+
+  Message value;
+  value.type = MsgType::kValue;
+  value.key = 7;
+  value.payload = "the value bytes, including \0 inside"s;
+  messages.push_back(value);
+
+  Message miss;
+  miss.type = MsgType::kMiss;
+  miss.key = 42;
+  messages.push_back(miss);
+
+  Message redirect;
+  redirect.type = MsgType::kRedirect;
+  redirect.key = 99;
+  redirect.node = 1234;
+  messages.push_back(redirect);
+
+  Message stats;
+  stats.type = MsgType::kStats;
+  messages.push_back(stats);
+
+  Message stats_reply;
+  stats_reply.type = MsgType::kStatsReply;
+  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7};
+  messages.push_back(stats_reply);
+
+  Message ping;
+  ping.type = MsgType::kPing;
+  messages.push_back(ping);
+
+  Message pong;
+  pong.type = MsgType::kPong;
+  messages.push_back(pong);
+
+  Message error;
+  error.type = MsgType::kError;
+  error.key = 8;
+  error.payload = "no live replica";
+  messages.push_back(error);
+
+  return messages;
+}
+
+TEST(Wire, RoundTripEveryMessageType) {
+  for (const Message& message : every_message_type()) {
+    const std::vector<std::uint8_t> frame = encode(message);
+    ASSERT_GE(frame.size(), kLengthPrefixBytes);
+    const std::span<const std::uint8_t> payload{
+        frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes};
+    const auto decoded = decode_payload(payload);
+    ASSERT_TRUE(decoded.has_value())
+        << "type=" << static_cast<int>(message.type);
+    EXPECT_EQ(*decoded, message) << "type=" << static_cast<int>(message.type);
+  }
+}
+
+TEST(Wire, LengthPrefixMatchesPayload) {
+  Message message;
+  message.type = MsgType::kValue;
+  message.key = 1;
+  message.payload = "abc";
+  const std::vector<std::uint8_t> frame = encode(message);
+  const std::uint32_t declared = (static_cast<std::uint32_t>(frame[0]) << 24) |
+                                 (static_cast<std::uint32_t>(frame[1]) << 16) |
+                                 (static_cast<std::uint32_t>(frame[2]) << 8) |
+                                 static_cast<std::uint32_t>(frame[3]);
+  EXPECT_EQ(declared, frame.size() - kLengthPrefixBytes);
+}
+
+TEST(Wire, RejectsEmptyPayload) {
+  EXPECT_FALSE(decode_payload({}).has_value());
+}
+
+TEST(Wire, RejectsUnknownType) {
+  const std::uint8_t payload[] = {0x7f};
+  EXPECT_FALSE(decode_payload(payload).has_value());
+  const std::uint8_t zero[] = {0x00};
+  EXPECT_FALSE(decode_payload(zero).has_value());
+}
+
+TEST(Wire, RejectsTruncatedFields) {
+  // Every prefix of a valid payload except the full length must fail.
+  for (const Message& message : every_message_type()) {
+    const std::vector<std::uint8_t> frame = encode(message);
+    const std::span<const std::uint8_t> payload{
+        frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes};
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      EXPECT_FALSE(decode_payload(payload.subspan(0, cut)).has_value())
+          << "type=" << static_cast<int>(message.type) << " cut=" << cut;
+    }
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  for (const Message& message : every_message_type()) {
+    std::vector<std::uint8_t> frame = encode(message);
+    frame.push_back(0xee);
+    const std::span<const std::uint8_t> payload{
+        frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes};
+    EXPECT_FALSE(decode_payload(payload).has_value())
+        << "type=" << static_cast<int>(message.type);
+  }
+}
+
+TEST(Wire, RejectsEmbeddedLengthOverrun) {
+  // kValue whose inner byte-length claims more than the payload holds.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kValue));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // key
+  payload.insert(payload.end(), {0x00, 0x00, 0x00, 0x10});  // len 16...
+  payload.push_back('a');                                   // ...1 byte
+  EXPECT_FALSE(decode_payload(payload).has_value());
+}
+
+TEST(FrameReaderTest, ExtractsFramesAcrossArbitraryChunks) {
+  const std::vector<Message> messages = every_message_type();
+  std::vector<std::uint8_t> stream;
+  for (const Message& message : messages) {
+    const std::vector<std::uint8_t> frame = encode(message);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameReader reader;
+    std::vector<Message> decoded;
+    for (std::size_t offset = 0; offset < stream.size(); offset += chunk) {
+      const std::size_t len = std::min(chunk, stream.size() - offset);
+      reader.append({stream.data() + offset, len});
+      while (auto payload = reader.next_payload()) {
+        auto message = decode_payload(*payload);
+        ASSERT_TRUE(message.has_value());
+        decoded.push_back(*message);
+      }
+    }
+    ASSERT_FALSE(reader.corrupted());
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+    ASSERT_EQ(decoded.size(), messages.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      EXPECT_EQ(decoded[i], messages[i]) << "chunk=" << chunk << " i=" << i;
+    }
+  }
+}
+
+TEST(FrameReaderTest, OversizedDeclaredLengthPoisonsTheStream) {
+  FrameReader reader;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  const std::uint8_t prefix[] = {
+      static_cast<std::uint8_t>(huge >> 24), static_cast<std::uint8_t>(huge >> 16),
+      static_cast<std::uint8_t>(huge >> 8), static_cast<std::uint8_t>(huge)};
+  reader.append(prefix);
+  EXPECT_FALSE(reader.next_payload().has_value());
+  EXPECT_TRUE(reader.corrupted());
+  // A poisoned reader never yields frames again, even valid ones.
+  const std::vector<std::uint8_t> valid = encode(Message{});
+  reader.append(valid);
+  EXPECT_FALSE(reader.next_payload().has_value());
+  EXPECT_TRUE(reader.corrupted());
+}
+
+TEST(FrameReaderTest, MaxSizedFrameIsAccepted) {
+  Message message;
+  message.type = MsgType::kValue;
+  message.key = 1;
+  // Inner layout: type(1) + key(8) + len(4) + bytes — fill to the cap.
+  message.payload.assign(kMaxFrameBytes - 13, 'x');
+  const std::vector<std::uint8_t> frame = encode(message);
+  FrameReader reader;
+  reader.append(frame);
+  auto payload = reader.next_payload();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_FALSE(reader.corrupted());
+  auto decoded = decode_payload(*payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload.size(), message.payload.size());
+}
+
+TEST(FrameReaderTest, PartialFrameStaysBuffered) {
+  Message message;
+  message.type = MsgType::kGet;
+  message.key = 5;
+  const std::vector<std::uint8_t> frame = encode(message);
+  FrameReader reader;
+  reader.append({frame.data(), frame.size() - 1});
+  EXPECT_FALSE(reader.next_payload().has_value());
+  EXPECT_FALSE(reader.corrupted());
+  EXPECT_EQ(reader.buffered_bytes(), frame.size() - 1);
+  reader.append({frame.data() + frame.size() - 1, 1});
+  EXPECT_TRUE(reader.next_payload().has_value());
+}
+
+TEST(Wire, MakeValueIsDeterministicAndSized) {
+  EXPECT_EQ(make_value(17, 64), make_value(17, 64));
+  EXPECT_NE(make_value(17, 64), make_value(18, 64));
+  EXPECT_EQ(make_value(3, 64).size(), 64u);
+  EXPECT_EQ(make_value(3, 16).substr(0, 3), "v3:");
+  // Long key ids may exceed a tiny requested size; content wins over size.
+  EXPECT_EQ(make_value(123456789, 4).substr(0, 1), "v");
+}
+
+}  // namespace
+}  // namespace scp::net
