@@ -35,6 +35,7 @@
 #include "net/backend_server.h"
 #include "net/frontend_server.h"
 #include "net/sync_client.h"
+#include "obs/metrics.h"
 #include "sim/rate_sim.h"
 #include "workload/distribution.h"
 
@@ -61,6 +62,7 @@ struct LiveFlags {
   std::string partitioner = "hash";
   std::uint64_t value_bytes = 64;
   std::uint64_t seed = 20130708;
+  bool metrics = true;  // server-side histograms (off = overhead baseline)
   std::string csv;
   std::string json;
 };
@@ -119,7 +121,8 @@ std::uint64_t best_adversarial_x(const LiveFlags& flags,
 struct WorkerResult {
   std::uint64_t completed = 0;  // VALUE or MISS replies inside the window
   std::uint64_t failures = 0;   // kError replies, timeouts, dead connection
-  LogHistogram latency_us{5};
+  LogHistogram latency_us{5};  // from the *scheduled* send (open-loop e2e)
+  LogHistogram service_us{5};  // from the actual send (network + server)
 };
 
 /// One open-loop client: Poisson arrivals at `rate` qps, latency measured
@@ -145,6 +148,7 @@ void run_worker(const std::string& address, std::uint16_t port,
     std::this_thread::sleep_until(scheduled);
 
     const std::uint64_t key = sampler.sample(rng);
+    const auto sent = Clock::now();
     const auto reply = client.get(key, 1.0);
     const auto done = Clock::now();
     const bool record = scheduled >= measure_from;
@@ -167,8 +171,39 @@ void run_worker(const std::string& address, std::uint16_t port,
                           .count();
       result.latency_us.record(static_cast<std::uint64_t>(std::max<long long>(
           us, 1)));
+      const auto svc_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(done - sent)
+              .count();
+      result.service_us.record(static_cast<std::uint64_t>(
+          std::max<long long>(svc_us, 1)));
     }
   }
+}
+
+/// Scrapes one server's metrics over the wire (kMetricsRequest), the same
+/// path scp_stats uses. Empty snapshot when the server is unreachable or
+/// answers with anything but kMetricsReply.
+obs::MetricsSnapshot scrape_metrics(std::uint16_t port) {
+  obs::MetricsSnapshot snap;
+  net::SyncClient client;
+  if (!client.connect("127.0.0.1", port, 2.0)) return snap;
+  net::Message request;
+  request.type = net::MsgType::kMetricsRequest;
+  const auto reply = client.call(request, 2.0);
+  if (reply.has_value() && reply->type == net::MsgType::kMetricsReply) {
+    snap = std::move(reply->metrics);
+  }
+  return snap;
+}
+
+/// p99 of a named server-side timer, or 0 when the timer is absent or empty
+/// (metrics disabled).
+std::uint64_t timer_p99(const obs::MetricsSnapshot& snap,
+                        const std::string& name) {
+  const auto it = snap.timers.find(name);
+  return it != snap.timers.end() && it->second.count() > 0
+             ? it->second.value_at_quantile(0.99)
+             : 0;
 }
 
 }  // namespace
@@ -219,6 +254,9 @@ int main(int argc, char** argv) {
                       "replica partitioner: hash|ring|rendezvous");
   flag_set.add_uint64("value-bytes", &flags.value_bytes, "stored value size");
   flag_set.add_uint64("seed", &flags.seed, "base seed");
+  flag_set.add_bool("metrics", &flags.metrics,
+                    "server-side histograms (--metrics=false for the "
+                    "instrumentation-overhead baseline)");
   flag_set.add_string("csv", &flags.csv, "also write the table to this CSV");
   flag_set.add_string("json", &flags.json,
                       "also write the standard bench record to this JSON");
@@ -292,6 +330,7 @@ int main(int argc, char** argv) {
     config.partition_seed = partition_seed;
     config.items = flags.m;
     config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
+    config.metrics = flags.metrics;
     auto backend = std::make_unique<net::BackendServer>(config);
     if (!backend->start()) {
       std::fprintf(stderr, "live_serving: backend %u failed to start\n", node);
@@ -313,6 +352,7 @@ int main(int argc, char** argv) {
   fe_config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
   fe_config.router = flags.router;
   fe_config.seed = derive_seed(flags.seed, 3);
+  fe_config.metrics = flags.metrics;
   net::FrontendServer frontend(fe_config);
   if (!frontend.start()) {
     std::fprintf(stderr, "live_serving: frontend failed to start\n");
@@ -359,10 +399,12 @@ int main(int argc, char** argv) {
   std::uint64_t completed = 0;
   std::uint64_t failures = 0;
   LogHistogram latency_us(5);
+  LogHistogram cli_service_us(5);
   for (const WorkerResult& result : results) {
     completed += result.completed;
     failures += result.failures;
     latency_us.merge(result.latency_us);
+    cli_service_us.merge(result.service_us);
   }
 
   TextTable backend_table({"node", "requests", "hits", "redirects", "share"});
@@ -380,7 +422,19 @@ int main(int argc, char** argv) {
                                          : 0.0});
   }
 
+  // --- server-side scrape (over the wire, cluster still live) -------------
+  // The same kMetricsRequest path scp_stats uses: front-end histograms from
+  // the front end's client port, back-end service times merged across every
+  // node. Server histograms cover warmup traffic too (histograms can't be
+  // snapshot-subtracted the way counters are), which only biases them
+  // *upward* relative to the measured window — fine for the client-vs-server
+  // consistency check below.
   const net::ServerStats fe_stats = frontend.stats();
+  obs::MetricsSnapshot fe_metrics = scrape_metrics(frontend.port());
+  obs::MetricsSnapshot be_metrics;
+  for (const auto& backend : backends) {
+    be_metrics.merge(scrape_metrics(backend->port()));
+  }
   frontend.stop(1.0);
   for (auto& backend : backends) backend->stop(1.0);
 
@@ -399,10 +453,59 @@ int main(int argc, char** argv) {
   std::printf("per-backend load (measured window):\n%s\n",
               backend_table.render().c_str());
 
+  // --- latency decomposition ----------------------------------------------
+  // Client side, two histograms per request:
+  //   e2e        — scheduled send -> reply. Open-loop, coordinated-omission
+  //                free: includes the wait behind earlier requests.
+  //   service    — actual send -> reply: what the cluster itself cost
+  //                (network + FE handling + any forward).
+  // The gap between them is pure client-side queue wait. Server side,
+  // scraped live over the wire:
+  //   frontend.request_us  — FE kGet receipt -> reply written (hits+misses)
+  //   frontend.forward_rtt_us — FE wire send -> backend reply (misses only)
+  //   backend.service_us   — BE kGet receipt -> reply written
+  // client service >= FE request and forward RTT >= backend service hold
+  // sample-by-sample (each stage nests in the previous); the e2e p99 can sit
+  // far above all of them whenever the offered rate bursts past the
+  // synchronous clients' capacity.
+  const std::uint64_t client_p99 = latency_us.value_at_quantile(0.99);
+  const std::uint64_t cli_svc_p99 = cli_service_us.value_at_quantile(0.99);
+  const std::uint64_t fe_p99 = timer_p99(fe_metrics, "frontend.request_us");
+  const std::uint64_t rtt_p99 = timer_p99(fe_metrics, "frontend.forward_rtt_us");
+  const std::uint64_t svc_p99 = timer_p99(be_metrics, "backend.service_us");
+  if (flags.metrics) {
+    TextTable decomp({"stage", "p99_us", "count"});
+    const auto timer_count = [](const obs::MetricsSnapshot& snap,
+                                const std::string& name) {
+      const auto it = snap.timers.find(name);
+      return static_cast<std::int64_t>(
+          it != snap.timers.end() ? it->second.count() : 0);
+    };
+    decomp.add_row({std::string("client e2e (queue+svc)"),
+                    static_cast<std::int64_t>(client_p99),
+                    static_cast<std::int64_t>(completed)});
+    decomp.add_row({std::string("client service"),
+                    static_cast<std::int64_t>(cli_svc_p99),
+                    static_cast<std::int64_t>(completed)});
+    decomp.add_row({std::string("frontend request"),
+                    static_cast<std::int64_t>(fe_p99),
+                    timer_count(fe_metrics, "frontend.request_us")});
+    decomp.add_row({std::string("forward rtt"),
+                    static_cast<std::int64_t>(rtt_p99),
+                    timer_count(fe_metrics, "frontend.forward_rtt_us")});
+    decomp.add_row({std::string("backend service"),
+                    static_cast<std::int64_t>(svc_p99),
+                    timer_count(be_metrics, "backend.service_us")});
+    std::printf("latency decomposition (server side scraped live; includes "
+                "warmup):\n%s\n",
+                decomp.render().c_str());
+  }
+
   TextTable table({"preset", "x", "completed", "throughput_qps", "hit_ratio",
                    "failures", "max_backend", "ideal", "live_gain",
                    "predicted_gain", "gain_ratio", "p50_us", "p99_us",
-                   "p999_us"});
+                   "p999_us", "cli_svc_p99_us", "fe_p99_us", "rtt_p99_us",
+                   "svc_p99_us"});
   table.add_row({flags.preset,
                  static_cast<std::int64_t>(flags.preset == "adversarial" ? x
                                                                          : 0),
@@ -412,9 +515,13 @@ int main(int argc, char** argv) {
                  predicted,
                  predicted > 0.0 ? live_gain / predicted : 0.0,
                  static_cast<std::int64_t>(latency_us.value_at_quantile(0.50)),
-                 static_cast<std::int64_t>(latency_us.value_at_quantile(0.99)),
+                 static_cast<std::int64_t>(client_p99),
                  static_cast<std::int64_t>(
-                     latency_us.value_at_quantile(0.999))});
+                     latency_us.value_at_quantile(0.999)),
+                 static_cast<std::int64_t>(cli_svc_p99),
+                 static_cast<std::int64_t>(fe_p99),
+                 static_cast<std::int64_t>(rtt_p99),
+                 static_cast<std::int64_t>(svc_p99)});
   finish_table(table, common);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "cache/tinylfu_cache.h"
 #include "cluster/placement_index.h"
 #include "core/scp.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -200,6 +201,57 @@ void BM_EventSimSecond(benchmark::State& state) {
                           10000);
 }
 BENCHMARK(BM_EventSimSecond)->Unit(benchmark::kMillisecond);
+
+// The obs layer's hot-path costs: these bound the instrumentation overhead
+// the live servers pay per request (the ISSUE budget is <= 2% throughput).
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("bench.ops");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsTimerRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Timer& timer = registry.timer("bench.latency_us");
+  std::uint64_t v = 0x9e3779b9;
+  for (auto _ : state) {
+    v = mix64(v);
+    timer.record(v >> 44);  // spread over the histogram's linear region
+  }
+}
+BENCHMARK(BM_ObsTimerRecord);
+
+// One timed request as the servers do it: now_ns() twice plus the record.
+void BM_ObsRecordElapsed(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Timer& timer = registry.timer("bench.latency_us");
+  for (auto _ : state) {
+    const std::uint64_t start = obs::now_ns();
+    obs::record_elapsed(&timer, start, 1'000);
+  }
+}
+BENCHMARK(BM_ObsRecordElapsed);
+
+// A scrape of a registry shaped like a live front end's (a handful of
+// counters and gauges, per-node RTT timers): the cost the serving thread's
+// spinlocks absorb a few times per second.
+void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    registry.counter("bench.counter." + std::to_string(i)).inc();
+    registry.gauge("bench.gauge." + std::to_string(i)).set(i);
+    obs::Timer& timer = registry.timer("bench.timer." + std::to_string(i));
+    for (std::uint64_t v = 1; v <= 4096; ++v) timer.record(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+}
+BENCHMARK(BM_ObsRegistrySnapshot)->Unit(benchmark::kMicrosecond);
 
 void BM_AdversarialShiftFixpoint(benchmark::State& state) {
   const auto start = QueryDistribution::zipf(

@@ -78,10 +78,11 @@ validate_json "$smoke_json" fig5a_best_gain
 
 if [[ "$QUICK" != "1" ]]; then
   # Live serving smoke 1: scp_backend binds a kernel-assigned port, prints
-  # it on stdout, and exits 0 after a SIGTERM drain.
+  # it on stdout, serves a Prometheus scrape, and exits 0 after a SIGTERM
+  # drain.
   backend_out="$BUILD_DIR/smoke_backend.out"
   "$BUILD_DIR/src/net/scp_backend" --port 0 --node 0 --nodes 3 \
-    --items 64 >"$backend_out" &
+    --items 64 --metrics-port 0 >"$backend_out" &
   backend_pid=$!
   spawned_pids+=("$backend_pid")
   port=""
@@ -92,6 +93,26 @@ if [[ "$QUICK" != "1" ]]; then
   done
   if [[ -z "$port" || "$port" == "0" ]]; then
     echo "check.sh: scp_backend did not print a kernel-assigned port" >&2
+    exit 1
+  fi
+  metrics_port=""
+  for _ in $(seq 50); do
+    metrics_port="$(sed -n 's/^METRICS_PORT \([0-9][0-9]*\)$/\1/p' \
+      "$backend_out")"
+    [[ -n "$metrics_port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$metrics_port" || "$metrics_port" == "0" ]]; then
+    echo "check.sh: scp_backend did not print METRICS_PORT" >&2
+    exit 1
+  fi
+  scrape="$(python3 -c 'import sys, urllib.request
+print(urllib.request.urlopen(
+    f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=5).read().decode())' \
+    "$metrics_port")"
+  if ! grep -q '^# TYPE scp_backend_requests counter$' <<<"$scrape" ||
+     ! grep -q '^# TYPE scp_backend_service_us summary$' <<<"$scrape"; then
+    echo "check.sh: /metrics scrape missing expected families" >&2
     exit 1
   fi
   kill -TERM "$backend_pid"
@@ -108,6 +129,12 @@ if [[ "$QUICK" != "1" ]]; then
     --n 3 --d 2 --m 1024 --c 4 --rate 1000 --duration 1 --warmup 0.2 \
     --threads 2 --json "$live_json" >/dev/null
   validate_json "$live_json" live_serving
+  for column in cli_svc_p99_us fe_p99_us rtt_p99_us svc_p99_us; do
+    if ! grep -q "\"$column\"" "$live_json"; then
+      echo "check.sh: live JSON missing decomposition column $column" >&2
+      exit 1
+    fi
+  done
   echo "check.sh: live serving smoke OK"
 fi
 

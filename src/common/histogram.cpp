@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.h"
@@ -62,16 +63,33 @@ void LogHistogram::record_n(std::uint64_t value, std::uint64_t count) noexcept {
 }
 
 void LogHistogram::merge(const LogHistogram& other) {
-  SCP_CHECK_MSG(precision_ == other.precision_,
-                "cannot merge histograms with different precision");
   if (other.total_count_ == 0) {
     return;
   }
-  if (other.counts_.size() > counts_.size()) {
-    counts_.resize(other.counts_.size(), 0);
-  }
-  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
-    counts_[i] += other.counts_[i];
+  if (precision_ == other.precision_) {
+    if (other.counts_.size() > counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  } else {
+    // Mismatched precision: re-bucket each occupied bucket of `other` at its
+    // representative value (bucket upper bound, clamped to other's true max).
+    // Counts are preserved exactly; values shift by at most the coarser
+    // histogram's relative error. min/max/sum below stay exact regardless.
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      if (other.counts_[i] == 0) {
+        continue;
+      }
+      const std::uint64_t rep =
+          std::min(other.bucket_upper_bound(i), other.max_);
+      const std::size_t idx = bucket_index(rep);
+      if (idx >= counts_.size()) {
+        counts_.resize(idx + 1, 0);
+      }
+      counts_[idx] += other.counts_[i];
+    }
   }
   if (total_count_ == 0) {
     min_ = other.min_;
@@ -111,6 +129,77 @@ std::uint64_t LogHistogram::value_at_quantile(double q) const noexcept {
     }
   }
   return max_;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+LogHistogram::nonzero_buckets() const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) {
+      out.emplace_back(static_cast<std::uint32_t>(i), counts_[i]);
+    }
+  }
+  return out;
+}
+
+std::optional<LogHistogram> LogHistogram::from_buckets(
+    unsigned precision,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> buckets,
+    std::uint64_t min, std::uint64_t max, double sum) {
+  if (precision < 1 || precision > 10) {
+    return std::nullopt;
+  }
+  LogHistogram h(precision);
+  // Maximum representable index: shift tops out at 63 - precision, so
+  // indices live in [0, sub * (65 - precision)).
+  const std::uint64_t index_limit = h.sub_bucket_count_ * (65 - precision);
+  std::uint64_t total = 0;
+  std::uint32_t prev_index = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto [idx, cnt] = buckets[i];
+    if (cnt == 0 || idx >= index_limit || (i > 0 && idx <= prev_index)) {
+      return std::nullopt;
+    }
+    prev_index = idx;
+    if (idx >= h.counts_.size()) {
+      h.counts_.resize(idx + 1, 0);
+    }
+    h.counts_[idx] = cnt;
+    total += cnt;
+  }
+  if (!std::isfinite(sum)) {
+    return std::nullopt;
+  }
+  if (total == 0) {
+    if (min != 0 || max != 0 || sum != 0.0) {
+      return std::nullopt;
+    }
+    return h;
+  }
+  if (min > max) {
+    return std::nullopt;
+  }
+  h.total_count_ = total;
+  h.min_ = min;
+  h.max_ = max;
+  h.sum_ = sum;
+  return h;
+}
+
+bool operator==(const LogHistogram& a, const LogHistogram& b) {
+  if (a.precision_ != b.precision_ || a.total_count_ != b.total_count_ ||
+      a.min() != b.min() || a.max() != b.max() || a.sum_ != b.sum_) {
+    return false;
+  }
+  const std::size_t n = std::max(a.counts_.size(), b.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ca = i < a.counts_.size() ? a.counts_[i] : 0;
+    const std::uint64_t cb = i < b.counts_.size() ? b.counts_[i] : 0;
+    if (ca != cb) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string LogHistogram::summary() const {

@@ -7,7 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace scp {
@@ -20,12 +23,20 @@ class LogHistogram {
 
   void record(std::uint64_t value) noexcept;
   void record_n(std::uint64_t value, std::uint64_t count) noexcept;
+  /// Combines `other` into this histogram. Equal precisions merge buckets
+  /// exactly; a mismatched precision is rescaled — each occupied bucket of
+  /// `other` is re-bucketed at its representative value, preserving counts
+  /// exactly and values to within the *coarser* histogram's relative error
+  /// (min/max/sum stay exact either way). Never aborts: histograms from
+  /// different servers may legitimately disagree on precision.
   void merge(const LogHistogram& other);
 
   std::uint64_t count() const noexcept { return total_count_; }
   std::uint64_t min() const noexcept;
   std::uint64_t max() const noexcept;
   double mean() const noexcept;
+  /// Exact sum of all recorded values (as a double; used by mean()).
+  double sum() const noexcept { return sum_; }
 
   /// Quantile q in [0, 1]; returns an upper bound of the bucket containing
   /// the q-th value. Returns 0 for an empty histogram.
@@ -35,6 +46,22 @@ class LogHistogram {
   std::string summary() const;
 
   unsigned precision() const noexcept { return precision_; }
+
+  /// Sparse view of occupied buckets as (bucket index, count) pairs, in
+  /// ascending index order. Together with precision/min/max/sum this is a
+  /// lossless serialization of the histogram.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> nonzero_buckets() const;
+
+  /// Reconstructs a histogram from its serialized form (the inverse of
+  /// nonzero_buckets + the scalar accessors). Returns std::nullopt if the
+  /// fields are inconsistent: bad precision, out-of-range bucket index,
+  /// counts that don't sum to a total matching min/max presence.
+  static std::optional<LogHistogram> from_buckets(
+      unsigned precision,
+      std::span<const std::pair<std::uint32_t, std::uint64_t>> buckets,
+      std::uint64_t min, std::uint64_t max, double sum);
+
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b);
 
  private:
   std::size_t bucket_index(std::uint64_t value) const noexcept;

@@ -33,7 +33,23 @@ bool BackendServer::start() {
     handle(conn, std::move(message));
   };
   loop_.set_callbacks(std::move(callbacks));
+  if (config_.metrics) {
+    service_us_ = &registry_.timer("backend.service_us");
+    registry_.gauge("backend.keys")
+        .set(static_cast<std::int64_t>(storage_.live_count()));
+    loop_.set_metrics(&registry_);
+  }
   if (!loop_.listen(config_.address, config_.port)) return false;
+  if (config_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
+        [this] { return metrics_snapshot(); });
+    if (!metrics_http_->start(
+            static_cast<std::uint16_t>(config_.metrics_port))) {
+      SCP_LOG_ERROR << "scp_backend: failed to bind metrics port "
+                    << config_.metrics_port;
+      return false;
+    }
+  }
   if (!loop_.start()) return false;
   SCP_LOG_INFO << "scp_backend node " << config_.node_id << " serving "
                << storage_.live_count() << " keys on " << config_.address
@@ -41,7 +57,12 @@ bool BackendServer::start() {
   return true;
 }
 
-void BackendServer::stop(double drain_s) { loop_.stop(drain_s); }
+void BackendServer::stop(double drain_s) {
+  loop_.stop(drain_s);
+  if (metrics_http_ != nullptr) {
+    metrics_http_->stop();
+  }
+}
 
 ServerStats BackendServer::stats() const {
   ServerStats stats;
@@ -52,9 +73,25 @@ ServerStats BackendServer::stats() const {
   return stats;
 }
 
+obs::MetricsSnapshot BackendServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  const ServerStats s = stats();
+  snap.counters["backend.requests"] = s.requests;
+  snap.counters["backend.hits"] = s.hits;
+  snap.counters["backend.misses"] = s.misses;
+  snap.counters["backend.redirects"] = s.redirects;
+  return snap;
+}
+
+std::uint16_t BackendServer::metrics_http_port() const noexcept {
+  return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+}
+
 void BackendServer::handle(ConnId conn, Message&& message) {
   switch (message.type) {
     case MsgType::kGet: {
+      const std::uint64_t start_ns =
+          service_us_ != nullptr ? obs::now_ns() : 0;
       requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<NodeId> group(config_.replication);
       partitioner_->replica_group(message.key, group);
@@ -66,6 +103,7 @@ void BackendServer::handle(ConnId conn, Message&& message) {
         reply.key = message.key;
         reply.node = group[0];
         loop_.send(conn, reply);
+        obs::record_elapsed(service_us_, start_ns, /*divisor=*/1'000);
         return;
       }
       Message reply;
@@ -79,12 +117,20 @@ void BackendServer::handle(ConnId conn, Message&& message) {
         reply.type = MsgType::kMiss;
       }
       loop_.send(conn, reply);
+      obs::record_elapsed(service_us_, start_ns, /*divisor=*/1'000);
       return;
     }
     case MsgType::kStats: {
       Message reply;
       reply.type = MsgType::kStatsReply;
       reply.stats = stats();
+      loop_.send(conn, reply);
+      return;
+    }
+    case MsgType::kMetricsRequest: {
+      Message reply;
+      reply.type = MsgType::kMetricsReply;
+      reply.metrics = metrics_snapshot();
       loop_.send(conn, reply);
       return;
     }

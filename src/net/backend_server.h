@@ -18,6 +18,8 @@
 #include "cluster/partitioner.h"
 #include "kvstore/storage_engine.h"
 #include "net/frame_loop.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 
 namespace scp::net {
 
@@ -32,6 +34,11 @@ struct BackendConfig {
   /// Keys 0…items-1 are preloaded where owned; 0 = empty store.
   std::uint64_t items = 0;
   std::uint32_t value_bytes = 64;
+  /// Hot-path instrumentation (service-time and loop-tick histograms).
+  /// Off leaves only the ServerStats atomics — the overhead A/B baseline.
+  bool metrics = true;
+  /// Prometheus endpoint: -1 = none, 0 = kernel-assigned, else fixed port.
+  std::int32_t metrics_port = -1;
 };
 
 class BackendServer {
@@ -51,6 +58,13 @@ class BackendServer {
   /// Counter snapshot (thread-safe).
   ServerStats stats() const;
 
+  /// Full metrics snapshot: registry histograms plus the ServerStats
+  /// counters under "backend.*" names (thread-safe).
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Bound Prometheus endpoint port, or 0 when config.metrics_port == -1.
+  std::uint16_t metrics_http_port() const noexcept;
+
   const StorageEngine& storage() const noexcept { return storage_; }
   const BackendConfig& config() const noexcept { return config_; }
 
@@ -62,6 +76,9 @@ class BackendServer {
   std::unique_ptr<ReplicaPartitioner> partitioner_;
   StorageEngine storage_;
   FrameLoop loop_;
+  obs::MetricsRegistry registry_;
+  obs::Timer* service_us_ = nullptr;  // null = instrumentation off
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> hits_{0};

@@ -46,6 +46,16 @@ void FrameLoop::stop(double drain_s) {
   }
 }
 
+void FrameLoop::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    tick_us_ = nullptr;
+    dispatch_depth_ = nullptr;
+    return;
+  }
+  tick_us_ = &registry->timer("loop.tick_us");
+  dispatch_depth_ = &registry->timer("loop.dispatch_depth");
+}
+
 ConnId FrameLoop::connect(const std::string& address, std::uint16_t port) {
   const ConnId id = next_conn_id_.fetch_add(1);
   if (!running_.load()) {
@@ -113,6 +123,10 @@ void FrameLoop::loop() {
 
   std::vector<IoEvent> ready;
   Clock::time_point drain_deadline{};
+  // Busy time per iteration: from returning out of events_.wait to entering
+  // it again (event dispatch plus the next round of posted work and timers).
+  std::uint64_t tick_start_ns = 0;
+  std::uint64_t tick_items = 0;
 
   while (true) {
     // Posted functions and queued pre-start connects.
@@ -169,8 +183,15 @@ void FrameLoop::loop() {
       if (!writes_pending || Clock::now() >= drain_deadline) break;
     }
 
+    tick_items += posted.size();
+    if (tick_us_ != nullptr && tick_start_ns != 0) {
+      tick_us_->record((obs::now_ns() - tick_start_ns) / 1000);
+      dispatch_depth_->record(tick_items);
+    }
     const int timeout_ms = draining_ ? 10 : next_timeout_ms();
     const int n = events_.wait(ready, timeout_ms);
+    tick_start_ns = tick_us_ != nullptr ? obs::now_ns() : 0;
+    tick_items = static_cast<std::uint64_t>(n > 0 ? n : 0);
     if (n < 0) {
       SCP_LOG_ERROR << "net: event loop wait failed: " << std::strerror(errno)
                     << "; shutting down";
@@ -199,7 +220,10 @@ void FrameLoop::do_connect(ConnId id, const std::string& address,
   bool in_progress = false;
   Socket sock = connect_tcp_nonblocking(address, port, &in_progress);
   if (!sock.valid()) {
-    if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+    // Loopback connects can fail synchronously (ECONNREFUSED from
+    // ::connect). Deferring the callback upholds the on_connect contract:
+    // the owner's connect() call has returned before the outcome arrives.
+    run_after(0.0, [this, id] { notify_connect_deferred(id); });
     return;
   }
   const int fd = sock.fd();
@@ -212,9 +236,22 @@ void FrameLoop::do_connect(ConnId id, const std::string& address,
   events_.add(fd, /*want_read=*/!in_progress, /*want_write=*/in_progress);
   by_fd_[fd] = id;
   conns_.emplace(id, std::move(conn));
-  if (!in_progress && callbacks_.on_connect) {
-    callbacks_.on_connect(id, true);
+  if (!in_progress) {
+    // Synchronous loopback success: same deferral as the failure path.
+    run_after(0.0, [this, id] { notify_connect_deferred(id); });
   }
+}
+
+void FrameLoop::notify_connect_deferred(ConnId id) {
+  Connection* conn = find(id);
+  if (conn == nullptr) {
+    // Synchronous failure, or the conn died before the deferred outcome was
+    // delivered — either way the owner sees one on_connect(false).
+    if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+    return;
+  }
+  conn->connect_notified = true;
+  if (callbacks_.on_connect) callbacks_.on_connect(id, true);
 }
 
 void FrameLoop::accept_ready() {
@@ -263,6 +300,7 @@ void FrameLoop::handle_event(const IoEvent& event) {
         return;
       }
       conn->connecting = false;
+      conn->connect_notified = true;
       update_interest(*conn);
       if (callbacks_.on_connect) callbacks_.on_connect(id, true);
     }
@@ -363,7 +401,11 @@ void FrameLoop::destroy(ConnId id, bool notify) {
   by_fd_.erase(conn.sock.fd());
   events_.remove(conn.sock.fd());
   conn.sock.reset();
-  if (notify && callbacks_.on_close) {
+  // Outbound conns whose on_connect hasn't been delivered report their
+  // demise through the connect path (deferred notifier finds them gone),
+  // never through on_close.
+  const bool established = !conn.outbound || conn.connect_notified;
+  if (notify && established && callbacks_.on_close) {
     callbacks_.on_close(id);
   }
 }

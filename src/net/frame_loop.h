@@ -26,6 +26,7 @@
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace scp::net {
 
@@ -50,7 +51,10 @@ class FrameLoop {
     /// connects or during final teardown.
     std::function<void(ConnId)> on_close;
     /// Outcome of a connect(): established (true) or failed (false; the
-    /// conn id is dead afterwards).
+    /// conn id is dead afterwards). Never fired before the connect() call
+    /// that created the conn id has returned, even when the kernel resolves
+    /// a loopback connect synchronously — owners can record the returned id
+    /// before the outcome arrives.
     std::function<void(ConnId, bool)> on_connect;
   };
 
@@ -61,6 +65,11 @@ class FrameLoop {
 
   /// Must be set before start().
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Optional instrumentation; must be set before start() and outlive the
+  /// loop. Publishes "loop.tick_us" (busy time per reactor iteration) and
+  /// "loop.dispatch_depth" (posted functions + I/O events per iteration).
+  void set_metrics(obs::MetricsRegistry* registry);
 
   /// Binds and listens (port 0 = kernel-assigned; see port()). Call before
   /// start(). Returns false on bind/listen failure.
@@ -111,6 +120,10 @@ class FrameLoop {
     bool outbound = false;
     bool connecting = false;
     bool want_write = false;
+    /// Outbound only: on_connect has been delivered. A conn that dies first
+    /// reports on_connect(false) (via the deferred notifier), never
+    /// on_close — so owners see exactly one outcome per connect().
+    bool connect_notified = false;
   };
 
   struct Timer {
@@ -129,6 +142,7 @@ class FrameLoop {
 
   void loop();
   void do_connect(ConnId id, const std::string& address, std::uint16_t port);
+  void notify_connect_deferred(ConnId id);
   void accept_ready();
   Connection* find(ConnId id);
   void handle_event(const IoEvent& event);
@@ -165,6 +179,8 @@ class FrameLoop {
   bool started_ = false;
 
   FrameLoopCounters counters_;
+  obs::Timer* tick_us_ = nullptr;          // null = instrumentation off
+  obs::Timer* dispatch_depth_ = nullptr;
 };
 
 }  // namespace scp::net

@@ -59,7 +59,31 @@ bool FrontendServer::start() {
   };
   loop_.set_callbacks(std::move(callbacks));
 
+  if (config_.metrics) {
+    cache_lookup_ns_ = &registry_.timer("frontend.cache_lookup_ns");
+    request_us_ = &registry_.timer("frontend.request_us");
+    forward_rtt_us_ = &registry_.timer("frontend.forward_rtt_us");
+    attempts_hist_ = &registry_.timer("frontend.attempts");
+    values_entries_ = &registry_.gauge("frontend.values_entries");
+    node_rtt_us_.resize(config_.nodes);
+    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+      node_rtt_us_[node] = &registry_.timer("frontend.forward_rtt_us.node" +
+                                            std::to_string(node));
+    }
+    loop_.set_metrics(&registry_);
+  }
+
   if (!loop_.listen(config_.address, config_.port)) return false;
+  if (config_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
+        [this] { return metrics_snapshot(); });
+    if (!metrics_http_->start(
+            static_cast<std::uint16_t>(config_.metrics_port))) {
+      SCP_LOG_ERROR << "scp_frontend: failed to bind metrics port "
+                    << config_.metrics_port;
+      return false;
+    }
+  }
 
   for (std::uint32_t node = 0; node < config_.nodes; ++node) {
     BackendState& backend = backends_[node];
@@ -89,6 +113,9 @@ void FrontendServer::stop(double drain_s) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   loop_.stop(drain_s);
+  if (metrics_http_ != nullptr) {
+    metrics_http_->stop();
+  }
 }
 
 bool FrontendServer::wait_backends_up(double timeout_s) const {
@@ -112,7 +139,30 @@ ServerStats FrontendServer::stats() const {
   stats.forwarded = forwarded_.load(std::memory_order_relaxed);
   stats.retries = retries_.load(std::memory_order_relaxed);
   stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.attempts = attempts_.load(std::memory_order_relaxed);
   return stats;
+}
+
+obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  const ServerStats s = stats();
+  snap.counters["frontend.requests"] = s.requests;
+  snap.counters["frontend.hits"] = s.hits;
+  snap.counters["frontend.misses"] = s.misses;
+  snap.counters["frontend.redirects"] = s.redirects;
+  snap.counters["frontend.forwarded"] = s.forwarded;
+  snap.counters["frontend.retries"] = s.retries;
+  snap.counters["frontend.failures"] = s.failures;
+  snap.counters["frontend.attempts_total"] = s.attempts;
+  snap.gauges["frontend.backends_up"] =
+      static_cast<std::int64_t>(backends_up_.load(std::memory_order_relaxed));
+  snap.gauges["frontend.pending_requests"] =
+      static_cast<std::int64_t>(pending_total_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+std::uint16_t FrontendServer::metrics_http_port() const noexcept {
+  return metrics_http_ != nullptr ? metrics_http_->port() : 0;
 }
 
 void FrontendServer::handle(ConnId conn, Message&& message) {
@@ -127,25 +177,37 @@ void FrontendServer::handle(ConnId conn, Message&& message) {
 void FrontendServer::handle_client(ConnId conn, Message&& message) {
   switch (message.type) {
     case MsgType::kGet: {
+      const std::uint64_t start_ns =
+          request_us_ != nullptr ? obs::now_ns() : 0;
       requests_.fetch_add(1, std::memory_order_relaxed);
       std::string value;
-      if (cache_lookup(message.key, value)) {
+      const bool hit = cache_lookup(message.key, value);
+      obs::record_elapsed(cache_lookup_ns_, start_ns);
+      if (hit) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         Message reply;
         reply.type = MsgType::kValue;
         reply.key = message.key;
         reply.payload = std::move(value);
         loop_.send(conn, reply);
+        obs::record_elapsed(request_us_, start_ns, /*divisor=*/1'000);
         return;
       }
       misses_.fetch_add(1, std::memory_order_relaxed);
-      forward(conn, message.key, /*attempts=*/0);
+      forward(conn, message.key, /*attempts=*/0, start_ns);
       return;
     }
     case MsgType::kStats: {
       Message reply;
       reply.type = MsgType::kStatsReply;
       reply.stats = stats();
+      loop_.send(conn, reply);
+      return;
+    }
+    case MsgType::kMetricsRequest: {
+      Message reply;
+      reply.type = MsgType::kMetricsReply;
+      reply.metrics = metrics_snapshot();
       loop_.send(conn, reply);
       return;
     }
@@ -168,8 +230,8 @@ void FrontendServer::handle_client(ConnId conn, Message&& message) {
 
 void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
   BackendState& backend = backends_[node];
-  if (message.type == MsgType::kPong ||
-      message.type == MsgType::kStatsReply) {
+  if (message.type == MsgType::kPong || message.type == MsgType::kStatsReply ||
+      message.type == MsgType::kMetricsReply) {
     return;  // health probes; nothing pending
   }
   if (backend.pending.empty() || backend.pending.front().key != message.key) {
@@ -186,6 +248,7 @@ void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
   switch (message.type) {
     case MsgType::kValue: {
       admit(message.key, message.payload);
+      complete_request(request, node);
       Message reply;
       reply.type = MsgType::kValue;
       reply.key = message.key;
@@ -194,6 +257,11 @@ void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
       return;
     }
     case MsgType::kMiss: {
+      // The fetch produced no value: release the tier slot the lookup
+      // admitted, or it sits value-less forever, evicting real entries and
+      // turning future hits into forwards.
+      drop_cached(message.key);
+      complete_request(request, node);
       Message reply;
       reply.type = MsgType::kMiss;
       reply.key = message.key;
@@ -207,7 +275,7 @@ void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
       if (message.node < config_.nodes &&
           request.attempts + 1 < config_.retry.max_attempts()) {
         forward_to(message.node, request.client, request.key,
-                   request.attempts + 1);
+                   request.attempts + 1, request.start_ns);
       } else {
         fail_request(request.client, request.key);
       }
@@ -217,6 +285,26 @@ void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
       fail_request(request.client, request.key);
       return;
   }
+}
+
+/// A pending request was answered by backend `node` (kValue or kMiss):
+/// count it as forwarded exactly once and record its latency decomposition.
+void FrontendServer::complete_request(const PendingRequest& request,
+                                      std::uint32_t node) {
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  if (request_us_ == nullptr) return;
+  const std::uint64_t now = obs::now_ns();
+  if (request.sent_ns != 0) {
+    const std::uint64_t rtt_us = (now - request.sent_ns) / 1'000;
+    forward_rtt_us_->record(rtt_us);
+    if (node < node_rtt_us_.size()) {
+      node_rtt_us_[node]->record(rtt_us);
+    }
+  }
+  if (request.start_ns != 0) {
+    request_us_->record((now - request.start_ns) / 1'000);
+  }
+  attempts_hist_->record(request.attempts + 1);
 }
 
 void FrontendServer::on_conn_close(ConnId conn) {
@@ -295,11 +383,27 @@ void FrontendServer::admit(std::uint64_t key, const std::string& value) {
   if (tier_ == nullptr) return;
   if (!tier_->contains(key)) return;  // the policy declined admission
   values_[key] = value;
+  // Reconcile the value side-map with tier membership once it outgrows the
+  // tier (policy evictions leave dead entries behind). Only entries the
+  // tier no longer holds are dropped — resident values must survive or
+  // their tier hits would find no bytes.
   const std::size_t bound = 4 * tier_->capacity() + 64;
   if (values_.size() > bound) {
     for (auto it = values_.begin(); it != values_.end();) {
       it = tier_->contains(it->first) ? std::next(it) : values_.erase(it);
     }
+  }
+  if (values_entries_ != nullptr) {
+    values_entries_->set(static_cast<std::int64_t>(values_.size()));
+  }
+}
+
+void FrontendServer::drop_cached(std::uint64_t key) {
+  if (tier_ == nullptr) return;
+  tier_->invalidate(key);
+  values_.erase(key);
+  if (values_entries_ != nullptr) {
+    values_entries_->set(static_cast<std::int64_t>(values_.size()));
   }
 }
 
@@ -334,41 +438,47 @@ std::uint32_t FrontendServer::route(std::uint64_t key) {
 }
 
 void FrontendServer::forward(ConnId client, std::uint64_t key,
-                             std::uint32_t attempts) {
+                             std::uint32_t attempts, std::uint64_t start_ns) {
   const std::uint32_t node = route(key);
   if (node == kNoBackend) {
     // No live replica right now; treat like a failed attempt and back off.
-    if (attempts + 1 < config_.retry.max_attempts()) {
-      retries_.fetch_add(1, std::memory_order_relaxed);
+    // While stopping, fail immediately: the loop's timers never fire again,
+    // so a scheduled retry would pin pending_total_ above zero and make
+    // stop() burn its whole drain budget.
+    if (attempts + 1 < config_.retry.max_attempts() && !stopping_.load()) {
       pending_total_.fetch_add(1, std::memory_order_relaxed);
       loop_.run_after(config_.retry.backoff_s(attempts),
-                      [this, client, key, attempts] {
+                      [this, client, key, attempts, start_ns] {
                         pending_total_.fetch_sub(1, std::memory_order_relaxed);
-                        forward(client, key, attempts + 1);
+                        forward(client, key, attempts + 1, start_ns);
                       });
     } else {
       fail_request(client, key);
     }
     return;
   }
-  forward_to(node, client, key, attempts);
+  forward_to(node, client, key, attempts, start_ns);
 }
 
 void FrontendServer::forward_to(std::uint32_t node, ConnId client,
-                                std::uint64_t key, std::uint32_t attempts) {
+                                std::uint64_t key, std::uint32_t attempts,
+                                std::uint64_t start_ns) {
   BackendState& backend = backends_[node];
   if (!backend.up) {
-    forward(client, key, attempts);  // re-route through the live members
+    forward(client, key, attempts, start_ns);  // re-route via live members
     return;
   }
   Message request;
   request.type = MsgType::kGet;
   request.key = key;
   if (!loop_.send(backend.conn, request)) {
-    forward(client, key, attempts);
+    forward(client, key, attempts, start_ns);
     return;
   }
-  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  // One wire send. `forwarded` is only counted when a backend answers the
+  // request (in complete_request), so requests == hits + forwarded +
+  // failures holds; `attempts` counts sends, `retries` the re-sends.
+  attempts_.fetch_add(1, std::memory_order_relaxed);
   if (attempts > 0) retries_.fetch_add(1, std::memory_order_relaxed);
   loads_[node] += 1.0;
 
@@ -376,6 +486,8 @@ void FrontendServer::forward_to(std::uint32_t node, ConnId client,
   pending.client = client;
   pending.key = key;
   pending.attempts = attempts;
+  pending.start_ns = start_ns;
+  pending.sent_ns = request_us_ != nullptr ? obs::now_ns() : 0;
   pending.deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -385,15 +497,17 @@ void FrontendServer::forward_to(std::uint32_t node, ConnId client,
 }
 
 void FrontendServer::retry_or_fail(const PendingRequest& request) {
-  if (request.attempts + 1 < config_.retry.max_attempts()) {
+  if (request.attempts + 1 < config_.retry.max_attempts() &&
+      !stopping_.load()) {
     const double backoff = config_.retry.backoff_s(request.attempts);
     const ConnId client = request.client;
     const std::uint64_t key = request.key;
     const std::uint32_t next_attempt = request.attempts + 1;
+    const std::uint64_t start_ns = request.start_ns;
     pending_total_.fetch_add(1, std::memory_order_relaxed);
-    loop_.run_after(backoff, [this, client, key, next_attempt] {
+    loop_.run_after(backoff, [this, client, key, next_attempt, start_ns] {
       pending_total_.fetch_sub(1, std::memory_order_relaxed);
-      forward(client, key, next_attempt);
+      forward(client, key, next_attempt, start_ns);
     });
   } else {
     fail_request(request.client, request.key);
@@ -401,6 +515,9 @@ void FrontendServer::retry_or_fail(const PendingRequest& request) {
 }
 
 void FrontendServer::fail_request(ConnId client, std::uint64_t key) {
+  // A failed fetch leaves no bytes behind either — release any value-less
+  // tier slot the lookup admitted.
+  drop_cached(key);
   failures_.fetch_add(1, std::memory_order_relaxed);
   Message reply;
   reply.type = MsgType::kError;

@@ -29,6 +29,8 @@
 #include "cluster/routing.h"
 #include "common/rng.h"
 #include "net/frame_loop.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 
 namespace scp::net {
 
@@ -56,6 +58,12 @@ struct FrontendConfig {
   std::string router = "pinned";
   RetryPolicy retry;
   std::uint64_t seed = 1;  ///< tie-breaks, random routing, tier affinity
+
+  /// Hot-path instrumentation (lookup/RTT/request histograms). Off leaves
+  /// only the ServerStats atomics — the overhead A/B baseline.
+  bool metrics = true;
+  /// Prometheus endpoint: -1 = none, 0 = kernel-assigned, else fixed port.
+  std::int32_t metrics_port = -1;
 };
 
 class FrontendServer {
@@ -80,6 +88,18 @@ class FrontendServer {
   /// Counter snapshot (thread-safe).
   ServerStats stats() const;
 
+  /// Full metrics snapshot: registry histograms plus the ServerStats
+  /// counters under "frontend.*" names (thread-safe).
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Bound Prometheus endpoint port, or 0 when config.metrics_port == -1.
+  std::uint16_t metrics_http_port() const noexcept;
+
+  /// Loop-thread-only introspection for tests: live backend_by_conn_ size.
+  std::size_t backend_conn_entries() const noexcept {
+    return backend_by_conn_.size();
+  }
+
  private:
   static constexpr std::uint32_t kNoBackend = UINT32_MAX;
 
@@ -88,6 +108,8 @@ class FrontendServer {
     std::uint64_t key = 0;
     std::chrono::steady_clock::time_point deadline;
     std::uint32_t attempts = 0;  ///< 0-based index of this attempt
+    std::uint64_t start_ns = 0;  ///< kGet arrival (carried across retries)
+    std::uint64_t sent_ns = 0;   ///< this attempt's wire send
   };
 
   struct BackendState {
@@ -107,10 +129,13 @@ class FrontendServer {
 
   bool cache_lookup(std::uint64_t key, std::string& value);
   void admit(std::uint64_t key, const std::string& value);
+  void drop_cached(std::uint64_t key);
+  void complete_request(const PendingRequest& request, std::uint32_t node);
 
-  void forward(ConnId client, std::uint64_t key, std::uint32_t attempts);
+  void forward(ConnId client, std::uint64_t key, std::uint32_t attempts,
+               std::uint64_t start_ns);
   void forward_to(std::uint32_t node, ConnId client, std::uint64_t key,
-                  std::uint32_t attempts);
+                  std::uint32_t attempts, std::uint64_t start_ns);
   std::uint32_t route(std::uint64_t key);
   void retry_or_fail(const PendingRequest& request);
   void fail_request(ConnId client, std::uint64_t key);
@@ -139,9 +164,20 @@ class FrontendServer {
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> attempts_{0};
   std::atomic<std::uint64_t> pending_total_{0};
   std::atomic<std::uint32_t> backends_up_{0};
   std::atomic<bool> stopping_{false};
+
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
+  // Cached metric handles; all null when config.metrics is off.
+  obs::Timer* cache_lookup_ns_ = nullptr;
+  obs::Timer* request_us_ = nullptr;
+  obs::Timer* forward_rtt_us_ = nullptr;
+  obs::Timer* attempts_hist_ = nullptr;
+  obs::Gauge* values_entries_ = nullptr;
+  std::vector<obs::Timer*> node_rtt_us_;  // per-backend forward RTT
 };
 
 }  // namespace scp::net

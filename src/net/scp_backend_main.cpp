@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   std::uint64_t items = config.items;
   std::uint64_t value_bytes = config.value_bytes;
   double drain_s = 1.0;
+  std::int64_t metrics_port = -1;
 
   FlagSet flags("scp_backend: replica-group member serving GETs over TCP");
   flags.add_string("address", &config.address, "bind address");
@@ -44,6 +45,10 @@ int main(int argc, char** argv) {
   flags.add_uint64("items", &items, "preload keys 0..items-1 where owned");
   flags.add_uint64("value-bytes", &value_bytes, "stored value size");
   flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
+  flags.add_bool("metrics", &config.metrics,
+                 "hot-path histograms (service time, loop ticks)");
+  flags.add_int64("metrics-port", &metrics_port,
+                  "Prometheus /metrics port (-1 = off, 0 = kernel-assigned)");
   if (!flags.parse(argc, argv)) return 2;
 
   config.port = static_cast<std::uint16_t>(port);
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   config.replication = static_cast<std::uint32_t>(replication);
   config.items = items;
   config.value_bytes = static_cast<std::uint32_t>(value_bytes);
+  config.metrics_port = static_cast<std::int32_t>(metrics_port);
   if (config.node_id >= config.nodes || config.replication == 0 ||
       config.replication > config.nodes) {
     std::fprintf(stderr, "scp_backend: need 0 <= node < nodes and 0 < d <= n\n");
@@ -65,6 +71,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+  if (server.metrics_http_port() != 0) {
+    std::printf("METRICS_PORT %u\n",
+                static_cast<unsigned>(server.metrics_http_port()));
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);

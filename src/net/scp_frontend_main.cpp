@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   std::uint64_t max_retries = config.retry.max_retries;
   std::string backends_list;
   double drain_s = 1.0;
+  std::int64_t metrics_port = -1;
 
   FlagSet flags("scp_frontend: cache + power-of-d routing front end");
   flags.add_string("address", &config.address, "bind address");
@@ -95,6 +96,10 @@ int main(int argc, char** argv) {
                    "per-request timeout (seconds)");
   flags.add_uint64("seed", &config.seed, "routing tie-break seed");
   flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
+  flags.add_bool("metrics", &config.metrics,
+                 "hot-path histograms (lookup, RTT, request latency)");
+  flags.add_int64("metrics-port", &metrics_port,
+                  "Prometheus /metrics port (-1 = off, 0 = kernel-assigned)");
   if (!flags.parse(argc, argv)) return 2;
 
   config.port = static_cast<std::uint16_t>(port);
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
   config.items = items;
   config.value_bytes = static_cast<std::uint32_t>(value_bytes);
   config.retry.max_retries = static_cast<std::uint32_t>(max_retries);
+  config.metrics_port = static_cast<std::int32_t>(metrics_port);
   if (!parse_backends(backends_list, config.backends)) {
     std::fprintf(stderr, "scp_frontend: bad --backends entry\n");
     return 2;
@@ -122,6 +128,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+  if (server.metrics_http_port() != 0) {
+    std::printf("METRICS_PORT %u\n",
+                static_cast<unsigned>(server.metrics_http_port()));
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);

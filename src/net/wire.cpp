@@ -1,9 +1,15 @@
 #include "net/wire.h"
 
+#include <bit>
 #include <cstring>
+#include <utility>
 
 namespace scp::net {
 namespace {
+
+/// Sanity cap on map entries in a kMetricsReply; real registries carry a few
+/// dozen metrics, and the frame cap bounds total bytes anyway.
+constexpr std::uint32_t kMaxMetricEntries = 4096;
 
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
   out.push_back(v);
@@ -97,7 +103,38 @@ std::vector<std::uint8_t> encode(const Message& message) {
       put_u64(payload, message.stats.forwarded);
       put_u64(payload, message.stats.retries);
       put_u64(payload, message.stats.failures);
+      put_u64(payload, message.stats.attempts);
       break;
+    case MsgType::kMetricsRequest:
+      break;
+    case MsgType::kMetricsReply: {
+      const auto& m = message.metrics;
+      put_u32(payload, static_cast<std::uint32_t>(m.counters.size()));
+      for (const auto& [name, value] : m.counters) {
+        put_bytes(payload, name);
+        put_u64(payload, value);
+      }
+      put_u32(payload, static_cast<std::uint32_t>(m.gauges.size()));
+      for (const auto& [name, value] : m.gauges) {
+        put_bytes(payload, name);
+        put_u64(payload, static_cast<std::uint64_t>(value));
+      }
+      put_u32(payload, static_cast<std::uint32_t>(m.timers.size()));
+      for (const auto& [name, hist] : m.timers) {
+        put_bytes(payload, name);
+        put_u8(payload, static_cast<std::uint8_t>(hist.precision()));
+        put_u64(payload, hist.min());
+        put_u64(payload, hist.max());
+        put_u64(payload, std::bit_cast<std::uint64_t>(hist.sum()));
+        const auto buckets = hist.nonzero_buckets();
+        put_u32(payload, static_cast<std::uint32_t>(buckets.size()));
+        for (const auto& [index, count] : buckets) {
+          put_u32(payload, index);
+          put_u64(payload, count);
+        }
+      }
+      break;
+    }
     case MsgType::kError:
       put_u64(payload, message.key);
       put_bytes(payload, message.payload);
@@ -145,10 +182,67 @@ std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
           !cursor.read_u64(message.stats.redirects) ||
           !cursor.read_u64(message.stats.forwarded) ||
           !cursor.read_u64(message.stats.retries) ||
-          !cursor.read_u64(message.stats.failures)) {
+          !cursor.read_u64(message.stats.failures) ||
+          !cursor.read_u64(message.stats.attempts)) {
         return std::nullopt;
       }
       break;
+    case MsgType::kMetricsRequest:
+      message.type = MsgType::kMetricsRequest;
+      break;
+    case MsgType::kMetricsReply: {
+      message.type = MsgType::kMetricsReply;
+      std::uint32_t n = 0;
+      if (!cursor.read_u32(n) || n > kMaxMetricEntries) return std::nullopt;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name;
+        std::uint64_t value = 0;
+        if (!cursor.read_bytes(name) || !cursor.read_u64(value)) {
+          return std::nullopt;
+        }
+        message.metrics.counters.emplace(std::move(name), value);
+      }
+      if (!cursor.read_u32(n) || n > kMaxMetricEntries) return std::nullopt;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name;
+        std::uint64_t raw = 0;
+        if (!cursor.read_bytes(name) || !cursor.read_u64(raw)) {
+          return std::nullopt;
+        }
+        message.metrics.gauges.emplace(std::move(name),
+                                       static_cast<std::int64_t>(raw));
+      }
+      if (!cursor.read_u32(n) || n > kMaxMetricEntries) return std::nullopt;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name;
+        std::uint8_t precision = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::uint64_t sum_bits = 0;
+        std::uint32_t bucket_count = 0;
+        if (!cursor.read_bytes(name) || !cursor.read_u8(precision) ||
+            !cursor.read_u64(min) || !cursor.read_u64(max) ||
+            !cursor.read_u64(sum_bits) || !cursor.read_u32(bucket_count) ||
+            bucket_count > kMaxMetricEntries) {
+          return std::nullopt;
+        }
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+        buckets.reserve(bucket_count);
+        for (std::uint32_t b = 0; b < bucket_count; ++b) {
+          std::uint32_t index = 0;
+          std::uint64_t count = 0;
+          if (!cursor.read_u32(index) || !cursor.read_u64(count)) {
+            return std::nullopt;
+          }
+          buckets.emplace_back(index, count);
+        }
+        auto hist = LogHistogram::from_buckets(
+            precision, buckets, min, max, std::bit_cast<double>(sum_bits));
+        if (!hist.has_value()) return std::nullopt;
+        message.metrics.timers.emplace(std::move(name), *std::move(hist));
+      }
+      break;
+    }
     case MsgType::kError:
       message.type = MsgType::kError;
       if (!cursor.read_u64(message.key)) return std::nullopt;

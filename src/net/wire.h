@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace scp::net {
 
 /// Hard cap on a frame's payload size; a declared length above this marks
@@ -37,6 +39,8 @@ enum class MsgType : std::uint8_t {
   kPing = 7,       ///< request: liveness probe
   kPong = 8,       ///< reply to kPing
   kError = 9,      ///< reply: request failed, human-readable reason attached
+  kMetricsRequest = 10,  ///< request: full metrics snapshot
+  kMetricsReply = 11,    ///< reply: obs::MetricsSnapshot (histograms included)
 };
 
 /// Counter snapshot carried by kStatsReply. Both server roles fill the
@@ -46,9 +50,10 @@ struct ServerStats {
   std::uint64_t hits = 0;       ///< served locally (storage / cache)
   std::uint64_t misses = 0;     ///< absent key (backend) or cache miss (FE)
   std::uint64_t redirects = 0;  ///< REDIRECTs sent (BE) or received (FE)
-  std::uint64_t forwarded = 0;  ///< FE only: GETs forwarded to a backend
-  std::uint64_t retries = 0;    ///< FE only: re-forwards after failure
+  std::uint64_t forwarded = 0;  ///< FE only: requests answered via a backend
+  std::uint64_t retries = 0;    ///< FE only: wire sends beyond the first
   std::uint64_t failures = 0;   ///< FE only: requests answered with kError
+  std::uint64_t attempts = 0;   ///< FE only: total wire sends to backends
 
   bool operator==(const ServerStats&) const = default;
 };
@@ -61,6 +66,7 @@ struct Message {
   std::uint32_t node = 0;   ///< kRedirect: suggested NodeId
   std::string payload;      ///< kValue: value bytes; kError: reason
   ServerStats stats;        ///< kStatsReply
+  obs::MetricsSnapshot metrics;  ///< kMetricsReply
 
   bool operator==(const Message&) const = default;
 };

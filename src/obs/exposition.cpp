@@ -1,0 +1,217 @@
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace scp::obs {
+namespace {
+
+bool legal_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_quantiles(std::ostringstream& os, const std::string& name,
+                      const LogHistogram& hist) {
+  static constexpr std::pair<const char*, double> kQuantiles[] = {
+      {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+  for (const auto& [label, q] : kQuantiles) {
+    os << name << "{quantile=\"" << label << "\"} "
+       << hist.value_at_quantile(q) << "\n";
+  }
+  os << name << "_sum " << hist.sum() << "\n";
+  os << name << "_count " << hist.count() << "\n";
+}
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "scp_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out.push_back(legal_char(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " counter\n" << pname << ' ' << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n" << pname << ' ' << value << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.timers) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " summary\n";
+    append_quantiles(os, pname, hist);
+  }
+  return os.str();
+}
+
+void write_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.field(name, value);
+  }
+  w.end();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.field(name, static_cast<std::int64_t>(value));
+  }
+  w.end();
+  w.key("timers").begin_object();
+  for (const auto& [name, hist] : snapshot.timers) {
+    w.key(name).begin_object();
+    w.field("count", hist.count());
+    w.field("mean", hist.mean());
+    w.field("p50", hist.value_at_quantile(0.50));
+    w.field("p90", hist.value_at_quantile(0.90));
+    w.field("p99", hist.value_at_quantile(0.99));
+    w.field("p999", hist.value_at_quantile(0.999));
+    w.field("min", hist.min());
+    w.field("max", hist.max());
+    w.end();
+  }
+  w.end();
+  w.end();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  write_json(w, snapshot);
+  return w.str();
+}
+
+MetricsHttpServer::MetricsHttpServer(std::function<MetricsSnapshot()> snapshot_fn)
+    : snapshot_fn_(std::move(snapshot_fn)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) {
+      continue;  // timeout (re-check stopping_) or transient error
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    char buf[2048];
+    std::string request;
+    // Read until the end of the request head; scrapers send tiny requests,
+    // so a short bounded loop suffices.
+    while (request.size() < 16 * 1024 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+      const std::size_t end = request.find(' ', 4);
+      if (end != std::string::npos) {
+        path = request.substr(4, end - 4);
+      }
+    }
+    std::string response;
+    if (path == "/metrics" || path == "/") {
+      response = http_response(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+          to_prometheus_text(snapshot_fn_()));
+    } else if (path == "/metrics.json") {
+      response = http_response(200, "OK", "application/json",
+                               to_json(snapshot_fn_()));
+    } else {
+      response = http_response(404, "Not Found", "text/plain",
+                               "not found\n");
+    }
+    send_all(client, response);
+    ::close(client);
+  }
+}
+
+}  // namespace scp::obs

@@ -1,0 +1,69 @@
+// Prometheus-style text exposition and a minimal scrape endpoint.
+//
+// MetricsHttpServer is a deliberately tiny HTTP/1.0 responder: one accept
+// thread, one request per connection, GET only. It serves
+//   /metrics       — Prometheus text format (version 0.0.4)
+//   /metrics.json  — the same snapshot as a JSON document
+// It runs on its own thread with raw POSIX sockets so the obs layer stays
+// independent of the FrameLoop reactor in src/net (which depends on obs, not
+// the other way around).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace scp::obs {
+
+/// Rewrites a dotted metric name to a Prometheus-legal one: "scp_" prefix,
+/// dots become underscores, any character outside [a-zA-Z0-9_:] becomes '_'.
+std::string prometheus_name(std::string_view name);
+
+/// Renders a snapshot in the Prometheus text format. Counters become
+/// `counter`, gauges `gauge`, timers `summary` (quantile series + _sum and
+/// _count) — all values are cumulative since process start.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as JSON:
+/// {"counters": {...}, "gauges": {...},
+///  "timers": {"name": {"count":..., "mean":..., "p50":..., "p90":...,
+///             "p99":..., "p999":..., "min":..., "max":...}, ...}}
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Writes the same object into an in-progress JsonWriter (after a key() or
+/// inside an array), so callers can embed a snapshot in a larger document.
+void write_json(JsonWriter& writer, const MetricsSnapshot& snapshot);
+
+class MetricsHttpServer {
+ public:
+  /// `snapshot_fn` is called per scrape on the server thread; it must be
+  /// thread-safe (MetricsRegistry::snapshot is).
+  MetricsHttpServer(std::function<MetricsSnapshot()> snapshot_fn);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned) and starts the accept
+  /// thread. Returns false if the bind fails. Call at most once.
+  bool start(std::uint16_t port);
+  void stop();
+
+  /// The bound port; valid after a successful start().
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve();
+
+  std::function<MetricsSnapshot()> snapshot_fn_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace scp::obs

@@ -1,0 +1,138 @@
+// Lock-light metrics registry shared by the simulators and the live tier.
+//
+// Counters and gauges are single relaxed atomic words — the hot-path cost of
+// an increment is one uncontended fetch_add. Timers are LogHistogram-backed
+// and guarded by a per-timer spinlock: every server in this codebase runs its
+// FrameLoop on one thread, so the only contention is a snapshot scrape a few
+// times per second. Registration (name lookup) takes a mutex and is meant for
+// setup time; hot paths hold the returned reference, which is stable for the
+// registry's lifetime.
+//
+// Metric naming convention: dot-separated lowercase components with a unit
+// suffix, e.g. "frontend.forward_rtt_us", "loop.tick_us",
+// "backend.service_us". The Prometheus exposition layer rewrites dots to
+// underscores and prefixes "scp_".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace scp::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency-style distribution; record() is wait-free against other record()
+/// calls in the single-writer case and only ever spins against a concurrent
+/// snapshot().
+class Timer {
+ public:
+  explicit Timer(unsigned precision = 5) : hist_(precision) {}
+
+  void record(std::uint64_t value) noexcept {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    hist_.record(value);
+    lock_.clear(std::memory_order_release);
+  }
+
+  LogHistogram snapshot() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    LogHistogram copy = hist_;
+    lock_.clear(std::memory_order_release);
+    return copy;
+  }
+
+ private:
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  LogHistogram hist_;
+};
+
+/// Point-in-time copy of every metric in a registry. Mergeable across
+/// registries (multi-node scrapes) and serializable over the wire — maps are
+/// ordered so encodings are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, LogHistogram> timers;
+
+  /// Sums counters, sums gauges, and merges timer histograms name-by-name.
+  void merge(const MetricsSnapshot& other);
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// References stay valid for the registry's lifetime. Re-registering a
+  /// timer with a different precision keeps the original.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name, unsigned precision = 5);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// Monotonic nanoseconds for latency instrumentation.
+std::uint64_t now_ns() noexcept;
+
+/// Records `now_ns() - start_ns` into `timer`, scaled to the timer's unit
+/// (pass divisor 1'000 for _us metrics). No-op when `timer` is null, so call
+/// sites can keep one unconditional line whether metrics are enabled or not.
+inline void record_elapsed(Timer* timer, std::uint64_t start_ns,
+                           std::uint64_t divisor = 1) noexcept {
+  if (timer != nullptr) {
+    timer->record((now_ns() - start_ns) / divisor);
+  }
+}
+
+}  // namespace scp::obs

@@ -1,0 +1,24 @@
+#include "sim/obs_export.h"
+
+#include <algorithm>
+
+namespace scp {
+
+obs::MetricsSnapshot event_sim_metrics(const EventSimResult& result) {
+  obs::MetricsSnapshot snap;
+  snap.counters["frontend.requests"] = result.total_queries;
+  snap.counters["frontend.hits"] = result.cache_hits;
+  snap.counters["frontend.misses"] = result.total_queries - result.cache_hits;
+  snap.counters["frontend.forwarded"] =
+      result.backend_arrivals - std::min(result.dropped,
+                                         result.backend_arrivals);
+  snap.counters["frontend.retries"] = result.retries;
+  snap.counters["frontend.failures"] = result.dropped + result.unserved;
+  snap.counters["backend.requests"] = result.backend_arrivals;
+  snap.gauges["frontend.backends_up"] =
+      static_cast<std::int64_t>(result.min_alive_nodes);
+  snap.timers.emplace("frontend.request_us", result.wait_us);
+  return snap;
+}
+
+}  // namespace scp

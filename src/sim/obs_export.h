@@ -1,0 +1,31 @@
+// Event-simulation results under the live tier's metric names.
+//
+// The live servers (FrontendServer / BackendServer) publish their counters
+// and histograms as an obs::MetricsSnapshot; this adapter publishes an
+// EventSimResult under the *same names*, so a simulated run and a live run
+// of the same scenario can be diffed metric-by-metric (EXPERIMENTS.md,
+// "Observability").
+#pragma once
+
+#include "obs/metrics.h"
+#include "sim/event_sim.h"
+
+namespace scp {
+
+/// Converts an event-simulation result into the live tier's metric
+/// vocabulary:
+///
+///   frontend.requests   = total_queries
+///   frontend.hits       = cache_hits
+///   frontend.misses     = total_queries - cache_hits
+///   frontend.forwarded  = backend_arrivals - dropped   (answered via a node)
+///   frontend.retries    = retries
+///   frontend.failures   = dropped + unserved           (observable damage)
+///   backend.requests    = backend_arrivals
+///   frontend.backends_up (gauge) = min_alive_nodes
+///   frontend.request_us (timer)  = wait_us — the simulator's request
+///     latency is pure queueing delay (fluid service, zero network), the
+///     degenerate case of the live frontend.request_us histogram.
+obs::MetricsSnapshot event_sim_metrics(const EventSimResult& result);
+
+}  // namespace scp

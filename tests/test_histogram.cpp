@@ -1,6 +1,9 @@
 #include "common/histogram.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -94,6 +97,138 @@ TEST(LogHistogram, MergeIntoEmpty) {
   a.merge(b);
   EXPECT_EQ(a.count(), 1u);
   EXPECT_EQ(a.min(), 7u);
+}
+
+TEST(LogHistogram, MergeMismatchedPrecisionRescales) {
+  // Coarse histogram absorbs a fine one: every sample must survive with at
+  // most the coarse histogram's relative error, and exact aggregates (count,
+  // min, max, mean) must be preserved exactly.
+  LogHistogram coarse(2);
+  LogHistogram fine(8);
+  Rng rng(42);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = 1 + rng.uniform_u64(1000000);
+    values.push_back(v);
+    fine.record(v);
+  }
+  coarse.record(500);
+  values.push_back(500);
+  coarse.merge(fine);
+
+  EXPECT_EQ(coarse.count(), values.size());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(coarse.min(), values.front());
+  EXPECT_EQ(coarse.max(), values.back());
+  double sum = 0.0;
+  for (const std::uint64_t v : values) sum += static_cast<double>(v);
+  EXPECT_DOUBLE_EQ(coarse.mean(), sum / static_cast<double>(values.size()));
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_NEAR(static_cast<double>(coarse.value_at_quantile(q)),
+                static_cast<double>(exact),
+                0.30 * static_cast<double>(exact))  // precision 2: 25% buckets
+        << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeFineAbsorbsCoarseWithinCoarseError) {
+  LogHistogram fine(8);
+  LogHistogram coarse(2);
+  coarse.record(1000);
+  fine.merge(coarse);
+  EXPECT_EQ(fine.count(), 1u);
+  EXPECT_EQ(fine.min(), 1000u);
+  EXPECT_EQ(fine.max(), 1000u);
+  // The single sample sits in a coarse bucket whose representative value is
+  // within the coarse precision's relative error.
+  EXPECT_NEAR(static_cast<double>(fine.value_at_quantile(0.5)), 1000.0,
+              0.30 * 1000.0);
+}
+
+TEST(LogHistogram, MergeMismatchedIsMassPreservingBothWays) {
+  for (const auto& [pa, pb] : {std::pair<unsigned, unsigned>{3u, 6u},
+                              std::pair<unsigned, unsigned>{6u, 3u}}) {
+    LogHistogram a(pa);
+    LogHistogram b(pb);
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) a.record(1 + rng.uniform_u64(10000));
+    for (int i = 0; i < 700; ++i) b.record(1 + rng.uniform_u64(10000));
+    const std::uint64_t expect_min = std::min(a.min(), b.min());
+    const std::uint64_t expect_max = std::max(a.max(), b.max());
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1200u);
+    EXPECT_EQ(a.min(), expect_min);
+    EXPECT_EQ(a.max(), expect_max);
+  }
+}
+
+TEST(LogHistogram, QuantileEdgeCases) {
+  // Empty: every quantile is 0.
+  LogHistogram empty(5);
+  EXPECT_EQ(empty.value_at_quantile(0.0), 0u);
+  EXPECT_EQ(empty.value_at_quantile(1.0), 0u);
+
+  // Single sample: every quantile returns that sample (it is exact in the
+  // linear region).
+  LogHistogram single(5);
+  single.record(37);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(single.value_at_quantile(q), 37u) << "q=" << q;
+  }
+
+  // Single bucket, many samples: quantiles never leave the bucket.
+  LogHistogram repeated(5);
+  repeated.record_n(1000, 12345);
+  const std::uint64_t q0 = repeated.value_at_quantile(0.0);
+  const std::uint64_t q1 = repeated.value_at_quantile(1.0);
+  EXPECT_EQ(q0, q1);
+  EXPECT_NEAR(static_cast<double>(q0), 1000.0, 1000.0 / 32.0);
+
+  // q=0 vs q=1 bracket the recorded range.
+  LogHistogram spread(5);
+  spread.record(10);
+  spread.record(1000000);
+  EXPECT_LE(spread.value_at_quantile(0.0), spread.value_at_quantile(1.0));
+  EXPECT_LE(spread.value_at_quantile(1.0), spread.max());
+}
+
+TEST(LogHistogram, FromBucketsRoundTrips) {
+  LogHistogram h(6);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) h.record(1 + rng.uniform_u64(1u << 20));
+  const auto buckets = h.nonzero_buckets();
+  const auto rebuilt =
+      LogHistogram::from_buckets(6, buckets, h.min(), h.max(), h.sum());
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(*rebuilt, h);
+  EXPECT_EQ(rebuilt->count(), h.count());
+  EXPECT_EQ(rebuilt->value_at_quantile(0.99), h.value_at_quantile(0.99));
+}
+
+TEST(LogHistogram, FromBucketsRejectsMalformedInput) {
+  using Buckets = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
+  const Buckets one = {{3, 5}};
+  // Invalid precision.
+  EXPECT_FALSE(LogHistogram::from_buckets(0, one, 1, 2, 3.0).has_value());
+  EXPECT_FALSE(LogHistogram::from_buckets(11, one, 1, 2, 3.0).has_value());
+  // Non-ascending indices.
+  const Buckets unsorted = {{5, 1}, {2, 1}};
+  EXPECT_FALSE(LogHistogram::from_buckets(5, unsorted, 1, 2, 3.0).has_value());
+  // Zero-count bucket.
+  const Buckets zero = {{3, 0}};
+  EXPECT_FALSE(LogHistogram::from_buckets(5, zero, 1, 2, 3.0).has_value());
+  // min > max.
+  EXPECT_FALSE(LogHistogram::from_buckets(5, one, 9, 2, 3.0).has_value());
+  // Non-finite sum.
+  EXPECT_FALSE(LogHistogram::from_buckets(
+                   5, one, 1, 2, std::numeric_limits<double>::infinity())
+                   .has_value());
+  // Empty histogram must have zeroed aggregates.
+  const Buckets none;
+  EXPECT_TRUE(LogHistogram::from_buckets(5, none, 0, 0, 0.0).has_value());
+  EXPECT_FALSE(LogHistogram::from_buckets(5, none, 1, 2, 3.0).has_value());
 }
 
 TEST(LogHistogram, LargeValuesDoNotCrash) {

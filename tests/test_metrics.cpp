@@ -1,0 +1,234 @@
+// obs layer unit tests: registry handles, snapshot/merge semantics, the
+// Prometheus / JSON expositions, and the scrape HTTP endpoint (exercised
+// over a real loopback socket).
+#include "obs/metrics.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+
+namespace scp::obs {
+namespace {
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("frontend.requests");
+  Counter& b = registry.counter("frontend.requests");
+  EXPECT_EQ(&a, &b) << "same name must return the same counter";
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+
+  Gauge& g = registry.gauge("frontend.backends_up");
+  g.set(3);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 2);
+
+  Timer& t = registry.timer("frontend.request_us");
+  EXPECT_EQ(&t, &registry.timer("frontend.request_us"));
+  t.record(100);
+  t.record(200);
+  EXPECT_EQ(t.snapshot().count(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotReflectsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("a.count").inc(7);
+  registry.gauge("b.depth").set(-5);
+  registry.timer("c.lat_us").record(42);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.count("a.count"), 1u);
+  EXPECT_EQ(snap.counters.at("a.count"), 7u);
+  ASSERT_EQ(snap.gauges.count("b.depth"), 1u);
+  EXPECT_EQ(snap.gauges.at("b.depth"), -5);
+  ASSERT_EQ(snap.timers.count("c.lat_us"), 1u);
+  EXPECT_EQ(snap.timers.at("c.lat_us").count(), 1u);
+  EXPECT_EQ(snap.timers.at("c.lat_us").value_at_quantile(0.5), 42u);
+
+  // The snapshot is a copy: later records don't retroactively change it.
+  registry.counter("a.count").inc();
+  EXPECT_EQ(snap.counters.at("a.count"), 7u);
+}
+
+TEST(MetricsSnapshot, MergeSumsAndCombines) {
+  MetricsRegistry r1;
+  MetricsRegistry r2;
+  r1.counter("requests").inc(10);
+  r2.counter("requests").inc(32);
+  r2.counter("only_in_two").inc();
+  r1.gauge("depth").set(4);
+  r2.gauge("depth").set(6);
+  r1.timer("lat_us").record(100);
+  r2.timer("lat_us").record(300);
+  r2.timer("other_us").record(1);
+
+  MetricsSnapshot merged = r1.snapshot();
+  merged.merge(r2.snapshot());
+  EXPECT_EQ(merged.counters.at("requests"), 42u);
+  EXPECT_EQ(merged.counters.at("only_in_two"), 1u);
+  EXPECT_EQ(merged.gauges.at("depth"), 10);
+  EXPECT_EQ(merged.timers.at("lat_us").count(), 2u);
+  EXPECT_EQ(merged.timers.at("lat_us").min(), 100u);
+  EXPECT_EQ(merged.timers.at("lat_us").max(), 300u);
+  EXPECT_EQ(merged.timers.at("other_us").count(), 1u);
+}
+
+TEST(MetricsSnapshot, MergeHandlesMismatchedTimerPrecision) {
+  MetricsSnapshot a;
+  MetricsSnapshot b;
+  LogHistogram coarse(2);
+  coarse.record(1000);
+  LogHistogram fine(8);
+  fine.record(2000);
+  a.timers.emplace("lat_us", coarse);
+  b.timers.emplace("lat_us", fine);
+  a.merge(b);
+  EXPECT_EQ(a.timers.at("lat_us").count(), 2u);
+  EXPECT_EQ(a.timers.at("lat_us").min(), 1000u);
+  EXPECT_EQ(a.timers.at("lat_us").max(), 2000u);
+}
+
+TEST(Exposition, PrometheusNameRewriting) {
+  EXPECT_EQ(prometheus_name("frontend.request_us"),
+            "scp_frontend_request_us");
+  EXPECT_EQ(prometheus_name("loop.tick_us"), "scp_loop_tick_us");
+  EXPECT_EQ(prometheus_name("weird name!"), "scp_weird_name_");
+  EXPECT_EQ(prometheus_name("a:b"), "scp_a:b");
+}
+
+TEST(Exposition, PrometheusTextHasTypedFamilies) {
+  MetricsRegistry registry;
+  registry.counter("backend.requests").inc(9);
+  registry.gauge("backend.keys").set(256);
+  Timer& t = registry.timer("backend.service_us");
+  for (std::uint64_t v = 1; v <= 100; ++v) t.record(v);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE scp_backend_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("scp_backend_requests 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scp_backend_keys gauge"), std::string::npos);
+  EXPECT_NE(text.find("scp_backend_keys 256"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scp_backend_service_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("scp_backend_service_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("scp_backend_service_us_count 100"), std::string::npos);
+  EXPECT_NE(text.find("scp_backend_service_us_sum"), std::string::npos);
+  // Exposition format: every line ends with \n, including the last.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Exposition, JsonIsWellFormedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("requests").inc(3);
+  registry.gauge("depth").set(-2);
+  registry.timer("lat_us").record(50);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+namespace {
+
+/// One-shot HTTP/1.0 GET against 127.0.0.1:`port`; returns the raw response
+/// (headers + body), or "" on any socket error.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(MetricsHttpServer, ServesScrapesOverLoopback) {
+  MetricsRegistry registry;
+  registry.counter("backend.requests").inc(5);
+  registry.timer("backend.service_us").record(77);
+
+  MetricsHttpServer server([&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server.start(0));
+  ASSERT_NE(server.port(), 0);
+
+  const std::string text = http_get(server.port(), "/metrics");
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(text.find("scp_backend_requests 5"), std::string::npos);
+  EXPECT_NE(text.find("scp_backend_service_us_count 1"), std::string::npos);
+
+  // Scrapes observe live updates, not a start-time copy.
+  registry.counter("backend.requests").inc(2);
+  const std::string text2 = http_get(server.port(), "/metrics");
+  EXPECT_NE(text2.find("scp_backend_requests 7"), std::string::npos);
+
+  const std::string json = http_get(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("\"backend.requests\":7"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(MetricsHttpServer, StopIsIdempotentAndReleasesThePort) {
+  MetricsRegistry registry;
+  auto server = std::make_unique<MetricsHttpServer>(
+      [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server->start(0));
+  const std::uint16_t port = server->port();
+  server->stop();
+  server->stop();
+  server.reset();
+
+  // The port is free again: a new server can bind it.
+  MetricsHttpServer second([&registry] { return registry.snapshot(); });
+  EXPECT_TRUE(second.start(port));
+  second.stop();
+}
+
+TEST(ObsHelpers, RecordElapsedIsNullSafe) {
+  record_elapsed(nullptr, now_ns());  // must not crash
+  Timer t;
+  const std::uint64_t start = now_ns();
+  record_elapsed(&t, start, 1'000);
+  EXPECT_EQ(t.snapshot().count(), 1u);
+}
+
+}  // namespace
+}  // namespace scp::obs

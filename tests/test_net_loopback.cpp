@@ -4,13 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "cluster/partitioner.h"
 #include "net/backend_server.h"
 #include "net/frontend_server.h"
 #include "net/sync_client.h"
+#include "obs/metrics.h"
 
 namespace scp::net {
 namespace {
@@ -160,13 +163,17 @@ TEST(FrontendLoopback, ServesHitsLocallyAndForwardsMisses) {
   EXPECT_EQ(stats.forwarded, stats.misses);
   EXPECT_EQ(stats.failures, 0u);
   EXPECT_EQ(stats.redirects, 0u);  // matching seeds: no bouncing
+  // Healthy path: every forward is answered on the first wire send.
+  EXPECT_EQ(stats.attempts, stats.forwarded);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures);
 
-  // Backend request counters account for every forwarded GET.
+  // Backend request counters account for every wire send.
   std::uint64_t backend_requests = 0;
   for (const auto& backend : fleet.backends) {
     backend_requests += backend->stats().requests;
   }
-  EXPECT_EQ(backend_requests, stats.forwarded);
+  EXPECT_EQ(backend_requests, stats.attempts);
 
   frontend.stop();
   for (auto& backend : fleet.backends) backend->stop();
@@ -241,6 +248,228 @@ TEST(FrontendLoopback, ReportsErrorWhenEveryReplicaIsDead) {
   EXPECT_GE(frontend.stats().failures, 1u);
 
   frontend.stop();
+}
+
+TEST(FrontendLoopback, AdmitEvictsInSyncWithTier) {
+  // Regression: a GET whose backend fetch comes back empty (kMiss) must
+  // release the tier slot the lookup admitted. Before the fix the slot
+  // stayed resident value-less: it consumed cache capacity, evicted real
+  // entries, and its "hits" carried no bytes — silently turning cache hits
+  // into forwards.
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 8;
+  constexpr std::size_t kCache = 4;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendConfig config =
+      frontend_config(fleet, kNodes, kReplication, kItems, kCache);
+  config.cache_policy = "lru";  // deterministic eviction order
+  config.frontends = 1;
+  FrontendServer frontend(config);
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+
+  // Fill the cache: keys 0..3 (LRU order: 0 oldest).
+  for (std::uint64_t key = 0; key < 4; ++key) {
+    const auto reply = client.get(key, 2.0);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, MsgType::kValue);
+  }
+  // An absent key: the lookup admits a tier slot (evicting key 0), the
+  // backend answers kMiss — the fix releases that slot.
+  const auto miss = client.get(100, 2.0);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->type, MsgType::kMiss);
+  // A new real key must fill the released slot WITHOUT evicting key 1.
+  const auto fresh = client.get(4, 2.0);
+  ASSERT_TRUE(fresh.has_value());
+  ASSERT_EQ(fresh->type, MsgType::kValue);
+  // Key 1 is still resident with its bytes: this must be a cache hit.
+  const auto hit = client.get(1, 2.0);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->type, MsgType::kValue);
+  EXPECT_EQ(hit->payload, make_value(1, 64));
+
+  const ServerStats stats = frontend.stats();
+  EXPECT_EQ(stats.requests, 7u);
+  EXPECT_EQ(stats.hits, 1u)
+      << "the kMiss-admitted slot leaked and evicted a resident entry";
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures);
+
+  frontend.stop();
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+TEST(FrontendLoopback, CounterInvariantsUnderFailover) {
+  // requests == hits + forwarded + failures must hold through replica death:
+  // orphaned in-flight requests are retried (attempts grows, retries counts
+  // the re-sends) but each client GET is accounted exactly once.
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 64;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendConfig config =
+      frontend_config(fleet, kNodes, kReplication, kItems, /*cache=*/0);
+  config.retry.timeout_s = 0.2;
+  FrontendServer frontend(config);
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    const auto reply = client.get(key, 3.0);
+    ASSERT_TRUE(reply.has_value());
+  }
+  // Kill a replica mid-workload and keep querying: some keys detour.
+  fleet.backends[0]->stop(0.0);
+  for (std::uint64_t key = 16; key < kItems; ++key) {
+    const auto reply = client.get(key, 3.0);
+    ASSERT_TRUE(reply.has_value()) << "key " << key;
+  }
+
+  const ServerStats stats = frontend.stats();
+  EXPECT_EQ(stats.requests, kItems);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures)
+      << "every GET must resolve to exactly one of hit/forwarded/failure";
+  EXPECT_GE(stats.attempts, stats.forwarded)
+      << "attempts counts wire sends; answered requests can't exceed them";
+  EXPECT_LE(stats.retries, stats.attempts);
+  EXPECT_EQ(stats.failures, 0u) << "d=2 keeps every key available";
+
+  // After the workload drains, no request may be stuck pending: a pinned
+  // pending_total_ would burn stop()'s whole drain budget (the stop-drain
+  // regression this PR fixes).
+  const obs::MetricsSnapshot snap = frontend.metrics_snapshot();
+  EXPECT_EQ(snap.gauges.at("frontend.pending_requests"), 0);
+
+  const auto stop_started = std::chrono::steady_clock::now();
+  frontend.stop(5.0);
+  const double stop_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stop_started)
+          .count();
+  EXPECT_LT(stop_s, 4.0) << "stop() must not burn the full drain budget";
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+TEST(FrontendLoopback, ReconnectAfterFlappingBackend) {
+  // A backend that dies and returns on the same port must be re-adopted:
+  // wait_backends_up succeeds again after each flap, requests flow, and the
+  // conn -> node map does not leak stale entries.
+  constexpr std::uint32_t kNodes = 2;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 32;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  const std::uint16_t flapping_port = fleet.backends[0]->port();
+  FrontendConfig config =
+      frontend_config(fleet, kNodes, kReplication, kItems, /*cache=*/0);
+  config.retry.timeout_s = 0.2;
+  FrontendServer frontend(config);
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+
+  for (int flap = 0; flap < 3; ++flap) {
+    fleet.backends[0]->stop(0.0);
+    // Give the front end a moment to notice the close and begin its backoff
+    // (a failed connect attempt must not wedge the reconnect loop).
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    BackendConfig restarted =
+        backend_config(0, kNodes, kReplication, kItems);
+    restarted.port = flapping_port;
+    fleet.backends[0] = std::make_unique<BackendServer>(restarted);
+    ASSERT_TRUE(fleet.backends[0]->start()) << "flap " << flap;
+    ASSERT_TRUE(frontend.wait_backends_up(10.0))
+        << "flap " << flap
+        << ": reconnect backoff must reset after a successful connect";
+
+    for (std::uint64_t key = 0; key < kItems; ++key) {
+      const auto reply = client.get(key, 3.0);
+      ASSERT_TRUE(reply.has_value()) << "flap " << flap << " key " << key;
+      ASSERT_EQ(reply->type, MsgType::kValue);
+    }
+  }
+
+  // One live connection per backend — flapping must not leak stale
+  // conn -> node entries. (Read after the loop settles; the map only
+  // changes on connect/close events, none of which are in flight now.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(frontend.backend_conn_entries(), kNodes);
+  EXPECT_EQ(frontend.stats().failures, 0u);
+
+  frontend.stop();
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+TEST(FrontendLoopback, ServesMetricsSnapshotOverTheWire) {
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 64;
+  constexpr std::size_t kCache = 8;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  FrontendServer frontend(
+      frontend_config(fleet, kNodes, kReplication, kItems, kCache));
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+  for (std::uint64_t key = 0; key < kItems; ++key) {
+    const auto reply = client.get(key, 2.0);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, MsgType::kValue);
+  }
+
+  Message request;
+  request.type = MsgType::kMetricsRequest;
+  const auto reply = client.call(request, 2.0);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kMetricsReply);
+  const obs::MetricsSnapshot& m = reply->metrics;
+
+  // Counters mirror ServerStats.
+  const ServerStats stats = frontend.stats();
+  EXPECT_EQ(m.counters.at("frontend.requests"), stats.requests);
+  EXPECT_EQ(m.counters.at("frontend.hits"), stats.hits);
+  EXPECT_EQ(m.counters.at("frontend.forwarded"), stats.forwarded);
+  EXPECT_EQ(m.gauges.at("frontend.backends_up"),
+            static_cast<std::int64_t>(kNodes));
+
+  // Histograms: one request_us sample per answered GET, one forward RTT per
+  // backend-served miss, and the attempts distribution (all 1 here).
+  ASSERT_EQ(m.timers.count("frontend.request_us"), 1u);
+  EXPECT_EQ(m.timers.at("frontend.request_us").count(), stats.requests);
+  ASSERT_EQ(m.timers.count("frontend.forward_rtt_us"), 1u);
+  EXPECT_EQ(m.timers.at("frontend.forward_rtt_us").count(), stats.forwarded);
+  ASSERT_EQ(m.timers.count("frontend.attempts"), 1u);
+  EXPECT_EQ(m.timers.at("frontend.attempts").value_at_quantile(1.0), 1u);
+
+  // Backends answer the same protocol message.
+  SyncClient backend_client;
+  ASSERT_TRUE(
+      backend_client.connect("127.0.0.1", fleet.backends[0]->port()));
+  const auto be_reply = backend_client.call(request, 2.0);
+  ASSERT_TRUE(be_reply.has_value());
+  ASSERT_EQ(be_reply->type, MsgType::kMetricsReply);
+  EXPECT_EQ(be_reply->metrics.counters.at("backend.requests"),
+            fleet.backends[0]->stats().requests);
+  EXPECT_EQ(be_reply->metrics.timers.at("backend.service_us").count(),
+            fleet.backends[0]->stats().requests);
+
+  frontend.stop();
+  for (auto& backend : fleet.backends) backend->stop();
 }
 
 TEST(FrontendLoopback, GracefulStopAnswersInFlightRequests) {

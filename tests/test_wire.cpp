@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <vector>
+
+#include "common/histogram.h"
 
 namespace scp::net {
 namespace {
@@ -43,8 +46,29 @@ std::vector<Message> every_message_type() {
 
   Message stats_reply;
   stats_reply.type = MsgType::kStatsReply;
-  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7};
+  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7, 8};
   messages.push_back(stats_reply);
+
+  Message metrics_request;
+  metrics_request.type = MsgType::kMetricsRequest;
+  messages.push_back(metrics_request);
+
+  Message metrics_reply;
+  metrics_reply.type = MsgType::kMetricsReply;
+  metrics_reply.metrics.counters["frontend.requests"] = 12345;
+  metrics_reply.metrics.counters["frontend.hits"] = 0;
+  metrics_reply.metrics.gauges["frontend.backends_up"] = -3;
+  {
+    LogHistogram rtt(5);
+    rtt.record(1);
+    rtt.record(120);
+    rtt.record_n(70000, 40);
+    metrics_reply.metrics.timers.emplace("frontend.forward_rtt_us",
+                                         std::move(rtt));
+    LogHistogram empty(7);
+    metrics_reply.metrics.timers.emplace("loop.tick_us", std::move(empty));
+  }
+  messages.push_back(metrics_reply);
 
   Message ping;
   ping.type = MsgType::kPing;
@@ -208,6 +232,90 @@ TEST(FrameReaderTest, PartialFrameStaysBuffered) {
   EXPECT_EQ(reader.buffered_bytes(), frame.size() - 1);
   reader.append({frame.data() + frame.size() - 1, 1});
   EXPECT_TRUE(reader.next_payload().has_value());
+}
+
+TEST(Wire, MetricsReplyPreservesHistogramQuantiles) {
+  Message message;
+  message.type = MsgType::kMetricsReply;
+  LogHistogram h(5);
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  message.metrics.timers.emplace("backend.service_us", h);
+
+  const std::vector<std::uint8_t> frame = encode(message);
+  const std::span<const std::uint8_t> payload{
+      frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes};
+  const auto decoded = decode_payload(payload);
+  ASSERT_TRUE(decoded.has_value());
+  const auto it = decoded->metrics.timers.find("backend.service_us");
+  ASSERT_NE(it, decoded->metrics.timers.end());
+  EXPECT_EQ(it->second, h);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(it->second.value_at_quantile(q), h.value_at_quantile(q))
+        << "q=" << q;
+  }
+}
+
+namespace {
+
+/// Hand-built kMetricsReply payload with zero counters/gauges and one timer
+/// whose header fields are caller-controlled.
+std::vector<std::uint8_t> metrics_payload_with_timer(
+    std::uint8_t precision,
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& buckets) {
+  std::vector<std::uint8_t> payload;
+  const auto u32 = [&payload](std::uint32_t v) {
+    payload.push_back(static_cast<std::uint8_t>(v >> 24));
+    payload.push_back(static_cast<std::uint8_t>(v >> 16));
+    payload.push_back(static_cast<std::uint8_t>(v >> 8));
+    payload.push_back(static_cast<std::uint8_t>(v));
+  };
+  const auto u64 = [&u32](std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  };
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kMetricsReply));
+  u32(0);  // counters
+  u32(0);  // gauges
+  u32(1);  // timers
+  u32(1);  // name length
+  payload.push_back('t');
+  payload.push_back(precision);
+  std::uint64_t total = 0;
+  for (const auto& [index, count] : buckets) total += count;
+  u64(total > 0 ? 1 : 0);                     // min
+  u64(total > 0 ? 2 : 0);                     // max
+  u64(std::bit_cast<std::uint64_t>(0.0));     // sum
+  u32(static_cast<std::uint32_t>(buckets.size()));
+  for (const auto& [index, count] : buckets) {
+    u32(index);
+    u64(count);
+  }
+  return payload;
+}
+
+}  // namespace
+
+TEST(Wire, RejectsMetricsTimerWithBadPrecision) {
+  EXPECT_FALSE(
+      decode_payload(metrics_payload_with_timer(0, {{0, 1}})).has_value());
+  EXPECT_FALSE(
+      decode_payload(metrics_payload_with_timer(11, {{0, 1}})).has_value());
+  EXPECT_TRUE(
+      decode_payload(metrics_payload_with_timer(5, {{1, 1}})).has_value());
+}
+
+TEST(Wire, RejectsMetricsTimerWithMalformedBuckets) {
+  // Non-ascending bucket indices.
+  EXPECT_FALSE(
+      decode_payload(metrics_payload_with_timer(5, {{7, 1}, {3, 1}}))
+          .has_value());
+  // Zero-count buckets.
+  EXPECT_FALSE(
+      decode_payload(metrics_payload_with_timer(5, {{3, 0}})).has_value());
+  // Bucket index beyond the precision's bucket range.
+  EXPECT_FALSE(
+      decode_payload(metrics_payload_with_timer(1, {{0xffffff, 1}}))
+          .has_value());
 }
 
 TEST(Wire, MakeValueIsDeterministicAndSized) {
