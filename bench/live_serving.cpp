@@ -15,11 +15,17 @@
 // and distribution. For --preset adversarial with --x 0 the bench first
 // lets the adversary pick their best x by sweeping predicted gain, exactly
 // how the paper's attacker would plan against a known c.
+//
+// --fe-shards N runs the front end as N SO_REUSEPORT reactors (cache split
+// c/N across them); --shard-sweep 1,2,4 repeats the whole measurement per
+// shard count and emits one table row each, which is how the front-end
+// scaling curve in EXPERIMENTS.md is produced.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -62,6 +68,8 @@ struct LiveFlags {
   std::string partitioner = "hash";
   std::uint64_t value_bytes = 64;
   std::uint64_t seed = 20130708;
+  std::uint64_t fe_shards = 1;   // front-end reactor shards
+  std::string shard_sweep;       // "1,2,4": one full run per shard count
   bool metrics = true;  // server-side histograms (off = overhead baseline)
   std::string csv;
   std::string json;
@@ -206,118 +214,29 @@ std::uint64_t timer_p99(const obs::MetricsSnapshot& snap,
              : 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // The acceptance-command form `--json` (bare, no path) means "write the
-  // default file"; FlagSet wants a value, so synthesize one.
-  std::vector<char*> args(argv, argv + argc);
-  std::vector<std::string> rewritten;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string arg = args[i];
-    const bool bare =
-        (i + 1 == args.size()) ||
-        (std::string(args[i + 1]).rfind("--", 0) == 0);
-    if (arg == "--json" && bare) {
-      rewritten.push_back("--json=live_serving.json");
-    } else if (arg == "--csv" && bare) {
-      rewritten.push_back("--csv=live_serving.csv");
-    } else {
-      rewritten.push_back(arg);
-    }
+/// "r0|r1|…": per-shard front-end request counts from the scraped
+/// "frontend.shardK.requests" series ("frontend.requests" when unsharded),
+/// so a table row shows how evenly the kernel spread connections.
+std::string shard_requests_cell(const obs::MetricsSnapshot& fe_metrics,
+                                std::uint64_t fe_shards) {
+  std::string cell;
+  for (std::uint64_t k = 0; k < fe_shards; ++k) {
+    const std::string name =
+        fe_shards == 1 ? "frontend.requests"
+                       : "frontend.shard" + std::to_string(k) + ".requests";
+    const auto it = fe_metrics.counters.find(name);
+    if (!cell.empty()) cell += "|";
+    cell += std::to_string(it != fe_metrics.counters.end() ? it->second : 0);
   }
-  std::vector<char*> argv2;
-  for (std::string& arg : rewritten) argv2.push_back(arg.data());
+  return cell;
+}
 
-  LiveFlags flags;
-  FlagSet flag_set(
-      "live_serving: open-loop load against a loopback scp cluster");
-  flag_set.add_uint64("n", &flags.n, "number of backend servers");
-  flag_set.add_uint64("d", &flags.d, "replica-group size");
-  flag_set.add_uint64("m", &flags.m, "key space size");
-  flag_set.add_uint64("c", &flags.c, "front-end cache entries");
-  flag_set.add_uint64("x", &flags.x,
-                      "adversarial queried keys (0 = adversary's best x)");
-  flag_set.add_double("theta", &flags.theta, "zipf exponent (--preset zipf)");
-  flag_set.add_string("preset", &flags.preset,
-                      "workload: adversarial|zipf|flat");
-  flag_set.add_double("rate", &flags.rate, "aggregate open-loop rate (qps)");
-  flag_set.add_double("duration", &flags.duration, "measured seconds");
-  flag_set.add_double("warmup", &flags.warmup,
-                      "unrecorded warmup seconds before measuring");
-  flag_set.add_uint64("threads", &flags.threads, "load generator threads");
-  flag_set.add_string("cache", &flags.cache,
-                      "front-end cache: perfect|none|lru|lfu|slru|tinylfu");
-  flag_set.add_string("router", &flags.router,
-                      "miss routing: pinned|least-loaded|random|round-robin");
-  flag_set.add_string("partitioner", &flags.partitioner,
-                      "replica partitioner: hash|ring|rendezvous");
-  flag_set.add_uint64("value-bytes", &flags.value_bytes, "stored value size");
-  flag_set.add_uint64("seed", &flags.seed, "base seed");
-  flag_set.add_bool("metrics", &flags.metrics,
-                    "server-side histograms (--metrics=false for the "
-                    "instrumentation-overhead baseline)");
-  flag_set.add_string("csv", &flags.csv, "also write the table to this CSV");
-  flag_set.add_string("json", &flags.json,
-                      "also write the standard bench record to this JSON");
-  if (!flag_set.parse(static_cast<int>(argv2.size()), argv2.data())) return 2;
-
-  if (flags.n == 0 || flags.d == 0 || flags.d > flags.n || flags.m == 0 ||
-      flags.threads == 0) {
-    std::fprintf(stderr, "live_serving: need n > 0, 0 < d <= n, m > 0\n");
-    return 2;
-  }
-
-  CommonFlags common;
-  common.bench = "live_serving";
-  common.nodes = flags.n;
-  common.replication = flags.d;
-  common.items = flags.m;
-  common.rate = flags.rate;
-  common.runs = 1;
-  common.seed = flags.seed;
-  common.threads = flags.threads;
-  common.partitioner = flags.partitioner;
-  common.selector = flags.router;
-  common.csv = flags.csv;
-  common.json = flags.json;
-
-  const std::uint64_t partition_seed = derive_seed(flags.seed, 1);
-  const std::uint64_t sim_seed = derive_seed(flags.seed, 2);
-
-  // --- workload -----------------------------------------------------------
-  std::uint64_t x = flags.x;
-  if (flags.preset == "adversarial" && x == 0) {
-    x = best_adversarial_x(flags, partition_seed, sim_seed);
-  }
-  QueryDistribution dist = QueryDistribution::uniform(flags.m);
-  if (flags.preset == "adversarial") {
-    dist = QueryDistribution::uniform_over(x, flags.m);
-  } else if (flags.preset == "zipf") {
-    dist = QueryDistribution::zipf(flags.m, flags.theta);
-  } else if (flags.preset != "flat") {
-    std::fprintf(stderr, "live_serving: unknown preset '%s'\n",
-                 flags.preset.c_str());
-    return 2;
-  }
-  const double predicted =
-      predict_gain(flags, dist, partition_seed, sim_seed);
-
-  std::printf("live_serving: n=%llu d=%llu m=%llu c=%llu preset=%s%s "
-              "rate=%.0f duration=%.1fs threads=%llu cache=%s router=%s\n",
-              static_cast<unsigned long long>(flags.n),
-              static_cast<unsigned long long>(flags.d),
-              static_cast<unsigned long long>(flags.m),
-              static_cast<unsigned long long>(flags.c), flags.preset.c_str(),
-              flags.preset == "adversarial"
-                  ? (" x=" + std::to_string(x)).c_str()
-                  : "",
-              flags.rate, flags.duration,
-              static_cast<unsigned long long>(flags.threads),
-              flags.cache.c_str(), flags.router.c_str());
-  std::printf("rate-sim prediction (same partition seed): gain=%.4f\n\n",
-              predicted);
-
+/// One full measurement at `fe_shards` front-end shards: spawn the loopback
+/// cluster, drive the open-loop load, scrape, and append a row to `table`.
+/// Returns false when the cluster fails to come up.
+bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
+              const QueryDistribution& dist, double predicted,
+              std::uint64_t partition_seed, TextTable& table) {
   // --- loopback cluster ---------------------------------------------------
   std::vector<std::unique_ptr<net::BackendServer>> backends;
   std::vector<std::pair<std::string, std::uint16_t>> endpoints;
@@ -334,7 +253,7 @@ int main(int argc, char** argv) {
     auto backend = std::make_unique<net::BackendServer>(config);
     if (!backend->start()) {
       std::fprintf(stderr, "live_serving: backend %u failed to start\n", node);
-      return 1;
+      return false;
     }
     endpoints.emplace_back("127.0.0.1", backend->port());
     backends.push_back(std::move(backend));
@@ -353,14 +272,15 @@ int main(int argc, char** argv) {
   fe_config.router = flags.router;
   fe_config.seed = derive_seed(flags.seed, 3);
   fe_config.metrics = flags.metrics;
+  fe_config.shards = static_cast<std::uint32_t>(fe_shards);
   net::FrontendServer frontend(fe_config);
   if (!frontend.start()) {
     std::fprintf(stderr, "live_serving: frontend failed to start\n");
-    return 1;
+    return false;
   }
   if (!frontend.wait_backends_up(5.0)) {
     std::fprintf(stderr, "live_serving: backends never came up\n");
-    return 1;
+    return false;
   }
 
   // --- open-loop load -----------------------------------------------------
@@ -450,7 +370,8 @@ int main(int argc, char** argv) {
                 static_cast<double>(fe_stats.requests)
           : 0.0;
 
-  std::printf("per-backend load (measured window):\n%s\n",
+  std::printf("[fe_shards=%llu] per-backend load (measured window):\n%s\n",
+              static_cast<unsigned long long>(fe_shards),
               backend_table.render().c_str());
 
   // --- latency decomposition ----------------------------------------------
@@ -501,14 +422,10 @@ int main(int argc, char** argv) {
                 decomp.render().c_str());
   }
 
-  TextTable table({"preset", "x", "completed", "throughput_qps", "hit_ratio",
-                   "failures", "max_backend", "ideal", "live_gain",
-                   "predicted_gain", "gain_ratio", "p50_us", "p99_us",
-                   "p999_us", "cli_svc_p99_us", "fe_p99_us", "rtt_p99_us",
-                   "svc_p99_us"});
   table.add_row({flags.preset,
                  static_cast<std::int64_t>(flags.preset == "adversarial" ? x
                                                                          : 0),
+                 static_cast<std::int64_t>(fe_shards),
                  static_cast<std::int64_t>(completed), throughput, hit_ratio,
                  static_cast<std::int64_t>(failures),
                  static_cast<std::int64_t>(max_backend), ideal, live_gain,
@@ -521,7 +438,150 @@ int main(int argc, char** argv) {
                  static_cast<std::int64_t>(cli_svc_p99),
                  static_cast<std::int64_t>(fe_p99),
                  static_cast<std::int64_t>(rtt_p99),
-                 static_cast<std::int64_t>(svc_p99)});
+                 static_cast<std::int64_t>(svc_p99),
+                 shard_requests_cell(fe_metrics, fe_shards)});
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The acceptance-command form `--json` (bare, no path) means "write the
+  // default file"; FlagSet wants a value, so synthesize one.
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> rewritten;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    const bool bare =
+        (i + 1 == args.size()) ||
+        (std::string(args[i + 1]).rfind("--", 0) == 0);
+    if (arg == "--json" && bare) {
+      rewritten.push_back("--json=live_serving.json");
+    } else if (arg == "--csv" && bare) {
+      rewritten.push_back("--csv=live_serving.csv");
+    } else {
+      rewritten.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  for (std::string& arg : rewritten) argv2.push_back(arg.data());
+
+  LiveFlags flags;
+  FlagSet flag_set(
+      "live_serving: open-loop load against a loopback scp cluster");
+  flag_set.add_uint64("n", &flags.n, "number of backend servers");
+  flag_set.add_uint64("d", &flags.d, "replica-group size");
+  flag_set.add_uint64("m", &flags.m, "key space size");
+  flag_set.add_uint64("c", &flags.c, "front-end cache entries");
+  flag_set.add_uint64("x", &flags.x,
+                      "adversarial queried keys (0 = adversary's best x)");
+  flag_set.add_double("theta", &flags.theta, "zipf exponent (--preset zipf)");
+  flag_set.add_string("preset", &flags.preset,
+                      "workload: adversarial|zipf|flat");
+  flag_set.add_double("rate", &flags.rate, "aggregate open-loop rate (qps)");
+  flag_set.add_double("duration", &flags.duration, "measured seconds");
+  flag_set.add_double("warmup", &flags.warmup,
+                      "unrecorded warmup seconds before measuring");
+  flag_set.add_uint64("threads", &flags.threads, "load generator threads");
+  flag_set.add_string("cache", &flags.cache,
+                      "front-end cache: perfect|none|lru|lfu|slru|tinylfu");
+  flag_set.add_string("router", &flags.router,
+                      "miss routing: pinned|least-loaded|random|round-robin");
+  flag_set.add_string("partitioner", &flags.partitioner,
+                      "replica partitioner: hash|ring|rendezvous");
+  flag_set.add_uint64("value-bytes", &flags.value_bytes, "stored value size");
+  flag_set.add_uint64("seed", &flags.seed, "base seed");
+  flag_set.add_uint64("fe-shards", &flags.fe_shards,
+                      "front-end reactor shards (SO_REUSEPORT; cache split "
+                      "c/N)");
+  flag_set.add_string("shard-sweep", &flags.shard_sweep,
+                      "comma-separated shard counts (e.g. 1,2,4): run the "
+                      "full measurement once per count, one row each");
+  flag_set.add_bool("metrics", &flags.metrics,
+                    "server-side histograms (--metrics=false for the "
+                    "instrumentation-overhead baseline)");
+  flag_set.add_string("csv", &flags.csv, "also write the table to this CSV");
+  flag_set.add_string("json", &flags.json,
+                      "also write the standard bench record to this JSON");
+  if (!flag_set.parse(static_cast<int>(argv2.size()), argv2.data())) return 2;
+
+  if (flags.n == 0 || flags.d == 0 || flags.d > flags.n || flags.m == 0 ||
+      flags.threads == 0) {
+    std::fprintf(stderr, "live_serving: need n > 0, 0 < d <= n, m > 0\n");
+    return 2;
+  }
+  std::vector<std::uint64_t> shard_counts;
+  if (!flags.shard_sweep.empty()) {
+    shard_counts = parse_u64_list(flags.shard_sweep);
+  }
+  if (shard_counts.empty()) {
+    shard_counts.push_back(flags.fe_shards == 0 ? 1 : flags.fe_shards);
+  }
+  for (std::uint64_t& count : shard_counts) {
+    if (count == 0) count = 1;
+  }
+
+  CommonFlags common;
+  common.bench = "live_serving";
+  common.nodes = flags.n;
+  common.replication = flags.d;
+  common.items = flags.m;
+  common.rate = flags.rate;
+  common.runs = 1;
+  common.seed = flags.seed;
+  common.threads = flags.threads;
+  common.partitioner = flags.partitioner;
+  common.selector = flags.router;
+  common.csv = flags.csv;
+  common.json = flags.json;
+
+  const std::uint64_t partition_seed = derive_seed(flags.seed, 1);
+  const std::uint64_t sim_seed = derive_seed(flags.seed, 2);
+
+  // --- workload -----------------------------------------------------------
+  std::uint64_t x = flags.x;
+  if (flags.preset == "adversarial" && x == 0) {
+    x = best_adversarial_x(flags, partition_seed, sim_seed);
+  }
+  QueryDistribution dist = QueryDistribution::uniform(flags.m);
+  if (flags.preset == "adversarial") {
+    dist = QueryDistribution::uniform_over(x, flags.m);
+  } else if (flags.preset == "zipf") {
+    dist = QueryDistribution::zipf(flags.m, flags.theta);
+  } else if (flags.preset != "flat") {
+    std::fprintf(stderr, "live_serving: unknown preset '%s'\n",
+                 flags.preset.c_str());
+    return 2;
+  }
+  const double predicted =
+      predict_gain(flags, dist, partition_seed, sim_seed);
+
+  std::printf("live_serving: n=%llu d=%llu m=%llu c=%llu preset=%s%s "
+              "rate=%.0f duration=%.1fs threads=%llu cache=%s router=%s\n",
+              static_cast<unsigned long long>(flags.n),
+              static_cast<unsigned long long>(flags.d),
+              static_cast<unsigned long long>(flags.m),
+              static_cast<unsigned long long>(flags.c), flags.preset.c_str(),
+              flags.preset == "adversarial"
+                  ? (" x=" + std::to_string(x)).c_str()
+                  : "",
+              flags.rate, flags.duration,
+              static_cast<unsigned long long>(flags.threads),
+              flags.cache.c_str(), flags.router.c_str());
+  std::printf("rate-sim prediction (same partition seed): gain=%.4f\n\n",
+              predicted);
+
+  TextTable table({"preset", "x", "fe_shards", "completed", "throughput_qps",
+                   "hit_ratio", "failures", "max_backend", "ideal",
+                   "live_gain", "predicted_gain", "gain_ratio", "p50_us",
+                   "p99_us", "p999_us", "cli_svc_p99_us", "fe_p99_us",
+                   "rtt_p99_us", "svc_p99_us", "shard_requests"});
+  for (std::uint64_t fe_shards : shard_counts) {
+    if (!run_once(flags, fe_shards, x, dist, predicted, partition_seed,
+                  table)) {
+      return 1;
+    }
+  }
   finish_table(table, common);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "cache/tinylfu_cache.h"
 #include "cluster/placement_index.h"
 #include "core/scp.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -252,6 +253,42 @@ void BM_ObsRegistrySnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsRegistrySnapshot)->Unit(benchmark::kMicrosecond);
+
+// Wire-frame encode, before/after the zero-allocation hot path. The
+// serving tier encodes one frame per reply, so the gap between these two is
+// the per-request allocation cost the reactors stopped paying when send()
+// switched to encode_into() with pooled scratch. Arg = payload bytes.
+void BM_WireEncode(benchmark::State& state) {
+  net::Message message;
+  message.type = net::MsgType::kValue;
+  message.key = 42;
+  message.payload = net::make_value(42, static_cast<std::uint32_t>(
+                                            state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode(message));  // fresh vector per frame
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(message.payload.size()));
+}
+BENCHMARK(BM_WireEncode)->Arg(64)->Arg(4096);
+
+void BM_WireEncodeInto(benchmark::State& state) {
+  net::Message message;
+  message.type = net::MsgType::kValue;
+  message.key = 42;
+  message.payload = net::make_value(42, static_cast<std::uint32_t>(
+                                            state.range(0)));
+  std::vector<std::uint8_t> frame;  // reused scratch, as FrameLoop::send does
+  for (auto _ : state) {
+    net::encode_into(message, frame);
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(message.payload.size()));
+}
+BENCHMARK(BM_WireEncodeInto)->Arg(64)->Arg(4096);
 
 void BM_AdversarialShiftFixpoint(benchmark::State& state) {
   const auto start = QueryDistribution::zipf(

@@ -11,6 +11,10 @@
 # 4. Full mode only: smoke the live serving tier — scp_backend answers a
 #    kernel-assigned --port 0 and drains cleanly on SIGTERM, and
 #    bench/live_serving drives a real loopback cluster and emits valid JSON.
+# 5. Full mode only: smoke the sharded reactors — scp_backend --shards 4
+#    must serve GETs on every shard and its /metrics aggregate must equal
+#    the sum of the per-shard series, and bench/live_serving --fe-shards 4
+#    must emit the fe_shards / shard_requests columns.
 #
 # All failure paths (including an interrupted ctest) propagate a nonzero
 # exit: the EXIT trap re-raises the first failing status after killing any
@@ -136,6 +140,76 @@ print(urllib.request.urlopen(
     fi
   done
   echo "check.sh: live serving smoke OK"
+
+  # Sharded smoke 1: scp_backend --shards 4. Drive GETs over several
+  # connections, then verify on /metrics.json that the aggregate
+  # service-time histogram count equals the sum of the per-shard series and
+  # the shared-storage key gauge is not multiplied by the shard count.
+  sharded_out="$BUILD_DIR/smoke_backend_sharded.out"
+  "$BUILD_DIR/src/net/scp_backend" --port 0 --node 0 --nodes 2 \
+    --replication 2 --items 64 --shards 4 --metrics-port 0 \
+    >"$sharded_out" &
+  sharded_pid=$!
+  spawned_pids+=("$sharded_pid")
+  sharded_port=""
+  sharded_metrics_port=""
+  for _ in $(seq 50); do
+    sharded_port="$(sed -n 's/^PORT \([0-9][0-9]*\)$/\1/p' "$sharded_out")"
+    sharded_metrics_port="$(sed -n \
+      's/^METRICS_PORT \([0-9][0-9]*\)$/\1/p' "$sharded_out")"
+    [[ -n "$sharded_port" && -n "$sharded_metrics_port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$sharded_port" || -z "$sharded_metrics_port" ]]; then
+    echo "check.sh: sharded scp_backend did not print its ports" >&2
+    exit 1
+  fi
+  python3 - "$sharded_port" "$sharded_metrics_port" <<'EOF'
+import json, socket, struct, sys, urllib.request
+
+port, metrics_port = int(sys.argv[1]), int(sys.argv[2])
+sent = 0
+for conn in range(8):  # several connections so multiple shards see traffic
+    with socket.create_connection(("127.0.0.1", port), timeout=5) as s:
+        for key in range(8):
+            payload = struct.pack(">BQ", 1, key)  # kGet
+            s.sendall(struct.pack(">I", len(payload)) + payload)
+            header = s.recv(4, socket.MSG_WAITALL)
+            (length,) = struct.unpack(">I", header)
+            s.recv(length, socket.MSG_WAITALL)
+            sent += 1
+doc = json.load(urllib.request.urlopen(
+    f"http://127.0.0.1:{metrics_port}/metrics.json", timeout=5))
+assert doc["counters"]["backend.requests"] == sent, doc["counters"]
+shard_counts = [doc["timers"][f"backend.shard{k}.service_us"]["count"]
+                for k in range(4)]
+aggregate = doc["timers"]["backend.service_us"]["count"]
+assert aggregate == sum(shard_counts) == sent, (aggregate, shard_counts)
+keys = doc["gauges"]["backend.keys"]
+assert 0 < keys <= 64, f"shared storage gauge multiplied by shards? {keys}"
+print(f"sharded scrape: aggregate {aggregate} == sum {shard_counts}")
+EOF
+  kill -TERM "$sharded_pid"
+  if ! wait "$sharded_pid"; then
+    echo "check.sh: sharded scp_backend did not drain on SIGTERM" >&2
+    exit 1
+  fi
+
+  # Sharded smoke 2: the load generator against a 4-shard frontend; the
+  # JSON row must carry the shard columns.
+  sharded_json="$BUILD_DIR/smoke_live_sharded.json"
+  rm -f "$sharded_json"
+  "$BUILD_DIR/bench/live_serving" \
+    --n 3 --d 2 --m 1024 --c 4 --rate 1000 --duration 1 --warmup 0.2 \
+    --threads 4 --fe-shards 4 --json "$sharded_json" >/dev/null
+  validate_json "$sharded_json" live_serving
+  for column in fe_shards shard_requests; do
+    if ! grep -q "\"$column\"" "$sharded_json"; then
+      echo "check.sh: sharded live JSON missing column $column" >&2
+      exit 1
+    fi
+  done
+  echo "check.sh: sharded serving smoke OK"
 fi
 
 echo "check.sh: OK (tests green, smoke bench JSON validated)"

@@ -11,7 +11,10 @@ BackendServer::BackendServer(BackendConfig config)
     : config_(std::move(config)),
       partitioner_(make_partitioner(config_.partitioner, config_.nodes,
                                     config_.replication,
-                                    config_.partition_seed)) {}
+                                    config_.partition_seed)),
+      pool_(ReactorPool::Options{
+          .shards = config_.shards == 0 ? 1 : config_.shards,
+          .force_fallback_accept = config_.force_fallback_accept}) {}
 
 BackendServer::~BackendServer() { stop(0.0); }
 
@@ -28,18 +31,27 @@ void BackendServer::preload() {
 
 bool BackendServer::start() {
   preload();
-  FrameLoop::Callbacks callbacks;
-  callbacks.on_message = [this](ConnId conn, Message&& message) {
-    handle(conn, std::move(message));
-  };
-  loop_.set_callbacks(std::move(callbacks));
-  if (config_.metrics) {
-    service_us_ = &registry_.timer("backend.service_us");
-    registry_.gauge("backend.keys")
-        .set(static_cast<std::int64_t>(storage_.live_count()));
-    loop_.set_metrics(&registry_);
+  for (std::size_t k = 0; k < pool_.shards(); ++k) {
+    FrameLoop& loop = pool_.shard(k);
+    FrameLoop::Callbacks callbacks;
+    callbacks.on_message = [this, k, &loop](ConnId conn, Message&& message) {
+      handle(k, loop, conn, std::move(message));
+    };
+    loop.set_callbacks(std::move(callbacks));
+    if (config_.metrics) {
+      auto registry = std::make_unique<obs::MetricsRegistry>();
+      service_us_.push_back(&registry->timer("backend.service_us"));
+      if (k == 0) {
+        // Shared storage — recorded once so the merged gauge is the key
+        // count, not shards × keys.
+        registry->gauge("backend.keys")
+            .set(static_cast<std::int64_t>(storage_.live_count()));
+      }
+      loop.set_metrics(registry.get());
+      registries_.push_back(std::move(registry));
+    }
   }
-  if (!loop_.listen(config_.address, config_.port)) return false;
+  if (!pool_.listen(config_.address, config_.port)) return false;
   if (config_.metrics_port >= 0) {
     metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
         [this] { return metrics_snapshot(); });
@@ -50,15 +62,16 @@ bool BackendServer::start() {
       return false;
     }
   }
-  if (!loop_.start()) return false;
+  if (!pool_.start()) return false;
   SCP_LOG_INFO << "scp_backend node " << config_.node_id << " serving "
                << storage_.live_count() << " keys on " << config_.address
-               << ":" << loop_.port();
+               << ":" << pool_.port() << " (" << pool_.shards() << " shard"
+               << (pool_.shards() == 1 ? "" : "s") << ")";
   return true;
 }
 
 void BackendServer::stop(double drain_s) {
-  loop_.stop(drain_s);
+  pool_.stop(drain_s);
   if (metrics_http_ != nullptr) {
     metrics_http_->stop();
   }
@@ -74,7 +87,12 @@ ServerStats BackendServer::stats() const {
 }
 
 obs::MetricsSnapshot BackendServer::metrics_snapshot() const {
-  obs::MetricsSnapshot snap = registry_.snapshot();
+  std::vector<obs::MetricsSnapshot> shards;
+  shards.reserve(registries_.size());
+  for (const auto& registry : registries_) {
+    shards.push_back(registry->snapshot());
+  }
+  obs::MetricsSnapshot snap = merge_shard_snapshots("backend", shards);
   const ServerStats s = stats();
   snap.counters["backend.requests"] = s.requests;
   snap.counters["backend.hits"] = s.hits;
@@ -87,11 +105,14 @@ std::uint16_t BackendServer::metrics_http_port() const noexcept {
   return metrics_http_ != nullptr ? metrics_http_->port() : 0;
 }
 
-void BackendServer::handle(ConnId conn, Message&& message) {
+void BackendServer::handle(std::size_t shard, FrameLoop& loop, ConnId conn,
+                           Message&& message) {
+  obs::Timer* service_us =
+      shard < service_us_.size() ? service_us_[shard] : nullptr;
   switch (message.type) {
     case MsgType::kGet: {
       const std::uint64_t start_ns =
-          service_us_ != nullptr ? obs::now_ns() : 0;
+          service_us != nullptr ? obs::now_ns() : 0;
       requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<NodeId> group(config_.replication);
       partitioner_->replica_group(message.key, group);
@@ -102,8 +123,8 @@ void BackendServer::handle(ConnId conn, Message&& message) {
         reply.type = MsgType::kRedirect;
         reply.key = message.key;
         reply.node = group[0];
-        loop_.send(conn, reply);
-        obs::record_elapsed(service_us_, start_ns, /*divisor=*/1'000);
+        loop.send(conn, reply);
+        obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
         return;
       }
       Message reply;
@@ -116,28 +137,28 @@ void BackendServer::handle(ConnId conn, Message&& message) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         reply.type = MsgType::kMiss;
       }
-      loop_.send(conn, reply);
-      obs::record_elapsed(service_us_, start_ns, /*divisor=*/1'000);
+      loop.send(conn, reply);
+      obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
       return;
     }
     case MsgType::kStats: {
       Message reply;
       reply.type = MsgType::kStatsReply;
       reply.stats = stats();
-      loop_.send(conn, reply);
+      loop.send(conn, reply);
       return;
     }
     case MsgType::kMetricsRequest: {
       Message reply;
       reply.type = MsgType::kMetricsReply;
       reply.metrics = metrics_snapshot();
-      loop_.send(conn, reply);
+      loop.send(conn, reply);
       return;
     }
     case MsgType::kPing: {
       Message reply;
       reply.type = MsgType::kPong;
-      loop_.send(conn, reply);
+      loop.send(conn, reply);
       return;
     }
     default: {
@@ -145,7 +166,7 @@ void BackendServer::handle(ConnId conn, Message&& message) {
       reply.type = MsgType::kError;
       reply.key = message.key;
       reply.payload = "unexpected message type";
-      loop_.send(conn, reply);
+      loop.send(conn, reply);
       return;
     }
   }

@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/partitioner.h"
 #include "kvstore/storage_engine.h"
-#include "net/frame_loop.h"
+#include "net/reactor_pool.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 
@@ -39,6 +40,12 @@ struct BackendConfig {
   bool metrics = true;
   /// Prometheus endpoint: -1 = none, 0 = kernel-assigned, else fixed port.
   std::int32_t metrics_port = -1;
+  /// Reactor shards sharing the listening port (SO_REUSEPORT). The request
+  /// path is stateless over the shared read-only storage, so sharding a
+  /// backend changes only which thread serves a connection.
+  std::uint32_t shards = 1;
+  /// Test hook: force the single-acceptor round-robin accept path.
+  bool force_fallback_accept = false;
 };
 
 class BackendServer {
@@ -52,14 +59,15 @@ class BackendServer {
   /// Graceful stop: drains queued replies for up to `drain_s`.
   void stop(double drain_s = 1.0);
 
-  std::uint16_t port() const noexcept { return loop_.port(); }
-  bool running() const noexcept { return loop_.running(); }
+  std::uint16_t port() const noexcept { return pool_.port(); }
+  bool running() const noexcept { return pool_.running(); }
 
-  /// Counter snapshot (thread-safe).
+  /// Counter snapshot, aggregated across shards (thread-safe).
   ServerStats stats() const;
 
-  /// Full metrics snapshot: registry histograms plus the ServerStats
-  /// counters under "backend.*" names (thread-safe).
+  /// Full metrics snapshot: shard registries merged, plus the ServerStats
+  /// counters under "backend.*" names. With shards > 1 each shard's series
+  /// also appear as "backend.shardK.*" (thread-safe).
   obs::MetricsSnapshot metrics_snapshot() const;
 
   /// Bound Prometheus endpoint port, or 0 when config.metrics_port == -1.
@@ -70,14 +78,17 @@ class BackendServer {
 
  private:
   void preload();
-  void handle(ConnId conn, Message&& message);
+  void handle(std::size_t shard, FrameLoop& loop, ConnId conn,
+              Message&& message);
 
   BackendConfig config_;
   std::unique_ptr<ReplicaPartitioner> partitioner_;
   StorageEngine storage_;
-  FrameLoop loop_;
-  obs::MetricsRegistry registry_;
-  obs::Timer* service_us_ = nullptr;  // null = instrumentation off
+  ReactorPool pool_;
+  // One registry per shard so the hot path never shares a cache line across
+  // reactors; scrapes merge them (merge_shard_snapshots).
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries_;
+  std::vector<obs::Timer*> service_us_;  // empty = instrumentation off
   std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
 
   std::atomic<std::uint64_t> requests_{0};

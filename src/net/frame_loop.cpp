@@ -1,7 +1,9 @@
 #include "net/frame_loop.h"
 
+#include <limits.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -10,14 +12,27 @@
 #include "common/log.h"
 
 namespace scp::net {
+namespace {
+
+/// Gather width of one flush: IOV_MAX is the syscall's hard ceiling; 256 is
+/// plenty (a deeper backlog just takes another sendmsg on the same wakeup).
+constexpr std::size_t kMaxIov = IOV_MAX < 256 ? IOV_MAX : 256;
+
+/// Buffer-pool bounds: buffers above the capacity cap are dropped on
+/// release (a one-off huge value must not become resident scratch), and the
+/// pool holds at most this many buffers.
+constexpr std::size_t kPoolMaxBuffers = 256;
+constexpr std::size_t kPoolMaxCapacity = 64 * 1024;
+
+}  // namespace
 
 FrameLoop::FrameLoop() = default;
 
 FrameLoop::~FrameLoop() { stop(0.0); }
 
 bool FrameLoop::listen(const std::string& address, std::uint16_t port,
-                       int backlog) {
-  listener_ = listen_tcp(address, port, backlog, &port_);
+                       int backlog, bool reuse_port) {
+  listener_ = listen_tcp(address, port, backlog, &port_, reuse_port);
   if (!listener_.valid()) return false;
   events_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
   return true;
@@ -34,6 +49,11 @@ bool FrameLoop::start() {
 }
 
 void FrameLoop::stop(double drain_s) {
+  request_stop(drain_s);
+  join();
+}
+
+void FrameLoop::request_stop(double drain_s) {
   if (!started_) {
     listener_.reset();
     return;
@@ -41,6 +61,9 @@ void FrameLoop::stop(double drain_s) {
   drain_s_.store(drain_s);
   stop_requested_.store(true);
   events_.wakeup();
+}
+
+void FrameLoop::join() {
   if (thread_.joinable()) {
     thread_.join();
   }
@@ -74,17 +97,37 @@ ConnId FrameLoop::connect(const std::string& address, std::uint16_t port) {
 bool FrameLoop::send(ConnId conn_id, const Message& message) {
   Connection* conn = find(conn_id);
   if (conn == nullptr) return false;
-  const std::vector<std::uint8_t> frame = encode(message);
-  conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  std::vector<std::uint8_t> frame = acquire_buffer();
+  encode_into(message, frame);
+  conn->out_bytes += frame.size();
+  conn->outq.push_back(std::move(frame));
   counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
-  if (!conn->connecting) {
-    flush_writes(*conn);
-    // flush_writes may have destroyed the connection on a write error.
-    conn = find(conn_id);
-    if (conn == nullptr) return false;
-  }
-  update_interest(*conn);
+  // No syscall here: the frame rides the end-of-wakeup gathered flush with
+  // every other frame queued this iteration (one sendmsg per connection).
+  schedule_flush(*conn);
   return true;
+}
+
+void FrameLoop::schedule_flush(Connection& conn) {
+  if (conn.flush_pending) return;
+  conn.flush_pending = true;
+  flush_pending_.push_back(conn.id);
+}
+
+void FrameLoop::flush_pending_conns() {
+  // flush_writes can destroy the conn (write error) and callbacks run from
+  // there may queue more sends — iterate by index over a growable list.
+  for (std::size_t i = 0; i < flush_pending_.size(); ++i) {
+    const ConnId id = flush_pending_[i];
+    Connection* conn = find(id);
+    if (conn == nullptr) continue;
+    conn->flush_pending = false;
+    if (conn->connecting) continue;  // flushed once the connect resolves
+    flush_writes(*conn);
+    conn = find(id);
+    if (conn != nullptr) update_interest(*conn);
+  }
+  flush_pending_.clear();
 }
 
 void FrameLoop::close_connection(ConnId conn_id) { destroy(conn_id, true); }
@@ -172,10 +215,15 @@ void FrameLoop::loop() {
       }
     }
 
+    // The wakeup's single flush point: every frame queued by posted work,
+    // timers and the previous round of event dispatch goes out in one
+    // gathered write per connection, right before the loop blocks again.
+    flush_pending_conns();
+
     if (draining_) {
       bool writes_pending = false;
       for (const auto& [id, conn] : conns_) {
-        if (conn.out_off < conn.out.size()) {
+        if (conn.out_bytes > 0) {
           writes_pending = true;
           break;
         }
@@ -230,6 +278,7 @@ void FrameLoop::do_connect(ConnId id, const std::string& address,
   Connection conn;
   conn.id = id;
   conn.sock = std::move(sock);
+  conn.reader.adopt_storage(acquire_buffer());
   conn.outbound = true;
   conn.connecting = in_progress;
   conn.want_write = in_progress;
@@ -263,17 +312,43 @@ void FrameLoop::accept_ready() {
       }
       return;
     }
-    set_nonblocking(fd);
-    set_nodelay(fd);
-    const ConnId id = next_conn_id_.fetch_add(1);
-    Connection conn;
-    conn.id = id;
-    conn.sock.reset(fd);
-    events_.add(fd, /*want_read=*/true, /*want_write=*/false);
-    by_fd_[fd] = id;
-    conns_.emplace(id, std::move(conn));
-    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    if (accept_handler_) {
+      accept_handler_(fd);  // handler owns the fd (typically adopt()s it
+                            // into a sibling shard)
+      continue;
+    }
+    adopt_on_loop(fd);
   }
+}
+
+void FrameLoop::adopt(int fd) {
+  if (on_loop_thread()) {
+    adopt_on_loop(fd);
+    return;
+  }
+  if (!running_.load()) {
+    ::close(fd);
+    return;
+  }
+  post([this, fd] { adopt_on_loop(fd); });
+}
+
+void FrameLoop::adopt_on_loop(int fd) {
+  if (draining_) {
+    ::close(fd);
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  const ConnId id = next_conn_id_.fetch_add(1);
+  Connection conn;
+  conn.id = id;
+  conn.sock.reset(fd);
+  conn.reader.adopt_storage(acquire_buffer());
+  events_.add(fd, /*want_read=*/true, /*want_write=*/false);
+  by_fd_[fd] = id;
+  conns_.emplace(id, std::move(conn));
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FrameLoop::handle_event(const IoEvent& event) {
@@ -344,15 +419,18 @@ void FrameLoop::handle_readable(ConnId id) {
   while (true) {
     conn = find(id);
     if (conn == nullptr) return;
-    auto payload = conn->reader.next_payload();
-    if (!payload.has_value()) {
+    // Zero-copy: the frame is decoded straight out of the reader's buffer
+    // (the view dies at the next reader call, after decode has copied what
+    // the Message needs).
+    auto frame = conn->reader.next_frame();
+    if (!frame.has_value()) {
       if (conn->reader.corrupted()) {
         counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         destroy(id, true);
       }
       return;
     }
-    auto message = decode_payload(*payload);
+    auto message = decode_payload(*frame);
     if (!message.has_value()) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       destroy(id, true);
@@ -366,12 +444,39 @@ void FrameLoop::handle_readable(ConnId id) {
 }
 
 void FrameLoop::flush_writes(Connection& conn) {
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n =
-        ::send(conn.sock.fd(), conn.out.data() + conn.out_off,
-               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+  while (conn.out_bytes > 0) {
+    // Gather every queued frame (up to kMaxIov) into one sendmsg: the
+    // per-frame syscall cost of the old send()-per-frame path amortizes
+    // across the whole wakeup's worth of replies.
+    iovec iov[kMaxIov];
+    std::size_t iovcnt = 0;
+    std::size_t head_off = conn.out_head_off;
+    for (auto it = conn.outq.begin();
+         it != conn.outq.end() && iovcnt < kMaxIov; ++it) {
+      iov[iovcnt].iov_base = it->data() + head_off;
+      iov[iovcnt].iov_len = it->size() - head_off;
+      head_off = 0;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(conn.sock.fd(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
+      std::size_t written = static_cast<std::size_t>(n);
+      conn.out_bytes -= written;
+      while (written > 0) {
+        std::vector<std::uint8_t>& head = conn.outq.front();
+        const std::size_t remaining = head.size() - conn.out_head_off;
+        if (written < remaining) {
+          conn.out_head_off += written;
+          break;
+        }
+        written -= remaining;
+        release_buffer(std::move(head));
+        conn.outq.pop_front();
+        conn.out_head_off = 0;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -379,16 +484,28 @@ void FrameLoop::flush_writes(Connection& conn) {
     destroy(conn.id, true);
     return;
   }
-  conn.out.clear();
-  conn.out_off = 0;
 }
 
 void FrameLoop::update_interest(Connection& conn) {
   const bool want_read = !draining_ && !conn.connecting;
-  const bool want_write =
-      conn.connecting || conn.out_off < conn.out.size();
+  const bool want_write = conn.connecting || conn.out_bytes > 0;
   events_.modify(conn.sock.fd(), want_read, want_write);
   conn.want_write = want_write;
+}
+
+std::vector<std::uint8_t> FrameLoop::acquire_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void FrameLoop::release_buffer(std::vector<std::uint8_t>&& buffer) {
+  if (buffer_pool_.size() < kPoolMaxBuffers &&
+      buffer.capacity() > 0 && buffer.capacity() <= kPoolMaxCapacity) {
+    buffer_pool_.push_back(std::move(buffer));
+  }
 }
 
 void FrameLoop::destroy(ConnId id, bool notify) {
@@ -401,6 +518,12 @@ void FrameLoop::destroy(ConnId id, bool notify) {
   by_fd_.erase(conn.sock.fd());
   events_.remove(conn.sock.fd());
   conn.sock.reset();
+  // Recycle the retiring conn's buffers so accept/connect churn stops
+  // allocating at steady state.
+  release_buffer(conn.reader.release_storage());
+  for (auto& frame : conn.outq) {
+    release_buffer(std::move(frame));
+  }
   // Outbound conns whose on_connect hasn't been delivered report their
   // demise through the connect path (deferred notifier finds them gone),
   // never through on_close.

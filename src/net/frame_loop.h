@@ -4,6 +4,14 @@
 // built on this one class — a FrameLoop can simultaneously accept inbound
 // connections (listen) and maintain outbound ones (connect), which is
 // exactly what scp_frontend needs to forward misses while serving clients.
+// ReactorPool composes N of these into a sharded server (SO_REUSEPORT or an
+// accept-handler that round-robins fds into other loops via adopt()).
+//
+// Hot-path cost model: send() only encodes (into a pooled buffer, no heap
+// allocation at steady state) and queues; all queued frames of a wakeup are
+// flushed with one gathered sendmsg per connection (up to IOV_MAX buffers)
+// right before the loop blocks again. Read buffers are recycled through the
+// same per-loop pool, and inbound frames are decoded from a zero-copy view.
 //
 // Threading contract: callbacks, send(), close_connection() and run_after()
 // execute on the loop thread (callbacks are invoked there; calling these
@@ -15,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -72,10 +81,24 @@ class FrameLoop {
   void set_metrics(obs::MetricsRegistry* registry);
 
   /// Binds and listens (port 0 = kernel-assigned; see port()). Call before
-  /// start(). Returns false on bind/listen failure.
+  /// start(). Returns false on bind/listen failure. With `reuse_port` the
+  /// listener is SO_REUSEPORT-bound so sibling loops can share the port.
   bool listen(const std::string& address, std::uint16_t port,
-              int backlog = 128);
+              int backlog = 128, bool reuse_port = false);
   std::uint16_t port() const noexcept { return port_; }
+
+  /// When set (before start()), accepted fds are handed to the handler
+  /// instead of being adopted by this loop — ReactorPool's fallback acceptor
+  /// uses it to spread inbound connections across shards. The handler runs
+  /// on this loop's thread and takes ownership of the fd.
+  void set_accept_handler(std::function<void(int)> handler) {
+    accept_handler_ = std::move(handler);
+  }
+
+  /// Adopts an already-connected inbound fd as a new connection (counted as
+  /// accepted). Thread-safe: reroutes through post() off the loop thread.
+  /// The loop owns the fd from this call on; a draining loop closes it.
+  void adopt(int fd);
 
   /// Spawns the loop thread. Returns false if the event loop could not be
   /// created or the loop is already running.
@@ -83,8 +106,12 @@ class FrameLoop {
 
   /// Graceful stop from any thread: stops accepting and dispatching, keeps
   /// flushing queued writes for up to `drain_s`, then closes everything and
-  /// joins. Idempotent.
+  /// joins. Idempotent. Equivalent to request_stop() + join(); ReactorPool
+  /// uses the split form so all shards stop accepting before any is joined
+  /// (concurrent drain instead of serial).
   void stop(double drain_s = 1.0);
+  void request_stop(double drain_s = 1.0);
+  void join();
 
   bool running() const noexcept { return running_.load(); }
 
@@ -115,8 +142,13 @@ class FrameLoop {
     ConnId id = kInvalidConn;
     Socket sock;
     FrameReader reader;
-    std::vector<std::uint8_t> out;
-    std::size_t out_off = 0;
+    /// Outbound frames, one pooled buffer per frame; flushed with a single
+    /// gathered sendmsg per wakeup. `out_head_off` is how much of the front
+    /// frame has already hit the socket; `out_bytes` the total unsent bytes.
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_head_off = 0;
+    std::size_t out_bytes = 0;
+    bool flush_pending = false;  ///< queued in flush_pending_ this wakeup
     bool outbound = false;
     bool connecting = false;
     bool want_write = false;
@@ -144,19 +176,31 @@ class FrameLoop {
   void do_connect(ConnId id, const std::string& address, std::uint16_t port);
   void notify_connect_deferred(ConnId id);
   void accept_ready();
+  void adopt_on_loop(int fd);
   Connection* find(ConnId id);
   void handle_event(const IoEvent& event);
   void handle_readable(ConnId id);
   void flush_writes(Connection& conn);
+  void schedule_flush(Connection& conn);
+  void flush_pending_conns();
   void update_interest(Connection& conn);
   void destroy(ConnId id, bool notify);
   void run_due_timers();
   int next_timeout_ms() const;
 
+  /// Per-loop free list of byte buffers shared by encode scratch and reader
+  /// storage; capacity-capped so a one-off huge value cannot pin memory.
+  std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t>&& buffer);
+
   Callbacks callbacks_;
+  std::function<void(int)> accept_handler_;
   EventLoop events_;
   Socket listener_;
   std::uint16_t port_ = 0;
+
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
+  std::vector<ConnId> flush_pending_;  // conns with frames queued this wakeup
 
   std::unordered_map<ConnId, Connection> conns_;
   std::unordered_map<int, ConnId> by_fd_;

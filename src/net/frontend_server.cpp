@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace scp::net {
@@ -23,18 +24,15 @@ FrontendServer::FrontendServer(FrontendConfig config)
       partitioner_(make_partitioner(config_.partitioner, config_.nodes,
                                     config_.replication,
                                     config_.partition_seed)),
-      rng_(config_.seed),
-      group_(config_.replication),
-      candidates_(config_.replication) {
-  if (config_.cache_policy != "perfect" && config_.cache_policy != "none" &&
-      config_.cache_capacity > 0) {
-    tier_ = std::make_unique<FrontEndTier>(
-        std::max<std::uint32_t>(config_.frontends, 1), config_.cache_capacity,
-        config_.cache_policy, derive_seed(config_.seed, 7));
-  }
-}
+      pool_(ReactorPool::Options{
+          .shards = config_.shards == 0 ? 1 : config_.shards,
+          .force_fallback_accept = config_.force_fallback_accept}) {}
 
 FrontendServer::~FrontendServer() { stop(0.0); }
+
+std::size_t FrontendServer::shard_of(std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(mix64(key) % shards_.size());
+}
 
 bool FrontendServer::start() {
   if (config_.backends.size() != config_.nodes) {
@@ -42,38 +40,70 @@ bool FrontendServer::start() {
                   << " backend endpoints for " << config_.nodes << " nodes";
     return false;
   }
-  backends_.resize(config_.nodes);
-  loads_.assign(config_.nodes, 0.0);
-  for (std::uint32_t node = 0; node < config_.nodes; ++node) {
-    backends_[node].address = config_.backends[node].first;
-    backends_[node].port = config_.backends[node].second;
-  }
 
-  FrameLoop::Callbacks callbacks;
-  callbacks.on_message = [this](ConnId conn, Message&& message) {
-    handle(conn, std::move(message));
-  };
-  callbacks.on_close = [this](ConnId conn) { on_conn_close(conn); };
-  callbacks.on_connect = [this](ConnId conn, bool ok) {
-    on_conn_connect(conn, ok);
-  };
-  loop_.set_callbacks(std::move(callbacks));
-
-  if (config_.metrics) {
-    cache_lookup_ns_ = &registry_.timer("frontend.cache_lookup_ns");
-    request_us_ = &registry_.timer("frontend.request_us");
-    forward_rtt_us_ = &registry_.timer("frontend.forward_rtt_us");
-    attempts_hist_ = &registry_.timer("frontend.attempts");
-    values_entries_ = &registry_.gauge("frontend.values_entries");
-    node_rtt_us_.resize(config_.nodes);
-    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
-      node_rtt_us_[node] = &registry_.timer("frontend.forward_rtt_us.node" +
-                                            std::to_string(node));
+  const std::size_t n_shards = pool_.shards();
+  const bool policy_tier = config_.cache_policy != "perfect" &&
+                           config_.cache_policy != "none" &&
+                           config_.cache_capacity > 0;
+  shards_.clear();
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = k;
+    shard->loop = &pool_.shard(k);
+    // Shard 0 keeps the unsharded server's RNG/tier streams so shards == 1
+    // reproduces it decision-for-decision.
+    shard->rng = Rng(k == 0 ? config_.seed
+                            : derive_seed(config_.seed, 100 + k));
+    // Capacity c is split across shards (⌈c/N⌉ for the first c mod N, ⌊c/N⌋
+    // for the rest), never duplicated: the sharded FE has the same aggregate
+    // cache footprint as the paper's single cache of capacity c.
+    shard->cache_capacity =
+        config_.cache_capacity / n_shards +
+        (k < config_.cache_capacity % n_shards ? 1 : 0);
+    if (policy_tier && shard->cache_capacity > 0) {
+      const std::uint64_t tier_seed = derive_seed(config_.seed, 7);
+      shard->tier = std::make_unique<FrontEndTier>(
+          std::max<std::uint32_t>(config_.frontends, 1),
+          shard->cache_capacity, config_.cache_policy,
+          k == 0 ? tier_seed : derive_seed(tier_seed, k));
     }
-    loop_.set_metrics(&registry_);
+    shard->backends.resize(config_.nodes);
+    shard->loads.assign(config_.nodes, 0.0);
+    shard->group.resize(config_.replication);
+    shard->candidates.resize(config_.replication);
+    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+      shard->backends[node].address = config_.backends[node].first;
+      shard->backends[node].port = config_.backends[node].second;
+    }
+
+    Shard* s = shard.get();
+    FrameLoop::Callbacks callbacks;
+    callbacks.on_message = [this, s](ConnId conn, Message&& message) {
+      handle(*s, conn, std::move(message));
+    };
+    callbacks.on_close = [this, s](ConnId conn) { on_conn_close(*s, conn); };
+    callbacks.on_connect = [this, s](ConnId conn, bool ok) {
+      on_conn_connect(*s, conn, ok);
+    };
+    s->loop->set_callbacks(std::move(callbacks));
+
+    if (config_.metrics) {
+      s->cache_lookup_ns = &s->registry.timer("frontend.cache_lookup_ns");
+      s->request_us = &s->registry.timer("frontend.request_us");
+      s->forward_rtt_us = &s->registry.timer("frontend.forward_rtt_us");
+      s->attempts_hist = &s->registry.timer("frontend.attempts");
+      s->values_entries = &s->registry.gauge("frontend.values_entries");
+      s->node_rtt_us.resize(config_.nodes);
+      for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+        s->node_rtt_us[node] = &s->registry.timer(
+            "frontend.forward_rtt_us.node" + std::to_string(node));
+      }
+      s->loop->set_metrics(&s->registry);
+    }
+    shards_.push_back(std::move(shard));
   }
 
-  if (!loop_.listen(config_.address, config_.port)) return false;
+  if (!pool_.listen(config_.address, config_.port)) return false;
   if (config_.metrics_port >= 0) {
     metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
         [this] { return metrics_snapshot(); });
@@ -85,77 +115,105 @@ bool FrontendServer::start() {
     }
   }
 
-  for (std::uint32_t node = 0; node < config_.nodes; ++node) {
-    BackendState& backend = backends_[node];
-    backend.conn = loop_.connect(backend.address, backend.port);
-    backend_by_conn_[backend.conn] = node;
+  // Every shard keeps its own connection to every backend; forwards never
+  // cross shard boundaries.
+  for (auto& shard : shards_) {
+    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+      BackendState& backend = shard->backends[node];
+      backend.conn = shard->loop->connect(backend.address, backend.port);
+      shard->backend_by_conn[backend.conn] = node;
+    }
+    Shard* s = shard.get();
+    s->loop->run_after(kSweepIntervalS, [this, s] { sweep_timeouts(*s); });
   }
-  loop_.run_after(kSweepIntervalS, [this] { sweep_timeouts(); });
 
-  if (!loop_.start()) return false;
+  if (!pool_.start()) return false;
   SCP_LOG_INFO << "scp_frontend serving on " << config_.address << ":"
-               << loop_.port() << " (n=" << config_.nodes
+               << pool_.port() << " (n=" << config_.nodes
                << " d=" << config_.replication << " cache="
                << config_.cache_policy << "/" << config_.cache_capacity
-               << " router=" << config_.router << ")";
+               << " router=" << config_.router << " shards=" << n_shards
+               << ")";
   return true;
 }
 
 void FrontendServer::stop(double drain_s) {
   stopping_.store(true);
-  // Let in-flight forwards complete before tearing the loop down.
+  // Let in-flight forwards complete before tearing the loops down.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<
                             std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(drain_s));
   while (pending_total_.load() > 0 &&
-         std::chrono::steady_clock::now() < deadline && loop_.running()) {
+         std::chrono::steady_clock::now() < deadline && pool_.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  loop_.stop(drain_s);
+  pool_.stop(drain_s);
   if (metrics_http_ != nullptr) {
     metrics_http_->stop();
   }
 }
 
 bool FrontendServer::wait_backends_up(double timeout_s) const {
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(config_.nodes) * shards_.size();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<
                             std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout_s));
-  while (backends_up_.load() < config_.nodes) {
+  while (true) {
+    std::uint64_t up = 0;
+    for (const auto& shard : shards_) {
+      up += shard->backends_up.load(std::memory_order_relaxed);
+    }
+    if (up >= want) return true;
     if (std::chrono::steady_clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  return true;
 }
 
 ServerStats FrontendServer::stats() const {
   ServerStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.redirects = redirects_.load(std::memory_order_relaxed);
-  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
-  stats.retries = retries_.load(std::memory_order_relaxed);
-  stats.failures = failures_.load(std::memory_order_relaxed);
-  stats.attempts = attempts_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    stats.requests += shard->requests.load(std::memory_order_relaxed);
+    stats.hits += shard->hits.load(std::memory_order_relaxed);
+    stats.misses += shard->misses.load(std::memory_order_relaxed);
+    stats.redirects += shard->redirects.load(std::memory_order_relaxed);
+    stats.forwarded += shard->forwarded.load(std::memory_order_relaxed);
+    stats.retries += shard->retries.load(std::memory_order_relaxed);
+    stats.failures += shard->failures.load(std::memory_order_relaxed);
+    stats.attempts += shard->attempts.load(std::memory_order_relaxed);
+  }
   return stats;
 }
 
 obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
-  obs::MetricsSnapshot snap = registry_.snapshot();
-  const ServerStats s = stats();
-  snap.counters["frontend.requests"] = s.requests;
-  snap.counters["frontend.hits"] = s.hits;
-  snap.counters["frontend.misses"] = s.misses;
-  snap.counters["frontend.redirects"] = s.redirects;
-  snap.counters["frontend.forwarded"] = s.forwarded;
-  snap.counters["frontend.retries"] = s.retries;
-  snap.counters["frontend.failures"] = s.failures;
-  snap.counters["frontend.attempts_total"] = s.attempts;
-  snap.gauges["frontend.backends_up"] =
-      static_cast<std::int64_t>(backends_up_.load(std::memory_order_relaxed));
+  std::vector<obs::MetricsSnapshot> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    obs::MetricsSnapshot snap = shard->registry.snapshot();
+    snap.counters["frontend.requests"] =
+        shard->requests.load(std::memory_order_relaxed);
+    snap.counters["frontend.hits"] =
+        shard->hits.load(std::memory_order_relaxed);
+    snap.counters["frontend.misses"] =
+        shard->misses.load(std::memory_order_relaxed);
+    snap.counters["frontend.redirects"] =
+        shard->redirects.load(std::memory_order_relaxed);
+    snap.counters["frontend.forwarded"] =
+        shard->forwarded.load(std::memory_order_relaxed);
+    snap.counters["frontend.retries"] =
+        shard->retries.load(std::memory_order_relaxed);
+    snap.counters["frontend.failures"] =
+        shard->failures.load(std::memory_order_relaxed);
+    snap.counters["frontend.attempts_total"] =
+        shard->attempts.load(std::memory_order_relaxed);
+    snap.gauges["frontend.backends_up"] = static_cast<std::int64_t>(
+        shard->backends_up.load(std::memory_order_relaxed));
+    per_shard.push_back(std::move(snap));
+  }
+  obs::MetricsSnapshot snap = merge_shard_snapshots("frontend", per_shard);
+  // Shared across shards, so only the aggregate carries it.
   snap.gauges["frontend.pending_requests"] =
       static_cast<std::int64_t>(pending_total_.load(std::memory_order_relaxed));
   return snap;
@@ -165,56 +223,57 @@ std::uint16_t FrontendServer::metrics_http_port() const noexcept {
   return metrics_http_ != nullptr ? metrics_http_->port() : 0;
 }
 
-void FrontendServer::handle(ConnId conn, Message&& message) {
-  auto it = backend_by_conn_.find(conn);
-  if (it != backend_by_conn_.end()) {
-    handle_backend(it->second, std::move(message));
+void FrontendServer::handle(Shard& shard, ConnId conn, Message&& message) {
+  auto it = shard.backend_by_conn.find(conn);
+  if (it != shard.backend_by_conn.end()) {
+    handle_backend(shard, it->second, std::move(message));
   } else {
-    handle_client(conn, std::move(message));
+    handle_client(shard, conn, std::move(message));
   }
 }
 
-void FrontendServer::handle_client(ConnId conn, Message&& message) {
+void FrontendServer::handle_client(Shard& shard, ConnId conn,
+                                   Message&& message) {
   switch (message.type) {
     case MsgType::kGet: {
       const std::uint64_t start_ns =
-          request_us_ != nullptr ? obs::now_ns() : 0;
-      requests_.fetch_add(1, std::memory_order_relaxed);
+          shard.request_us != nullptr ? obs::now_ns() : 0;
+      shard.requests.fetch_add(1, std::memory_order_relaxed);
       std::string value;
-      const bool hit = cache_lookup(message.key, value);
-      obs::record_elapsed(cache_lookup_ns_, start_ns);
+      const bool hit = cache_lookup(shard, message.key, value);
+      obs::record_elapsed(shard.cache_lookup_ns, start_ns);
       if (hit) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
         Message reply;
         reply.type = MsgType::kValue;
         reply.key = message.key;
         reply.payload = std::move(value);
-        loop_.send(conn, reply);
-        obs::record_elapsed(request_us_, start_ns, /*divisor=*/1'000);
+        shard.loop->send(conn, reply);
+        obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
         return;
       }
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      forward(conn, message.key, /*attempts=*/0, start_ns);
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      forward(shard, conn, message.key, /*attempts=*/0, start_ns);
       return;
     }
     case MsgType::kStats: {
       Message reply;
       reply.type = MsgType::kStatsReply;
-      reply.stats = stats();
-      loop_.send(conn, reply);
+      reply.stats = stats();  // aggregated over shards
+      shard.loop->send(conn, reply);
       return;
     }
     case MsgType::kMetricsRequest: {
       Message reply;
       reply.type = MsgType::kMetricsReply;
       reply.metrics = metrics_snapshot();
-      loop_.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
     case MsgType::kPing: {
       Message reply;
       reply.type = MsgType::kPong;
-      loop_.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
     default: {
@@ -222,14 +281,15 @@ void FrontendServer::handle_client(ConnId conn, Message&& message) {
       reply.type = MsgType::kError;
       reply.key = message.key;
       reply.payload = "unexpected message type";
-      loop_.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
   }
 }
 
-void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
-  BackendState& backend = backends_[node];
+void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
+                                    Message&& message) {
+  BackendState& backend = shard.backends[node];
   if (message.type == MsgType::kPong || message.type == MsgType::kStatsReply ||
       message.type == MsgType::kMetricsReply) {
     return;  // health probes; nothing pending
@@ -238,7 +298,7 @@ void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
     // FIFO contract broken — drop the connection; on_conn_close requeues.
     SCP_LOG_WARN << "scp_frontend: reply mismatch from backend " << node
                  << "; resetting connection";
-    loop_.close_connection(backend.conn);
+    shard.loop->close_connection(backend.conn);
     return;
   }
   PendingRequest request = backend.pending.front();
@@ -247,77 +307,78 @@ void FrontendServer::handle_backend(std::uint32_t node, Message&& message) {
 
   switch (message.type) {
     case MsgType::kValue: {
-      admit(message.key, message.payload);
-      complete_request(request, node);
+      admit(shard, message.key, message.payload);
+      complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kValue;
       reply.key = message.key;
       reply.payload = std::move(message.payload);
-      loop_.send(request.client, reply);
+      shard.loop->send(request.client, reply);
       return;
     }
     case MsgType::kMiss: {
       // The fetch produced no value: release the tier slot the lookup
       // admitted, or it sits value-less forever, evicting real entries and
       // turning future hits into forwards.
-      drop_cached(message.key);
-      complete_request(request, node);
+      drop_cached(shard, message.key);
+      complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kMiss;
       reply.key = message.key;
-      loop_.send(request.client, reply);
+      shard.loop->send(request.client, reply);
       return;
     }
     case MsgType::kRedirect: {
       // Seeds agree across the tier, so this indicates misconfiguration;
       // follow the hint once per attempt budget anyway.
-      redirects_.fetch_add(1, std::memory_order_relaxed);
+      shard.redirects.fetch_add(1, std::memory_order_relaxed);
       if (message.node < config_.nodes &&
           request.attempts + 1 < config_.retry.max_attempts()) {
-        forward_to(message.node, request.client, request.key,
+        forward_to(shard, message.node, request.client, request.key,
                    request.attempts + 1, request.start_ns);
       } else {
-        fail_request(request.client, request.key);
+        fail_request(shard, request.client, request.key);
       }
       return;
     }
     default:
-      fail_request(request.client, request.key);
+      fail_request(shard, request.client, request.key);
       return;
   }
 }
 
 /// A pending request was answered by backend `node` (kValue or kMiss):
 /// count it as forwarded exactly once and record its latency decomposition.
-void FrontendServer::complete_request(const PendingRequest& request,
+void FrontendServer::complete_request(Shard& shard,
+                                      const PendingRequest& request,
                                       std::uint32_t node) {
-  forwarded_.fetch_add(1, std::memory_order_relaxed);
-  if (request_us_ == nullptr) return;
+  shard.forwarded.fetch_add(1, std::memory_order_relaxed);
+  if (shard.request_us == nullptr) return;
   const std::uint64_t now = obs::now_ns();
   if (request.sent_ns != 0) {
     const std::uint64_t rtt_us = (now - request.sent_ns) / 1'000;
-    forward_rtt_us_->record(rtt_us);
-    if (node < node_rtt_us_.size()) {
-      node_rtt_us_[node]->record(rtt_us);
+    shard.forward_rtt_us->record(rtt_us);
+    if (node < shard.node_rtt_us.size()) {
+      shard.node_rtt_us[node]->record(rtt_us);
     }
   }
   if (request.start_ns != 0) {
-    request_us_->record((now - request.start_ns) / 1'000);
+    shard.request_us->record((now - request.start_ns) / 1'000);
   }
-  attempts_hist_->record(request.attempts + 1);
+  shard.attempts_hist->record(request.attempts + 1);
 }
 
-void FrontendServer::on_conn_close(ConnId conn) {
-  auto it = backend_by_conn_.find(conn);
-  if (it == backend_by_conn_.end()) {
+void FrontendServer::on_conn_close(Shard& shard, ConnId conn) {
+  auto it = shard.backend_by_conn.find(conn);
+  if (it == shard.backend_by_conn.end()) {
     return;  // client hung up; their pending replies fail at send()
   }
   const std::uint32_t node = it->second;
-  backend_by_conn_.erase(it);
-  BackendState& backend = backends_[node];
+  shard.backend_by_conn.erase(it);
+  BackendState& backend = shard.backends[node];
   if (backend.up) {
     backend.up = false;
-    backends_up_.fetch_sub(1, std::memory_order_relaxed);
+    shard.backends_up.fetch_sub(1, std::memory_order_relaxed);
   }
   backend.conn = kInvalidConn;
 
@@ -325,45 +386,50 @@ void FrontendServer::on_conn_close(ConnId conn) {
   orphaned.swap(backend.pending);
   for (const PendingRequest& request : orphaned) {
     pending_total_.fetch_sub(1, std::memory_order_relaxed);
-    retry_or_fail(request);
+    retry_or_fail(shard, request);
   }
-  schedule_reconnect(node);
+  schedule_reconnect(shard, node);
 }
 
-void FrontendServer::on_conn_connect(ConnId conn, bool ok) {
-  auto it = backend_by_conn_.find(conn);
-  if (it == backend_by_conn_.end()) return;
+void FrontendServer::on_conn_connect(Shard& shard, ConnId conn, bool ok) {
+  auto it = shard.backend_by_conn.find(conn);
+  if (it == shard.backend_by_conn.end()) return;
   const std::uint32_t node = it->second;
-  BackendState& backend = backends_[node];
+  BackendState& backend = shard.backends[node];
   if (ok) {
     backend.up = true;
     backend.connect_attempts = 0;
-    backends_up_.fetch_add(1, std::memory_order_relaxed);
+    shard.backends_up.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  backend_by_conn_.erase(it);
+  shard.backend_by_conn.erase(it);
   backend.conn = kInvalidConn;
-  schedule_reconnect(node);
+  schedule_reconnect(shard, node);
 }
 
-void FrontendServer::schedule_reconnect(std::uint32_t node) {
+void FrontendServer::schedule_reconnect(Shard& shard, std::uint32_t node) {
   if (stopping_.load()) return;
-  BackendState& backend = backends_[node];
+  BackendState& backend = shard.backends[node];
   const double delay =
       std::min(kReconnectBaseS * static_cast<double>(1u << std::min(
                                      backend.connect_attempts, 10u)),
                kReconnectCapS);
   backend.connect_attempts++;
-  loop_.run_after(delay, [this, node] {
+  Shard* s = &shard;
+  shard.loop->run_after(delay, [this, s, node] {
     if (stopping_.load()) return;
-    BackendState& target = backends_[node];
+    BackendState& target = s->backends[node];
     if (target.conn != kInvalidConn) return;  // already reconnecting
-    target.conn = loop_.connect(target.address, target.port);
-    backend_by_conn_[target.conn] = node;
+    target.conn = s->loop->connect(target.address, target.port);
+    s->backend_by_conn[target.conn] = node;
   });
 }
 
-bool FrontendServer::cache_lookup(std::uint64_t key, std::string& value) {
+bool FrontendServer::cache_lookup(Shard& shard, std::uint64_t key,
+                                  std::string& value) {
+  // A key cached by a sibling shard is a miss here by design: shards never
+  // share cache state (see header). owns() is always true at shards == 1.
+  if (!owns(shard, key)) return false;
   if (config_.cache_policy == "perfect") {
     if (key < config_.cache_capacity && key < config_.items) {
       value = make_value(key, config_.value_bytes);
@@ -371,75 +437,78 @@ bool FrontendServer::cache_lookup(std::uint64_t key, std::string& value) {
     }
     return false;
   }
-  if (tier_ == nullptr) return false;
-  if (!tier_->access(key)) return false;
-  auto it = values_.find(key);
-  if (it == values_.end()) return false;  // admitted but not yet fetched
+  if (shard.tier == nullptr) return false;
+  if (!shard.tier->access(key)) return false;
+  auto it = shard.values.find(key);
+  if (it == shard.values.end()) return false;  // admitted but not yet fetched
   value = it->second;
   return true;
 }
 
-void FrontendServer::admit(std::uint64_t key, const std::string& value) {
-  if (tier_ == nullptr) return;
-  if (!tier_->contains(key)) return;  // the policy declined admission
-  values_[key] = value;
+void FrontendServer::admit(Shard& shard, std::uint64_t key,
+                           const std::string& value) {
+  if (shard.tier == nullptr || !owns(shard, key)) return;
+  if (!shard.tier->contains(key)) return;  // the policy declined admission
+  shard.values[key] = value;
   // Reconcile the value side-map with tier membership once it outgrows the
   // tier (policy evictions leave dead entries behind). Only entries the
   // tier no longer holds are dropped — resident values must survive or
   // their tier hits would find no bytes.
-  const std::size_t bound = 4 * tier_->capacity() + 64;
-  if (values_.size() > bound) {
-    for (auto it = values_.begin(); it != values_.end();) {
-      it = tier_->contains(it->first) ? std::next(it) : values_.erase(it);
+  const std::size_t bound = 4 * shard.tier->capacity() + 64;
+  if (shard.values.size() > bound) {
+    for (auto it = shard.values.begin(); it != shard.values.end();) {
+      it = shard.tier->contains(it->first) ? std::next(it)
+                                           : shard.values.erase(it);
     }
   }
-  if (values_entries_ != nullptr) {
-    values_entries_->set(static_cast<std::int64_t>(values_.size()));
+  if (shard.values_entries != nullptr) {
+    shard.values_entries->set(static_cast<std::int64_t>(shard.values.size()));
   }
 }
 
-void FrontendServer::drop_cached(std::uint64_t key) {
-  if (tier_ == nullptr) return;
-  tier_->invalidate(key);
-  values_.erase(key);
-  if (values_entries_ != nullptr) {
-    values_entries_->set(static_cast<std::int64_t>(values_.size()));
+void FrontendServer::drop_cached(Shard& shard, std::uint64_t key) {
+  if (shard.tier == nullptr) return;
+  shard.tier->invalidate(key);
+  shard.values.erase(key);
+  if (shard.values_entries != nullptr) {
+    shard.values_entries->set(static_cast<std::int64_t>(shard.values.size()));
   }
 }
 
-std::uint32_t FrontendServer::route(std::uint64_t key) {
-  partitioner_->replica_group(key, group_);
-  candidates_.clear();
-  for (NodeId node : group_) {
-    if (backends_[node].up) candidates_.push_back(node);
+std::uint32_t FrontendServer::route(Shard& shard, std::uint64_t key) {
+  partitioner_->replica_group(key, shard.group);
+  shard.candidates.clear();
+  for (NodeId node : shard.group) {
+    if (shard.backends[node].up) shard.candidates.push_back(node);
   }
-  if (candidates_.empty()) return kNoBackend;
+  if (shard.candidates.empty()) return kNoBackend;
 
   const std::string& kind = config_.router;
   if (kind == "pinned") {
-    auto it = pins_.find(key);
-    if (it != pins_.end() && backends_[it->second].up) {
+    auto it = shard.pins.find(key);
+    if (it != shard.pins.end() && shard.backends[it->second].up) {
       return it->second;
     }
     const std::size_t pick =
-        least_loaded_pick(candidates_, loads_, rng_);
-    pins_[key] = candidates_[pick];
-    return candidates_[pick];
+        least_loaded_pick(shard.candidates, shard.loads, shard.rng);
+    shard.pins[key] = shard.candidates[pick];
+    return shard.candidates[pick];
   }
   if (kind == "least-loaded") {
-    return candidates_[least_loaded_pick(candidates_, loads_, rng_)];
+    return shard.candidates[least_loaded_pick(shard.candidates, shard.loads,
+                                              shard.rng)];
   }
   if (kind == "random") {
-    return candidates_[rng_.uniform_u64(candidates_.size())];
+    return shard.candidates[shard.rng.uniform_u64(shard.candidates.size())];
   }
   // round-robin over the live members
-  const std::uint32_t turn = rr_[key]++;
-  return candidates_[turn % candidates_.size()];
+  const std::uint32_t turn = shard.rr[key]++;
+  return shard.candidates[turn % shard.candidates.size()];
 }
 
-void FrontendServer::forward(ConnId client, std::uint64_t key,
+void FrontendServer::forward(Shard& shard, ConnId client, std::uint64_t key,
                              std::uint32_t attempts, std::uint64_t start_ns) {
-  const std::uint32_t node = route(key);
+  const std::uint32_t node = route(shard, key);
   if (node == kNoBackend) {
     // No live replica right now; treat like a failed attempt and back off.
     // While stopping, fail immediately: the loop's timers never fire again,
@@ -447,47 +516,50 @@ void FrontendServer::forward(ConnId client, std::uint64_t key,
     // stop() burn its whole drain budget.
     if (attempts + 1 < config_.retry.max_attempts() && !stopping_.load()) {
       pending_total_.fetch_add(1, std::memory_order_relaxed);
-      loop_.run_after(config_.retry.backoff_s(attempts),
-                      [this, client, key, attempts, start_ns] {
-                        pending_total_.fetch_sub(1, std::memory_order_relaxed);
-                        forward(client, key, attempts + 1, start_ns);
-                      });
+      Shard* s = &shard;
+      shard.loop->run_after(config_.retry.backoff_s(attempts),
+                            [this, s, client, key, attempts, start_ns] {
+                              pending_total_.fetch_sub(
+                                  1, std::memory_order_relaxed);
+                              forward(*s, client, key, attempts + 1, start_ns);
+                            });
     } else {
-      fail_request(client, key);
+      fail_request(shard, client, key);
     }
     return;
   }
-  forward_to(node, client, key, attempts, start_ns);
+  forward_to(shard, node, client, key, attempts, start_ns);
 }
 
-void FrontendServer::forward_to(std::uint32_t node, ConnId client,
-                                std::uint64_t key, std::uint32_t attempts,
+void FrontendServer::forward_to(Shard& shard, std::uint32_t node,
+                                ConnId client, std::uint64_t key,
+                                std::uint32_t attempts,
                                 std::uint64_t start_ns) {
-  BackendState& backend = backends_[node];
+  BackendState& backend = shard.backends[node];
   if (!backend.up) {
-    forward(client, key, attempts, start_ns);  // re-route via live members
+    forward(shard, client, key, attempts, start_ns);  // re-route via live
     return;
   }
   Message request;
   request.type = MsgType::kGet;
   request.key = key;
-  if (!loop_.send(backend.conn, request)) {
-    forward(client, key, attempts, start_ns);
+  if (!shard.loop->send(backend.conn, request)) {
+    forward(shard, client, key, attempts, start_ns);
     return;
   }
   // One wire send. `forwarded` is only counted when a backend answers the
   // request (in complete_request), so requests == hits + forwarded +
   // failures holds; `attempts` counts sends, `retries` the re-sends.
-  attempts_.fetch_add(1, std::memory_order_relaxed);
-  if (attempts > 0) retries_.fetch_add(1, std::memory_order_relaxed);
-  loads_[node] += 1.0;
+  shard.attempts.fetch_add(1, std::memory_order_relaxed);
+  if (attempts > 0) shard.retries.fetch_add(1, std::memory_order_relaxed);
+  shard.loads[node] += 1.0;
 
   PendingRequest pending;
   pending.client = client;
   pending.key = key;
   pending.attempts = attempts;
   pending.start_ns = start_ns;
-  pending.sent_ns = request_us_ != nullptr ? obs::now_ns() : 0;
+  pending.sent_ns = shard.request_us != nullptr ? obs::now_ns() : 0;
   pending.deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -496,7 +568,8 @@ void FrontendServer::forward_to(std::uint32_t node, ConnId client,
   pending_total_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void FrontendServer::retry_or_fail(const PendingRequest& request) {
+void FrontendServer::retry_or_fail(Shard& shard,
+                                   const PendingRequest& request) {
   if (request.attempts + 1 < config_.retry.max_attempts() &&
       !stopping_.load()) {
     const double backoff = config_.retry.backoff_s(request.attempts);
@@ -505,39 +578,44 @@ void FrontendServer::retry_or_fail(const PendingRequest& request) {
     const std::uint32_t next_attempt = request.attempts + 1;
     const std::uint64_t start_ns = request.start_ns;
     pending_total_.fetch_add(1, std::memory_order_relaxed);
-    loop_.run_after(backoff, [this, client, key, next_attempt, start_ns] {
-      pending_total_.fetch_sub(1, std::memory_order_relaxed);
-      forward(client, key, next_attempt, start_ns);
-    });
+    Shard* s = &shard;
+    shard.loop->run_after(backoff,
+                          [this, s, client, key, next_attempt, start_ns] {
+                            pending_total_.fetch_sub(1,
+                                                     std::memory_order_relaxed);
+                            forward(*s, client, key, next_attempt, start_ns);
+                          });
   } else {
-    fail_request(request.client, request.key);
+    fail_request(shard, request.client, request.key);
   }
 }
 
-void FrontendServer::fail_request(ConnId client, std::uint64_t key) {
+void FrontendServer::fail_request(Shard& shard, ConnId client,
+                                  std::uint64_t key) {
   // A failed fetch leaves no bytes behind either — release any value-less
   // tier slot the lookup admitted.
-  drop_cached(key);
-  failures_.fetch_add(1, std::memory_order_relaxed);
+  drop_cached(shard, key);
+  shard.failures.fetch_add(1, std::memory_order_relaxed);
   Message reply;
   reply.type = MsgType::kError;
   reply.key = key;
   reply.payload = "no live replica";
-  loop_.send(client, reply);
+  shard.loop->send(client, reply);
 }
 
-void FrontendServer::sweep_timeouts() {
+void FrontendServer::sweep_timeouts(Shard& shard) {
   if (stopping_.load()) return;
   const auto now = std::chrono::steady_clock::now();
-  for (BackendState& backend : backends_) {
+  for (BackendState& backend : shard.backends) {
     if (backend.conn != kInvalidConn && !backend.pending.empty() &&
         backend.pending.front().deadline <= now) {
       // Head-of-line timeout: everything behind it is late too. Reset the
       // connection; on_conn_close retries the whole queue elsewhere.
-      loop_.close_connection(backend.conn);
+      shard.loop->close_connection(backend.conn);
     }
   }
-  loop_.run_after(kSweepIntervalS, [this] { sweep_timeouts(); });
+  Shard* s = &shard;
+  shard.loop->run_after(kSweepIntervalS, [this, s] { sweep_timeouts(*s); });
 }
 
 }  // namespace scp::net

@@ -14,6 +14,23 @@
 // answers GETs in order, so the head of that connection's pending queue is
 // always the reply's owner (the key is cross-checked; a mismatch is a
 // protocol error and drops the connection).
+//
+// Sharding (config.shards = N > 1): a ReactorPool runs N reactors sharing
+// the listening port via SO_REUSEPORT, and every piece of per-request state
+// — cache, backend connections, pending queues, router state, RNG, metrics
+// registry — lives inside one Shard, touched only by that shard's loop
+// thread (no locks on the request path). The front-end cache is
+// hash-partitioned, not duplicated: shard k owns keys with
+// mix64(key) % N == k and gets capacity ⌈c/N⌉ or ⌊c/N⌋ of the configured c,
+// so total cache footprint stays c. The paper's model has one cache of
+// capacity c in front of the cluster; the sharded FE approximates it with
+// the same aggregate capacity, at the cost that a GET landing (by kernel
+// connection placement) on a shard that doesn't own its key is a miss and
+// forwards even when a sibling shard holds the value — under random conn
+// placement the aggregate hit rate scales like 1/N of the keys a client
+// happens to reach the owning shard for. Routers run per shard (each shard
+// pins keys and tracks loads from its own forwards). shards == 1 is
+// byte-identical to the unsharded server.
 #pragma once
 
 #include <atomic>
@@ -28,7 +45,7 @@
 #include "cluster/partitioner.h"
 #include "cluster/routing.h"
 #include "common/rng.h"
-#include "net/frame_loop.h"
+#include "net/reactor_pool.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 
@@ -48,7 +65,7 @@ struct FrontendConfig {
   /// "perfect" (Assumption-2 oracle over the rank-canonical key space),
   /// "none", or a FrontEndTier policy: lru | lfu | slru | tinylfu.
   std::string cache_policy = "perfect";
-  std::size_t cache_capacity = 0;  ///< entries per front-end cache (c)
+  std::size_t cache_capacity = 0;  ///< total entries across shards (c)
   std::uint32_t frontends = 1;     ///< tier width k (policy caches only)
   std::uint64_t items = 0;         ///< key space size m (perfect cache bound)
   std::uint32_t value_bytes = 64;  ///< perfect-cache value synthesis
@@ -64,6 +81,11 @@ struct FrontendConfig {
   bool metrics = true;
   /// Prometheus endpoint: -1 = none, 0 = kernel-assigned, else fixed port.
   std::int32_t metrics_port = -1;
+  /// Reactor shards (see file comment). Each shard holds its own backend
+  /// connections and a hash-partitioned slice of the cache.
+  std::uint32_t shards = 1;
+  /// Test hook: force the single-acceptor round-robin accept path.
+  bool force_fallback_accept = false;
 };
 
 class FrontendServer {
@@ -71,33 +93,37 @@ class FrontendServer {
   explicit FrontendServer(FrontendConfig config);
   ~FrontendServer();
 
-  /// Binds, queues backend connections and starts the loop. False on a bind
-  /// failure or a config.backends/nodes mismatch.
+  /// Binds, queues backend connections and starts the loops. False on a
+  /// bind failure or a config.backends/nodes mismatch.
   bool start();
   /// Graceful stop: waits for in-flight forwards (up to drain_s), then
-  /// drains queued replies.
+  /// drains queued replies on every shard.
   void stop(double drain_s = 1.0);
 
-  std::uint16_t port() const noexcept { return loop_.port(); }
-  bool running() const noexcept { return loop_.running(); }
+  std::uint16_t port() const noexcept { return pool_.port(); }
+  bool running() const noexcept { return pool_.running(); }
 
-  /// Blocks until every backend connection is established (true) or the
-  /// timeout expires (false). Call after start().
+  /// Blocks until every backend connection of every shard is established
+  /// (true) or the timeout expires (false). Call after start().
   bool wait_backends_up(double timeout_s) const;
 
-  /// Counter snapshot (thread-safe).
+  /// Counter snapshot, aggregated across shards (thread-safe).
   ServerStats stats() const;
 
-  /// Full metrics snapshot: registry histograms plus the ServerStats
-  /// counters under "frontend.*" names (thread-safe).
+  /// Full metrics snapshot: shard registries merged, plus the ServerStats
+  /// counters under "frontend.*" names. With shards > 1 each shard's series
+  /// also appear as "frontend.shardK.*" (thread-safe).
   obs::MetricsSnapshot metrics_snapshot() const;
 
   /// Bound Prometheus endpoint port, or 0 when config.metrics_port == -1.
   std::uint16_t metrics_http_port() const noexcept;
 
-  /// Loop-thread-only introspection for tests: live backend_by_conn_ size.
+  /// Introspection for tests: live backend_by_conn entries summed over
+  /// shards. Only stable while the shard loops are quiescent or stopped.
   std::size_t backend_conn_entries() const noexcept {
-    return backend_by_conn_.size();
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->backend_by_conn.size();
+    return total;
   }
 
  private:
@@ -121,63 +147,85 @@ class FrontendServer {
     std::deque<PendingRequest> pending;  ///< FIFO on this connection
   };
 
-  void handle(ConnId conn, Message&& message);
-  void handle_client(ConnId conn, Message&& message);
-  void handle_backend(std::uint32_t node, Message&& message);
-  void on_conn_close(ConnId conn);
-  void on_conn_connect(ConnId conn, bool ok);
+  /// Everything one reactor touches on the request path. Owned by the shard
+  /// loop's thread after start(); the only cross-thread reads are the stat
+  /// atomics and the registry (scrapes).
+  struct Shard {
+    std::size_t index = 0;
+    FrameLoop* loop = nullptr;
+    std::unique_ptr<FrontEndTier> tier;  // null for perfect/none/empty slice
+    std::size_t cache_capacity = 0;      // this shard's slice of c
+    std::unordered_map<std::uint64_t, std::string> values;  // tier contents
+    Rng rng{1};
 
-  bool cache_lookup(std::uint64_t key, std::string& value);
-  void admit(std::uint64_t key, const std::string& value);
-  void drop_cached(std::uint64_t key);
-  void complete_request(const PendingRequest& request, std::uint32_t node);
+    std::vector<BackendState> backends;
+    std::unordered_map<ConnId, std::uint32_t> backend_by_conn;
+    std::vector<double> loads;  ///< forwarded count per backend (routing)
+    std::unordered_map<std::uint64_t, std::uint32_t> pins;  // pinned router
+    std::unordered_map<std::uint64_t, std::uint32_t> rr;    // round-robin
+    std::vector<NodeId> group;       // replica-group scratch
+    std::vector<NodeId> candidates;  // live-members scratch
 
-  void forward(ConnId client, std::uint64_t key, std::uint32_t attempts,
-               std::uint64_t start_ns);
-  void forward_to(std::uint32_t node, ConnId client, std::uint64_t key,
-                  std::uint32_t attempts, std::uint64_t start_ns);
-  std::uint32_t route(std::uint64_t key);
-  void retry_or_fail(const PendingRequest& request);
-  void fail_request(ConnId client, std::uint64_t key);
-  void schedule_reconnect(std::uint32_t node);
-  void sweep_timeouts();
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> redirects{0};
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint32_t> backends_up{0};
+
+    obs::MetricsRegistry registry;
+    // Cached metric handles; all null when config.metrics is off.
+    obs::Timer* cache_lookup_ns = nullptr;
+    obs::Timer* request_us = nullptr;
+    obs::Timer* forward_rtt_us = nullptr;
+    obs::Timer* attempts_hist = nullptr;
+    obs::Gauge* values_entries = nullptr;
+    std::vector<obs::Timer*> node_rtt_us;  // per-backend forward RTT
+  };
+
+  /// Cache-partition owner of `key` (hash, not the cluster partitioner —
+  /// the FE cache shards are unrelated to backend replica groups).
+  std::size_t shard_of(std::uint64_t key) const noexcept;
+  bool owns(const Shard& shard, std::uint64_t key) const noexcept {
+    return shards_.size() == 1 || shard_of(key) == shard.index;
+  }
+
+  void handle(Shard& shard, ConnId conn, Message&& message);
+  void handle_client(Shard& shard, ConnId conn, Message&& message);
+  void handle_backend(Shard& shard, std::uint32_t node, Message&& message);
+  void on_conn_close(Shard& shard, ConnId conn);
+  void on_conn_connect(Shard& shard, ConnId conn, bool ok);
+
+  bool cache_lookup(Shard& shard, std::uint64_t key, std::string& value);
+  void admit(Shard& shard, std::uint64_t key, const std::string& value);
+  void drop_cached(Shard& shard, std::uint64_t key);
+  void complete_request(Shard& shard, const PendingRequest& request,
+                        std::uint32_t node);
+
+  void forward(Shard& shard, ConnId client, std::uint64_t key,
+               std::uint32_t attempts, std::uint64_t start_ns);
+  void forward_to(Shard& shard, std::uint32_t node, ConnId client,
+                  std::uint64_t key, std::uint32_t attempts,
+                  std::uint64_t start_ns);
+  std::uint32_t route(Shard& shard, std::uint64_t key);
+  void retry_or_fail(Shard& shard, const PendingRequest& request);
+  void fail_request(Shard& shard, ConnId client, std::uint64_t key);
+  void schedule_reconnect(Shard& shard, std::uint32_t node);
+  void sweep_timeouts(Shard& shard);
 
   FrontendConfig config_;
   std::unique_ptr<ReplicaPartitioner> partitioner_;
-  std::unique_ptr<FrontEndTier> tier_;  // null for perfect/none
-  std::unordered_map<std::uint64_t, std::string> values_;  // tier contents
-  FrameLoop loop_;
-  Rng rng_;
+  ReactorPool pool_;
+  // unique_ptr: Shard holds atomics and a registry, neither movable.
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::vector<BackendState> backends_;
-  std::unordered_map<ConnId, std::uint32_t> backend_by_conn_;
-  std::vector<double> loads_;  ///< forwarded count per backend (routing)
-  std::unordered_map<std::uint64_t, std::uint32_t> pins_;  // pinned router
-  std::unordered_map<std::uint64_t, std::uint32_t> rr_;    // round-robin
-  std::vector<NodeId> group_;       // replica-group scratch
-  std::vector<NodeId> candidates_;  // live-members scratch
-
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> redirects_{0};
-  std::atomic<std::uint64_t> forwarded_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> failures_{0};
-  std::atomic<std::uint64_t> attempts_{0};
   std::atomic<std::uint64_t> pending_total_{0};
-  std::atomic<std::uint32_t> backends_up_{0};
   std::atomic<bool> stopping_{false};
 
-  obs::MetricsRegistry registry_;
   std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
-  // Cached metric handles; all null when config.metrics is off.
-  obs::Timer* cache_lookup_ns_ = nullptr;
-  obs::Timer* request_us_ = nullptr;
-  obs::Timer* forward_rtt_us_ = nullptr;
-  obs::Timer* attempts_hist_ = nullptr;
-  obs::Gauge* values_entries_ = nullptr;
-  std::vector<obs::Timer*> node_rtt_us_;  // per-backend forward RTT
 };
 
 }  // namespace scp::net

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   std::uint64_t replication = config.replication;
   std::uint64_t items = config.items;
   std::uint64_t value_bytes = config.value_bytes;
+  std::uint64_t shards = config.shards;
   double drain_s = 1.0;
   std::int64_t metrics_port = -1;
 
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
                    "partitioner seed (must match the whole tier)");
   flags.add_uint64("items", &items, "preload keys 0..items-1 where owned");
   flags.add_uint64("value-bytes", &value_bytes, "stored value size");
+  flags.add_uint64("shards", &shards,
+                   "reactor shards sharing the port via SO_REUSEPORT");
   flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
   flags.add_bool("metrics", &config.metrics,
                  "hot-path histograms (service time, loop ticks)");
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
   config.items = items;
   config.value_bytes = static_cast<std::uint32_t>(value_bytes);
   config.metrics_port = static_cast<std::int32_t>(metrics_port);
+  config.shards = static_cast<std::uint32_t>(shards == 0 ? 1 : shards);
   if (config.node_id >= config.nodes || config.replication == 0 ||
       config.replication > config.nodes) {
     std::fprintf(stderr, "scp_backend: need 0 <= node < nodes and 0 < d <= n\n");

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   std::uint64_t items = config.items;
   std::uint64_t value_bytes = config.value_bytes;
   std::uint64_t max_retries = config.retry.max_retries;
+  std::uint64_t shards = config.shards;
   std::string backends_list;
   double drain_s = 1.0;
   std::int64_t metrics_port = -1;
@@ -95,6 +96,9 @@ int main(int argc, char** argv) {
   flags.add_double("retry-timeout", &config.retry.timeout_s,
                    "per-request timeout (seconds)");
   flags.add_uint64("seed", &config.seed, "routing tie-break seed");
+  flags.add_uint64("shards", &shards,
+                   "reactor shards sharing the port via SO_REUSEPORT; the "
+                   "cache capacity c is split c/N across them");
   flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
   flags.add_bool("metrics", &config.metrics,
                  "hot-path histograms (lookup, RTT, request latency)");
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
   config.value_bytes = static_cast<std::uint32_t>(value_bytes);
   config.retry.max_retries = static_cast<std::uint32_t>(max_retries);
   config.metrics_port = static_cast<std::int32_t>(metrics_port);
+  config.shards = static_cast<std::uint32_t>(shards == 0 ? 1 : shards);
   if (!parse_backends(backends_list, config.backends)) {
     std::fprintf(stderr, "scp_frontend: bad --backends entry\n");
     return 2;

@@ -48,7 +48,7 @@ bool set_nodelay(int fd) noexcept {
 }
 
 Socket listen_tcp(const std::string& address, std::uint16_t port, int backlog,
-                  std::uint16_t* bound_port) {
+                  std::uint16_t* bound_port, bool reuse_port) {
   sockaddr_in addr{};
   if (!make_address(address, port, addr)) return {};
 
@@ -59,6 +59,18 @@ Socket listen_tcp(const std::string& address, std::uint16_t port, int backlog,
   }
   int one = 1;
   ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+      SCP_LOG_WARN << "net: SO_REUSEPORT unsupported: " << std::strerror(errno);
+      return {};
+    }
+#else
+    SCP_LOG_WARN << "net: SO_REUSEPORT not available on this platform";
+    return {};
+#endif
+  }
   if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     SCP_LOG_ERROR << "net: bind(" << address << ":" << port

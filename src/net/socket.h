@@ -52,8 +52,13 @@ bool set_nodelay(int fd) noexcept;
 /// Creates a listening TCP socket bound to address:port (SO_REUSEADDR set;
 /// port 0 = kernel-assigned). On success writes the actually bound port to
 /// `bound_port` (when non-null) and returns the socket; invalid on failure.
+/// With `reuse_port` the socket is additionally bound with SO_REUSEPORT so
+/// several listeners can share one port and the kernel spreads accepted
+/// connections across them (the multi-reactor accept path). When the
+/// platform rejects SO_REUSEPORT the bind fails — callers fall back to a
+/// single acceptor.
 Socket listen_tcp(const std::string& address, std::uint16_t port, int backlog,
-                  std::uint16_t* bound_port);
+                  std::uint16_t* bound_port, bool reuse_port = false);
 
 /// Starts a non-blocking connect. On return the socket is either connected,
 /// in progress (`*in_progress` = true; completion is signaled by

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <cassert>
 #include <cerrno>
 #include <chrono>
 
@@ -72,6 +73,11 @@ std::optional<Message> SyncClient::call(const Message& request,
         disconnect();
         return std::nullopt;
       }
+      // Strictly synchronous contract: one reply per request, so nothing may
+      // remain buffered once the reply is decoded. Leftover bytes mean the
+      // server pipelined an unrequested frame (or ordering broke).
+      assert(reader_.buffered_bytes() == 0 &&
+             "SyncClient: server sent bytes beyond the single expected reply");
       return message;
     }
     if (reader_.corrupted()) {

@@ -1,8 +1,16 @@
 // Blocking request/reply client for the SCP wire protocol.
 //
 // One TCP connection, strictly synchronous call() — exactly what a load
-// generator thread or a test needs. Not thread-safe; give each thread its
-// own client.
+// generator thread or a test needs. NOT thread-safe and never will be: the
+// reply stream is matched to requests purely by ordering, so two threads
+// sharing a client would interleave frames. Give each thread its own client;
+// against a sharded (SO_REUSEPORT) server each connection lands on one
+// shard for its whole lifetime, so a client sees exactly one shard's cache.
+//
+// Failure handling is drop-and-reconnect by design: every call() failure
+// (timeout, peer close, protocol error) closes the socket, which guarantees
+// a late reply to a timed-out request can never be mis-matched to the next
+// call() on a reused connection.
 #pragma once
 
 #include <cstdint>
@@ -19,14 +27,16 @@ class SyncClient {
   SyncClient() = default;
 
   /// Connects (blocking, with timeout). False on refusal or timeout.
+  /// Reconnecting an already-connected client drops the old connection and
+  /// any reply still in flight on it.
   bool connect(const std::string& address, std::uint16_t port,
                double timeout_s = 1.0);
   void disconnect() { sock_.reset(); }
   bool connected() const noexcept { return sock_.valid(); }
 
-  /// Sends `request` and blocks for the reply. nullopt on timeout, a peer
-  /// close, or a protocol error — the connection is dropped in every
-  /// failure case, so the caller can simply reconnect.
+  /// Sends `request` and blocks for the reply. nullopt when not connected,
+  /// on timeout, a peer close, or a protocol error — the connection is
+  /// dropped in every failure case, so the caller can simply reconnect.
   std::optional<Message> call(const Message& request, double timeout_s = 1.0);
 
   /// GET convenience wrapper.

@@ -76,7 +76,18 @@ class Cursor {
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& message) {
-  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> frame;
+  encode_into(message, frame);
+  return frame;
+}
+
+void encode_into(const Message& message, std::vector<std::uint8_t>& frame) {
+  // Encode the payload directly after a placeholder length prefix, then
+  // patch the prefix — one buffer, no payload-to-frame copy, and no heap
+  // traffic at all once `frame` has warmed up to the flow's frame size.
+  frame.clear();
+  std::vector<std::uint8_t>& payload = frame;
+  put_u32(payload, 0);  // length prefix, patched below
   put_u8(payload, static_cast<std::uint8_t>(message.type));
   switch (message.type) {
     case MsgType::kGet:
@@ -140,11 +151,12 @@ std::vector<std::uint8_t> encode(const Message& message) {
       put_bytes(payload, message.payload);
       break;
   }
-  std::vector<std::uint8_t> frame;
-  frame.reserve(kLengthPrefixBytes + payload.size());
-  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  return frame;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(frame.size() - kLengthPrefixBytes);
+  frame[0] = static_cast<std::uint8_t>(length >> 24);
+  frame[1] = static_cast<std::uint8_t>(length >> 16);
+  frame[2] = static_cast<std::uint8_t>(length >> 8);
+  frame[3] = static_cast<std::uint8_t>(length);
 }
 
 std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
@@ -267,26 +279,37 @@ void FrameReader::append(std::span<const std::uint8_t> data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
 }
 
-std::optional<std::vector<std::uint8_t>> FrameReader::next_payload() {
-  if (corrupted_) return std::nullopt;
-  if (buffer_.size() - offset_ < kLengthPrefixBytes) return std::nullopt;
-  const std::uint32_t length =
-      (static_cast<std::uint32_t>(buffer_[offset_]) << 24) |
-      (static_cast<std::uint32_t>(buffer_[offset_ + 1]) << 16) |
-      (static_cast<std::uint32_t>(buffer_[offset_ + 2]) << 8) |
-      static_cast<std::uint32_t>(buffer_[offset_ + 3]);
+bool FrameReader::peek_frame(std::uint32_t& length) {
+  if (corrupted_) return false;
+  if (buffer_.size() - offset_ < kLengthPrefixBytes) return false;
+  length = (static_cast<std::uint32_t>(buffer_[offset_]) << 24) |
+           (static_cast<std::uint32_t>(buffer_[offset_ + 1]) << 16) |
+           (static_cast<std::uint32_t>(buffer_[offset_ + 2]) << 8) |
+           static_cast<std::uint32_t>(buffer_[offset_ + 3]);
   if (length > max_payload_) {
     corrupted_ = true;
-    return std::nullopt;
+    return false;
   }
-  if (buffer_.size() - offset_ < kLengthPrefixBytes + length) {
-    return std::nullopt;
-  }
+  return buffer_.size() - offset_ >= kLengthPrefixBytes + length;
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next_payload() {
+  std::uint32_t length = 0;
+  if (!peek_frame(length)) return std::nullopt;
   const auto begin =
       buffer_.begin() + static_cast<std::ptrdiff_t>(offset_ +
                                                     kLengthPrefixBytes);
   std::vector<std::uint8_t> payload(begin,
                                     begin + static_cast<std::ptrdiff_t>(length));
+  offset_ += kLengthPrefixBytes + length;
+  return payload;
+}
+
+std::optional<std::span<const std::uint8_t>> FrameReader::next_frame() {
+  std::uint32_t length = 0;
+  if (!peek_frame(length)) return std::nullopt;
+  const std::span<const std::uint8_t> payload(
+      buffer_.data() + offset_ + kLengthPrefixBytes, length);
   offset_ += kLengthPrefixBytes + length;
   return payload;
 }

@@ -74,6 +74,12 @@ struct Message {
 /// Serializes a message as one complete frame (length prefix included).
 std::vector<std::uint8_t> encode(const Message& message);
 
+/// Serializes into `frame` (cleared first), reusing its capacity — the
+/// hot-path form: a server encoding into a per-connection scratch buffer
+/// pays zero heap allocations per frame once the buffer has grown to the
+/// working set's frame size. Byte-identical to encode().
+void encode_into(const Message& message, std::vector<std::uint8_t>& frame);
+
 /// Parses one frame payload (the bytes after the length prefix). Strict:
 /// returns nullopt on an unknown type, a truncated field, an embedded length
 /// that overruns the payload, or trailing bytes.
@@ -94,12 +100,37 @@ class FrameReader {
   /// stream is corrupted).
   std::optional<std::vector<std::uint8_t>> next_payload();
 
+  /// Zero-copy variant: a view into the internal buffer, valid only until
+  /// the next append()/next_frame()/next_payload() call. The reactor's read
+  /// path decodes straight from this view, so a frame costs no allocation
+  /// beyond what decode itself needs.
+  std::optional<std::span<const std::uint8_t>> next_frame();
+
   bool corrupted() const noexcept { return corrupted_; }
   std::size_t buffered_bytes() const noexcept {
     return buffer_.size() - offset_;
   }
 
+  /// Buffer recycling across connections: a reactor hands a retiring
+  /// reader's storage to the next accepted connection so steady-state accept
+  /// churn stops allocating read buffers. adopt_storage() keeps only the
+  /// capacity (contents are discarded; the reader must be freshly
+  /// constructed or fully drained).
+  void adopt_storage(std::vector<std::uint8_t>&& storage) {
+    buffer_ = std::move(storage);
+    buffer_.clear();
+    offset_ = 0;
+  }
+  std::vector<std::uint8_t> release_storage() {
+    offset_ = 0;
+    return std::move(buffer_);
+  }
+
  private:
+  /// Parses the length prefix at offset_. Returns false when no complete
+  /// frame is buffered or the stream is corrupted.
+  bool peek_frame(std::uint32_t& length);
+
   std::vector<std::uint8_t> buffer_;
   std::size_t offset_ = 0;
   std::uint32_t max_payload_;

@@ -100,6 +100,38 @@ TEST(Wire, RoundTripEveryMessageType) {
   }
 }
 
+TEST(Wire, EncodeIntoIsByteIdenticalToEncode) {
+  // The reactors' zero-allocation hot path must never diverge from encode():
+  // the --shards 1 equivalence guard depends on identical bytes on the wire.
+  std::vector<std::uint8_t> scratch;
+  for (const Message& message : every_message_type()) {
+    const std::vector<std::uint8_t> fresh = encode(message);
+    encode_into(message, scratch);
+    EXPECT_EQ(scratch, fresh) << "type=" << static_cast<int>(message.type);
+  }
+}
+
+TEST(Wire, EncodeIntoReusesCapacityAcrossFrames) {
+  Message big;
+  big.type = MsgType::kValue;
+  big.key = 1;
+  big.payload.assign(4096, 'x');
+  std::vector<std::uint8_t> scratch;
+  encode_into(big, scratch);
+  const std::size_t grown = scratch.capacity();
+  const std::uint8_t* data = scratch.data();
+
+  // A smaller frame re-encoded into the same scratch must not shrink or
+  // reallocate it — that stability is what makes the per-frame cost zero.
+  Message small;
+  small.type = MsgType::kGet;
+  small.key = 2;
+  encode_into(small, scratch);
+  EXPECT_EQ(scratch.capacity(), grown);
+  EXPECT_EQ(scratch.data(), data);
+  EXPECT_EQ(scratch, encode(small));
+}
+
 TEST(Wire, LengthPrefixMatchesPayload) {
   Message message;
   message.type = MsgType::kValue;
@@ -218,6 +250,76 @@ TEST(FrameReaderTest, MaxSizedFrameIsAccepted) {
   auto decoded = decode_payload(*payload);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->payload.size(), message.payload.size());
+}
+
+TEST(FrameReaderTest, NextFrameYieldsSameBytesAsNextPayload) {
+  const std::vector<Message> messages = every_message_type();
+  std::vector<std::uint8_t> stream;
+  for (const Message& message : messages) {
+    const std::vector<std::uint8_t> frame = encode(message);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameReader reader;
+    std::vector<Message> decoded;
+    for (std::size_t offset = 0; offset < stream.size(); offset += chunk) {
+      const std::size_t len = std::min(chunk, stream.size() - offset);
+      reader.append({stream.data() + offset, len});
+      // The zero-copy view is valid until the next reader call; decode
+      // immediately, exactly as the reactor's read path does.
+      while (auto view = reader.next_frame()) {
+        auto message = decode_payload(*view);
+        ASSERT_TRUE(message.has_value()) << "chunk=" << chunk;
+        decoded.push_back(std::move(*message));
+      }
+    }
+    ASSERT_FALSE(reader.corrupted());
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+    ASSERT_EQ(decoded.size(), messages.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      EXPECT_EQ(decoded[i], messages[i]) << "chunk=" << chunk << " i=" << i;
+    }
+  }
+}
+
+TEST(FrameReaderTest, NextFrameRespectsCorruption) {
+  FrameReader reader;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  const std::uint8_t prefix[] = {
+      static_cast<std::uint8_t>(huge >> 24), static_cast<std::uint8_t>(huge >> 16),
+      static_cast<std::uint8_t>(huge >> 8), static_cast<std::uint8_t>(huge)};
+  reader.append(prefix);
+  EXPECT_FALSE(reader.next_frame().has_value());
+  EXPECT_TRUE(reader.corrupted());
+}
+
+TEST(FrameReaderTest, StorageRecyclingKeepsCapacityAndDropsContents) {
+  Message message;
+  message.type = MsgType::kValue;
+  message.key = 9;
+  message.payload.assign(2048, 'y');
+  const std::vector<std::uint8_t> frame = encode(message);
+
+  FrameReader first;
+  first.append(frame);
+  ASSERT_TRUE(first.next_frame().has_value());
+
+  // Retire the first reader and hand its storage to a new connection's
+  // reader, as FrameLoop does through the per-loop buffer pool.
+  std::vector<std::uint8_t> storage = first.release_storage();
+  const std::size_t recycled_capacity = storage.capacity();
+  EXPECT_GE(recycled_capacity, frame.size());
+
+  FrameReader second;
+  second.adopt_storage(std::move(storage));
+  EXPECT_EQ(second.buffered_bytes(), 0u);  // capacity only, no stale bytes
+  second.append(frame);
+  auto view = second.next_frame();
+  ASSERT_TRUE(view.has_value());
+  const auto decoded = decode_payload(*view);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
 }
 
 TEST(FrameReaderTest, PartialFrameStaysBuffered) {
