@@ -70,6 +70,9 @@ struct LiveFlags {
   std::uint64_t seed = 20130708;
   std::uint64_t fe_shards = 1;   // front-end reactor shards
   std::string shard_sweep;       // "1,2,4": one full run per shard count
+  std::string reactor = "epoll";  // event loop backend: epoll | uring
+  net::ReactorKind reactor_kind = net::ReactorKind::kEpoll;  // parsed
+  bool busy_poll = false;        // uring only: SQPOLL + spin-peek
   bool metrics = true;  // server-side histograms (off = overhead baseline)
   std::string csv;
   std::string json;
@@ -250,6 +253,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     config.items = flags.m;
     config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
     config.metrics = flags.metrics;
+    config.reactor = flags.reactor_kind;
+    config.busy_poll = flags.busy_poll;
     auto backend = std::make_unique<net::BackendServer>(config);
     if (!backend->start()) {
       std::fprintf(stderr, "live_serving: backend %u failed to start\n", node);
@@ -273,6 +278,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   fe_config.seed = derive_seed(flags.seed, 3);
   fe_config.metrics = flags.metrics;
   fe_config.shards = static_cast<std::uint32_t>(fe_shards);
+  fe_config.reactor = flags.reactor_kind;
+  fe_config.busy_poll = flags.busy_poll;
   net::FrontendServer frontend(fe_config);
   if (!frontend.start()) {
     std::fprintf(stderr, "live_serving: frontend failed to start\n");
@@ -299,11 +306,13 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   std::vector<WorkerResult> results(flags.threads);
   std::vector<std::thread> workers;
   std::vector<std::uint64_t> warmup_requests(flags.n, 0);
+  std::uint64_t warmup_fe_syscalls = 0;
   std::thread snapshotter([&] {
     std::this_thread::sleep_until(measure_from);
     for (std::uint32_t node = 0; node < flags.n; ++node) {
       warmup_requests[node] = backends[node]->stats().requests;
     }
+    warmup_fe_syscalls = frontend.loop_totals().syscalls;
   });
   for (std::uint64_t t = 0; t < flags.threads; ++t) {
     workers.emplace_back(run_worker, "127.0.0.1", frontend.port(),
@@ -314,6 +323,10 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   }
   for (std::thread& worker : workers) worker.join();
   snapshotter.join();
+  // Read before the metrics scrape below: scraping goes over the wire and
+  // would bill its own recv/send syscalls to the serving path.
+  const std::uint64_t fe_syscalls =
+      frontend.loop_totals().syscalls - warmup_fe_syscalls;
 
   // --- collect ------------------------------------------------------------
   std::uint64_t completed = 0;
@@ -364,6 +377,17 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
       ideal > 0.0 ? static_cast<double>(max_backend) / ideal : 0.0;
   const double throughput =
       static_cast<double>(completed) / flags.duration;
+  // Syscall economics of the front end's data plane over the measured
+  // window. rps_per_core charges each SO_REUSEPORT shard as one core.
+  const double rps_per_core = throughput / static_cast<double>(fe_shards);
+  const double syscalls_per_req =
+      completed > 0
+          ? static_cast<double>(fe_syscalls) / static_cast<double>(completed)
+          : 0.0;
+  // Open-loop honesty check: when the cluster cannot absorb the offered
+  // rate, throughput is server-bound and the latency columns include queue
+  // wait — flag the row instead of letting it read as capacity.
+  const bool rate_bound = throughput < 0.95 * flags.rate;
   const double hit_ratio =
       fe_stats.requests > 0
           ? static_cast<double>(fe_stats.hits) /
@@ -373,6 +397,13 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   std::printf("[fe_shards=%llu] per-backend load (measured window):\n%s\n",
               static_cast<unsigned long long>(fe_shards),
               backend_table.render().c_str());
+  std::printf("[fe_shards=%llu] reactor=%s offered=%.0f qps achieved=%.0f "
+              "qps (%.1f%%)%s | rps/core=%.0f fe_syscalls/req=%.2f\n\n",
+              static_cast<unsigned long long>(fe_shards),
+              net::to_string(frontend.reactor_kind()), flags.rate, throughput,
+              flags.rate > 0 ? 100.0 * throughput / flags.rate : 0.0,
+              rate_bound ? " RATE-BOUND" : "", rps_per_core,
+              syscalls_per_req);
 
   // --- latency decomposition ----------------------------------------------
   // Client side, two histograms per request:
@@ -426,7 +457,10 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                  static_cast<std::int64_t>(flags.preset == "adversarial" ? x
                                                                          : 0),
                  static_cast<std::int64_t>(fe_shards),
-                 static_cast<std::int64_t>(completed), throughput, hit_ratio,
+                 std::string(net::to_string(frontend.reactor_kind())),
+                 static_cast<std::int64_t>(completed), throughput,
+                 rps_per_core, syscalls_per_req,
+                 static_cast<std::int64_t>(rate_bound ? 1 : 0), hit_ratio,
                  static_cast<std::int64_t>(failures),
                  static_cast<std::int64_t>(max_backend), ideal, live_gain,
                  predicted,
@@ -497,6 +531,11 @@ int main(int argc, char** argv) {
   flag_set.add_string("shard-sweep", &flags.shard_sweep,
                       "comma-separated shard counts (e.g. 1,2,4): run the "
                       "full measurement once per count, one row each");
+  flag_set.add_string("reactor", &flags.reactor,
+                      "event loop backend: epoll|uring (uring falls back to "
+                      "epoll when io_uring is unavailable)");
+  flag_set.add_bool("busy-poll", &flags.busy_poll,
+                    "uring only: SQPOLL + spin-peek before blocking");
   flag_set.add_bool("metrics", &flags.metrics,
                     "server-side histograms (--metrics=false for the "
                     "instrumentation-overhead baseline)");
@@ -508,6 +547,11 @@ int main(int argc, char** argv) {
   if (flags.n == 0 || flags.d == 0 || flags.d > flags.n || flags.m == 0 ||
       flags.threads == 0) {
     std::fprintf(stderr, "live_serving: need n > 0, 0 < d <= n, m > 0\n");
+    return 2;
+  }
+  if (!net::parse_reactor_kind(flags.reactor, flags.reactor_kind)) {
+    std::fprintf(stderr, "live_serving: bad --reactor '%s' (epoll|uring)\n",
+                 flags.reactor.c_str());
     return 2;
   }
   std::vector<std::uint64_t> shard_counts;
@@ -571,8 +615,9 @@ int main(int argc, char** argv) {
   std::printf("rate-sim prediction (same partition seed): gain=%.4f\n\n",
               predicted);
 
-  TextTable table({"preset", "x", "fe_shards", "completed", "throughput_qps",
-                   "hit_ratio", "failures", "max_backend", "ideal",
+  TextTable table({"preset", "x", "fe_shards", "reactor", "completed",
+                   "throughput_qps", "rps_per_core", "syscalls_per_req",
+                   "rate_bound", "hit_ratio", "failures", "max_backend", "ideal",
                    "live_gain", "predicted_gain", "gain_ratio", "p50_us",
                    "p99_us", "p999_us", "cli_svc_p99_us", "fe_p99_us",
                    "rtt_p99_us", "svc_p99_us", "shard_requests"});

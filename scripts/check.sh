@@ -133,13 +133,77 @@ print(urllib.request.urlopen(
     --n 3 --d 2 --m 1024 --c 4 --rate 1000 --duration 1 --warmup 0.2 \
     --threads 2 --json "$live_json" >/dev/null
   validate_json "$live_json" live_serving
-  for column in cli_svc_p99_us fe_p99_us rtt_p99_us svc_p99_us; do
+  for column in cli_svc_p99_us fe_p99_us rtt_p99_us svc_p99_us \
+      reactor rps_per_core syscalls_per_req rate_bound; do
     if ! grep -q "\"$column\"" "$live_json"; then
-      echo "check.sh: live JSON missing decomposition column $column" >&2
+      echo "check.sh: live JSON missing column $column" >&2
       exit 1
     fi
   done
   echo "check.sh: live serving smoke OK"
+
+  # Live serving smoke 2b: the same cluster on the io_uring data plane,
+  # gated on the runtime probe (seccomp'd containers and old kernels skip
+  # with a visible reason instead of failing).
+  if "$BUILD_DIR/src/net/scp_stats" --probe-uring; then
+    uring_json="$BUILD_DIR/smoke_live_uring.json"
+    rm -f "$uring_json"
+    "$BUILD_DIR/bench/live_serving" \
+      --n 3 --d 2 --m 1024 --c 4 --rate 1000 --duration 1 --warmup 0.2 \
+      --threads 2 --reactor uring --json "$uring_json" >/dev/null
+    validate_json "$uring_json" live_serving
+    if ! grep -q '"reactor":"uring"' "$uring_json"; then
+      echo "check.sh: uring smoke did not run on the uring reactor" >&2
+      exit 1
+    fi
+    echo "check.sh: uring serving smoke OK"
+  else
+    echo "check.sh: io_uring unavailable, uring smoke skipped"
+  fi
+
+  # Net micro-bench: the echo round-trip for both reactors, wrapped in the
+  # standard {bench,params,wall_ms,series} record as BENCH_net.json.
+  bench_net_raw="$BUILD_DIR/bench_net_raw.json"
+  bench_net_json="$BUILD_DIR/BENCH_net.json"
+  rm -f "$bench_net_raw" "$bench_net_json"
+  "$BUILD_DIR/bench/micro_benchmarks" \
+    --benchmark_filter='BM_FrameLoopEcho' --benchmark_min_time=0.2 \
+    --benchmark_format=json >"$bench_net_raw" 2>/dev/null
+  python3 - "$bench_net_raw" "$bench_net_json" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+series = []
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    entry = {
+        "name": b["name"],
+        "reactor": b.get("label", ""),
+        "ns_per_frame": b.get("real_time", 0.0),
+        "syscalls_per_frame": b.get("syscalls_per_frame", 0.0),
+        "frames_per_wakeup": b.get("frames_per_wakeup", 0.0),
+    }
+    if b.get("error_occurred"):
+        entry["skipped"] = b.get("error_message", "")
+    series.append(entry)
+assert series, "no BM_FrameLoopEcho runs in benchmark output"
+record = {
+    "bench": "net_echo",
+    "params": {"benchmark": "BM_FrameLoopEcho",
+               "reactors": [e["reactor"] or "skipped" for e in series]},
+    "wall_ms": sum(b.get("real_time", 0) * b.get("iterations", 0)
+                   for b in raw.get("benchmarks", [])) / 1e6,
+    "series": series,
+}
+# Compact separators: the same "key":value shape JsonWriter emits, which
+# is what validate_json greps for.
+json.dump(record, open(sys.argv[2], "w"), separators=(",", ":"))
+print("BENCH_net.json:", *(f"{e['reactor'] or 'skip'}="
+      f"{e['syscalls_per_frame']:.2f}syscalls/frame" for e in series))
+EOF
+  validate_json "$bench_net_json" net_echo
+  echo "check.sh: net micro-bench OK"
 
   # Sharded smoke 1: scp_backend --shards 4. Drive GETs over several
   # connections, then verify on /metrics.json that the aggregate

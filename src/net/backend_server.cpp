@@ -14,7 +14,9 @@ BackendServer::BackendServer(BackendConfig config)
                                     config_.partition_seed)),
       pool_(ReactorPool::Options{
           .shards = config_.shards == 0 ? 1 : config_.shards,
-          .force_fallback_accept = config_.force_fallback_accept}) {}
+          .force_fallback_accept = config_.force_fallback_accept,
+          .reactor = config_.reactor,
+          .busy_poll = config_.busy_poll}) {}
 
 BackendServer::~BackendServer() { stop(0.0); }
 
@@ -32,8 +34,8 @@ void BackendServer::preload() {
 bool BackendServer::start() {
   preload();
   for (std::size_t k = 0; k < pool_.shards(); ++k) {
-    FrameLoop& loop = pool_.shard(k);
-    FrameLoop::Callbacks callbacks;
+    Reactor& loop = pool_.shard(k);
+    Reactor::Callbacks callbacks;
     callbacks.on_message = [this, k, &loop](ConnId conn, Message&& message) {
       handle(k, loop, conn, std::move(message));
     };
@@ -89,8 +91,20 @@ ServerStats BackendServer::stats() const {
 obs::MetricsSnapshot BackendServer::metrics_snapshot() const {
   std::vector<obs::MetricsSnapshot> shards;
   shards.reserve(registries_.size());
-  for (const auto& registry : registries_) {
-    shards.push_back(registry->snapshot());
+  for (std::size_t k = 0; k < registries_.size(); ++k) {
+    obs::MetricsSnapshot snap = registries_[k]->snapshot();
+    const ReactorCounters& loop = pool_.shard(k).counters();
+    snap.counters["loop.syscalls"] =
+        loop.syscalls.load(std::memory_order_relaxed);
+    snap.counters["loop.wakeups"] =
+        loop.wakeups.load(std::memory_order_relaxed);
+    snap.counters["loop.frames_in"] =
+        loop.frames_in.load(std::memory_order_relaxed);
+    snap.counters["loop.frames_out"] =
+        loop.frames_out.load(std::memory_order_relaxed);
+    snap.counters["loop.buf_starved"] =
+        loop.buf_starved.load(std::memory_order_relaxed);
+    shards.push_back(std::move(snap));
   }
   obs::MetricsSnapshot snap = merge_shard_snapshots("backend", shards);
   const ServerStats s = stats();
@@ -105,7 +119,7 @@ std::uint16_t BackendServer::metrics_http_port() const noexcept {
   return metrics_http_ != nullptr ? metrics_http_->port() : 0;
 }
 
-void BackendServer::handle(std::size_t shard, FrameLoop& loop, ConnId conn,
+void BackendServer::handle(std::size_t shard, Reactor& loop, ConnId conn,
                            Message&& message) {
   obs::Timer* service_us =
       shard < service_us_.size() ? service_us_[shard] : nullptr;

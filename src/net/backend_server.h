@@ -46,6 +46,11 @@ struct BackendConfig {
   std::uint32_t shards = 1;
   /// Test hook: force the single-acceptor round-robin accept path.
   bool force_fallback_accept = false;
+  /// Event-loop backend for every shard (uring falls back to epoll where
+  /// unavailable; reactor_kind() reports the effective choice).
+  ReactorKind reactor = ReactorKind::kEpoll;
+  /// UringLoop only: SQPOLL + spin-peek before blocking.
+  bool busy_poll = false;
 };
 
 class BackendServer {
@@ -73,12 +78,19 @@ class BackendServer {
   /// Bound Prometheus endpoint port, or 0 when config.metrics_port == -1.
   std::uint16_t metrics_http_port() const noexcept;
 
+  /// Effective reactor backend (after any uring→epoll fallback).
+  ReactorKind reactor_kind() const noexcept { return pool_.reactor_kind(); }
+
+  /// Summed reactor counters across shards — syscalls and wakeups feed the
+  /// syscalls/request and frames/wakeup measurements (thread-safe).
+  ReactorPool::Totals loop_totals() const { return pool_.totals(); }
+
   const StorageEngine& storage() const noexcept { return storage_; }
   const BackendConfig& config() const noexcept { return config_; }
 
  private:
   void preload();
-  void handle(std::size_t shard, FrameLoop& loop, ConnId conn,
+  void handle(std::size_t shard, Reactor& loop, ConnId conn,
               Message&& message);
 
   BackendConfig config_;

@@ -12,43 +12,30 @@
 #include "common/log.h"
 
 namespace scp::net {
-namespace {
-
-bool make_wake_pipe(Socket& read_end, Socket& write_end) {
-  int fds[2];
-  if (::pipe(fds) != 0) {
-    SCP_LOG_ERROR << "net: pipe() failed: " << std::strerror(errno);
-    return false;
-  }
-  read_end.reset(fds[0]);
-  write_end.reset(fds[1]);
-  return set_nonblocking(fds[0]) && set_nonblocking(fds[1]);
-}
-
-}  // namespace
 
 #if SCP_NET_USE_EPOLL
 
 EventLoop::EventLoop() {
-  if (!make_wake_pipe(wake_read_, wake_write_)) return;
   epoll_.reset(::epoll_create1(0));
   if (!epoll_.valid()) {
     SCP_LOG_ERROR << "net: epoll_create1 failed: " << std::strerror(errno);
-    return;
   }
-  add(wake_read_.fd(), /*want_read=*/true, /*want_write=*/false);
 }
 
 EventLoop::~EventLoop() = default;
 
-bool EventLoop::valid() const noexcept {
-  return epoll_.valid() && wake_read_.valid();
+bool EventLoop::valid() const noexcept { return epoll_.valid(); }
+
+void EventLoop::set_wake_fd(int fd) {
+  wake_fd_ = fd;
+  if (fd >= 0) add(fd, /*want_read=*/true, /*want_write=*/false);
 }
 
 bool EventLoop::add(int fd, bool want_read, bool want_write) {
   epoll_event ev{};
   ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = fd;
+  count_syscall();
   return ::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &ev) == 0;
 }
 
@@ -56,25 +43,30 @@ bool EventLoop::modify(int fd, bool want_read, bool want_write) {
   epoll_event ev{};
   ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = fd;
+  count_syscall();
   return ::epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, fd, &ev) == 0;
 }
 
 void EventLoop::remove(int fd) {
+  count_syscall();
   ::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr);
 }
 
 int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
   out.clear();
   epoll_event events[64];
+  count_syscall();
   const int n = ::epoll_wait(epoll_.fd(), events, 64, timeout_ms);
   if (n < 0) {
     return errno == EINTR ? 0 : -1;
   }
   for (int i = 0; i < n; ++i) {
     const int fd = events[i].data.fd;
-    if (fd == wake_read_.fd()) {
+    if (fd == wake_fd_) {
       char buf[64];
+      count_syscall();
       while (::read(fd, buf, sizeof(buf)) > 0) {
+        count_syscall();
       }
       continue;
     }
@@ -90,14 +82,16 @@ int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
 
 #else  // poll(2) fallback
 
-EventLoop::EventLoop() {
-  if (!make_wake_pipe(wake_read_, wake_write_)) return;
-  interest_[wake_read_.fd()] = POLLIN;
-}
+EventLoop::EventLoop() = default;
 
 EventLoop::~EventLoop() = default;
 
-bool EventLoop::valid() const noexcept { return wake_read_.valid(); }
+bool EventLoop::valid() const noexcept { return true; }
+
+void EventLoop::set_wake_fd(int fd) {
+  wake_fd_ = fd;
+  if (fd >= 0) interest_[fd] = POLLIN;
+}
 
 bool EventLoop::add(int fd, bool want_read, bool want_write) {
   if (interest_.count(fd) != 0) return false;
@@ -122,6 +116,7 @@ int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
   for (const auto& [fd, events] : interest_) {
     pollfds_.push_back(pollfd{fd, events, 0});
   }
+  count_syscall();
   const int n = ::poll(pollfds_.data(),
                        static_cast<nfds_t>(pollfds_.size()), timeout_ms);
   if (n < 0) {
@@ -129,9 +124,11 @@ int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
   }
   for (const pollfd& pfd : pollfds_) {
     if (pfd.revents == 0) continue;
-    if (pfd.fd == wake_read_.fd()) {
+    if (pfd.fd == wake_fd_) {
       char buf[64];
+      count_syscall();
       while (::read(pfd.fd, buf, sizeof(buf)) > 0) {
+        count_syscall();
       }
       continue;
     }
@@ -146,11 +143,5 @@ int EventLoop::wait(std::vector<IoEvent>& out, int timeout_ms) {
 }
 
 #endif  // SCP_NET_USE_EPOLL
-
-void EventLoop::wakeup() noexcept {
-  const char byte = 1;
-  // Best effort: a full pipe already guarantees a pending wakeup.
-  [[maybe_unused]] const ssize_t n = ::write(wake_write_.fd(), &byte, 1);
-}
 
 }  // namespace scp::net

@@ -1,14 +1,17 @@
-// Readiness notification for the serving tier: epoll on Linux, poll(2)
-// everywhere else (or when SCP_NET_FORCE_POLL is defined — the CI matrix
-// builds the fallback on Linux too so it cannot rot).
+// Readiness notification for the epoll-backed reactor: epoll on Linux,
+// poll(2) everywhere else (or when SCP_NET_FORCE_POLL is defined — the CI
+// matrix builds the fallback on Linux too so it cannot rot).
 //
 // Level-triggered semantics on both backends: a registered fd is reported
-// readable/writable on every wait() while the condition holds. A self-pipe
-// is built in so another thread can interrupt a blocking wait (wakeup()).
+// readable/writable on every wait() while the condition holds. The owning
+// Reactor's self-pipe read end is registered via set_wake_fd(); wait()
+// drains it internally and reports the interruption as a return with no
+// events.
 #pragma once
 
 #include <poll.h>
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -39,8 +42,18 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  /// True when construction acquired every resource (epoll fd / wake pipe).
+  /// True when construction acquired every resource (epoll fd).
   bool valid() const noexcept;
+
+  /// Registers the owner's wakeup pipe read end (not owned). wait() drains
+  /// it and suppresses it from the event list.
+  void set_wake_fd(int fd);
+
+  /// Optional syscall accounting: every epoll_ctl/epoll_wait/poll and wake
+  /// drain increments the counter (must outlive the loop).
+  void set_syscall_counter(std::atomic<std::uint64_t>* counter) {
+    syscalls_ = counter;
+  }
 
   bool add(int fd, bool want_read, bool want_write);
   bool modify(int fd, bool want_read, bool want_write);
@@ -51,13 +64,15 @@ class EventLoop {
   /// on error. Wakeups drain the pipe and count as a return with 0 events.
   int wait(std::vector<IoEvent>& out, int timeout_ms);
 
-  /// Interrupts a concurrent wait(). Safe from any thread and from signal
-  /// handlers (write(2) only).
-  void wakeup() noexcept;
-
  private:
-  Socket wake_read_;
-  Socket wake_write_;
+  void count_syscall() noexcept {
+    if (syscalls_ != nullptr) {
+      syscalls_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  int wake_fd_ = -1;
+  std::atomic<std::uint64_t>* syscalls_ = nullptr;
 #if SCP_NET_USE_EPOLL
   Socket epoll_;
 #else

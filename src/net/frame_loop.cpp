@@ -18,15 +18,12 @@ namespace {
 /// plenty (a deeper backlog just takes another sendmsg on the same wakeup).
 constexpr std::size_t kMaxIov = IOV_MAX < 256 ? IOV_MAX : 256;
 
-/// Buffer-pool bounds: buffers above the capacity cap are dropped on
-/// release (a one-off huge value must not become resident scratch), and the
-/// pool holds at most this many buffers.
-constexpr std::size_t kPoolMaxBuffers = 256;
-constexpr std::size_t kPoolMaxCapacity = 64 * 1024;
-
 }  // namespace
 
-FrameLoop::FrameLoop() = default;
+FrameLoop::FrameLoop() {
+  events_.set_wake_fd(wake_fd());
+  events_.set_syscall_counter(&counters_.syscalls);
+}
 
 FrameLoop::~FrameLoop() { stop(0.0); }
 
@@ -36,62 +33,6 @@ bool FrameLoop::listen(const std::string& address, std::uint16_t port,
   if (!listener_.valid()) return false;
   events_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
   return true;
-}
-
-bool FrameLoop::start() {
-  if (started_ || !events_.valid()) return false;
-  started_ = true;
-  // Visible before the thread spawns so running() is true the moment start()
-  // returns; callers poll it as the serve-loop condition.
-  running_.store(true);
-  thread_ = std::thread([this] { loop(); });
-  return true;
-}
-
-void FrameLoop::stop(double drain_s) {
-  request_stop(drain_s);
-  join();
-}
-
-void FrameLoop::request_stop(double drain_s) {
-  if (!started_) {
-    listener_.reset();
-    return;
-  }
-  drain_s_.store(drain_s);
-  stop_requested_.store(true);
-  events_.wakeup();
-}
-
-void FrameLoop::join() {
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-}
-
-void FrameLoop::set_metrics(obs::MetricsRegistry* registry) {
-  if (registry == nullptr) {
-    tick_us_ = nullptr;
-    dispatch_depth_ = nullptr;
-    return;
-  }
-  tick_us_ = &registry->timer("loop.tick_us");
-  dispatch_depth_ = &registry->timer("loop.dispatch_depth");
-}
-
-ConnId FrameLoop::connect(const std::string& address, std::uint16_t port) {
-  const ConnId id = next_conn_id_.fetch_add(1);
-  if (!running_.load()) {
-    std::lock_guard<std::mutex> lock(post_mutex_);
-    pending_connects_.push_back({id, {address, port}});
-    return id;
-  }
-  if (on_loop_thread()) {
-    do_connect(id, address, port);
-  } else {
-    post([this, id, address, port] { do_connect(id, address, port); });
-  }
-  return id;
 }
 
 bool FrameLoop::send(ConnId conn_id, const Message& message) {
@@ -132,38 +73,12 @@ void FrameLoop::flush_pending_conns() {
 
 void FrameLoop::close_connection(ConnId conn_id) { destroy(conn_id, true); }
 
-void FrameLoop::run_after(double delay_s, std::function<void()> fn) {
-  if (running_.load() && !on_loop_thread()) {
-    post([this, delay_s, fn = std::move(fn)]() mutable {
-      run_after(delay_s, std::move(fn));
-    });
-    return;
-  }
-  Timer timer;
-  timer.deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(delay_s));
-  timer.seq = timer_seq_++;
-  timer.fn = std::move(fn);
-  timers_.push(std::move(timer));
-}
-
-void FrameLoop::post(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(post_mutex_);
-    posted_.push_back(std::move(fn));
-  }
-  events_.wakeup();
-}
-
 FrameLoop::Connection* FrameLoop::find(ConnId id) {
   auto it = conns_.find(id);
   return it == conns_.end() ? nullptr : &it->second;
 }
 
-void FrameLoop::loop() {
-  loop_thread_id_ = std::this_thread::get_id();
-
+void FrameLoop::run() {
   std::vector<IoEvent> ready;
   Clock::time_point drain_deadline{};
   // Busy time per iteration: from returning out of events_.wait to entering
@@ -173,20 +88,7 @@ void FrameLoop::loop() {
 
   while (true) {
     // Posted functions and queued pre-start connects.
-    std::vector<std::function<void()>> posted;
-    std::vector<std::pair<ConnId, std::pair<std::string, std::uint16_t>>>
-        connects;
-    {
-      std::lock_guard<std::mutex> lock(post_mutex_);
-      posted.swap(posted_);
-      connects.swap(pending_connects_);
-    }
-    for (auto& [id, target] : connects) {
-      do_connect(id, target.first, target.second);
-    }
-    for (auto& fn : posted) {
-      fn();
-    }
+    const std::size_t posted = drain_posted();
 
     if (!draining_) {
       run_due_timers();
@@ -231,13 +133,14 @@ void FrameLoop::loop() {
       if (!writes_pending || Clock::now() >= drain_deadline) break;
     }
 
-    tick_items += posted.size();
+    tick_items += posted;
     if (tick_us_ != nullptr && tick_start_ns != 0) {
       tick_us_->record((obs::now_ns() - tick_start_ns) / 1000);
       dispatch_depth_->record(tick_items);
     }
     const int timeout_ms = draining_ ? 10 : next_timeout_ms();
     const int n = events_.wait(ready, timeout_ms);
+    counters_.wakeups.fetch_add(1, std::memory_order_relaxed);
     tick_start_ns = tick_us_ != nullptr ? obs::now_ns() : 0;
     tick_items = static_cast<std::uint64_t>(n > 0 ? n : 0);
     if (n < 0) {
@@ -256,7 +159,6 @@ void FrameLoop::loop() {
   }
   conns_.clear();
   by_fd_.clear();
-  running_.store(false);
 }
 
 void FrameLoop::do_connect(ConnId id, const std::string& address,
@@ -266,6 +168,7 @@ void FrameLoop::do_connect(ConnId id, const std::string& address,
     return;
   }
   bool in_progress = false;
+  counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
   Socket sock = connect_tcp_nonblocking(address, port, &in_progress);
   if (!sock.valid()) {
     // Loopback connects can fail synchronously (ECONNREFUSED from
@@ -305,6 +208,7 @@ void FrameLoop::notify_connect_deferred(ConnId id) {
 
 void FrameLoop::accept_ready() {
   while (listener_.valid()) {
+    counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
     const int fd = ::accept(listener_.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
@@ -319,18 +223,6 @@ void FrameLoop::accept_ready() {
     }
     adopt_on_loop(fd);
   }
-}
-
-void FrameLoop::adopt(int fd) {
-  if (on_loop_thread()) {
-    adopt_on_loop(fd);
-    return;
-  }
-  if (!running_.load()) {
-    ::close(fd);
-    return;
-  }
-  post([this, fd] { adopt_on_loop(fd); });
 }
 
 void FrameLoop::adopt_on_loop(int fd) {
@@ -367,6 +259,7 @@ void FrameLoop::handle_event(const IoEvent& event) {
     if (event.writable || event.broken) {
       int error = 0;
       socklen_t len = sizeof(error);
+      counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
       if (::getsockopt(conn->sock.fd(), SOL_SOCKET, SO_ERROR, &error, &len) !=
               0 ||
           error != 0 || event.broken) {
@@ -404,6 +297,7 @@ void FrameLoop::handle_readable(ConnId id) {
 
   std::uint8_t buffer[16384];
   while (true) {
+    counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
     const ssize_t n = ::recv(conn->sock.fd(), buffer, sizeof(buffer), 0);
     if (n > 0) {
       conn->reader.append({buffer, static_cast<std::size_t>(n)});
@@ -461,6 +355,7 @@ void FrameLoop::flush_writes(Connection& conn) {
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = iovcnt;
+    counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
     const ssize_t n = ::sendmsg(conn.sock.fd(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
       std::size_t written = static_cast<std::size_t>(n);
@@ -493,21 +388,6 @@ void FrameLoop::update_interest(Connection& conn) {
   conn.want_write = want_write;
 }
 
-std::vector<std::uint8_t> FrameLoop::acquire_buffer() {
-  if (buffer_pool_.empty()) return {};
-  std::vector<std::uint8_t> buffer = std::move(buffer_pool_.back());
-  buffer_pool_.pop_back();
-  buffer.clear();
-  return buffer;
-}
-
-void FrameLoop::release_buffer(std::vector<std::uint8_t>&& buffer) {
-  if (buffer_pool_.size() < kPoolMaxBuffers &&
-      buffer.capacity() > 0 && buffer.capacity() <= kPoolMaxCapacity) {
-    buffer_pool_.push_back(std::move(buffer));
-  }
-}
-
 void FrameLoop::destroy(ConnId id, bool notify) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
@@ -531,28 +411,6 @@ void FrameLoop::destroy(ConnId id, bool notify) {
   if (notify && established && callbacks_.on_close) {
     callbacks_.on_close(id);
   }
-}
-
-void FrameLoop::run_due_timers() {
-  const Clock::time_point now = Clock::now();
-  while (!timers_.empty() && timers_.top().deadline <= now) {
-    // priority_queue::top() is const; the handle is moved out via a cast —
-    // safe because pop() immediately removes the slot.
-    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
-    timers_.pop();
-    fn();
-  }
-}
-
-int FrameLoop::next_timeout_ms() const {
-  if (timers_.empty()) return 100;
-  const auto now = Clock::now();
-  const auto deadline = timers_.top().deadline;
-  if (deadline <= now) return 0;
-  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      deadline - now)
-                      .count();
-  return static_cast<int>(std::min<long long>(ms + 1, 100));
 }
 
 }  // namespace scp::net

@@ -1,11 +1,12 @@
-// Single-threaded framed-TCP reactor: one event loop (epoll or poll) on its
+// Readiness-based framed-TCP reactor: one event loop (epoll or poll) on its
 // own thread, owning a set of connections that speak the length-prefixed
 // wire protocol. Both server roles and the front-end's backend pool are
-// built on this one class — a FrameLoop can simultaneously accept inbound
-// connections (listen) and maintain outbound ones (connect), which is
-// exactly what scp_frontend needs to forward misses while serving clients.
-// ReactorPool composes N of these into a sharded server (SO_REUSEPORT or an
-// accept-handler that round-robins fds into other loops via adopt()).
+// built on the Reactor interface this class implements — a FrameLoop can
+// simultaneously accept inbound connections (listen) and maintain outbound
+// ones (connect), which is exactly what scp_frontend needs to forward
+// misses while serving clients. ReactorPool composes N reactors into a
+// sharded server (SO_REUSEPORT or an accept-handler that round-robins fds
+// into other loops via adopt()).
 //
 // Hot-path cost model: send() only encodes (into a pooled buffer, no heap
 // allocation at steady state) and queues; all queued frames of a wakeup are
@@ -13,131 +14,43 @@
 // right before the loop blocks again. Read buffers are recycled through the
 // same per-loop pool, and inbound frames are decoded from a zero-copy view.
 //
-// Threading contract: callbacks, send(), close_connection() and run_after()
-// execute on the loop thread (callbacks are invoked there; calling these
-// from inside a callback is the normal pattern). listen()/connect()/
-// run_after() may also be called before start(). post() and stop() are safe
-// from any thread.
+// Timers, post(), the self-pipe wakeup, buffer pooling and the threading
+// contract live in the Reactor base (see reactor.h), shared byte-for-byte
+// with UringLoop.
 #pragma once
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/event_loop.h"
-#include "net/socket.h"
-#include "net/wire.h"
-#include "obs/metrics.h"
+#include "net/reactor.h"
 
 namespace scp::net {
 
-using ConnId = std::uint64_t;
-inline constexpr ConnId kInvalidConn = 0;
-
-/// Loop-wide counters, readable from any thread.
-struct FrameLoopCounters {
-  std::atomic<std::uint64_t> accepted{0};         ///< inbound connections
-  std::atomic<std::uint64_t> frames_in{0};        ///< decoded messages
-  std::atomic<std::uint64_t> frames_out{0};       ///< messages queued out
-  std::atomic<std::uint64_t> protocol_errors{0};  ///< bad frames/streams
-};
-
-class FrameLoop {
+class FrameLoop final : public Reactor {
  public:
-  struct Callbacks {
-    /// A complete, decoded message arrived on `conn`.
-    std::function<void(ConnId, Message&&)> on_message;
-    /// `conn` went away (peer close, error, protocol violation, or a local
-    /// close_connection()). Not fired for never-established outbound
-    /// connects or during final teardown.
-    std::function<void(ConnId)> on_close;
-    /// Outcome of a connect(): established (true) or failed (false; the
-    /// conn id is dead afterwards). Never fired before the connect() call
-    /// that created the conn id has returned, even when the kernel resolves
-    /// a loopback connect synchronously — owners can record the returned id
-    /// before the outcome arrives.
-    std::function<void(ConnId, bool)> on_connect;
-  };
-
   FrameLoop();
-  ~FrameLoop();
-  FrameLoop(const FrameLoop&) = delete;
-  FrameLoop& operator=(const FrameLoop&) = delete;
+  ~FrameLoop() override;
 
-  /// Must be set before start().
-  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+  ReactorKind kind() const noexcept override { return ReactorKind::kEpoll; }
 
-  /// Optional instrumentation; must be set before start() and outlive the
-  /// loop. Publishes "loop.tick_us" (busy time per reactor iteration) and
-  /// "loop.dispatch_depth" (posted functions + I/O events per iteration).
-  void set_metrics(obs::MetricsRegistry* registry);
-
-  /// Binds and listens (port 0 = kernel-assigned; see port()). Call before
-  /// start(). Returns false on bind/listen failure. With `reuse_port` the
-  /// listener is SO_REUSEPORT-bound so sibling loops can share the port.
   bool listen(const std::string& address, std::uint16_t port,
-              int backlog = 128, bool reuse_port = false);
-  std::uint16_t port() const noexcept { return port_; }
+              int backlog = 128, bool reuse_port = false) override;
 
-  /// When set (before start()), accepted fds are handed to the handler
-  /// instead of being adopted by this loop — ReactorPool's fallback acceptor
-  /// uses it to spread inbound connections across shards. The handler runs
-  /// on this loop's thread and takes ownership of the fd.
-  void set_accept_handler(std::function<void(int)> handler) {
-    accept_handler_ = std::move(handler);
-  }
+  bool send(ConnId conn, const Message& message) override;
+  void close_connection(ConnId conn) override;
 
-  /// Adopts an already-connected inbound fd as a new connection (counted as
-  /// accepted). Thread-safe: reroutes through post() off the loop thread.
-  /// The loop owns the fd from this call on; a draining loop closes it.
-  void adopt(int fd);
-
-  /// Spawns the loop thread. Returns false if the event loop could not be
-  /// created or the loop is already running.
-  bool start();
-
-  /// Graceful stop from any thread: stops accepting and dispatching, keeps
-  /// flushing queued writes for up to `drain_s`, then closes everything and
-  /// joins. Idempotent. Equivalent to request_stop() + join(); ReactorPool
-  /// uses the split form so all shards stop accepting before any is joined
-  /// (concurrent drain instead of serial).
-  void stop(double drain_s = 1.0);
-  void request_stop(double drain_s = 1.0);
-  void join();
-
-  bool running() const noexcept { return running_.load(); }
-
-  /// Starts an outbound connection; result arrives via on_connect. Usable
-  /// before start() (queued) or on the loop thread; other threads are
-  /// transparently rerouted through post().
-  ConnId connect(const std::string& address, std::uint16_t port);
-
-  /// Queues a message on `conn` (loop thread). False if the conn is gone.
-  bool send(ConnId conn, const Message& message);
-
-  /// Closes `conn` and fires on_close (loop thread).
-  void close_connection(ConnId conn);
-
-  /// Runs `fn` on the loop thread after `delay_s` seconds. Timers die with
-  /// the loop (not fired on stop).
-  void run_after(double delay_s, std::function<void()> fn);
-
-  /// Enqueues `fn` for execution on the loop thread. Thread-safe.
-  void post(std::function<void()> fn);
-
-  const FrameLoopCounters& counters() const noexcept { return counters_; }
+ protected:
+  bool valid() const noexcept override { return events_.valid(); }
+  void run() override;
+  void adopt_on_loop(int fd) override;
+  void do_connect(ConnId id, const std::string& address,
+                  std::uint16_t port) override;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct Connection {
     ConnId id = kInvalidConn;
     Socket sock;
@@ -158,25 +71,8 @@ class FrameLoop {
     bool connect_notified = false;
   };
 
-  struct Timer {
-    Clock::time_point deadline;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Timer& other) const noexcept {
-      return deadline != other.deadline ? deadline > other.deadline
-                                        : seq > other.seq;
-    }
-  };
-
-  bool on_loop_thread() const noexcept {
-    return std::this_thread::get_id() == loop_thread_id_;
-  }
-
-  void loop();
-  void do_connect(ConnId id, const std::string& address, std::uint16_t port);
   void notify_connect_deferred(ConnId id);
   void accept_ready();
-  void adopt_on_loop(int fd);
   Connection* find(ConnId id);
   void handle_event(const IoEvent& event);
   void handle_readable(ConnId id);
@@ -185,46 +81,13 @@ class FrameLoop {
   void flush_pending_conns();
   void update_interest(Connection& conn);
   void destroy(ConnId id, bool notify);
-  void run_due_timers();
-  int next_timeout_ms() const;
 
-  /// Per-loop free list of byte buffers shared by encode scratch and reader
-  /// storage; capacity-capped so a one-off huge value cannot pin memory.
-  std::vector<std::uint8_t> acquire_buffer();
-  void release_buffer(std::vector<std::uint8_t>&& buffer);
-
-  Callbacks callbacks_;
-  std::function<void(int)> accept_handler_;
   EventLoop events_;
-  Socket listener_;
-  std::uint16_t port_ = 0;
 
-  std::vector<std::vector<std::uint8_t>> buffer_pool_;
   std::vector<ConnId> flush_pending_;  // conns with frames queued this wakeup
 
   std::unordered_map<ConnId, Connection> conns_;
   std::unordered_map<int, ConnId> by_fd_;
-  std::atomic<ConnId> next_conn_id_{1};
-
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
-  std::uint64_t timer_seq_ = 0;
-
-  std::mutex post_mutex_;
-  std::vector<std::function<void()>> posted_;
-  std::vector<std::pair<ConnId, std::pair<std::string, std::uint16_t>>>
-      pending_connects_;  // queued before start()
-
-  std::thread thread_;
-  std::thread::id loop_thread_id_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<double> drain_s_{1.0};
-  bool draining_ = false;  // loop thread only
-  bool started_ = false;
-
-  FrameLoopCounters counters_;
-  obs::Timer* tick_us_ = nullptr;          // null = instrumentation off
-  obs::Timer* dispatch_depth_ = nullptr;
 };
 
 }  // namespace scp::net

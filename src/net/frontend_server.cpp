@@ -26,7 +26,9 @@ FrontendServer::FrontendServer(FrontendConfig config)
                                     config_.partition_seed)),
       pool_(ReactorPool::Options{
           .shards = config_.shards == 0 ? 1 : config_.shards,
-          .force_fallback_accept = config_.force_fallback_accept}) {}
+          .force_fallback_accept = config_.force_fallback_accept,
+          .reactor = config_.reactor,
+          .busy_poll = config_.busy_poll}) {}
 
 FrontendServer::~FrontendServer() { stop(0.0); }
 
@@ -77,7 +79,7 @@ bool FrontendServer::start() {
     }
 
     Shard* s = shard.get();
-    FrameLoop::Callbacks callbacks;
+    Reactor::Callbacks callbacks;
     callbacks.on_message = [this, s](ConnId conn, Message&& message) {
       handle(*s, conn, std::move(message));
     };
@@ -210,6 +212,17 @@ obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
         shard->attempts.load(std::memory_order_relaxed);
     snap.gauges["frontend.backends_up"] = static_cast<std::int64_t>(
         shard->backends_up.load(std::memory_order_relaxed));
+    const ReactorCounters& loop = shard->loop->counters();
+    snap.counters["loop.syscalls"] =
+        loop.syscalls.load(std::memory_order_relaxed);
+    snap.counters["loop.wakeups"] =
+        loop.wakeups.load(std::memory_order_relaxed);
+    snap.counters["loop.frames_in"] =
+        loop.frames_in.load(std::memory_order_relaxed);
+    snap.counters["loop.frames_out"] =
+        loop.frames_out.load(std::memory_order_relaxed);
+    snap.counters["loop.buf_starved"] =
+        loop.buf_starved.load(std::memory_order_relaxed);
     per_shard.push_back(std::move(snap));
   }
   obs::MetricsSnapshot snap = merge_shard_snapshots("frontend", per_shard);

@@ -86,6 +86,11 @@ struct FrontendConfig {
   std::uint32_t shards = 1;
   /// Test hook: force the single-acceptor round-robin accept path.
   bool force_fallback_accept = false;
+  /// Event-loop backend for every shard (uring falls back to epoll where
+  /// unavailable; reactor_kind() reports the effective choice).
+  ReactorKind reactor = ReactorKind::kEpoll;
+  /// UringLoop only: SQPOLL + spin-peek before blocking.
+  bool busy_poll = false;
 };
 
 class FrontendServer {
@@ -117,6 +122,13 @@ class FrontendServer {
 
   /// Bound Prometheus endpoint port, or 0 when config.metrics_port == -1.
   std::uint16_t metrics_http_port() const noexcept;
+
+  /// Effective reactor backend (after any uring→epoll fallback).
+  ReactorKind reactor_kind() const noexcept { return pool_.reactor_kind(); }
+
+  /// Summed reactor counters across shards — syscalls and wakeups feed the
+  /// syscalls/request and frames/wakeup measurements (thread-safe).
+  ReactorPool::Totals loop_totals() const { return pool_.totals(); }
 
   /// Introspection for tests: live backend_by_conn entries summed over
   /// shards. Only stable while the shard loops are quiescent or stopped.
@@ -152,7 +164,7 @@ class FrontendServer {
   /// atomics and the registry (scrapes).
   struct Shard {
     std::size_t index = 0;
-    FrameLoop* loop = nullptr;
+    Reactor* loop = nullptr;
     std::unique_ptr<FrontEndTier> tier;  // null for perfect/none/empty slice
     std::size_t cache_capacity = 0;      // this shard's slice of c
     std::unordered_map<std::uint64_t, std::string> values;  // tier contents

@@ -34,10 +34,16 @@ obs::MetricsSnapshot merge_shard_snapshots(
 
 ReactorPool::ReactorPool(Options options) : options_(options) {
   if (options_.shards == 0) options_.shards = 1;
+  ReactorOptions reactor_options;
+  reactor_options.kind = options_.reactor;
+  reactor_options.busy_poll = options_.busy_poll;
   loops_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
-    loops_.push_back(std::make_unique<FrameLoop>());
+    // make_reactor falls back to epoll per-call; the first shard's effective
+    // kind is authoritative (the probe result is cached, so siblings agree).
+    loops_.push_back(make_reactor(reactor_options));
   }
+  reactor_kind_ = loops_[0]->kind();
 }
 
 bool ReactorPool::listen(const std::string& address, std::uint16_t port,
@@ -121,11 +127,14 @@ bool ReactorPool::running() const noexcept {
 ReactorPool::Totals ReactorPool::totals() const {
   Totals totals;
   for (const auto& loop : loops_) {
-    const FrameLoopCounters& c = loop->counters();
+    const ReactorCounters& c = loop->counters();
     totals.accepted += c.accepted.load(std::memory_order_relaxed);
     totals.frames_in += c.frames_in.load(std::memory_order_relaxed);
     totals.frames_out += c.frames_out.load(std::memory_order_relaxed);
     totals.protocol_errors += c.protocol_errors.load(std::memory_order_relaxed);
+    totals.syscalls += c.syscalls.load(std::memory_order_relaxed);
+    totals.wakeups += c.wakeups.load(std::memory_order_relaxed);
+    totals.buf_starved += c.buf_starved.load(std::memory_order_relaxed);
   }
   return totals;
 }

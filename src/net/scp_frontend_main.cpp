@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   std::uint64_t max_retries = config.retry.max_retries;
   std::uint64_t shards = config.shards;
   std::string backends_list;
+  std::string reactor = "epoll";
   double drain_s = 1.0;
   std::int64_t metrics_port = -1;
 
@@ -99,6 +100,11 @@ int main(int argc, char** argv) {
   flags.add_uint64("shards", &shards,
                    "reactor shards sharing the port via SO_REUSEPORT; the "
                    "cache capacity c is split c/N across them");
+  flags.add_string("reactor", &reactor,
+                   "event loop backend: epoll|uring (uring falls back to "
+                   "epoll when io_uring is unavailable)");
+  flags.add_bool("busy-poll", &config.busy_poll,
+                 "uring only: SQPOLL + spin-peek before blocking");
   flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
   flags.add_bool("metrics", &config.metrics,
                  "hot-path histograms (lookup, RTT, request latency)");
@@ -116,6 +122,11 @@ int main(int argc, char** argv) {
   config.retry.max_retries = static_cast<std::uint32_t>(max_retries);
   config.metrics_port = static_cast<std::int32_t>(metrics_port);
   config.shards = static_cast<std::uint32_t>(shards == 0 ? 1 : shards);
+  if (!parse_reactor_kind(reactor, config.reactor)) {
+    std::fprintf(stderr, "scp_frontend: bad --reactor '%s' (epoll|uring)\n",
+                 reactor.c_str());
+    return 2;
+  }
   if (!parse_backends(backends_list, config.backends)) {
     std::fprintf(stderr, "scp_frontend: bad --backends entry\n");
     return 2;
@@ -133,6 +144,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+  // Effective backend: may differ from --reactor after uring fallback.
+  std::printf("REACTOR %s\n", to_string(server.reactor_kind()));
   if (server.metrics_http_port() != 0) {
     std::printf("METRICS_PORT %u\n",
                 static_cast<unsigned>(server.metrics_http_port()));

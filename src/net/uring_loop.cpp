@@ -1,0 +1,1238 @@
+// Completion-based Reactor on io_uring; see uring_loop.h for the model and
+// reactor.h for the semantics both backends share. Built on raw syscalls
+// (io_uring_setup/enter/register) and mmap'd rings — no liburing dependency.
+#include "net/uring_loop.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/syscall.h>
+// Flag macros that arrived with the kernel features UringLoop needs
+// (multishot recv ~6.0, cancel-any + provided buffer rings 5.19). A header
+// missing them predates the data structures too, so build the stub instead.
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter) && \
+    defined(__NR_io_uring_register) && defined(IORING_RECV_MULTISHOT) && \
+    defined(IORING_ASYNC_CANCEL_ANY)
+#define SCP_NET_HAVE_URING 1
+#endif
+#endif
+
+#ifndef SCP_NET_HAVE_URING
+#define SCP_NET_HAVE_URING 0
+#endif
+
+#if SCP_NET_HAVE_URING
+
+#include <limits.h>
+#include <linux/time_types.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+
+namespace scp::net {
+namespace {
+
+int sys_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+int sys_uring_register(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Gather width of one SENDMSG, matching FrameLoop's flush.
+constexpr std::size_t kMaxIov = IOV_MAX < 256 ? IOV_MAX : 256;
+/// Submission ring depth; CQ ring is 4x (multishot ops fan out).
+constexpr unsigned kSqEntries = 256;
+/// Deepest linked SENDMSG chain armed per connection per wakeup. A backlog
+/// beyond chain x iov re-arms when the chain's last completion lands.
+constexpr unsigned kMaxSendChain = 4;
+/// Provided-buffer group id for the loop's one buffer ring.
+constexpr unsigned kBufGroup = 1;
+
+// user_data = (id << 8) | tag. Connection-scoped tags carry the ConnId;
+// loop-scoped ops (accept, wake poll, cancels) use id 0.
+constexpr std::uint64_t kTagAccept = 1;
+constexpr std::uint64_t kTagRecv = 2;
+constexpr std::uint64_t kTagSend = 3;
+constexpr std::uint64_t kTagConnPoll = 4;
+constexpr std::uint64_t kTagWake = 5;
+constexpr std::uint64_t kTagCancel = 6;
+
+constexpr std::uint64_t make_ud(std::uint64_t id, std::uint64_t tag) {
+  return (id << 8) | tag;
+}
+
+/// The mmap'd submission/completion rings. Single-threaded user side (the
+/// loop thread); the atomics order against the kernel (or SQPOLL thread).
+struct Ring {
+  int fd = -1;
+  io_uring_params params{};
+
+  unsigned* sq_head = nullptr;  // kernel-consumed index
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_flags = nullptr;
+  unsigned* sq_array = nullptr;
+  io_uring_sqe* sqes = nullptr;
+  unsigned sq_entries = 0;
+  unsigned sqe_head = 0;  // local: flushed into sq_array up to here
+  unsigned sqe_tail = 0;  // local: handed out by get_sqe up to here
+
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  void* sq_map = nullptr;
+  std::size_t sq_map_sz = 0;
+  void* cq_map = nullptr;  // null under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_map_sz = 0;
+  void* sqe_map = nullptr;
+  std::size_t sqe_map_sz = 0;
+
+  Ring() = default;
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+  ~Ring() { reset(); }
+
+  bool ok() const noexcept { return fd >= 0; }
+
+  void reset() noexcept {
+    if (sqe_map != nullptr) ::munmap(sqe_map, sqe_map_sz);
+    if (cq_map != nullptr) ::munmap(cq_map, cq_map_sz);
+    if (sq_map != nullptr) ::munmap(sq_map, sq_map_sz);
+    sq_map = cq_map = sqe_map = nullptr;
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    sqe_head = sqe_tail = 0;
+  }
+
+  bool init(unsigned entries, bool sqpoll) {
+    reset();
+    std::memset(&params, 0, sizeof(params));
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = entries * 4;
+    if (sqpoll) {
+      params.flags |= IORING_SETUP_SQPOLL;
+      params.sq_thread_idle = 50;  // ms before the poller sleeps
+    }
+    fd = sys_uring_setup(entries, &params);
+    if (fd < 0) {
+      fd = -1;
+      return false;
+    }
+    sq_map_sz = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_map_sz = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single) sq_map_sz = cq_map_sz = std::max(sq_map_sz, cq_map_sz);
+    sq_map = ::mmap(nullptr, sq_map_sz, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (sq_map == MAP_FAILED) {
+      sq_map = nullptr;
+      reset();
+      return false;
+    }
+    void* cq_base = sq_map;
+    if (!single) {
+      cq_map = ::mmap(nullptr, cq_map_sz, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+      if (cq_map == MAP_FAILED) {
+        cq_map = nullptr;
+        reset();
+        return false;
+      }
+      cq_base = cq_map;
+    }
+    sqe_map_sz = params.sq_entries * sizeof(io_uring_sqe);
+    sqe_map = ::mmap(nullptr, sqe_map_sz, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (sqe_map == MAP_FAILED) {
+      sqe_map = nullptr;
+      reset();
+      return false;
+    }
+    auto* sq = static_cast<std::uint8_t*>(sq_map);
+    sq_head = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_flags = reinterpret_cast<unsigned*>(sq + params.sq_off.flags);
+    sq_array = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    sq_entries = params.sq_entries;
+    sqes = static_cast<io_uring_sqe*>(sqe_map);
+    auto* cq = static_cast<std::uint8_t*>(cq_base);
+    cq_head = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    return true;
+  }
+
+  unsigned space_left() const noexcept {
+    return sq_entries -
+           (sqe_tail - __atomic_load_n(sq_head, __ATOMIC_ACQUIRE));
+  }
+
+  io_uring_sqe* get_sqe() noexcept {
+    if (space_left() == 0) return nullptr;
+    io_uring_sqe* sqe = &sqes[sqe_tail & *sq_mask];
+    ++sqe_tail;
+    std::memset(sqe, 0, sizeof(*sqe));
+    return sqe;
+  }
+
+  /// Publishes handed-out SQEs to the kernel-visible tail. Returns how many
+  /// published entries the kernel has not consumed yet (the to_submit arg).
+  unsigned flush_sq() noexcept {
+    unsigned tail = *sq_tail;
+    const unsigned mask = *sq_mask;
+    while (sqe_head != sqe_tail) {
+      sq_array[tail & mask] = sqe_head & mask;
+      ++tail;
+      ++sqe_head;
+    }
+    __atomic_store_n(sq_tail, tail, __ATOMIC_RELEASE);
+    return tail - __atomic_load_n(sq_head, __ATOMIC_RELAXED);
+  }
+
+  unsigned cq_ready() const noexcept {
+    return __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE) - *cq_head;
+  }
+};
+
+/// One provided-buffer ring (group kBufGroup): the kernel picks a slot per
+/// multishot-recv delivery; the loop recycles the slot after consuming it.
+struct BufRing {
+  io_uring_buf_ring* ring = nullptr;
+  std::size_t ring_map_sz = 0;
+  std::uint8_t* base = nullptr;
+  std::size_t base_sz = 0;
+  unsigned count = 0;
+  unsigned size = 0;
+  unsigned tail = 0;  // local mirror of ring->tail
+  bool registered = false;
+
+  BufRing() = default;
+  BufRing(const BufRing&) = delete;
+  BufRing& operator=(const BufRing&) = delete;
+
+  std::uint8_t* data(unsigned bid) noexcept {
+    return base + static_cast<std::size_t>(bid) * size;
+  }
+
+  bool init(int ring_fd, unsigned count_, unsigned size_) {
+    count = count_;  // power of two (caller rounds)
+    size = size_;
+    ring_map_sz = static_cast<std::size_t>(count) * sizeof(io_uring_buf);
+    void* map = ::mmap(nullptr, ring_map_sz, PROT_READ | PROT_WRITE,
+                       MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+    if (map == MAP_FAILED) return false;
+    ring = static_cast<io_uring_buf_ring*>(map);
+    base_sz = static_cast<std::size_t>(count) * size;
+    map = ::mmap(nullptr, base_sz, PROT_READ | PROT_WRITE,
+                 MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+    if (map == MAP_FAILED) {
+      destroy(-1);
+      return false;
+    }
+    base = static_cast<std::uint8_t*>(map);
+    std::memset(ring, 0, ring_map_sz);
+    io_uring_buf_reg reg{};
+    reg.ring_addr = reinterpret_cast<std::uint64_t>(ring);
+    reg.ring_entries = count;
+    reg.bgid = kBufGroup;
+    if (sys_uring_register(ring_fd, IORING_REGISTER_PBUF_RING, &reg, 1) != 0) {
+      destroy(-1);
+      return false;
+    }
+    registered = true;
+    tail = 0;
+    for (unsigned bid = 0; bid < count; ++bid) {
+      recycle(bid);
+    }
+    return true;
+  }
+
+  /// Entry array base. NOT ring->bufs: under C++ the __DECLARE_FLEX_ARRAY
+  /// union member is preceded by a dummy empty struct, shifting bufs[] to
+  /// offset 8 — entry 0 really overlays the start of the ring header.
+  io_uring_buf* entries() noexcept {
+    return reinterpret_cast<io_uring_buf*>(ring);
+  }
+
+  /// Returns slot `bid` to the kernel. Never writes io_uring_buf::resv —
+  /// the first entry's resv word IS the ring tail (union overlay).
+  void recycle(unsigned bid) noexcept {
+    io_uring_buf* buf = &entries()[tail & (count - 1)];
+    buf->addr = reinterpret_cast<std::uint64_t>(data(bid));
+    buf->len = size;
+    buf->bid = static_cast<std::uint16_t>(bid);
+    ++tail;
+    __atomic_store_n(&ring->tail, static_cast<std::uint16_t>(tail),
+                     __ATOMIC_RELEASE);
+  }
+
+  void destroy(int ring_fd) noexcept {
+    if (registered && ring_fd >= 0) {
+      io_uring_buf_reg reg{};
+      reg.bgid = kBufGroup;
+      sys_uring_register(ring_fd, IORING_UNREGISTER_PBUF_RING, &reg, 1);
+    }
+    registered = false;
+    if (ring != nullptr) ::munmap(ring, ring_map_sz);
+    if (base != nullptr) ::munmap(base, base_sz);
+    ring = nullptr;
+    base = nullptr;
+  }
+};
+
+class UringLoop final : public Reactor {
+ public:
+  explicit UringLoop(const UringOptions& options) : options_(options) {
+    if (options.busy_poll) {
+      // SQPOLL needs privileges on some kernels; keep the user-side spin
+      // even when only a plain ring is available.
+      sqpoll_ = ring_.init(kSqEntries, /*sqpoll=*/true);
+      busy_spin_ = true;
+    }
+    if (!ring_.ok()) {
+      sqpoll_ = false;
+      ring_.init(kSqEntries, /*sqpoll=*/false);
+    }
+    if (!ring_.ok()) return;
+    unsigned count = 1;
+    while (count < std::max(2u, options.buf_count)) count <<= 1;
+    bufs_ok_ = bufs_.init(ring_.fd, count, options.buf_size);
+  }
+
+  ~UringLoop() override {
+    stop(0.0);
+    bufs_.destroy(ring_.fd);
+  }
+
+  bool ok() const noexcept { return ring_.ok() && bufs_ok_ && wake_valid(); }
+
+  ReactorKind kind() const noexcept override { return ReactorKind::kUring; }
+
+  bool listen(const std::string& address, std::uint16_t port, int backlog,
+              bool reuse_port) override {
+    listener_ = listen_tcp(address, port, backlog, &port_, reuse_port);
+    return listener_.valid();
+  }
+
+  bool send(ConnId conn_id, const Message& message) override {
+    Connection* conn = find_open(conn_id);
+    if (conn == nullptr) return false;
+    std::vector<std::uint8_t> frame = acquire_buffer();
+    encode_into(message, frame);
+    conn->out_bytes += frame.size();
+    conn->outq.push_back(std::move(frame));
+    counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    // No submission here: the frame rides this wakeup's flush point as part
+    // of a gathered (and possibly linked) SENDMSG chain.
+    schedule_flush(*conn);
+    return true;
+  }
+
+  void close_connection(ConnId conn_id) override { destroy(conn_id, true); }
+
+ protected:
+  bool valid() const noexcept override { return ring_.ok() && bufs_ok_; }
+  void run() override;
+  void adopt_on_loop(int fd) override;
+  void do_connect(ConnId id, const std::string& address,
+                  std::uint16_t port) override;
+
+ private:
+  /// One armed SENDMSG: the msghdr/iov live here until its CQE lands (the
+  /// kernel copies the msghdr at prep, but keeping the op pinned keeps the
+  /// accounting honest and the structs reusable). Pooled, never freed.
+  struct SendOp {
+    msghdr msg{};
+    std::array<iovec, kMaxIov> iov{};
+    std::size_t bytes = 0;  // total gathered into this op
+  };
+
+  struct Connection {
+    ConnId id = kInvalidConn;
+    Socket sock;
+    FrameReader reader;
+    /// Same queue discipline as FrameLoop: one pooled buffer per frame.
+    /// Elements referenced by in-flight SendOp iovs — a deque keeps those
+    /// pointers stable across push_back/pop_front.
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_head_off = 0;
+    std::size_t out_bytes = 0;
+    std::deque<SendOp*> send_ops;  // in-flight, completion order
+    unsigned inflight = 0;         // outstanding CQEs (recv arm, sends, poll)
+    bool flush_pending = false;
+    bool outbound = false;
+    bool connecting = false;
+    bool connect_notified = false;
+    bool recv_armed = false;
+    bool starved = false;  // hit ENOBUFS; re-armed after the batch recycles
+    /// Zombie: sockets closed and on_close delivered, but CQEs are still
+    /// owed. Erased by maybe_erase() when the last one lands.
+    bool closing = false;
+  };
+
+  Connection* find(ConnId id) {
+    auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : &it->second;
+  }
+  /// The public-API view: a closing zombie is already gone.
+  Connection* find_open(ConnId id) {
+    Connection* conn = find(id);
+    return (conn == nullptr || conn->closing) ? nullptr : conn;
+  }
+
+  void count_syscall() noexcept {
+    counters_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  void dec_inflight() noexcept {
+    if (inflight_ > 0) --inflight_;
+  }
+
+  SendOp* acquire_sendop() {
+    if (!sendop_pool_.empty()) {
+      SendOp* op = sendop_pool_.back();
+      sendop_pool_.pop_back();
+      return op;
+    }
+    owned_sendops_.push_back(std::make_unique<SendOp>());
+    return owned_sendops_.back().get();
+  }
+  void release_sendop(SendOp* op) { sendop_pool_.push_back(op); }
+
+  // --- SQE plumbing -------------------------------------------------------
+
+  /// Pushes published-but-unconsumed SQEs to the kernel without waiting.
+  void submit_now() {
+    const unsigned pending = ring_.flush_sq();
+    if (sqpoll_) {
+      if ((__atomic_load_n(ring_.sq_flags, __ATOMIC_RELAXED) &
+           IORING_SQ_NEED_WAKEUP) != 0) {
+        count_syscall();
+        sys_uring_enter(ring_.fd, 0, 0, IORING_ENTER_SQ_WAKEUP, nullptr, 0);
+      }
+      return;
+    }
+    if (pending == 0) return;
+    count_syscall();
+    sys_uring_enter(ring_.fd, pending, 0, 0, nullptr, 0);
+  }
+
+  io_uring_sqe* get_sqe_blocking() {
+    io_uring_sqe* sqe = ring_.get_sqe();
+    while (sqe == nullptr) {
+      submit_now();  // frees slots as the kernel consumes them
+      cpu_relax();
+      sqe = ring_.get_sqe();
+    }
+    return sqe;
+  }
+
+  /// Link chains must not straddle a submission boundary; reserve the whole
+  /// chain's worth of slots before building it.
+  void ensure_sqe_room(unsigned need) {
+    while (ring_.space_left() < need) {
+      submit_now();
+      cpu_relax();
+    }
+  }
+
+  // --- arming -------------------------------------------------------------
+
+  void arm_wake() {
+    io_uring_sqe* sqe = get_sqe_blocking();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = wake_fd();
+    sqe->len = IORING_POLL_ADD_MULTI;
+    sqe->poll32_events = POLLIN;  // little-endian hosts: no byte swap needed
+    sqe->user_data = make_ud(0, kTagWake);
+    ++inflight_;
+  }
+
+  void arm_accept() {
+    io_uring_sqe* sqe = get_sqe_blocking();
+    sqe->opcode = IORING_OP_ACCEPT;
+    sqe->fd = listener_.fd();
+    if (!options_.single_shot_accept) sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+    sqe->user_data = make_ud(0, kTagAccept);
+    accept_armed_ = true;
+    ++inflight_;
+  }
+
+  void arm_recv(Connection& conn) {
+    io_uring_sqe* sqe = get_sqe_blocking();
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = conn.sock.fd();
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kBufGroup;
+    sqe->user_data = make_ud(conn.id, kTagRecv);
+    conn.recv_armed = true;
+    conn.starved = false;
+    ++conn.inflight;
+    ++inflight_;
+  }
+
+  void arm_conn_poll(Connection& conn) {
+    io_uring_sqe* sqe = get_sqe_blocking();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = conn.sock.fd();
+    sqe->poll32_events = POLLOUT;
+    sqe->user_data = make_ud(conn.id, kTagConnPoll);
+    ++conn.inflight;
+    ++inflight_;
+  }
+
+  void arm_cancel(std::uint64_t target_ud) {
+    io_uring_sqe* sqe = get_sqe_blocking();
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->addr = target_ud;
+    sqe->user_data = make_ud(0, kTagCancel);
+    ++inflight_;
+  }
+
+  /// Arms the whole backlog as one chain of linked gathered SENDMSGs (up to
+  /// kMaxSendChain x kMaxIov frames). MSG_WAITALL makes a short send fail
+  /// the op, which breaks the link so the rest complete -ECANCELED instead
+  /// of sending out of order; completions advance outq by res and the last
+  /// one re-schedules whatever remains.
+  void arm_sends(Connection& conn) {
+    if (conn.out_bytes == 0 || !conn.send_ops.empty() || conn.connecting ||
+        conn.closing) {
+      return;
+    }
+    std::array<SendOp*, kMaxSendChain> ops;
+    unsigned nops = 0;
+    std::size_t off = conn.out_head_off;
+    auto it = conn.outq.begin();
+    while (it != conn.outq.end() && nops < kMaxSendChain) {
+      SendOp* op = acquire_sendop();
+      op->bytes = 0;
+      std::size_t iovcnt = 0;
+      for (; it != conn.outq.end() && iovcnt < kMaxIov; ++it) {
+        op->iov[iovcnt].iov_base = it->data() + off;
+        op->iov[iovcnt].iov_len = it->size() - off;
+        op->bytes += it->size() - off;
+        off = 0;
+        ++iovcnt;
+      }
+      op->msg = msghdr{};
+      op->msg.msg_iov = op->iov.data();
+      op->msg.msg_iovlen = iovcnt;
+      ops[nops++] = op;
+    }
+    ensure_sqe_room(nops);
+    for (unsigned i = 0; i < nops; ++i) {
+      io_uring_sqe* sqe = ring_.get_sqe();
+      sqe->opcode = IORING_OP_SENDMSG;
+      sqe->fd = conn.sock.fd();
+      sqe->addr = reinterpret_cast<std::uint64_t>(&ops[i]->msg);
+      sqe->msg_flags = MSG_NOSIGNAL | MSG_WAITALL;
+      if (i + 1 < nops) sqe->flags = IOSQE_IO_LINK;
+      sqe->user_data = make_ud(conn.id, kTagSend);
+      conn.send_ops.push_back(ops[i]);
+      ++conn.inflight;
+      ++inflight_;
+    }
+  }
+
+  void schedule_flush(Connection& conn) {
+    if (conn.flush_pending) return;
+    conn.flush_pending = true;
+    flush_pending_.push_back(conn.id);
+  }
+
+  void flush_pending_conns() {
+    for (std::size_t i = 0; i < flush_pending_.size(); ++i) {
+      Connection* conn = find_open(flush_pending_[i]);
+      if (conn == nullptr) continue;
+      conn->flush_pending = false;
+      if (conn->connecting) continue;  // armed once the connect resolves
+      arm_sends(*conn);
+    }
+    flush_pending_.clear();
+  }
+
+  // --- connection lifecycle ----------------------------------------------
+
+  void notify_connect_deferred(ConnId id) {
+    Connection* conn = find_open(id);
+    if (conn == nullptr) {
+      if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+      return;
+    }
+    conn->connect_notified = true;
+    if (callbacks_.on_connect) callbacks_.on_connect(id, true);
+  }
+
+  /// Tears the conn down now (socket, callbacks) but leaves a zombie entry
+  /// behind while CQEs are owed; see Connection::closing.
+  void destroy(ConnId id, bool notify) {
+    Connection* conn = find_open(id);
+    if (conn == nullptr) return;
+    conn->closing = true;
+    if (conn->recv_armed) arm_cancel(make_ud(id, kTagRecv));
+    if (conn->connecting) arm_cancel(make_ud(id, kTagConnPoll));
+    if (conn->sock.valid()) {
+      // In-flight ops hold their own file reference, so closing the fd here
+      // is safe; the shutdown makes any pending WAITALL send resolve fast.
+      count_syscall();
+      ::shutdown(conn->sock.fd(), SHUT_RDWR);
+      conn->sock.reset();
+    }
+    release_buffer(conn->reader.release_storage());
+    const bool established = !conn->outbound || conn->connect_notified;
+    if (notify && established && callbacks_.on_close) {
+      // May mutate conns_ (reconnects) — conn is dead after this line.
+      callbacks_.on_close(id);
+    }
+    maybe_erase(id);
+  }
+
+  void maybe_erase(ConnId id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Connection& conn = it->second;
+    if (!conn.closing || conn.inflight != 0 || !conn.send_ops.empty()) return;
+    for (auto& frame : conn.outq) {
+      release_buffer(std::move(frame));
+    }
+    conns_.erase(it);
+  }
+
+  /// Decode loop identical to FrameLoop::handle_readable's tail.
+  void drain_frames(ConnId id) {
+    while (true) {
+      Connection* conn = find_open(id);
+      if (conn == nullptr) return;
+      auto frame = conn->reader.next_frame();
+      if (!frame.has_value()) {
+        if (conn->reader.corrupted()) {
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          destroy(id, true);
+        }
+        return;
+      }
+      auto message = decode_payload(*frame);
+      if (!message.has_value()) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        destroy(id, true);
+        return;
+      }
+      counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      if (!draining_ && callbacks_.on_message) {
+        callbacks_.on_message(id, std::move(*message));
+      }
+    }
+  }
+
+  // --- completion handlers ------------------------------------------------
+
+  void on_wake(const io_uring_cqe& cqe) {
+    const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+    if (!more) dec_inflight();
+    if (cqe.res >= 0) drain_wake_pipe();
+    if (!more) arm_wake();  // multishot poll terminated; keep it standing
+  }
+
+  void on_accept(const io_uring_cqe& cqe) {
+    const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+    if (!more) {
+      accept_armed_ = false;
+      dec_inflight();
+    }
+    const int fd = cqe.res;
+    if (fd >= 0) {
+      if (draining_) {
+        ::close(fd);
+      } else if (accept_handler_) {
+        accept_handler_(fd);  // handler owns the fd
+      } else {
+        adopt_on_loop(fd);
+      }
+    } else if (fd != -ECANCELED && fd != -EAGAIN && fd != -EINTR) {
+      SCP_LOG_WARN << "net: accept failed: " << std::strerror(-fd);
+    }
+    if (!more) {
+      if (!draining_ && listener_.valid()) {
+        arm_accept();
+      } else if (draining_) {
+        listener_.reset();
+      }
+    }
+  }
+
+  void on_conn_poll(ConnId id, const io_uring_cqe& cqe) {
+    dec_inflight();
+    Connection* conn = find(id);
+    if (conn == nullptr) return;
+    if (conn->inflight > 0) --conn->inflight;
+    if (conn->closing) {
+      maybe_erase(id);
+      return;
+    }
+    if (!conn->connecting) return;  // stale completion
+    int error = cqe.res < 0 ? -cqe.res : 0;
+    if (error == 0) {
+      socklen_t len = sizeof(error);
+      count_syscall();
+      if (::getsockopt(conn->sock.fd(), SOL_SOCKET, SO_ERROR, &error, &len) !=
+          0) {
+        error = errno != 0 ? errno : EIO;
+      }
+    }
+    if (error != 0) {
+      if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+      destroy(id, false);
+      return;
+    }
+    conn->connecting = false;
+    conn->connect_notified = true;
+    arm_recv(*conn);
+    if (conn->out_bytes > 0) schedule_flush(*conn);
+    if (callbacks_.on_connect) callbacks_.on_connect(id, true);
+  }
+
+  void on_recv(ConnId id, const io_uring_cqe& cqe) {
+    const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+    Connection* conn = find(id);
+
+    if ((cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+      const unsigned bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+      if (cqe.res > 0 && conn != nullptr && !conn->closing) {
+        conn->reader.append(
+            {bufs_.data(bid), static_cast<std::size_t>(cqe.res)});
+      }
+      bufs_.recycle(bid);  // always: the slot is ours again either way
+    }
+
+    if (!more) {
+      dec_inflight();
+      if (conn != nullptr) {
+        conn->recv_armed = false;
+        if (conn->inflight > 0) --conn->inflight;
+      }
+    }
+
+    if (conn == nullptr) return;
+    if (conn->closing) {
+      if (!more) maybe_erase(id);
+      return;
+    }
+
+    if (cqe.res == 0) {  // EOF
+      destroy(id, true);
+      return;
+    }
+    if (cqe.res < 0) {
+      if (cqe.res == -ENOBUFS) {
+        // Buffer ring empty: the multishot terminated. Recycles from the
+        // rest of this CQE batch refill the ring; re-arm afterwards.
+        counters_.buf_starved.fetch_add(1, std::memory_order_relaxed);
+        conn->starved = true;
+        starved_.push_back(id);
+        return;
+      }
+      if (cqe.res == -ECANCELED) return;  // drain/close raced the recv
+      destroy(id, true);
+      return;
+    }
+
+    drain_frames(id);
+    conn = find_open(id);
+    if (conn == nullptr) return;
+    if (!more && !conn->recv_armed && !conn->starved && !draining_) {
+      arm_recv(*conn);  // kernel ended the multishot; stand it back up
+    }
+  }
+
+  void on_send(ConnId id, const io_uring_cqe& cqe) {
+    dec_inflight();
+    Connection* conn = find(id);
+    if (conn == nullptr) return;
+    if (conn->inflight > 0) --conn->inflight;
+    if (!conn->send_ops.empty()) {
+      release_sendop(conn->send_ops.front());
+      conn->send_ops.pop_front();
+    }
+
+    if (cqe.res > 0) {
+      // Advance the queue by what actually hit the socket — same accounting
+      // as FrameLoop::flush_writes, driven by the CQE instead of sendmsg's
+      // return.
+      std::size_t written = static_cast<std::size_t>(cqe.res);
+      conn->out_bytes -= std::min(written, conn->out_bytes);
+      while (written > 0 && !conn->outq.empty()) {
+        std::vector<std::uint8_t>& head = conn->outq.front();
+        const std::size_t remaining = head.size() - conn->out_head_off;
+        if (written < remaining) {
+          conn->out_head_off += written;
+          break;
+        }
+        written -= remaining;
+        release_buffer(std::move(head));
+        conn->outq.pop_front();
+        conn->out_head_off = 0;
+      }
+    }
+
+    if (conn->closing) {
+      maybe_erase(id);
+      return;
+    }
+    if (cqe.res < 0 && cqe.res != -ECANCELED) {
+      destroy(id, true);
+      return;
+    }
+    if (conn->send_ops.empty() && conn->out_bytes > 0) {
+      // Chain broke early (short send / canceled links) or new frames were
+      // queued while it flew: re-arm at this wakeup's flush point.
+      schedule_flush(*conn);
+    }
+  }
+
+  void process_cqe(const io_uring_cqe& cqe) {
+    const std::uint64_t tag = cqe.user_data & 0xff;
+    const ConnId id = cqe.user_data >> 8;
+    switch (tag) {
+      case kTagWake:
+        on_wake(cqe);
+        break;
+      case kTagAccept:
+        on_accept(cqe);
+        break;
+      case kTagRecv:
+        on_recv(id, cqe);
+        break;
+      case kTagSend:
+        on_send(id, cqe);
+        break;
+      case kTagConnPoll:
+        on_conn_poll(id, cqe);
+        break;
+      case kTagCancel:
+        dec_inflight();
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Teardown mode: accounting only — recycle buffers, retire ops, close
+  /// stray accepted fds. No callbacks, no re-arms, no destroys.
+  void process_cqe_teardown(const io_uring_cqe& cqe) {
+    const std::uint64_t tag = cqe.user_data & 0xff;
+    const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+    if ((cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+      bufs_.recycle(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+    }
+    if (tag == kTagAccept && cqe.res >= 0) ::close(cqe.res);
+    if (tag == kTagSend) {
+      Connection* conn = find(static_cast<ConnId>(cqe.user_data >> 8));
+      if (conn != nullptr && !conn->send_ops.empty()) {
+        release_sendop(conn->send_ops.front());
+        conn->send_ops.pop_front();
+      }
+    }
+    if (!more) dec_inflight();
+  }
+
+  std::size_t process_cqes() {
+    std::size_t handled = 0;
+    unsigned head = *ring_.cq_head;
+    while (true) {
+      const unsigned tail = __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
+      if (head == tail) break;
+      while (head != tail) {
+        // Copy, then release the slot before dispatch: handlers submit SQEs
+        // and a full CQ must be able to flush into the freed space.
+        const io_uring_cqe cqe = ring_.cqes[head & *ring_.cq_mask];
+        ++head;
+        __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
+        process_cqe(cqe);
+        ++handled;
+      }
+    }
+    // ENOBUFS victims re-arm only now, after the whole batch's recycles have
+    // refilled the provided-buffer ring.
+    for (ConnId id : starved_) {
+      Connection* conn = find_open(id);
+      if (conn != nullptr && !conn->recv_armed && !draining_) {
+        arm_recv(*conn);
+      }
+    }
+    starved_.clear();
+    return handled;
+  }
+
+  // --- wait ---------------------------------------------------------------
+
+  /// One io_uring_enter per wakeup: submits everything armed since the last
+  /// call and waits (up to timeout_ms) for at least one completion. Returns
+  /// ready-CQE count, 0 on timeout, -1 on hard error (errno set).
+  int wait_cqes(int timeout_ms) {
+    unsigned to_submit = sqpoll_ ? (ring_.flush_sq(), 0u) : ring_.flush_sq();
+
+    if (busy_spin_) {
+      if (to_submit > 0) {
+        count_syscall();
+        sys_uring_enter(ring_.fd, to_submit, 0, 0, nullptr, 0);
+        to_submit = 0;
+      }
+      for (int i = 0; i < 4000; ++i) {
+        const unsigned ready = ring_.cq_ready();
+        if (ready > 0) return static_cast<int>(ready);
+        cpu_relax();
+      }
+    }
+
+    __kernel_timespec ts{};
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    io_uring_getevents_arg arg{};
+    arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+    unsigned flags = IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG;
+    if (sqpoll_ && (__atomic_load_n(ring_.sq_flags, __ATOMIC_RELAXED) &
+                    IORING_SQ_NEED_WAKEUP) != 0) {
+      flags |= IORING_ENTER_SQ_WAKEUP;
+    }
+    count_syscall();
+    const int ret =
+        sys_uring_enter(ring_.fd, to_submit, 1, flags, &arg, sizeof(arg));
+    if (ret < 0) {
+      const int err = errno;
+      if (err == EINTR || err == ETIME || err == EBUSY || err == EAGAIN) {
+        return static_cast<int>(ring_.cq_ready());
+      }
+      errno = err;
+      return -1;
+    }
+    return static_cast<int>(ring_.cq_ready());
+  }
+
+  void teardown();
+
+  UringOptions options_;
+  Ring ring_;
+  BufRing bufs_;
+  bool bufs_ok_ = false;
+  bool sqpoll_ = false;
+  bool busy_spin_ = false;
+  bool accept_armed_ = false;
+  bool teardown_ = false;
+  /// Outstanding CQEs still owed by the kernel (multishot ops count once
+  /// until their terminal, !F_MORE completion). Teardown reaps to zero.
+  std::uint64_t inflight_ = 0;
+
+  std::unordered_map<ConnId, Connection> conns_;
+  std::vector<ConnId> flush_pending_;
+  std::vector<ConnId> starved_;
+  std::vector<std::unique_ptr<SendOp>> owned_sendops_;
+  std::vector<SendOp*> sendop_pool_;
+};
+
+void UringLoop::adopt_on_loop(int fd) {
+  if (draining_) {
+    ::close(fd);
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  const ConnId id = next_conn_id_.fetch_add(1);
+  Connection conn;
+  conn.id = id;
+  conn.sock.reset(fd);
+  conn.reader.adopt_storage(acquire_buffer());
+  auto [it, inserted] = conns_.emplace(id, std::move(conn));
+  arm_recv(it->second);
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UringLoop::do_connect(ConnId id, const std::string& address,
+                           std::uint16_t port) {
+  if (draining_) {
+    if (callbacks_.on_connect) callbacks_.on_connect(id, false);
+    return;
+  }
+  bool in_progress = false;
+  count_syscall();
+  Socket sock = connect_tcp_nonblocking(address, port, &in_progress);
+  if (!sock.valid()) {
+    // Synchronous failure: defer the outcome so the owner's connect() call
+    // has returned first (same contract as FrameLoop).
+    run_after(0.0, [this, id] { notify_connect_deferred(id); });
+    return;
+  }
+  Connection conn;
+  conn.id = id;
+  conn.sock = std::move(sock);
+  conn.reader.adopt_storage(acquire_buffer());
+  conn.outbound = true;
+  conn.connecting = in_progress;
+  auto [it, inserted] = conns_.emplace(id, std::move(conn));
+  if (in_progress) {
+    arm_conn_poll(it->second);
+  } else {
+    // Synchronous loopback success: reads armed now, outcome deferred.
+    arm_recv(it->second);
+    run_after(0.0, [this, id] { notify_connect_deferred(id); });
+  }
+}
+
+void UringLoop::run() {
+  Clock::time_point drain_deadline{};
+  std::uint64_t tick_start_ns = 0;
+  std::uint64_t tick_items = 0;
+
+  arm_wake();
+  if (listener_.valid()) arm_accept();
+
+  while (true) {
+    const std::size_t posted = drain_posted();
+
+    if (!draining_) {
+      run_due_timers();
+    }
+
+    if (stop_requested_.load() && !draining_) {
+      draining_ = true;
+      drain_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(drain_s_.load()));
+      // Stop accepting: the listener closes when the terminal accept CQE
+      // lands (on_accept sees draining_).
+      if (accept_armed_) {
+        arm_cancel(make_ud(0, kTagAccept));
+      } else {
+        listener_.reset();
+      }
+      // Abort half-open connects; stop reading on established conns but
+      // keep flushing their queued writes (FrameLoop drops read interest
+      // the same way).
+      std::vector<ConnId> connecting;
+      for (auto& [id, conn] : conns_) {
+        if (conn.connecting && !conn.closing) connecting.push_back(id);
+      }
+      for (ConnId id : connecting) {
+        destroy(id, false);
+      }
+      for (auto& [id, conn] : conns_) {
+        if (conn.recv_armed && !conn.closing) {
+          arm_cancel(make_ud(id, kTagRecv));
+        }
+      }
+    }
+
+    // The wakeup's single flush point, as in FrameLoop: everything queued by
+    // posted work, timers and this round of completions goes out in one
+    // submission batch right before the loop blocks again.
+    flush_pending_conns();
+
+    if (draining_) {
+      bool writes_pending = false;
+      for (const auto& [id, conn] : conns_) {
+        if (!conn.closing && (conn.out_bytes > 0 || !conn.send_ops.empty())) {
+          writes_pending = true;
+          break;
+        }
+      }
+      if (!writes_pending || Clock::now() >= drain_deadline) break;
+    }
+
+    tick_items += posted;
+    if (tick_us_ != nullptr && tick_start_ns != 0) {
+      tick_us_->record((obs::now_ns() - tick_start_ns) / 1000);
+      dispatch_depth_->record(tick_items);
+    }
+    const int timeout_ms = draining_ ? 10 : next_timeout_ms();
+    const int n = wait_cqes(timeout_ms);
+    counters_.wakeups.fetch_add(1, std::memory_order_relaxed);
+    tick_start_ns = tick_us_ != nullptr ? obs::now_ns() : 0;
+    if (n < 0) {
+      SCP_LOG_ERROR << "net: io_uring wait failed: " << std::strerror(errno)
+                    << "; shutting down";
+      break;
+    }
+    tick_items = process_cqes();
+  }
+
+  teardown();
+}
+
+void UringLoop::teardown() {
+  teardown_ = true;
+  if (inflight_ > 0) {
+    // One cancel-everything op; every armed op resolves with a terminal CQE.
+    io_uring_sqe* sqe = get_sqe_blocking();
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->cancel_flags = IORING_ASYNC_CANCEL_ANY;
+    sqe->user_data = make_ud(0, kTagCancel);
+    ++inflight_;
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(250);
+  while (inflight_ > 0 && Clock::now() < deadline) {
+    unsigned to_submit = sqpoll_ ? (ring_.flush_sq(), 0u) : ring_.flush_sq();
+    __kernel_timespec ts{};
+    ts.tv_nsec = 10 * 1000000;
+    io_uring_getevents_arg arg{};
+    arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+    count_syscall();
+    const int ret = sys_uring_enter(
+        ring_.fd, to_submit, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+        &arg, sizeof(arg));
+    if (ret < 0 && errno != EINTR && errno != ETIME && errno != EBUSY &&
+        errno != EAGAIN) {
+      break;
+    }
+    unsigned head = *ring_.cq_head;
+    const unsigned tail = __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
+    while (head != tail) {
+      const io_uring_cqe cqe = ring_.cqes[head & *ring_.cq_mask];
+      ++head;
+      __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
+      process_cqe_teardown(cqe);
+    }
+  }
+  // Final teardown: no callbacks (base contract shared with FrameLoop).
+  for (auto& [id, conn] : conns_) {
+    for (SendOp* op : conn.send_ops) {
+      release_sendop(op);
+    }
+    conn.send_ops.clear();
+  }
+  conns_.clear();
+  listener_.reset();
+}
+
+bool probe_uring(std::string* reason) {
+  Ring ring;
+  if (!ring.init(8, /*sqpoll=*/false)) {
+    if (reason != nullptr) {
+      *reason =
+          std::string("io_uring_setup failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if ((ring.params.features & IORING_FEAT_EXT_ARG) == 0) {
+    if (reason != nullptr) *reason = "kernel lacks IORING_FEAT_EXT_ARG";
+    return false;
+  }
+  BufRing bufs;
+  if (!bufs.init(ring.fd, 4, 4096)) {
+    if (reason != nullptr) {
+      *reason = "kernel lacks provided buffer rings (PBUF_RING)";
+    }
+    return false;
+  }
+  int fds[2] = {-1, -1};
+  bool ok = false;
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    if (reason != nullptr) *reason = "socketpair failed";
+  } else {
+    // End-to-end: a provided-buffer multishot recv must round-trip a byte.
+    io_uring_sqe* sqe = ring.get_sqe();
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = fds[0];
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kBufGroup;
+    sqe->user_data = 1;
+    const unsigned to_submit = ring.flush_sq();
+    const char byte = 42;
+    if (::write(fds[1], &byte, 1) != 1) {
+      if (reason != nullptr) *reason = "probe write failed";
+    } else {
+      __kernel_timespec ts{};
+      ts.tv_nsec = 500 * 1000000;
+      io_uring_getevents_arg arg{};
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      sys_uring_enter(ring.fd, to_submit, 1,
+                      IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
+                      sizeof(arg));
+      if (ring.cq_ready() == 0) {
+        if (reason != nullptr) *reason = "multishot recv never completed";
+      } else {
+        const io_uring_cqe& cqe = ring.cqes[*ring.cq_head & *ring.cq_mask];
+        if (cqe.res == 1 && (cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+          ok = true;
+        } else if (reason != nullptr) {
+          *reason = "kernel rejected provided-buffer multishot recv (res=" +
+                    std::to_string(cqe.res) + ")";
+        }
+      }
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  bufs.destroy(ring.fd);
+  return ok;
+}
+
+}  // namespace
+
+bool uring_runtime_available(std::string* reason) {
+  static std::string cached_reason;
+  static const bool available = probe_uring(&cached_reason);
+  if (reason != nullptr) *reason = cached_reason;
+  return available;
+}
+
+std::unique_ptr<Reactor> make_uring_loop(const UringOptions& options) {
+  if (!uring_runtime_available(nullptr)) return nullptr;
+  auto loop = std::make_unique<UringLoop>(options);
+  if (!loop->ok()) return nullptr;
+  return loop;
+}
+
+}  // namespace scp::net
+
+#else  // !SCP_NET_HAVE_URING
+
+namespace scp::net {
+
+bool uring_runtime_available(std::string* reason) {
+  if (reason != nullptr) {
+    *reason = "built without a usable <linux/io_uring.h>";
+  }
+  return false;
+}
+
+std::unique_ptr<Reactor> make_uring_loop(const UringOptions&) {
+  return nullptr;
+}
+
+}  // namespace scp::net
+
+#endif  // SCP_NET_HAVE_URING

@@ -1,0 +1,56 @@
+// Completion-based reactor on io_uring (see reactor.h for the interface and
+// frame_loop.h for the readiness-based sibling).
+//
+// Syscall economics — the point of this backend: the epoll path costs, per
+// wakeup serving C connections, one epoll_wait + up to C recvs + up to C
+// sendmsgs (plus epoll_ctl churn). UringLoop replaces all of it with ONE
+// io_uring_enter per wakeup: a multishot accept SQE stands for the whole
+// accept loop, per-connection multishot recvs deliver inbound bytes into
+// kernel-provided buffer-ring slots (no recv syscalls at all), and queued
+// replies are flushed as batched SENDMSG SQEs — gathered over the same
+// pooled per-frame buffers as FrameLoop, linked (IOSQE_IO_LINK +
+// MSG_WAITALL) when a backlog needs more than one gather. The enter both
+// submits the batch and waits for completions.
+//
+// Availability is probed end-to-end at runtime (uring_runtime_available():
+// ring setup, feature bits, a provided-buffer multishot recv round-trip),
+// so seccomp'd containers and pre-6.0 kernels fall back to FrameLoop
+// cleanly instead of failing on the first EINVAL.
+//
+// The UringLoop class itself is an implementation detail of uring_loop.cpp;
+// construct through make_uring_loop() (or make_reactor()). UringOptions
+// exposes the knobs the uring-specific tests need: a tiny buffer ring to
+// force ENOBUFS starvation, and single-shot accept to exercise the re-arm
+// path on every connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/reactor.h"
+
+namespace scp::net {
+
+struct UringOptions {
+  /// IORING_SETUP_SQPOLL plus a user-side spin-peek window before blocking.
+  /// Falls back to plain rings (spin only) where SQPOLL setup fails.
+  bool busy_poll = false;
+  /// Provided-buffer ring geometry. buf_count must be a power of two.
+  /// Tests shrink these to force ENOBUFS starvation + re-arm.
+  unsigned buf_count = 128;
+  unsigned buf_size = 16384;
+  /// Test hook: arm accept WITHOUT the multishot flag so every accepted
+  /// connection exercises the terminal-CQE re-arm path that a kernel-side
+  /// multishot termination would take.
+  bool single_shot_accept = false;
+};
+
+/// Runtime probe behind uring_available() (reactor.h); cached. Performs a
+/// real provided-buffer multishot recv round-trip on a private ring.
+bool uring_runtime_available(std::string* reason = nullptr);
+
+/// A UringLoop, or null when io_uring is unusable here (caller falls back).
+std::unique_ptr<Reactor> make_uring_loop(const UringOptions& options = {});
+
+}  // namespace scp::net

@@ -20,6 +20,37 @@ namespace {
 
 constexpr std::uint64_t kPartitionSeed = 77;
 
+/// Reactor backend under test: set per-case by the fixture from the test
+/// parameter, read by the config helpers so every server in a case (fleet
+/// and frontend alike) runs the same loop implementation.
+ReactorKind g_reactor = ReactorKind::kEpoll;
+
+class ReactorSuite : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(parse_reactor_kind(GetParam(), g_reactor));
+    if (g_reactor == ReactorKind::kUring) {
+      std::string reason;
+      if (!uring_available(&reason)) {
+        GTEST_SKIP() << "SKIPPED: no io_uring (" << reason << ")";
+      }
+    }
+  }
+  void TearDown() override { g_reactor = ReactorKind::kEpoll; }
+};
+
+static std::string reactor_name(
+    const ::testing::TestParamInfo<const char*>& info) {
+  return info.param;
+}
+
+class BackendLoopback : public ReactorSuite {};
+class FrontendLoopback : public ReactorSuite {};
+INSTANTIATE_TEST_SUITE_P(Reactors, BackendLoopback,
+                         ::testing::Values("epoll", "uring"), reactor_name);
+INSTANTIATE_TEST_SUITE_P(Reactors, FrontendLoopback,
+                         ::testing::Values("epoll", "uring"), reactor_name);
+
 BackendConfig backend_config(std::uint32_t node_id, std::uint32_t nodes,
                              std::uint32_t replication, std::uint64_t items) {
   BackendConfig config;
@@ -28,6 +59,7 @@ BackendConfig backend_config(std::uint32_t node_id, std::uint32_t nodes,
   config.replication = replication;
   config.partition_seed = kPartitionSeed;
   config.items = items;
+  config.reactor = g_reactor;
   return config;
 }
 
@@ -62,10 +94,11 @@ FrontendConfig frontend_config(const Fleet& fleet, std::uint32_t nodes,
   config.cache_policy = "perfect";
   config.cache_capacity = cache_capacity;
   config.items = items;
+  config.reactor = g_reactor;
   return config;
 }
 
-TEST(BackendLoopback, ServesOwnedKeysAndRedirectsOthers) {
+TEST_P(BackendLoopback, ServesOwnedKeysAndRedirectsOthers) {
   constexpr std::uint32_t kNodes = 4;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 64;
@@ -129,7 +162,7 @@ TEST(BackendLoopback, ServesOwnedKeysAndRedirectsOthers) {
   EXPECT_FALSE(server.running());
 }
 
-TEST(FrontendLoopback, ServesHitsLocallyAndForwardsMisses) {
+TEST_P(FrontendLoopback, ServesHitsLocallyAndForwardsMisses) {
   constexpr std::uint32_t kNodes = 3;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 128;
@@ -179,7 +212,7 @@ TEST(FrontendLoopback, ServesHitsLocallyAndForwardsMisses) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(FrontendLoopback, FailsOverWhenAReplicaDies) {
+TEST_P(FrontendLoopback, FailsOverWhenAReplicaDies) {
   constexpr std::uint32_t kNodes = 3;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 64;
@@ -219,7 +252,7 @@ TEST(FrontendLoopback, FailsOverWhenAReplicaDies) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(FrontendLoopback, ReportsErrorWhenEveryReplicaIsDead) {
+TEST_P(FrontendLoopback, ReportsErrorWhenEveryReplicaIsDead) {
   constexpr std::uint32_t kNodes = 2;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 16;
@@ -250,7 +283,7 @@ TEST(FrontendLoopback, ReportsErrorWhenEveryReplicaIsDead) {
   frontend.stop();
 }
 
-TEST(FrontendLoopback, AdmitEvictsInSyncWithTier) {
+TEST_P(FrontendLoopback, AdmitEvictsInSyncWithTier) {
   // Regression: a GET whose backend fetch comes back empty (kMiss) must
   // release the tier slot the lookup admitted. Before the fix the slot
   // stayed resident value-less: it consumed cache capacity, evicted real
@@ -305,7 +338,7 @@ TEST(FrontendLoopback, AdmitEvictsInSyncWithTier) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(FrontendLoopback, CounterInvariantsUnderFailover) {
+TEST_P(FrontendLoopback, CounterInvariantsUnderFailover) {
   // requests == hits + forwarded + failures must hold through replica death:
   // orphaned in-flight requests are retried (attempts grows, retries counts
   // the re-sends) but each client GET is accounted exactly once.
@@ -359,7 +392,7 @@ TEST(FrontendLoopback, CounterInvariantsUnderFailover) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(FrontendLoopback, ReconnectAfterFlappingBackend) {
+TEST_P(FrontendLoopback, ReconnectAfterFlappingBackend) {
   // A backend that dies and returns on the same port must be re-adopted:
   // wait_backends_up succeeds again after each flap, requests flow, and the
   // conn -> node map does not leak stale entries.
@@ -412,7 +445,7 @@ TEST(FrontendLoopback, ReconnectAfterFlappingBackend) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(FrontendLoopback, ServesMetricsSnapshotOverTheWire) {
+TEST_P(FrontendLoopback, ServesMetricsSnapshotOverTheWire) {
   constexpr std::uint32_t kNodes = 3;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 64;
@@ -472,7 +505,7 @@ TEST(FrontendLoopback, ServesMetricsSnapshotOverTheWire) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(FrontendLoopback, GracefulStopAnswersInFlightRequests) {
+TEST_P(FrontendLoopback, GracefulStopAnswersInFlightRequests) {
   constexpr std::uint32_t kNodes = 2;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 256;

@@ -21,6 +21,37 @@ namespace {
 
 constexpr std::uint64_t kPartitionSeed = 77;
 
+/// Reactor backend under test: set per-case by the fixture from the test
+/// parameter, read by the config helpers so every server in a case (fleet
+/// and frontend alike) runs the same loop implementation.
+ReactorKind g_reactor = ReactorKind::kEpoll;
+
+class ReactorSuite : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(parse_reactor_kind(GetParam(), g_reactor));
+    if (g_reactor == ReactorKind::kUring) {
+      std::string reason;
+      if (!uring_available(&reason)) {
+        GTEST_SKIP() << "SKIPPED: no io_uring (" << reason << ")";
+      }
+    }
+  }
+  void TearDown() override { g_reactor = ReactorKind::kEpoll; }
+};
+
+static std::string reactor_name(
+    const ::testing::TestParamInfo<const char*>& info) {
+  return info.param;
+}
+
+class ShardedFrontend : public ReactorSuite {};
+class ShardedBackend : public ReactorSuite {};
+INSTANTIATE_TEST_SUITE_P(Reactors, ShardedFrontend,
+                         ::testing::Values("epoll", "uring"), reactor_name);
+INSTANTIATE_TEST_SUITE_P(Reactors, ShardedBackend,
+                         ::testing::Values("epoll", "uring"), reactor_name);
+
 BackendConfig backend_config(std::uint32_t node_id, std::uint32_t nodes,
                              std::uint32_t replication, std::uint64_t items) {
   BackendConfig config;
@@ -29,6 +60,7 @@ BackendConfig backend_config(std::uint32_t node_id, std::uint32_t nodes,
   config.replication = replication;
   config.partition_seed = kPartitionSeed;
   config.items = items;
+  config.reactor = g_reactor;
   return config;
 }
 
@@ -63,6 +95,7 @@ FrontendConfig frontend_config(const Fleet& fleet, std::uint32_t nodes,
   config.cache_capacity = cache_capacity;
   config.items = items;
   config.shards = shards;
+  config.reactor = g_reactor;
   return config;
 }
 
@@ -70,7 +103,7 @@ void stop_fleet(Fleet& fleet) {
   for (auto& backend : fleet.backends) backend->stop();
 }
 
-TEST(ShardedFrontend, StressManyClientsCounterConsistency) {
+TEST_P(ShardedFrontend, StressManyClientsCounterConsistency) {
   // Many concurrent SyncClients (one per thread, as the class requires)
   // spread across the shards by the kernel's SO_REUSEPORT placement,
   // interleaving GET and STATS. Every GET must resolve to the canonical
@@ -147,7 +180,7 @@ TEST(ShardedFrontend, StressManyClientsCounterConsistency) {
   stop_fleet(fleet);
 }
 
-TEST(ShardedFrontend, PerShardMetricsSumToAggregate) {
+TEST_P(ShardedFrontend, PerShardMetricsSumToAggregate) {
   // Acceptance criterion: in a live scrape the aggregated series must equal
   // the sum of the per-shard series — counters exactly, histogram by count.
   constexpr std::uint32_t kNodes = 2;
@@ -208,7 +241,7 @@ TEST(ShardedFrontend, PerShardMetricsSumToAggregate) {
   stop_fleet(fleet);
 }
 
-TEST(ShardedFrontend, FallbackAcceptPartitionsCacheByKeyHash) {
+TEST_P(ShardedFrontend, FallbackAcceptPartitionsCacheByKeyHash) {
   // Documented c/N semantics: a shard only serves cache hits for keys it
   // owns (mix64(key) % N); the cached prefix {key < c} is partitioned, not
   // duplicated. One client on the fallback acceptor lands on shard 0, so
@@ -250,7 +283,7 @@ TEST(ShardedFrontend, FallbackAcceptPartitionsCacheByKeyHash) {
   stop_fleet(fleet);
 }
 
-TEST(ShardedFrontend, GracefulStopDrainsAllShards) {
+TEST_P(ShardedFrontend, GracefulStopDrainsAllShards) {
   // SIGTERM maps to stop(): after it returns, no shard may keep accepting —
   // every listener (all N SO_REUSEPORT sockets) must be closed, in-flight
   // requests answered first.
@@ -293,7 +326,7 @@ TEST(ShardedFrontend, GracefulStopDrainsAllShards) {
   stop_fleet(fleet);
 }
 
-TEST(ShardedBackend, ServesAcrossShardsAndMergesMetrics) {
+TEST_P(ShardedBackend, ServesAcrossShardsAndMergesMetrics) {
   // Sharded backend: shared storage behind N reactors. Replies must be
   // identical from every shard, the service-time histogram must merge
   // (aggregate count == sum of shard counts == requests), and the
@@ -352,7 +385,7 @@ TEST(ShardedBackend, ServesAcrossShardsAndMergesMetrics) {
   EXPECT_FALSE(server.running());
 }
 
-TEST(ShardedFrontend, SingleShardMatchesUnshardedCounters) {
+TEST_P(ShardedFrontend, SingleShardMatchesUnshardedCounters) {
   // Equivalence guard: --shards 1 runs the same code path the unsharded
   // server did — same counter totals on the canonical hit/forward workload
   // (the full byte-level guard is the unmodified test_net_loopback suite).
