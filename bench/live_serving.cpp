@@ -20,6 +20,15 @@
 // c/N across them); --shard-sweep 1,2,4 repeats the whole measurement per
 // shard count and emits one table row each, which is how the front-end
 // scaling curve in EXPERIMENTS.md is produced.
+//
+// --fe-fleet N runs the front end as a DistCache-style *fleet*: N separate
+// FrontendServer instances (fleet hash-partitioning the aggregate cache c
+// across them, single-copy) behind an in-process RouterServer that spreads
+// clients by power-of-two-choices on live load and follows FE-to-FE
+// REDIRECTs. Clients talk to the router; the per-FE request/hit spread and
+// the backend best_gain land in the same table/JSON row (fe_fleet,
+// fe_requests, fe_hits columns). --fe-fleet 1 keeps the classic direct
+// single-frontend path, byte-identical to earlier revisions.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -40,6 +49,7 @@
 #include "common/table.h"
 #include "net/backend_server.h"
 #include "net/frontend_server.h"
+#include "net/router_server.h"
 #include "net/sync_client.h"
 #include "obs/metrics.h"
 #include "sim/rate_sim.h"
@@ -69,6 +79,7 @@ struct LiveFlags {
   std::uint64_t value_bytes = 64;
   std::uint64_t seed = 20130708;
   std::uint64_t fe_shards = 1;   // front-end reactor shards
+  std::uint64_t fe_fleet = 1;    // front-end fleet width (1 = no router)
   std::string shard_sweep;       // "1,2,4": one full run per shard count
   std::string reactor = "epoll";  // event loop backend: epoll | uring
   net::ReactorKind reactor_kind = net::ReactorKind::kEpoll;  // parsed
@@ -234,6 +245,22 @@ std::string shard_requests_cell(const obs::MetricsSnapshot& fe_metrics,
   return cell;
 }
 
+/// "a|b|c": one named counter per fleet member, in fleet index order, from
+/// the per-member scrapes — the row-level view of how power-of-two-choices
+/// spread client load (fe_requests) and where the cache slots live
+/// (fe_hits).
+std::string fleet_counter_cell(
+    const std::vector<obs::MetricsSnapshot>& member_metrics,
+    const std::string& name) {
+  std::string cell;
+  for (const obs::MetricsSnapshot& snap : member_metrics) {
+    const auto it = snap.counters.find(name);
+    if (!cell.empty()) cell += "|";
+    cell += std::to_string(it != snap.counters.end() ? it->second : 0);
+  }
+  return cell;
+}
+
 /// One full measurement at `fe_shards` front-end shards: spawn the loopback
 /// cluster, drive the open-loop load, scrape, and append a row to `table`.
 /// Returns false when the cluster fails to come up.
@@ -264,31 +291,78 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     backends.push_back(std::move(backend));
   }
 
-  net::FrontendConfig fe_config;
-  fe_config.nodes = static_cast<std::uint32_t>(flags.n);
-  fe_config.replication = static_cast<std::uint32_t>(flags.d);
-  fe_config.partitioner = flags.partitioner;
-  fe_config.partition_seed = partition_seed;
-  fe_config.backends = endpoints;
-  fe_config.cache_policy = flags.cache;
-  fe_config.cache_capacity = flags.c;
-  fe_config.items = flags.m;
-  fe_config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
-  fe_config.router = flags.router;
-  fe_config.seed = derive_seed(flags.seed, 3);
-  fe_config.metrics = flags.metrics;
-  fe_config.shards = static_cast<std::uint32_t>(fe_shards);
-  fe_config.reactor = flags.reactor_kind;
-  fe_config.busy_poll = flags.busy_poll;
-  net::FrontendServer frontend(fe_config);
-  if (!frontend.start()) {
-    std::fprintf(stderr, "live_serving: frontend failed to start\n");
-    return false;
+  // One FrontendServer per fleet member (fleet == 1 is the classic single
+  // front end). Every member gets the same aggregate c and the shared fleet
+  // seed; FrontendServer slices its own fleet_index share out internally,
+  // so the tier-wide cache footprint sums to exactly c.
+  const std::uint64_t fleet = flags.fe_fleet == 0 ? 1 : flags.fe_fleet;
+  const std::uint64_t fleet_seed = derive_seed(flags.seed, 5);
+  std::vector<std::unique_ptr<net::FrontendServer>> frontends;
+  std::vector<std::pair<std::string, std::uint16_t>> fe_endpoints;
+  for (std::uint32_t member = 0; member < fleet; ++member) {
+    net::FrontendConfig fe_config;
+    fe_config.nodes = static_cast<std::uint32_t>(flags.n);
+    fe_config.replication = static_cast<std::uint32_t>(flags.d);
+    fe_config.partitioner = flags.partitioner;
+    fe_config.partition_seed = partition_seed;
+    fe_config.backends = endpoints;
+    fe_config.cache_policy = flags.cache;
+    fe_config.cache_capacity = flags.c;
+    fe_config.items = flags.m;
+    fe_config.value_bytes = static_cast<std::uint32_t>(flags.value_bytes);
+    fe_config.router = flags.router;
+    // Member 0 keeps the single-frontend seed so --fe-fleet 1 reproduces
+    // the classic run decision-for-decision.
+    fe_config.seed = member == 0
+                         ? derive_seed(flags.seed, 3)
+                         : derive_seed(derive_seed(flags.seed, 3), 200 + member);
+    fe_config.metrics = flags.metrics;
+    fe_config.shards = static_cast<std::uint32_t>(fe_shards);
+    fe_config.fleet_size = static_cast<std::uint32_t>(fleet);
+    fe_config.fleet_index = member;
+    fe_config.fleet_seed = fleet_seed;
+    fe_config.reactor = flags.reactor_kind;
+    fe_config.busy_poll = flags.busy_poll;
+    auto frontend = std::make_unique<net::FrontendServer>(fe_config);
+    if (!frontend->start()) {
+      std::fprintf(stderr, "live_serving: frontend %u failed to start\n",
+                   member);
+      return false;
+    }
+    fe_endpoints.emplace_back("127.0.0.1", frontend->port());
+    frontends.push_back(std::move(frontend));
   }
-  if (!frontend.wait_backends_up(5.0)) {
-    std::fprintf(stderr, "live_serving: backends never came up\n");
-    return false;
+  for (const auto& frontend : frontends) {
+    if (!frontend->wait_backends_up(5.0)) {
+      std::fprintf(stderr, "live_serving: backends never came up\n");
+      return false;
+    }
   }
+
+  // A fleet gets the edge router in front; clients talk only to it. The
+  // single-frontend path stays direct (no router hop) so --fe-fleet 1
+  // measures exactly what earlier revisions did.
+  std::unique_ptr<net::RouterServer> router;
+  if (fleet > 1) {
+    net::RouterConfig router_config;
+    router_config.frontends = fe_endpoints;
+    router_config.fleet_seed = fleet_seed;
+    router_config.seed = derive_seed(flags.seed, 6);
+    router_config.metrics = flags.metrics;
+    router_config.reactor = flags.reactor_kind;
+    router_config.busy_poll = flags.busy_poll;
+    router = std::make_unique<net::RouterServer>(router_config);
+    if (!router->start()) {
+      std::fprintf(stderr, "live_serving: router failed to start\n");
+      return false;
+    }
+    if (!router->wait_frontends_up(5.0)) {
+      std::fprintf(stderr, "live_serving: fleet never came up\n");
+      return false;
+    }
+  }
+  const std::uint16_t serve_port =
+      fleet > 1 ? router->port() : frontends[0]->port();
 
   // --- open-loop load -----------------------------------------------------
   const AliasSampler sampler = dist.make_sampler();
@@ -312,10 +386,12 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     for (std::uint32_t node = 0; node < flags.n; ++node) {
       warmup_requests[node] = backends[node]->stats().requests;
     }
-    warmup_fe_syscalls = frontend.loop_totals().syscalls;
+    for (const auto& frontend : frontends) {
+      warmup_fe_syscalls += frontend->loop_totals().syscalls;
+    }
   });
   for (std::uint64_t t = 0; t < flags.threads; ++t) {
-    workers.emplace_back(run_worker, "127.0.0.1", frontend.port(),
+    workers.emplace_back(run_worker, "127.0.0.1", serve_port,
                          std::cref(sampler), per_thread_rate, start,
                          measure_from, end,
                          derive_seed(flags.seed, 100 + t),
@@ -325,8 +401,11 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   snapshotter.join();
   // Read before the metrics scrape below: scraping goes over the wire and
   // would bill its own recv/send syscalls to the serving path.
-  const std::uint64_t fe_syscalls =
-      frontend.loop_totals().syscalls - warmup_fe_syscalls;
+  std::uint64_t fe_syscalls_total = 0;
+  for (const auto& frontend : frontends) {
+    fe_syscalls_total += frontend->loop_totals().syscalls;
+  }
+  const std::uint64_t fe_syscalls = fe_syscalls_total - warmup_fe_syscalls;
 
   // --- collect ------------------------------------------------------------
   std::uint64_t completed = 0;
@@ -362,13 +441,26 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   // snapshot-subtracted the way counters are), which only biases them
   // *upward* relative to the measured window — fine for the client-vs-server
   // consistency check below.
-  const net::ServerStats fe_stats = frontend.stats();
-  obs::MetricsSnapshot fe_metrics = scrape_metrics(frontend.port());
+  net::ServerStats fe_stats;
+  std::vector<obs::MetricsSnapshot> fe_member_metrics;
+  obs::MetricsSnapshot fe_metrics;
+  for (const auto& frontend : frontends) {
+    const net::ServerStats member_stats = frontend->stats();
+    fe_stats.requests += member_stats.requests;
+    fe_stats.hits += member_stats.hits;
+    fe_stats.misses += member_stats.misses;
+    fe_stats.forwarded += member_stats.forwarded;
+    fe_stats.retries += member_stats.retries;
+    fe_stats.failures += member_stats.failures;
+    fe_member_metrics.push_back(scrape_metrics(frontend->port()));
+    fe_metrics.merge(fe_member_metrics.back());
+  }
   obs::MetricsSnapshot be_metrics;
   for (const auto& backend : backends) {
     be_metrics.merge(scrape_metrics(backend->port()));
   }
-  frontend.stop(1.0);
+  if (router != nullptr) router->stop(1.0);
+  for (auto& frontend : frontends) frontend->stop(1.0);
   for (auto& backend : backends) backend->stop(1.0);
 
   const double ideal =
@@ -378,8 +470,11 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   const double throughput =
       static_cast<double>(completed) / flags.duration;
   // Syscall economics of the front end's data plane over the measured
-  // window. rps_per_core charges each SO_REUSEPORT shard as one core.
-  const double rps_per_core = throughput / static_cast<double>(fe_shards);
+  // window. rps_per_core charges each SO_REUSEPORT shard of each fleet
+  // member as one core (the router's core, shared by the whole fleet, is
+  // not billed here).
+  const double rps_per_core =
+      throughput / static_cast<double>(fleet * fe_shards);
   const double syscalls_per_req =
       completed > 0
           ? static_cast<double>(fe_syscalls) / static_cast<double>(completed)
@@ -394,16 +489,36 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                 static_cast<double>(fe_stats.requests)
           : 0.0;
 
-  std::printf("[fe_shards=%llu] per-backend load (measured window):\n%s\n",
+  std::printf("[fe_fleet=%llu fe_shards=%llu] per-backend load (measured "
+              "window):\n%s\n",
+              static_cast<unsigned long long>(fleet),
               static_cast<unsigned long long>(fe_shards),
               backend_table.render().c_str());
-  std::printf("[fe_shards=%llu] reactor=%s offered=%.0f qps achieved=%.0f "
-              "qps (%.1f%%)%s | rps/core=%.0f fe_syscalls/req=%.2f\n\n",
+  std::printf("[fe_fleet=%llu fe_shards=%llu] reactor=%s offered=%.0f qps "
+              "achieved=%.0f qps (%.1f%%)%s | rps/core=%.0f "
+              "fe_syscalls/req=%.2f\n\n",
+              static_cast<unsigned long long>(fleet),
               static_cast<unsigned long long>(fe_shards),
-              net::to_string(frontend.reactor_kind()), flags.rate, throughput,
+              net::to_string(frontends[0]->reactor_kind()), flags.rate,
+              throughput,
               flags.rate > 0 ? 100.0 * throughput / flags.rate : 0.0,
               rate_bound ? " RATE-BOUND" : "", rps_per_core,
               syscalls_per_req);
+  if (fleet > 1) {
+    const net::ServerStats router_stats = router->stats();
+    std::printf("[fe_fleet=%llu] router: requests=%llu forwarded=%llu "
+                "redirects=%llu failures=%llu | per-FE requests: %s | "
+                "per-FE hits: %s\n\n",
+                static_cast<unsigned long long>(fleet),
+                static_cast<unsigned long long>(router_stats.requests),
+                static_cast<unsigned long long>(router_stats.forwarded),
+                static_cast<unsigned long long>(router_stats.redirects),
+                static_cast<unsigned long long>(router_stats.failures),
+                fleet_counter_cell(fe_member_metrics, "frontend.requests")
+                    .c_str(),
+                fleet_counter_cell(fe_member_metrics, "frontend.hits")
+                    .c_str());
+  }
 
   // --- latency decomposition ----------------------------------------------
   // Client side, two histograms per request:
@@ -457,7 +572,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                  static_cast<std::int64_t>(flags.preset == "adversarial" ? x
                                                                          : 0),
                  static_cast<std::int64_t>(fe_shards),
-                 std::string(net::to_string(frontend.reactor_kind())),
+                 static_cast<std::int64_t>(fleet),
+                 std::string(net::to_string(frontends[0]->reactor_kind())),
                  static_cast<std::int64_t>(completed), throughput,
                  rps_per_core, syscalls_per_req,
                  static_cast<std::int64_t>(rate_bound ? 1 : 0), hit_ratio,
@@ -473,7 +589,9 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                  static_cast<std::int64_t>(fe_p99),
                  static_cast<std::int64_t>(rtt_p99),
                  static_cast<std::int64_t>(svc_p99),
-                 shard_requests_cell(fe_metrics, fe_shards)});
+                 shard_requests_cell(fe_metrics, fe_shards),
+                 fleet_counter_cell(fe_member_metrics, "frontend.requests"),
+                 fleet_counter_cell(fe_member_metrics, "frontend.hits")});
   return true;
 }
 
@@ -528,6 +646,10 @@ int main(int argc, char** argv) {
   flag_set.add_uint64("fe-shards", &flags.fe_shards,
                       "front-end reactor shards (SO_REUSEPORT; cache split "
                       "c/N)");
+  flag_set.add_uint64("fe-fleet", &flags.fe_fleet,
+                      "front-end fleet width N: N FrontendServers (aggregate "
+                      "cache c hash-partitioned across them) behind an edge "
+                      "router; 1 = classic direct single front end");
   flag_set.add_string("shard-sweep", &flags.shard_sweep,
                       "comma-separated shard counts (e.g. 1,2,4): run the "
                       "full measurement once per count, one row each");
@@ -615,12 +737,13 @@ int main(int argc, char** argv) {
   std::printf("rate-sim prediction (same partition seed): gain=%.4f\n\n",
               predicted);
 
-  TextTable table({"preset", "x", "fe_shards", "reactor", "completed",
-                   "throughput_qps", "rps_per_core", "syscalls_per_req",
-                   "rate_bound", "hit_ratio", "failures", "max_backend", "ideal",
-                   "live_gain", "predicted_gain", "gain_ratio", "p50_us",
-                   "p99_us", "p999_us", "cli_svc_p99_us", "fe_p99_us",
-                   "rtt_p99_us", "svc_p99_us", "shard_requests"});
+  TextTable table({"preset", "x", "fe_shards", "fe_fleet", "reactor",
+                   "completed", "throughput_qps", "rps_per_core",
+                   "syscalls_per_req", "rate_bound", "hit_ratio", "failures",
+                   "max_backend", "ideal", "live_gain", "predicted_gain",
+                   "gain_ratio", "p50_us", "p99_us", "p999_us",
+                   "cli_svc_p99_us", "fe_p99_us", "rtt_p99_us", "svc_p99_us",
+                   "shard_requests", "fe_requests", "fe_hits"});
   for (std::uint64_t fe_shards : shard_counts) {
     if (!run_once(flags, fe_shards, x, dist, predicted, partition_seed,
                   table)) {

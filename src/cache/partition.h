@@ -1,0 +1,30 @@
+// Cache-budget partition math shared by every layer that splits the paper's
+// single front-end cache of capacity c across multiple holders.
+//
+// Two layers split the budget today and both must preserve the same
+// invariant — the aggregate footprint is *exactly* c, never duplicated:
+//
+//   * reactor shards inside one scp_frontend process (capacity c -> c/N
+//     slices, PR 5), and
+//   * fleet members of a distributed front-end tier (aggregate c split
+//     across N scp_frontend processes by an independent hash, DistCache
+//     style).
+//
+// Both use slice_capacity(): the first (total mod parts) holders get one
+// extra entry, so sum over indices == total for every (total, parts).
+#pragma once
+
+#include <cstddef>
+
+namespace scp {
+
+/// Capacity of holder `index` when `total` entries are split across `parts`
+/// holders: ceil(total/parts) for the first total%parts holders,
+/// floor(total/parts) for the rest. The slices sum to exactly `total`.
+/// `index` must be < `parts`; `parts` must be > 0.
+constexpr std::size_t slice_capacity(std::size_t total, std::size_t parts,
+                                     std::size_t index) noexcept {
+  return total / parts + (index < total % parts ? 1 : 0);
+}
+
+}  // namespace scp

@@ -1,0 +1,107 @@
+// Distributed front-end fleet: hashing and replica choice (DistCache-style).
+//
+// An N-process front-end tier splits the paper's cache budget c across its
+// members with an *independent* hash — independent of the backend
+// consistent-hash/replica partitioner in src/cluster (different keyed
+// SipHash streams) and of the intra-process reactor-shard split (unkeyed
+// mix64). DistCache proves that independent partitioning per cache layer
+// plus power-of-two-choices between cache nodes preserves the load-balance
+// guarantee; this header provides both halves:
+//
+//   * fleet_owner()      — which fleet member holds a key's cache slot (the
+//                          only member allowed to cache it, so the aggregate
+//                          footprint stays exactly c), and
+//   * fleet_candidates() — the key's two candidate front ends (owner plus a
+//                          distinct alternate from a second hash stream),
+//                          between which FleetRouter picks by live load.
+//
+// The same functions run in the edge router (scp_router / RouterServer),
+// the fleet members themselves (a non-owner answers a cached key with
+// kRedirect to the owner) and the tests, so every component agrees on the
+// key -> member mapping from the shared fleet seed alone — no handshake.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scp::net {
+
+inline constexpr std::uint32_t kNoFleetMember = UINT32_MAX;
+
+/// The fleet member owning `key`'s cache slot: keyed SipHash of the key
+/// under a stream derived from `fleet_seed`, reduced mod `fleet_size`.
+/// Deterministic across processes sharing the seed. fleet_size == 0 is
+/// treated as 1 (a degenerate single-member fleet owns everything).
+std::uint32_t fleet_owner(std::uint64_t key, std::uint64_t fleet_seed,
+                          std::uint32_t fleet_size) noexcept;
+
+/// A key's two candidate front ends for power-of-two-choices routing.
+struct FleetCandidates {
+  std::uint32_t owner = 0;      ///< cache owner (fleet_owner())
+  std::uint32_t alternate = 0;  ///< distinct second choice (== owner iff N=1)
+};
+
+/// owner = fleet_owner(); alternate drawn from an independent hash stream
+/// over the remaining N-1 members, so the two candidates are distinct
+/// whenever the fleet has more than one member.
+FleetCandidates fleet_candidates(std::uint64_t key, std::uint64_t fleet_seed,
+                                 std::uint32_t fleet_size) noexcept;
+
+/// Power-of-two-choices over a key's candidate pair on a live load signal.
+///
+// Load per member is split into a scraped base (the member's own request
+// counter published through src/obs, refreshed by the router's scrape
+// timer) plus the locally tracked in-flight delta since that scrape — the
+// classic "least outstanding" correction that keeps the signal fresh
+// between scrapes. Not thread-safe: lives on one reactor thread (or inside
+// one load-generator worker).
+class FleetRouter {
+ public:
+  FleetRouter(std::uint32_t fleet_size, std::uint64_t fleet_seed);
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  std::uint64_t seed() const noexcept { return fleet_seed_; }
+
+  std::uint32_t owner_of(std::uint64_t key) const noexcept {
+    return fleet_owner(key, fleet_seed_, size());
+  }
+  FleetCandidates candidates_of(std::uint64_t key) const noexcept {
+    return fleet_candidates(key, fleet_seed_, size());
+  }
+
+  /// The less-loaded of the key's two live candidates (ties broken by
+  /// `rng`); the live one when only one is up; kNoFleetMember when neither
+  /// is. A single-member fleet always picks member 0 (when up).
+  std::uint32_t pick(std::uint64_t key, Rng& rng) const;
+
+  /// Scraped load base for `member` (e.g. its "frontend.requests" counter
+  /// plus its pending gauge from a kMetricsRequest scrape). Resets the
+  /// local outstanding delta: the scrape already reflects delivered work.
+  void set_scraped_load(std::uint32_t member, std::uint64_t load);
+
+  /// Local in-flight accounting between scrapes.
+  void on_dispatch(std::uint32_t member);
+  void on_complete(std::uint32_t member);
+
+  void set_up(std::uint32_t member, bool up);
+  bool up(std::uint32_t member) const { return members_[member].up; }
+
+  /// Current effective load (scraped base + local outstanding).
+  double load(std::uint32_t member) const;
+
+ private:
+  struct Member {
+    std::uint64_t scraped = 0;   ///< last scraped request count
+    std::int64_t outstanding = 0;  ///< local dispatches since that scrape
+    bool up = true;
+  };
+
+  std::uint64_t fleet_seed_;
+  std::vector<Member> members_;
+};
+
+}  // namespace scp::net

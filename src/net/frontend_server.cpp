@@ -4,8 +4,10 @@
 #include <chrono>
 #include <thread>
 
+#include "cache/partition.h"
 #include "common/hash.h"
 #include "common/log.h"
+#include "net/fleet.h"
 
 namespace scp::net {
 namespace {
@@ -36,10 +38,35 @@ std::size_t FrontendServer::shard_of(std::uint64_t key) const noexcept {
   return static_cast<std::size_t>(mix64(key) % shards_.size());
 }
 
+bool FrontendServer::fleet_owns(std::uint64_t key) const noexcept {
+  return config_.fleet_size <= 1 ||
+         fleet_owner(key, config_.fleet_seed, config_.fleet_size) ==
+             config_.fleet_index;
+}
+
+bool FrontendServer::fleet_redirect_needed(std::uint64_t key) const noexcept {
+  if (config_.cache_policy == "none" || config_.cache_capacity == 0) {
+    return false;  // nothing is cached anywhere; serve the forward here
+  }
+  if (config_.cache_policy == "perfect") {
+    // Assumption-2 oracle: the fleet's aggregate cached set is the global
+    // rank prefix {key < c}, partitioned by owner. Only those keys have a
+    // cache slot worth bouncing to.
+    return key < config_.cache_capacity && key < config_.items;
+  }
+  return true;  // policy caches: only the owner knows its contents
+}
+
 bool FrontendServer::start() {
   if (config_.backends.size() != config_.nodes) {
     SCP_LOG_ERROR << "scp_frontend: " << config_.backends.size()
                   << " backend endpoints for " << config_.nodes << " nodes";
+    return false;
+  }
+  if (config_.fleet_size == 0) config_.fleet_size = 1;
+  if (config_.fleet_index >= config_.fleet_size) {
+    SCP_LOG_ERROR << "scp_frontend: fleet index " << config_.fleet_index
+                  << " out of range for fleet size " << config_.fleet_size;
     return false;
   }
 
@@ -56,12 +83,13 @@ bool FrontendServer::start() {
     // reproduces it decision-for-decision.
     shard->rng = Rng(k == 0 ? config_.seed
                             : derive_seed(config_.seed, 100 + k));
-    // Capacity c is split across shards (⌈c/N⌉ for the first c mod N, ⌊c/N⌋
-    // for the rest), never duplicated: the sharded FE has the same aggregate
-    // cache footprint as the paper's single cache of capacity c.
-    shard->cache_capacity =
-        config_.cache_capacity / n_shards +
-        (k < config_.cache_capacity % n_shards ? 1 : 0);
+    // Capacity is split, never duplicated: first the aggregate c across the
+    // fleet members (this process gets its fleet_index slice), then that
+    // slice across the reactor shards — so the whole tier's cache footprint
+    // across every member and shard sums to exactly the paper's c.
+    const std::size_t member_capacity = slice_capacity(
+        config_.cache_capacity, config_.fleet_size, config_.fleet_index);
+    shard->cache_capacity = slice_capacity(member_capacity, n_shards, k);
     if (policy_tier && shard->cache_capacity > 0) {
       const std::uint64_t tier_seed = derive_seed(config_.seed, 7);
       shard->tier = std::make_unique<FrontEndTier>(
@@ -135,6 +163,10 @@ bool FrontendServer::start() {
                << " d=" << config_.replication << " cache="
                << config_.cache_policy << "/" << config_.cache_capacity
                << " router=" << config_.router << " shards=" << n_shards
+               << (config_.fleet_size > 1
+                       ? " fleet=" + std::to_string(config_.fleet_index) +
+                             "/" + std::to_string(config_.fleet_size)
+                       : "")
                << ")";
   return true;
 }
@@ -202,6 +234,8 @@ obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
         shard->misses.load(std::memory_order_relaxed);
     snap.counters["frontend.redirects"] =
         shard->redirects.load(std::memory_order_relaxed);
+    snap.counters["frontend.fleet_redirects"] =
+        shard->fleet_redirects.load(std::memory_order_relaxed);
     snap.counters["frontend.forwarded"] =
         shard->forwarded.load(std::memory_order_relaxed);
     snap.counters["frontend.retries"] =
@@ -229,6 +263,12 @@ obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
   // Shared across shards, so only the aggregate carries it.
   snap.gauges["frontend.pending_requests"] =
       static_cast<std::int64_t>(pending_total_.load(std::memory_order_relaxed));
+  if (config_.fleet_size > 1) {
+    snap.gauges["frontend.fleet_index"] =
+        static_cast<std::int64_t>(config_.fleet_index);
+    snap.gauges["frontend.fleet_size"] =
+        static_cast<std::int64_t>(config_.fleet_size);
+  }
   return snap;
 }
 
@@ -252,6 +292,28 @@ void FrontendServer::handle_client(Shard& shard, ConnId conn,
       const std::uint64_t start_ns =
           shard.request_us != nullptr ? obs::now_ns() : 0;
       shard.requests.fetch_add(1, std::memory_order_relaxed);
+      if (config_.fleet_size > 1 && !fleet_owns(message.key)) {
+        if (fleet_redirect_needed(message.key)) {
+          // A sibling owns this key's cache slot: bounce the caller to it
+          // (the REDIRECT node field carries the *fleet index*; the edge
+          // router maps it back to an endpoint). Never cached here.
+          shard.fleet_redirects.fetch_add(1, std::memory_order_relaxed);
+          Message reply;
+          reply.type = MsgType::kRedirect;
+          reply.key = message.key;
+          reply.node = fleet_owner(message.key, config_.fleet_seed,
+                                   config_.fleet_size);
+          shard.loop->send(conn, reply);
+          obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
+          return;
+        }
+        // Globally uncached under the perfect oracle: any member can serve
+        // the forward, and the router's power-of-two-choices sent it here
+        // to balance exactly this load. Skip the cache entirely.
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
+        forward(shard, conn, message.key, /*attempts=*/0, start_ns);
+        return;
+      }
       std::string value;
       const bool hit = cache_lookup(shard, message.key, value);
       obs::record_elapsed(shard.cache_lookup_ns, start_ns);

@@ -31,6 +31,21 @@
 // happens to reach the owning shard for. Routers run per shard (each shard
 // pins keys and tracks loads from its own forwards). shards == 1 is
 // byte-identical to the unsharded server.
+//
+// Fleet mode (config.fleet_size = N > 1): this process is one member of a
+// distributed front-end tier (DistCache-style). The aggregate cache budget
+// c is partitioned across the N members by the independent fleet hash
+// (src/net/fleet.h — keyed SipHash, unrelated to both the backend replica
+// partitioner and the intra-process mix64 shard split): only the owning
+// member may cache a key, so the fleet's total footprint stays exactly c.
+// A GET for a key owned by a sibling is answered with kRedirect carrying
+// the *fleet index* of the owner (the edge router maps indices to
+// endpoints and re-dispatches) — with the perfect-oracle cache only when
+// the key is globally cached (rank < c); globally-uncached keys are
+// forwarded to a backend right here, which is what lets the router's
+// power-of-two-choices spread the forwarding load across members. Policy
+// caches redirect every non-owned key: only the owner knows its cache
+// contents. fleet_size == 1 disables all of this byte-for-byte.
 #pragma once
 
 #include <atomic>
@@ -84,6 +99,13 @@ struct FrontendConfig {
   /// Reactor shards (see file comment). Each shard holds its own backend
   /// connections and a hash-partitioned slice of the cache.
   std::uint32_t shards = 1;
+  /// Fleet mode (see file comment): this process is member `fleet_index` of
+  /// a `fleet_size`-wide front-end tier whose members partition the
+  /// aggregate `cache_capacity` by the fleet hash under `fleet_seed`. The
+  /// seed must match across the tier and its router or redirects loop.
+  std::uint32_t fleet_size = 1;
+  std::uint32_t fleet_index = 0;
+  std::uint64_t fleet_seed = 0;
   /// Test hook: force the single-acceptor round-robin accept path.
   bool force_fallback_accept = false;
   /// Event-loop backend for every shard (uring falls back to epoll where
@@ -182,6 +204,9 @@ class FrontendServer {
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> redirects{0};
+    /// Fleet mode only: kRedirect replies sent for keys a sibling owns. In
+    /// fleet mode requests == hits + forwarded + failures + fleet_redirects.
+    std::atomic<std::uint64_t> fleet_redirects{0};
     std::atomic<std::uint64_t> forwarded{0};
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> failures{0};
@@ -204,6 +229,14 @@ class FrontendServer {
   bool owns(const Shard& shard, std::uint64_t key) const noexcept {
     return shards_.size() == 1 || shard_of(key) == shard.index;
   }
+
+  /// Fleet-partition ownership: true when this process's member index owns
+  /// `key`'s cache slot (always true outside fleet mode).
+  bool fleet_owns(std::uint64_t key) const noexcept;
+  /// True when a non-owned key must bounce to its owner instead of being
+  /// forwarded here: the key is globally cached under the perfect oracle,
+  /// or the tier runs a policy cache (only the owner knows its contents).
+  bool fleet_redirect_needed(std::uint64_t key) const noexcept;
 
   void handle(Shard& shard, ConnId conn, Message&& message);
   void handle_client(Shard& shard, ConnId conn, Message&& message);

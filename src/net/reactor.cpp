@@ -99,7 +99,8 @@ bool Reactor::start() {
   // returns; callers poll it as the serve-loop condition.
   running_.store(true);
   thread_ = std::thread([this] {
-    loop_thread_id_ = std::this_thread::get_id();
+    loop_thread_id_.store(std::this_thread::get_id(),
+                          std::memory_order_release);
     run();
     running_.store(false);
   });

@@ -195,7 +195,8 @@ class Reactor {
                           std::uint16_t port) = 0;
 
   bool on_loop_thread() const noexcept {
-    return std::this_thread::get_id() == loop_thread_id_;
+    return std::this_thread::get_id() ==
+           loop_thread_id_.load(std::memory_order_acquire);
   }
 
   /// Interrupts the loop's blocking wait. Safe from any thread (write(2) on
@@ -251,7 +252,10 @@ class Reactor {
       pending_connects_;  // queued before start()
 
   std::thread thread_;
-  std::thread::id loop_thread_id_;
+  // Written once by the loop thread at startup, read by any thread that
+  // calls adopt()/send() — another shard's accept handler may race the
+  // owning thread's first instruction, hence atomic.
+  std::atomic<std::thread::id> loop_thread_id_{};
 };
 
 struct ReactorOptions {

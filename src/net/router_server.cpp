@@ -1,0 +1,450 @@
+#include "net/router_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+
+namespace scp::net {
+namespace {
+
+constexpr double kSweepIntervalS = 0.020;
+constexpr double kReconnectBaseS = 0.050;
+constexpr double kReconnectCapS = 1.0;
+
+}  // namespace
+
+RouterServer::RouterServer(RouterConfig config)
+    : config_(std::move(config)),
+      loop_(make_reactor(
+          ReactorOptions{.kind = config_.reactor, .busy_poll = config_.busy_poll})),
+      router_(static_cast<std::uint32_t>(config_.frontends.size()),
+              config_.fleet_seed),
+      rng_(config_.seed) {}
+
+RouterServer::~RouterServer() { stop(0.0); }
+
+bool RouterServer::start() {
+  if (config_.frontends.empty()) {
+    SCP_LOG_ERROR << "scp_router: no fleet members configured";
+    return false;
+  }
+  if (config_.max_hops == 0) config_.max_hops = 1;
+
+  members_.resize(config_.frontends.size());
+  for (std::size_t i = 0; i < config_.frontends.size(); ++i) {
+    members_[i].address = config_.frontends[i].first;
+    members_[i].port = config_.frontends[i].second;
+    // Members start pessimistically down; on_conn_connect flips them up.
+    router_.set_up(static_cast<std::uint32_t>(i), false);
+  }
+
+  Reactor::Callbacks callbacks;
+  callbacks.on_message = [this](ConnId conn, Message&& message) {
+    handle(conn, std::move(message));
+  };
+  callbacks.on_close = [this](ConnId conn) { on_conn_close(conn); };
+  callbacks.on_connect = [this](ConnId conn, bool ok) {
+    on_conn_connect(conn, ok);
+  };
+  loop_->set_callbacks(std::move(callbacks));
+
+  if (config_.metrics) {
+    request_us_ = &registry_.timer("router.request_us");
+    member_rtt_us_ = &registry_.timer("router.fe_rtt_us");
+    member_dispatches_.resize(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      member_dispatches_[i] =
+          &registry_.counter("router.dispatches.fe" + std::to_string(i));
+    }
+    loop_->set_metrics(&registry_);
+  }
+
+  if (!loop_->listen(config_.address, config_.port)) return false;
+  if (config_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
+        [this] { return metrics_snapshot(); });
+    if (!metrics_http_->start(
+            static_cast<std::uint16_t>(config_.metrics_port))) {
+      SCP_LOG_ERROR << "scp_router: failed to bind metrics port "
+                    << config_.metrics_port;
+      return false;
+    }
+  }
+
+  for (std::uint32_t member = 0; member < members_.size(); ++member) {
+    MemberState& fe = members_[member];
+    fe.conn = loop_->connect(fe.address, fe.port);
+    member_by_conn_[fe.conn] = member;
+  }
+  loop_->run_after(kSweepIntervalS, [this] { sweep_timeouts(); });
+  loop_->run_after(config_.scrape_interval_s, [this] { scrape_members(); });
+
+  if (!loop_->start()) return false;
+  SCP_LOG_INFO << "scp_router serving on " << config_.address << ":"
+               << loop_->port() << " (fleet=" << members_.size()
+               << " scrape=" << config_.scrape_interval_s << "s)";
+  return true;
+}
+
+void RouterServer::stop(double drain_s) {
+  stopping_.store(true);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(drain_s));
+  while (pending_total_.load() > 0 &&
+         std::chrono::steady_clock::now() < deadline && loop_->running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  loop_->stop();
+  if (metrics_http_ != nullptr) {
+    metrics_http_->stop();
+  }
+}
+
+std::uint16_t RouterServer::port() const noexcept { return loop_->port(); }
+
+bool RouterServer::running() const noexcept { return loop_->running(); }
+
+ReactorKind RouterServer::reactor_kind() const noexcept {
+  return loop_->kind();
+}
+
+bool RouterServer::wait_frontends_up(double timeout_s) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+  while (frontends_up_.load(std::memory_order_relaxed) < members_.size()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+ServerStats RouterServer::stats() const {
+  ServerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
+  stats.redirects = redirects_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.attempts = attempts_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+obs::MetricsSnapshot RouterServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  snap.counters["router.requests"] =
+      requests_.load(std::memory_order_relaxed);
+  snap.counters["router.forwarded"] =
+      forwarded_.load(std::memory_order_relaxed);
+  snap.counters["router.redirects_followed"] =
+      redirects_.load(std::memory_order_relaxed);
+  snap.counters["router.retries"] = retries_.load(std::memory_order_relaxed);
+  snap.counters["router.failures"] =
+      failures_.load(std::memory_order_relaxed);
+  snap.counters["router.attempts_total"] =
+      attempts_.load(std::memory_order_relaxed);
+  snap.gauges["router.frontends_up"] = static_cast<std::int64_t>(
+      frontends_up_.load(std::memory_order_relaxed));
+  snap.gauges["router.fleet_size"] =
+      static_cast<std::int64_t>(members_.size());
+  snap.gauges["router.pending_requests"] = static_cast<std::int64_t>(
+      pending_total_.load(std::memory_order_relaxed));
+  const ReactorCounters& loop = loop_->counters();
+  snap.counters["loop.syscalls"] =
+      loop.syscalls.load(std::memory_order_relaxed);
+  snap.counters["loop.wakeups"] = loop.wakeups.load(std::memory_order_relaxed);
+  snap.counters["loop.frames_in"] =
+      loop.frames_in.load(std::memory_order_relaxed);
+  snap.counters["loop.frames_out"] =
+      loop.frames_out.load(std::memory_order_relaxed);
+  snap.counters["loop.buf_starved"] =
+      loop.buf_starved.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint16_t RouterServer::metrics_http_port() const noexcept {
+  return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+}
+
+void RouterServer::handle(ConnId conn, Message&& message) {
+  auto it = member_by_conn_.find(conn);
+  if (it != member_by_conn_.end()) {
+    handle_member(it->second, std::move(message));
+  } else {
+    handle_client(conn, std::move(message));
+  }
+}
+
+void RouterServer::handle_client(ConnId conn, Message&& message) {
+  switch (message.type) {
+    case MsgType::kGet: {
+      const std::uint64_t start_ns =
+          request_us_ != nullptr ? obs::now_ns() : 0;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      dispatch(conn, message.key, /*hops=*/0, start_ns);
+      return;
+    }
+    case MsgType::kStats: {
+      Message reply;
+      reply.type = MsgType::kStatsReply;
+      reply.stats = stats();
+      loop_->send(conn, reply);
+      return;
+    }
+    case MsgType::kMetricsRequest: {
+      Message reply;
+      reply.type = MsgType::kMetricsReply;
+      reply.metrics = metrics_snapshot();
+      loop_->send(conn, reply);
+      return;
+    }
+    case MsgType::kPing: {
+      Message reply;
+      reply.type = MsgType::kPong;
+      loop_->send(conn, reply);
+      return;
+    }
+    default: {
+      Message reply;
+      reply.type = MsgType::kError;
+      reply.key = message.key;
+      reply.payload = "unexpected message type";
+      loop_->send(conn, reply);
+      return;
+    }
+  }
+}
+
+void RouterServer::handle_member(std::uint32_t member, Message&& message) {
+  MemberState& fe = members_[member];
+  if (message.type == MsgType::kMetricsReply) {
+    // Scrape result: refresh this member's load base — its own request
+    // counter plus whatever it still has in flight toward the backends.
+    std::uint64_t load = 0;
+    auto counter = message.metrics.counters.find("frontend.requests");
+    if (counter != message.metrics.counters.end()) load = counter->second;
+    auto gauge = message.metrics.gauges.find("frontend.pending_requests");
+    if (gauge != message.metrics.gauges.end() && gauge->second > 0) {
+      load += static_cast<std::uint64_t>(gauge->second);
+    }
+    router_.set_scraped_load(member, load);
+    return;
+  }
+  if (message.type == MsgType::kPong ||
+      message.type == MsgType::kStatsReply) {
+    return;  // health probes; nothing pending
+  }
+  // Replies are matched by key, not FIFO: a fleet member answers cache hits
+  // and redirects immediately but forwards only when the backend responds,
+  // so its replies legitimately overtake one another. Oldest-first scan so
+  // duplicate keys in flight complete in dispatch order.
+  const auto it = std::find_if(
+      fe.pending.begin(), fe.pending.end(),
+      [&](const PendingRequest& p) { return p.key == message.key; });
+  if (it == fe.pending.end()) {
+    SCP_LOG_WARN << "scp_router: unmatched reply from fe " << member
+                 << "; resetting connection";
+    loop_->close_connection(fe.conn);
+    return;
+  }
+  PendingRequest request = *it;
+  fe.pending.erase(it);
+  pending_total_.fetch_sub(1, std::memory_order_relaxed);
+  router_.on_complete(member);
+
+  if (message.type == MsgType::kRedirect) {
+    // A cached key landed on the non-owner: follow the hop to the owner
+    // (message.node is a *fleet index*). Transparent to the client.
+    redirects_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t owner = static_cast<std::uint32_t>(message.node);
+    if (owner < members_.size() && request.hops < config_.max_hops &&
+        dispatch_to(owner, request.client, request.key, request.hops,
+                    request.start_ns)) {
+      return;
+    }
+    // Owner down or hop budget spent: let the surviving candidate serve
+    // the forward path instead of failing outright.
+    if (request.hops < config_.max_hops) {
+      dispatch(request.client, request.key, request.hops, request.start_ns);
+    } else {
+      fail_request(request.client, request.key);
+    }
+    return;
+  }
+
+  // kValue / kMiss / kError relay verbatim; the client sees exactly what
+  // the fleet member answered. An error still counts as a failure (not a
+  // forward) so requests == forwarded + failures holds at the router too.
+  if (message.type == MsgType::kError) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (request_us_ != nullptr) {
+    const std::uint64_t now = obs::now_ns();
+    if (request.start_ns != 0) {
+      request_us_->record((now - request.start_ns) / 1'000);
+    }
+  }
+  const ConnId client = request.client;
+  loop_->send(client, message);
+}
+
+void RouterServer::on_conn_close(ConnId conn) {
+  auto it = member_by_conn_.find(conn);
+  if (it == member_by_conn_.end()) {
+    return;  // client hung up; replies fail at send()
+  }
+  const std::uint32_t member = it->second;
+  member_by_conn_.erase(it);
+  MemberState& fe = members_[member];
+  if (fe.up) {
+    fe.up = false;
+    frontends_up_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  fe.conn = kInvalidConn;
+  router_.set_up(member, false);
+
+  std::deque<PendingRequest> orphaned;
+  orphaned.swap(fe.pending);
+  for (const PendingRequest& request : orphaned) {
+    pending_total_.fetch_sub(1, std::memory_order_relaxed);
+    router_.on_complete(member);
+    // Re-dispatch to whichever candidate is still live (the dead member is
+    // marked down, so pick() routes around it).
+    if (request.hops < config_.max_hops) {
+      dispatch(request.client, request.key, request.hops, request.start_ns);
+    } else {
+      fail_request(request.client, request.key);
+    }
+  }
+  schedule_reconnect(member);
+}
+
+void RouterServer::on_conn_connect(ConnId conn, bool ok) {
+  auto it = member_by_conn_.find(conn);
+  if (it == member_by_conn_.end()) return;
+  const std::uint32_t member = it->second;
+  MemberState& fe = members_[member];
+  if (ok) {
+    fe.up = true;
+    fe.connect_attempts = 0;
+    frontends_up_.fetch_add(1, std::memory_order_relaxed);
+    router_.set_up(member, true);
+    return;
+  }
+  member_by_conn_.erase(it);
+  fe.conn = kInvalidConn;
+  schedule_reconnect(member);
+}
+
+void RouterServer::schedule_reconnect(std::uint32_t member) {
+  if (stopping_.load()) return;
+  MemberState& fe = members_[member];
+  const double delay =
+      std::min(kReconnectBaseS * static_cast<double>(
+                                     1u << std::min(fe.connect_attempts, 10u)),
+               kReconnectCapS);
+  fe.connect_attempts++;
+  loop_->run_after(delay, [this, member] {
+    if (stopping_.load()) return;
+    MemberState& target = members_[member];
+    if (target.conn != kInvalidConn) return;  // already reconnecting
+    target.conn = loop_->connect(target.address, target.port);
+    member_by_conn_[target.conn] = member;
+  });
+}
+
+bool RouterServer::dispatch_to(std::uint32_t member, ConnId client,
+                               std::uint64_t key, std::uint32_t hops,
+                               std::uint64_t start_ns) {
+  MemberState& fe = members_[member];
+  if (!fe.up) return false;
+  Message request;
+  request.type = MsgType::kGet;
+  request.key = key;
+  if (!loop_->send(fe.conn, request)) return false;
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  if (hops > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+  router_.on_dispatch(member);
+  if (member < member_dispatches_.size() &&
+      member_dispatches_[member] != nullptr) {
+    member_dispatches_[member]->inc();
+  }
+
+  PendingRequest pending;
+  pending.client = client;
+  pending.key = key;
+  pending.hops = hops + 1;
+  pending.start_ns = start_ns;
+  pending.deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.timeout_s));
+  fe.pending.push_back(pending);
+  pending_total_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RouterServer::dispatch(ConnId client, std::uint64_t key,
+                            std::uint32_t hops, std::uint64_t start_ns) {
+  if (hops >= config_.max_hops) {
+    fail_request(client, key);
+    return;
+  }
+  const std::uint32_t member = router_.pick(key, rng_);
+  if (member != kNoFleetMember &&
+      dispatch_to(member, client, key, hops, start_ns)) {
+    return;
+  }
+  // pick() chose a member whose send failed, or nothing is live: try the
+  // remaining candidate once before giving up.
+  const FleetCandidates candidates = router_.candidates_of(key);
+  const std::uint32_t other =
+      member == candidates.owner ? candidates.alternate : candidates.owner;
+  if (other != member && router_.up(other) &&
+      dispatch_to(other, client, key, hops, start_ns)) {
+    return;
+  }
+  fail_request(client, key);
+}
+
+void RouterServer::fail_request(ConnId client, std::uint64_t key) {
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MsgType::kError;
+  reply.key = key;
+  reply.payload = "no live front end";
+  loop_->send(client, reply);
+}
+
+void RouterServer::scrape_members() {
+  if (stopping_.load()) return;
+  Message probe;
+  probe.type = MsgType::kMetricsRequest;
+  for (const MemberState& fe : members_) {
+    if (fe.up) loop_->send(fe.conn, probe);
+  }
+  loop_->run_after(config_.scrape_interval_s, [this] { scrape_members(); });
+}
+
+void RouterServer::sweep_timeouts() {
+  if (stopping_.load()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (MemberState& fe : members_) {
+    if (fe.conn != kInvalidConn && !fe.pending.empty() &&
+        fe.pending.front().deadline <= now) {
+      // Head-of-line timeout: reset the connection; on_conn_close
+      // re-dispatches the whole queue to the surviving candidate.
+      loop_->close_connection(fe.conn);
+    }
+  }
+  loop_->run_after(kSweepIntervalS, [this] { sweep_timeouts(); });
+}
+
+}  // namespace scp::net

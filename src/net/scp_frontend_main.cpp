@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
   std::uint64_t value_bytes = config.value_bytes;
   std::uint64_t max_retries = config.retry.max_retries;
   std::uint64_t shards = config.shards;
+  std::uint64_t fleet = 1;
+  std::uint64_t fleet_index = 0;
   std::string backends_list;
   std::string reactor = "epoll";
   double drain_s = 1.0;
@@ -100,6 +102,14 @@ int main(int argc, char** argv) {
   flags.add_uint64("shards", &shards,
                    "reactor shards sharing the port via SO_REUSEPORT; the "
                    "cache capacity c is split c/N across them");
+  flags.add_uint64("fleet", &fleet,
+                   "front-end fleet size N (DistCache-style tier; the "
+                   "aggregate cache capacity is hash-partitioned across the "
+                   "N members)");
+  flags.add_uint64("fleet-index", &fleet_index,
+                   "this member's index in the fleet (0..N-1)");
+  flags.add_uint64("fleet-seed", &config.fleet_seed,
+                   "fleet hash seed (must match every member and router)");
   flags.add_string("reactor", &reactor,
                    "event loop backend: epoll|uring (uring falls back to "
                    "epoll when io_uring is unavailable)");
@@ -122,6 +132,15 @@ int main(int argc, char** argv) {
   config.retry.max_retries = static_cast<std::uint32_t>(max_retries);
   config.metrics_port = static_cast<std::int32_t>(metrics_port);
   config.shards = static_cast<std::uint32_t>(shards == 0 ? 1 : shards);
+  config.fleet_size = static_cast<std::uint32_t>(fleet == 0 ? 1 : fleet);
+  config.fleet_index = static_cast<std::uint32_t>(fleet_index);
+  if (config.fleet_index >= config.fleet_size) {
+    std::fprintf(stderr,
+                 "scp_frontend: --fleet-index %u out of range for --fleet %u\n",
+                 static_cast<unsigned>(config.fleet_index),
+                 static_cast<unsigned>(config.fleet_size));
+    return 2;
+  }
   if (!parse_reactor_kind(reactor, config.reactor)) {
     std::fprintf(stderr, "scp_frontend: bad --reactor '%s' (epoll|uring)\n",
                  reactor.c_str());

@@ -1,0 +1,139 @@
+// scp_router — edge router for a distributed front-end fleet.
+//
+// Binds (kernel-assigned port with --port 0), prints `PORT <port>` on
+// stdout, connects to every fleet member named by --frontends (list order =
+// fleet index order; it must match each member's --fleet-index), and routes
+// client GETs by power-of-two-choices on live load until SIGINT or SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/flags.h"
+#include "net/router_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Parses "host:port,host:port,…" (or bare "port" entries, defaulting the
+/// host to 127.0.0.1). Returns false on a malformed entry.
+bool parse_endpoints(
+    const std::string& list,
+    std::vector<std::pair<std::string, std::uint16_t>>& endpoints) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    std::string host = "127.0.0.1";
+    std::string port_text = entry;
+    const std::size_t colon = entry.rfind(':');
+    if (colon != std::string::npos) {
+      host = entry.substr(0, colon);
+      port_text = entry.substr(colon + 1);
+    }
+    try {
+      const unsigned long port = std::stoul(port_text);
+      if (port == 0 || port > 65535) return false;
+      endpoints.emplace_back(host, static_cast<std::uint16_t>(port));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scp;
+  using namespace scp::net;
+
+  RouterConfig config;
+  std::uint64_t port = 0;
+  std::uint64_t max_hops = config.max_hops;
+  std::string frontends_list;
+  std::string reactor = "epoll";
+  double drain_s = 1.0;
+  std::int64_t metrics_port = -1;
+
+  FlagSet flags("scp_router: fleet edge router (power-of-two-choices)");
+  flags.add_string("address", &config.address, "bind address");
+  flags.add_uint64("port", &port, "bind port (0 = kernel-assigned)");
+  flags.add_string("frontends", &frontends_list,
+                   "comma-separated host:port per fleet member, in fleet "
+                   "index order (must match each member's --fleet-index)");
+  flags.add_uint64("fleet-seed", &config.fleet_seed,
+                   "fleet hash seed (must match every member)");
+  flags.add_uint64("seed", &config.seed, "routing tie-break seed");
+  flags.add_double("scrape-interval", &config.scrape_interval_s,
+                   "load-signal scrape cadence (seconds)");
+  flags.add_uint64("max-hops", &max_hops,
+                   "dispatch budget per request (initial send + redirect "
+                   "follows + dead-member re-dispatches)");
+  flags.add_double("timeout", &config.timeout_s,
+                   "per-request deadline before a member connection reset");
+  flags.add_string("reactor", &reactor,
+                   "event loop backend: epoll|uring (uring falls back to "
+                   "epoll when io_uring is unavailable)");
+  flags.add_bool("busy-poll", &config.busy_poll,
+                 "uring only: SQPOLL + spin-peek before blocking");
+  flags.add_double("drain", &drain_s, "shutdown drain budget (seconds)");
+  flags.add_bool("metrics", &config.metrics, "hot-path histograms");
+  flags.add_int64("metrics-port", &metrics_port,
+                  "Prometheus /metrics port (-1 = off, 0 = kernel-assigned)");
+  if (!flags.parse(argc, argv)) return 2;
+
+  config.port = static_cast<std::uint16_t>(port);
+  config.max_hops = static_cast<std::uint32_t>(max_hops == 0 ? 1 : max_hops);
+  config.metrics_port = static_cast<std::int32_t>(metrics_port);
+  if (!parse_reactor_kind(reactor, config.reactor)) {
+    std::fprintf(stderr, "scp_router: bad --reactor '%s' (epoll|uring)\n",
+                 reactor.c_str());
+    return 2;
+  }
+  if (!parse_endpoints(frontends_list, config.frontends)) {
+    std::fprintf(stderr, "scp_router: bad --frontends entry\n");
+    return 2;
+  }
+  if (config.frontends.empty()) {
+    std::fprintf(stderr, "scp_router: --frontends is required\n");
+    return 2;
+  }
+
+  RouterServer server(std::move(config));
+  if (!server.start()) {
+    std::fprintf(stderr, "scp_router: failed to start\n");
+    return 1;
+  }
+  std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+  // Effective backend: may differ from --reactor after uring fallback.
+  std::printf("REACTOR %s\n", to_string(server.reactor_kind()));
+  if (server.metrics_http_port() != 0) {
+    std::printf("METRICS_PORT %u\n",
+                static_cast<unsigned>(server.metrics_http_port()));
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  server.stop(drain_s);
+  const ServerStats stats = server.stats();
+  std::printf("scp_router: requests=%llu forwarded=%llu redirects=%llu "
+              "retries=%llu failures=%llu attempts=%llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.forwarded),
+              static_cast<unsigned long long>(stats.redirects),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.failures),
+              static_cast<unsigned long long>(stats.attempts));
+  return 0;
+}
