@@ -81,6 +81,10 @@ struct LiveFlags {
   std::uint64_t fe_shards = 1;   // front-end reactor shards
   std::uint64_t fe_fleet = 1;    // front-end fleet width (1 = no router)
   std::string shard_sweep;       // "1,2,4": one full run per shard count
+  double write_frac = 0.0;       // fraction of ops issued as quorum PUTs
+  std::string attack;            // "" | invalidate (writers target cached set)
+  std::uint64_t write_quorum = 0;  // W (0 = majority of d)
+  std::uint64_t read_quorum = 0;   // R (0 = majority of d)
   std::string reactor = "epoll";  // event loop backend: epoll | uring
   net::ReactorKind reactor_kind = net::ReactorKind::kEpoll;  // parsed
   bool busy_poll = false;        // uring only: SQPOLL + spin-peek
@@ -143,8 +147,23 @@ std::uint64_t best_adversarial_x(const LiveFlags& flags,
 struct WorkerResult {
   std::uint64_t completed = 0;  // VALUE or MISS replies inside the window
   std::uint64_t failures = 0;   // kError replies, timeouts, dead connection
+  std::uint64_t puts = 0;          // acked quorum writes inside the window
+  std::uint64_t put_failures = 0;  // write kErrors/timeouts inside the window
   LogHistogram latency_us{5};  // from the *scheduled* send (open-loop e2e)
   LogHistogram service_us{5};  // from the actual send (network + server)
+};
+
+/// Mixed read/write knobs for one worker. With attack == "invalidate" the
+/// writers aim every PUT at the front-end cache's own working set (the
+/// rank prefix [0, c)): each write dirties a cached key, so the FE must
+/// serve the next GET for it by forwarding until a refetch cleans it —
+/// version churn turning the cache itself into attack surface.
+struct WriteMix {
+  double write_frac = 0.0;
+  bool attack_invalidate = false;
+  std::uint64_t cache_entries = 0;  // c (invalidate target range)
+  std::uint64_t items = 0;          // m
+  std::uint64_t value_bytes = 64;
 };
 
 /// One open-loop client: Poisson arrivals at `rate` qps, latency measured
@@ -153,7 +172,7 @@ struct WorkerResult {
 void run_worker(const std::string& address, std::uint16_t port,
                 const AliasSampler& sampler, double rate, Clock::time_point start,
                 Clock::time_point measure_from, Clock::time_point end,
-                std::uint64_t seed, WorkerResult& result) {
+                std::uint64_t seed, const WriteMix& mix, WorkerResult& result) {
   net::SyncClient client;
   if (!client.connect(address, port, 2.0)) {
     result.failures += 1;
@@ -169,25 +188,43 @@ void run_worker(const std::string& address, std::uint16_t port,
     if (scheduled >= end) break;
     std::this_thread::sleep_until(scheduled);
 
-    const std::uint64_t key = sampler.sample(rng);
+    const bool is_write =
+        mix.write_frac > 0.0 && rng.bernoulli(mix.write_frac);
+    std::uint64_t key = sampler.sample(rng);
+    if (is_write && mix.attack_invalidate) {
+      const std::uint64_t span =
+          std::max<std::uint64_t>(std::min(mix.cache_entries, mix.items), 1);
+      key = rng.uniform_u64(span);  // aim at the cached prefix
+    }
     const auto sent = Clock::now();
-    const auto reply = client.get(key, 1.0);
+    std::optional<net::Message> reply;
+    if (is_write) {
+      net::Message request;
+      request.type = net::MsgType::kPut;
+      request.key = key;
+      // The oracle's synthesized bytes: once the FE refetches this value
+      // the dirty mark clears, so the attack cost is the refetch itself.
+      request.payload = net::make_value(key, mix.value_bytes);
+      reply = client.call(request, 1.0);
+    } else {
+      reply = client.get(key, 1.0);
+    }
     const auto done = Clock::now();
     const bool record = scheduled >= measure_from;
 
     if (!reply.has_value()) {
-      if (record) result.failures += 1;
+      if (record) (is_write ? result.put_failures : result.failures) += 1;
       if (!client.connected() && !client.connect(address, port, 1.0)) {
         return;  // front end is gone; give up
       }
       continue;
     }
     if (reply->type == net::MsgType::kError) {
-      if (record) result.failures += 1;
+      if (record) (is_write ? result.put_failures : result.failures) += 1;
       continue;
     }
     if (record) {
-      result.completed += 1;
+      (is_write ? result.puts : result.completed) += 1;
       const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                           done - scheduled)
                           .count();
@@ -282,6 +319,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     config.metrics = flags.metrics;
     config.reactor = flags.reactor_kind;
     config.busy_poll = flags.busy_poll;
+    config.write_quorum = static_cast<std::uint32_t>(flags.write_quorum);
+    config.read_quorum = static_cast<std::uint32_t>(flags.read_quorum);
     auto backend = std::make_unique<net::BackendServer>(config);
     if (!backend->start()) {
       std::fprintf(stderr, "live_serving: backend %u failed to start\n", node);
@@ -289,6 +328,18 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     }
     endpoints.emplace_back("127.0.0.1", backend->port());
     backends.push_back(std::move(backend));
+  }
+  // Writes need the replica mesh (quorum fan-out between backends). Ports
+  // are kernel-assigned, so the mesh is wired after every node is up.
+  // Read-only runs skip it to stay byte-identical to earlier revisions.
+  if (flags.write_frac > 0.0) {
+    for (auto& backend : backends) backend->set_peers(endpoints);
+    for (auto& backend : backends) {
+      if (!backend->wait_peers_up(5.0)) {
+        std::fprintf(stderr, "live_serving: replica mesh never came up\n");
+        return false;
+      }
+    }
   }
 
   // One FrontendServer per fleet member (fleet == 1 is the classic single
@@ -390,11 +441,17 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
       warmup_fe_syscalls += frontend->loop_totals().syscalls;
     }
   });
+  WriteMix mix;
+  mix.write_frac = flags.write_frac;
+  mix.attack_invalidate = flags.attack == "invalidate";
+  mix.cache_entries = flags.c;
+  mix.items = flags.m;
+  mix.value_bytes = flags.value_bytes;
   for (std::uint64_t t = 0; t < flags.threads; ++t) {
     workers.emplace_back(run_worker, "127.0.0.1", serve_port,
                          std::cref(sampler), per_thread_rate, start,
                          measure_from, end,
-                         derive_seed(flags.seed, 100 + t),
+                         derive_seed(flags.seed, 100 + t), std::cref(mix),
                          std::ref(results[t]));
   }
   for (std::thread& worker : workers) worker.join();
@@ -410,11 +467,15 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   // --- collect ------------------------------------------------------------
   std::uint64_t completed = 0;
   std::uint64_t failures = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t put_failures = 0;
   LogHistogram latency_us(5);
   LogHistogram cli_service_us(5);
   for (const WorkerResult& result : results) {
     completed += result.completed;
     failures += result.failures;
+    puts += result.puts;
+    put_failures += result.put_failures;
     latency_us.merge(result.latency_us);
     cli_service_us.merge(result.service_us);
   }
@@ -452,6 +513,9 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     fe_stats.forwarded += member_stats.forwarded;
     fe_stats.retries += member_stats.retries;
     fe_stats.failures += member_stats.failures;
+    fe_stats.puts += member_stats.puts;
+    fe_stats.deletes += member_stats.deletes;
+    fe_stats.invalidations += member_stats.invalidations;
     fe_member_metrics.push_back(scrape_metrics(frontend->port()));
     fe_metrics.merge(fe_member_metrics.back());
   }
@@ -459,6 +523,12 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   for (const auto& backend : backends) {
     be_metrics.merge(scrape_metrics(backend->port()));
   }
+  const auto be_counter = [&be_metrics](const char* name) {
+    const auto it = be_metrics.counters.find(name);
+    return it != be_metrics.counters.end() ? it->second : 0;
+  };
+  const std::uint64_t be_replications = be_counter("backend.replications");
+  const std::uint64_t be_rebalanced = be_counter("backend.rebalanced_keys");
   if (router != nullptr) router->stop(1.0);
   for (auto& frontend : frontends) frontend->stop(1.0);
   for (auto& backend : backends) backend->stop(1.0);
@@ -504,6 +574,18 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
               flags.rate > 0 ? 100.0 * throughput / flags.rate : 0.0,
               rate_bound ? " RATE-BOUND" : "", rps_per_core,
               syscalls_per_req);
+  if (flags.write_frac > 0.0) {
+    std::printf("[fe_fleet=%llu fe_shards=%llu] write mix%s: puts=%llu "
+                "put_failures=%llu fe_invalidations=%llu "
+                "be_replications=%llu\n\n",
+                static_cast<unsigned long long>(fleet),
+                static_cast<unsigned long long>(fe_shards),
+                mix.attack_invalidate ? " (attack=invalidate)" : "",
+                static_cast<unsigned long long>(puts),
+                static_cast<unsigned long long>(put_failures),
+                static_cast<unsigned long long>(fe_stats.invalidations),
+                static_cast<unsigned long long>(be_replications));
+  }
   if (fleet > 1) {
     const net::ServerStats router_stats = router->stats();
     std::printf("[fe_fleet=%llu] router: requests=%llu forwarded=%llu "
@@ -591,7 +673,12 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                  static_cast<std::int64_t>(svc_p99),
                  shard_requests_cell(fe_metrics, fe_shards),
                  fleet_counter_cell(fe_member_metrics, "frontend.requests"),
-                 fleet_counter_cell(fe_member_metrics, "frontend.hits")});
+                 fleet_counter_cell(fe_member_metrics, "frontend.hits"),
+                 flags.write_frac, static_cast<std::int64_t>(puts),
+                 static_cast<std::int64_t>(put_failures),
+                 static_cast<std::int64_t>(fe_stats.invalidations),
+                 static_cast<std::int64_t>(be_replications),
+                 static_cast<std::int64_t>(be_rebalanced)});
   return true;
 }
 
@@ -653,6 +740,16 @@ int main(int argc, char** argv) {
   flag_set.add_string("shard-sweep", &flags.shard_sweep,
                       "comma-separated shard counts (e.g. 1,2,4): run the "
                       "full measurement once per count, one row each");
+  flag_set.add_double("write-frac", &flags.write_frac,
+                      "fraction of ops issued as quorum PUTs (0 = read-only; "
+                      "> 0 wires the backend replica mesh)");
+  flag_set.add_string("attack", &flags.attack,
+                      "write-mix adversary: invalidate = every PUT targets "
+                      "the cached rank prefix [0, c), dirtying the FE cache");
+  flag_set.add_uint64("write-quorum", &flags.write_quorum,
+                      "W replica acks per write (0 = majority of d)");
+  flag_set.add_uint64("read-quorum", &flags.read_quorum,
+                      "R replica responses per quorum read (0 = majority)");
   flag_set.add_string("reactor", &flags.reactor,
                       "event loop backend: epoll|uring (uring falls back to "
                       "epoll when io_uring is unavailable)");
@@ -669,6 +766,15 @@ int main(int argc, char** argv) {
   if (flags.n == 0 || flags.d == 0 || flags.d > flags.n || flags.m == 0 ||
       flags.threads == 0) {
     std::fprintf(stderr, "live_serving: need n > 0, 0 < d <= n, m > 0\n");
+    return 2;
+  }
+  if (flags.write_frac < 0.0 || flags.write_frac >= 1.0) {
+    std::fprintf(stderr, "live_serving: need 0 <= --write-frac < 1\n");
+    return 2;
+  }
+  if (!flags.attack.empty() && flags.attack != "invalidate") {
+    std::fprintf(stderr, "live_serving: unknown --attack '%s' (invalidate)\n",
+                 flags.attack.c_str());
     return 2;
   }
   if (!net::parse_reactor_kind(flags.reactor, flags.reactor_kind)) {
@@ -743,7 +849,9 @@ int main(int argc, char** argv) {
                    "max_backend", "ideal", "live_gain", "predicted_gain",
                    "gain_ratio", "p50_us", "p99_us", "p999_us",
                    "cli_svc_p99_us", "fe_p99_us", "rtt_p99_us", "svc_p99_us",
-                   "shard_requests", "fe_requests", "fe_hits"});
+                   "shard_requests", "fe_requests", "fe_hits", "write_frac",
+                   "puts", "put_failures", "invalidations", "replications",
+                   "rebalanced_keys"});
   for (std::uint64_t fe_shards : shard_counts) {
     if (!run_once(flags, fe_shards, x, dist, predicted, partition_seed,
                   table)) {

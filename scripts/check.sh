@@ -309,6 +309,110 @@ print(f"fleet smoke: per-FE requests {per_fe}, "
       f"live_gain={row['live_gain']}")
 EOF
   echo "check.sh: fleet serving smoke OK"
+
+  # Quorum write smoke: three meshed backends (N=3, R=W=2). A PUT through
+  # one coordinator must be readable through another, survive one replica
+  # being SIGKILLed, and the surviving pair must still accept writes. The
+  # python block owns the process lifecycle (spawn, kill, reap) so a failure
+  # mid-scenario cannot leak listeners.
+  python3 - "$BUILD_DIR/src/net/scp_backend" <<'EOF'
+import signal, socket, struct, subprocess, sys, time
+
+backend = sys.argv[1]
+
+def free_ports(count):
+    socks = [socket.socket() for _ in range(count)]
+    for s in socks:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+    ports = [s.getsockname()[1] for s in socks]
+    for s in socks:
+        s.close()
+    return ports
+
+def call(port, payload, timeout=3.0):
+    """One request/reply round trip on a fresh connection."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.settimeout(timeout)
+        s.sendall(struct.pack(">I", len(payload)) + payload)
+        header = s.recv(4, socket.MSG_WAITALL)
+        (length,) = struct.unpack(">I", header)
+        return s.recv(length, socket.MSG_WAITALL)
+
+def put(port, key, value):
+    return call(port, struct.pack(">BQI", 12, key, len(value)) + value)
+
+def quorum_get(port, key):
+    return call(port, struct.pack(">BQ", 15, key))
+
+ports = free_ports(3)
+peers = ",".join(f"127.0.0.1:{p}" for p in ports)
+procs = []
+try:
+    for node, port in enumerate(ports):
+        procs.append(subprocess.Popen(
+            [backend, "--port", str(port), "--node", str(node),
+             "--nodes", "3", "--replication", "3", "--items", "0",
+             "--write-quorum", "2", "--read-quorum", "2",
+             "--peers", peers],
+            stdout=subprocess.DEVNULL))
+
+    # The mesh dials asynchronously; retry the first write until the
+    # coordinator can reach W=2.
+    value = b"quorum smoke value"
+    deadline = time.time() + 10.0
+    while True:
+        try:
+            reply = put(ports[0], 7, value)
+            if reply[0] == 14:  # kWriteReply
+                break
+        except OSError:
+            pass
+        assert time.time() < deadline, "PUT never reached W=2"
+        time.sleep(0.1)
+
+    # Read-your-write through a different coordinator.
+    reply = quorum_get(ports[1], 7)
+    assert reply[0] == 2, f"expected kValue, got type {reply[0]}"
+    assert reply[13:] == value, reply[13:]
+
+    # Crash one replica; R=2 over the survivors still answers...
+    procs[2].send_signal(signal.SIGKILL)
+    procs[2].wait()
+    deadline = time.time() + 10.0
+    while True:
+        try:
+            reply = quorum_get(ports[0], 7)
+            if reply[0] == 2 and reply[13:] == value:
+                break
+        except OSError:
+            pass
+        assert time.time() < deadline, "quorum read failed after crash"
+        time.sleep(0.1)
+
+    # ...and W=2 is still reachable for fresh writes.
+    deadline = time.time() + 10.0
+    while True:
+        try:
+            reply = put(ports[1], 8, b"post-crash write")
+            if reply[0] == 14:
+                break
+        except OSError:
+            pass
+        assert time.time() < deadline, "PUT failed after one replica crash"
+        time.sleep(0.1)
+    print("quorum smoke: write survived a replica crash (N=3, R=W=2)")
+finally:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+EOF
+  echo "check.sh: quorum write smoke OK"
 fi
 
 echo "check.sh: OK (tests green, smoke bench JSON validated)"

@@ -1,11 +1,46 @@
 #include "net/backend_server.h"
 
 #include <algorithm>
+#include <charconv>
+#include <functional>
+#include <span>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
+#include "replication/rebalance.h"
 
 namespace scp::net {
+namespace {
+
+constexpr double kSweepIntervalS = 0.050;
+constexpr double kReconnectBaseS = 0.050;
+constexpr double kReconnectCapS = 1.0;
+/// Repair/handoff frames deferred while a peer connection establishes; a
+/// peer that stays down longer than this buffer's worth is healed later by
+/// read-repair instead.
+constexpr std::size_t kMaxQueuedPerPeer = 65536;
+
+bool parse_endpoint(const std::string& text, std::string& host,
+                    std::uint16_t& port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  unsigned value = 0;
+  const char* begin = text.data() + colon + 1;
+  const char* end = text.data() + text.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc() || result.ptr != end || value > 65535) {
+    return false;
+  }
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+}  // namespace
 
 BackendServer::BackendServer(BackendConfig config)
     : config_(std::move(config)),
@@ -16,7 +51,12 @@ BackendServer::BackendServer(BackendConfig config)
           .shards = config_.shards == 0 ? 1 : config_.shards,
           .force_fallback_accept = config_.force_fallback_accept,
           .reactor = config_.reactor,
-          .busy_poll = config_.busy_poll}) {}
+          .busy_poll = config_.busy_poll}),
+      clock_(config_.node_id),
+      detector_(replication::FailureDetectorConfig{
+          .interval_s = config_.fd_interval_s,
+          .suspect_after_s = config_.fd_suspect_s,
+          .timeout_s = config_.fd_timeout_s}) {}
 
 BackendServer::~BackendServer() { stop(0.0); }
 
@@ -25,33 +65,71 @@ void BackendServer::preload() {
   for (std::uint64_t key = 0; key < config_.items; ++key) {
     partitioner_->replica_group(key, group);
     if (std::find(group.begin(), group.end(), config_.node_id) != group.end()) {
+      // Version 1 loses last-writer-wins to any minted version (the clock's
+      // first is (1 << kNodeBits) | node), so every real write supersedes
+      // the preload on every replica.
       storage_.apply_put(key, make_value(key, config_.value_bytes),
                          /*version=*/1);
     }
   }
 }
 
+std::uint32_t BackendServer::write_quorum_need() const noexcept {
+  const std::uint32_t d = config_.replication;
+  if (!peers_configured_.load(std::memory_order_relaxed)) return 1;
+  const std::uint32_t w =
+      config_.write_quorum != 0 ? config_.write_quorum : d / 2 + 1;
+  return std::clamp<std::uint32_t>(w, 1, d);
+}
+
+std::uint32_t BackendServer::read_quorum_need() const noexcept {
+  const std::uint32_t d = config_.replication;
+  if (!peers_configured_.load(std::memory_order_relaxed)) return 1;
+  const std::uint32_t r =
+      config_.read_quorum != 0 ? config_.read_quorum : d / 2 + 1;
+  return std::clamp<std::uint32_t>(r, 1, d);
+}
+
+bool BackendServer::in_group(const std::vector<NodeId>& group) const noexcept {
+  return std::find(group.begin(), group.end(), config_.node_id) != group.end();
+}
+
 bool BackendServer::start() {
   preload();
+  shards_.clear();
   for (std::size_t k = 0; k < pool_.shards(); ++k) {
-    Reactor& loop = pool_.shard(k);
+    auto shard = std::make_unique<Shard>();
+    shard->index = k;
+    shard->loop = &pool_.shard(k);
+    shard->group.resize(config_.replication);
+
+    Shard* s = shard.get();
     Reactor::Callbacks callbacks;
-    callbacks.on_message = [this, k, &loop](ConnId conn, Message&& message) {
-      handle(k, loop, conn, std::move(message));
+    callbacks.on_message = [this, s](ConnId conn, Message&& message) {
+      handle(*s, conn, std::move(message));
     };
-    loop.set_callbacks(std::move(callbacks));
+    callbacks.on_close = [this, s](ConnId conn) { on_conn_close(*s, conn); };
+    callbacks.on_connect = [this, s](ConnId conn, bool ok) {
+      on_conn_connect(*s, conn, ok);
+    };
+    s->loop->set_callbacks(std::move(callbacks));
+
     if (config_.metrics) {
       auto registry = std::make_unique<obs::MetricsRegistry>();
       service_us_.push_back(&registry->timer("backend.service_us"));
+      write_us_.push_back(&registry->timer("backend.write_quorum_us"));
+      quorum_read_us_.push_back(&registry->timer("backend.read_quorum_us"));
       if (k == 0) {
         // Shared storage — recorded once so the merged gauge is the key
         // count, not shards × keys.
         registry->gauge("backend.keys")
             .set(static_cast<std::int64_t>(storage_.live_count()));
       }
-      loop.set_metrics(registry.get());
+      s->loop->set_metrics(registry.get());
       registries_.push_back(std::move(registry));
     }
+    s->loop->run_after(kSweepIntervalS, [this, s] { sweep_ops(*s); });
+    shards_.push_back(std::move(shard));
   }
   if (!pool_.listen(config_.address, config_.port)) return false;
   if (config_.metrics_port >= 0) {
@@ -65,17 +143,96 @@ bool BackendServer::start() {
     }
   }
   if (!pool_.start()) return false;
+  if (!config_.peers.empty()) {
+    set_peers(std::vector<std::pair<std::string, std::uint16_t>>(
+        config_.peers));
+  }
   SCP_LOG_INFO << "scp_backend node " << config_.node_id << " serving "
                << storage_.live_count() << " keys on " << config_.address
                << ":" << pool_.port() << " (" << pool_.shards() << " shard"
-               << (pool_.shards() == 1 ? "" : "s") << ")";
+               << (pool_.shards() == 1 ? "" : "s")
+               << (peers_configured_.load() ? ", replicated" : "") << ")";
   return true;
 }
 
 void BackendServer::stop(double drain_s) {
+  stopping_.store(true);
   pool_.stop(drain_s);
   if (metrics_http_ != nullptr) {
     metrics_http_->stop();
+  }
+}
+
+void BackendServer::set_peers(
+    std::vector<std::pair<std::string, std::uint16_t>> endpoints) {
+  if (shards_.empty()) {
+    // Before start(): stash in the config; start() re-enters here.
+    config_.peers = std::move(endpoints);
+    return;
+  }
+  std::uint32_t targets = 0;
+  for (std::uint32_t node = 0; node < endpoints.size(); ++node) {
+    if (node == config_.node_id || endpoints[node].first.empty()) continue;
+    ++targets;
+  }
+  peers_configured_.store(targets > 0, std::memory_order_release);
+  peer_target_ = targets;
+
+  membership_.add_node(config_.node_id);
+  for (std::uint32_t node = 0; node < endpoints.size(); ++node) {
+    if (node == config_.node_id || endpoints[node].first.empty()) continue;
+    membership_.add_node(node);
+  }
+
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->loop->post([this, s, endpoints] {
+      for (std::uint32_t node = 0; node < endpoints.size(); ++node) {
+        if (node == config_.node_id || endpoints[node].first.empty()) continue;
+        if (s->peers.size() <= node) s->peers.resize(node + 1);
+        PeerState& peer = s->peers[node];
+        if (peer.conn != kInvalidConn && peer.address == endpoints[node].first &&
+            peer.port == endpoints[node].second) {
+          continue;  // already wired
+        }
+        peer.address = endpoints[node].first;
+        peer.port = endpoints[node].second;
+        peer.left = false;
+        if (peer.conn == kInvalidConn) {
+          peer.conn = s->loop->connect(peer.address, peer.port);
+          s->peer_by_conn[peer.conn] = node;
+        }
+      }
+    });
+  }
+
+  Shard* s0 = shards_[0].get();
+  s0->loop->post([this, endpoints] {
+    for (std::uint32_t node = 0; node < endpoints.size(); ++node) {
+      if (node == config_.node_id || endpoints[node].first.empty()) continue;
+      if (!detector_.tracks(node)) detector_.add_node(node, now_s());
+    }
+    if (!detector_running_.exchange(true)) {
+      detector_tick();
+    }
+  });
+}
+
+bool BackendServer::wait_peers_up(double timeout_s) const {
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(peer_target_) * shards_.size();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (true) {
+    std::uint64_t up = 0;
+    for (const auto& shard : shards_) {
+      up += shard->peers_up.load(std::memory_order_relaxed);
+    }
+    if (up >= want) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 }
 
@@ -85,6 +242,9 @@ ServerStats BackendServer::stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.redirects = redirects_.load(std::memory_order_relaxed);
+  stats.puts = puts_.load(std::memory_order_relaxed);
+  stats.deletes = deletes_.load(std::memory_order_relaxed);
+  stats.replications = replications_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -112,6 +272,21 @@ obs::MetricsSnapshot BackendServer::metrics_snapshot() const {
   snap.counters["backend.hits"] = s.hits;
   snap.counters["backend.misses"] = s.misses;
   snap.counters["backend.redirects"] = s.redirects;
+  snap.counters["backend.puts"] = s.puts;
+  snap.counters["backend.deletes"] = s.deletes;
+  snap.counters["backend.replications"] = s.replications;
+  snap.counters["backend.quorum_gets"] =
+      quorum_gets_.load(std::memory_order_relaxed);
+  snap.counters["backend.quorum_failures"] =
+      quorum_failures_.load(std::memory_order_relaxed);
+  snap.counters["backend.read_repairs"] =
+      read_repairs_.load(std::memory_order_relaxed);
+  snap.counters["backend.rebalanced_keys"] =
+      rebalanced_keys_.load(std::memory_order_relaxed);
+  snap.gauges["backend.peers_alive"] =
+      static_cast<std::int64_t>(membership_.alive_count());
+  snap.gauges["backend.membership_epoch"] =
+      static_cast<std::int64_t>(membership_.epoch());
   return snap;
 }
 
@@ -119,60 +294,59 @@ std::uint16_t BackendServer::metrics_http_port() const noexcept {
   return metrics_http_ != nullptr ? metrics_http_->port() : 0;
 }
 
-void BackendServer::handle(std::size_t shard, Reactor& loop, ConnId conn,
-                           Message&& message) {
-  obs::Timer* service_us =
-      shard < service_us_.size() ? service_us_[shard] : nullptr;
+std::optional<StorageEngine::Entry> BackendServer::storage_entry(
+    KeyId key) const {
+  std::shared_lock lock(storage_mutex_);
+  return storage_.get_entry(key);
+}
+
+void BackendServer::handle(Shard& shard, ConnId conn, Message&& message) {
+  auto it = shard.peer_by_conn.find(conn);
+  if (it != shard.peer_by_conn.end()) {
+    handle_peer_reply(shard, it->second, std::move(message));
+    return;
+  }
   switch (message.type) {
-    case MsgType::kGet: {
-      const std::uint64_t start_ns =
-          service_us != nullptr ? obs::now_ns() : 0;
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      std::vector<NodeId> group(config_.replication);
-      partitioner_->replica_group(message.key, group);
-      if (std::find(group.begin(), group.end(), config_.node_id) ==
-          group.end()) {
-        redirects_.fetch_add(1, std::memory_order_relaxed);
-        Message reply;
-        reply.type = MsgType::kRedirect;
-        reply.key = message.key;
-        reply.node = group[0];
-        loop.send(conn, reply);
-        obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
-        return;
-      }
-      Message reply;
-      reply.key = message.key;
-      if (auto value = storage_.get(message.key); value.has_value()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        reply.type = MsgType::kValue;
-        reply.payload = std::move(*value);
-      } else {
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        reply.type = MsgType::kMiss;
-      }
-      loop.send(conn, reply);
-      obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
+    case MsgType::kGet:
+      handle_get(shard, conn, message);
       return;
-    }
+    case MsgType::kPut:
+    case MsgType::kDelete:
+      handle_write(shard, conn, message);
+      return;
+    case MsgType::kQuorumGet:
+      handle_quorum_get(shard, conn, message);
+      return;
+    case MsgType::kReplicate:
+      handle_replicate(shard, conn, message);
+      return;
+    case MsgType::kVerRead:
+      handle_ver_read(shard, conn, message);
+      return;
+    case MsgType::kJoin:
+      handle_join(shard, conn, message);
+      return;
+    case MsgType::kLeave:
+      handle_leave(shard, conn, message);
+      return;
     case MsgType::kStats: {
       Message reply;
       reply.type = MsgType::kStatsReply;
       reply.stats = stats();
-      loop.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
     case MsgType::kMetricsRequest: {
       Message reply;
       reply.type = MsgType::kMetricsReply;
       reply.metrics = metrics_snapshot();
-      loop.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
     case MsgType::kPing: {
       Message reply;
       reply.type = MsgType::kPong;
-      loop.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
     default: {
@@ -180,10 +354,753 @@ void BackendServer::handle(std::size_t shard, Reactor& loop, ConnId conn,
       reply.type = MsgType::kError;
       reply.key = message.key;
       reply.payload = "unexpected message type";
-      loop.send(conn, reply);
+      shard.loop->send(conn, reply);
       return;
     }
   }
+}
+
+void BackendServer::handle_get(Shard& shard, ConnId conn,
+                               const Message& message) {
+  obs::Timer* service_us =
+      shard.index < service_us_.size() ? service_us_[shard.index] : nullptr;
+  const std::uint64_t start_ns = service_us != nullptr ? obs::now_ns() : 0;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::shared_lock lock(partitioner_mutex_);
+    shard.group.resize(partitioner_->replication());
+    partitioner_->replica_group(message.key, shard.group);
+  }
+  if (!in_group(shard.group)) {
+    redirects_.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = MsgType::kRedirect;
+    reply.key = message.key;
+    reply.node = shard.group[0];
+    shard.loop->send(conn, reply);
+    obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
+    return;
+  }
+  Message reply;
+  reply.key = message.key;
+  std::optional<std::string> value;
+  {
+    std::shared_lock lock(storage_mutex_);
+    value = storage_.get(message.key);
+  }
+  if (value.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    reply.type = MsgType::kValue;
+    reply.payload = std::move(*value);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    reply.type = MsgType::kMiss;
+  }
+  shard.loop->send(conn, reply);
+  obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
+}
+
+void BackendServer::handle_write(Shard& shard, ConnId conn,
+                                 const Message& message) {
+  const bool is_delete = message.type == MsgType::kDelete;
+  (is_delete ? deletes_ : puts_).fetch_add(1, std::memory_order_relaxed);
+  obs::Timer* write_us =
+      shard.index < write_us_.size() ? write_us_[shard.index] : nullptr;
+  const std::uint64_t start_ns = write_us != nullptr ? obs::now_ns() : 0;
+
+  {
+    std::shared_lock lock(partitioner_mutex_);
+    shard.group.resize(partitioner_->replication());
+    partitioner_->replica_group(message.key, shard.group);
+  }
+  const bool self_in = in_group(shard.group);
+  const bool meshed = peers_configured_.load(std::memory_order_acquire);
+  if (!self_in && !meshed) {
+    // Without a replica mesh this node cannot reach the owners; bounce the
+    // caller exactly like a misrouted GET.
+    redirects_.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = MsgType::kRedirect;
+    reply.key = message.key;
+    reply.node = shard.group[0];
+    shard.loop->send(conn, reply);
+    return;
+  }
+
+  const std::uint64_t version = clock_.next();
+  std::uint32_t acked = 0;
+  std::uint32_t outstanding = 0;
+  if (self_in) {
+    std::unique_lock lock(storage_mutex_);
+    if (is_delete) {
+      storage_.apply_erase(message.key, version);
+    } else {
+      storage_.apply_put(message.key, message.payload, version);
+    }
+    acked = 1;
+    outstanding = 1;
+  }
+
+  const std::uint64_t op_id = shard.next_op++;
+  if (meshed) {
+    Message replicate;
+    replicate.type = MsgType::kReplicate;
+    replicate.key = message.key;
+    replicate.version = version;
+    replicate.flags = is_delete ? kFlagTombstone : 0;
+    replicate.payload = message.payload;
+    for (const NodeId node : shard.group) {
+      if (node == config_.node_id) continue;
+      if (!membership_.alive(node)) continue;
+      if (send_to_peer(shard, node, replicate, Expect::kRepAck, op_id,
+                       /*queue_if_down=*/false)) {
+        ++outstanding;
+      }
+    }
+  }
+
+  Op op;
+  op.client = conn;
+  op.kind = message.type;
+  op.key = message.key;
+  op.version = version;
+  op.start_ns = start_ns;
+  op.write.emplace(write_quorum_need(), outstanding);
+  for (std::uint32_t i = 0; i < acked; ++i) op.write->on_ack();
+
+  switch (op.write->state()) {
+    case replication::QuorumState::kDone:
+      resolve_write(shard, op_id, op);
+      return;
+    case replication::QuorumState::kFailed:
+      fail_op(shard, op, "write quorum unavailable");
+      return;
+    case replication::QuorumState::kPending:
+      op.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.op_timeout_s));
+      shard.ops.emplace(op_id, std::move(op));
+      return;
+  }
+}
+
+void BackendServer::handle_quorum_get(Shard& shard, ConnId conn,
+                                      const Message& message) {
+  quorum_gets_.fetch_add(1, std::memory_order_relaxed);
+  obs::Timer* read_us = shard.index < quorum_read_us_.size()
+                            ? quorum_read_us_[shard.index]
+                            : nullptr;
+  const std::uint64_t start_ns = read_us != nullptr ? obs::now_ns() : 0;
+
+  {
+    std::shared_lock lock(partitioner_mutex_);
+    shard.group.resize(partitioner_->replication());
+    partitioner_->replica_group(message.key, shard.group);
+  }
+  const bool self_in = in_group(shard.group);
+  const bool meshed = peers_configured_.load(std::memory_order_acquire);
+  if (!self_in && !meshed) {
+    Message reply;
+    reply.type = MsgType::kRedirect;
+    reply.key = message.key;
+    reply.node = shard.group[0];
+    redirects_.fetch_add(1, std::memory_order_relaxed);
+    shard.loop->send(conn, reply);
+    return;
+  }
+
+  std::uint32_t outstanding = self_in ? 1 : 0;
+  const std::uint64_t op_id = shard.next_op++;
+  if (meshed) {
+    Message probe;
+    probe.type = MsgType::kVerRead;
+    probe.key = message.key;
+    for (const NodeId node : shard.group) {
+      if (node == config_.node_id) continue;
+      if (!membership_.alive(node)) continue;
+      if (send_to_peer(shard, node, probe, Expect::kVerValue, op_id,
+                       /*queue_if_down=*/false)) {
+        ++outstanding;
+      }
+    }
+  }
+
+  Op op;
+  op.client = conn;
+  op.kind = MsgType::kQuorumGet;
+  op.key = message.key;
+  op.start_ns = start_ns;
+  op.read.emplace(read_quorum_need(), outstanding);
+  if (self_in) {
+    replication::ReadResponse response;
+    response.node = config_.node_id;
+    std::optional<StorageEngine::Entry> entry = storage_entry(message.key);
+    if (entry.has_value()) {
+      response.found = true;
+      response.tombstone = entry->tombstone;
+      response.version = entry->version;
+      if (!entry->tombstone) response.value = std::move(entry->value);
+    }
+    op.read->on_response(std::move(response));
+  }
+
+  switch (op.read->state()) {
+    case replication::QuorumState::kDone:
+      resolve_read(shard, op_id, op);
+      return;
+    case replication::QuorumState::kFailed:
+      fail_op(shard, op, "read quorum unavailable");
+      return;
+    case replication::QuorumState::kPending:
+      op.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.op_timeout_s));
+      shard.ops.emplace(op_id, std::move(op));
+      return;
+  }
+}
+
+void BackendServer::handle_replicate(Shard& shard, ConnId conn,
+                                     const Message& message) {
+  replications_.fetch_add(1, std::memory_order_relaxed);
+  clock_.observe(message.version);
+  bool applied = false;
+  {
+    std::unique_lock lock(storage_mutex_);
+    if ((message.flags & kFlagTombstone) != 0) {
+      applied = storage_.apply_erase(message.key, message.version);
+    } else {
+      applied = storage_.apply_put(message.key, message.payload,
+                                   message.version);
+    }
+  }
+  Message reply;
+  reply.type = MsgType::kRepAck;
+  reply.key = message.key;
+  reply.version = message.version;
+  reply.flags = applied ? kFlagApplied : 0;
+  shard.loop->send(conn, reply);
+}
+
+void BackendServer::handle_ver_read(Shard& shard, ConnId conn,
+                                    const Message& message) {
+  Message reply;
+  reply.type = MsgType::kVerValue;
+  reply.key = message.key;
+  std::optional<StorageEngine::Entry> entry = storage_entry(message.key);
+  if (entry.has_value()) {
+    reply.version = entry->version;
+    reply.flags = kFlagFound;
+    if (entry->tombstone) {
+      reply.flags |= kFlagTombstone;
+    } else {
+      reply.payload = std::move(entry->value);
+    }
+  }
+  shard.loop->send(conn, reply);
+}
+
+bool BackendServer::send_to_peer(Shard& shard, std::uint32_t node,
+                                 const Message& message, Expect expect,
+                                 std::uint64_t op, bool queue_if_down) {
+  if (node >= shard.peers.size()) return false;
+  PeerState& peer = shard.peers[node];
+  if (peer.left || peer.address.empty()) return false;
+  if (peer.up) {
+    if (!shard.loop->send(peer.conn, message)) return false;
+    peer.expected.push_back({op, expect, message.key});
+    return true;
+  }
+  if (queue_if_down && peer.queued.size() < kMaxQueuedPerPeer) {
+    peer.queued.push_back(message);
+    return true;
+  }
+  return false;
+}
+
+void BackendServer::handle_peer_reply(Shard& shard, std::uint32_t node,
+                                      Message&& message) {
+  PeerState& peer = shard.peers[node];
+  if (peer.expected.empty()) {
+    SCP_LOG_WARN << "scp_backend: unsolicited reply from peer " << node
+                 << "; resetting connection";
+    shard.loop->close_connection(peer.conn);
+    return;
+  }
+  ExpectedReply expected = peer.expected.front();
+  peer.expected.pop_front();
+
+  const auto protocol_error = [&] {
+    SCP_LOG_WARN << "scp_backend: reply mismatch from peer " << node
+                 << "; resetting connection";
+    apply_peer_loss(shard, expected);
+    shard.loop->close_connection(peer.conn);
+  };
+
+  switch (expected.kind) {
+    case Expect::kPong: {
+      if (message.type != MsgType::kPong) {
+        protocol_error();
+        return;
+      }
+      if (shard.index == 0 && detector_running_.load()) {
+        if (detector_.record_pong(node, now_s()) ==
+            replication::PingFailureDetector::Transition::kRecovered) {
+          membership_.set_state(node, replication::NodeState::kUp);
+        }
+      }
+      return;
+    }
+    case Expect::kRepairAck: {
+      if (message.type == MsgType::kError) return;  // healed later by repair
+      if (message.type != MsgType::kRepAck || message.key != expected.key) {
+        protocol_error();
+        return;
+      }
+      clock_.observe(message.version);
+      return;
+    }
+    case Expect::kRepAck: {
+      if (message.type == MsgType::kError) {
+        apply_peer_loss(shard, expected);
+        return;
+      }
+      if (message.type != MsgType::kRepAck || message.key != expected.key) {
+        protocol_error();
+        return;
+      }
+      clock_.observe(message.version);
+      auto it = shard.ops.find(expected.op);
+      if (it == shard.ops.end()) return;  // already resolved or swept
+      Op& op = it->second;
+      if (!op.write.has_value()) return;
+      switch (op.write->on_ack()) {
+        case replication::QuorumState::kDone:
+          resolve_write(shard, it->first, op);
+          shard.ops.erase(it);
+          return;
+        case replication::QuorumState::kFailed:
+          fail_op(shard, op, "write quorum unavailable");
+          shard.ops.erase(it);
+          return;
+        case replication::QuorumState::kPending:
+          return;
+      }
+      return;
+    }
+    case Expect::kVerValue: {
+      if (message.type == MsgType::kError) {
+        apply_peer_loss(shard, expected);
+        return;
+      }
+      if (message.type != MsgType::kVerValue || message.key != expected.key) {
+        protocol_error();
+        return;
+      }
+      clock_.observe(message.version);
+      auto it = shard.ops.find(expected.op);
+      if (it == shard.ops.end()) return;
+      Op& op = it->second;
+      if (!op.read.has_value()) return;
+      replication::ReadResponse response;
+      response.node = node;
+      response.found = (message.flags & kFlagFound) != 0;
+      response.tombstone = (message.flags & kFlagTombstone) != 0;
+      response.version = message.version;
+      response.value = std::move(message.payload);
+      switch (op.read->on_response(std::move(response))) {
+        case replication::QuorumState::kDone:
+          resolve_read(shard, it->first, op);
+          shard.ops.erase(it);
+          return;
+        case replication::QuorumState::kFailed:
+          fail_op(shard, op, "read quorum unavailable");
+          shard.ops.erase(it);
+          return;
+        case replication::QuorumState::kPending:
+          return;
+      }
+      return;
+    }
+  }
+}
+
+void BackendServer::apply_peer_loss(Shard& shard,
+                                    const ExpectedReply& expected) {
+  if (expected.op == 0) return;
+  auto it = shard.ops.find(expected.op);
+  if (it == shard.ops.end()) return;
+  Op& op = it->second;
+  const replication::QuorumState state =
+      op.write.has_value() ? op.write->on_lost() : op.read->on_lost();
+  switch (state) {
+    case replication::QuorumState::kDone:
+      if (op.write.has_value()) {
+        resolve_write(shard, it->first, op);
+      } else {
+        resolve_read(shard, it->first, op);
+      }
+      shard.ops.erase(it);
+      return;
+    case replication::QuorumState::kFailed:
+      fail_op(shard, op,
+              op.write.has_value() ? "write quorum unavailable"
+                                   : "read quorum unavailable");
+      shard.ops.erase(it);
+      return;
+    case replication::QuorumState::kPending:
+      return;
+  }
+}
+
+void BackendServer::resolve_write(Shard& shard, std::uint64_t /*op_id*/,
+                                  Op& op) {
+  Message reply;
+  reply.type = MsgType::kWriteReply;
+  reply.key = op.key;
+  reply.version = op.version;
+  shard.loop->send(op.client, reply);
+  obs::Timer* write_us =
+      shard.index < write_us_.size() ? write_us_[shard.index] : nullptr;
+  obs::record_elapsed(write_us, op.start_ns, /*divisor=*/1'000);
+}
+
+void BackendServer::resolve_read(Shard& shard, std::uint64_t /*op_id*/,
+                                 Op& op) {
+  const replication::ReadResponse* winner = op.read->newest();
+  Message reply;
+  reply.key = op.key;
+  if (winner != nullptr && !winner->tombstone) {
+    reply.type = MsgType::kValue;
+    reply.payload = winner->value;
+  } else {
+    reply.type = MsgType::kMiss;
+  }
+  shard.loop->send(op.client, reply);
+  obs::Timer* read_us = shard.index < quorum_read_us_.size()
+                            ? quorum_read_us_[shard.index]
+                            : nullptr;
+  obs::record_elapsed(read_us, op.start_ns, /*divisor=*/1'000);
+
+  if (winner == nullptr) return;
+  // Read-repair: push the winner to every responder that answered with an
+  // older version (idempotent LWW apply — duplicates are no-ops).
+  Message repair;
+  repair.type = MsgType::kReplicate;
+  repair.key = op.key;
+  repair.version = winner->version;
+  repair.flags = winner->tombstone ? kFlagTombstone : 0;
+  repair.payload = winner->value;
+  for (const NodeId node : op.read->stale_nodes()) {
+    read_repairs_.fetch_add(1, std::memory_order_relaxed);
+    if (node == config_.node_id) {
+      std::unique_lock lock(storage_mutex_);
+      if (winner->tombstone) {
+        storage_.apply_erase(op.key, winner->version);
+      } else {
+        storage_.apply_put(op.key, winner->value, winner->version);
+      }
+    } else {
+      send_to_peer(shard, node, repair, Expect::kRepairAck, 0,
+                   /*queue_if_down=*/true);
+    }
+  }
+}
+
+void BackendServer::fail_op(Shard& shard, Op& op, const char* reason) {
+  quorum_failures_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MsgType::kError;
+  reply.key = op.key;
+  reply.payload = reason;
+  shard.loop->send(op.client, reply);
+}
+
+void BackendServer::sweep_ops(Shard& shard) {
+  if (stopping_.load()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = shard.ops.begin(); it != shard.ops.end();) {
+    if (it->second.deadline <= now) {
+      fail_op(shard, it->second, "quorum op timed out");
+      it = shard.ops.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Shard* s = &shard;
+  shard.loop->run_after(kSweepIntervalS, [this, s] { sweep_ops(*s); });
+}
+
+void BackendServer::on_conn_close(Shard& shard, ConnId conn) {
+  auto it = shard.peer_by_conn.find(conn);
+  if (it == shard.peer_by_conn.end()) {
+    return;  // client hung up; their pending replies fail at send()
+  }
+  const std::uint32_t node = it->second;
+  shard.peer_by_conn.erase(it);
+  PeerState& peer = shard.peers[node];
+  if (peer.up) {
+    peer.up = false;
+    shard.peers_up.fetch_sub(1, std::memory_order_relaxed);
+  }
+  peer.conn = kInvalidConn;
+
+  std::deque<ExpectedReply> orphaned;
+  orphaned.swap(peer.expected);
+  for (const ExpectedReply& expected : orphaned) {
+    apply_peer_loss(shard, expected);
+  }
+  if (!peer.left) schedule_reconnect(shard, node);
+}
+
+void BackendServer::on_conn_connect(Shard& shard, ConnId conn, bool ok) {
+  auto it = shard.peer_by_conn.find(conn);
+  if (it == shard.peer_by_conn.end()) return;
+  const std::uint32_t node = it->second;
+  PeerState& peer = shard.peers[node];
+  if (!ok) {
+    shard.peer_by_conn.erase(it);
+    peer.conn = kInvalidConn;
+    if (!peer.left) schedule_reconnect(shard, node);
+    return;
+  }
+  peer.up = true;
+  peer.connect_attempts = 0;
+  shard.peers_up.fetch_add(1, std::memory_order_relaxed);
+  // Flush deferred repair/handoff frames in order.
+  std::vector<Message> queued;
+  queued.swap(peer.queued);
+  for (const Message& message : queued) {
+    if (!shard.loop->send(peer.conn, message)) break;
+    peer.expected.push_back({0, Expect::kRepairAck, message.key});
+  }
+}
+
+void BackendServer::schedule_reconnect(Shard& shard, std::uint32_t node) {
+  if (stopping_.load()) return;
+  PeerState& peer = shard.peers[node];
+  const double delay =
+      std::min(kReconnectBaseS * static_cast<double>(
+                                     1u << std::min(peer.connect_attempts, 10u)),
+               kReconnectCapS);
+  peer.connect_attempts++;
+  Shard* s = &shard;
+  shard.loop->run_after(delay, [this, s, node] {
+    if (stopping_.load()) return;
+    if (node >= s->peers.size()) return;
+    PeerState& target = s->peers[node];
+    if (target.left || target.conn != kInvalidConn) return;
+    target.conn = s->loop->connect(target.address, target.port);
+    s->peer_by_conn[target.conn] = node;
+  });
+}
+
+void BackendServer::detector_tick() {
+  if (stopping_.load() || shards_.empty()) return;
+  Shard& shard = *shards_[0];
+  std::vector<NodeId> to_ping;
+  for (const auto& event : detector_.tick(now_s(), &to_ping)) {
+    switch (event.transition) {
+      case replication::PingFailureDetector::Transition::kSuspect:
+        membership_.set_state(event.node, replication::NodeState::kSuspect);
+        break;
+      case replication::PingFailureDetector::Transition::kDown:
+        membership_.set_state(event.node, replication::NodeState::kDown);
+        break;
+      default:
+        break;
+    }
+  }
+  Message ping;
+  ping.type = MsgType::kPing;
+  for (const NodeId node : to_ping) {
+    send_to_peer(shard, node, ping, Expect::kPong, 0, /*queue_if_down=*/false);
+  }
+  shard.loop->run_after(config_.fd_interval_s, [this] { detector_tick(); });
+}
+
+void BackendServer::stream_handoff(
+    Shard& shard,
+    const std::function<void(KeyId, std::span<NodeId>)>& old_group_of) {
+  std::vector<KeyId> keys;
+  {
+    std::shared_lock lock(storage_mutex_);
+    keys.reserve(storage_.entry_count());
+    storage_.for_each_entry(
+        [&keys](KeyId key, const StorageEngine::Entry&) {
+          keys.push_back(key);
+        });
+  }
+  std::vector<replication::HandoffItem> plan;
+  {
+    std::shared_lock lock(partitioner_mutex_);
+    plan = replication::plan_handoff(
+        old_group_of, *partitioner_, config_.node_id,
+        [this](NodeId node) {
+          return node == config_.node_id || membership_.alive(node);
+        },
+        keys);
+  }
+  for (const replication::HandoffItem& item : plan) {
+    std::optional<StorageEngine::Entry> entry = storage_entry(item.key);
+    if (!entry.has_value()) continue;
+    Message replicate;
+    replicate.type = MsgType::kReplicate;
+    replicate.key = item.key;
+    replicate.version = entry->version;
+    replicate.flags = entry->tombstone ? kFlagTombstone : 0;
+    if (!entry->tombstone) replicate.payload = std::move(entry->value);
+    send_to_peer(shard, item.target, replicate, Expect::kRepairAck, 0,
+                 /*queue_if_down=*/true);
+  }
+  rebalanced_keys_.fetch_add(plan.size(), std::memory_order_relaxed);
+}
+
+void BackendServer::handle_join(Shard& shard, ConnId conn,
+                                const Message& message) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_endpoint(message.payload, host, port)) {
+    Message reply;
+    reply.type = MsgType::kError;
+    reply.payload = "join: bad endpoint (want host:port)";
+    shard.loop->send(conn, reply);
+    return;
+  }
+  const NodeId node = message.node;
+  std::shared_ptr<ConsistentHashRing> old_ring;
+  {
+    std::unique_lock lock(partitioner_mutex_);
+    auto* ring = dynamic_cast<ConsistentHashRing*>(partitioner_.get());
+    if (ring == nullptr) {
+      lock.unlock();
+      Message reply;
+      reply.type = MsgType::kError;
+      reply.payload = "join: requires the ring partitioner";
+      shard.loop->send(conn, reply);
+      return;
+    }
+    if (!ring->contains_node(node)) {
+      old_ring = std::make_shared<ConsistentHashRing>(*ring);
+      ring->add_node(node);
+    }
+  }
+
+  membership_.add_node(node);
+  for (auto& other : shards_) {
+    Shard* s = other.get();
+    auto wire = [this, s, node, host, port] {
+      if (s->peers.size() <= node) s->peers.resize(node + 1);
+      PeerState& peer = s->peers[node];
+      peer.left = false;
+      if (peer.conn != kInvalidConn && peer.address == host &&
+          peer.port == port) {
+        return;
+      }
+      peer.address = host;
+      peer.port = port;
+      if (peer.conn == kInvalidConn) {
+        peer.conn = s->loop->connect(peer.address, peer.port);
+        s->peer_by_conn[peer.conn] = node;
+      }
+    };
+    if (s == &shard) {
+      wire();
+    } else {
+      s->loop->post(wire);
+    }
+  }
+  {
+    Shard* s0 = shards_[0].get();
+    auto track = [this, node] {
+      if (!detector_.tracks(node)) detector_.add_node(node, now_s());
+    };
+    if (s0 == &shard) {
+      track();
+    } else {
+      s0->loop->post(track);
+    }
+  }
+  peers_configured_.store(true, std::memory_order_release);
+
+  if (old_ring != nullptr) {
+    stream_handoff(shard, [old_ring](KeyId key, std::span<NodeId> out) {
+      old_ring->replica_group(key, out);
+    });
+  }
+  Message reply;
+  reply.type = MsgType::kWriteReply;
+  reply.version = membership_.epoch();
+  shard.loop->send(conn, reply);
+}
+
+void BackendServer::handle_leave(Shard& shard, ConnId conn,
+                                 const Message& message) {
+  const NodeId node = message.node;
+  std::shared_ptr<ConsistentHashRing> old_ring;
+  {
+    std::unique_lock lock(partitioner_mutex_);
+    auto* ring = dynamic_cast<ConsistentHashRing*>(partitioner_.get());
+    if (ring == nullptr) {
+      lock.unlock();
+      Message reply;
+      reply.type = MsgType::kError;
+      reply.payload = "leave: requires the ring partitioner";
+      shard.loop->send(conn, reply);
+      return;
+    }
+    if (ring->contains_node(node)) {
+      if (ring->node_count() <= ring->replication()) {
+        lock.unlock();
+        Message reply;
+        reply.type = MsgType::kError;
+        reply.payload = "leave: too few nodes left for the replication factor";
+        shard.loop->send(conn, reply);
+        return;
+      }
+      old_ring = std::make_shared<ConsistentHashRing>(*ring);
+      ring->remove_node(node);
+    }
+  }
+
+  membership_.remove_node(node);
+  for (auto& other : shards_) {
+    Shard* s = other.get();
+    auto unwire = [this, s, node] {
+      if (node >= s->peers.size()) return;
+      PeerState& peer = s->peers[node];
+      peer.left = true;
+      if (peer.conn != kInvalidConn) {
+        s->loop->close_connection(peer.conn);  // on_close drops its queue
+      }
+    };
+    if (s == &shard) {
+      unwire();
+    } else {
+      s->loop->post(unwire);
+    }
+  }
+  {
+    Shard* s0 = shards_[0].get();
+    auto untrack = [this, node] { detector_.remove_node(node); };
+    if (s0 == &shard) {
+      untrack();
+    } else {
+      s0->loop->post(untrack);
+    }
+  }
+
+  if (old_ring != nullptr) {
+    stream_handoff(shard, [old_ring](KeyId key, std::span<NodeId> out) {
+      old_ring->replica_group(key, out);
+    });
+  }
+  Message reply;
+  reply.type = MsgType::kWriteReply;
+  reply.version = membership_.epoch();
+  shard.loop->send(conn, reply);
 }
 
 }  // namespace scp::net

@@ -1,19 +1,47 @@
-// scp_backend: one replica-group member serving GETs over TCP.
+// scp_backend: one replica-group member serving GETs — and, since the
+// write path landed, coordinating quorum-replicated PUT/DELETEs.
 //
-// Wraps a kvstore::StorageEngine preloaded with every key whose replica
+// Read path (unchanged from the read-only tier): a kGet is answered from
+// the local kvstore::StorageEngine, preloaded with every key whose replica
 // group (under the cluster-wide partitioner seed) contains this node. A GET
 // for a key this node does not own is answered with REDIRECT to the key's
-// first replica — with matching partitioner seeds across the tier that
-// never happens, so a REDIRECT in the counters flags a misconfigured
-// cluster. Per-node request counters are the measurement the live serving
-// bench exists for: the max over backends of GETs served, normalized by the
-// even split, is the live analogue of the paper's normalized max load.
+// first replica. Per-node request counters are the measurement the live
+// serving bench exists for.
+//
+// Write path (Dynamo-style sloppy quorum, coordinator-driven): any backend
+// can coordinate a kPut/kDelete. The coordinator mints a version from its
+// VersionClock, applies locally when it is a group member, fans kReplicate
+// to the other replicas over its peer-mesh connections, and acks the client
+// with kWriteReply once W replicas (its own apply included) confirmed —
+// failing fast when the reachable replicas cannot reach W. kQuorumGet fans
+// kVerRead, resolves last-writer-wins over R versioned responses and
+// read-repairs stale replicas with the winner. With R+W>N a write acked by
+// any coordinator is readable through any coordinator with a replica down.
+//
+// Liveness: a ping-based failure detector runs on shard 0's loop over the
+// peer mesh, feeding the shared Membership table that coordinators consult
+// when choosing fan-out targets. kJoin/kLeave mutate the consistent-hash
+// ring live: each member re-plans ownership, elects one streamer per moved
+// key (first alive old holder) and streams handoff as idempotent
+// kReplicate applies — old holders keep serving while keys move.
+//
+// Reply matching on peer connections is FIFO (peers answer in order); every
+// expected reply carries the key for cross-checking, and a mismatch drops
+// the connection like the front end does.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/partitioner.h"
@@ -21,6 +49,10 @@
 #include "net/reactor_pool.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "replication/failure_detector.h"
+#include "replication/membership.h"
+#include "replication/quorum.h"
+#include "replication/version.h"
 
 namespace scp::net {
 
@@ -41,8 +73,8 @@ struct BackendConfig {
   /// Prometheus endpoint: -1 = none, 0 = kernel-assigned, else fixed port.
   std::int32_t metrics_port = -1;
   /// Reactor shards sharing the listening port (SO_REUSEPORT). The request
-  /// path is stateless over the shared read-only storage, so sharding a
-  /// backend changes only which thread serves a connection.
+  /// path is stateless over the shared storage, so sharding a backend
+  /// changes only which thread serves a connection.
   std::uint32_t shards = 1;
   /// Test hook: force the single-acceptor round-robin accept path.
   bool force_fallback_accept = false;
@@ -51,6 +83,21 @@ struct BackendConfig {
   ReactorKind reactor = ReactorKind::kEpoll;
   /// UringLoop only: SQPOLL + spin-peek before blocking.
   bool busy_poll = false;
+
+  /// Replica-mesh endpoint per NodeId (index = node; this node's own entry
+  /// is ignored). Empty = no mesh: writes coordinate locally with W=1,
+  /// which keeps single-node benches and the read-only tier working
+  /// unchanged. Kernel-assigned ports are wired post-start via set_peers().
+  std::vector<std::pair<std::string, std::uint16_t>> peers;
+  /// W and R. 0 = majority of d (d/2+1); both are clamped to [1, d].
+  std::uint32_t write_quorum = 0;
+  std::uint32_t read_quorum = 0;
+  /// Failure detector timing (see replication/failure_detector.h).
+  double fd_interval_s = 0.1;
+  double fd_suspect_s = 0.25;
+  double fd_timeout_s = 0.5;
+  /// Deadline for an in-flight quorum op; a sweep fails it with kError.
+  double op_timeout_s = 1.0;
 };
 
 class BackendServer {
@@ -59,10 +106,20 @@ class BackendServer {
   ~BackendServer();
 
   /// Binds, preloads the storage engine and starts serving. False on bind
-  /// failure.
+  /// failure. When config.peers is non-empty the replica mesh is wired
+  /// immediately.
   bool start();
   /// Graceful stop: drains queued replies for up to `drain_s`.
   void stop(double drain_s = 1.0);
+
+  /// Wires (or re-wires) the replica mesh: endpoint per NodeId, self
+  /// ignored. Callable before or after start() — tests and the bench spawn
+  /// every backend on port 0 first, then hand the resolved ports around.
+  void set_peers(std::vector<std::pair<std::string, std::uint16_t>> endpoints);
+
+  /// Blocks until every shard's connection to every peer is up (true) or
+  /// the timeout expires (false).
+  bool wait_peers_up(double timeout_s) const;
 
   std::uint16_t port() const noexcept { return pool_.port(); }
   bool running() const noexcept { return pool_.running(); }
@@ -85,28 +142,155 @@ class BackendServer {
   /// syscalls/request and frames/wakeup measurements (thread-safe).
   ReactorPool::Totals loop_totals() const { return pool_.totals(); }
 
+  /// Thread-safe versioned lookup (tombstones included) — what loopback
+  /// tests use to assert replica convergence while the server runs.
+  std::optional<StorageEngine::Entry> storage_entry(KeyId key) const;
+
+  const replication::Membership& membership() const noexcept {
+    return membership_;
+  }
+
+  /// Direct storage access for quiescent introspection only (no lock).
   const StorageEngine& storage() const noexcept { return storage_; }
   const BackendConfig& config() const noexcept { return config_; }
 
  private:
+  static constexpr std::uint32_t kNoNode = UINT32_MAX;
+
+  /// Reply kinds owed on a peer connection, FIFO per connection.
+  enum class Expect : std::uint8_t {
+    kRepAck,    ///< kReplicate sent for a client write (op != 0)
+    kVerValue,  ///< kVerRead sent for a quorum read (op != 0)
+    kRepairAck, ///< fire-and-forget kReplicate (read-repair / handoff)
+    kPong,      ///< failure-detector ping
+  };
+
+  struct ExpectedReply {
+    std::uint64_t op = 0;  ///< ops entry, 0 = none
+    Expect kind = Expect::kRepairAck;
+    std::uint64_t key = 0;
+  };
+
+  /// An in-flight coordinated operation (write or quorum read).
+  struct Op {
+    ConnId client = kInvalidConn;
+    MsgType kind = MsgType::kPut;  ///< kPut, kDelete or kQuorumGet
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;  ///< writes: the minted version
+    std::optional<replication::WriteQuorum> write;
+    std::optional<replication::ReadQuorum> read;
+    std::uint64_t start_ns = 0;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  struct PeerState {
+    std::string address;
+    std::uint16_t port = 0;
+    ConnId conn = kInvalidConn;
+    bool up = false;
+    bool left = false;  ///< administratively removed; never redialed
+    std::uint32_t connect_attempts = 0;
+    std::deque<ExpectedReply> expected;  ///< FIFO on this connection
+    /// Repair/handoff frames deferred until the connection establishes
+    /// (a just-joined node is dialed asynchronously). Bounded.
+    std::vector<Message> queued;
+  };
+
+  /// Per-reactor mutable state, touched only by that shard's loop thread.
+  struct Shard {
+    std::size_t index = 0;
+    Reactor* loop = nullptr;
+    std::vector<PeerState> peers;  ///< index = NodeId
+    std::unordered_map<ConnId, std::uint32_t> peer_by_conn;
+    std::unordered_map<std::uint64_t, Op> ops;
+    std::uint64_t next_op = 1;
+    std::vector<NodeId> group;  ///< replica-group scratch
+    std::atomic<std::uint32_t> peers_up{0};
+  };
+
   void preload();
-  void handle(std::size_t shard, Reactor& loop, ConnId conn,
-              Message&& message);
+  std::uint32_t write_quorum_need() const noexcept;
+  std::uint32_t read_quorum_need() const noexcept;
+  bool in_group(const std::vector<NodeId>& group) const noexcept;
+
+  void handle(Shard& shard, ConnId conn, Message&& message);
+  void handle_peer_reply(Shard& shard, std::uint32_t node, Message&& message);
+  void on_conn_close(Shard& shard, ConnId conn);
+  void on_conn_connect(Shard& shard, ConnId conn, bool ok);
+  void schedule_reconnect(Shard& shard, std::uint32_t node);
+
+  void handle_get(Shard& shard, ConnId conn, const Message& message);
+  void handle_write(Shard& shard, ConnId conn, const Message& message);
+  void handle_quorum_get(Shard& shard, ConnId conn, const Message& message);
+  void handle_replicate(Shard& shard, ConnId conn, const Message& message);
+  void handle_ver_read(Shard& shard, ConnId conn, const Message& message);
+  void handle_join(Shard& shard, ConnId conn, const Message& message);
+  void handle_leave(Shard& shard, ConnId conn, const Message& message);
+
+  /// Sends on the shard's mesh connection to `node`, registering the owed
+  /// reply. With `queue_if_down` an unconnected (but not left) peer defers
+  /// the frame until the connection establishes. False = peer unreachable.
+  bool send_to_peer(Shard& shard, std::uint32_t node, const Message& message,
+                    Expect expect, std::uint64_t op, bool queue_if_down);
+
+  /// Counts a lost in-flight reply (closed connection, kError) against the
+  /// op's quorum, resolving or failing it when that tips the balance.
+  void apply_peer_loss(Shard& shard, const ExpectedReply& expected);
+
+  void resolve_write(Shard& shard, std::uint64_t op_id, Op& op);
+  void resolve_read(Shard& shard, std::uint64_t op_id, Op& op);
+  void fail_op(Shard& shard, Op& op, const char* reason);
+  void sweep_ops(Shard& shard);
+
+  /// Streams handoff for a ring change this node is the elected streamer
+  /// of. `old_group_of` must reflect the ring before the change.
+  void stream_handoff(
+      Shard& shard,
+      const std::function<void(KeyId, std::span<NodeId>)>& old_group_of);
+
+  void detector_tick();
+  static double now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 
   BackendConfig config_;
   std::unique_ptr<ReplicaPartitioner> partitioner_;
+  mutable std::shared_mutex partitioner_mutex_;  ///< ring join/leave
   StorageEngine storage_;
+  mutable std::shared_mutex storage_mutex_;
   ReactorPool pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   // One registry per shard so the hot path never shares a cache line across
   // reactors; scrapes merge them (merge_shard_snapshots).
   std::vector<std::unique_ptr<obs::MetricsRegistry>> registries_;
   std::vector<obs::Timer*> service_us_;  // empty = instrumentation off
+  std::vector<obs::Timer*> write_us_;
+  std::vector<obs::Timer*> quorum_read_us_;
   std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
+
+  replication::VersionClock clock_;
+  replication::Membership membership_;
+  /// Shard 0 loop thread only.
+  replication::PingFailureDetector detector_;
+  std::atomic<bool> peers_configured_{false};
+  std::atomic<bool> detector_running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Mesh connections each shard should establish (for wait_peers_up).
+  std::atomic<std::uint32_t> peer_target_{0};
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> puts_{0};
+  std::atomic<std::uint64_t> deletes_{0};
+  std::atomic<std::uint64_t> replications_{0};
+  std::atomic<std::uint64_t> quorum_gets_{0};
+  std::atomic<std::uint64_t> quorum_failures_{0};
+  std::atomic<std::uint64_t> read_repairs_{0};
+  std::atomic<std::uint64_t> rebalanced_keys_{0};
 };
 
 }  // namespace scp::net

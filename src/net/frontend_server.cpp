@@ -217,6 +217,10 @@ ServerStats FrontendServer::stats() const {
     stats.retries += shard->retries.load(std::memory_order_relaxed);
     stats.failures += shard->failures.load(std::memory_order_relaxed);
     stats.attempts += shard->attempts.load(std::memory_order_relaxed);
+    stats.puts += shard->puts.load(std::memory_order_relaxed);
+    stats.deletes += shard->deletes.load(std::memory_order_relaxed);
+    stats.invalidations +=
+        shard->invalidations.load(std::memory_order_relaxed);
   }
   return stats;
 }
@@ -244,6 +248,12 @@ obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
         shard->failures.load(std::memory_order_relaxed);
     snap.counters["frontend.attempts_total"] =
         shard->attempts.load(std::memory_order_relaxed);
+    snap.counters["frontend.puts"] =
+        shard->puts.load(std::memory_order_relaxed);
+    snap.counters["frontend.deletes"] =
+        shard->deletes.load(std::memory_order_relaxed);
+    snap.counters["frontend.invalidations"] =
+        shard->invalidations.load(std::memory_order_relaxed);
     snap.gauges["frontend.backends_up"] = static_cast<std::int64_t>(
         shard->backends_up.load(std::memory_order_relaxed));
     const ReactorCounters& loop = shard->loop->counters();
@@ -331,6 +341,22 @@ void FrontendServer::handle_client(Shard& shard, ConnId conn,
       forward(shard, conn, message.key, /*attempts=*/0, start_ns);
       return;
     }
+    case MsgType::kPut:
+    case MsgType::kDelete:
+      handle_write(shard, conn, std::move(message));
+      return;
+    case MsgType::kQuorumGet: {
+      // Consistency path: relayed to a backend coordinator verbatim, never
+      // answered from (or admitted into) the FE cache — the client asked
+      // for an R-replica quorum answer, not a cached one.
+      const std::uint64_t start_ns =
+          shard.request_us != nullptr ? obs::now_ns() : 0;
+      shard.requests.fetch_add(1, std::memory_order_relaxed);
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      forward(shard, conn, message.key, /*attempts=*/0, start_ns,
+              MsgType::kQuorumGet);
+      return;
+    }
     case MsgType::kStats: {
       Message reply;
       reply.type = MsgType::kStatsReply;
@@ -362,6 +388,38 @@ void FrontendServer::handle_client(Shard& shard, ConnId conn,
   }
 }
 
+void FrontendServer::handle_write(Shard& shard, ConnId conn,
+                                  Message&& message) {
+  const std::uint64_t start_ns =
+      shard.request_us != nullptr ? obs::now_ns() : 0;
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+  const bool is_delete = message.type == MsgType::kDelete;
+  (is_delete ? shard.deletes : shard.puts)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  if (config_.fleet_size > 1 && !fleet_owns(message.key) &&
+      fleet_redirect_needed(message.key)) {
+    // The sibling owning this key's cache slot must see the write to
+    // invalidate it; bounce the writer there (node = fleet index, as on the
+    // read path) and let the edge router re-dispatch.
+    shard.fleet_redirects.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = MsgType::kRedirect;
+    reply.key = message.key;
+    reply.node =
+        fleet_owner(message.key, config_.fleet_seed, config_.fleet_size);
+    shard.loop->send(conn, reply);
+    obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
+    return;
+  }
+
+  // Invalidate before the backend sees the write: a stale hit after the
+  // coordinator acked would un-do the write for readers landing here.
+  invalidate_cached(shard, message.key);
+  forward(shard, conn, message.key, /*attempts=*/0, start_ns, message.type,
+          message.payload);
+}
+
 void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
                                     Message&& message) {
   BackendState& backend = shard.backends[node];
@@ -382,7 +440,15 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
 
   switch (message.type) {
     case MsgType::kValue: {
-      admit(shard, message.key, message.payload);
+      if (request.op == MsgType::kGet) {
+        admit(shard, message.key, message.payload);
+        // A dirty perfect-oracle key becomes cacheable again once the
+        // authoritative value matches what the oracle synthesizes.
+        if (!shard.dirty.empty() && shard.dirty.count(message.key) != 0 &&
+            message.payload == make_value(message.key, config_.value_bytes)) {
+          shard.dirty.erase(message.key);
+        }
+      }
       complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kValue;
@@ -395,11 +461,21 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       // The fetch produced no value: release the tier slot the lookup
       // admitted, or it sits value-less forever, evicting real entries and
       // turning future hits into forwards.
-      drop_cached(shard, message.key);
+      if (request.op == MsgType::kGet) drop_cached(shard, message.key);
       complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kMiss;
       reply.key = message.key;
+      shard.loop->send(request.client, reply);
+      return;
+    }
+    case MsgType::kWriteReply: {
+      // Coordinator acked the quorum write; relay version and all.
+      complete_request(shard, request, node);
+      Message reply;
+      reply.type = MsgType::kWriteReply;
+      reply.key = message.key;
+      reply.version = message.version;
       shard.loop->send(request.client, reply);
       return;
     }
@@ -410,7 +486,8 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       if (message.node < config_.nodes &&
           request.attempts + 1 < config_.retry.max_attempts()) {
         forward_to(shard, message.node, request.client, request.key,
-                   request.attempts + 1, request.start_ns);
+                   request.attempts + 1, request.start_ns, request.op,
+                   request.payload);
       } else {
         fail_request(shard, request.client, request.key);
       }
@@ -506,7 +583,8 @@ bool FrontendServer::cache_lookup(Shard& shard, std::uint64_t key,
   // share cache state (see header). owns() is always true at shards == 1.
   if (!owns(shard, key)) return false;
   if (config_.cache_policy == "perfect") {
-    if (key < config_.cache_capacity && key < config_.items) {
+    if (key < config_.cache_capacity && key < config_.items &&
+        shard.dirty.count(key) == 0) {
       value = make_value(key, config_.value_bytes);
       return true;
     }
@@ -550,6 +628,30 @@ void FrontendServer::drop_cached(Shard& shard, std::uint64_t key) {
   }
 }
 
+void FrontendServer::invalidate_cached(Shard& shard, std::uint64_t key) {
+  if (config_.cache_policy == "none" || config_.cache_capacity == 0) return;
+  const bool is_perfect = config_.cache_policy == "perfect";
+  if (is_perfect && (key >= config_.cache_capacity || key >= config_.items)) {
+    return;  // never cacheable, nothing to dirty
+  }
+  Shard& owner = *shards_[shards_.size() == 1 ? 0 : shard_of(key)];
+  const auto apply = [this, key, is_perfect](Shard& target) {
+    if (is_perfect) {
+      if (!target.dirty.insert(key).second) return;  // already dirty
+    } else {
+      drop_cached(target, key);
+    }
+    target.invalidations.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (&owner == &shard) {
+    apply(shard);
+  } else {
+    // The cache slice lives on another reactor; its loop thread applies it.
+    Shard* target = &owner;
+    owner.loop->post([apply, target] { apply(*target); });
+  }
+}
+
 std::uint32_t FrontendServer::route(Shard& shard, std::uint64_t key) {
   partitioner_->replica_group(key, shard.group);
   shard.candidates.clear();
@@ -582,7 +684,8 @@ std::uint32_t FrontendServer::route(Shard& shard, std::uint64_t key) {
 }
 
 void FrontendServer::forward(Shard& shard, ConnId client, std::uint64_t key,
-                             std::uint32_t attempts, std::uint64_t start_ns) {
+                             std::uint32_t attempts, std::uint64_t start_ns,
+                             MsgType op, const std::string& payload) {
   const std::uint32_t node = route(shard, key);
   if (node == kNoBackend) {
     // No live replica right now; treat like a failed attempt and back off.
@@ -592,34 +695,36 @@ void FrontendServer::forward(Shard& shard, ConnId client, std::uint64_t key,
     if (attempts + 1 < config_.retry.max_attempts() && !stopping_.load()) {
       pending_total_.fetch_add(1, std::memory_order_relaxed);
       Shard* s = &shard;
-      shard.loop->run_after(config_.retry.backoff_s(attempts),
-                            [this, s, client, key, attempts, start_ns] {
-                              pending_total_.fetch_sub(
-                                  1, std::memory_order_relaxed);
-                              forward(*s, client, key, attempts + 1, start_ns);
-                            });
+      shard.loop->run_after(
+          config_.retry.backoff_s(attempts),
+          [this, s, client, key, attempts, start_ns, op, payload] {
+            pending_total_.fetch_sub(1, std::memory_order_relaxed);
+            forward(*s, client, key, attempts + 1, start_ns, op, payload);
+          });
     } else {
       fail_request(shard, client, key);
     }
     return;
   }
-  forward_to(shard, node, client, key, attempts, start_ns);
+  forward_to(shard, node, client, key, attempts, start_ns, op, payload);
 }
 
 void FrontendServer::forward_to(Shard& shard, std::uint32_t node,
                                 ConnId client, std::uint64_t key,
                                 std::uint32_t attempts,
-                                std::uint64_t start_ns) {
+                                std::uint64_t start_ns, MsgType op,
+                                const std::string& payload) {
   BackendState& backend = shard.backends[node];
   if (!backend.up) {
-    forward(shard, client, key, attempts, start_ns);  // re-route via live
+    forward(shard, client, key, attempts, start_ns, op, payload);
     return;
   }
   Message request;
-  request.type = MsgType::kGet;
+  request.type = op;
   request.key = key;
+  if (op == MsgType::kPut) request.payload = payload;
   if (!shard.loop->send(backend.conn, request)) {
-    forward(shard, client, key, attempts, start_ns);
+    forward(shard, client, key, attempts, start_ns, op, payload);
     return;
   }
   // One wire send. `forwarded` is only counted when a backend answers the
@@ -632,6 +737,8 @@ void FrontendServer::forward_to(Shard& shard, std::uint32_t node,
   PendingRequest pending;
   pending.client = client;
   pending.key = key;
+  pending.op = op;
+  if (op == MsgType::kPut) pending.payload = payload;
   pending.attempts = attempts;
   pending.start_ns = start_ns;
   pending.sent_ns = shard.request_us != nullptr ? obs::now_ns() : 0;
@@ -650,16 +757,17 @@ void FrontendServer::retry_or_fail(Shard& shard,
     const double backoff = config_.retry.backoff_s(request.attempts);
     const ConnId client = request.client;
     const std::uint64_t key = request.key;
+    const MsgType op = request.op;
+    const std::string payload = request.payload;
     const std::uint32_t next_attempt = request.attempts + 1;
     const std::uint64_t start_ns = request.start_ns;
     pending_total_.fetch_add(1, std::memory_order_relaxed);
     Shard* s = &shard;
-    shard.loop->run_after(backoff,
-                          [this, s, client, key, next_attempt, start_ns] {
-                            pending_total_.fetch_sub(1,
-                                                     std::memory_order_relaxed);
-                            forward(*s, client, key, next_attempt, start_ns);
-                          });
+    shard.loop->run_after(
+        backoff, [this, s, client, key, next_attempt, start_ns, op, payload] {
+          pending_total_.fetch_sub(1, std::memory_order_relaxed);
+          forward(*s, client, key, next_attempt, start_ns, op, payload);
+        });
   } else {
     fail_request(shard, request.client, request.key);
   }

@@ -54,6 +54,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/frontend_tier.h"
@@ -166,6 +167,10 @@ class FrontendServer {
   struct PendingRequest {
     ConnId client = kInvalidConn;
     std::uint64_t key = 0;
+    /// What was forwarded: kGet, kQuorumGet, kPut or kDelete. Reads expect
+    /// kValue/kMiss back, writes expect kWriteReply.
+    MsgType op = MsgType::kGet;
+    std::string payload;  ///< kPut only: the value (kept for retries)
     std::chrono::steady_clock::time_point deadline;
     std::uint32_t attempts = 0;  ///< 0-based index of this attempt
     std::uint64_t start_ns = 0;  ///< kGet arrival (carried across retries)
@@ -190,6 +195,12 @@ class FrontendServer {
     std::unique_ptr<FrontEndTier> tier;  // null for perfect/none/empty slice
     std::size_t cache_capacity = 0;      // this shard's slice of c
     std::unordered_map<std::uint64_t, std::string> values;  // tier contents
+    /// Perfect-oracle keys invalidated by a write: served as misses until a
+    /// backend refetch returns the oracle's synthesized value again. (The
+    /// oracle can't hold arbitrary bytes, so a key written with foreign
+    /// bytes stays dirty and is served by forwarding — still correct, just
+    /// uncached.)
+    std::unordered_set<std::uint64_t> dirty;
     Rng rng{1};
 
     std::vector<BackendState> backends;
@@ -211,6 +222,10 @@ class FrontendServer {
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> failures{0};
     std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> deletes{0};
+    /// Cache entries dropped/dirtied because a write touched their key.
+    std::atomic<std::uint64_t> invalidations{0};
     std::atomic<std::uint32_t> backends_up{0};
 
     obs::MetricsRegistry registry;
@@ -240,6 +255,7 @@ class FrontendServer {
 
   void handle(Shard& shard, ConnId conn, Message&& message);
   void handle_client(Shard& shard, ConnId conn, Message&& message);
+  void handle_write(Shard& shard, ConnId conn, Message&& message);
   void handle_backend(Shard& shard, std::uint32_t node, Message&& message);
   void on_conn_close(Shard& shard, ConnId conn);
   void on_conn_connect(Shard& shard, ConnId conn, bool ok);
@@ -247,14 +263,19 @@ class FrontendServer {
   bool cache_lookup(Shard& shard, std::uint64_t key, std::string& value);
   void admit(Shard& shard, std::uint64_t key, const std::string& value);
   void drop_cached(Shard& shard, std::uint64_t key);
+  /// Write-path invalidation: drops/dirties `key`'s cache slot on whichever
+  /// shard owns it (posted cross-shard when that isn't `shard`).
+  void invalidate_cached(Shard& shard, std::uint64_t key);
   void complete_request(Shard& shard, const PendingRequest& request,
                         std::uint32_t node);
 
   void forward(Shard& shard, ConnId client, std::uint64_t key,
-               std::uint32_t attempts, std::uint64_t start_ns);
+               std::uint32_t attempts, std::uint64_t start_ns,
+               MsgType op = MsgType::kGet, const std::string& payload = {});
   void forward_to(Shard& shard, std::uint32_t node, ConnId client,
                   std::uint64_t key, std::uint32_t attempts,
-                  std::uint64_t start_ns);
+                  std::uint64_t start_ns, MsgType op = MsgType::kGet,
+                  const std::string& payload = {});
   std::uint32_t route(Shard& shard, std::uint64_t key);
   void retry_or_fail(Shard& shard, const PendingRequest& request);
   void fail_request(Shard& shard, ConnId client, std::uint64_t key);

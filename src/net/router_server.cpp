@@ -148,6 +148,9 @@ obs::MetricsSnapshot RouterServer::metrics_snapshot() const {
       failures_.load(std::memory_order_relaxed);
   snap.counters["router.attempts_total"] =
       attempts_.load(std::memory_order_relaxed);
+  snap.counters["router.scrapes"] = scrapes_.load(std::memory_order_relaxed);
+  snap.gauges["router.scrape_ms"] =
+      static_cast<std::int64_t>(config_.scrape_interval_s * 1000.0);
   snap.gauges["router.frontends_up"] = static_cast<std::int64_t>(
       frontends_up_.load(std::memory_order_relaxed));
   snap.gauges["router.fleet_size"] =
@@ -187,6 +190,20 @@ void RouterServer::handle_client(ConnId conn, Message&& message) {
           request_us_ != nullptr ? obs::now_ns() : 0;
       requests_.fetch_add(1, std::memory_order_relaxed);
       dispatch(conn, message.key, /*hops=*/0, start_ns);
+      return;
+    }
+    case MsgType::kPut:
+    case MsgType::kDelete:
+    case MsgType::kQuorumGet: {
+      // Writes and quorum reads route like GETs; the fleet member either
+      // serves them (invalidating its cache slice on the way) or answers
+      // kRedirect toward the owner, which handle_member replays with the
+      // same op and payload.
+      const std::uint64_t start_ns =
+          request_us_ != nullptr ? obs::now_ns() : 0;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      dispatch(conn, message.key, /*hops=*/0, start_ns, message.type,
+               message.payload);
       return;
     }
     case MsgType::kStats: {
@@ -264,13 +281,14 @@ void RouterServer::handle_member(std::uint32_t member, Message&& message) {
     const std::uint32_t owner = static_cast<std::uint32_t>(message.node);
     if (owner < members_.size() && request.hops < config_.max_hops &&
         dispatch_to(owner, request.client, request.key, request.hops,
-                    request.start_ns)) {
+                    request.start_ns, request.op, request.payload)) {
       return;
     }
     // Owner down or hop budget spent: let the surviving candidate serve
     // the forward path instead of failing outright.
     if (request.hops < config_.max_hops) {
-      dispatch(request.client, request.key, request.hops, request.start_ns);
+      dispatch(request.client, request.key, request.hops, request.start_ns,
+               request.op, request.payload);
     } else {
       fail_request(request.client, request.key);
     }
@@ -318,7 +336,8 @@ void RouterServer::on_conn_close(ConnId conn) {
     // Re-dispatch to whichever candidate is still live (the dead member is
     // marked down, so pick() routes around it).
     if (request.hops < config_.max_hops) {
-      dispatch(request.client, request.key, request.hops, request.start_ns);
+      dispatch(request.client, request.key, request.hops, request.start_ns,
+               request.op, request.payload);
     } else {
       fail_request(request.client, request.key);
     }
@@ -362,12 +381,14 @@ void RouterServer::schedule_reconnect(std::uint32_t member) {
 
 bool RouterServer::dispatch_to(std::uint32_t member, ConnId client,
                                std::uint64_t key, std::uint32_t hops,
-                               std::uint64_t start_ns) {
+                               std::uint64_t start_ns, MsgType op,
+                               const std::string& payload) {
   MemberState& fe = members_[member];
   if (!fe.up) return false;
   Message request;
-  request.type = MsgType::kGet;
+  request.type = op;
   request.key = key;
+  if (op == MsgType::kPut) request.payload = payload;
   if (!loop_->send(fe.conn, request)) return false;
   attempts_.fetch_add(1, std::memory_order_relaxed);
   if (hops > 0) retries_.fetch_add(1, std::memory_order_relaxed);
@@ -380,6 +401,8 @@ bool RouterServer::dispatch_to(std::uint32_t member, ConnId client,
   PendingRequest pending;
   pending.client = client;
   pending.key = key;
+  pending.op = op;
+  if (op == MsgType::kPut) pending.payload = payload;
   pending.hops = hops + 1;
   pending.start_ns = start_ns;
   pending.deadline =
@@ -392,14 +415,15 @@ bool RouterServer::dispatch_to(std::uint32_t member, ConnId client,
 }
 
 void RouterServer::dispatch(ConnId client, std::uint64_t key,
-                            std::uint32_t hops, std::uint64_t start_ns) {
+                            std::uint32_t hops, std::uint64_t start_ns,
+                            MsgType op, const std::string& payload) {
   if (hops >= config_.max_hops) {
     fail_request(client, key);
     return;
   }
   const std::uint32_t member = router_.pick(key, rng_);
   if (member != kNoFleetMember &&
-      dispatch_to(member, client, key, hops, start_ns)) {
+      dispatch_to(member, client, key, hops, start_ns, op, payload)) {
     return;
   }
   // pick() chose a member whose send failed, or nothing is live: try the
@@ -408,7 +432,7 @@ void RouterServer::dispatch(ConnId client, std::uint64_t key,
   const std::uint32_t other =
       member == candidates.owner ? candidates.alternate : candidates.owner;
   if (other != member && router_.up(other) &&
-      dispatch_to(other, client, key, hops, start_ns)) {
+      dispatch_to(other, client, key, hops, start_ns, op, payload)) {
     return;
   }
   fail_request(client, key);
@@ -425,6 +449,7 @@ void RouterServer::fail_request(ConnId client, std::uint64_t key) {
 
 void RouterServer::scrape_members() {
   if (stopping_.load()) return;
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
   Message probe;
   probe.type = MsgType::kMetricsRequest;
   for (const MemberState& fe : members_) {

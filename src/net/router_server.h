@@ -103,6 +103,10 @@ class RouterServer {
   struct PendingRequest {
     ConnId client = kInvalidConn;
     std::uint64_t key = 0;
+    /// Dispatched op: kGet, kQuorumGet, kPut or kDelete (writes redirect to
+    /// the fleet owner exactly like cached reads, so both need replaying).
+    MsgType op = MsgType::kGet;
+    std::string payload;  ///< kPut only: the value (kept for re-dispatch)
     std::chrono::steady_clock::time_point deadline;
     std::uint32_t hops = 0;      ///< dispatches so far (this one included)
     std::uint64_t start_ns = 0;  ///< client kGet arrival
@@ -126,11 +130,13 @@ class RouterServer {
   /// Sends `key` to `member`, recording the pending entry. False when the
   /// connection is down or the send fails (nothing recorded).
   bool dispatch_to(std::uint32_t member, ConnId client, std::uint64_t key,
-                   std::uint32_t hops, std::uint64_t start_ns);
+                   std::uint32_t hops, std::uint64_t start_ns,
+                   MsgType op = MsgType::kGet, const std::string& payload = {});
   /// Routes by power-of-two-choices and dispatches; fails the request when
   /// no candidate is live or the hop budget is spent.
   void dispatch(ConnId client, std::uint64_t key, std::uint32_t hops,
-                std::uint64_t start_ns);
+                std::uint64_t start_ns, MsgType op = MsgType::kGet,
+                const std::string& payload = {});
   void fail_request(ConnId client, std::uint64_t key);
   void schedule_reconnect(std::uint32_t member);
   void scrape_members();
@@ -150,6 +156,7 @@ class RouterServer {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> scrapes_{0};  ///< load-signal scrape rounds
   std::atomic<std::uint32_t> frontends_up_{0};
   std::atomic<std::uint64_t> pending_total_{0};
   std::atomic<bool> stopping_{false};

@@ -5,7 +5,11 @@
 // SIGTERM, draining in-flight replies before exiting.
 #include <csignal>
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "net/backend_server.h"
@@ -15,6 +19,28 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void on_signal(int) { g_stop = 1; }
+
+// "host:port,host:port,..." — index = NodeId; an empty slot skips that id.
+bool parse_peers(const std::string& text,
+                 std::vector<std::pair<std::string, std::uint16_t>>* out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      out->emplace_back("", 0);
+      continue;
+    }
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size()) {
+      return false;
+    }
+    const int port = std::atoi(item.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return false;
+    out->emplace_back(item.substr(0, colon),
+                      static_cast<std::uint16_t>(port));
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -33,6 +59,13 @@ int main(int argc, char** argv) {
   std::string reactor = "epoll";
   double drain_s = 1.0;
   std::int64_t metrics_port = -1;
+  std::string peers;
+  std::uint64_t write_quorum = 0;
+  std::uint64_t read_quorum = 0;
+  double fd_interval_ms = 100.0;
+  double fd_suspect_ms = 250.0;
+  double fd_timeout_ms = 500.0;
+  double op_timeout_ms = 1000.0;
 
   FlagSet flags("scp_backend: replica-group member serving GETs over TCP");
   flags.add_string("address", &config.address, "bind address");
@@ -58,6 +91,21 @@ int main(int argc, char** argv) {
                  "hot-path histograms (service time, loop ticks)");
   flags.add_int64("metrics-port", &metrics_port,
                   "Prometheus /metrics port (-1 = off, 0 = kernel-assigned)");
+  flags.add_string("peers", &peers,
+                   "replica mesh, comma-separated host:port per node id "
+                   "(empty slot = skip; own slot ignored; empty = no mesh)");
+  flags.add_uint64("write-quorum", &write_quorum,
+                   "W replica acks per write (0 = majority of d)");
+  flags.add_uint64("read-quorum", &read_quorum,
+                   "R replica responses per quorum read (0 = majority of d)");
+  flags.add_double("fd-interval-ms", &fd_interval_ms,
+                   "failure-detector ping interval");
+  flags.add_double("fd-suspect-ms", &fd_suspect_ms,
+                   "silence before a peer is suspected");
+  flags.add_double("fd-timeout-ms", &fd_timeout_ms,
+                   "silence before a peer is declared down");
+  flags.add_double("op-timeout-ms", &op_timeout_ms,
+                   "deadline for an in-flight quorum write/read");
   if (!flags.parse(argc, argv)) return 2;
 
   config.port = static_cast<std::uint16_t>(port);
@@ -78,6 +126,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scp_backend: need 0 <= node < nodes and 0 < d <= n\n");
     return 2;
   }
+  if (!parse_peers(peers, &config.peers)) {
+    std::fprintf(stderr, "scp_backend: bad --peers '%s'\n", peers.c_str());
+    return 2;
+  }
+  config.write_quorum = static_cast<std::uint32_t>(write_quorum);
+  config.read_quorum = static_cast<std::uint32_t>(read_quorum);
+  config.fd_interval_s = fd_interval_ms / 1000.0;
+  config.fd_suspect_s = fd_suspect_ms / 1000.0;
+  config.fd_timeout_s = fd_timeout_ms / 1000.0;
+  config.op_timeout_s = op_timeout_ms / 1000.0;
 
   BackendServer server(config);
   if (!server.start()) {
@@ -103,11 +161,14 @@ int main(int argc, char** argv) {
   server.stop(drain_s);
   const ServerStats stats = server.stats();
   std::printf("scp_backend node %u: requests=%llu hits=%llu misses=%llu "
-              "redirects=%llu\n",
+              "redirects=%llu puts=%llu deletes=%llu replications=%llu\n",
               static_cast<unsigned>(config.node_id),
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses),
-              static_cast<unsigned long long>(stats.redirects));
+              static_cast<unsigned long long>(stats.redirects),
+              static_cast<unsigned long long>(stats.puts),
+              static_cast<unsigned long long>(stats.deletes),
+              static_cast<unsigned long long>(stats.replications));
   return 0;
 }

@@ -72,6 +72,11 @@ int main(int argc, char** argv) {
   flags.add_uint64("seed", &config.seed, "routing tie-break seed");
   flags.add_double("scrape-interval", &config.scrape_interval_s,
                    "load-signal scrape cadence (seconds)");
+  double scrape_ms = 0.0;
+  flags.add_double("scrape-ms", &scrape_ms,
+                   "load-signal scrape cadence in milliseconds "
+                   "(overrides --scrape-interval when > 0; surfaced as the "
+                   "router.scrape_ms gauge)");
   flags.add_uint64("max-hops", &max_hops,
                    "dispatch budget per request (initial send + redirect "
                    "follows + dead-member re-dispatches)");
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 2;
 
   config.port = static_cast<std::uint16_t>(port);
+  if (scrape_ms > 0.0) config.scrape_interval_s = scrape_ms / 1000.0;
   config.max_hops = static_cast<std::uint32_t>(max_hops == 0 ? 1 : max_hops);
   config.metrics_port = static_cast<std::int32_t>(metrics_port);
   if (!parse_reactor_kind(reactor, config.reactor)) {

@@ -115,6 +115,10 @@ void encode_into(const Message& message, std::vector<std::uint8_t>& frame) {
       put_u64(payload, message.stats.retries);
       put_u64(payload, message.stats.failures);
       put_u64(payload, message.stats.attempts);
+      put_u64(payload, message.stats.puts);
+      put_u64(payload, message.stats.deletes);
+      put_u64(payload, message.stats.replications);
+      put_u64(payload, message.stats.invalidations);
       break;
     case MsgType::kMetricsRequest:
       break;
@@ -149,6 +153,38 @@ void encode_into(const Message& message, std::vector<std::uint8_t>& frame) {
     case MsgType::kError:
       put_u64(payload, message.key);
       put_bytes(payload, message.payload);
+      break;
+    case MsgType::kPut:
+      put_u64(payload, message.key);
+      put_bytes(payload, message.payload);
+      break;
+    case MsgType::kDelete:
+    case MsgType::kQuorumGet:
+    case MsgType::kVerRead:
+      put_u64(payload, message.key);
+      break;
+    case MsgType::kWriteReply:
+      put_u64(payload, message.key);
+      put_u64(payload, message.version);
+      break;
+    case MsgType::kVerValue:
+    case MsgType::kReplicate:
+      put_u64(payload, message.key);
+      put_u64(payload, message.version);
+      put_u8(payload, message.flags);
+      put_bytes(payload, message.payload);
+      break;
+    case MsgType::kRepAck:
+      put_u64(payload, message.key);
+      put_u64(payload, message.version);
+      put_u8(payload, message.flags);
+      break;
+    case MsgType::kJoin:
+      put_u32(payload, message.node);
+      put_bytes(payload, message.payload);
+      break;
+    case MsgType::kLeave:
+      put_u32(payload, message.node);
       break;
   }
   const std::uint32_t length =
@@ -195,7 +231,11 @@ std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
           !cursor.read_u64(message.stats.forwarded) ||
           !cursor.read_u64(message.stats.retries) ||
           !cursor.read_u64(message.stats.failures) ||
-          !cursor.read_u64(message.stats.attempts)) {
+          !cursor.read_u64(message.stats.attempts) ||
+          !cursor.read_u64(message.stats.puts) ||
+          !cursor.read_u64(message.stats.deletes) ||
+          !cursor.read_u64(message.stats.replications) ||
+          !cursor.read_u64(message.stats.invalidations)) {
         return std::nullopt;
       }
       break;
@@ -259,6 +299,45 @@ std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
       message.type = MsgType::kError;
       if (!cursor.read_u64(message.key)) return std::nullopt;
       if (!cursor.read_bytes(message.payload)) return std::nullopt;
+      break;
+    case MsgType::kPut:
+      message.type = MsgType::kPut;
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_bytes(message.payload)) return std::nullopt;
+      break;
+    case MsgType::kDelete:
+    case MsgType::kQuorumGet:
+    case MsgType::kVerRead:
+      message.type = static_cast<MsgType>(raw_type);
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      break;
+    case MsgType::kWriteReply:
+      message.type = MsgType::kWriteReply;
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_u64(message.version)) return std::nullopt;
+      break;
+    case MsgType::kVerValue:
+    case MsgType::kReplicate:
+      message.type = static_cast<MsgType>(raw_type);
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_u64(message.version)) return std::nullopt;
+      if (!cursor.read_u8(message.flags)) return std::nullopt;
+      if (!cursor.read_bytes(message.payload)) return std::nullopt;
+      break;
+    case MsgType::kRepAck:
+      message.type = MsgType::kRepAck;
+      if (!cursor.read_u64(message.key)) return std::nullopt;
+      if (!cursor.read_u64(message.version)) return std::nullopt;
+      if (!cursor.read_u8(message.flags)) return std::nullopt;
+      break;
+    case MsgType::kJoin:
+      message.type = MsgType::kJoin;
+      if (!cursor.read_u32(message.node)) return std::nullopt;
+      if (!cursor.read_bytes(message.payload)) return std::nullopt;
+      break;
+    case MsgType::kLeave:
+      message.type = MsgType::kLeave;
+      if (!cursor.read_u32(message.node)) return std::nullopt;
       break;
     default:
       return std::nullopt;

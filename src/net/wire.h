@@ -6,8 +6,11 @@
 //
 // The payload starts with a one-byte message type followed by type-specific
 // big-endian fields. The protocol is deliberately tiny — GET by key id with
-// VALUE / MISS / REDIRECT replies plus a STATS introspection pair — because
-// the serving tier exists to measure the paper's load-balancing claims on a
+// VALUE / MISS / REDIRECT replies, a STATS introspection pair, and the
+// mutable-data family (PUT / DELETE / quorum version reads, the replica
+// apply + ack pair that carries quorum replication, rebalance handoff
+// streams, and the JOIN / LEAVE membership announcements) — because the
+// serving tier exists to measure the paper's load-balancing claims on a
 // real request path, not to be a general RPC system. Decoding is strict:
 // unknown types, truncated fields and trailing bytes are all rejected, and
 // FrameReader refuses frames whose declared length exceeds the cap (a
@@ -41,7 +44,28 @@ enum class MsgType : std::uint8_t {
   kError = 9,      ///< reply: request failed, human-readable reason attached
   kMetricsRequest = 10,  ///< request: full metrics snapshot
   kMetricsReply = 11,    ///< reply: obs::MetricsSnapshot (histograms included)
+  // --- mutable data (quorum-replicated write path) ----------------------
+  kPut = 12,        ///< request: write `key` := payload (coordinator assigns
+                    ///< the version; a client-supplied one is ignored)
+  kDelete = 13,     ///< request: tombstone `key`
+  kWriteReply = 14, ///< reply: write committed at `version` (also acks
+                    ///< kJoin/kLeave, with `version` = membership epoch)
+  kQuorumGet = 15,  ///< request: R-quorum versioned read via this coordinator
+  kVerRead = 16,    ///< internal: local version probe of `key` (no fan-out)
+  kVerValue = 17,   ///< reply: version + flags (+ value when kFlagFound)
+  kReplicate = 18,  ///< internal: versioned LWW apply (replication,
+                    ///< read-repair, rebalance handoff)
+  kRepAck = 19,     ///< reply: replica durably holds `key` at >= `version`
+                    ///< (kFlagApplied set iff this apply took effect)
+  kJoin = 20,       ///< admin: node `node` joins at endpoint payload
+                    ///< ("host:port"); triggers ring rebalance
+  kLeave = 21,      ///< admin: node `node` leaves the ring
 };
+
+// Bits of Message::flags (kVerValue / kReplicate / kRepAck).
+inline constexpr std::uint8_t kFlagFound = 1;      ///< entry exists (kVerValue)
+inline constexpr std::uint8_t kFlagTombstone = 2;  ///< entry is a delete marker
+inline constexpr std::uint8_t kFlagApplied = 1;    ///< apply took effect (kRepAck)
 
 /// Counter snapshot carried by kStatsReply. Both server roles fill the
 /// fields that apply to them and leave the rest zero.
@@ -54,6 +78,11 @@ struct ServerStats {
   std::uint64_t retries = 0;    ///< FE only: wire sends beyond the first
   std::uint64_t failures = 0;   ///< FE only: requests answered with kError
   std::uint64_t attempts = 0;   ///< FE only: total wire sends to backends
+  // --- write path -------------------------------------------------------
+  std::uint64_t puts = 0;          ///< kPut requests received
+  std::uint64_t deletes = 0;       ///< kDelete requests received
+  std::uint64_t replications = 0;  ///< BE only: kReplicate applies received
+  std::uint64_t invalidations = 0; ///< FE only: cache entries dropped by writes
 
   bool operator==(const ServerStats&) const = default;
 };
@@ -62,9 +91,14 @@ struct ServerStats {
 /// encode() ignores the rest and decode_payload() zero-fills them.
 struct Message {
   MsgType type = MsgType::kPing;
-  std::uint64_t key = 0;    ///< kGet, kValue, kMiss, kRedirect, kError
-  std::uint32_t node = 0;   ///< kRedirect: suggested NodeId
-  std::string payload;      ///< kValue: value bytes; kError: reason
+  std::uint64_t key = 0;    ///< kGet, kValue, kMiss, kRedirect, kError,
+                            ///< every write/replication type
+  std::uint32_t node = 0;   ///< kRedirect: suggested NodeId; kJoin/kLeave:
+                            ///< the joining/leaving node
+  std::uint64_t version = 0;  ///< kWriteReply, kVerValue, kReplicate, kRepAck
+  std::uint8_t flags = 0;     ///< kVerValue/kReplicate/kRepAck (kFlag* bits)
+  std::string payload;      ///< kValue/kVerValue/kReplicate/kPut: value
+                            ///< bytes; kError: reason; kJoin: "host:port"
   ServerStats stats;        ///< kStatsReply
   obs::MetricsSnapshot metrics;  ///< kMetricsReply
 

@@ -1,0 +1,90 @@
+#include "replication/failure_detector.h"
+
+#include <algorithm>
+
+namespace scp::replication {
+
+PingFailureDetector::Peer* PingFailureDetector::find(NodeId node) {
+  for (auto& peer : peers_) {
+    if (peer.node == node) return &peer;
+  }
+  return nullptr;
+}
+
+const PingFailureDetector::Peer* PingFailureDetector::find(NodeId node) const {
+  for (const auto& peer : peers_) {
+    if (peer.node == node) return &peer;
+  }
+  return nullptr;
+}
+
+void PingFailureDetector::add_node(NodeId node, double now_s) {
+  if (Peer* peer = find(node)) {
+    peer->last_pong_s = now_s;
+    peer->last_ping_s = -1.0;
+    peer->is_suspect = false;
+    peer->is_down = false;
+    return;
+  }
+  Peer peer;
+  peer.node = node;
+  peer.last_pong_s = now_s;
+  peers_.push_back(peer);
+}
+
+void PingFailureDetector::remove_node(NodeId node) {
+  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                              [node](const Peer& p) { return p.node == node; }),
+               peers_.end());
+}
+
+bool PingFailureDetector::tracks(NodeId node) const {
+  return find(node) != nullptr;
+}
+
+std::vector<PingFailureDetector::Event> PingFailureDetector::tick(
+    double now_s, std::vector<NodeId>* to_ping) {
+  std::vector<Event> events;
+  for (auto& peer : peers_) {
+    if (to_ping != nullptr &&
+        (peer.last_ping_s < 0.0 ||
+         now_s - peer.last_ping_s >= config_.interval_s)) {
+      to_ping->push_back(peer.node);
+      peer.last_ping_s = now_s;
+    }
+    const double silent_s = now_s - peer.last_pong_s;
+    if (!peer.is_down && silent_s >= config_.timeout_s) {
+      peer.is_down = true;
+      peer.is_suspect = false;
+      events.push_back({peer.node, Transition::kDown});
+    } else if (!peer.is_down && !peer.is_suspect &&
+               silent_s >= config_.suspect_after_s) {
+      peer.is_suspect = true;
+      events.push_back({peer.node, Transition::kSuspect});
+    }
+  }
+  return events;
+}
+
+PingFailureDetector::Transition PingFailureDetector::record_pong(
+    NodeId node, double now_s) {
+  Peer* peer = find(node);
+  if (peer == nullptr) return Transition::kNone;
+  peer->last_pong_s = now_s;
+  const bool recovered = peer->is_down || peer->is_suspect;
+  peer->is_down = false;
+  peer->is_suspect = false;
+  return recovered ? Transition::kRecovered : Transition::kNone;
+}
+
+bool PingFailureDetector::down(NodeId node) const {
+  const Peer* peer = find(node);
+  return peer != nullptr && peer->is_down;
+}
+
+bool PingFailureDetector::suspect(NodeId node) const {
+  const Peer* peer = find(node);
+  return peer != nullptr && peer->is_suspect;
+}
+
+}  // namespace scp::replication

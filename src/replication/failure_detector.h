@@ -1,0 +1,77 @@
+// Ping-based failure detector: pure single-threaded timing logic, driven by
+// its owner (a backend server runs it on one reactor shard's loop via
+// run_after, feeding ping sends and pong receipts in and applying the
+// emitted transitions to the shared Membership table).
+//
+// Model: every `interval_s` each peer is due a ping; a peer whose last pong
+// is older than `suspect_after_s` turns suspect (still alive for quorum
+// purposes — sloppy quorums tolerate slow nodes), and older than
+// `timeout_s` turns down. A pong from a down peer revives it. Keeping the
+// logic free of threads, sockets and clocks makes every transition unit
+// testable with synthetic timestamps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp::replication {
+
+struct FailureDetectorConfig {
+  double interval_s = 0.1;        ///< ping cadence per peer
+  double suspect_after_s = 0.25;  ///< missed pongs before kSuspect
+  double timeout_s = 0.5;         ///< missed pongs before kDown
+};
+
+class PingFailureDetector {
+ public:
+  enum class Transition : std::uint8_t { kNone, kSuspect, kDown, kRecovered };
+
+  struct Event {
+    NodeId node;
+    Transition transition;
+
+    bool operator==(const Event&) const = default;
+  };
+
+  explicit PingFailureDetector(FailureDetectorConfig config = {})
+      : config_(config) {}
+
+  const FailureDetectorConfig& config() const noexcept { return config_; }
+
+  /// Starts tracking `node`, counted up as of `now_s` (a grace period: a
+  /// freshly added peer is not instantly down).
+  void add_node(NodeId node, double now_s);
+  void remove_node(NodeId node);
+  bool tracks(NodeId node) const;
+
+  /// Advances time. Peers due a ping are appended to `to_ping` (when
+  /// non-null); state transitions crossed since the last tick are returned
+  /// in tracking order.
+  std::vector<Event> tick(double now_s, std::vector<NodeId>* to_ping);
+
+  /// Records a pong. Returns the transition it caused (kRecovered when the
+  /// peer was suspect/down, kNone otherwise).
+  Transition record_pong(NodeId node, double now_s);
+
+  bool down(NodeId node) const;
+  bool suspect(NodeId node) const;
+
+ private:
+  struct Peer {
+    NodeId node = 0;
+    double last_pong_s = 0.0;
+    double last_ping_s = -1.0;  // never pinged
+    bool is_suspect = false;
+    bool is_down = false;
+  };
+
+  Peer* find(NodeId node);
+  const Peer* find(NodeId node) const;
+
+  FailureDetectorConfig config_;
+  std::vector<Peer> peers_;
+};
+
+}  // namespace scp::replication

@@ -1,0 +1,87 @@
+#include "replication/membership.h"
+
+#include <algorithm>
+
+namespace scp::replication {
+
+const char* to_string(NodeState state) noexcept {
+  switch (state) {
+    case NodeState::kUp:
+      return "up";
+    case NodeState::kSuspect:
+      return "suspect";
+    case NodeState::kDown:
+      return "down";
+    case NodeState::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+MemberInfo* Membership::find_locked(NodeId node) {
+  for (auto& member : members_) {
+    if (member.node == node) return &member;
+  }
+  return nullptr;
+}
+
+const MemberInfo* Membership::find_locked(NodeId node) const {
+  for (const auto& member : members_) {
+    if (member.node == node) return &member;
+  }
+  return nullptr;
+}
+
+void Membership::add_node(NodeId node) {
+  std::lock_guard lock(mutex_);
+  if (MemberInfo* member = find_locked(node)) {
+    if (member->state == NodeState::kUp) return;
+    member->state = NodeState::kUp;
+  } else {
+    members_.push_back({node, NodeState::kUp});
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Membership::remove_node(NodeId node) {
+  std::lock_guard lock(mutex_);
+  MemberInfo* member = find_locked(node);
+  if (member == nullptr || member->state == NodeState::kLeft) return;
+  member->state = NodeState::kLeft;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Membership::set_state(NodeId node, NodeState state) {
+  std::lock_guard lock(mutex_);
+  MemberInfo* member = find_locked(node);
+  if (member == nullptr || member->state == state) return false;
+  member->state = state;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+NodeState Membership::state(NodeId node) const {
+  std::lock_guard lock(mutex_);
+  const MemberInfo* member = find_locked(node);
+  return member != nullptr ? member->state : NodeState::kLeft;
+}
+
+bool Membership::alive(NodeId node) const {
+  const NodeState s = state(node);
+  return s == NodeState::kUp || s == NodeState::kSuspect;
+}
+
+std::size_t Membership::alive_count() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(members_.begin(), members_.end(), [](const MemberInfo& m) {
+        return m.state == NodeState::kUp || m.state == NodeState::kSuspect;
+      }));
+}
+
+std::vector<MemberInfo> Membership::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return members_;
+}
+
+}  // namespace scp::replication

@@ -1,0 +1,72 @@
+// Live membership table fed by the failure detector and by JOIN/LEAVE
+// administration. Thread-safe: the detector ticks on one reactor shard's
+// loop thread while coordinators on every shard consult alive() when
+// choosing replication fan-out targets.
+//
+// The epoch is bumped on every state transition; it is exported as a gauge
+// and carried in kWriteReply acks to kJoin/kLeave, giving tests and
+// operators a cheap "has the view settled" probe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp::replication {
+
+enum class NodeState : std::uint8_t {
+  kUp,       ///< responding to pings
+  kSuspect,  ///< missed recent pongs, still counted alive (sloppy quorum)
+  kDown,     ///< declared failed by the detector
+  kLeft,     ///< administratively removed (kLeave)
+};
+
+const char* to_string(NodeState state) noexcept;
+
+struct MemberInfo {
+  NodeId node = 0;
+  NodeState state = NodeState::kUp;
+
+  bool operator==(const MemberInfo&) const = default;
+};
+
+class Membership {
+ public:
+  /// Adds `node` as kUp, or revives it if already present. Bumps the epoch
+  /// when anything changed.
+  void add_node(NodeId node);
+
+  /// Administrative leave: marks kLeft (the entry stays, so a later re-join
+  /// revives it with history intact).
+  void remove_node(NodeId node);
+
+  /// Detector-driven transition. Returns true when the state changed (and
+  /// the epoch was bumped).
+  bool set_state(NodeId node, NodeState state);
+
+  /// kLeft for unknown nodes.
+  NodeState state(NodeId node) const;
+
+  /// Counted toward quorums: kUp or kSuspect.
+  bool alive(NodeId node) const;
+  std::size_t alive_count() const;
+
+  std::vector<MemberInfo> snapshot() const;
+
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  MemberInfo* find_locked(NodeId node);
+  const MemberInfo* find_locked(NodeId node) const;
+
+  mutable std::mutex mutex_;
+  std::vector<MemberInfo> members_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace scp::replication

@@ -1,0 +1,28 @@
+#include "replication/quorum.h"
+
+namespace scp::replication {
+
+const ReadResponse* ReadQuorum::newest() const {
+  const ReadResponse* winner = nullptr;
+  for (const auto& response : responses_) {
+    if (!response.found) continue;
+    if (winner == nullptr || response.version > winner->version) {
+      winner = &response;
+    }
+  }
+  return winner;
+}
+
+std::vector<NodeId> ReadQuorum::stale_nodes() const {
+  const ReadResponse* winner = newest();
+  std::vector<NodeId> stale;
+  if (winner == nullptr) return stale;
+  for (const auto& response : responses_) {
+    if (!response.found || response.version < winner->version) {
+      stale.push_back(response.node);
+    }
+  }
+  return stale;
+}
+
+}  // namespace scp::replication

@@ -1,0 +1,42 @@
+#include "replication/rebalance.h"
+
+#include <algorithm>
+
+namespace scp::replication {
+
+std::vector<HandoffItem> plan_handoff(
+    const std::function<void(KeyId, std::span<NodeId>)>& old_group_of,
+    const ReplicaPartitioner& new_partitioner, NodeId self,
+    const std::function<bool(NodeId)>& alive, std::span<const KeyId> keys) {
+  std::vector<HandoffItem> plan;
+  const std::uint32_t d = new_partitioner.replication();
+  std::vector<NodeId> old_group(d);
+  std::vector<NodeId> new_group(d);
+  for (const KeyId key : keys) {
+    old_group_of(key, old_group);
+    new_partitioner.replica_group(key, new_group);
+
+    // One streamer per key: the first alive old holder. Everyone runs the
+    // same deterministic election, so exactly one node streams each key.
+    NodeId streamer = old_group[0];
+    bool have_streamer = false;
+    for (const NodeId node : old_group) {
+      if (alive(node)) {
+        streamer = node;
+        have_streamer = true;
+        break;
+      }
+    }
+    if (!have_streamer || streamer != self) continue;
+
+    for (const NodeId target : new_group) {
+      if (std::find(old_group.begin(), old_group.end(), target) ==
+          old_group.end()) {
+        plan.push_back({key, target});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace scp::replication

@@ -1,0 +1,43 @@
+// Rebalance planning for ring membership changes.
+//
+// When a node joins or leaves the consistent-hash ring, each key's replica
+// group shifts minimally (that is the point of the ring). The keys a node
+// must stream out are exactly those whose *new* group contains nodes absent
+// from the *old* group; to avoid d copies of every moved key crossing the
+// wire, the first alive member of the old group is elected streamer and
+// sends one kReplicate per (key, new member). Handoff applies are plain
+// versioned LWW applies, so duplicate or reordered streams are harmless.
+//
+// Pure planning — the caller snapshots old groups before mutating the ring,
+// then diffs against the new groups here. Old holders keep their copies
+// (served-while-moving): a quorum read during the move still intersects at
+// least one old holder, so nothing is unreadable mid-handoff.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "cluster/types.h"
+
+namespace scp::replication {
+
+struct HandoffItem {
+  KeyId key = 0;
+  NodeId target = 0;
+
+  bool operator==(const HandoffItem&) const = default;
+};
+
+/// The keys `self` must stream after a ring change, with their destinations.
+/// `old_group_of` returns each key's replica group before the change (the
+/// caller's snapshot); `alive` is the membership predicate used to elect the
+/// streamer among old holders. `keys` is the candidate set to scan — a
+/// backend passes the keys it currently stores.
+std::vector<HandoffItem> plan_handoff(
+    const std::function<void(KeyId, std::span<NodeId>)>& old_group_of,
+    const ReplicaPartitioner& new_partitioner, NodeId self,
+    const std::function<bool(NodeId)>& alive, std::span<const KeyId> keys);
+
+}  // namespace scp::replication

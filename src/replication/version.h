@@ -1,0 +1,67 @@
+// VersionClock: node-unique monotonic versions for last-writer-wins.
+//
+// A version packs a Lamport-style logical counter with the coordinator's
+// node id in the low bits:
+//
+//   version = (logical << kNodeBits) | node_id
+//
+// so versions minted by different coordinators are totally ordered and never
+// collide (equal logical counters tie-break on node id), which is all
+// last-writer-wins needs. observe() folds versions seen from peers into the
+// counter (fetch-max), so a coordinator that just received a replica apply
+// at version v will mint its next local write strictly above v — without it,
+// a restarted node would reissue old versions and its writes would silently
+// lose to stale data.
+//
+// Backends preload their owned keys at version 1 (logical 0); the first
+// minted version is at least (1 << kNodeBits), so every real write
+// supersedes the preload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cluster/types.h"
+
+namespace scp::replication {
+
+class VersionClock {
+ public:
+  /// Low bits carrying the minting node id; bounds the cluster at 1024
+  /// nodes, far above anything the serving tier spawns.
+  static constexpr std::uint32_t kNodeBits = 10;
+  static constexpr std::uint32_t kMaxNode = (1u << kNodeBits) - 1;
+
+  explicit VersionClock(NodeId node) noexcept : node_(node & kMaxNode) {}
+
+  /// Mints the next version. Thread-safe; strictly increasing per node.
+  std::uint64_t next() noexcept {
+    const std::uint64_t logical =
+        counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return (logical << kNodeBits) | node_;
+  }
+
+  /// Folds a peer-observed version into the clock so later local writes
+  /// order after it. Thread-safe fetch-max.
+  void observe(std::uint64_t version) noexcept {
+    const std::uint64_t seen = version >> kNodeBits;
+    std::uint64_t current = counter_.load(std::memory_order_relaxed);
+    while (seen > current &&
+           !counter_.compare_exchange_weak(current, seen,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  static NodeId node_of(std::uint64_t version) noexcept {
+    return static_cast<NodeId>(version & kMaxNode);
+  }
+  static std::uint64_t logical_of(std::uint64_t version) noexcept {
+    return version >> kNodeBits;
+  }
+
+ private:
+  NodeId node_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace scp::replication

@@ -1,0 +1,443 @@
+// Loopback tests for the quorum-replicated write path: real TCP backends
+// wired into a replica mesh on kernel-assigned ports, driven by the
+// blocking SyncClient. Proves the acceptance property over real sockets:
+// with R+W>N (N=3, R=W=2) a write acked by any coordinator is readable
+// through any coordinator with one replica crashed, and read-repair
+// converges a restarted replica. Parameterized over both reactor backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "net/backend_server.h"
+#include "net/frontend_server.h"
+#include "net/sync_client.h"
+
+namespace scp::net {
+namespace {
+
+constexpr std::uint64_t kPartitionSeed = 77;
+
+ReactorKind g_reactor = ReactorKind::kEpoll;
+
+class QuorumSuite : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(parse_reactor_kind(GetParam(), g_reactor));
+    if (g_reactor == ReactorKind::kUring) {
+      std::string reason;
+      if (!uring_available(&reason)) {
+        GTEST_SKIP() << "SKIPPED: no io_uring (" << reason << ")";
+      }
+    }
+  }
+  void TearDown() override { g_reactor = ReactorKind::kEpoll; }
+};
+
+static std::string reactor_name(
+    const ::testing::TestParamInfo<const char*>& info) {
+  return info.param;
+}
+
+INSTANTIATE_TEST_SUITE_P(Reactors, QuorumSuite,
+                         ::testing::Values("epoll", "uring"), reactor_name);
+
+BackendConfig quorum_config(std::uint32_t node_id, std::uint32_t nodes,
+                            std::uint32_t replication, std::uint64_t items) {
+  BackendConfig config;
+  config.node_id = node_id;
+  config.nodes = nodes;
+  config.replication = replication;
+  config.partition_seed = kPartitionSeed;
+  config.items = items;
+  config.reactor = g_reactor;
+  config.write_quorum = 2;
+  config.read_quorum = 2;
+  config.op_timeout_s = 2.0;
+  return config;
+}
+
+/// A meshed backend fleet: every node started on port 0, then every node
+/// handed the full endpoint list — exactly how the bench wires a cluster.
+struct Mesh {
+  std::vector<std::unique_ptr<BackendServer>> backends;
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+
+  void rewire() {
+    for (auto& backend : backends) {
+      if (backend != nullptr && backend->running()) {
+        backend->set_peers(endpoints);
+      }
+    }
+  }
+};
+
+Mesh start_mesh(std::uint32_t nodes, std::uint32_t replication,
+                std::uint64_t items) {
+  Mesh mesh;
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    auto backend = std::make_unique<BackendServer>(
+        quorum_config(node, nodes, replication, items));
+    EXPECT_TRUE(backend->start());
+    mesh.endpoints.emplace_back("127.0.0.1", backend->port());
+    mesh.backends.push_back(std::move(backend));
+  }
+  mesh.rewire();
+  for (auto& backend : mesh.backends) {
+    EXPECT_TRUE(backend->wait_peers_up(5.0));
+  }
+  return mesh;
+}
+
+Message make_put(std::uint64_t key, std::string value) {
+  Message request;
+  request.type = MsgType::kPut;
+  request.key = key;
+  request.payload = std::move(value);
+  return request;
+}
+
+Message make_req(MsgType type, std::uint64_t key) {
+  Message request;
+  request.type = type;
+  request.key = key;
+  return request;
+}
+
+/// Polls a replica's storage until `pred` holds or the deadline passes.
+template <typename Pred>
+bool eventually(const Pred& pred, double timeout_s = 5.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+TEST_P(QuorumSuite, WriteThroughOneCoordinatorReadsThroughEveryOther) {
+  // N=3, d=3: every node replicates every key, so every node coordinates
+  // for every key and every storage engine must converge.
+  Mesh mesh = start_mesh(3, 3, /*items=*/0);
+
+  SyncClient writer;
+  ASSERT_TRUE(writer.connect("127.0.0.1", mesh.backends[0]->port()));
+  const auto ack = writer.call(make_put(7, "quorum value"), 2.0);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, MsgType::kWriteReply) << ack->payload;
+  EXPECT_EQ(ack->key, 7u);
+  // A minted version always exceeds the preload version (1).
+  EXPECT_GT(ack->version, 1u);
+
+  for (int node = 0; node < 3; ++node) {
+    SyncClient reader;
+    ASSERT_TRUE(reader.connect("127.0.0.1", mesh.backends[node]->port()));
+    const auto reply = reader.call(make_req(MsgType::kQuorumGet, 7), 2.0);
+    ASSERT_TRUE(reply.has_value()) << "coordinator " << node;
+    ASSERT_EQ(reply->type, MsgType::kValue) << "coordinator " << node;
+    EXPECT_EQ(reply->payload, "quorum value");
+  }
+
+  // W=2 acked synchronously; the third replica converges asynchronously.
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_TRUE(eventually([&] {
+      const auto entry = mesh.backends[node]->storage_entry(7);
+      return entry.has_value() && entry->value == "quorum value" &&
+             !entry->tombstone && entry->version == ack->version;
+    })) << "replica " << node;
+  }
+
+  for (auto& backend : mesh.backends) backend->stop(0.5);
+}
+
+TEST_P(QuorumSuite, DeleteTombstonesAcrossTheQuorum) {
+  Mesh mesh = start_mesh(3, 3, /*items=*/0);
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", mesh.backends[1]->port()));
+  const auto put = client.call(make_put(9, "doomed"), 2.0);
+  ASSERT_TRUE(put.has_value());
+  ASSERT_EQ(put->type, MsgType::kWriteReply);
+
+  const auto del = client.call(make_req(MsgType::kDelete, 9), 2.0);
+  ASSERT_TRUE(del.has_value());
+  ASSERT_EQ(del->type, MsgType::kWriteReply);
+  EXPECT_GT(del->version, put->version) << "delete must supersede the put";
+
+  // A quorum read through a different coordinator observes the tombstone.
+  SyncClient reader;
+  ASSERT_TRUE(reader.connect("127.0.0.1", mesh.backends[2]->port()));
+  const auto reply = reader.call(make_req(MsgType::kQuorumGet, 9), 2.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kMiss);
+
+  for (auto& backend : mesh.backends) backend->stop(0.5);
+}
+
+TEST_P(QuorumSuite, QuorumSurvivesOneReplicaCrash) {
+  Mesh mesh = start_mesh(3, 3, /*items=*/0);
+
+  // Write while all three are up, then crash one replica.
+  SyncClient writer;
+  ASSERT_TRUE(writer.connect("127.0.0.1", mesh.backends[0]->port()));
+  const auto ack = writer.call(make_put(11, "survives"), 2.0);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, MsgType::kWriteReply);
+
+  mesh.backends[2]->stop(0.0);
+  mesh.backends[2].reset();
+
+  // R=2 over the two survivors: both remaining coordinators still answer.
+  for (int node = 0; node < 2; ++node) {
+    SyncClient reader;
+    ASSERT_TRUE(reader.connect("127.0.0.1", mesh.backends[node]->port()));
+    const auto reply = reader.call(make_req(MsgType::kQuorumGet, 11), 3.0);
+    ASSERT_TRUE(reply.has_value()) << "coordinator " << node;
+    ASSERT_EQ(reply->type, MsgType::kValue) << "coordinator " << node;
+    EXPECT_EQ(reply->payload, "survives");
+  }
+
+  // W=2 still reachable: a fresh write through a survivor commits too.
+  const auto ack2 = writer.call(make_put(12, "post-crash"), 3.0);
+  ASSERT_TRUE(ack2.has_value());
+  ASSERT_EQ(ack2->type, MsgType::kWriteReply) << ack2->payload;
+
+  for (auto& backend : mesh.backends) {
+    if (backend != nullptr) backend->stop(0.5);
+  }
+}
+
+TEST_P(QuorumSuite, ReadRepairConvergesARestartedReplica) {
+  Mesh mesh = start_mesh(3, 3, /*items=*/0);
+
+  // Crash replica 2, then commit a write it never sees.
+  mesh.backends[2]->stop(0.0);
+  mesh.backends[2].reset();
+
+  SyncClient writer;
+  ASSERT_TRUE(writer.connect("127.0.0.1", mesh.backends[0]->port()));
+  const auto ack = writer.call(make_put(21, "repaired value"), 3.0);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, MsgType::kWriteReply) << ack->payload;
+
+  // Restart node 2 empty on a fresh port and re-wire the whole mesh.
+  mesh.backends[2] =
+      std::make_unique<BackendServer>(quorum_config(2, 3, 3, 0));
+  ASSERT_TRUE(mesh.backends[2]->start());
+  mesh.endpoints[2] = {"127.0.0.1", mesh.backends[2]->port()};
+  mesh.rewire();
+  for (auto& backend : mesh.backends) {
+    ASSERT_TRUE(backend->wait_peers_up(5.0));
+  }
+  ASSERT_FALSE(mesh.backends[2]->storage_entry(21).has_value());
+
+  // A quorum read coordinated by the stale node itself sees its own miss
+  // lose LWW to a survivor's copy and read-repairs the local store.
+  SyncClient reader;
+  ASSERT_TRUE(reader.connect("127.0.0.1", mesh.backends[2]->port()));
+  const auto reply = reader.call(make_req(MsgType::kQuorumGet, 21), 3.0);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kValue) << reply->payload;
+  EXPECT_EQ(reply->payload, "repaired value");
+
+  EXPECT_TRUE(eventually([&] {
+    const auto entry = mesh.backends[2]->storage_entry(21);
+    return entry.has_value() && entry->value == "repaired value" &&
+           entry->version == ack->version;
+  })) << "read-repair never converged the restarted replica";
+
+  for (auto& backend : mesh.backends) backend->stop(0.5);
+}
+
+TEST_P(QuorumSuite, JoinRebalancesKeysOntoTheNewNode) {
+  // Ring partitioner so membership changes actually move keys. Three nodes
+  // preloaded with their owned slice of 64 keys; node 3 joins empty.
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 64;
+
+  Mesh mesh;
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    BackendConfig config = quorum_config(node, kNodes, kReplication, kItems);
+    config.partitioner = "ring";
+    auto backend = std::make_unique<BackendServer>(config);
+    ASSERT_TRUE(backend->start());
+    mesh.endpoints.emplace_back("127.0.0.1", backend->port());
+    mesh.backends.push_back(std::move(backend));
+  }
+  mesh.rewire();
+  for (auto& backend : mesh.backends) ASSERT_TRUE(backend->wait_peers_up(5.0));
+
+  // The joiner's own ring must equal the others' post-join ring: same seed,
+  // nodes 0..3. It holds nothing until handoff streams arrive.
+  BackendConfig joiner_config =
+      quorum_config(kNodes, kNodes + 1, kReplication, /*items=*/0);
+  joiner_config.partitioner = "ring";
+  auto joiner = std::make_unique<BackendServer>(joiner_config);
+  ASSERT_TRUE(joiner->start());
+  const std::string joiner_endpoint =
+      "127.0.0.1:" + std::to_string(joiner->port());
+
+  // Announce the join to every existing member; each re-plans ownership and
+  // the elected streamers push handoff to the new node.
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    SyncClient admin;
+    ASSERT_TRUE(admin.connect("127.0.0.1", mesh.backends[node]->port()));
+    Message join;
+    join.type = MsgType::kJoin;
+    join.node = kNodes;
+    join.payload = joiner_endpoint;
+    const auto reply = admin.call(join, 3.0);
+    ASSERT_TRUE(reply.has_value()) << "member " << node;
+    ASSERT_EQ(reply->type, MsgType::kWriteReply) << reply->payload;
+    EXPECT_GT(reply->version, 0u) << "membership epoch must have advanced";
+  }
+
+  // Every key the post-join ring assigns to node 3 must land there, at the
+  // version the old holders stored (preload version 1).
+  ConsistentHashRing ring(kNodes + 1, kReplication, 64, kPartitionSeed);
+  std::vector<KeyId> moved;
+  std::vector<NodeId> group(kReplication);
+  for (KeyId key = 0; key < kItems; ++key) {
+    ring.replica_group(key, group);
+    if (std::find(group.begin(), group.end(), NodeId{kNodes}) != group.end()) {
+      moved.push_back(key);
+    }
+  }
+  ASSERT_FALSE(moved.empty()) << "join moved nothing; enlarge the key set";
+  for (const KeyId key : moved) {
+    EXPECT_TRUE(eventually([&] {
+      return joiner->storage_entry(key).has_value();
+    })) << "key " << key << " never streamed to the joiner";
+  }
+
+  joiner->stop(0.5);
+  for (auto& backend : mesh.backends) backend->stop(0.5);
+}
+
+TEST_P(QuorumSuite, LeaveStreamsDepartingKeysToSurvivors) {
+  // Four ring nodes, d=2; node 0 leaves gracefully. Keys whose old group
+  // contained node 0 gain a replacement member, and the surviving old
+  // holder streams them over.
+  constexpr std::uint32_t kNodes = 4;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 64;
+
+  Mesh mesh;
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    BackendConfig config = quorum_config(node, kNodes, kReplication, kItems);
+    config.partitioner = "ring";
+    auto backend = std::make_unique<BackendServer>(config);
+    ASSERT_TRUE(backend->start());
+    mesh.endpoints.emplace_back("127.0.0.1", backend->port());
+    mesh.backends.push_back(std::move(backend));
+  }
+  mesh.rewire();
+  for (auto& backend : mesh.backends) ASSERT_TRUE(backend->wait_peers_up(5.0));
+
+  // Old and new rings, for deriving which (key, target) pairs must move.
+  ConsistentHashRing old_ring(kNodes, kReplication, 64, kPartitionSeed);
+  ConsistentHashRing new_ring(kNodes, kReplication, 64, kPartitionSeed);
+  new_ring.remove_node(0);
+
+  // kLeave carries the leaver in `node`. Announce to the leaver itself
+  // first (a graceful leave streams its own keys out), then the survivors.
+  Message leave;
+  leave.type = MsgType::kLeave;
+  leave.node = 0;
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    SyncClient admin;
+    ASSERT_TRUE(admin.connect("127.0.0.1", mesh.backends[node]->port()));
+    const auto ack = admin.call(leave, 3.0);
+    ASSERT_TRUE(ack.has_value()) << "member " << node;
+    ASSERT_EQ(ack->type, MsgType::kWriteReply) << ack->payload;
+  }
+
+  std::vector<NodeId> old_group(kReplication);
+  std::vector<NodeId> new_group(kReplication);
+  std::uint64_t checked = 0;
+  for (KeyId key = 0; key < kItems; ++key) {
+    old_ring.replica_group(key, old_group);
+    new_ring.replica_group(key, new_group);
+    for (const NodeId target : new_group) {
+      if (std::find(old_group.begin(), old_group.end(), target) !=
+          old_group.end()) {
+        continue;  // already held before the leave
+      }
+      ++checked;
+      EXPECT_TRUE(eventually([&] {
+        return mesh.backends[target]->storage_entry(key).has_value();
+      })) << "key " << key << " never reached replacement node " << target;
+    }
+  }
+  EXPECT_GT(checked, 0u) << "leave moved nothing; enlarge the key set";
+
+  for (auto& backend : mesh.backends) backend->stop(0.5);
+}
+
+TEST_P(QuorumSuite, FrontendWriteInvalidatesItsCacheAndRefetches) {
+  // The FE serves cached reads from the perfect oracle; a PUT through the
+  // FE must stop the oracle from synthesizing the stale value until the
+  // backend confirms the refetched bytes.
+  constexpr std::uint64_t kItems = 32;
+  Mesh mesh = start_mesh(3, 3, kItems);
+
+  FrontendConfig fe_config;
+  fe_config.nodes = 3;
+  fe_config.replication = 3;
+  fe_config.partition_seed = kPartitionSeed;
+  fe_config.backends = mesh.endpoints;
+  fe_config.cache_policy = "perfect";
+  fe_config.cache_capacity = kItems;  // every key cached
+  fe_config.items = kItems;
+  fe_config.reactor = g_reactor;
+  FrontendServer frontend(fe_config);
+  ASSERT_TRUE(frontend.start());
+  ASSERT_TRUE(frontend.wait_backends_up(5.0));
+
+  SyncClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", frontend.port()));
+
+  // Cached read first: served by the oracle without touching a backend.
+  const std::uint64_t key = 3;
+  const auto cached = client.get(key, 2.0);
+  ASSERT_TRUE(cached.has_value());
+  ASSERT_EQ(cached->type, MsgType::kValue);
+  EXPECT_EQ(cached->payload, make_value(key, fe_config.value_bytes));
+
+  // Write through the FE: the quorum commits on the backends and the FE
+  // marks the key dirty so the oracle stops answering for it.
+  const auto ack =
+      client.call(make_put(key, make_value(key, fe_config.value_bytes)), 3.0);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, MsgType::kWriteReply) << ack->payload;
+  EXPECT_GE(frontend.stats().invalidations, 1u);
+
+  // The next GET is forwarded (dirty), returns the backend's copy, and the
+  // matching bytes re-clean the cache.
+  const auto refetched = client.get(key, 3.0);
+  ASSERT_TRUE(refetched.has_value());
+  ASSERT_EQ(refetched->type, MsgType::kValue);
+  EXPECT_EQ(refetched->payload, make_value(key, fe_config.value_bytes));
+
+  const ServerStats after_refetch = frontend.stats();
+  EXPECT_GE(after_refetch.forwarded, 1u);
+
+  // Cache serves again: no new forward for the same key.
+  const auto again = client.get(key, 2.0);
+  ASSERT_TRUE(again.has_value());
+  ASSERT_EQ(again->type, MsgType::kValue);
+  EXPECT_EQ(frontend.stats().forwarded, after_refetch.forwarded)
+      << "a cleaned key must be served from the cache again";
+
+  frontend.stop(0.5);
+  for (auto& backend : mesh.backends) backend->stop(0.5);
+}
+
+}  // namespace
+}  // namespace scp::net

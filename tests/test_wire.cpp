@@ -46,7 +46,7 @@ std::vector<Message> every_message_type() {
 
   Message stats_reply;
   stats_reply.type = MsgType::kStatsReply;
-  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7, 8};
+  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
   messages.push_back(stats_reply);
 
   Message metrics_request;
@@ -83,6 +83,85 @@ std::vector<Message> every_message_type() {
   error.key = 8;
   error.payload = "no live replica";
   messages.push_back(error);
+
+  Message put;
+  put.type = MsgType::kPut;
+  put.key = 0x1122334455667788ULL;
+  put.payload = "new value bytes\0with a null"s;
+  messages.push_back(put);
+
+  Message del;
+  del.type = MsgType::kDelete;
+  del.key = 314159;
+  messages.push_back(del);
+
+  Message write_reply;
+  write_reply.type = MsgType::kWriteReply;
+  write_reply.key = 271828;
+  write_reply.version = (42ULL << 10) | 7;  // counter 42 minted by node 7
+  messages.push_back(write_reply);
+
+  Message quorum_get;
+  quorum_get.type = MsgType::kQuorumGet;
+  quorum_get.key = 0xfeedfacefeedfaceULL;
+  messages.push_back(quorum_get);
+
+  Message ver_read;
+  ver_read.type = MsgType::kVerRead;
+  ver_read.key = 161803;
+  messages.push_back(ver_read);
+
+  Message ver_value_found;
+  ver_value_found.type = MsgType::kVerValue;
+  ver_value_found.key = 161803;
+  ver_value_found.version = (9ULL << 10) | 3;
+  ver_value_found.flags = kFlagFound;
+  ver_value_found.payload = "versioned bytes";
+  messages.push_back(ver_value_found);
+
+  Message ver_value_tombstone;
+  ver_value_tombstone.type = MsgType::kVerValue;
+  ver_value_tombstone.key = 161803;
+  ver_value_tombstone.version = (10ULL << 10) | 3;
+  ver_value_tombstone.flags = kFlagFound | kFlagTombstone;
+  messages.push_back(ver_value_tombstone);
+
+  Message ver_value_miss;
+  ver_value_miss.type = MsgType::kVerValue;
+  ver_value_miss.key = 161803;
+  messages.push_back(ver_value_miss);  // flags=0: not found, version 0
+
+  Message replicate;
+  replicate.type = MsgType::kReplicate;
+  replicate.key = 577215;
+  replicate.version = (100ULL << 10) | 1;
+  replicate.payload = "replicated value";
+  messages.push_back(replicate);
+
+  Message replicate_tombstone;
+  replicate_tombstone.type = MsgType::kReplicate;
+  replicate_tombstone.key = 577215;
+  replicate_tombstone.version = (101ULL << 10) | 2;
+  replicate_tombstone.flags = kFlagTombstone;
+  messages.push_back(replicate_tombstone);
+
+  Message rep_ack;
+  rep_ack.type = MsgType::kRepAck;
+  rep_ack.key = 577215;
+  rep_ack.version = (100ULL << 10) | 1;
+  rep_ack.flags = kFlagApplied;
+  messages.push_back(rep_ack);
+
+  Message join;
+  join.type = MsgType::kJoin;
+  join.node = 5;
+  join.payload = "127.0.0.1:43121";
+  messages.push_back(join);
+
+  Message leave;
+  leave.type = MsgType::kLeave;
+  leave.node = 5;
+  messages.push_back(leave);
 
   return messages;
 }
@@ -418,6 +497,42 @@ TEST(Wire, RejectsMetricsTimerWithMalformedBuckets) {
   EXPECT_FALSE(
       decode_payload(metrics_payload_with_timer(1, {{0xffffff, 1}}))
           .has_value());
+}
+
+TEST(Wire, WriteFramesPreserveVersionAndFlagsExtremes) {
+  // The LWW tie-break depends on every version bit surviving the wire.
+  Message message;
+  message.type = MsgType::kReplicate;
+  message.key = ~0ULL;
+  message.version = ~0ULL;
+  message.flags = 0xff;
+  message.payload = "x";
+  const std::vector<std::uint8_t> frame = encode(message);
+  const auto decoded = decode_payload(
+      {frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, ~0ULL);
+  EXPECT_EQ(decoded->flags, 0xff);
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(Wire, RejectsPutWithEmbeddedLengthOverrun) {
+  // kPut whose inner byte-length claims more than the payload holds.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kPut));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);         // key
+  payload.insert(payload.end(), {0x00, 0x00, 0x00, 0x20});  // len 32...
+  payload.push_back('a');                                   // ...1 byte
+  EXPECT_FALSE(decode_payload(payload).has_value());
+}
+
+TEST(Wire, RejectsJoinWithEmbeddedLengthOverrun) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kJoin));
+  for (int i = 0; i < 4; ++i) payload.push_back(0);         // node
+  payload.insert(payload.end(), {0x00, 0x00, 0x01, 0x00});  // len 256...
+  payload.push_back('1');                                   // ...1 byte
+  EXPECT_FALSE(decode_payload(payload).has_value());
 }
 
 TEST(Wire, MakeValueIsDeterministicAndSized) {
