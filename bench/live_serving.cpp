@@ -82,7 +82,12 @@ struct LiveFlags {
   std::uint64_t fe_fleet = 1;    // front-end fleet width (1 = no router)
   std::string shard_sweep;       // "1,2,4": one full run per shard count
   double write_frac = 0.0;       // fraction of ops issued as quorum PUTs
-  std::string attack;            // "" | invalidate (writers target cached set)
+  std::string attack;            // "" | invalidate | adaptive
+  double shift_period = 1.0;     // adaptive: seconds between key-set shifts
+  bool detect = false;           // hot-key detection + FE mitigation
+  double detect_interval_ms = 100.0;  // backend report/aging cadence
+  double detect_threshold = 0.02;     // aggregated hot-share entry bound
+  std::uint64_t detect_min_samples = 256;
   std::uint64_t write_quorum = 0;  // W (0 = majority of d)
   std::uint64_t read_quorum = 0;   // R (0 = majority of d)
   std::string reactor = "epoll";  // event loop backend: epoll | uring
@@ -166,13 +171,31 @@ struct WriteMix {
   std::uint64_t value_bytes = 64;
 };
 
+/// Read-side adaptive adversary (--attack adaptive): the adversarial
+/// preset's attacked window [0, x) rotates to a fresh x-key window every
+/// shift period — phase p queries [(p·x) mod m, …) — so any mitigation
+/// trained on the previous set starts cold again at each shift. Workers
+/// derive the phase from the scheduled arrival offset, which keeps every
+/// thread (and the detect timeline sampler) on the same phase clock.
+struct AdaptiveAttack {
+  bool enabled = false;
+  double shift_period_s = 1.0;
+  std::uint64_t x = 0;
+  std::uint64_t m = 0;
+};
+
 /// One open-loop client: Poisson arrivals at `rate` qps, latency measured
 /// from the scheduled arrival. Samples scheduled before `measure_from` are
-/// sent (they warm caches and pins) but not recorded.
+/// sent (they warm caches and pins) but not recorded. Every completed GET
+/// also bumps `live_completed` (warmup included) — the denominator feed for
+/// the detect timeline's windowed gain.
 void run_worker(const std::string& address, std::uint16_t port,
                 const AliasSampler& sampler, double rate, Clock::time_point start,
                 Clock::time_point measure_from, Clock::time_point end,
-                std::uint64_t seed, const WriteMix& mix, WorkerResult& result) {
+                std::uint64_t seed, const WriteMix& mix,
+                const AdaptiveAttack& attack,
+                std::atomic<std::uint64_t>& live_completed,
+                WorkerResult& result) {
   net::SyncClient client;
   if (!client.connect(address, port, 2.0)) {
     result.failures += 1;
@@ -191,6 +214,11 @@ void run_worker(const std::string& address, std::uint16_t port,
     const bool is_write =
         mix.write_frac > 0.0 && rng.bernoulli(mix.write_frac);
     std::uint64_t key = sampler.sample(rng);
+    if (attack.enabled && key < attack.x && attack.m > 0) {
+      const auto phase =
+          static_cast<std::uint64_t>(offset_s / attack.shift_period_s);
+      key = (key + phase * attack.x) % attack.m;
+    }
     if (is_write && mix.attack_invalidate) {
       const std::uint64_t span =
           std::max<std::uint64_t>(std::min(mix.cache_entries, mix.items), 1);
@@ -223,6 +251,7 @@ void run_worker(const std::string& address, std::uint16_t port,
       if (record) (is_write ? result.put_failures : result.failures) += 1;
       continue;
     }
+    if (!is_write) live_completed.fetch_add(1, std::memory_order_relaxed);
     if (record) {
       (is_write ? result.puts : result.completed) += 1;
       const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -298,6 +327,81 @@ std::string fleet_counter_cell(
   return cell;
 }
 
+/// One detect-timeline probe: cumulative per-backend GET counters, the
+/// client-side completed count and the FE detect counters, stamped on the
+/// workers' phase clock (seconds since the load start).
+struct DetectSample {
+  double t = 0.0;
+  std::vector<std::uint64_t> be_requests;
+  std::uint64_t completed = 0;
+  std::uint64_t flagged = 0;
+  std::uint64_t prefetches = 0;
+  std::uint64_t reprovisioned = 0;
+};
+
+/// Per adversary phase: when the key set shifted, how long detection took
+/// to react (first FE flagged-counter increment after the shift), the worst
+/// windowed normalized max load inside the phase, and how long the
+/// excursion stayed above the 1.1 recovery bound.
+struct PhaseStats {
+  std::uint64_t phase = 0;
+  double shift_t = 0.0;
+  double detect_latency_s = -1.0;  ///< -1 = never detected in this phase
+  double peak_gain = 0.0;
+  double recovery_s = 0.0;  ///< time from shift to the last >1.1 window
+  std::uint64_t flagged_delta = 0;
+};
+
+/// Windowed replay of the timeline: between consecutive samples the gain is
+/// max-over-nodes of served GETs divided by the even client-side split
+/// (Δcompleted/n) — the live normalized max load at ~100 ms resolution,
+/// with the client count as denominator so a fully-absorbed attack reads
+/// as gain ≈ 0, not 0/0 noise.
+std::vector<PhaseStats> analyze_timeline(
+    const std::vector<DetectSample>& timeline, std::uint64_t n,
+    double shift_period_s) {
+  std::vector<PhaseStats> phases;
+  if (timeline.size() < 2 || shift_period_s <= 0.0) return phases;
+  const double horizon = timeline.back().t;
+  const auto phase_count =
+      static_cast<std::uint64_t>(horizon / shift_period_s) + 1;
+  for (std::uint64_t p = 0; p < phase_count; ++p) {
+    PhaseStats stats;
+    stats.phase = p;
+    stats.shift_t = static_cast<double>(p) * shift_period_s;
+    const double phase_end = stats.shift_t + shift_period_s;
+    std::uint64_t flagged_at_shift = 0;
+    for (const DetectSample& sample : timeline) {
+      if (sample.t <= stats.shift_t) flagged_at_shift = sample.flagged;
+    }
+    std::uint64_t flagged_last = flagged_at_shift;
+    for (std::size_t i = 1; i < timeline.size(); ++i) {
+      const DetectSample& prev = timeline[i - 1];
+      const DetectSample& cur = timeline[i];
+      if (cur.t <= stats.shift_t || cur.t > phase_end) continue;
+      if (stats.detect_latency_s < 0.0 && cur.flagged > flagged_at_shift) {
+        stats.detect_latency_s = cur.t - stats.shift_t;
+      }
+      flagged_last = cur.flagged;
+      const std::uint64_t d_completed = cur.completed - prev.completed;
+      if (d_completed < n) continue;  // empty window: no gain estimate
+      std::uint64_t max_delta = 0;
+      for (std::size_t node = 0; node < cur.be_requests.size(); ++node) {
+        max_delta =
+            std::max(max_delta, cur.be_requests[node] - prev.be_requests[node]);
+      }
+      const double ideal =
+          static_cast<double>(d_completed) / static_cast<double>(n);
+      const double gain = static_cast<double>(max_delta) / ideal;
+      stats.peak_gain = std::max(stats.peak_gain, gain);
+      if (gain > 1.1) stats.recovery_s = cur.t - stats.shift_t;
+    }
+    stats.flagged_delta = flagged_last - flagged_at_shift;
+    phases.push_back(stats);
+  }
+  return phases;
+}
+
 /// One full measurement at `fe_shards` front-end shards: spawn the loopback
 /// cluster, drive the open-loop load, scrape, and append a row to `table`.
 /// Returns false when the cluster fails to come up.
@@ -321,6 +425,10 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     config.busy_poll = flags.busy_poll;
     config.write_quorum = static_cast<std::uint32_t>(flags.write_quorum);
     config.read_quorum = static_cast<std::uint32_t>(flags.read_quorum);
+    config.detect = flags.detect;
+    config.detect_interval_s = flags.detect_interval_ms / 1000.0;
+    config.detect_hot_fraction = flags.detect_threshold;
+    config.detect_min_samples = flags.detect_min_samples;
     auto backend = std::make_unique<net::BackendServer>(config);
     if (!backend->start()) {
       std::fprintf(stderr, "live_serving: backend %u failed to start\n", node);
@@ -329,10 +437,12 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     endpoints.emplace_back("127.0.0.1", backend->port());
     backends.push_back(std::move(backend));
   }
-  // Writes need the replica mesh (quorum fan-out between backends). Ports
-  // are kernel-assigned, so the mesh is wired after every node is up.
-  // Read-only runs skip it to stay byte-identical to earlier revisions.
-  if (flags.write_frac > 0.0) {
+  // Writes need the replica mesh (quorum fan-out between backends), and so
+  // does hot-key gossip (kHotKeyReport rides the same peer connections).
+  // Ports are kernel-assigned, so the mesh is wired after every node is up.
+  // Plain read-only runs skip it to stay byte-identical to earlier
+  // revisions.
+  if (flags.write_frac > 0.0 || flags.detect) {
     for (auto& backend : backends) backend->set_peers(endpoints);
     for (auto& backend : backends) {
       if (!backend->wait_peers_up(5.0)) {
@@ -374,6 +484,9 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     fe_config.fleet_seed = fleet_seed;
     fe_config.reactor = flags.reactor_kind;
     fe_config.busy_poll = flags.busy_poll;
+    fe_config.detect = flags.detect;
+    fe_config.detect_hot_fraction = flags.detect_threshold;
+    fe_config.detect_min_samples = flags.detect_min_samples;
     auto frontend = std::make_unique<net::FrontendServer>(fe_config);
     if (!frontend->start()) {
       std::fprintf(stderr, "live_serving: frontend %u failed to start\n",
@@ -447,15 +560,58 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   mix.cache_entries = flags.c;
   mix.items = flags.m;
   mix.value_bytes = flags.value_bytes;
+  AdaptiveAttack adaptive;
+  adaptive.enabled = flags.attack == "adaptive";
+  adaptive.shift_period_s = flags.shift_period;
+  adaptive.x = x;
+  adaptive.m = flags.m;
+
+  // Detect timeline: ~100 ms probes of backend counters + FE detect
+  // counters while the load runs, feeding the per-phase detection-latency /
+  // excursion / recovery report below.
+  std::atomic<std::uint64_t> live_completed{0};
+  std::vector<DetectSample> timeline;
+  std::atomic<bool> sampling{true};
+  std::thread timeline_sampler;
+  const bool want_timeline = flags.detect || adaptive.enabled;
+  if (want_timeline) {
+    timeline_sampler = std::thread([&] {
+      const auto fe_counter = [](const obs::MetricsSnapshot& snap,
+                                 const char* name) -> std::uint64_t {
+        const auto it = snap.counters.find(name);
+        return it != snap.counters.end() ? it->second : 0;
+      };
+      while (sampling.load(std::memory_order_relaxed)) {
+        DetectSample sample;
+        sample.t = std::chrono::duration<double>(Clock::now() - start).count();
+        sample.be_requests.resize(flags.n);
+        for (std::uint32_t node = 0; node < flags.n; ++node) {
+          sample.be_requests[node] = backends[node]->stats().requests;
+        }
+        sample.completed = live_completed.load(std::memory_order_relaxed);
+        for (const auto& frontend : frontends) {
+          const obs::MetricsSnapshot snap = frontend->metrics_snapshot();
+          sample.flagged += fe_counter(snap, "detect.flagged_keys");
+          sample.prefetches += fe_counter(snap, "detect.prefetches");
+          sample.reprovisioned += fe_counter(snap, "detect.reprovisioned");
+        }
+        timeline.push_back(std::move(sample));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
   for (std::uint64_t t = 0; t < flags.threads; ++t) {
     workers.emplace_back(run_worker, "127.0.0.1", serve_port,
                          std::cref(sampler), per_thread_rate, start,
                          measure_from, end,
                          derive_seed(flags.seed, 100 + t), std::cref(mix),
+                         std::cref(adaptive), std::ref(live_completed),
                          std::ref(results[t]));
   }
   for (std::thread& worker : workers) worker.join();
   snapshotter.join();
+  sampling.store(false, std::memory_order_relaxed);
+  if (timeline_sampler.joinable()) timeline_sampler.join();
   // Read before the metrics scrape below: scraping goes over the wire and
   // would bill its own recv/send syscalls to the serving path.
   std::uint64_t fe_syscalls_total = 0;
@@ -602,6 +758,57 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                     .c_str());
   }
 
+  // --- detect timeline ----------------------------------------------------
+  // Per-phase report for the adaptive adversary (one phase covering the
+  // whole run when the key set never shifts): detection latency from each
+  // shift, the worst ~100 ms-windowed normalized max load, and how long the
+  // excursion stayed above the 1.1 recovery bound. det_latency_s == -1
+  // means no FE flag fired in that phase (expected with --detect off).
+  double det_latency = -1.0;
+  bool det_scored = false;
+  double peak_gain_w = 0.0;
+  double recover_s = 0.0;
+  const auto fe_counter = [&fe_metrics](const char* name) -> std::uint64_t {
+    const auto it = fe_metrics.counters.find(name);
+    return it != fe_metrics.counters.end() ? it->second : 0;
+  };
+  if (want_timeline && timeline.size() >= 2) {
+    const double horizon = timeline.back().t;
+    const double period = adaptive.enabled ? adaptive.shift_period_s
+                                           : horizon + 1.0;
+    const std::vector<PhaseStats> phases =
+        analyze_timeline(timeline, flags.n, period);
+    TextTable detect_table({"phase", "shift_s", "det_latency_s",
+                            "peak_gain_w", "recover_s", "flagged_delta"});
+    for (const PhaseStats& phase : phases) {
+      detect_table.add_row({static_cast<std::int64_t>(phase.phase),
+                            phase.shift_t, phase.detect_latency_s,
+                            phase.peak_gain, phase.recovery_s,
+                            static_cast<std::int64_t>(phase.flagged_delta)});
+      peak_gain_w = std::max(peak_gain_w, phase.peak_gain);
+      recover_s = std::max(recover_s, phase.recovery_s);
+      // Aggregate detection latency over the phases that had a fresh key
+      // set to detect: every post-shift phase when adaptive, the single
+      // phase otherwise. A phase cut short by the end of the run (< 0.3 s
+      // observed) can't score a fair -1, so it is skipped; an unscored -1
+      // stays sticky in det_latency.
+      const bool fresh_set = !adaptive.enabled || phase.phase >= 1;
+      if (!fresh_set || phase.shift_t > horizon - 0.3) continue;
+      if (phase.detect_latency_s < 0.0) {
+        det_latency = -1.0;
+        det_scored = true;
+      } else if (det_latency >= 0.0 || !det_scored) {
+        det_latency = std::max(det_latency, phase.detect_latency_s);
+        det_scored = true;
+      }
+    }
+    std::printf("[detect=%d attack=%s] timeline (windowed gain = max backend "
+                "GETs / (completed/n), ~100ms windows):\n%s\n",
+                flags.detect ? 1 : 0,
+                flags.attack.empty() ? "none" : flags.attack.c_str(),
+                detect_table.render().c_str());
+  }
+
   // --- latency decomposition ----------------------------------------------
   // Client side, two histograms per request:
   //   e2e        — scheduled send -> reply. Open-loop, coordinated-omission
@@ -678,7 +885,14 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                  static_cast<std::int64_t>(put_failures),
                  static_cast<std::int64_t>(fe_stats.invalidations),
                  static_cast<std::int64_t>(be_replications),
-                 static_cast<std::int64_t>(be_rebalanced)});
+                 static_cast<std::int64_t>(be_rebalanced),
+                 static_cast<std::int64_t>(flags.detect ? 1 : 0),
+                 adaptive.enabled ? adaptive.shift_period_s : 0.0,
+                 det_latency, peak_gain_w, recover_s,
+                 static_cast<std::int64_t>(fe_counter("detect.flagged_keys")),
+                 static_cast<std::int64_t>(fe_counter("detect.prefetches")),
+                 static_cast<std::int64_t>(
+                     fe_counter("detect.reprovisioned"))});
   return true;
 }
 
@@ -744,8 +958,24 @@ int main(int argc, char** argv) {
                       "fraction of ops issued as quorum PUTs (0 = read-only; "
                       "> 0 wires the backend replica mesh)");
   flag_set.add_string("attack", &flags.attack,
-                      "write-mix adversary: invalidate = every PUT targets "
-                      "the cached rank prefix [0, c), dirtying the FE cache");
+                      "adversary: invalidate = every PUT targets the cached "
+                      "rank prefix [0, c); adaptive = the adversarial read "
+                      "window [0, x) rotates to a fresh x-key window every "
+                      "--shift-period seconds");
+  flag_set.add_double("shift-period", &flags.shift_period,
+                      "adaptive attack: seconds between key-set shifts");
+  flag_set.add_bool("detect", &flags.detect,
+                    "hot-key detection: backends sketch + gossip "
+                    "kHotKeyReport over the replica mesh, the FE subscribes "
+                    "and mitigates (force-admit / re-provision)");
+  flag_set.add_double("detect-interval-ms", &flags.detect_interval_ms,
+                      "backend report + sketch-aging cadence");
+  flag_set.add_double("detect-threshold", &flags.detect_threshold,
+                      "aggregated share of the backend stream that flags a "
+                      "key");
+  flag_set.add_uint64("detect-min-samples", &flags.detect_min_samples,
+                      "no hot-key classification below this aggregated "
+                      "total");
   flag_set.add_uint64("write-quorum", &flags.write_quorum,
                       "W replica acks per write (0 = majority of d)");
   flag_set.add_uint64("read-quorum", &flags.read_quorum,
@@ -772,9 +1002,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "live_serving: need 0 <= --write-frac < 1\n");
     return 2;
   }
-  if (!flags.attack.empty() && flags.attack != "invalidate") {
-    std::fprintf(stderr, "live_serving: unknown --attack '%s' (invalidate)\n",
+  if (!flags.attack.empty() && flags.attack != "invalidate" &&
+      flags.attack != "adaptive") {
+    std::fprintf(stderr,
+                 "live_serving: unknown --attack '%s' (invalidate|adaptive)\n",
                  flags.attack.c_str());
+    return 2;
+  }
+  if (flags.attack == "adaptive" &&
+      (flags.preset != "adversarial" || flags.shift_period <= 0.0)) {
+    std::fprintf(stderr,
+                 "live_serving: --attack adaptive needs --preset adversarial "
+                 "and --shift-period > 0\n");
     return 2;
   }
   if (!net::parse_reactor_kind(flags.reactor, flags.reactor_kind)) {
@@ -851,7 +1090,9 @@ int main(int argc, char** argv) {
                    "cli_svc_p99_us", "fe_p99_us", "rtt_p99_us", "svc_p99_us",
                    "shard_requests", "fe_requests", "fe_hits", "write_frac",
                    "puts", "put_failures", "invalidations", "replications",
-                   "rebalanced_keys"});
+                   "rebalanced_keys", "detect", "shift_s", "det_latency_s",
+                   "peak_gain_w", "recover_s", "flagged", "prefetches",
+                   "reprovisioned"});
   for (std::uint64_t fe_shards : shard_counts) {
     if (!run_once(flags, fe_shards, x, dist, predicted, partition_seed,
                   table)) {

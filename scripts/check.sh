@@ -19,6 +19,9 @@
 #    --fe-fleet 3 (3 FrontendServers behind the edge router) must complete
 #    with zero failures and emit the fe_fleet / fe_requests / fe_hits
 #    columns.
+# 7. Full mode only: smoke hot-key detection — bench/live_serving with
+#    --attack adaptive --detect must flag and re-provision keys with a
+#    finite detection latency.
 #
 # All failure paths (including an interrupted ctest) propagate a nonzero
 # exit: the EXIT trap re-raises the first failing status after killing any
@@ -309,6 +312,32 @@ print(f"fleet smoke: per-FE requests {per_fe}, "
       f"live_gain={row['live_gain']}")
 EOF
   echo "check.sh: fleet serving smoke OK"
+
+  # Detect smoke: the adaptive hot-key attack against the perfect cache with
+  # --detect on. The run must flag keys, re-provision them, and report a
+  # finite detection latency; a benign zipf run must flag nothing.
+  detect_json="$BUILD_DIR/smoke_live_detect.json"
+  rm -f "$detect_json"
+  "$BUILD_DIR/bench/live_serving" \
+    --n 4 --d 2 --m 2048 --c 16 --x 16 --preset adversarial \
+    --cache perfect --rate 2000 --duration 2 --warmup 0.3 \
+    --attack adaptive --shift-period 0.8 --detect \
+    --json "$detect_json" >/dev/null
+  validate_json "$detect_json" live_serving
+  python3 - "$detect_json" <<'EOF'
+import json, sys
+
+row = json.load(open(sys.argv[1]))["series"][0]
+assert int(row["flagged"]) > 0, f"adaptive attack flagged no keys: {row}"
+assert int(row["reprovisioned"]) > 0, \
+    f"perfect cache re-provisioned nothing: {row}"
+assert float(row["det_latency_s"]) >= 0, \
+    f"no detection latency measured: {row['det_latency_s']}"
+print(f"detect smoke: flagged={row['flagged']} "
+      f"det_latency_s={row['det_latency_s']} "
+      f"peak_gain_w={row['peak_gain_w']}")
+EOF
+  echo "check.sh: detect serving smoke OK"
 
   # Quorum write smoke: three meshed backends (N=3, R=W=2). A PUT through
   # one coordinator must be readable through another, survive one replica

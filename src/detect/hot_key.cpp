@@ -1,0 +1,71 @@
+#include "detect/hot_key.h"
+
+#include <algorithm>
+
+namespace scp::detect {
+
+HotKeyDetector::HotKeyDetector(std::size_t sketch_capacity,
+                               std::size_t report_k)
+    : sketch_(std::max<std::size_t>(sketch_capacity, 1)),
+      report_k_(std::max<std::size_t>(report_k, 1)) {}
+
+HotKeyReport HotKeyDetector::report(NodeId node) {
+  HotKeyReport report;
+  report.node = node;
+  report.seq = next_seq_++;
+  report.total = sketch_.total();
+  const auto top = sketch_.top(report_k_);
+  report.entries.reserve(top.size());
+  for (const SpaceSaving::Entry& entry : top) {
+    report.entries.push_back(HotKeyEntry{entry.key, entry.count});
+  }
+  return report;
+}
+
+HotKeyAggregator::HotKeyAggregator(Options options) : options_(options) {
+  if (options_.hot_fraction <= 0.0) options_.hot_fraction = 0.02;
+  options_.drop_ratio = std::clamp(options_.drop_ratio, 0.0, 1.0);
+}
+
+std::vector<KeyId> HotKeyAggregator::update(const HotKeyReport& report) {
+  auto [it, inserted] = reports_.try_emplace(report.node, report);
+  if (!inserted) {
+    if (report.seq <= it->second.seq) return {};  // stale or duplicate gossip
+    it->second = report;
+  }
+  std::vector<KeyId> newly_hot;
+  reclassify(&newly_hot);
+  return newly_hot;
+}
+
+void HotKeyAggregator::reclassify(std::vector<KeyId>* newly_hot) {
+  counts_.clear();
+  aggregated_total_ = 0;
+  for (const auto& [node, report] : reports_) {
+    aggregated_total_ += report.total;
+    for (const HotKeyEntry& entry : report.entries) {
+      counts_[entry.key] += entry.count;
+    }
+  }
+  if (aggregated_total_ < options_.min_samples) return;
+
+  const double total = static_cast<double>(aggregated_total_);
+  const double enter = options_.hot_fraction * total;
+  const double exit = enter * options_.drop_ratio;
+  for (const auto& [key, count] : counts_) {
+    const double c = static_cast<double>(count);
+    if (hot_.count(key) != 0) continue;  // exit rule handles existing keys
+    if (c >= enter) {
+      hot_.insert(key);
+      newly_hot->push_back(key);
+    }
+  }
+  for (auto it = hot_.begin(); it != hot_.end();) {
+    const auto found = counts_.find(*it);
+    const double c =
+        found == counts_.end() ? 0.0 : static_cast<double>(found->second);
+    it = c < exit ? hot_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace scp::detect

@@ -1,0 +1,87 @@
+#include "detect/space_saving.h"
+
+#include <algorithm>
+
+namespace scp::detect {
+
+SpaceSaving::SpaceSaving(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  slots_.reserve(capacity_);
+  index_.reserve(capacity_);
+}
+
+std::size_t SpaceSaving::min_slot() const {
+  // Linear scan: capacity is a few dozen to a few hundred slots and the
+  // scan only runs when an unmonitored key arrives while full. A bucketed
+  // stream-summary would make this O(1) but isn't worth the structure at
+  // gossip-report sizes.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[best].count) best = i;
+  }
+  return best;
+}
+
+void SpaceSaving::observe(KeyId key, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    slots_[it->second].count += weight;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    index_.emplace(key, slots_.size());
+    slots_.push_back(Entry{key, weight, 0});
+    return;
+  }
+  // Take over the minimum slot: the evictee's count becomes the newcomer's
+  // count floor and error bound.
+  const std::size_t slot = min_slot();
+  Entry& entry = slots_[slot];
+  index_.erase(entry.key);
+  index_.emplace(key, slot);
+  entry.error = entry.count;
+  entry.count += weight;
+  entry.key = key;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
+  std::vector<Entry> out = slots_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t SpaceSaving::estimate(KeyId key) const {
+  auto it = index_.find(key);
+  if (it != index_.end()) return slots_[it->second].count;
+  if (slots_.size() < capacity_) return 0;
+  return slots_[min_slot()].count;
+}
+
+void SpaceSaving::halve() {
+  total_ /= 2;
+  std::size_t kept = 0;
+  index_.clear();
+  for (Entry& entry : slots_) {
+    entry.count /= 2;
+    entry.error /= 2;
+    if (entry.count == 0) continue;
+    slots_[kept] = entry;
+    index_.emplace(slots_[kept].key, kept);
+    ++kept;
+  }
+  slots_.resize(kept);
+}
+
+void SpaceSaving::clear() {
+  total_ = 0;
+  slots_.clear();
+  index_.clear();
+}
+
+}  // namespace scp::detect

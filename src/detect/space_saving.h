@@ -1,0 +1,75 @@
+// SpaceSaving top-k heavy-hitter sketch (Metwally, Agrawal, El Abbadi:
+// "Efficient computation of frequent and top-k elements in data streams").
+//
+// Tracks at most `capacity` keys with per-key (count, error) pairs. A key
+// already monitored increments its count; a new key while full replaces the
+// current minimum, inheriting its count as the new key's error bound. The
+// classic guarantees follow: `count` never underestimates a monitored key's
+// true frequency, overestimates it by at most `error`, and any key whose
+// true frequency exceeds total()/capacity is guaranteed to be monitored.
+//
+// This complements cache/count_min.h: the count-min sketch answers point
+// frequency queries for TinyLFU admission, while SpaceSaving *enumerates*
+// the current heavy hitters — which is what the detection gossip needs to
+// put on the wire (a kHotKeyReport is a top-k listing, not a query).
+//
+// halve() ages every count/error (dropping entries that reach zero) so a
+// shifted attack's stale hot set decays within a couple of report windows
+// instead of occupying monitor slots forever.
+//
+// Not thread-safe; owners serialize access (the backend guards one sketch
+// with a mutex, consistent with the storage locks already on that path).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace scp::detect {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    KeyId key = 0;
+    std::uint64_t count = 0;  ///< estimated frequency (never underestimates)
+    std::uint64_t error = 0;  ///< overestimation bound inherited at takeover
+  };
+
+  explicit SpaceSaving(std::size_t capacity);
+
+  void observe(KeyId key, std::uint64_t weight = 1);
+
+  /// The k heaviest monitored keys, sorted by descending count (ties by
+  /// ascending key for determinism). k > size() returns everything.
+  std::vector<Entry> top(std::size_t k) const;
+
+  /// Estimated count for `key`: its entry's count when monitored, otherwise
+  /// the minimum monitored count (the standard upper bound for absentees;
+  /// 0 while the sketch has free slots, since a new key would start fresh).
+  std::uint64_t estimate(KeyId key) const;
+
+  bool monitored(KeyId key) const { return index_.count(key) != 0; }
+
+  /// Ages the sketch: halves every count and error, evicting entries whose
+  /// count reaches zero. total() halves too, keeping fractions meaningful.
+  void halve();
+
+  void clear();
+
+  /// Sum of observe() weights since clear(), aged by halve().
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t size() const noexcept { return slots_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t min_slot() const;
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<Entry> slots_;
+  std::unordered_map<KeyId, std::size_t> index_;  ///< key → slot
+};
+
+}  // namespace scp::detect

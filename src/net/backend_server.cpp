@@ -96,6 +96,18 @@ bool BackendServer::in_group(const std::vector<NodeId>& group) const noexcept {
 
 bool BackendServer::start() {
   preload();
+  if (config_.detect) {
+    if (config_.detect_k == 0) config_.detect_k = 16;
+    const std::size_t slots = config_.detect_capacity != 0
+                                  ? config_.detect_capacity
+                                  : std::size_t{8} * config_.detect_k;
+    hot_detector_ =
+        std::make_unique<detect::HotKeyDetector>(slots, config_.detect_k);
+    hot_agg_ = detect::HotKeyAggregator(detect::HotKeyAggregator::Options{
+        .hot_fraction = config_.detect_hot_fraction,
+        .drop_ratio = 0.5,
+        .min_samples = config_.detect_min_samples});
+  }
   shards_.clear();
   for (std::size_t k = 0; k < pool_.shards(); ++k) {
     auto shard = std::make_unique<Shard>();
@@ -129,6 +141,9 @@ bool BackendServer::start() {
       registries_.push_back(std::move(registry));
     }
     s->loop->run_after(kSweepIntervalS, [this, s] { sweep_ops(*s); });
+    if (config_.detect && k == 0) {
+      s->loop->run_after(config_.detect_interval_s, [this] { hot_tick(); });
+    }
     shards_.push_back(std::move(shard));
   }
   if (!pool_.listen(config_.address, config_.port)) return false;
@@ -287,6 +302,26 @@ obs::MetricsSnapshot BackendServer::metrics_snapshot() const {
       static_cast<std::int64_t>(membership_.alive_count());
   snap.gauges["backend.membership_epoch"] =
       static_cast<std::int64_t>(membership_.epoch());
+  if (config_.detect) {
+    snap.counters["detect.observed"] =
+        hot_observed_.load(std::memory_order_relaxed);
+    snap.counters["detect.reports_sent"] =
+        hot_reports_sent_.load(std::memory_order_relaxed);
+    snap.counters["detect.reports_received"] =
+        hot_reports_received_.load(std::memory_order_relaxed);
+    snap.counters["detect.flagged_keys"] =
+        hot_flagged_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard lock(hot_agg_mutex_);
+      snap.gauges["detect.hot_keys"] =
+          static_cast<std::int64_t>(hot_agg_.hot().size());
+    }
+    if (hot_detector_ != nullptr) {
+      std::lock_guard lock(hot_mutex_);
+      snap.gauges["detect.sketch_keys"] =
+          static_cast<std::int64_t>(hot_detector_->monitored_keys());
+    }
+  }
   return snap;
 }
 
@@ -328,6 +363,20 @@ void BackendServer::handle(Shard& shard, ConnId conn, Message&& message) {
       return;
     case MsgType::kLeave:
       handle_leave(shard, conn, message);
+      return;
+    case MsgType::kHotKeyReport:
+      // Gossip from a peer (it arrives on the conn the peer dialed to us,
+      // never on our reply-FIFO outbound conns). One-way: no reply.
+      handle_hot_report(message);
+      return;
+    case MsgType::kHotKeySubscribe:
+      // Deliberately unacked (see wire.h): the subscriber's reply-FIFO
+      // matching must not see a frame it never owed.
+      if (config_.detect &&
+          std::find(shard.hot_subs.begin(), shard.hot_subs.end(), conn) ==
+              shard.hot_subs.end()) {
+        shard.hot_subs.push_back(conn);
+      }
       return;
     case MsgType::kStats: {
       Message reply;
@@ -380,6 +429,13 @@ void BackendServer::handle_get(Shard& shard, ConnId conn,
     shard.loop->send(conn, reply);
     obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
     return;
+  }
+  if (hot_detector_ != nullptr) {
+    // Every served GET feeds the heavy-hitter sketch — this stream *is* the
+    // front-end miss stream, which is where a miss-flood attack lives.
+    hot_observed_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(hot_mutex_);
+    hot_detector_->observe(message.key);
   }
   Message reply;
   reply.key = message.key;
@@ -834,6 +890,9 @@ void BackendServer::sweep_ops(Shard& shard) {
 }
 
 void BackendServer::on_conn_close(Shard& shard, ConnId conn) {
+  if (!shard.hot_subs.empty()) {
+    std::erase(shard.hot_subs, conn);
+  }
   auto it = shard.peer_by_conn.find(conn);
   if (it == shard.peer_by_conn.end()) {
     return;  // client hung up; their pending replies fail at send()
@@ -919,6 +978,68 @@ void BackendServer::detector_tick() {
     send_to_peer(shard, node, ping, Expect::kPong, 0, /*queue_if_down=*/false);
   }
   shard.loop->run_after(config_.fd_interval_s, [this] { detector_tick(); });
+}
+
+void BackendServer::hot_tick() {
+  if (stopping_.load() || shards_.empty() || hot_detector_ == nullptr) return;
+  Shard& shard = *shards_[0];
+  detect::HotKeyReport report;
+  {
+    std::lock_guard lock(hot_mutex_);
+    report = hot_detector_->report(config_.node_id);
+    // Age the sketch every tick so the report window is roughly exponential
+    // — an adversary that shifts its key set stops dominating the sketch
+    // within a few intervals instead of coasting on stale counts.
+    hot_detector_->age();
+  }
+  if (report.total > 0) {
+    absorb_hot_report(report);
+    Message message;
+    message.type = MsgType::kHotKeyReport;
+    message.hot = std::move(report);
+    // Gossip to alive mesh peers. One-way: no expected-reply registration,
+    // so the frame rides the FIFO reply-matched connection without ever
+    // entering its match queue.
+    for (std::uint32_t node = 0; node < shard.peers.size(); ++node) {
+      const PeerState& peer = shard.peers[node];
+      if (!peer.up || peer.left) continue;
+      if (!membership_.alive(node)) continue;
+      if (shard.loop->send(peer.conn, message)) {
+        hot_reports_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Push to subscribed front ends; subscriptions live per shard.
+    for (auto& other : shards_) {
+      Shard* s = other.get();
+      auto push = [this, s, message] {
+        for (const ConnId conn : s->hot_subs) {
+          if (s->loop->send(conn, message)) {
+            hot_reports_sent_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      };
+      if (s == &shard) {
+        push();
+      } else {
+        s->loop->post(std::move(push));
+      }
+    }
+  }
+  shard.loop->run_after(config_.detect_interval_s, [this] { hot_tick(); });
+}
+
+void BackendServer::handle_hot_report(const Message& message) {
+  if (!config_.detect) return;  // peer detects, we don't: drop silently
+  hot_reports_received_.fetch_add(1, std::memory_order_relaxed);
+  absorb_hot_report(message.hot);
+}
+
+void BackendServer::absorb_hot_report(const detect::HotKeyReport& report) {
+  std::lock_guard lock(hot_agg_mutex_);
+  const std::vector<KeyId> newly = hot_agg_.update(report);
+  if (!newly.empty()) {
+    hot_flagged_.fetch_add(newly.size(), std::memory_order_relaxed);
+  }
 }
 
 void BackendServer::stream_handoff(

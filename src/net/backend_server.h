@@ -36,6 +36,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
@@ -45,6 +46,7 @@
 #include <vector>
 
 #include "cluster/partitioner.h"
+#include "detect/hot_key.h"
 #include "kvstore/storage_engine.h"
 #include "net/reactor_pool.h"
 #include "obs/exposition.h"
@@ -98,6 +100,20 @@ struct BackendConfig {
   double fd_timeout_s = 0.5;
   /// Deadline for an in-flight quorum op; a sweep fails it with kError.
   double op_timeout_s = 1.0;
+
+  /// Hot-key detection (src/detect): maintain a SpaceSaving sketch over the
+  /// GETs this node serves, and every detect_interval_s gossip the top
+  /// detect_k as a kHotKeyReport to alive mesh peers and to connections
+  /// that sent kHotKeySubscribe (front ends). Received reports feed a
+  /// HotKeyAggregator whose globally-hot view is exported as detect.*
+  /// metrics — the backend-side view of a cache-miss flood.
+  bool detect = false;
+  std::uint32_t detect_k = 16;      ///< entries per report
+  std::size_t detect_capacity = 0;  ///< sketch monitor slots; 0 = 8×detect_k
+  double detect_interval_s = 0.25;  ///< report + sketch-aging cadence
+  /// Aggregator classification knobs (see detect::HotKeyAggregator).
+  double detect_hot_fraction = 0.02;
+  std::uint64_t detect_min_samples = 256;
 };
 
 class BackendServer {
@@ -205,6 +221,8 @@ class BackendServer {
     std::unordered_map<std::uint64_t, Op> ops;
     std::uint64_t next_op = 1;
     std::vector<NodeId> group;  ///< replica-group scratch
+    /// Connections that asked for kHotKeyReport pushes (front ends).
+    std::vector<ConnId> hot_subs;
     std::atomic<std::uint32_t> peers_up{0};
   };
 
@@ -249,6 +267,13 @@ class BackendServer {
       const std::function<void(KeyId, std::span<NodeId>)>& old_group_of);
 
   void detector_tick();
+  /// Hot-key gossip tick (shard 0's loop): drain the sketch into a report,
+  /// absorb it locally, gossip it to alive peers and post it to every
+  /// shard's subscribers. One-way frames — no reply bookkeeping anywhere.
+  void hot_tick();
+  void handle_hot_report(const Message& message);
+  /// Merges a report (own or gossiped) into this node's aggregated view.
+  void absorb_hot_report(const detect::HotKeyReport& report);
   static double now_s() {
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
@@ -269,6 +294,15 @@ class BackendServer {
   std::vector<obs::Timer*> write_us_;
   std::vector<obs::Timer*> quorum_read_us_;
   std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
+
+  /// Hot-key detection state. The sketch is guarded by its own mutex: every
+  /// shard's serve path observes into it (~20 ns uncontended, in line with
+  /// the shared storage locks already on that path) and shard 0's tick
+  /// drains it. The aggregator is touched by any shard receiving gossip.
+  std::unique_ptr<detect::HotKeyDetector> hot_detector_;
+  mutable std::mutex hot_mutex_;
+  detect::HotKeyAggregator hot_agg_;
+  mutable std::mutex hot_agg_mutex_;
 
   replication::VersionClock clock_;
   replication::Membership membership_;
@@ -291,6 +325,10 @@ class BackendServer {
   std::atomic<std::uint64_t> quorum_failures_{0};
   std::atomic<std::uint64_t> read_repairs_{0};
   std::atomic<std::uint64_t> rebalanced_keys_{0};
+  std::atomic<std::uint64_t> hot_observed_{0};
+  std::atomic<std::uint64_t> hot_reports_sent_{0};
+  std::atomic<std::uint64_t> hot_reports_received_{0};
+  std::atomic<std::uint64_t> hot_flagged_{0};
 };
 
 }  // namespace scp::net

@@ -97,6 +97,13 @@ bool FrontendServer::start() {
           shard->cache_capacity, config_.cache_policy,
           k == 0 ? tier_seed : derive_seed(tier_seed, k));
     }
+    if (config_.detect) {
+      shard->hot_agg = std::make_unique<detect::HotKeyAggregator>(
+          detect::HotKeyAggregator::Options{
+              .hot_fraction = config_.detect_hot_fraction,
+              .drop_ratio = 0.5,
+              .min_samples = config_.detect_min_samples});
+    }
     shard->backends.resize(config_.nodes);
     shard->loads.assign(config_.nodes, 0.0);
     shard->group.resize(config_.replication);
@@ -123,6 +130,12 @@ bool FrontendServer::start() {
       s->forward_rtt_us = &s->registry.timer("frontend.forward_rtt_us");
       s->attempts_hist = &s->registry.timer("frontend.attempts");
       s->values_entries = &s->registry.gauge("frontend.values_entries");
+      s->values_entries_peak =
+          &s->registry.gauge("frontend.values_entries_peak");
+      s->dirty_keys = &s->registry.gauge("frontend.dirty_keys");
+      if (config_.detect) {
+        s->hot_keys = &s->registry.gauge("detect.hot_keys");
+      }
       s->node_rtt_us.resize(config_.nodes);
       for (std::uint32_t node = 0; node < config_.nodes; ++node) {
         s->node_rtt_us[node] = &s->registry.timer(
@@ -254,6 +267,16 @@ obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
         shard->deletes.load(std::memory_order_relaxed);
     snap.counters["frontend.invalidations"] =
         shard->invalidations.load(std::memory_order_relaxed);
+    if (config_.detect) {
+      snap.counters["detect.reports_received"] =
+          shard->hot_reports.load(std::memory_order_relaxed);
+      snap.counters["detect.flagged_keys"] =
+          shard->hot_flagged_total.load(std::memory_order_relaxed);
+      snap.counters["detect.prefetches"] =
+          shard->hot_prefetches.load(std::memory_order_relaxed);
+      snap.counters["detect.reprovisioned"] =
+          shard->hot_reprovisioned.load(std::memory_order_relaxed);
+    }
     snap.gauges["frontend.backends_up"] = static_cast<std::int64_t>(
         shard->backends_up.load(std::memory_order_relaxed));
     const ReactorCounters& loop = shard->loop->counters();
@@ -423,6 +446,11 @@ void FrontendServer::handle_write(Shard& shard, ConnId conn,
 void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
                                     Message&& message) {
   BackendState& backend = shard.backends[node];
+  if (message.type == MsgType::kHotKeyReport) {
+    // One-way push (we subscribed); owns no pending-queue slot.
+    handle_hot_report(shard, std::move(message));
+    return;
+  }
   if (message.type == MsgType::kPong || message.type == MsgType::kStatsReply ||
       message.type == MsgType::kMetricsReply) {
     return;  // health probes; nothing pending
@@ -447,6 +475,10 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
         if (!shard.dirty.empty() && shard.dirty.count(message.key) != 0 &&
             message.payload == make_value(message.key, config_.value_bytes)) {
           shard.dirty.erase(message.key);
+          if (shard.dirty_keys != nullptr) {
+            shard.dirty_keys->set(
+                static_cast<std::int64_t>(shard.dirty.size()));
+          }
         }
       }
       complete_request(shard, request, node);
@@ -461,7 +493,20 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       // The fetch produced no value: release the tier slot the lookup
       // admitted, or it sits value-less forever, evicting real entries and
       // turning future hits into forwards.
-      if (request.op == MsgType::kGet) drop_cached(shard, message.key);
+      if (request.op == MsgType::kGet) {
+        drop_cached(shard, message.key);
+        // A relayed MISS settles a dirty oracle key too: the backends are
+        // authoritative, so the dirty marker has done its job. Keeping it
+        // would leak an entry per deleted key and forward that key's GETs
+        // forever. The oracle resumes synthesizing afterwards — Assumption
+        // 2 models cache capacity, not deletions, and the regression test
+        // pins that trade.
+        if (!shard.dirty.empty() && shard.dirty.erase(message.key) != 0 &&
+            shard.dirty_keys != nullptr) {
+          shard.dirty_keys->set(
+              static_cast<std::int64_t>(shard.dirty.size()));
+        }
+      }
       complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kMiss;
@@ -499,11 +544,77 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
   }
 }
 
+void FrontendServer::handle_hot_report(Shard& shard, Message&& message) {
+  if (shard.hot_agg == nullptr) return;  // push without --detect: ignore
+  shard.hot_reports.fetch_add(1, std::memory_order_relaxed);
+  shard.hot_agg->update(message.hot);
+
+  // Mitigation pass over the *whole* current hot set, not just the newly
+  // flagged keys: an attack key evicted again between reports (the adaptive
+  // adversary's whole game) must be re-admitted on the next report, and
+  // against a shifted key set the aggregator's hysteresis retires the old
+  // phase while this loop warms the new one.
+  for (const std::uint64_t key : shard.hot_agg->hot()) {
+    if (!owns(shard, key)) continue;
+    if (config_.fleet_size > 1 && !fleet_owns(key)) continue;
+    if (shard.hot_flagged.insert(key).second) {
+      shard.hot_flagged_total.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (shard.tier == nullptr) {
+      // Perfect provision has no policy tier to train; mitigation instead
+      // re-provisions the cached set, swapping oracle-prefix tail slots for
+      // the flagged keys (see cache_lookup). "none" stays classify-only.
+      if (config_.cache_policy == "perfect" && key < config_.items &&
+          shard.hot_extra.count(key) == 0 &&
+          shard.hot_extra.size() < config_.cache_capacity) {
+        const std::uint64_t prefix =
+            config_.cache_capacity - shard.hot_extra.size();
+        if (key >= prefix) {
+          shard.hot_extra.insert(key);
+          shard.hot_reprovisioned.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      continue;
+    }
+    if (shard.tier->contains(key) && shard.values.count(key) != 0) {
+      continue;  // already serving hits; nothing to fix
+    }
+    // Globally hot at the backends and absent here — the miss-flood
+    // signature. Force-admit the slot and warm its bytes with a
+    // self-initiated fetch (client = kInvalidConn; the reply's send to it
+    // is a harmless no-op).
+    shard.tier->access(key);
+    if (!shard.hot_prefetching.insert(key).second) continue;  // in flight
+    shard.hot_prefetches.fetch_add(1, std::memory_order_relaxed);
+    forward(shard, kInvalidConn, key, /*attempts=*/0, /*start_ns=*/0);
+  }
+  // Retire flags whose keys cooled off (the aggregator's exit hysteresis).
+  for (auto it = shard.hot_flagged.begin(); it != shard.hot_flagged.end();) {
+    it = shard.hot_agg->hot().count(*it) == 0 ? shard.hot_flagged.erase(it)
+                                              : std::next(it);
+  }
+  // Cooled re-provisioned slots hand their capacity back to the prefix.
+  for (auto it = shard.hot_extra.begin(); it != shard.hot_extra.end();) {
+    it = shard.hot_agg->hot().count(*it) == 0 ? shard.hot_extra.erase(it)
+                                              : std::next(it);
+  }
+  if (shard.hot_keys != nullptr) {
+    shard.hot_keys->set(static_cast<std::int64_t>(shard.hot_flagged.size()));
+  }
+}
+
 /// A pending request was answered by backend `node` (kValue or kMiss):
 /// count it as forwarded exactly once and record its latency decomposition.
 void FrontendServer::complete_request(Shard& shard,
                                       const PendingRequest& request,
                                       std::uint32_t node) {
+  if (request.client == kInvalidConn) {
+    // Self-initiated hot-key warm fetch: no client behind it, so it stays
+    // out of the request accounting (requests == hits + forwarded +
+    // failures must keep holding for real traffic).
+    shard.hot_prefetching.erase(request.key);
+    return;
+  }
   shard.forwarded.fetch_add(1, std::memory_order_relaxed);
   if (shard.request_us == nullptr) return;
   const std::uint64_t now = obs::now_ns();
@@ -552,6 +663,13 @@ void FrontendServer::on_conn_connect(Shard& shard, ConnId conn, bool ok) {
     backend.up = true;
     backend.connect_attempts = 0;
     shard.backends_up.fetch_add(1, std::memory_order_relaxed);
+    if (config_.detect) {
+      // Ask for kHotKeyReport pushes. Deliberately unacked, so this send
+      // leaves the connection's FIFO pending queue untouched.
+      Message subscribe;
+      subscribe.type = MsgType::kHotKeySubscribe;
+      shard.loop->send(backend.conn, subscribe);
+    }
     return;
   }
   shard.backend_by_conn.erase(it);
@@ -583,17 +701,35 @@ bool FrontendServer::cache_lookup(Shard& shard, std::uint64_t key,
   // share cache state (see header). owns() is always true at shards == 1.
   if (!owns(shard, key)) return false;
   if (config_.cache_policy == "perfect") {
-    if (key < config_.cache_capacity && key < config_.items &&
-        shard.dirty.count(key) == 0) {
+    // Secure provision: the oracle prefix [0, c) is the *declared*
+    // distribution's top-c. When detection flags hot keys outside it (the
+    // shifted-attack signature), hot_extra re-provisions those slots — each
+    // extra key displaces one prefix tail slot so the cached set stays ≤ c.
+    const std::uint64_t extra = std::min<std::uint64_t>(
+        shard.hot_extra.size(), config_.cache_capacity);
+    const std::uint64_t prefix = config_.cache_capacity - extra;
+    const bool provisioned =
+        key < prefix || (extra != 0 && shard.hot_extra.count(key) != 0);
+    if (provisioned && key < config_.items && shard.dirty.count(key) == 0) {
       value = make_value(key, config_.value_bytes);
       return true;
     }
     return false;
   }
   if (shard.tier == nullptr) return false;
-  if (!shard.tier->access(key)) return false;
+  // Probe with the non-mutating contains() before touching the tier:
+  // access() admits on miss AND refreshes recency on hit, so calling it for
+  // a key whose bytes haven't arrived yet would let the very requests that
+  // are waiting on the fetch keep the value-less slot maximally fresh —
+  // under a miss-flood each attack key's slot gets refreshed by every
+  // attack request and real entries are evicted instead.
+  if (!shard.tier->contains(key)) {
+    shard.tier->access(key);  // miss: let the policy train and admit
+    return false;
+  }
   auto it = shard.values.find(key);
   if (it == shard.values.end()) return false;  // admitted but not yet fetched
+  if (!shard.tier->access(key)) return false;  // routed to a non-holding member
   value = it->second;
   return true;
 }
@@ -606,8 +742,12 @@ void FrontendServer::admit(Shard& shard, std::uint64_t key,
   // Reconcile the value side-map with tier membership once it outgrows the
   // tier (policy evictions leave dead entries behind). Only entries the
   // tier no longer holds are dropped — resident values must survive or
-  // their tier hits would find no bytes.
-  const std::size_t bound = 4 * shard.tier->capacity() + 64;
+  // their tier hits would find no bytes. Bound: capacity plus 1/8 slack
+  // (min 64) for churn between reconciles; the old 4c+64 bound let dead
+  // values carry ~4× the configured memory budget before the first sweep.
+  const std::size_t capacity = shard.tier->capacity();
+  const std::size_t bound =
+      capacity + std::max<std::size_t>(64, capacity / 8);
   if (shard.values.size() > bound) {
     for (auto it = shard.values.begin(); it != shard.values.end();) {
       it = shard.tier->contains(it->first) ? std::next(it)
@@ -615,7 +755,12 @@ void FrontendServer::admit(Shard& shard, std::uint64_t key,
     }
   }
   if (shard.values_entries != nullptr) {
-    shard.values_entries->set(static_cast<std::int64_t>(shard.values.size()));
+    const auto entries = static_cast<std::int64_t>(shard.values.size());
+    shard.values_entries->set(entries);
+    if (entries > shard.values_peak) {
+      shard.values_peak = entries;
+      shard.values_entries_peak->set(entries);
+    }
   }
 }
 
@@ -638,6 +783,9 @@ void FrontendServer::invalidate_cached(Shard& shard, std::uint64_t key) {
   const auto apply = [this, key, is_perfect](Shard& target) {
     if (is_perfect) {
       if (!target.dirty.insert(key).second) return;  // already dirty
+      if (target.dirty_keys != nullptr) {
+        target.dirty_keys->set(static_cast<std::int64_t>(target.dirty.size()));
+      }
     } else {
       drop_cached(target, key);
     }
@@ -778,6 +926,12 @@ void FrontendServer::fail_request(Shard& shard, ConnId client,
   // A failed fetch leaves no bytes behind either — release any value-less
   // tier slot the lookup admitted.
   drop_cached(shard, key);
+  if (client == kInvalidConn) {
+    // Failed hot-key warm fetch: the next report retriggers it; no client
+    // to answer and no failure to count (see complete_request).
+    shard.hot_prefetching.erase(key);
+    return;
+  }
   shard.failures.fetch_add(1, std::memory_order_relaxed);
   Message reply;
   reply.type = MsgType::kError;

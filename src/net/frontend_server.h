@@ -61,6 +61,7 @@
 #include "cluster/partitioner.h"
 #include "cluster/routing.h"
 #include "common/rng.h"
+#include "detect/hot_key.h"
 #include "net/reactor_pool.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
@@ -114,6 +115,21 @@ struct FrontendConfig {
   ReactorKind reactor = ReactorKind::kEpoll;
   /// UringLoop only: SQPOLL + spin-peek before blocking.
   bool busy_poll = false;
+
+  /// Hot-key mitigation (src/detect): subscribe to kHotKeyReport pushes
+  /// from every backend (which must run with BackendConfig::detect), feed
+  /// them into a per-shard HotKeyAggregator, and treat a key that is
+  /// globally hot at the backends *but absent from this cache* as the
+  /// miss-flood signature: force-admit it into the policy tier and warm its
+  /// bytes with a self-initiated fetch, so the attack's own keys become
+  /// cache hits and the backend gain excursion collapses. The perfect
+  /// oracle only flags (its contents are fixed by rank). Exported as
+  /// detect.* metrics.
+  bool detect = false;
+  /// Aggregator classification knobs (see detect::HotKeyAggregator);
+  /// should match the backends' so both sides agree on what is hot.
+  double detect_hot_fraction = 0.02;
+  std::uint64_t detect_min_samples = 256;
 };
 
 class FrontendServer {
@@ -228,6 +244,24 @@ class FrontendServer {
     std::atomic<std::uint64_t> invalidations{0};
     std::atomic<std::uint32_t> backends_up{0};
 
+    /// Hot-key mitigation state (config.detect; loop-thread only). Each
+    /// shard subscribes on its own backend connections, so its aggregator
+    /// sees every backend's reports without cross-shard traffic; it only
+    /// acts on keys whose cache slice it owns.
+    std::unique_ptr<detect::HotKeyAggregator> hot_agg;
+    std::unordered_set<std::uint64_t> hot_flagged;      ///< currently hot here
+    /// Perfect policy only: flagged keys re-provisioned into the cached
+    /// set, each displacing one oracle-prefix tail slot (see cache_lookup).
+    std::unordered_set<std::uint64_t> hot_extra;
+    std::unordered_set<std::uint64_t> hot_prefetching;  ///< warm-fetch in flight
+    std::atomic<std::uint64_t> hot_reports{0};
+    std::atomic<std::uint64_t> hot_flagged_total{0};
+    std::atomic<std::uint64_t> hot_reprovisioned{0};
+    std::atomic<std::uint64_t> hot_prefetches{0};
+    /// frontend.values_entries high-watermark (loop-thread shadow of the
+    /// gauge, so the peak survives reconcile shrinks).
+    std::int64_t values_peak = 0;
+
     obs::MetricsRegistry registry;
     // Cached metric handles; all null when config.metrics is off.
     obs::Timer* cache_lookup_ns = nullptr;
@@ -235,6 +269,9 @@ class FrontendServer {
     obs::Timer* forward_rtt_us = nullptr;
     obs::Timer* attempts_hist = nullptr;
     obs::Gauge* values_entries = nullptr;
+    obs::Gauge* values_entries_peak = nullptr;
+    obs::Gauge* dirty_keys = nullptr;
+    obs::Gauge* hot_keys = nullptr;  // config.detect only
     std::vector<obs::Timer*> node_rtt_us;  // per-backend forward RTT
   };
 
@@ -257,6 +294,9 @@ class FrontendServer {
   void handle_client(Shard& shard, ConnId conn, Message&& message);
   void handle_write(Shard& shard, ConnId conn, Message&& message);
   void handle_backend(Shard& shard, std::uint32_t node, Message&& message);
+  /// Absorbs a pushed kHotKeyReport into the shard's aggregator and runs
+  /// the mitigation pass over the resulting hot set.
+  void handle_hot_report(Shard& shard, Message&& message);
   void on_conn_close(Shard& shard, ConnId conn);
   void on_conn_connect(Shard& shard, ConnId conn, bool ok);
 

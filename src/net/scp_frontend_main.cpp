@@ -120,6 +120,14 @@ int main(int argc, char** argv) {
                  "hot-path histograms (lookup, RTT, request latency)");
   flags.add_int64("metrics-port", &metrics_port,
                   "Prometheus /metrics port (-1 = off, 0 = kernel-assigned)");
+  flags.add_bool("detect", &config.detect,
+                 "hot-key mitigation: subscribe to backend kHotKeyReport "
+                 "pushes and force-admit globally-hot uncached keys");
+  flags.add_double("detect-threshold", &config.detect_hot_fraction,
+                   "aggregated share of the backend stream that flags a key "
+                   "(match the backends')");
+  flags.add_uint64("detect-min-samples", &config.detect_min_samples,
+                   "no hot-key classification below this aggregated total");
   if (!flags.parse(argc, argv)) return 2;
 
   config.port = static_cast<std::uint16_t>(port);

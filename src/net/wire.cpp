@@ -186,6 +186,18 @@ void encode_into(const Message& message, std::vector<std::uint8_t>& frame) {
     case MsgType::kLeave:
       put_u32(payload, message.node);
       break;
+    case MsgType::kHotKeyReport:
+      put_u32(payload, message.hot.node);
+      put_u64(payload, message.hot.seq);
+      put_u64(payload, message.hot.total);
+      put_u32(payload, static_cast<std::uint32_t>(message.hot.entries.size()));
+      for (const detect::HotKeyEntry& entry : message.hot.entries) {
+        put_u64(payload, entry.key);
+        put_u64(payload, entry.count);
+      }
+      break;
+    case MsgType::kHotKeySubscribe:
+      break;
   }
   const std::uint32_t length =
       static_cast<std::uint32_t>(frame.size() - kLengthPrefixBytes);
@@ -338,6 +350,28 @@ std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
     case MsgType::kLeave:
       message.type = MsgType::kLeave;
       if (!cursor.read_u32(message.node)) return std::nullopt;
+      break;
+    case MsgType::kHotKeyReport: {
+      message.type = MsgType::kHotKeyReport;
+      std::uint32_t n = 0;
+      if (!cursor.read_u32(message.hot.node) ||
+          !cursor.read_u64(message.hot.seq) ||
+          !cursor.read_u64(message.hot.total) || !cursor.read_u32(n) ||
+          n > detect::kMaxHotKeyEntries) {
+        return std::nullopt;
+      }
+      message.hot.entries.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        detect::HotKeyEntry entry;
+        if (!cursor.read_u64(entry.key) || !cursor.read_u64(entry.count)) {
+          return std::nullopt;
+        }
+        message.hot.entries.push_back(entry);
+      }
+      break;
+    }
+    case MsgType::kHotKeySubscribe:
+      message.type = MsgType::kHotKeySubscribe;
       break;
     default:
       return std::nullopt;

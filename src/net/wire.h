@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "detect/hot_key.h"
 #include "obs/metrics.h"
 
 namespace scp::net {
@@ -60,6 +61,15 @@ enum class MsgType : std::uint8_t {
   kJoin = 20,       ///< admin: node `node` joins at endpoint payload
                     ///< ("host:port"); triggers ring rebalance
   kLeave = 21,      ///< admin: node `node` leaves the ring
+  // --- hot-key detection gossip -----------------------------------------
+  kHotKeyReport = 22,    ///< one-way: node `hot.node`'s windowed top-k
+                         ///< observation (gossiped between backends and
+                         ///< pushed to subscribed front ends; never
+                         ///< answered, so it rides reply-FIFO connections
+                         ///< without disturbing the match queues)
+  kHotKeySubscribe = 23, ///< request: push future kHotKeyReports down this
+                         ///< connection (front ends send it after connect;
+                         ///< deliberately not acked — see kHotKeyReport)
 };
 
 // Bits of Message::flags (kVerValue / kReplicate / kRepAck).
@@ -101,6 +111,7 @@ struct Message {
                             ///< bytes; kError: reason; kJoin: "host:port"
   ServerStats stats;        ///< kStatsReply
   obs::MetricsSnapshot metrics;  ///< kMetricsReply
+  detect::HotKeyReport hot;      ///< kHotKeyReport
 
   bool operator==(const Message&) const = default;
 };

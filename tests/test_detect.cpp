@@ -1,0 +1,201 @@
+// src/detect unit tests: the SpaceSaving sketch's classic guarantees, the
+// HotKeyDetector report/age cycle, and the HotKeyAggregator's cross-node
+// classification (threshold, hysteresis, stale-gossip handling).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "detect/hot_key.h"
+#include "detect/space_saving.h"
+
+namespace scp::detect {
+namespace {
+
+TEST(SpaceSaving, ExactWhileNotFull) {
+  SpaceSaving sketch(8);
+  for (int i = 0; i < 5; ++i) sketch.observe(1);
+  for (int i = 0; i < 3; ++i) sketch.observe(2);
+  sketch.observe(3);
+
+  EXPECT_EQ(sketch.size(), 3u);
+  EXPECT_EQ(sketch.total(), 9u);
+  EXPECT_EQ(sketch.estimate(1), 5u);
+  EXPECT_EQ(sketch.estimate(2), 3u);
+  EXPECT_EQ(sketch.estimate(3), 1u);
+  // Free slots left: an absent key would start fresh, so its estimate is 0.
+  EXPECT_EQ(sketch.estimate(99), 0u);
+
+  const auto top = sketch.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, 2u);
+}
+
+TEST(SpaceSaving, TakeoverInheritsMinAsError) {
+  SpaceSaving sketch(2);
+  sketch.observe(1, 10);
+  sketch.observe(2, 4);
+  // Full; key 3 evicts the minimum (key 2, count 4) and inherits its count.
+  sketch.observe(3);
+  EXPECT_FALSE(sketch.monitored(2));
+  ASSERT_TRUE(sketch.monitored(3));
+  EXPECT_EQ(sketch.estimate(3), 5u);  // 4 inherited + 1 observed
+  const auto top = sketch.top(2);
+  const auto it = std::find_if(top.begin(), top.end(),
+                               [](const auto& e) { return e.key == 3; });
+  ASSERT_NE(it, top.end());
+  EXPECT_EQ(it->error, 4u);
+  // Absent keys are bounded by the minimum monitored count when full.
+  EXPECT_EQ(sketch.estimate(42), 5u);
+}
+
+TEST(SpaceSaving, NeverUnderestimatesAndHeavyKeysAreMonitored) {
+  // Adversarial-ish stream: heavy keys buried in uniform noise.
+  constexpr std::size_t kCapacity = 32;
+  SpaceSaving sketch(kCapacity);
+  Rng rng(7);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    // ~30% of the stream on 4 heavy keys, the rest uniform over 4096.
+    const std::uint64_t key = (i % 10 < 3)
+                                  ? 1000 + static_cast<std::uint64_t>(i % 4)
+                                  : rng.uniform_u64(4096);
+    truth[key]++;
+    sketch.observe(key);
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.estimate(key), count) << "key " << key;
+  }
+  // Any key with true frequency > total/capacity is guaranteed monitored;
+  // each heavy key carries ~7.5% >> 1/32.
+  for (std::uint64_t key = 1000; key < 1004; ++key) {
+    EXPECT_TRUE(sketch.monitored(key)) << "key " << key;
+    EXPECT_LE(sketch.estimate(key) - truth[key],
+              sketch.total() / kCapacity);
+  }
+}
+
+TEST(SpaceSaving, HalveAgesAndEvictsZeros) {
+  SpaceSaving sketch(4);
+  sketch.observe(1, 8);
+  sketch.observe(2, 1);
+  sketch.halve();
+  EXPECT_EQ(sketch.estimate(1), 4u);
+  EXPECT_FALSE(sketch.monitored(2));  // 1/2 == 0 → evicted
+  EXPECT_EQ(sketch.size(), 1u);
+  EXPECT_EQ(sketch.total(), 4u);
+  // Aged sketch keeps absorbing new keys correctly.
+  sketch.observe(3, 2);
+  EXPECT_EQ(sketch.estimate(3), 2u);
+  EXPECT_EQ(sketch.total(), 6u);
+}
+
+TEST(Detector, ReportCarriesTopKWithMonotonicSeq) {
+  HotKeyDetector detector(/*sketch_capacity=*/16, /*report_k=*/2);
+  for (int i = 0; i < 9; ++i) detector.observe(5);
+  for (int i = 0; i < 4; ++i) detector.observe(6);
+  detector.observe(7);
+
+  HotKeyReport first = detector.report(/*node=*/3);
+  EXPECT_EQ(first.node, 3u);
+  EXPECT_EQ(first.total, 14u);
+  ASSERT_EQ(first.entries.size(), 2u);
+  EXPECT_EQ(first.entries[0].key, 5u);
+  EXPECT_EQ(first.entries[0].count, 9u);
+  EXPECT_EQ(first.entries[1].key, 6u);
+
+  detector.age();
+  HotKeyReport second = detector.report(3);
+  EXPECT_GT(second.seq, first.seq);
+  EXPECT_EQ(second.total, 7u);  // halved
+}
+
+HotKeyReport make_report(NodeId node, std::uint64_t seq, std::uint64_t total,
+                         std::vector<HotKeyEntry> entries) {
+  HotKeyReport report;
+  report.node = node;
+  report.seq = seq;
+  report.total = total;
+  report.entries = std::move(entries);
+  return report;
+}
+
+TEST(Aggregator, ClusterViewSumsReplicasAndDilutesLocalSkew) {
+  // Three nodes, 1000 requests each. Attack key 7 (d=2) splits its flood
+  // between its two replicas, 35 observations each: the cluster view sums
+  // them (70/3000 ≈ 2.3% ≥ 2% → hot). Key 8 looks warm on node 2 alone
+  // (25/1000 = 2.5%) but the cluster-wide stream dilutes it to 0.83%,
+  // below the 1% exit bound → correctly unflagged once every node has
+  // reported. This is what gossiping buys over each node's local view.
+  HotKeyAggregator agg(
+      {.hot_fraction = 0.02, .drop_ratio = 0.5, .min_samples = 100});
+  agg.update(make_report(2, 1, 1000, {{8, 25}}));
+  EXPECT_EQ(agg.hot().count(8), 1u);  // local view: no dilution yet
+  agg.update(make_report(0, 1, 1000, {{7, 35}}));
+  agg.update(make_report(1, 1, 1000, {{7, 35}}));
+  EXPECT_EQ(agg.hot().count(7), 1u);
+  EXPECT_EQ(agg.hot().count(8), 0u);
+  EXPECT_EQ(agg.aggregated_total(), 3000u);
+  EXPECT_EQ(agg.reporting_nodes(), 3u);
+}
+
+TEST(Aggregator, DilutionUnflagsWithHysteresis) {
+  HotKeyAggregator agg(
+      {.hot_fraction = 0.02, .drop_ratio = 0.5, .min_samples = 100});
+  agg.update(make_report(0, 1, 1000, {{7, 40}}));  // 4% → hot
+  EXPECT_EQ(agg.hot().count(7), 1u);
+  // Same count against a much larger stream: 40/2600 ≈ 1.5% — between the
+  // exit bound (1%) and the entry bound (2%): hysteresis keeps it flagged.
+  agg.update(make_report(1, 1, 1600, {}));
+  EXPECT_EQ(agg.hot().count(7), 1u);
+  // Further dilution pushes it below hot_fraction × drop_ratio: unflagged.
+  agg.update(make_report(2, 1, 3000, {}));
+  EXPECT_EQ(agg.hot().count(7), 0u);
+}
+
+TEST(Aggregator, StaleAndDuplicateGossipIgnored) {
+  HotKeyAggregator agg(
+      {.hot_fraction = 0.02, .drop_ratio = 0.5, .min_samples = 100});
+  agg.update(make_report(0, 5, 1000, {{7, 100}}));
+  EXPECT_EQ(agg.hot().count(7), 1u);
+  // A re-gossiped older report from the same node must not roll state back.
+  agg.update(make_report(0, 4, 10, {}));
+  agg.update(make_report(0, 5, 10, {}));
+  EXPECT_EQ(agg.aggregated_total(), 1000u);
+  EXPECT_EQ(agg.hot().count(7), 1u);
+  // A genuinely newer one replaces it.
+  agg.update(make_report(0, 6, 1000, {}));
+  EXPECT_EQ(agg.hot().count(7), 0u);
+}
+
+TEST(Aggregator, MinSamplesGuardsColdStart) {
+  HotKeyAggregator agg(
+      {.hot_fraction = 0.02, .drop_ratio = 0.5, .min_samples = 256});
+  // 100% share, but only 3 samples: no classification yet.
+  const auto newly = agg.update(make_report(0, 1, 3, {{7, 3}}));
+  EXPECT_TRUE(newly.empty());
+  EXPECT_TRUE(agg.hot().empty());
+  // Once the floor is met the same shape flags immediately.
+  agg.update(make_report(1, 1, 400, {{7, 40}}));
+  EXPECT_EQ(agg.hot().count(7), 1u);
+}
+
+TEST(Aggregator, NewlyHotReportedExactlyOnce) {
+  HotKeyAggregator agg(
+      {.hot_fraction = 0.02, .drop_ratio = 0.5, .min_samples = 100});
+  auto newly = agg.update(make_report(0, 1, 1000, {{7, 100}}));
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0], 7u);
+  // Still hot on the next report: not "newly" anymore.
+  newly = agg.update(make_report(0, 2, 1000, {{7, 100}}));
+  EXPECT_TRUE(newly.empty());
+}
+
+}  // namespace
+}  // namespace scp::detect

@@ -163,6 +163,24 @@ std::vector<Message> every_message_type() {
   leave.node = 5;
   messages.push_back(leave);
 
+  Message hot_report;
+  hot_report.type = MsgType::kHotKeyReport;
+  hot_report.hot.node = 3;
+  hot_report.hot.seq = 41;
+  hot_report.hot.total = 100000;
+  hot_report.hot.entries = {{0xdeadbeefULL, 5000}, {7, 4999}, {~0ULL, 1}};
+  messages.push_back(hot_report);
+
+  Message hot_report_empty;
+  hot_report_empty.type = MsgType::kHotKeyReport;
+  hot_report_empty.hot.node = 0;
+  hot_report_empty.hot.seq = 1;
+  messages.push_back(hot_report_empty);  // cold sketch: no entries yet
+
+  Message hot_subscribe;
+  hot_subscribe.type = MsgType::kHotKeySubscribe;
+  messages.push_back(hot_subscribe);
+
   return messages;
 }
 
@@ -533,6 +551,36 @@ TEST(Wire, RejectsJoinWithEmbeddedLengthOverrun) {
   payload.insert(payload.end(), {0x00, 0x00, 0x01, 0x00});  // len 256...
   payload.push_back('1');                                   // ...1 byte
   EXPECT_FALSE(decode_payload(payload).has_value());
+}
+
+TEST(Wire, RejectsHotKeyReportBeyondEntryCap) {
+  // A declared entry count above the sanity cap is rejected before any
+  // entry bytes are read — a hostile peer cannot make the decoder loop.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kHotKeyReport));
+  for (int i = 0; i < 4; ++i) payload.push_back(0);   // node
+  for (int i = 0; i < 16; ++i) payload.push_back(0);  // seq + total
+  const std::uint32_t n = detect::kMaxHotKeyEntries + 1;
+  payload.push_back(static_cast<std::uint8_t>(n >> 24));
+  payload.push_back(static_cast<std::uint8_t>(n >> 16));
+  payload.push_back(static_cast<std::uint8_t>(n >> 8));
+  payload.push_back(static_cast<std::uint8_t>(n));
+  EXPECT_FALSE(decode_payload(payload).has_value());
+
+  // At the cap (with the entries actually present) it round-trips.
+  Message message;
+  message.type = MsgType::kHotKeyReport;
+  message.hot.node = 1;
+  message.hot.seq = 2;
+  for (std::uint32_t i = 0; i < detect::kMaxHotKeyEntries; ++i) {
+    message.hot.entries.push_back({i, i + 1});
+    message.hot.total += i + 1;
+  }
+  const std::vector<std::uint8_t> frame = encode(message);
+  const auto decoded = decode_payload(
+      {frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
 }
 
 TEST(Wire, MakeValueIsDeterministicAndSized) {
