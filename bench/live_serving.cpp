@@ -80,6 +80,8 @@ struct LiveFlags {
   std::uint64_t seed = 20130708;
   std::uint64_t fe_shards = 1;   // front-end reactor shards
   std::uint64_t fe_fleet = 1;    // front-end fleet width (1 = no router)
+  std::uint64_t batch_max = 64;  // max keys per kBatchGet forward frame
+  bool no_coalesce = false;      // disable single-flight miss coalescing
   std::string shard_sweep;       // "1,2,4": one full run per shard count
   double write_frac = 0.0;       // fraction of ops issued as quorum PUTs
   std::string attack;            // "" | invalidate | adaptive
@@ -482,6 +484,9 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     fe_config.fleet_size = static_cast<std::uint32_t>(fleet);
     fe_config.fleet_index = member;
     fe_config.fleet_seed = fleet_seed;
+    fe_config.batch_max =
+        static_cast<std::uint32_t>(flags.batch_max == 0 ? 1 : flags.batch_max);
+    fe_config.coalesce = !flags.no_coalesce;
     fe_config.reactor = flags.reactor_kind;
     fe_config.busy_poll = flags.busy_poll;
     fe_config.detect = flags.detect;
@@ -512,6 +517,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     router_config.frontends = fe_endpoints;
     router_config.fleet_seed = fleet_seed;
     router_config.seed = derive_seed(flags.seed, 6);
+    router_config.batch_max =
+        static_cast<std::uint32_t>(flags.batch_max == 0 ? 1 : flags.batch_max);
     router_config.metrics = flags.metrics;
     router_config.reactor = flags.reactor_kind;
     router_config.busy_poll = flags.busy_poll;
@@ -545,6 +552,9 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   std::vector<std::thread> workers;
   std::vector<std::uint64_t> warmup_requests(flags.n, 0);
   std::uint64_t warmup_fe_syscalls = 0;
+  std::uint64_t warmup_fe_attempts = 0;
+  std::uint64_t warmup_batch_frames = 0;
+  std::uint64_t warmup_batch_keys = 0;
   std::thread snapshotter([&] {
     std::this_thread::sleep_until(measure_from);
     for (std::uint32_t node = 0; node < flags.n; ++node) {
@@ -552,6 +562,10 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     }
     for (const auto& frontend : frontends) {
       warmup_fe_syscalls += frontend->loop_totals().syscalls;
+      warmup_fe_attempts += frontend->stats().attempts;
+      const auto [frames, keys] = frontend->batch_totals();
+      warmup_batch_frames += frames;
+      warmup_batch_keys += keys;
     }
   });
   WriteMix mix;
@@ -615,10 +629,20 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
   // Read before the metrics scrape below: scraping goes over the wire and
   // would bill its own recv/send syscalls to the serving path.
   std::uint64_t fe_syscalls_total = 0;
+  std::uint64_t fe_attempts_total = 0;
+  std::uint64_t batch_frames_total = 0;
+  std::uint64_t batch_keys_total = 0;
   for (const auto& frontend : frontends) {
     fe_syscalls_total += frontend->loop_totals().syscalls;
+    fe_attempts_total += frontend->stats().attempts;
+    const auto [frames, keys] = frontend->batch_totals();
+    batch_frames_total += frames;
+    batch_keys_total += keys;
   }
   const std::uint64_t fe_syscalls = fe_syscalls_total - warmup_fe_syscalls;
+  const std::uint64_t fe_attempts = fe_attempts_total - warmup_fe_attempts;
+  const std::uint64_t batch_frames = batch_frames_total - warmup_batch_frames;
+  const std::uint64_t batch_keys = batch_keys_total - warmup_batch_keys;
 
   // --- collect ------------------------------------------------------------
   std::uint64_t completed = 0;
@@ -667,6 +691,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
     fe_stats.hits += member_stats.hits;
     fe_stats.misses += member_stats.misses;
     fe_stats.forwarded += member_stats.forwarded;
+    fe_stats.coalesced += member_stats.coalesced;
+    fe_stats.attempts += member_stats.attempts;
     fe_stats.retries += member_stats.retries;
     fe_stats.failures += member_stats.failures;
     fe_stats.puts += member_stats.puts;
@@ -705,6 +731,20 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
       completed > 0
           ? static_cast<double>(fe_syscalls) / static_cast<double>(completed)
           : 0.0;
+  // FE->BE request frames over the measured window: every attempt is one
+  // per-key send, but attempts that rode a kBatchGet share its single frame
+  // — so frames = (plain attempts) + (batch frames). batch_fill is how full
+  // those batch frames ran; coalescing shrinks attempts itself (parked
+  // waiters never reach the wire).
+  const std::uint64_t fe_be_frames = fe_attempts - batch_keys + batch_frames;
+  const double frames_per_req =
+      completed > 0
+          ? static_cast<double>(fe_be_frames) / static_cast<double>(completed)
+          : 0.0;
+  const double batch_fill =
+      batch_frames > 0 ? static_cast<double>(batch_keys) /
+                             static_cast<double>(batch_frames)
+                       : 0.0;
   // Open-loop honesty check: when the cluster cannot absorb the offered
   // rate, throughput is server-bound and the latency columns include queue
   // wait — flag the row instead of letting it read as capacity.
@@ -722,14 +762,17 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
               backend_table.render().c_str());
   std::printf("[fe_fleet=%llu fe_shards=%llu] reactor=%s offered=%.0f qps "
               "achieved=%.0f qps (%.1f%%)%s | rps/core=%.0f "
-              "fe_syscalls/req=%.2f\n\n",
+              "fe_syscalls/req=%.2f fe_be_frames/req=%.3f coalesced=%llu "
+              "batch_fill=%.1f\n\n",
               static_cast<unsigned long long>(fleet),
               static_cast<unsigned long long>(fe_shards),
               net::to_string(frontends[0]->reactor_kind()), flags.rate,
               throughput,
               flags.rate > 0 ? 100.0 * throughput / flags.rate : 0.0,
               rate_bound ? " RATE-BOUND" : "", rps_per_core,
-              syscalls_per_req);
+              syscalls_per_req, frames_per_req,
+              static_cast<unsigned long long>(fe_stats.coalesced),
+              batch_fill);
   if (flags.write_frac > 0.0) {
     std::printf("[fe_fleet=%llu fe_shards=%llu] write mix%s: puts=%llu "
                 "put_failures=%llu fe_invalidations=%llu "
@@ -864,7 +907,8 @@ bool run_once(const LiveFlags& flags, std::uint64_t fe_shards, std::uint64_t x,
                  static_cast<std::int64_t>(fleet),
                  std::string(net::to_string(frontends[0]->reactor_kind())),
                  static_cast<std::int64_t>(completed), throughput,
-                 rps_per_core, syscalls_per_req,
+                 rps_per_core, syscalls_per_req, frames_per_req,
+                 static_cast<std::int64_t>(fe_stats.coalesced), batch_fill,
                  static_cast<std::int64_t>(rate_bound ? 1 : 0), hit_ratio,
                  static_cast<std::int64_t>(failures),
                  static_cast<std::int64_t>(max_backend), ideal, live_gain,
@@ -951,6 +995,12 @@ int main(int argc, char** argv) {
                       "front-end fleet width N: N FrontendServers (aggregate "
                       "cache c hash-partitioned across them) behind an edge "
                       "router; 1 = classic direct single front end");
+  flag_set.add_uint64("batch-max", &flags.batch_max,
+                      "max keys per kBatchGet forward frame (FE->BE and "
+                      "router->FE); 1 disables batching");
+  flag_set.add_bool("no-coalesce", &flags.no_coalesce,
+                    "disable single-flight miss coalescing (every miss emits "
+                    "its own forward)");
   flag_set.add_string("shard-sweep", &flags.shard_sweep,
                       "comma-separated shard counts (e.g. 1,2,4): run the "
                       "full measurement once per count, one row each");
@@ -1084,7 +1134,8 @@ int main(int argc, char** argv) {
 
   TextTable table({"preset", "x", "fe_shards", "fe_fleet", "reactor",
                    "completed", "throughput_qps", "rps_per_core",
-                   "syscalls_per_req", "rate_bound", "hit_ratio", "failures",
+                   "syscalls_per_req", "frames_per_req", "coalesced",
+                   "batch_fill", "rate_bound", "hit_ratio", "failures",
                    "max_backend", "ideal", "live_gain", "predicted_gain",
                    "gain_ratio", "p50_us", "p99_us", "p999_us",
                    "cli_svc_p99_us", "fe_p99_us", "rtt_p99_us", "svc_p99_us",

@@ -292,6 +292,42 @@ void BM_WireEncodeInto(benchmark::State& state) {
 }
 BENCHMARK(BM_WireEncodeInto)->Arg(64)->Arg(4096);
 
+// Per-key wire cost of the batched forward path: one kBatchGet (N keys)
+// plus one kBatchReply (N 64-byte values) encoded and decoded per
+// iteration, as one FE->BE round trip costs. items_processed counts keys,
+// so items/s is keys/s — compare across Arg(1)/Arg(8)/Arg(64) to see the
+// per-key framing overhead amortize as batches fill.
+void BM_WireBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  net::Message get;
+  get.type = net::MsgType::kBatchGet;
+  net::Message reply;
+  reply.type = net::MsgType::kBatchReply;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = mix64(i);
+    get.batch_keys.push_back(key);
+    reply.batch.push_back({net::MsgType::kValue, key, 0,
+                           net::make_value(key, 64)});
+  }
+  std::vector<std::uint8_t> get_frame;    // reused scratch, as the FE does
+  std::vector<std::uint8_t> reply_frame;  // reused scratch, as the BE does
+  for (auto _ : state) {
+    net::encode_into(get, get_frame);
+    net::encode_into(reply, reply_frame);
+    const auto decoded_get = net::decode_payload(
+        {get_frame.data() + net::kLengthPrefixBytes,
+         get_frame.size() - net::kLengthPrefixBytes});
+    const auto decoded_reply = net::decode_payload(
+        {reply_frame.data() + net::kLengthPrefixBytes,
+         reply_frame.size() - net::kLengthPrefixBytes});
+    benchmark::DoNotOptimize(decoded_get->batch_keys.size());
+    benchmark::DoNotOptimize(decoded_reply->batch.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WireBatch)->Arg(1)->Arg(8)->Arg(64);
+
 // One reactor echoing frames to one synchronous client, both reactor
 // backends. Reports ns/frame (round trip) and the counters that motivated
 // UringLoop: syscalls/frame and frames/wakeup on the server's data plane.

@@ -141,13 +141,45 @@ print(urllib.request.urlopen(
     --threads 2 --json "$live_json" >/dev/null
   validate_json "$live_json" live_serving
   for column in cli_svc_p99_us fe_p99_us rtt_p99_us svc_p99_us \
-      reactor rps_per_core syscalls_per_req rate_bound; do
+      reactor rps_per_core syscalls_per_req rate_bound \
+      coalesced frames_per_req batch_fill; do
     if ! grep -q "\"$column\"" "$live_json"; then
       echo "check.sh: live JSON missing column $column" >&2
       exit 1
     fi
   done
   echo "check.sh: live serving smoke OK"
+
+  # Batching equivalence smoke: the same cluster with --batch-max 1
+  # --no-coalesce (the classic one-kGet-per-forward wire traffic) must also
+  # complete cleanly, and its FE->BE frame economics must be no better than
+  # the batched default's.
+  unbatched_json="$BUILD_DIR/smoke_live_unbatched.json"
+  rm -f "$unbatched_json"
+  "$BUILD_DIR/bench/live_serving" \
+    --n 3 --d 2 --m 1024 --c 4 --rate 1000 --duration 1 --warmup 0.2 \
+    --threads 2 --batch-max 1 --no-coalesce --json "$unbatched_json" \
+    >/dev/null
+  validate_json "$unbatched_json" live_serving
+  python3 - "$live_json" "$unbatched_json" <<'EOF'
+import json, sys
+
+batched = json.load(open(sys.argv[1]))["series"][0]
+unbatched = json.load(open(sys.argv[2]))["series"][0]
+assert int(batched["failures"]) == 0, batched["failures"]
+assert int(unbatched["failures"]) == 0, unbatched["failures"]
+# --batch-max 1 emits no kBatchGet frames at all...
+assert float(unbatched["batch_fill"]) == 0.0, unbatched["batch_fill"]
+assert int(unbatched["coalesced"]) == 0, unbatched["coalesced"]
+# ...and batching+coalescing can only reduce FE->BE frames per request.
+assert float(batched["frames_per_req"]) <= \
+    float(unbatched["frames_per_req"]) + 1e-9, \
+    (batched["frames_per_req"], unbatched["frames_per_req"])
+print(f"batching equivalence: frames/req batched="
+      f"{batched['frames_per_req']} unbatched="
+      f"{unbatched['frames_per_req']}")
+EOF
+  echo "check.sh: batching equivalence smoke OK"
 
   # Live serving smoke 2b: the same cluster on the io_uring data plane,
   # gated on the runtime probe (seccomp'd containers and old kernels skip
@@ -168,21 +200,32 @@ print(urllib.request.urlopen(
     echo "check.sh: io_uring unavailable, uring smoke skipped"
   fi
 
-  # Net micro-bench: the echo round-trip for both reactors, wrapped in the
+  # Net micro-bench: the echo round-trip for both reactors plus the batched
+  # wire-frame cost (BM_WireBatch, ns/key at batch 1/8/64), wrapped in the
   # standard {bench,params,wall_ms,series} record as BENCH_net.json.
   bench_net_raw="$BUILD_DIR/bench_net_raw.json"
   bench_net_json="$BUILD_DIR/BENCH_net.json"
   rm -f "$bench_net_raw" "$bench_net_json"
   "$BUILD_DIR/bench/micro_benchmarks" \
-    --benchmark_filter='BM_FrameLoopEcho' --benchmark_min_time=0.2 \
+    --benchmark_filter='BM_FrameLoopEcho|BM_WireBatch' \
+    --benchmark_min_time=0.2 \
     --benchmark_format=json >"$bench_net_raw" 2>/dev/null
   python3 - "$bench_net_raw" "$bench_net_json" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
 series = []
+batch_series = []
 for b in raw.get("benchmarks", []):
     if b.get("run_type") != "iteration":
+        continue
+    if b["name"].startswith("BM_WireBatch"):
+        batch = int(b["name"].split("/")[1])
+        batch_series.append({
+            "name": b["name"],
+            "batch": batch,
+            "ns_per_key": b.get("real_time", 0.0) / batch,
+        })
         continue
     entry = {
         "name": b["name"],
@@ -195,21 +238,29 @@ for b in raw.get("benchmarks", []):
         entry["skipped"] = b.get("error_message", "")
     series.append(entry)
 assert series, "no BM_FrameLoopEcho runs in benchmark output"
+assert batch_series, "no BM_WireBatch runs in benchmark output"
 record = {
     "bench": "net_echo",
-    "params": {"benchmark": "BM_FrameLoopEcho",
-               "reactors": [e["reactor"] or "skipped" for e in series]},
+    "params": {"benchmark": "BM_FrameLoopEcho|BM_WireBatch",
+               "reactors": [e["reactor"] or "skipped" for e in series],
+               "batch_sizes": [e["batch"] for e in batch_series]},
     "wall_ms": sum(b.get("real_time", 0) * b.get("iterations", 0)
                    for b in raw.get("benchmarks", [])) / 1e6,
-    "series": series,
+    "series": series + batch_series,
 }
 # Compact separators: the same "key":value shape JsonWriter emits, which
 # is what validate_json greps for.
 json.dump(record, open(sys.argv[2], "w"), separators=(",", ":"))
 print("BENCH_net.json:", *(f"{e['reactor'] or 'skip'}="
-      f"{e['syscalls_per_frame']:.2f}syscalls/frame" for e in series))
+      f"{e['syscalls_per_frame']:.2f}syscalls/frame" for e in series),
+      *(f"batch{e['batch']}={e['ns_per_key']:.0f}ns/key"
+        for e in batch_series))
 EOF
   validate_json "$bench_net_json" net_echo
+  if ! grep -q '"ns_per_key"' "$bench_net_json"; then
+    echo "check.sh: BENCH_net.json missing BM_WireBatch ns_per_key" >&2
+    exit 1
+  fi
   echo "check.sh: net micro-bench OK"
 
   # Sharded smoke 1: scp_backend --shards 4. Drive GETs over several

@@ -345,6 +345,9 @@ void BackendServer::handle(Shard& shard, ConnId conn, Message&& message) {
     case MsgType::kGet:
       handle_get(shard, conn, message);
       return;
+    case MsgType::kBatchGet:
+      handle_batch_get(shard, conn, message);
+      return;
     case MsgType::kPut:
     case MsgType::kDelete:
       handle_write(shard, conn, message);
@@ -452,6 +455,72 @@ void BackendServer::handle_get(Shard& shard, ConnId conn,
     misses_.fetch_add(1, std::memory_order_relaxed);
     reply.type = MsgType::kMiss;
   }
+  shard.loop->send(conn, reply);
+  obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
+}
+
+void BackendServer::handle_batch_get(Shard& shard, ConnId conn,
+                                     const Message& message) {
+  obs::Timer* service_us =
+      shard.index < service_us_.size() ? service_us_[shard.index] : nullptr;
+  const std::uint64_t start_ns = service_us != nullptr ? obs::now_ns() : 0;
+  requests_.fetch_add(message.batch_keys.size(), std::memory_order_relaxed);
+
+  Message reply;
+  reply.type = MsgType::kBatchReply;
+  reply.batch.resize(message.batch_keys.size());
+
+  // Ownership pass: one partitioner lock for the whole batch.
+  {
+    std::shared_lock lock(partitioner_mutex_);
+    shard.group.resize(partitioner_->replication());
+    for (std::size_t i = 0; i < message.batch_keys.size(); ++i) {
+      BatchItem& item = reply.batch[i];
+      item.key = message.batch_keys[i];
+      partitioner_->replica_group(item.key, shard.group);
+      if (in_group(shard.group)) {
+        item.type = MsgType::kMiss;  // provisional; storage pass may upgrade
+      } else {
+        item.type = MsgType::kRedirect;
+        item.node = shard.group[0];
+      }
+    }
+  }
+  std::size_t served = 0;
+  for (const BatchItem& item : reply.batch) {
+    if (item.type != MsgType::kRedirect) ++served;
+  }
+  redirects_.fetch_add(reply.batch.size() - served, std::memory_order_relaxed);
+
+  if (hot_detector_ != nullptr && served > 0) {
+    // The served stream feeds the heavy-hitter sketch exactly as on the
+    // single-GET path, under one lock acquisition for the batch.
+    hot_observed_.fetch_add(served, std::memory_order_relaxed);
+    std::lock_guard lock(hot_mutex_);
+    for (const BatchItem& item : reply.batch) {
+      if (item.type != MsgType::kRedirect) hot_detector_->observe(item.key);
+    }
+  }
+
+  // Storage pass: one shared lock for every lookup.
+  std::uint64_t hit = 0;
+  std::uint64_t missed = 0;
+  {
+    std::shared_lock lock(storage_mutex_);
+    for (BatchItem& item : reply.batch) {
+      if (item.type == MsgType::kRedirect) continue;
+      if (auto value = storage_.get(item.key); value.has_value()) {
+        item.type = MsgType::kValue;
+        item.payload = std::move(*value);
+        ++hit;
+      } else {
+        ++missed;
+      }
+    }
+  }
+  hits_.fetch_add(hit, std::memory_order_relaxed);
+  misses_.fetch_add(missed, std::memory_order_relaxed);
+
   shard.loop->send(conn, reply);
   obs::record_elapsed(service_us, start_ns, /*divisor=*/1'000);
 }

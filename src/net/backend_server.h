@@ -238,6 +238,10 @@ class BackendServer {
   void schedule_reconnect(Shard& shard, std::uint32_t node);
 
   void handle_get(Shard& shard, ConnId conn, const Message& message);
+  /// Serves a whole kBatchGet in one pass — one partitioner lock, one
+  /// storage lock, one sketch lock for every key — and answers with a
+  /// single kBatchReply carrying a per-key verdict in request order.
+  void handle_batch_get(Shard& shard, ConnId conn, const Message& message);
   void handle_write(Shard& shard, ConnId conn, const Message& message);
   void handle_quorum_get(Shard& shard, ConnId conn, const Message& message);
   void handle_replicate(Shard& shard, ConnId conn, const Message& message);

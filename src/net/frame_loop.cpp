@@ -120,6 +120,9 @@ void FrameLoop::run() {
     // The wakeup's single flush point: every frame queued by posted work,
     // timers and the previous round of event dispatch goes out in one
     // gathered write per connection, right before the loop blocks again.
+    // The before-flush hook runs first so batching servers can convert
+    // their accumulated per-peer queues into frames that join this flush.
+    run_before_flush();
     flush_pending_conns();
 
     if (draining_) {

@@ -64,6 +64,8 @@ bool FrontendServer::start() {
     return false;
   }
   if (config_.fleet_size == 0) config_.fleet_size = 1;
+  // A kBatchGet frame cannot carry more keys than the decoder accepts.
+  config_.batch_max = std::min(config_.batch_max, kMaxBatchEntries);
   if (config_.fleet_index >= config_.fleet_size) {
     SCP_LOG_ERROR << "scp_frontend: fleet index " << config_.fleet_index
                   << " out of range for fleet size " << config_.fleet_size;
@@ -123,6 +125,13 @@ bool FrontendServer::start() {
       on_conn_connect(*s, conn, ok);
     };
     s->loop->set_callbacks(std::move(callbacks));
+    if (config_.batch_max > 1) {
+      // Flush every backend's queued GET forwards right before the reactor's
+      // gathered write, so batch frames ride the same sendmsg as the
+      // wakeup's replies. batch_max <= 1 never queues, so no hook: the
+      // unbatched serving path stays byte-identical to PR 9.
+      s->loop->set_before_flush([this, s] { flush_forward_queues(*s); });
+    }
 
     if (config_.metrics) {
       s->cache_lookup_ns = &s->registry.timer("frontend.cache_lookup_ns");
@@ -227,6 +236,7 @@ ServerStats FrontendServer::stats() const {
     stats.misses += shard->misses.load(std::memory_order_relaxed);
     stats.redirects += shard->redirects.load(std::memory_order_relaxed);
     stats.forwarded += shard->forwarded.load(std::memory_order_relaxed);
+    stats.coalesced += shard->coalesced.load(std::memory_order_relaxed);
     stats.retries += shard->retries.load(std::memory_order_relaxed);
     stats.failures += shard->failures.load(std::memory_order_relaxed);
     stats.attempts += shard->attempts.load(std::memory_order_relaxed);
@@ -255,6 +265,12 @@ obs::MetricsSnapshot FrontendServer::metrics_snapshot() const {
         shard->fleet_redirects.load(std::memory_order_relaxed);
     snap.counters["frontend.forwarded"] =
         shard->forwarded.load(std::memory_order_relaxed);
+    snap.counters["frontend.coalesced"] =
+        shard->coalesced.load(std::memory_order_relaxed);
+    snap.counters["frontend.batch_frames"] =
+        shard->batch_frames.load(std::memory_order_relaxed);
+    snap.counters["frontend.batch_keys"] =
+        shard->batch_keys.load(std::memory_order_relaxed);
     snap.counters["frontend.retries"] =
         shard->retries.load(std::memory_order_relaxed);
     snap.counters["frontend.failures"] =
@@ -324,44 +340,19 @@ void FrontendServer::handle_client(Shard& shard, ConnId conn,
     case MsgType::kGet: {
       const std::uint64_t start_ns =
           shard.request_us != nullptr ? obs::now_ns() : 0;
-      shard.requests.fetch_add(1, std::memory_order_relaxed);
-      if (config_.fleet_size > 1 && !fleet_owns(message.key)) {
-        if (fleet_redirect_needed(message.key)) {
-          // A sibling owns this key's cache slot: bounce the caller to it
-          // (the REDIRECT node field carries the *fleet index*; the edge
-          // router maps it back to an endpoint). Never cached here.
-          shard.fleet_redirects.fetch_add(1, std::memory_order_relaxed);
-          Message reply;
-          reply.type = MsgType::kRedirect;
-          reply.key = message.key;
-          reply.node = fleet_owner(message.key, config_.fleet_seed,
-                                   config_.fleet_size);
-          shard.loop->send(conn, reply);
-          obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
-          return;
-        }
-        // Globally uncached under the perfect oracle: any member can serve
-        // the forward, and the router's power-of-two-choices sent it here
-        // to balance exactly this load. Skip the cache entirely.
-        shard.misses.fetch_add(1, std::memory_order_relaxed);
-        forward(shard, conn, message.key, /*attempts=*/0, start_ns);
-        return;
+      serve_get(shard, conn, message.key, start_ns);
+      return;
+    }
+    case MsgType::kBatchGet: {
+      // Router-batched dispatch: serve every key in the frame. Replies go
+      // back as one frame *per key* — the edge router matches them by key
+      // (its replies can overtake each other), and the reactor's gathered
+      // flush amortizes them into one writev anyway.
+      for (const std::uint64_t key : message.batch_keys) {
+        const std::uint64_t start_ns =
+            shard.request_us != nullptr ? obs::now_ns() : 0;
+        serve_get(shard, conn, key, start_ns);
       }
-      std::string value;
-      const bool hit = cache_lookup(shard, message.key, value);
-      obs::record_elapsed(shard.cache_lookup_ns, start_ns);
-      if (hit) {
-        shard.hits.fetch_add(1, std::memory_order_relaxed);
-        Message reply;
-        reply.type = MsgType::kValue;
-        reply.key = message.key;
-        reply.payload = std::move(value);
-        shard.loop->send(conn, reply);
-        obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
-        return;
-      }
-      shard.misses.fetch_add(1, std::memory_order_relaxed);
-      forward(shard, conn, message.key, /*attempts=*/0, start_ns);
       return;
     }
     case MsgType::kPut:
@@ -411,6 +402,63 @@ void FrontendServer::handle_client(Shard& shard, ConnId conn,
   }
 }
 
+void FrontendServer::serve_get(Shard& shard, ConnId conn, std::uint64_t key,
+                               std::uint64_t start_ns) {
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+  if (config_.fleet_size > 1 && !fleet_owns(key)) {
+    if (fleet_redirect_needed(key)) {
+      // A sibling owns this key's cache slot: bounce the caller to it
+      // (the REDIRECT node field carries the *fleet index*; the edge
+      // router maps it back to an endpoint). Never cached here.
+      shard.fleet_redirects.fetch_add(1, std::memory_order_relaxed);
+      Message reply;
+      reply.type = MsgType::kRedirect;
+      reply.key = key;
+      reply.node = fleet_owner(key, config_.fleet_seed, config_.fleet_size);
+      shard.loop->send(conn, reply);
+      obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
+      return;
+    }
+    // Globally uncached under the perfect oracle: any member can serve
+    // the forward, and the router's power-of-two-choices sent it here
+    // to balance exactly this load. Skip the cache entirely.
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    forward_get(shard, conn, key, start_ns);
+    return;
+  }
+  std::string value;
+  const bool hit = cache_lookup(shard, key, value);
+  obs::record_elapsed(shard.cache_lookup_ns, start_ns);
+  if (hit) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = MsgType::kValue;
+    reply.key = key;
+    reply.payload = std::move(value);
+    shard.loop->send(conn, reply);
+    obs::record_elapsed(shard.request_us, start_ns, /*divisor=*/1'000);
+    return;
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  forward_get(shard, conn, key, start_ns);
+}
+
+void FrontendServer::forward_get(Shard& shard, ConnId client,
+                                 std::uint64_t key, std::uint64_t start_ns) {
+  if (config_.coalesce) {
+    auto [it, inserted] = shard.inflight.try_emplace(key);
+    if (!inserted) {
+      // Single-flight: a forward for this key is already on the wire (or
+      // retrying); park here and let its one reply answer everyone.
+      it->second.push_back({client, start_ns});
+      return;
+    }
+    // Lead request: owns the inflight entry until finish_waiters /
+    // fail_waiters settles it.
+  }
+  forward(shard, client, key, /*attempts=*/0, start_ns);
+}
+
 void FrontendServer::handle_write(Shard& shard, ConnId conn,
                                   Message&& message) {
   const std::uint64_t start_ns =
@@ -455,6 +503,10 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       message.type == MsgType::kMetricsReply) {
     return;  // health probes; nothing pending
   }
+  if (message.type == MsgType::kBatchReply) {
+    handle_batch_reply(shard, node, std::move(message));
+    return;
+  }
   if (backend.pending.empty() || backend.pending.front().key != message.key) {
     // FIFO contract broken — drop the connection; on_conn_close requeues.
     SCP_LOG_WARN << "scp_frontend: reply mismatch from backend " << node
@@ -465,16 +517,53 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
   PendingRequest request = backend.pending.front();
   backend.pending.pop_front();
   pending_total_.fetch_sub(1, std::memory_order_relaxed);
+  settle_forward(shard, node, request, message.type,
+                 std::move(message.payload), message.node, message.version);
+}
 
-  switch (message.type) {
+void FrontendServer::handle_batch_reply(Shard& shard, std::uint32_t node,
+                                        Message&& reply) {
+  BackendState& backend = shard.backends[node];
+  // The backend answers a kBatchGet's keys in request order, so the reply
+  // must line up with the head of the FIFO entry-for-entry. Cross-check all
+  // keys before settling anything: a half-applied mismatched batch would
+  // answer clients with the wrong keys' verdicts.
+  bool matches = backend.pending.size() >= reply.batch.size();
+  for (std::size_t i = 0; matches && i < reply.batch.size(); ++i) {
+    matches = backend.pending[i].key == reply.batch[i].key &&
+              backend.pending[i].op == MsgType::kGet;
+  }
+  if (!matches || reply.batch.empty()) {
+    SCP_LOG_WARN << "scp_frontend: batch reply mismatch from backend " << node
+                 << "; resetting connection";
+    shard.loop->close_connection(backend.conn);
+    return;
+  }
+  for (BatchItem& item : reply.batch) {
+    PendingRequest request = backend.pending.front();
+    backend.pending.pop_front();
+    pending_total_.fetch_sub(1, std::memory_order_relaxed);
+    settle_forward(shard, node, request, item.type, std::move(item.payload),
+                   item.node, /*version=*/0);
+  }
+}
+
+/// One forwarded request got its backend verdict. Shared by the single-frame
+/// and kBatchReply paths; kGet verdicts fan out to coalesced waiters.
+void FrontendServer::settle_forward(Shard& shard, std::uint32_t node,
+                                    const PendingRequest& request,
+                                    MsgType type, std::string&& payload,
+                                    std::uint32_t redirect_node,
+                                    std::uint64_t version) {
+  switch (type) {
     case MsgType::kValue: {
       if (request.op == MsgType::kGet) {
-        admit(shard, message.key, message.payload);
+        admit(shard, request.key, payload);
         // A dirty perfect-oracle key becomes cacheable again once the
         // authoritative value matches what the oracle synthesizes.
-        if (!shard.dirty.empty() && shard.dirty.count(message.key) != 0 &&
-            message.payload == make_value(message.key, config_.value_bytes)) {
-          shard.dirty.erase(message.key);
+        if (!shard.dirty.empty() && shard.dirty.count(request.key) != 0 &&
+            payload == make_value(request.key, config_.value_bytes)) {
+          shard.dirty.erase(request.key);
           if (shard.dirty_keys != nullptr) {
             shard.dirty_keys->set(
                 static_cast<std::int64_t>(shard.dirty.size()));
@@ -484,9 +573,12 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kValue;
-      reply.key = message.key;
-      reply.payload = std::move(message.payload);
+      reply.key = request.key;
+      reply.payload = std::move(payload);
       shard.loop->send(request.client, reply);
+      if (request.op == MsgType::kGet) {
+        finish_waiters(shard, request.key, MsgType::kValue, reply.payload);
+      }
       return;
     }
     case MsgType::kMiss: {
@@ -494,14 +586,14 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       // admitted, or it sits value-less forever, evicting real entries and
       // turning future hits into forwards.
       if (request.op == MsgType::kGet) {
-        drop_cached(shard, message.key);
+        drop_cached(shard, request.key);
         // A relayed MISS settles a dirty oracle key too: the backends are
         // authoritative, so the dirty marker has done its job. Keeping it
         // would leak an entry per deleted key and forward that key's GETs
         // forever. The oracle resumes synthesizing afterwards — Assumption
         // 2 models cache capacity, not deletions, and the regression test
         // pins that trade.
-        if (!shard.dirty.empty() && shard.dirty.erase(message.key) != 0 &&
+        if (!shard.dirty.empty() && shard.dirty.erase(request.key) != 0 &&
             shard.dirty_keys != nullptr) {
           shard.dirty_keys->set(
               static_cast<std::int64_t>(shard.dirty.size()));
@@ -510,8 +602,11 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kMiss;
-      reply.key = message.key;
+      reply.key = request.key;
       shard.loop->send(request.client, reply);
+      if (request.op == MsgType::kGet) {
+        finish_waiters(shard, request.key, MsgType::kMiss, std::string());
+      }
       return;
     }
     case MsgType::kWriteReply: {
@@ -519,28 +614,83 @@ void FrontendServer::handle_backend(Shard& shard, std::uint32_t node,
       complete_request(shard, request, node);
       Message reply;
       reply.type = MsgType::kWriteReply;
-      reply.key = message.key;
-      reply.version = message.version;
+      reply.key = request.key;
+      reply.version = version;
       shard.loop->send(request.client, reply);
       return;
     }
     case MsgType::kRedirect: {
       // Seeds agree across the tier, so this indicates misconfiguration;
-      // follow the hint once per attempt budget anyway.
+      // follow the hint once per attempt budget anyway. The coalescing
+      // entry (and its parked waiters) stays put — only the lead moves.
       shard.redirects.fetch_add(1, std::memory_order_relaxed);
-      if (message.node < config_.nodes &&
+      if (redirect_node < config_.nodes &&
           request.attempts + 1 < config_.retry.max_attempts()) {
-        forward_to(shard, message.node, request.client, request.key,
+        forward_to(shard, redirect_node, request.client, request.key,
                    request.attempts + 1, request.start_ns, request.op,
                    request.payload);
       } else {
-        fail_request(shard, request.client, request.key);
+        fail_request(shard, request.client, request.key, request.op);
       }
       return;
     }
     default:
-      fail_request(shard, request.client, request.key);
+      fail_request(shard, request.client, request.key, request.op);
       return;
+  }
+}
+
+void FrontendServer::finish_waiters(Shard& shard, std::uint64_t key,
+                                    MsgType type,
+                                    const std::string& payload) {
+  auto it = shard.inflight.find(key);
+  if (it == shard.inflight.end()) return;
+  const std::vector<Waiter> waiters = std::move(it->second);
+  shard.inflight.erase(it);
+  const std::uint64_t now =
+      shard.request_us != nullptr && !waiters.empty() ? obs::now_ns() : 0;
+  for (const Waiter& waiter : waiters) {
+    if (waiter.client == kInvalidConn) {
+      // A hot-key warm fetch that coalesced onto this forward: the bytes
+      // just got admitted by the lead's settle; nothing to send.
+      shard.hot_prefetching.erase(key);
+      continue;
+    }
+    // Satellite of the lead's one forward: counted as coalesced, never as
+    // forwarded, and deliberately kept out of forward_rtt_us / node RTT /
+    // attempts histograms — no wire RTT of its own was measured, and
+    // double-recording the lead's would skew per-node latency and the
+    // attempts distribution. Only the end-to-end request timer ticks.
+    shard.coalesced.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = type;
+    reply.key = key;
+    if (type == MsgType::kValue) reply.payload = payload;
+    shard.loop->send(waiter.client, reply);
+    if (now != 0 && waiter.start_ns != 0) {
+      shard.request_us->record((now - waiter.start_ns) / 1'000);
+    }
+  }
+}
+
+void FrontendServer::fail_waiters(Shard& shard, std::uint64_t key) {
+  auto it = shard.inflight.find(key);
+  if (it == shard.inflight.end()) return;
+  const std::vector<Waiter> waiters = std::move(it->second);
+  shard.inflight.erase(it);
+  for (const Waiter& waiter : waiters) {
+    if (waiter.client == kInvalidConn) {
+      shard.hot_prefetching.erase(key);
+      continue;
+    }
+    // The lead exhausted its attempt budget for everyone parked behind it:
+    // each waiter is its own failed request in the ledger.
+    shard.failures.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = MsgType::kError;
+    reply.key = key;
+    reply.payload = "no live replica";
+    shard.loop->send(waiter.client, reply);
   }
 }
 
@@ -586,7 +736,9 @@ void FrontendServer::handle_hot_report(Shard& shard, Message&& message) {
     shard.tier->access(key);
     if (!shard.hot_prefetching.insert(key).second) continue;  // in flight
     shard.hot_prefetches.fetch_add(1, std::memory_order_relaxed);
-    forward(shard, kInvalidConn, key, /*attempts=*/0, /*start_ns=*/0);
+    // Via the single-flight table: if a client's fetch for this key is
+    // already in flight, the warm fetch parks on it instead of doubling it.
+    forward_get(shard, kInvalidConn, key, /*start_ns=*/0);
   }
   // Retire flags whose keys cooled off (the aggregator's exit hysteresis).
   for (auto it = shard.hot_flagged.begin(); it != shard.hot_flagged.end();) {
@@ -650,6 +802,14 @@ void FrontendServer::on_conn_close(Shard& shard, ConnId conn) {
   for (const PendingRequest& request : orphaned) {
     pending_total_.fetch_sub(1, std::memory_order_relaxed);
     retry_or_fail(shard, request);
+  }
+  // Queued forwards never hit the wire, so they re-route at the same
+  // attempt count instead of burning a retry.
+  std::vector<QueuedForward> queued;
+  queued.swap(backend.queued);
+  for (const QueuedForward& q : queued) {
+    pending_total_.fetch_sub(1, std::memory_order_relaxed);
+    forward(shard, q.client, q.key, q.attempts, q.start_ns);
   }
   schedule_reconnect(shard, node);
 }
@@ -850,7 +1010,7 @@ void FrontendServer::forward(Shard& shard, ConnId client, std::uint64_t key,
             forward(*s, client, key, attempts + 1, start_ns, op, payload);
           });
     } else {
-      fail_request(shard, client, key);
+      fail_request(shard, client, key, op);
     }
     return;
   }
@@ -865,6 +1025,19 @@ void FrontendServer::forward_to(Shard& shard, std::uint32_t node,
   BackendState& backend = shard.backends[node];
   if (!backend.up) {
     forward(shard, client, key, attempts, start_ns, op, payload);
+    return;
+  }
+  if (op == MsgType::kGet && config_.batch_max > 1) {
+    // Batched forwarding: GETs accumulate here and flush as one kBatchGet
+    // at the reactor's before-flush hook (sooner if the queue fills). The
+    // wire send, FIFO pending entry and attempt counters all happen at
+    // flush so FIFO order matches wire order; pending_total_ is counted
+    // now so stop()'s drain sees queued forwards too.
+    backend.queued.push_back({client, key, attempts, start_ns});
+    pending_total_.fetch_add(1, std::memory_order_relaxed);
+    if (backend.queued.size() >= config_.batch_max) {
+      flush_backend_queue(shard, node);
+    }
     return;
   }
   Message request;
@@ -898,6 +1071,87 @@ void FrontendServer::forward_to(Shard& shard, std::uint32_t node,
   pending_total_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FrontendServer::flush_forward_queues(Shard& shard) {
+  for (std::uint32_t node = 0;
+       node < static_cast<std::uint32_t>(shard.backends.size()); ++node) {
+    if (!shard.backends[node].queued.empty()) {
+      flush_backend_queue(shard, node);
+    }
+  }
+}
+
+void FrontendServer::flush_backend_queue(Shard& shard, std::uint32_t node) {
+  BackendState& backend = shard.backends[node];
+  if (backend.queued.empty()) return;
+  std::vector<QueuedForward> queued;
+  queued.swap(backend.queued);
+
+  const auto requeue_all = [&] {
+    // The wire send never happened: re-route every forward at the same
+    // attempt count (forward re-counts pending_total_ on its way back in).
+    for (const QueuedForward& q : queued) {
+      pending_total_.fetch_sub(1, std::memory_order_relaxed);
+      forward(shard, q.client, q.key, q.attempts, q.start_ns);
+    }
+  };
+  if (!backend.up) {
+    requeue_all();
+    return;
+  }
+
+  bool sent = false;
+  if (queued.size() == 1) {
+    // A batch of one gains nothing over the plain frame; keep the wire
+    // identical to the unbatched path.
+    Message request;
+    request.type = MsgType::kGet;
+    request.key = queued.front().key;
+    sent = shard.loop->send(backend.conn, request);
+  } else {
+    Message request;
+    request.type = MsgType::kBatchGet;
+    request.batch_keys.reserve(queued.size());
+    for (const QueuedForward& q : queued) {
+      request.batch_keys.push_back(q.key);
+    }
+    sent = shard.loop->send(backend.conn, request);
+    if (sent) {
+      shard.batch_frames.fetch_add(1, std::memory_order_relaxed);
+      shard.batch_keys.fetch_add(queued.size(), std::memory_order_relaxed);
+    }
+  }
+  if (!sent) {
+    requeue_all();
+    return;
+  }
+
+  // One wire send for the whole queue, but the ledger stays per key:
+  // `attempts` counts keys sent (so backend requests == attempts keeps
+  // holding — the backend counts batch keys individually too), `retries`
+  // the re-sent keys, and the router's load signal moves one unit per key.
+  const std::uint64_t sent_ns =
+      shard.request_us != nullptr ? obs::now_ns() : 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.retry.timeout_s));
+  for (const QueuedForward& q : queued) {
+    shard.attempts.fetch_add(1, std::memory_order_relaxed);
+    if (q.attempts > 0) shard.retries.fetch_add(1, std::memory_order_relaxed);
+    shard.loads[node] += 1.0;
+    PendingRequest pending;
+    pending.client = q.client;
+    pending.key = q.key;
+    pending.op = MsgType::kGet;
+    pending.attempts = q.attempts;
+    pending.start_ns = q.start_ns;
+    pending.sent_ns = sent_ns;
+    pending.deadline = deadline;
+    // pending_total_ was counted when the forward was queued.
+    backend.pending.push_back(pending);
+  }
+}
+
 void FrontendServer::retry_or_fail(Shard& shard,
                                    const PendingRequest& request) {
   if (request.attempts + 1 < config_.retry.max_attempts() &&
@@ -917,15 +1171,19 @@ void FrontendServer::retry_or_fail(Shard& shard,
           forward(*s, client, key, next_attempt, start_ns, op, payload);
         });
   } else {
-    fail_request(shard, request.client, request.key);
+    fail_request(shard, request.client, request.key, request.op);
   }
 }
 
 void FrontendServer::fail_request(Shard& shard, ConnId client,
-                                  std::uint64_t key) {
+                                  std::uint64_t key, MsgType op) {
   // A failed fetch leaves no bytes behind either — release any value-less
   // tier slot the lookup admitted.
   drop_cached(shard, key);
+  // A failed GET lead takes its parked waiters down with it (before the
+  // prefetch early-return below: a kInvalidConn lead can carry real
+  // waiters). Failed writes never touch the GET single-flight table.
+  if (op == MsgType::kGet) fail_waiters(shard, key);
   if (client == kInvalidConn) {
     // Failed hot-key warm fetch: the next report retriggers it; no client
     // to answer and no failure to count (see complete_request).

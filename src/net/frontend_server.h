@@ -93,6 +93,18 @@ struct FrontendConfig {
   RetryPolicy retry;
   std::uint64_t seed = 1;  ///< tie-breaks, random routing, tier affinity
 
+  /// Single-flight coalescing: a GET miss for a key that already has a
+  /// forward in flight parks the client on that forward instead of emitting
+  /// another frame; the one backend reply fans out to every parked waiter.
+  /// Turns an x-key miss flood into at most x upstream fetches per RTT.
+  bool coalesce = true;
+  /// Max keys per kBatchGet forward frame. GET forwards accumulate in a
+  /// per-backend queue during one reactor wakeup and flush as one batch
+  /// frame (sooner when the queue reaches this cap). <= 1 disables
+  /// batching: every forward is its own kGet frame, byte-identical to the
+  /// unbatched wire traffic. Clamped to kMaxBatchEntries.
+  std::uint32_t batch_max = 64;
+
   /// Hot-path instrumentation (lookup/RTT/request histograms). Off leaves
   /// only the ServerStats atomics — the overhead A/B baseline.
   bool metrics = true;
@@ -169,6 +181,18 @@ class FrontendServer {
   /// syscalls/request and frames/wakeup measurements (thread-safe).
   ReactorPool::Totals loop_totals() const { return pool_.totals(); }
 
+  /// Batched-forwarding introspection, summed over shards (thread-safe):
+  /// {kBatchGet frames sent, keys those frames carried}.
+  std::pair<std::uint64_t, std::uint64_t> batch_totals() const noexcept {
+    std::uint64_t frames = 0;
+    std::uint64_t keys = 0;
+    for (const auto& shard : shards_) {
+      frames += shard->batch_frames.load(std::memory_order_relaxed);
+      keys += shard->batch_keys.load(std::memory_order_relaxed);
+    }
+    return {frames, keys};
+  }
+
   /// Introspection for tests: live backend_by_conn entries summed over
   /// shards. Only stable while the shard loops are quiescent or stopped.
   std::size_t backend_conn_entries() const noexcept {
@@ -193,6 +217,16 @@ class FrontendServer {
     std::uint64_t sent_ns = 0;   ///< this attempt's wire send
   };
 
+  /// A GET forward awaiting the wakeup's batch flush (batch_max > 1). The
+  /// wire send, FIFO pending entry and attempt counters all happen at flush
+  /// time so FIFO order matches wire order exactly.
+  struct QueuedForward {
+    ConnId client = kInvalidConn;
+    std::uint64_t key = 0;
+    std::uint32_t attempts = 0;
+    std::uint64_t start_ns = 0;
+  };
+
   struct BackendState {
     std::string address;
     std::uint16_t port = 0;
@@ -200,6 +234,15 @@ class FrontendServer {
     bool up = false;
     std::uint32_t connect_attempts = 0;
     std::deque<PendingRequest> pending;  ///< FIFO on this connection
+    std::vector<QueuedForward> queued;   ///< forwards awaiting batch flush
+  };
+
+  /// A client parked on another request's in-flight forward for the same
+  /// key (single-flight coalescing). client == kInvalidConn marks a hot-key
+  /// warm fetch riding along.
+  struct Waiter {
+    ConnId client = kInvalidConn;
+    std::uint64_t start_ns = 0;
   };
 
   /// Everything one reactor touches on the request path. Owned by the shard
@@ -221,6 +264,10 @@ class FrontendServer {
 
     std::vector<BackendState> backends;
     std::unordered_map<ConnId, std::uint32_t> backend_by_conn;
+    /// Single-flight table: key -> waiters parked on the one in-flight GET
+    /// forward for that key (the lead request rides the pending FIFO as
+    /// usual; retries and failover move the lead, never the waiters).
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> inflight;
     std::vector<double> loads;  ///< forwarded count per backend (routing)
     std::unordered_map<std::uint64_t, std::uint32_t> pins;  // pinned router
     std::unordered_map<std::uint64_t, std::uint32_t> rr;    // round-robin
@@ -235,9 +282,17 @@ class FrontendServer {
     /// fleet mode requests == hits + forwarded + failures + fleet_redirects.
     std::atomic<std::uint64_t> fleet_redirects{0};
     std::atomic<std::uint64_t> forwarded{0};
+    /// Misses answered by parking on an already in-flight forward for the
+    /// same key: requests == hits + forwarded + coalesced + failures
+    /// (+ fleet_redirects in fleet mode).
+    std::atomic<std::uint64_t> coalesced{0};
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> failures{0};
     std::atomic<std::uint64_t> attempts{0};
+    /// Batched forwarding: kBatchGet frames sent and the keys they carried
+    /// (batch_keys / batch_frames = mean batch fill).
+    std::atomic<std::uint64_t> batch_frames{0};
+    std::atomic<std::uint64_t> batch_keys{0};
     std::atomic<std::uint64_t> puts{0};
     std::atomic<std::uint64_t> deletes{0};
     /// Cache entries dropped/dirtied because a write touched their key.
@@ -309,6 +364,31 @@ class FrontendServer {
   void complete_request(Shard& shard, const PendingRequest& request,
                         std::uint32_t node);
 
+  /// One GET of a kGet / kBatchGet client frame: cache lookup, fleet
+  /// bounce, or miss forward. `start_ns` is the frame arrival time.
+  void serve_get(Shard& shard, ConnId conn, std::uint64_t key,
+                 std::uint64_t start_ns);
+  /// Single-flight entry point for GET misses: parks on an existing
+  /// in-flight forward for `key` when coalescing allows, else forwards.
+  void forward_get(Shard& shard, ConnId client, std::uint64_t key,
+                   std::uint64_t start_ns);
+  /// Settles one forwarded request with its backend verdict (shared by the
+  /// single-reply and kBatchReply paths); fans the result out to any
+  /// coalesced waiters on GETs.
+  void settle_forward(Shard& shard, std::uint32_t node,
+                      const PendingRequest& request, MsgType type,
+                      std::string&& payload, std::uint32_t redirect_node,
+                      std::uint64_t version);
+  /// Pops reply.batch.size() FIFO entries off `node`'s pending queue (keys
+  /// cross-checked in order) and settles each one.
+  void handle_batch_reply(Shard& shard, std::uint32_t node, Message&& reply);
+  /// Completion fan-out: answers every waiter parked on `key` with the
+  /// settled kValue/kMiss verdict and erases the in-flight entry.
+  void finish_waiters(Shard& shard, std::uint64_t key, MsgType type,
+                      const std::string& payload);
+  /// Failure fan-out: kError to every waiter parked on `key`.
+  void fail_waiters(Shard& shard, std::uint64_t key);
+
   void forward(Shard& shard, ConnId client, std::uint64_t key,
                std::uint32_t attempts, std::uint64_t start_ns,
                MsgType op = MsgType::kGet, const std::string& payload = {});
@@ -316,9 +396,16 @@ class FrontendServer {
                   std::uint64_t key, std::uint32_t attempts,
                   std::uint64_t start_ns, MsgType op = MsgType::kGet,
                   const std::string& payload = {});
+  /// Reactor before-flush hook: flushes every backend's queued forwards so
+  /// the batch frames ride the same gathered write as the wakeup's replies.
+  void flush_forward_queues(Shard& shard);
+  /// Sends one backend's queued forwards: a single kBatchGet when > 1 is
+  /// queued, the plain kGet path for a queue of one.
+  void flush_backend_queue(Shard& shard, std::uint32_t node);
   std::uint32_t route(Shard& shard, std::uint64_t key);
   void retry_or_fail(Shard& shard, const PendingRequest& request);
-  void fail_request(Shard& shard, ConnId client, std::uint64_t key);
+  void fail_request(Shard& shard, ConnId client, std::uint64_t key,
+                    MsgType op);
   void schedule_reconnect(Shard& shard, std::uint32_t node);
   void sweep_timeouts(Shard& shard);
 

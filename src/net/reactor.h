@@ -164,6 +164,16 @@ class Reactor {
   /// Enqueues `fn` for execution on the loop thread. Thread-safe.
   void post(std::function<void()> fn);
 
+  /// Optional hook run on the loop thread once per wakeup, immediately
+  /// before the loop's single flush point. Work that accumulates frames
+  /// across one dispatch round (the front end's per-backend forward queues,
+  /// the router's per-member dispatch queues) flushes here so everything it
+  /// emits rides the same gathered write as the round's other frames. Must
+  /// be set before start().
+  void set_before_flush(std::function<void()> hook) {
+    before_flush_ = std::move(hook);
+  }
+
   const ReactorCounters& counters() const noexcept { return counters_; }
 
  protected:
@@ -215,6 +225,12 @@ class Reactor {
   /// Milliseconds until the next timer (0 when overdue), capped at 100.
   int next_timeout_ms() const;
 
+  /// Invokes the before-flush hook if one is set (loop thread, once per
+  /// wakeup, right before flush_pending_conns()).
+  void run_before_flush() {
+    if (before_flush_) before_flush_();
+  }
+
   /// Per-loop free list of byte buffers shared by encode scratch and reader
   /// storage; capacity-capped so a one-off huge value cannot pin memory.
   std::vector<std::uint8_t> acquire_buffer();
@@ -222,6 +238,7 @@ class Reactor {
 
   Callbacks callbacks_;
   std::function<void(int)> accept_handler_;
+  std::function<void()> before_flush_;
   Socket listener_;
   std::uint16_t port_ = 0;
 

@@ -31,6 +31,8 @@ bool RouterServer::start() {
     return false;
   }
   if (config_.max_hops == 0) config_.max_hops = 1;
+  // A kBatchGet frame cannot carry more keys than the decoder accepts.
+  config_.batch_max = std::min(config_.batch_max, kMaxBatchEntries);
 
   members_.resize(config_.frontends.size());
   for (std::size_t i = 0; i < config_.frontends.size(); ++i) {
@@ -49,6 +51,12 @@ bool RouterServer::start() {
     on_conn_connect(conn, ok);
   };
   loop_->set_callbacks(std::move(callbacks));
+  if (config_.batch_max > 1) {
+    // Flush queued GET dispatches right before the reactor's gathered
+    // write; batch_max <= 1 never queues, keeping the unbatched dispatch
+    // path byte-identical.
+    loop_->set_before_flush([this] { flush_member_queues(); });
+  }
 
   if (config_.metrics) {
     request_us_ = &registry_.timer("router.request_us");
@@ -148,6 +156,10 @@ obs::MetricsSnapshot RouterServer::metrics_snapshot() const {
       failures_.load(std::memory_order_relaxed);
   snap.counters["router.attempts_total"] =
       attempts_.load(std::memory_order_relaxed);
+  snap.counters["router.batch_frames"] =
+      batch_frames_.load(std::memory_order_relaxed);
+  snap.counters["router.batch_keys"] =
+      batch_keys_.load(std::memory_order_relaxed);
   snap.counters["router.scrapes"] = scrapes_.load(std::memory_order_relaxed);
   snap.gauges["router.scrape_ms"] =
       static_cast<std::int64_t>(config_.scrape_interval_s * 1000.0);
@@ -342,6 +354,15 @@ void RouterServer::on_conn_close(ConnId conn) {
       fail_request(request.client, request.key);
     }
   }
+  // Queued dispatches never hit the wire: unwind the queue-time accounting
+  // and route them again without burning a hop.
+  std::vector<QueuedDispatch> queued;
+  queued.swap(fe.queued);
+  for (const QueuedDispatch& q : queued) {
+    pending_total_.fetch_sub(1, std::memory_order_relaxed);
+    router_.on_complete(member);
+    dispatch(q.client, q.key, q.hops, q.start_ns);
+  }
   schedule_reconnect(member);
 }
 
@@ -385,6 +406,20 @@ bool RouterServer::dispatch_to(std::uint32_t member, ConnId client,
                                const std::string& payload) {
   MemberState& fe = members_[member];
   if (!fe.up) return false;
+  if (op == MsgType::kGet && config_.batch_max > 1) {
+    // Batched dispatch: GETs for this member accumulate and flush as one
+    // kBatchGet at the reactor's before-flush hook (sooner if the queue
+    // fills). The load delta is counted now so power-of-two-choices sees
+    // same-wakeup dispatches; the wire send, pending entry and attempt
+    // counters happen at flush.
+    fe.queued.push_back({client, key, hops, start_ns});
+    pending_total_.fetch_add(1, std::memory_order_relaxed);
+    router_.on_dispatch(member);
+    if (fe.queued.size() >= config_.batch_max) {
+      flush_member_queue(member);
+    }
+    return true;
+  }
   Message request;
   request.type = op;
   request.key = key;
@@ -412,6 +447,85 @@ bool RouterServer::dispatch_to(std::uint32_t member, ConnId client,
   fe.pending.push_back(pending);
   pending_total_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+void RouterServer::flush_member_queues() {
+  for (std::uint32_t member = 0;
+       member < static_cast<std::uint32_t>(members_.size()); ++member) {
+    if (!members_[member].queued.empty()) flush_member_queue(member);
+  }
+}
+
+void RouterServer::flush_member_queue(std::uint32_t member) {
+  MemberState& fe = members_[member];
+  if (fe.queued.empty()) return;
+  std::vector<QueuedDispatch> queued;
+  queued.swap(fe.queued);
+
+  const auto redispatch_all = [&] {
+    // The wire send never happened: unwind the queue-time accounting and
+    // route each dispatch again (the dead member is marked down, so pick()
+    // goes around it; dispatch re-counts pending_total_ on its way in).
+    for (const QueuedDispatch& q : queued) {
+      pending_total_.fetch_sub(1, std::memory_order_relaxed);
+      router_.on_complete(member);
+      dispatch(q.client, q.key, q.hops, q.start_ns);
+    }
+  };
+  if (!fe.up) {
+    redispatch_all();
+    return;
+  }
+
+  bool sent = false;
+  if (queued.size() == 1) {
+    // A batch of one gains nothing over the plain frame; keep the wire
+    // identical to the unbatched path.
+    Message request;
+    request.type = MsgType::kGet;
+    request.key = queued.front().key;
+    sent = loop_->send(fe.conn, request);
+  } else {
+    Message request;
+    request.type = MsgType::kBatchGet;
+    request.batch_keys.reserve(queued.size());
+    for (const QueuedDispatch& q : queued) {
+      request.batch_keys.push_back(q.key);
+    }
+    sent = loop_->send(fe.conn, request);
+    if (sent) {
+      batch_frames_.fetch_add(1, std::memory_order_relaxed);
+      batch_keys_.fetch_add(queued.size(), std::memory_order_relaxed);
+    }
+  }
+  if (!sent) {
+    redispatch_all();
+    return;
+  }
+
+  // One wire send for the whole queue; the ledger stays per key (the fleet
+  // member answers each with its own frame and counts them individually).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.timeout_s));
+  for (const QueuedDispatch& q : queued) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (q.hops > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    if (member < member_dispatches_.size() &&
+        member_dispatches_[member] != nullptr) {
+      member_dispatches_[member]->inc();
+    }
+    PendingRequest pending;
+    pending.client = q.client;
+    pending.key = q.key;
+    pending.op = MsgType::kGet;
+    pending.hops = q.hops + 1;
+    pending.start_ns = q.start_ns;
+    pending.deadline = deadline;
+    // pending_total_ and router_.on_dispatch were counted at queue time.
+    fe.pending.push_back(pending);
+  }
 }
 
 void RouterServer::dispatch(ConnId client, std::uint64_t key,

@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
   std::uint64_t items = config.items;
   std::uint64_t value_bytes = config.value_bytes;
   std::uint64_t max_retries = config.retry.max_retries;
+  std::uint64_t batch_max = config.batch_max;
+  bool no_coalesce = false;
   std::uint64_t shards = config.shards;
   std::uint64_t fleet = 1;
   std::uint64_t fleet_index = 0;
@@ -99,6 +101,12 @@ int main(int argc, char** argv) {
   flags.add_double("retry-timeout", &config.retry.timeout_s,
                    "per-request timeout (seconds)");
   flags.add_uint64("seed", &config.seed, "routing tie-break seed");
+  flags.add_uint64("batch-max", &batch_max,
+                   "max keys per kBatchGet forward frame; 1 disables "
+                   "batching (one kGet frame per forward)");
+  flags.add_bool("no-coalesce", &no_coalesce,
+                 "disable single-flight miss coalescing (every miss emits "
+                 "its own forward, even with one already in flight)");
   flags.add_uint64("shards", &shards,
                    "reactor shards sharing the port via SO_REUSEPORT; the "
                    "cache capacity c is split c/N across them");
@@ -138,6 +146,9 @@ int main(int argc, char** argv) {
   config.items = items;
   config.value_bytes = static_cast<std::uint32_t>(value_bytes);
   config.retry.max_retries = static_cast<std::uint32_t>(max_retries);
+  config.batch_max =
+      static_cast<std::uint32_t>(batch_max == 0 ? 1 : batch_max);
+  config.coalesce = !no_coalesce;
   config.metrics_port = static_cast<std::int32_t>(metrics_port);
   config.shards = static_cast<std::uint32_t>(shards == 0 ? 1 : shards);
   config.fleet_size = static_cast<std::uint32_t>(fleet == 0 ? 1 : fleet);
@@ -188,11 +199,12 @@ int main(int argc, char** argv) {
   server.stop(drain_s);
   const ServerStats stats = server.stats();
   std::printf("scp_frontend: requests=%llu hits=%llu misses=%llu "
-              "forwarded=%llu retries=%llu failures=%llu\n",
+              "forwarded=%llu coalesced=%llu retries=%llu failures=%llu\n",
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses),
               static_cast<unsigned long long>(stats.forwarded),
+              static_cast<unsigned long long>(stats.coalesced),
               static_cast<unsigned long long>(stats.retries),
               static_cast<unsigned long long>(stats.failures));
   return 0;

@@ -110,4 +110,102 @@ std::optional<Message> SyncClient::get(std::uint64_t key, double timeout_s) {
   return call(request, timeout_s);
 }
 
+std::optional<std::vector<Message>> SyncClient::batch_get(
+    const std::vector<std::uint64_t>& keys, double timeout_s) {
+  if (!sock_.valid() || keys.empty()) return std::nullopt;
+  Message request;
+  request.type = MsgType::kBatchGet;
+  request.batch_keys = keys;
+  const std::vector<std::uint8_t> frame = encode(request);
+  if (!send_all(frame.data(), frame.size(), timeout_s)) {
+    disconnect();
+    return std::nullopt;
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  std::vector<std::optional<Message>> slots(keys.size());
+  std::size_t filled = 0;
+  std::uint8_t buffer[16384];
+  while (true) {
+    while (auto payload = reader_.next_payload()) {
+      auto message = decode_payload(*payload);
+      if (!message.has_value()) {
+        disconnect();
+        return std::nullopt;
+      }
+      if (message->type == MsgType::kBatchReply) {
+        // Backend path: one frame answers the whole batch in request order;
+        // mixing it with per-key frames would be a protocol error.
+        if (filled != 0 || message->batch.size() != keys.size()) {
+          disconnect();
+          return std::nullopt;
+        }
+        std::vector<Message> replies;
+        replies.reserve(keys.size());
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          BatchItem& item = message->batch[i];
+          if (item.key != keys[i]) {
+            disconnect();
+            return std::nullopt;
+          }
+          Message reply;
+          reply.type = item.type;
+          reply.key = item.key;
+          reply.node = item.node;
+          reply.payload = std::move(item.payload);
+          replies.push_back(std::move(reply));
+        }
+        assert(reader_.buffered_bytes() == 0 &&
+               "SyncClient: server sent bytes beyond the batch reply");
+        return replies;
+      }
+      // Front-end path: one frame per key, in whatever order the keys
+      // settled. Duplicate request keys fill their slots oldest-first.
+      bool matched = false;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == message->key && !slots[i].has_value()) {
+          slots[i] = std::move(*message);
+          ++filled;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        disconnect();  // reply for a key we did not ask for
+        return std::nullopt;
+      }
+      if (filled == keys.size()) {
+        assert(reader_.buffered_bytes() == 0 &&
+               "SyncClient: server sent bytes beyond the batch replies");
+        std::vector<Message> replies;
+        replies.reserve(keys.size());
+        for (auto& slot : slots) replies.push_back(std::move(*slot));
+        return replies;
+      }
+    }
+    if (reader_.corrupted()) {
+      disconnect();
+      return std::nullopt;
+    }
+    pollfd pfd{sock_.fd(), POLLIN, 0};
+    const int timeout = remaining_ms(deadline);
+    if (timeout == 0 || ::poll(&pfd, 1, timeout) <= 0) {
+      disconnect();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(sock_.fd(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      reader_.append({buffer, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    disconnect();  // EOF or hard error
+    return std::nullopt;
+  }
+}
+
 }  // namespace scp::net

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/socket.h"
 #include "net/wire.h"
@@ -41,6 +42,15 @@ class SyncClient {
 
   /// GET convenience wrapper.
   std::optional<Message> get(std::uint64_t key, double timeout_s = 1.0);
+
+  /// Sends one kBatchGet for `keys` and blocks until every key is answered.
+  /// Returns one Message per requested key, in request order, regardless of
+  /// how the server answers: a backend replies with a single kBatchReply
+  /// (request order), a front end with one frame per key (any order — they
+  /// are matched by key). nullopt on timeout, protocol error, or peer close;
+  /// the connection is dropped in every failure case.
+  std::optional<std::vector<Message>> batch_get(
+      const std::vector<std::uint64_t>& keys, double timeout_s = 1.0);
 
  private:
   bool send_all(const std::uint8_t* data, std::size_t size, double timeout_s);

@@ -1056,7 +1056,10 @@ void UringLoop::run() {
 
     // The wakeup's single flush point, as in FrameLoop: everything queued by
     // posted work, timers and this round of completions goes out in one
-    // submission batch right before the loop blocks again.
+    // submission batch right before the loop blocks again. The before-flush
+    // hook runs first so batching servers can convert their accumulated
+    // per-peer queues into frames that join this submission.
+    run_before_flush();
     flush_pending_conns();
 
     if (draining_) {

@@ -119,6 +119,7 @@ void encode_into(const Message& message, std::vector<std::uint8_t>& frame) {
       put_u64(payload, message.stats.deletes);
       put_u64(payload, message.stats.replications);
       put_u64(payload, message.stats.invalidations);
+      put_u64(payload, message.stats.coalesced);
       break;
     case MsgType::kMetricsRequest:
       break;
@@ -198,6 +199,30 @@ void encode_into(const Message& message, std::vector<std::uint8_t>& frame) {
       break;
     case MsgType::kHotKeySubscribe:
       break;
+    case MsgType::kBatchGet:
+      put_u32(payload, static_cast<std::uint32_t>(message.batch_keys.size()));
+      for (const std::uint64_t key : message.batch_keys) {
+        put_u64(payload, key);
+      }
+      break;
+    case MsgType::kBatchReply:
+      put_u32(payload, static_cast<std::uint32_t>(message.batch.size()));
+      for (const BatchItem& item : message.batch) {
+        put_u8(payload, static_cast<std::uint8_t>(item.type));
+        put_u64(payload, item.key);
+        switch (item.type) {
+          case MsgType::kValue:
+          case MsgType::kError:
+            put_bytes(payload, item.payload);
+            break;
+          case MsgType::kRedirect:
+            put_u32(payload, item.node);
+            break;
+          default:  // kMiss carries only its key
+            break;
+        }
+      }
+      break;
   }
   const std::uint32_t length =
       static_cast<std::uint32_t>(frame.size() - kLengthPrefixBytes);
@@ -247,7 +272,8 @@ std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
           !cursor.read_u64(message.stats.puts) ||
           !cursor.read_u64(message.stats.deletes) ||
           !cursor.read_u64(message.stats.replications) ||
-          !cursor.read_u64(message.stats.invalidations)) {
+          !cursor.read_u64(message.stats.invalidations) ||
+          !cursor.read_u64(message.stats.coalesced)) {
         return std::nullopt;
       }
       break;
@@ -373,6 +399,46 @@ std::optional<Message> decode_payload(std::span<const std::uint8_t> payload) {
     case MsgType::kHotKeySubscribe:
       message.type = MsgType::kHotKeySubscribe;
       break;
+    case MsgType::kBatchGet: {
+      message.type = MsgType::kBatchGet;
+      std::uint32_t n = 0;
+      if (!cursor.read_u32(n) || n > kMaxBatchEntries) return std::nullopt;
+      message.batch_keys.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint64_t key = 0;
+        if (!cursor.read_u64(key)) return std::nullopt;
+        message.batch_keys.push_back(key);
+      }
+      break;
+    }
+    case MsgType::kBatchReply: {
+      message.type = MsgType::kBatchReply;
+      std::uint32_t n = 0;
+      if (!cursor.read_u32(n) || n > kMaxBatchEntries) return std::nullopt;
+      message.batch.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        BatchItem item;
+        std::uint8_t raw_item = 0;
+        if (!cursor.read_u8(raw_item)) return std::nullopt;
+        item.type = static_cast<MsgType>(raw_item);
+        if (!cursor.read_u64(item.key)) return std::nullopt;
+        switch (item.type) {
+          case MsgType::kValue:
+          case MsgType::kError:
+            if (!cursor.read_bytes(item.payload)) return std::nullopt;
+            break;
+          case MsgType::kRedirect:
+            if (!cursor.read_u32(item.node)) return std::nullopt;
+            break;
+          case MsgType::kMiss:
+            break;
+          default:  // an item may only be a per-key reply shape
+            return std::nullopt;
+        }
+        message.batch.push_back(std::move(item));
+      }
+      break;
+    }
     default:
       return std::nullopt;
   }

@@ -70,12 +70,33 @@ enum class MsgType : std::uint8_t {
   kHotKeySubscribe = 23, ///< request: push future kHotKeyReports down this
                          ///< connection (front ends send it after connect;
                          ///< deliberately not acked — see kHotKeyReport)
+  // --- batched forwarding ------------------------------------------------
+  kBatchGet = 24,   ///< request: fetch every key in `batch_keys` in one frame
+  kBatchReply = 25, ///< reply: one BatchItem per requested key, in request
+                    ///< order (each item is a kValue/kMiss/kRedirect/kError
+                    ///< verdict for its key)
 };
 
 // Bits of Message::flags (kVerValue / kReplicate / kRepAck).
 inline constexpr std::uint8_t kFlagFound = 1;      ///< entry exists (kVerValue)
 inline constexpr std::uint8_t kFlagTombstone = 2;  ///< entry is a delete marker
 inline constexpr std::uint8_t kFlagApplied = 1;    ///< apply took effect (kRepAck)
+
+/// Sanity cap on the entries in one kBatchGet/kBatchReply; a count above
+/// this is rejected before any entry is read (the frame cap bounds total
+/// bytes, this bounds entry-count amplification on tiny entries).
+inline constexpr std::uint32_t kMaxBatchEntries = 4096;
+
+/// One per-key verdict inside a kBatchReply: the same shapes an individual
+/// reply frame can take, keyed so a batch survives reordering-free matching.
+struct BatchItem {
+  MsgType type = MsgType::kMiss;  ///< kValue | kMiss | kRedirect | kError
+  std::uint64_t key = 0;
+  std::uint32_t node = 0;   ///< kRedirect: suggested NodeId
+  std::string payload;      ///< kValue: value bytes; kError: reason
+
+  bool operator==(const BatchItem&) const = default;
+};
 
 /// Counter snapshot carried by kStatsReply. Both server roles fill the
 /// fields that apply to them and leave the rest zero.
@@ -93,6 +114,9 @@ struct ServerStats {
   std::uint64_t deletes = 0;       ///< kDelete requests received
   std::uint64_t replications = 0;  ///< BE only: kReplicate applies received
   std::uint64_t invalidations = 0; ///< FE only: cache entries dropped by writes
+  // --- single-flight coalescing ------------------------------------------
+  std::uint64_t coalesced = 0;  ///< FE only: misses parked on an already
+                                ///< in-flight forward for the same key
 
   bool operator==(const ServerStats&) const = default;
 };
@@ -112,6 +136,8 @@ struct Message {
   ServerStats stats;        ///< kStatsReply
   obs::MetricsSnapshot metrics;  ///< kMetricsReply
   detect::HotKeyReport hot;      ///< kHotKeyReport
+  std::vector<std::uint64_t> batch_keys;  ///< kBatchGet: requested keys
+  std::vector<BatchItem> batch;           ///< kBatchReply: per-key verdicts
 
   bool operator==(const Message&) const = default;
 };

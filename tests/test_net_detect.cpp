@@ -127,9 +127,11 @@ std::int64_t gauge(const obs::MetricsSnapshot& snap, const std::string& name) {
 }
 
 void expect_consistent(const ServerStats& stats) {
-  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures)
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures)
       << "requests=" << stats.requests << " hits=" << stats.hits
-      << " forwarded=" << stats.forwarded << " failures=" << stats.failures;
+      << " forwarded=" << stats.forwarded << " coalesced=" << stats.coalesced
+      << " failures=" << stats.failures;
 }
 
 // --- regression: lookup must not refresh a value-less slot ----------------

@@ -284,8 +284,8 @@ TEST(FleetPartition, AggregateFootprintIsExactlyCSingleCopy) {
     const obs::MetricsSnapshot snap = fe.members[member]->metrics_snapshot();
     const std::uint64_t fleet_redirects =
         snap.counters.at("frontend.fleet_redirects");
-    EXPECT_EQ(stats.requests,
-              stats.hits + stats.forwarded + stats.failures + fleet_redirects)
+    EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                  stats.failures + fleet_redirects)
         << "fleet-mode counter invariant, member " << member;
     EXPECT_EQ(stats.failures, 0u);
     EXPECT_EQ(snap.gauges.at("frontend.fleet_index"),
@@ -477,7 +477,8 @@ TEST(FleetRouterE2E, ClientsNeverSeeRedirectsAndLoadSpreads) {
     EXPECT_GT(stats.requests, 0u) << "member " << member << " starved";
     const obs::MetricsSnapshot snap = fe.members[member]->metrics_snapshot();
     EXPECT_EQ(stats.requests,
-              stats.hits + stats.forwarded + stats.failures +
+              stats.hits + stats.forwarded + stats.coalesced +
+                  stats.failures +
                   snap.counters.at("frontend.fleet_redirects"))
         << "member " << member;
     member_requests_total += stats.requests;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -196,10 +197,13 @@ TEST_P(FrontendLoopback, ServesHitsLocallyAndForwardsMisses) {
   EXPECT_EQ(stats.forwarded, stats.misses);
   EXPECT_EQ(stats.failures, 0u);
   EXPECT_EQ(stats.redirects, 0u);  // matching seeds: no bouncing
-  // Healthy path: every forward is answered on the first wire send.
+  // Healthy path: every forward is answered on the first wire send, and the
+  // sequential client never has two fetches of one key in flight.
   EXPECT_EQ(stats.attempts, stats.forwarded);
   EXPECT_EQ(stats.retries, 0u);
-  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures);
 
   // Backend request counters account for every wire send.
   std::uint64_t backend_requests = 0;
@@ -332,16 +336,18 @@ TEST_P(FrontendLoopback, AdmitEvictsInSyncWithTier) {
   EXPECT_EQ(stats.hits, 1u)
       << "the kMiss-admitted slot leaked and evicted a resident entry";
   EXPECT_EQ(stats.misses, 6u);
-  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures);
 
   frontend.stop();
   for (auto& backend : fleet.backends) backend->stop();
 }
 
 TEST_P(FrontendLoopback, CounterInvariantsUnderFailover) {
-  // requests == hits + forwarded + failures must hold through replica death:
-  // orphaned in-flight requests are retried (attempts grows, retries counts
-  // the re-sends) but each client GET is accounted exactly once.
+  // requests == hits + forwarded + coalesced + failures must hold through
+  // replica death: orphaned in-flight requests are retried (attempts grows,
+  // retries counts the re-sends) but each client GET is accounted exactly
+  // once.
   constexpr std::uint32_t kNodes = 3;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 64;
@@ -369,8 +375,10 @@ TEST_P(FrontendLoopback, CounterInvariantsUnderFailover) {
 
   const ServerStats stats = frontend.stats();
   EXPECT_EQ(stats.requests, kItems);
-  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures)
-      << "every GET must resolve to exactly one of hit/forwarded/failure";
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures)
+      << "every GET must resolve to exactly one of "
+         "hit/forwarded/coalesced/failure";
   EXPECT_GE(stats.attempts, stats.forwarded)
       << "attempts counts wire sends; answered requests can't exceed them";
   EXPECT_LE(stats.retries, stats.attempts);
@@ -389,6 +397,96 @@ TEST_P(FrontendLoopback, CounterInvariantsUnderFailover) {
                                     stop_started)
           .count();
   EXPECT_LT(stop_s, 4.0) << "stop() must not burn the full drain budget";
+  for (auto& backend : fleet.backends) backend->stop();
+}
+
+TEST_P(FrontendLoopback, CoalescedWaitersFailOverWithTheLead) {
+  // Replica-death failover under single-flight coalescing: clients parked
+  // on an in-flight forward must ride the *lead's* retries — one forward
+  // fails over, not one per waiter — and settle with exactly one coalesced
+  // ledger entry each, no double-counted RTT samples.
+  //
+  // Deterministic setup: the whole cluster is down when the GETs arrive, so
+  // the lead parks on the no-live-replica backoff timer and every later GET
+  // for the key parks as a waiter. The backends then come back on their old
+  // ports; the lead's next retry forwards once and the reply fans out.
+  constexpr std::uint32_t kNodes = 2;
+  constexpr std::uint32_t kReplication = 2;
+  constexpr std::uint64_t kItems = 32;
+  constexpr std::uint64_t kKey = 5;
+  constexpr std::size_t kClients = 4;
+
+  Fleet fleet = start_fleet(kNodes, kReplication, kItems);
+  std::vector<std::uint16_t> ports;
+  for (const auto& backend : fleet.backends) ports.push_back(backend->port());
+  for (auto& backend : fleet.backends) backend->stop(0.0);
+
+  FrontendConfig config =
+      frontend_config(fleet, kNodes, kReplication, kItems, /*cache=*/0);
+  // The lead must keep retrying across the reconnect window (backoff cap
+  // 1 s) without exhausting its attempt budget.
+  config.retry.max_retries = 30;
+  config.retry.backoff_base_s = 0.050;
+  config.retry.backoff_cap_s = 0.200;
+  config.retry.timeout_s = 8.0;
+  FrontendServer frontend(config);
+  ASSERT_TRUE(frontend.start());
+
+  std::atomic<std::uint64_t> values{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&frontend, &values] {
+      SyncClient client;
+      if (!client.connect("127.0.0.1", frontend.port(), 3.0)) return;
+      const auto reply = client.get(kKey, 10.0);
+      if (reply.has_value() && reply->type == MsgType::kValue &&
+          reply->payload == make_value(kKey, 64)) {
+        values.fetch_add(1);
+      }
+    });
+  }
+  // Wait until all four GETs are inside the front end (one lead in backoff,
+  // three parked waiters) before reviving the cluster.
+  const auto arrived = [&frontend] {
+    return frontend.stats().requests >= kClients;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!arrived() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(arrived());
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    BackendConfig restarted =
+        backend_config(node, kNodes, kReplication, kItems);
+    restarted.port = ports[node];
+    fleet.backends[node] = std::make_unique<BackendServer>(restarted);
+    ASSERT_TRUE(fleet.backends[node]->start());
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(values.load(), kClients) << "every parked client must get the "
+                                        "value after the cluster returns";
+
+  const ServerStats stats = frontend.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.forwarded, 1u)
+      << "one lead forward serves the key; waiters must not fail over "
+         "individually";
+  EXPECT_EQ(stats.coalesced, kClients - 1);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures);
+
+  // No double counting: the one answered forward contributes exactly one
+  // RTT/attempt sample; the waiters only tick the end-to-end request timer.
+  const obs::MetricsSnapshot snap = frontend.metrics_snapshot();
+  EXPECT_EQ(snap.timers.at("frontend.forward_rtt_us").count(), 1u);
+  EXPECT_EQ(snap.timers.at("frontend.attempts").count(), 1u);
+  EXPECT_EQ(snap.timers.at("frontend.request_us").count(), stats.requests);
+  EXPECT_EQ(snap.gauges.at("frontend.pending_requests"), 0);
+
+  frontend.stop();
   for (auto& backend : fleet.backends) backend->stop();
 }
 

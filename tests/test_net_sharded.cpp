@@ -108,7 +108,8 @@ TEST_P(ShardedFrontend, StressManyClientsCounterConsistency) {
   // spread across the shards by the kernel's SO_REUSEPORT placement,
   // interleaving GET and STATS. Every GET must resolve to the canonical
   // value and the aggregated ServerStats must stay exact:
-  // requests == hits + forwarded + failures.
+  // requests == hits + forwarded + coalesced + failures (concurrent misses
+  // for one key on one shard single-flight onto the same forward).
   constexpr std::uint32_t kNodes = 3;
   constexpr std::uint32_t kReplication = 2;
   constexpr std::uint64_t kItems = 256;
@@ -162,8 +163,10 @@ TEST_P(ShardedFrontend, StressManyClientsCounterConsistency) {
 
   const ServerStats stats = frontend.stats();
   EXPECT_EQ(stats.requests, kThreads * kOpsPerThread);
-  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures)
-      << "every GET must resolve to exactly one of hit/forwarded/failure";
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures)
+      << "every GET must resolve to exactly one of "
+         "hit/forwarded/coalesced/failure";
   EXPECT_EQ(stats.failures, 0u);
   // Sharded cache still hits: the kernel spreads connections over shards,
   // and a shard hits for the cached-prefix keys it owns.
@@ -277,7 +280,8 @@ TEST_P(ShardedFrontend, FallbackAcceptPartitionsCacheByKeyHash) {
   EXPECT_EQ(stats.requests, kItems);
   EXPECT_EQ(stats.hits, owned_cached)
       << "shard 0 must hit exactly the cached keys it owns";
-  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.failures);
+  EXPECT_EQ(stats.requests, stats.hits + stats.forwarded + stats.coalesced +
+                                stats.failures);
 
   frontend.stop();
   stop_fleet(fleet);

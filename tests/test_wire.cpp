@@ -46,7 +46,7 @@ std::vector<Message> every_message_type() {
 
   Message stats_reply;
   stats_reply.type = MsgType::kStatsReply;
-  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  stats_reply.stats = ServerStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
   messages.push_back(stats_reply);
 
   Message metrics_request;
@@ -180,6 +180,28 @@ std::vector<Message> every_message_type() {
   Message hot_subscribe;
   hot_subscribe.type = MsgType::kHotKeySubscribe;
   messages.push_back(hot_subscribe);
+
+  Message batch_get;
+  batch_get.type = MsgType::kBatchGet;
+  batch_get.batch_keys = {0xdeadbeefcafe1234ULL, 7, 7, 0, ~0ULL};
+  messages.push_back(batch_get);
+
+  Message batch_get_empty;
+  batch_get_empty.type = MsgType::kBatchGet;
+  messages.push_back(batch_get_empty);  // count 0: legal, answers nothing
+
+  Message batch_reply;
+  batch_reply.type = MsgType::kBatchReply;
+  batch_reply.batch.push_back(
+      {MsgType::kValue, 7, 0, "batched value bytes\0with a null"s});
+  batch_reply.batch.push_back({MsgType::kMiss, 42, 0, ""});
+  batch_reply.batch.push_back({MsgType::kRedirect, 99, 1234, ""});
+  batch_reply.batch.push_back({MsgType::kError, 8, 0, "no live replica"});
+  messages.push_back(batch_reply);
+
+  Message batch_reply_empty;
+  batch_reply_empty.type = MsgType::kBatchReply;
+  messages.push_back(batch_reply_empty);
 
   return messages;
 }
@@ -581,6 +603,67 @@ TEST(Wire, RejectsHotKeyReportBeyondEntryCap) {
       {frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes});
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, message);
+}
+
+TEST(Wire, RejectsBatchFramesBeyondEntryCap) {
+  // A declared batch count above kMaxBatchEntries is rejected before any
+  // entry bytes are read — a hostile peer cannot make the decoder loop or
+  // reserve unbounded memory.
+  const std::uint32_t n = kMaxBatchEntries + 1;
+  for (const MsgType type : {MsgType::kBatchGet, MsgType::kBatchReply}) {
+    std::vector<std::uint8_t> payload;
+    payload.push_back(static_cast<std::uint8_t>(type));
+    payload.push_back(static_cast<std::uint8_t>(n >> 24));
+    payload.push_back(static_cast<std::uint8_t>(n >> 16));
+    payload.push_back(static_cast<std::uint8_t>(n >> 8));
+    payload.push_back(static_cast<std::uint8_t>(n));
+    EXPECT_FALSE(decode_payload(payload).has_value())
+        << "type=" << static_cast<int>(type);
+  }
+
+  // At the cap (with the keys actually present) a kBatchGet round-trips.
+  Message message;
+  message.type = MsgType::kBatchGet;
+  for (std::uint32_t i = 0; i < kMaxBatchEntries; ++i) {
+    message.batch_keys.push_back(i * 2654435761ULL);
+  }
+  const std::vector<std::uint8_t> frame = encode(message);
+  const auto decoded = decode_payload(
+      {frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(Wire, RejectsBatchGetCountOverrun) {
+  // Declared count claims more keys than the payload holds.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kBatchGet));
+  payload.insert(payload.end(), {0x00, 0x00, 0x00, 0x03});  // 3 keys...
+  for (int i = 0; i < 8; ++i) payload.push_back(0);         // ...1 present
+  EXPECT_FALSE(decode_payload(payload).has_value());
+}
+
+TEST(Wire, RejectsBatchReplyWithNonReplyItemSubtype) {
+  // An item may only be a per-key reply shape (kValue/kMiss/kRedirect/
+  // kError); a request subtype smuggled inside a reply batch is rejected.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kBatchReply));
+  payload.insert(payload.end(), {0x00, 0x00, 0x00, 0x01});  // 1 item
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kGet));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // key
+  EXPECT_FALSE(decode_payload(payload).has_value());
+}
+
+TEST(Wire, RejectsBatchReplyItemWithEmbeddedLengthOverrun) {
+  // kValue item whose inner byte-length claims more than the payload holds.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kBatchReply));
+  payload.insert(payload.end(), {0x00, 0x00, 0x00, 0x01});  // 1 item
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kValue));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);         // key
+  payload.insert(payload.end(), {0x00, 0x00, 0x00, 0x10});  // len 16...
+  payload.push_back('a');                                   // ...1 byte
+  EXPECT_FALSE(decode_payload(payload).has_value());
 }
 
 TEST(Wire, MakeValueIsDeterministicAndSized) {
